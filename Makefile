@@ -1,0 +1,24 @@
+# Convenience targets for the AL-VC reproduction.
+
+.PHONY: install test bench examples report all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran cleanly"
+
+report:
+	python -m repro.cli report REPORT.md
+
+all: install test bench examples report

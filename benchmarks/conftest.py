@@ -1,0 +1,6 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's figures (or an inherited
+claim) and prints the rows/series the figure would carry; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""

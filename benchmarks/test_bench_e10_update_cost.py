@@ -1,0 +1,28 @@
+"""E10 — network-update cost under churn (claim inherited from [14]).
+
+Regenerates: switches touched per VM arrival/departure/migration, AL-VC
+vs a flat SDN fabric.  Expected shape: AL-VC touches roughly the
+affected ToRs plus a handful of AL switches; the flat fabric touches the
+whole optical core — a large constant-factor reduction.
+"""
+
+from repro.analysis.experiments import experiment_e10_update_cost
+from repro.analysis.reporting import render_table
+
+
+def test_bench_e10_update_cost(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e10_update_cost,
+        kwargs={"n_events": 60, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="E10 — switches touched per churn event"))
+
+    total = next(row for row in rows if row["event_kind"] == "ALL")
+    assert total["mean_alvc_touched"] < total["mean_flat_touched"]
+    # The reduction is substantial (paper claim: low update costs).
+    assert total["reduction"] > 0.5
+    for row in rows:
+        assert row["mean_alvc_touched"] <= row["mean_flat_touched"]

@@ -1,0 +1,30 @@
+"""E11 — scalability of AL construction (claim inherited from [15]).
+
+Regenerates: AL construction time and AL size as the fabric grows from
+64 to 2048 servers.  Expected shape: construction stays in the
+milliseconds (near-linear growth), and the AL size stays bounded by the
+optical core.
+"""
+
+from repro.analysis.experiments import experiment_e11_scalability
+from repro.analysis.reporting import render_table
+
+SCALES = ((4, 16, 4), (8, 32, 8), (16, 64, 16), (32, 64, 32))
+
+
+def test_bench_e11_scalability(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e11_scalability,
+        kwargs={"scales": SCALES},
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="E11 — AL construction vs fabric size"))
+
+    assert [row["servers"] for row in rows] == [64, 256, 1024, 2048]
+    for row in rows:
+        assert row["al_size"] <= row["ops"]
+        # Laptop-scale budget: even the 2048-server fabric constructs in
+        # well under a second.
+        assert row["construct_ms"] < 1000

@@ -1,0 +1,31 @@
+"""E12 — O/E/O conversion energy vs optical hosting capacity.
+
+Regenerates: the Section IV.D energy argument as a measured curve —
+joules spent on conversions for a flow population as optoelectronic
+capacity grows from none to abundant.  Expected shape: energy falls
+monotonically, from the all-electronic ceiling to zero once the whole
+chain is hosted optically.
+"""
+
+from repro.analysis.experiments import experiment_e12_energy
+from repro.analysis.reporting import render_table
+
+SCALES = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def test_bench_e12_energy(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e12_energy,
+        kwargs={"capacity_scales": SCALES, "n_flows": 150},
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="E12 — conversion energy vs capacity"))
+
+    energies = [row["energy_joules"] for row in rows]
+    assert energies == sorted(energies, reverse=True)
+    assert rows[0]["energy_saving"] == 0.0
+    assert rows[-1]["energy_saving"] == 1.0
+    for row in rows:
+        assert row["energy_joules"] <= row["baseline_energy_joules"] + 1e-9

@@ -1,0 +1,33 @@
+"""E13 — incremental AL repair vs full rebuild (extension ablation).
+
+Regenerates: the update-cost comparison between repairing an abstraction
+layer in place (arrivals graft the cheapest ToR/OPS extension, departures
+prune) and reconstructing it after every churn event.  Expected shape:
+incremental repair touches no more switches in total, and a large share
+of arrivals are zero-cost (the new VM's rack is already covered).
+"""
+
+from repro.analysis.experiments import experiment_e13_reconfiguration
+from repro.analysis.reporting import render_table
+
+
+def test_bench_e13_reconfiguration(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e13_reconfiguration,
+        kwargs={"churn_events": 40, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            rows, title="E13 — incremental repair vs full rebuild"
+        )
+    )
+
+    by_policy = {row["policy"]: row for row in rows}
+    incremental = by_policy["incremental"]
+    rebuild = by_policy["rebuild"]
+    assert incremental["total_touched"] <= rebuild["total_touched"]
+    assert incremental["zero_cost_events"] > 0
+    assert rebuild["zero_cost_events"] == 0

@@ -1,0 +1,36 @@
+"""E14 — full per-chain traffic cost (extension ablation).
+
+Regenerates: the whole-cost view of Section IV.D — conversion cost,
+NF processing cost and transport energy for the same flow population
+through an O/E/O-optimized chain vs an all-electronic one.  Expected
+shape: processing cost ties (same functions), conversion cost and energy
+are strictly lower under the optimized placement.
+"""
+
+from repro.analysis.experiments import experiment_e14_chain_traffic
+from repro.analysis.reporting import render_table
+
+
+def test_bench_e14_chain_traffic(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e14_chain_traffic,
+        kwargs={"n_flows": 150, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            rows, title="E14 — per-chain flow cost by placement policy"
+        )
+    )
+
+    by_placement = {row["placement"]: row for row in rows}
+    optical = by_placement["greedy-optical"]
+    electronic = by_placement["all-electronic"]
+    assert optical["conversion_cost"] < electronic["conversion_cost"]
+    assert optical["energy_joules"] < electronic["energy_joules"]
+    assert optical["processing_cost"] == electronic["processing_cost"]
+    assert optical["conversions_per_flow"] < (
+        electronic["conversions_per_flow"]
+    )

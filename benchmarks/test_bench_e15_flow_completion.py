@@ -1,0 +1,41 @@
+"""E15 — flow completion times under load (extension ablation).
+
+Regenerates: the delay side of Section III.B's "larger bandwidth without
+delay" aspiration, measured with the event-driven fair-share simulator.
+Expected shape: mean FCT grows with offered load, and confining
+intra-service traffic to the cluster's abstraction layer costs nothing —
+with rack-aligned clusters the AL paths are the flat shortest paths.
+"""
+
+from repro.analysis.experiments import experiment_e15_flow_completion
+from repro.analysis.reporting import render_table
+
+
+def test_bench_e15_flow_completion(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e15_flow_completion,
+        kwargs={"n_flows": 120, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            rows, title="E15 — flow completion time vs offered load"
+        )
+    )
+
+    by_key = {
+        (row["arrival_rate"], row["architecture"]): row for row in rows
+    }
+    rates = sorted({row["arrival_rate"] for row in rows})
+    # Load monotonicity: higher arrival rate, higher mean FCT.
+    alvc_curve = [by_key[(rate, "al-vc")]["mean_fct"] for rate in rates]
+    assert alvc_curve == sorted(alvc_curve)
+    # AL confinement never costs more than 5% FCT on this testbed.
+    for rate in rates:
+        alvc = by_key[(rate, "al-vc")]["mean_fct"]
+        flat = by_key[(rate, "flat")]["mean_fct"]
+        assert alvc <= flat * 1.05 + 1e-9
+    for row in rows:
+        assert 0.0 <= row["mean_utilization"] <= 1.0 + 1e-9

@@ -1,0 +1,41 @@
+"""E16 — optical-core layout comparison (ref [29] ablation).
+
+Regenerates: the topology-metrics comparison of the OPS-core layouts the
+paper's reference [29] proposes (isolated core vs ring vs full mesh vs
+hypercube), at fixed rack/server/switch counts.  Expected shape: richer
+interconnects buy a smaller diameter at the price of more links;
+oversubscription at the ToR tier is layout-independent.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.analysis.topology_metrics import core_layout_comparison
+
+LAYOUTS = ("none", "ring", "full_mesh", "hypercube")
+
+
+def test_bench_e16_core_layouts(benchmark):
+    rows = benchmark.pedantic(
+        core_layout_comparison,
+        kwargs={
+            "layouts": LAYOUTS,
+            "n_racks": 8,
+            "servers_per_rack": 4,
+            "n_ops": 8,
+            "seed": 0,
+        },
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="E16 — optical-core layout metrics"))
+
+    by_layout = {row["core_layout"]: row for row in rows}
+    # Richer cores never lengthen the diameter...
+    assert by_layout["full_mesh"]["diameter"] <= by_layout["none"]["diameter"]
+    assert by_layout["hypercube"]["diameter"] <= by_layout["none"]["diameter"]
+    # ...and cost links.
+    assert by_layout["full_mesh"]["links"] >= by_layout["hypercube"]["links"]
+    assert by_layout["hypercube"]["links"] >= by_layout["none"]["links"]
+    # ToR oversubscription is a rack property, not a core property.
+    ratios = {row["mean_tor_oversubscription"] for row in rows}
+    assert len(ratios) == 1

@@ -1,0 +1,33 @@
+"""E17 — live VM migration through the orchestrator (extension).
+
+Regenerates: the operational form of the low-update-cost claim — each
+migration repairs the abstraction layer in place, extends the slice only
+when the AL grows, and reroutes the affected chain.  Expected shape:
+mean switches touched stays in low single digits (vs the whole core on a
+flat fabric), a large fraction of migrations are zero-cost, and slice
+isolation survives every event.
+"""
+
+from repro.analysis.experiments import experiment_e17_operational_migration
+from repro.analysis.reporting import render_table
+
+
+def test_bench_e17_operational_migration(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e17_operational_migration,
+        kwargs={"n_migrations": 20, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(rows, title="E17 — operational migration churn")
+    )
+
+    row = rows[0]
+    assert row["migrations"] > 0
+    assert row["isolation_violations"] == 0
+    assert row["chains_rerouted"] == row["migrations"]
+    # The low-update-cost property: well under the core size (10 OPSs).
+    assert row["mean_switches_touched"] < 4
+    assert row["zero_cost_fraction"] > 0

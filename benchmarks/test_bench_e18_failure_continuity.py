@@ -1,0 +1,36 @@
+"""E18 — traffic continuity under optical-switch failures (extension).
+
+Regenerates: the same workload replayed as 0, 1, 2 core switches die at
+staggered times.  Expected shape: all traffic that stays connected
+completes (drops only on genuine partitions), reroutes grow with the
+failure count, and the mean-FCT penalty stays bounded.
+"""
+
+from repro.analysis.experiments import experiment_e18_failure_continuity
+from repro.analysis.reporting import render_table
+
+
+def test_bench_e18_failure_continuity(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e18_failure_continuity,
+        kwargs={"n_flows": 150, "n_failures_sweep": (0, 1, 2), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(rows, title="E18 — continuity under switch failures")
+    )
+
+    by_failures = {row["failures"]: row for row in rows}
+    baseline = by_failures[0]
+    assert baseline["dropped"] == 0
+    assert baseline["reroutes"] == 0
+    for row in rows:
+        # Conservation: every flow either completes or is dropped.
+        assert row["completed"] + row["dropped"] == 150
+        # Failures never *improve* completion time.
+        assert row["fct_penalty"] >= 1.0 - 1e-9
+        # Penalty stays bounded on this fabric (rich path diversity).
+        assert row["fct_penalty"] < 2.0
+    assert by_failures[2]["reroutes"] >= by_failures[1]["reroutes"]

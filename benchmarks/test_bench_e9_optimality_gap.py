@@ -1,0 +1,27 @@
+"""E9 — optimality gap of the AL construction heuristics.
+
+Regenerates: the "minimum set of switches" claim (Abstract, Section
+III.C) as a measured gap against the exact optimum over random fabrics.
+Expected shape: exact gap = 1, the paper's greedy close behind, random
+selection clearly worse.
+"""
+
+from repro.analysis.experiments import experiment_e9_optimality_gap
+from repro.analysis.reporting import render_table
+
+
+def test_bench_e9_optimality_gap(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e9_optimality_gap,
+        kwargs={"instances": 8},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="E9 — AL size vs exact optimum"))
+
+    gaps = {row["strategy"]: row["gap_vs_exact"] for row in rows}
+    assert gaps["exact"] == 1.0
+    assert 1.0 <= gaps["vertex_cover_greedy"] <= gaps["random"] + 1e-9
+    # The greedy stays within 50% of optimal on these instances.
+    assert gaps["vertex_cover_greedy"] < 1.5

@@ -1,0 +1,28 @@
+"""E1 / Fig. 1 — service-based virtual clustering vs a flat DCN.
+
+Regenerates: the cluster census of Fig. 1 plus the traffic-locality
+comparison that motivates it (Section III.A).  Expected shape: AL-VC
+confines at least as many flows to a single slice as the flat fabric.
+"""
+
+from repro.analysis.experiments import experiment_fig1_clustering
+from repro.analysis.reporting import render_table
+
+
+def test_bench_fig1_clustering(benchmark):
+    result = benchmark.pedantic(
+        experiment_fig1_clustering,
+        kwargs={"n_flows": 300, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(render_table(result["traffic"], title="Fig. 1 — traffic locality"))
+    print(render_table(result["census"], title="Fig. 1 — cluster census"))
+
+    by_arch = {row["architecture"]: row for row in result["traffic"]}
+    assert (
+        by_arch["al-vc"]["al_confined_flows"]
+        >= by_arch["flat"]["al_confined_flows"]
+    )
+    assert len(result["census"]) == 3

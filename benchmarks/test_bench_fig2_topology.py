@@ -1,0 +1,24 @@
+"""E2 / Fig. 2 — the AL-VC fabric against a fat-tree baseline.
+
+Regenerates: node/link censuses and path-length distributions at three
+scales.  Expected shape: the OPS-core fabric needs far fewer switches and
+links than a fat-tree of comparable server count, at comparable or
+shorter server-to-server hop counts.
+"""
+
+from repro.analysis.experiments import experiment_fig2_topology
+from repro.analysis.reporting import render_table
+
+
+def test_bench_fig2_topology(benchmark):
+    rows = benchmark.pedantic(
+        experiment_fig2_topology, rounds=3, iterations=1
+    )
+    print()
+    print(render_table(rows, title="Fig. 2 — fabric census and path lengths"))
+
+    for alvc, tree in zip(rows[0::2], rows[1::2]):
+        # The OPS core replaces the fat-tree's agg+core tiers: fewer
+        # links per served host, at comparable or shorter paths.
+        assert alvc["links"] < tree["links"]
+        assert alvc["mean_path"] <= tree["mean_path"] + 1.0

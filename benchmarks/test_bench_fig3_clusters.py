@@ -1,0 +1,33 @@
+"""E3 / Fig. 3 — disjoint virtual clusters over the OPS core.
+
+Regenerates: one AL per service cluster with the paper's disjointness
+rule.  Expected shape: every cluster gets a non-empty AL, no OPS is
+shared, and the total assigned switches never exceed the core.
+"""
+
+from repro.analysis.experiments import experiment_fig3_clusters
+from repro.analysis.reporting import render_table
+
+
+def test_bench_fig3_clusters(benchmark):
+    rows = benchmark.pedantic(
+        experiment_fig3_clusters,
+        kwargs={"n_services": 4, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig. 3 — per-cluster abstraction layers"))
+
+    per_cluster = [
+        row for row in rows if row["cluster"].startswith("cluster")
+    ]
+    total = next(row for row in rows if row["cluster"] == "TOTAL")
+    utilization = next(
+        row for row in rows if row["cluster"] == "core-utilization"
+    )
+    assert len(per_cluster) == 4
+    assert all(row["al_size"] >= 1 for row in per_cluster)
+    # Disjointness: assigned switches add up exactly.
+    assert total["al_size"] == sum(row["al_size"] for row in per_cluster)
+    assert 0 < utilization["al_size"] <= 1

@@ -1,0 +1,51 @@
+"""E4 / Fig. 4 — abstraction-layer construction (the paper's algorithm).
+
+Regenerates: (a) the exact Fig. 4 walk-through — ToR 1 selected on weight
+6, ToR 2 skipped, ToR 3 completing the cover, final AL of two switches —
+and (b) the strategy sweep comparing the paper's vertex-cover greedy
+against random selection (prior work [15]), marginal greedy and the exact
+optimum.  Expected shape: greedy AL ≤ random AL, ≥ exact, and orders of
+magnitude faster than exact at the largest scale.
+"""
+
+from repro.analysis.experiments import (
+    experiment_fig4_strategy_sweep,
+    experiment_fig4_worked_example,
+)
+from repro.analysis.reporting import render_table
+
+
+def test_bench_fig4_worked_example(benchmark):
+    result = benchmark(experiment_fig4_worked_example)
+    print()
+    print("Fig. 4 worked example:")
+    print(f"  ToR weights:    {result['tor_weights']}")
+    print(f"  ToRs considered: {result['tor_considered']}")
+    print(f"  ToRs selected:   {result['tor_selected']}")
+    print(f"  Final AL:        {result['al']}")
+
+    assert result["tor_selected"] == ["tor-0", "tor-2"]
+    assert result["tor_considered"] == ["tor-0", "tor-1", "tor-2"]
+    assert result["al"] == ["ops-0", "ops-2"]
+
+
+def test_bench_fig4_strategy_sweep(benchmark):
+    rows = benchmark.pedantic(
+        experiment_fig4_strategy_sweep,
+        kwargs={
+            "scales": ((4, 4), (8, 8)),
+            "seeds": (0, 1, 2),
+            "include_exact": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig. 4 — AL size per strategy"))
+
+    by_key = {(row["racks"], row["strategy"]): row for row in rows}
+    for racks in (4, 8):
+        greedy = by_key[(racks, "vertex_cover_greedy")]["mean_al_size"]
+        random_size = by_key[(racks, "random")]["mean_al_size"]
+        exact = by_key[(racks, "exact")]["mean_al_size"]
+        assert exact <= greedy <= random_size + 1e-9

@@ -1,0 +1,28 @@
+"""E5 / Fig. 5 — three NFCs, each following its own path.
+
+Regenerates: the blue/black/green chains of Fig. 5, each orchestrated on
+its own cluster/slice.  Expected shape: every chain routes successfully,
+visits its functions in order, and stays inside its own abstraction
+layer (isolation verified).
+"""
+
+from repro.analysis.experiments import experiment_fig5_nfc_paths
+from repro.analysis.reporting import render_table
+
+
+def test_bench_fig5_nfc_paths(benchmark):
+    rows = benchmark.pedantic(
+        experiment_fig5_nfc_paths, rounds=3, iterations=1
+    )
+    print()
+    print(render_table(rows, title="Fig. 5 — per-chain paths"))
+
+    assert [row["chain"] for row in rows] == ["blue", "black", "green"]
+    for row in rows:
+        assert row["path_len"] >= 1
+        assert row["al_size"] >= 1
+        assert row["conversions"] >= 0
+    # The longer green chain (4 functions) never has a shorter path than
+    # the two-function black chain on the same testbed.
+    by_chain = {row["chain"]: row for row in rows}
+    assert by_chain["green"]["path_len"] >= by_chain["black"]["path_len"]

@@ -1,0 +1,28 @@
+"""E6 / Fig. 6 — the NFV functional blocks driven end to end.
+
+Regenerates: the management-action census of one orchestration session:
+provision x3 (one via modify), upgrade, delete — through the network
+orchestrator, Cloud/NFV manager (lifecycle events) and SDN controller
+(rule churn) of Fig. 6.  Expected shape: action counts match the driven
+scenario exactly and the session leaves one live chain.
+"""
+
+from repro.analysis.experiments import experiment_fig6_orchestration
+from repro.analysis.reporting import render_table
+
+
+def test_bench_fig6_orchestration(benchmark):
+    rows = benchmark.pedantic(
+        experiment_fig6_orchestration, rounds=3, iterations=1
+    )
+    print()
+    print(render_table(rows, title="Fig. 6 — orchestration action census"))
+
+    metrics = {row["metric"]: row["value"] for row in rows}
+    assert metrics["action:provision"] == 3
+    assert metrics["action:modify"] == 1
+    assert metrics["action:upgrade"] == 1
+    assert metrics["action:delete"] == 2
+    assert metrics["live_chains"] == 1
+    assert metrics["lifecycle:terminated"] >= 2
+    assert metrics["sdn:installs"] >= metrics["sdn:removals"]

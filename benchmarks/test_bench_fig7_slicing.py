@@ -1,0 +1,29 @@
+"""E7 / Fig. 7 — one optical slice per NFC until the core is exhausted.
+
+Regenerates: slice allocation for a growing number of per-application
+clusters over a fixed optical core.  Expected shape: requests are
+accepted while unassigned OPSs remain, then rejected (the disjointness
+rule: "one OPS cannot be part of two ALs"), with isolation holding
+throughout.
+"""
+
+from repro.analysis.experiments import experiment_fig7_slicing
+from repro.analysis.reporting import render_table
+
+
+def test_bench_fig7_slicing(benchmark):
+    rows = benchmark.pedantic(
+        experiment_fig7_slicing,
+        kwargs={"n_services": 7, "n_ops": 6, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig. 7 — slice allocation and rejection"))
+
+    outcomes = [row["outcome"] for row in rows]
+    assert outcomes[0] == "accepted"
+    assert any(outcome.startswith("rejected") for outcome in outcomes)
+    # free_ops never increases as slices are handed out.
+    free = [row["free_ops"] for row in rows]
+    assert all(b <= a for a, b in zip(free, free[1:]))

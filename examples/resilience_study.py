@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Resilience study — AL repair under churn and switch failures.
+
+Extends the paper's low-update-cost story: instead of rebuilding a
+cluster's abstraction layer after every change, repair it in place.
+The script replays a VM churn trace under both policies, then injects
+optical-switch failures and shows coverage being restored from the
+unassigned pool.
+
+Run: ``python examples/resilience_study.py``
+"""
+
+from repro import build_alvc_fabric
+from repro.analysis.experiments import experiment_e13_reconfiguration
+from repro.analysis.reporting import render_table
+from repro.core.abstraction_layer import AlConstructor
+from repro.core.reconfiguration import AlReconfigurator
+from repro.exceptions import CoverInfeasibleError
+
+
+def churn_comparison() -> None:
+    rows = experiment_e13_reconfiguration(churn_events=60, seed=1)
+    print(
+        render_table(
+            rows,
+            title=(
+                "VM churn: switches touched under incremental repair "
+                "vs full rebuild"
+            ),
+        )
+    )
+
+
+def failure_walkthrough() -> None:
+    print("\n-- optical switch failure walkthrough --")
+    dcn = build_alvc_fabric(
+        n_racks=8, servers_per_rack=4, n_ops=8, dual_homing_fraction=0.3,
+        seed=2,
+    )
+    servers = dcn.servers()[:16]
+    attachments = {s: dcn.tors_of_server(s) for s in servers}
+    layer = AlConstructor(dcn).construct("cluster-resilient", attachments)
+    print(f"initial AL: {sorted(layer.ops_ids)} (size {layer.size})")
+
+    reconfigurator = AlReconfigurator(dcn, layer, attachments)
+    spares = set(dcn.optical_switches()) - layer.ops_ids
+    dead: set = set()
+    for round_index in range(4):
+        victim = sorted(reconfigurator.layer.ops_ids)[0]
+        dead.add(victim)
+        try:
+            result = reconfigurator.handle_ops_failure(
+                victim, spares - dead
+            )
+        except CoverInfeasibleError as error:
+            # Every uplink of some rack has died: the machines are
+            # physically cut off from the optical core — correctly
+            # detected rather than silently mis-repaired.
+            print(
+                f"failure {round_index + 1}: {victim} died -> "
+                f"UNRECOVERABLE ({error})"
+            )
+            break
+        spares -= result.layer.ops_ids
+        mode = "rebuilt" if result.rebuilt else "repaired"
+        print(
+            f"failure {round_index + 1}: {victim} died -> AL {mode} to "
+            f"{sorted(result.layer.ops_ids)} "
+            f"({result.cost} switches touched)"
+        )
+        reconfigurator.verify()
+    print("coverage verified after every recoverable failure")
+
+
+def main() -> None:
+    churn_comparison()
+    failure_walkthrough()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""AL-VC: Abstraction-Layer-based Virtual Clusters for NFC orchestration.
+
+A faithful reproduction of *Bashir, Ohsita, Murata — "Abstraction Layer
+Based Virtual Data Center Architecture for Network Function Chaining",
+IEEE ICDCS Workshops 2016*.
+
+Quickstart::
+
+    from repro import (
+        build_alvc_fabric, MachineInventory, ServiceCatalog,
+        VmPlacementEngine, NetworkOrchestrator, NetworkFunctionChain,
+        ChainRequest, FunctionCatalog,
+    )
+
+    dcn = build_alvc_fabric(n_racks=8, servers_per_rack=8, n_ops=8)
+    inventory = MachineInventory(dcn)
+    catalog = ServiceCatalog.standard()
+    engine = VmPlacementEngine(inventory)
+    for _ in range(8):
+        engine.place(inventory.create_vm(catalog.get("web")))
+
+    orchestrator = NetworkOrchestrator(inventory)
+    orchestrator.cluster_manager.create_cluster("web")
+    chain = NetworkFunctionChain.from_names(
+        "chain-0", ("firewall", "nat"), FunctionCatalog.standard()
+    )
+    live = orchestrator.provision_chain(
+        ChainRequest(tenant="t0", chain=chain, service="web")
+    )
+    print(live.conversions, live.placement.conversions_saved())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.core import (
+    AbstractionLayer,
+    AlConstructionStrategy,
+    AlConstructor,
+    ChainPlacement,
+    ChainRequest,
+    ClusterManager,
+    NetworkFunctionChain,
+    NetworkOrchestrator,
+    OpticalSlice,
+    OrchestratedChain,
+    PlacementAlgorithm,
+    PlacementSolver,
+    ProvisioningPlan,
+    SliceAllocator,
+    VirtualCluster,
+)
+from repro.exceptions import ALVCError
+from repro.nfv import CloudNfvManager, FunctionCatalog, NetworkFunctionType
+from repro.optical import ConversionModel, count_excursions
+from repro.sdn import SdnController, UpdateCostModel, UpdateEvent, UpdateKind
+from repro.sim import FlowSimulator, TrafficConfig, TrafficGenerator
+from repro.topology import (
+    DataCenterNetwork,
+    Domain,
+    ResourceVector,
+    TopologyBuilder,
+    build_alvc_fabric,
+    build_leaf_spine,
+    paper_example_topology,
+    validate_topology,
+)
+from repro.virtualization import (
+    MachineInventory,
+    PlacementStrategy,
+    ServiceCatalog,
+    ServiceType,
+    VirtualMachine,
+    VmPlacementEngine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALVCError",
+    "AbstractionLayer",
+    "AlConstructionStrategy",
+    "AlConstructor",
+    "ChainPlacement",
+    "ChainRequest",
+    "CloudNfvManager",
+    "ClusterManager",
+    "ConversionModel",
+    "DataCenterNetwork",
+    "Domain",
+    "FlowSimulator",
+    "FunctionCatalog",
+    "MachineInventory",
+    "NetworkFunctionChain",
+    "NetworkFunctionType",
+    "NetworkOrchestrator",
+    "OpticalSlice",
+    "OrchestratedChain",
+    "PlacementAlgorithm",
+    "PlacementSolver",
+    "PlacementStrategy",
+    "ProvisioningPlan",
+    "ResourceVector",
+    "SdnController",
+    "ServiceCatalog",
+    "ServiceType",
+    "SliceAllocator",
+    "TopologyBuilder",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "UpdateCostModel",
+    "UpdateEvent",
+    "UpdateKind",
+    "VirtualCluster",
+    "VirtualMachine",
+    "VmPlacementEngine",
+    "build_alvc_fabric",
+    "build_leaf_spine",
+    "count_excursions",
+    "paper_example_topology",
+    "validate_topology",
+    "__version__",
+]

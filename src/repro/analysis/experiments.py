@@ -1,0 +1,1135 @@
+"""Experiment procedures E1–E12 (see DESIGN.md's experiment index).
+
+Every function returns plain row dictionaries; the benchmark modules wrap
+them with assertions and timing, and the examples print them with
+:func:`repro.analysis.reporting.render_table`.  Keeping the procedures
+here means a paper figure is regenerated identically from a bench, an
+example, or an interactive session.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Sequence
+
+from repro.baselines import (
+    FlatNetworkBaseline,
+    all_electronic_placement,
+)
+from repro.core.abstraction_layer import AlConstructionStrategy, AlConstructor
+from repro.core.chaining import ChainRequest, NetworkFunctionChain
+from repro.core.cluster import ClusterManager
+from repro.core.orchestrator import NetworkOrchestrator
+from repro.core.placement import (
+    ChainPlacement,
+    PlacedVnf,
+    PlacementAlgorithm,
+    PlacementSolver,
+)
+from repro.exceptions import ALVCError
+from repro.topology.elements import Domain
+from repro.nfv.functions import FunctionCatalog
+from repro.optical.conversion import ConversionModel
+from repro.sdn.routing import path_length_statistics
+from repro.sdn.updates import UpdateCostModel, UpdateEvent, UpdateKind
+from repro.sim.traffic import TrafficConfig, TrafficGenerator
+from repro.sim.simulator import FlowSimulator
+from repro.topology.elements import ResourceVector
+from repro.topology.generators import (
+    build_alvc_fabric,
+    build_fat_tree,
+    paper_example_topology,
+)
+from repro.virtualization.machines import MachineInventory
+from repro.virtualization.services import STANDARD_SERVICES, ServiceCatalog
+from repro.virtualization.vm_placement import PlacementStrategy, VmPlacementEngine
+
+
+# ----------------------------------------------------------------------
+# Shared testbed
+# ----------------------------------------------------------------------
+def standard_testbed(
+    *,
+    n_services: int = 3,
+    n_racks: int = 8,
+    servers_per_rack: int = 8,
+    n_ops: int = 8,
+    vms_per_service: int = 12,
+    placement: PlacementStrategy = PlacementStrategy.SERVICE_AFFINITY,
+    seed: int = 0,
+) -> tuple[MachineInventory, ServiceCatalog, list[str]]:
+    """Build a fabric, populate VMs of several services, place them.
+
+    Returns:
+        ``(inventory, catalog, service names used)``.
+    """
+    dcn = build_alvc_fabric(
+        n_racks=n_racks,
+        servers_per_rack=servers_per_rack,
+        n_ops=n_ops,
+        seed=seed,
+    )
+    inventory = MachineInventory(dcn)
+    catalog = ServiceCatalog.standard()
+    services = [service.name for service in STANDARD_SERVICES[:n_services]]
+    engine = VmPlacementEngine(inventory, strategy=placement, seed=seed)
+    for name in services:
+        for _ in range(vms_per_service):
+            engine.place(inventory.create_vm(catalog.get(name)))
+    return inventory, catalog, services
+
+
+# ----------------------------------------------------------------------
+# E1 — Fig. 1: service-based clustering vs flat DCN
+# ----------------------------------------------------------------------
+def experiment_fig1_clustering(
+    *,
+    n_flows: int = 400,
+    intra_probability: float = 0.8,
+    seed: int = 0,
+) -> dict[str, list[dict]]:
+    """Cluster census plus routed-traffic comparison (AL-VC vs flat).
+
+    Returns:
+        ``{"traffic": [per-architecture rows], "census": [per-cluster rows]}``.
+    """
+    inventory, _, services = standard_testbed(seed=seed)
+    clusters = ClusterManager(inventory)
+    for service in services:
+        clusters.create_cluster(service)
+
+    generator = TrafficGenerator(
+        inventory,
+        TrafficConfig(intra_service_probability=intra_probability),
+        seed=seed,
+    )
+    flows = generator.flows(n_flows)
+
+    clustered = FlowSimulator(inventory, clusters).run(flows)
+    flat = FlatNetworkBaseline(inventory).run_flows(flows)
+
+    traffic_rows = []
+    for name, report in (("al-vc", clustered), ("flat", flat)):
+        summary = {"architecture": name}
+        summary.update(report.as_dict())
+        traffic_rows.append(summary)
+    census_rows = [
+        {"cluster": cluster_key, **sizes}
+        for cluster_key, sizes in clusters.census().items()
+    ]
+    return {"traffic": traffic_rows, "census": census_rows}
+
+
+# ----------------------------------------------------------------------
+# E2 — Fig. 2: the AL-VC fabric vs a fat-tree at several scales
+# ----------------------------------------------------------------------
+def experiment_fig2_topology(
+    scales: Sequence[tuple[int, int, int]] = ((4, 8, 4), (8, 16, 8), (16, 16, 16)),
+    *,
+    sample_pairs: int = 64,
+    seed: int = 0,
+) -> list[dict]:
+    """Census and path-length comparison per ``(racks, servers, ops)`` scale."""
+    rng = random.Random(seed)
+    rows = []
+    for n_racks, servers_per_rack, n_ops in scales:
+        dcn = build_alvc_fabric(
+            n_racks=n_racks,
+            servers_per_rack=servers_per_rack,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        servers = dcn.servers()
+        pairs = [
+            (rng.choice(servers), rng.choice(servers))
+            for _ in range(sample_pairs)
+        ]
+        pairs = [(a, b) for a, b in pairs if a != b]
+        stats = path_length_statistics(dcn.graph, pairs)
+        row = {
+            "fabric": f"alvc-{n_racks}x{servers_per_rack}",
+            **dcn.summary(),
+            "mean_path": stats["mean"],
+            "max_path": stats["max"],
+        }
+        rows.append(row)
+
+        # Closest even-arity fat-tree by server count, as the baseline.
+        target = len(servers)
+        k = 2
+        while (k**3) // 4 < target:
+            k += 2
+        tree = build_fat_tree(k)
+        tree_servers = [
+            node for node, layer in tree.nodes(data="layer") if layer == "server"
+        ]
+        tree_pairs = [
+            (rng.choice(tree_servers), rng.choice(tree_servers))
+            for _ in range(sample_pairs)
+        ]
+        tree_pairs = [(a, b) for a, b in tree_pairs if a != b]
+        tree_stats = path_length_statistics(tree, tree_pairs)
+        rows.append(
+            {
+                "fabric": f"fat-tree-{k}",
+                "servers": len(tree_servers),
+                "tors": sum(
+                    1 for _, layer in tree.nodes(data="layer") if layer == "edge"
+                ),
+                "optical_switches": 0,
+                "optoelectronic_routers": 0,
+                "links": tree.number_of_edges(),
+                "optical_links": 0,
+                "electronic_links": tree.number_of_edges(),
+                "mean_path": tree_stats["mean"],
+                "max_path": tree_stats["max"],
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E3 — Fig. 3: disjoint clusters over the OPS core
+# ----------------------------------------------------------------------
+def experiment_fig3_clusters(
+    *, n_services: int = 4, seed: int = 0
+) -> list[dict]:
+    """Per-cluster AL sizes and core utilization under disjointness."""
+    inventory, _, services = standard_testbed(
+        n_services=n_services, n_ops=12, seed=seed
+    )
+    clusters = ClusterManager(inventory)
+    rows = []
+    for service in services:
+        cluster = clusters.create_cluster(service)
+        rows.append(
+            {
+                "cluster": cluster.cluster_id,
+                "vms": len(cluster.vm_ids),
+                "tors": len(cluster.tor_switches),
+                "al_size": cluster.abstraction_layer.size,
+            }
+        )
+    total_ops = len(inventory.network.optical_switches())
+    assigned = total_ops - len(clusters.free_ops())
+    rows.append(
+        {
+            "cluster": "TOTAL",
+            "vms": sum(row["vms"] for row in rows),
+            "tors": sum(row["tors"] for row in rows),
+            "al_size": assigned,
+        }
+    )
+    rows.append(
+        {
+            "cluster": "core-utilization",
+            "vms": 0,
+            "tors": 0,
+            "al_size": assigned / total_ops if total_ops else 0.0,
+        }
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E4 — Fig. 4: the AL construction worked example + strategy sweep
+# ----------------------------------------------------------------------
+def experiment_fig4_worked_example() -> dict:
+    """Reproduce the paper's Fig. 4 walk-through exactly."""
+    dcn = paper_example_topology()
+    constructor = AlConstructor(dcn)
+    layer = constructor.construct_for_servers("cluster-fig4", dcn.servers())
+    return {
+        "tor_considered": layer.tor_trace.considered_order(),
+        "tor_selected": layer.tor_trace.selection_order(),
+        "tor_weights": {
+            tor: dcn.tor_weight(tor) for tor in dcn.tors()
+        },
+        "ops_selected": layer.ops_trace.selection_order(),
+        "al": sorted(layer.ops_ids),
+        "al_size": layer.size,
+    }
+
+
+def experiment_fig4_strategy_sweep(
+    scales: Sequence[tuple[int, int]] = ((4, 4), (8, 8), (16, 12)),
+    *,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    servers_per_rack: int = 4,
+    include_exact: bool = True,
+) -> list[dict]:
+    """Mean AL size and construction time per strategy per fabric scale."""
+    strategies = [
+        AlConstructionStrategy.VERTEX_COVER_GREEDY,
+        AlConstructionStrategy.MARGINAL_GREEDY,
+        AlConstructionStrategy.RANDOM,
+    ]
+    if include_exact:
+        strategies.append(AlConstructionStrategy.EXACT)
+    rows = []
+    for n_racks, n_ops in scales:
+        for strategy in strategies:
+            sizes = []
+            times = []
+            for seed in seeds:
+                dcn = build_alvc_fabric(
+                    n_racks=n_racks,
+                    servers_per_rack=servers_per_rack,
+                    n_ops=n_ops,
+                    dual_homing_fraction=0.4,
+                    seed=seed,
+                )
+                constructor = AlConstructor(dcn, strategy=strategy, seed=seed)
+                start = time.perf_counter()
+                layer = constructor.construct_for_servers(
+                    "cluster-sweep", dcn.servers()
+                )
+                times.append(time.perf_counter() - start)
+                sizes.append(layer.size)
+            rows.append(
+                {
+                    "racks": n_racks,
+                    "ops": n_ops,
+                    "strategy": strategy.value,
+                    "mean_al_size": sum(sizes) / len(sizes),
+                    "max_al_size": max(sizes),
+                    "mean_ms": 1e3 * sum(times) / len(times),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E5 — Fig. 5: three NFCs with their own paths
+# ----------------------------------------------------------------------
+_FIG5_CHAINS = (
+    ("blue", ("security-gateway", "firewall", "dpi")),
+    ("black", ("firewall", "load-balancer")),
+    ("green", ("nat", "firewall", "proxy", "load-balancer")),
+)
+
+
+def experiment_fig5_nfc_paths(*, seed: int = 0) -> list[dict]:
+    """Instantiate the figure's three chains and report their paths."""
+    inventory, _, services = standard_testbed(
+        n_services=3, n_ops=9, vms_per_service=8, seed=seed
+    )
+    orchestrator = NetworkOrchestrator(inventory)
+    functions = FunctionCatalog.standard()
+    rows = []
+    for (label, names), service in zip(_FIG5_CHAINS, services):
+        orchestrator.cluster_manager.create_cluster(service)
+        chain = NetworkFunctionChain.from_names(
+            f"chain-{label}", names, functions
+        )
+        request = ChainRequest(
+            tenant=f"tenant-{label}", chain=chain, service=service
+        )
+        live = orchestrator.provision_chain(request)
+        optical_hops = sum(
+            1 for node in live.path if node in live.cluster.al_switches
+        )
+        rows.append(
+            {
+                "chain": label,
+                "functions": "->".join(names),
+                "path_len": len(live.path) - 1,
+                "optical_hops": optical_hops,
+                "conversions": live.conversions,
+                "al_size": live.cluster.abstraction_layer.size,
+            }
+        )
+    orchestrator.slice_allocator.verify_isolation()
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E6 — Fig. 6: end-to-end orchestration action census
+# ----------------------------------------------------------------------
+def experiment_fig6_orchestration(*, seed: int = 0) -> list[dict]:
+    """Drive provision/upgrade/modify/delete and count every action."""
+    inventory, _, services = standard_testbed(
+        n_services=2, n_ops=8, seed=seed
+    )
+    orchestrator = NetworkOrchestrator(inventory)
+    functions = FunctionCatalog.standard()
+    for service in services:
+        orchestrator.cluster_manager.create_cluster(service)
+
+    start = time.perf_counter()
+    first = orchestrator.provision_chain(
+        ChainRequest(
+            tenant="tenant-a",
+            chain=NetworkFunctionChain.from_names(
+                "chain-a", ("firewall", "nat"), functions
+            ),
+            service=services[0],
+        )
+    )
+    orchestrator.provision_chain(
+        ChainRequest(
+            tenant="tenant-b",
+            chain=NetworkFunctionChain.from_names(
+                "chain-b", ("security-gateway", "dpi"), functions
+            ),
+            service=services[1],
+        )
+    )
+    orchestrator.upgrade_chain(first.chain_id)
+    orchestrator.modify_chain(
+        first.chain_id,
+        NetworkFunctionChain.from_names(
+            "chain-a2", ("firewall", "nat", "load-balancer"), functions
+        ),
+    )
+    orchestrator.delete_chain("chain-b")
+    elapsed_ms = 1e3 * (time.perf_counter() - start)
+
+    actions: dict[str, int] = {}
+    for action, _ in orchestrator.action_log():
+        actions[action] = actions.get(action, 0) + 1
+    lifecycle = orchestrator.nfv_manager.lifecycle.event_counts()
+    churn = orchestrator.sdn.churn_counters()
+    rows = [
+        {"metric": f"action:{name}", "value": count}
+        for name, count in sorted(actions.items())
+    ]
+    rows.extend(
+        {"metric": f"lifecycle:{name}", "value": count}
+        for name, count in sorted(lifecycle.items())
+    )
+    rows.append({"metric": "sdn:installs", "value": churn["installs"]})
+    rows.append({"metric": "sdn:removals", "value": churn["removals"]})
+    rows.append({"metric": "live_chains", "value": len(orchestrator.chains())})
+    rows.append({"metric": "elapsed_ms", "value": elapsed_ms})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E7 — Fig. 7: one optical slice per NFC, until the core runs out
+# ----------------------------------------------------------------------
+def experiment_fig7_slicing(
+    *, n_services: int = 7, n_ops: int = 6, seed: int = 0
+) -> list[dict]:
+    """Allocate slices for growing cluster counts; record rejections."""
+    inventory, _, services = standard_testbed(
+        n_services=n_services,
+        n_ops=n_ops,
+        vms_per_service=6,
+        n_racks=8,
+        seed=seed,
+    )
+    clusters = ClusterManager(inventory)
+    orchestrator = NetworkOrchestrator(inventory, cluster_manager=clusters)
+    functions = FunctionCatalog.standard()
+    rows = []
+    accepted = 0
+    for index, service in enumerate(services):
+        try:
+            clusters.create_cluster(service)
+            chain = NetworkFunctionChain.from_names(
+                f"chain-{index}", ("firewall",), functions
+            )
+            orchestrator.provision_chain(
+                ChainRequest(
+                    tenant=f"tenant-{index}", chain=chain, service=service
+                )
+            )
+            accepted += 1
+            outcome = "accepted"
+        except ALVCError as error:
+            outcome = f"rejected ({type(error).__name__})"
+        rows.append(
+            {
+                "request": index + 1,
+                "service": service,
+                "outcome": outcome,
+                "accepted_total": accepted,
+                "free_ops": len(clusters.free_ops()),
+            }
+        )
+    orchestrator.slice_allocator.verify_isolation()
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E8 — Fig. 8: VNF placement saving O/E/O conversions
+# ----------------------------------------------------------------------
+def experiment_fig8_worked_example() -> dict:
+    """Reproduce Fig. 8: 3 VNFs, two conversions before, one after.
+
+    The chain is NAT → firewall → DPI.  Initially only the firewall is
+    hosted by the optical domain, so "two VNFs are hosted by the
+    electronic domain; therefore, the flow … consum[es] two O/E/O
+    conversions."  The optimizer then moves the NAT onto the
+    optoelectronic router, saving one conversion; DPI's demand "cannot be
+    met by optoelectronic routers" and stays electronic — exactly two
+    VNFs end up in the optical domain, as in the figure.
+    """
+    functions = FunctionCatalog.standard()
+    chain = NetworkFunctionChain.from_names(
+        "chain-fig8", ("nat", "firewall", "dpi"), functions
+    )
+    router_capacity = ResourceVector(cpu_cores=4, memory_gb=8, storage_gb=64)
+    firewall = functions.get("firewall")
+
+    before = ChainPlacement(
+        chain=chain,
+        assignments=(
+            PlacedVnf(0, functions.get("nat"), Domain.ELECTRONIC, None),
+            PlacedVnf(1, firewall, Domain.OPTICAL, "ops-0"),
+            PlacedVnf(2, functions.get("dpi"), Domain.ELECTRONIC, None),
+        ),
+    )
+    remaining = {"ops-0": router_capacity - firewall.demand}
+    after = PlacementSolver(remaining).improve(before)
+    baseline = all_electronic_placement(chain)
+    return {
+        "chain": list(chain.function_names),
+        "all_electronic_conversions": baseline.conversions,
+        "before_conversions": before.conversions,
+        "before_optical": before.optical_count,
+        "after_conversions": after.conversions,
+        "after_optical": after.optical_count,
+        "saved": before.conversions - after.conversions,
+    }
+
+
+def experiment_fig8_sweep(
+    *,
+    chain_lengths: Sequence[int] = (2, 4, 6, 8),
+    capacity_scales: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
+    seeds: Sequence[int] = (0, 1, 2),
+    flow_gb: float = 2.0,
+) -> list[dict]:
+    """Conversions and cost per placement algorithm, swept over chain
+    length and optoelectronic capacity."""
+    functions = FunctionCatalog.standard()
+    light_names = ("firewall", "nat", "load-balancer", "security-gateway",
+                   "proxy")
+    heavy_names = ("dpi", "ids", "wan-optimizer", "cache")
+    model = ConversionModel()
+    algorithms = (
+        PlacementAlgorithm.ALL_ELECTRONIC,
+        PlacementAlgorithm.RANDOM,
+        PlacementAlgorithm.GREEDY,
+        PlacementAlgorithm.OPTIMAL,
+    )
+    rows = []
+    for length in chain_lengths:
+        for scale in capacity_scales:
+            base = ResourceVector(cpu_cores=4, memory_gb=8, storage_gb=64)
+            pool = (
+                {f"ops-{index}": base.scaled(scale) for index in range(3)}
+                if scale > 0
+                else {}
+            )
+            for algorithm in algorithms:
+                conversions = []
+                costs = []
+                optical_counts = []
+                for seed in seeds:
+                    rng = random.Random(seed * 1000 + length)
+                    names = [
+                        rng.choice(light_names)
+                        if rng.random() < 0.7
+                        else rng.choice(heavy_names)
+                        for _ in range(length)
+                    ]
+                    chain = NetworkFunctionChain.from_names(
+                        f"chain-{length}-{seed}", names, functions
+                    )
+                    solver = PlacementSolver(pool, seed=seed)
+                    placement = solver.solve(chain, algorithm)
+                    conversions.append(placement.conversions)
+                    optical_counts.append(placement.optical_count)
+                    costs.append(
+                        placement.conversion_cost(model, flow_gb * 1e9)
+                    )
+                rows.append(
+                    {
+                        "chain_len": length,
+                        "capacity_scale": scale,
+                        "algorithm": algorithm.value,
+                        "mean_conversions": sum(conversions) / len(conversions),
+                        "mean_optical": sum(optical_counts) / len(optical_counts),
+                        "mean_cost": sum(costs) / len(costs),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E9 — optimality gap of the greedy AL construction
+# ----------------------------------------------------------------------
+def experiment_e9_optimality_gap(
+    *,
+    instances: int = 10,
+    n_racks: int = 6,
+    n_ops: int = 6,
+    seed_base: int = 100,
+) -> list[dict]:
+    """Greedy/marginal/random AL sizes relative to the exact optimum."""
+    per_strategy: dict[str, list[int]] = {}
+    exact_sizes: list[int] = []
+    for index in range(instances):
+        seed = seed_base + index
+        dcn = build_alvc_fabric(
+            n_racks=n_racks,
+            servers_per_rack=3,
+            n_ops=n_ops,
+            dual_homing_fraction=0.5,
+            seed=seed,
+        )
+        exact = AlConstructor(
+            dcn, strategy=AlConstructionStrategy.EXACT
+        ).construct_for_servers("cluster-x", dcn.servers())
+        exact_sizes.append(exact.size)
+        for strategy in (
+            AlConstructionStrategy.VERTEX_COVER_GREEDY,
+            AlConstructionStrategy.IN_DEGREE_GREEDY,
+            AlConstructionStrategy.MARGINAL_GREEDY,
+            AlConstructionStrategy.RANDOM,
+        ):
+            layer = AlConstructor(
+                dcn, strategy=strategy, seed=seed
+            ).construct_for_servers("cluster-x", dcn.servers())
+            per_strategy.setdefault(strategy.value, []).append(layer.size)
+    rows = []
+    mean_exact = sum(exact_sizes) / len(exact_sizes)
+    rows.append(
+        {
+            "strategy": "exact",
+            "mean_al_size": mean_exact,
+            "gap_vs_exact": 1.0,
+        }
+    )
+    for strategy, sizes in sorted(per_strategy.items()):
+        mean_size = sum(sizes) / len(sizes)
+        rows.append(
+            {
+                "strategy": strategy,
+                "mean_al_size": mean_size,
+                "gap_vs_exact": mean_size / mean_exact if mean_exact else 0.0,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E10 — network-update cost under churn (claim inherited from [14])
+# ----------------------------------------------------------------------
+def experiment_e10_update_cost(
+    *, n_events: int = 60, seed: int = 0
+) -> list[dict]:
+    """Switches touched per churn event: AL-VC vs flat."""
+    inventory, _, services = standard_testbed(seed=seed)
+    clusters = ClusterManager(inventory)
+    for service in services:
+        clusters.create_cluster(service)
+    model = UpdateCostModel(inventory.network)
+    rng = random.Random(seed)
+    servers = inventory.network.servers()
+
+    totals = {kind: {"alvc": 0, "flat": 0, "events": 0} for kind in UpdateKind}
+    for _ in range(n_events):
+        kind = rng.choice(list(UpdateKind))
+        service = rng.choice(services)
+        cluster = clusters.cluster_of_service(service)
+        vm = rng.choice(sorted(cluster.vm_ids))
+        server = inventory.host_of(vm)
+        if kind is UpdateKind.VM_MIGRATION:
+            target = rng.choice([s for s in servers if s != server])
+            event = UpdateEvent(
+                kind=kind, vm=vm, server=server, new_server=target
+            )
+        else:
+            event = UpdateEvent(kind=kind, vm=vm, server=server)
+        comparison = model.compare(event, cluster.al_switches)
+        totals[kind]["alvc"] += comparison["alvc"]
+        totals[kind]["flat"] += comparison["flat"]
+        totals[kind]["events"] += 1
+
+    rows = []
+    for kind, data in totals.items():
+        if data["events"] == 0:
+            continue
+        rows.append(
+            {
+                "event_kind": kind.value,
+                "events": data["events"],
+                "mean_alvc_touched": data["alvc"] / data["events"],
+                "mean_flat_touched": data["flat"] / data["events"],
+                "reduction": (
+                    1 - data["alvc"] / data["flat"] if data["flat"] else 0.0
+                ),
+            }
+        )
+    total_alvc = sum(d["alvc"] for d in totals.values())
+    total_flat = sum(d["flat"] for d in totals.values())
+    rows.append(
+        {
+            "event_kind": "ALL",
+            "events": n_events,
+            "mean_alvc_touched": total_alvc / n_events,
+            "mean_flat_touched": total_flat / n_events,
+            "reduction": 1 - total_alvc / total_flat if total_flat else 0.0,
+        }
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E11 — scalability of AL construction (claim inherited from [15])
+# ----------------------------------------------------------------------
+def experiment_e11_scalability(
+    scales: Sequence[tuple[int, int, int]] = (
+        (4, 16, 4),
+        (8, 32, 8),
+        (16, 64, 16),
+        (32, 64, 32),
+    ),
+    *,
+    seed: int = 0,
+) -> list[dict]:
+    """AL construction time and size as the fabric grows."""
+    rows = []
+    for n_racks, servers_per_rack, n_ops in scales:
+        dcn = build_alvc_fabric(
+            n_racks=n_racks,
+            servers_per_rack=servers_per_rack,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        constructor = AlConstructor(dcn)
+        start = time.perf_counter()
+        layer = constructor.construct_for_servers(
+            "cluster-scale", dcn.servers()
+        )
+        elapsed_ms = 1e3 * (time.perf_counter() - start)
+        rows.append(
+            {
+                "servers": n_racks * servers_per_rack,
+                "racks": n_racks,
+                "ops": n_ops,
+                "al_size": layer.size,
+                "al_tors": len(layer.tor_ids),
+                "construct_ms": elapsed_ms,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E12 — O/E/O energy vs optical hosting capacity
+# ----------------------------------------------------------------------
+def experiment_e12_energy(
+    *,
+    capacity_scales: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0),
+    chain_length: int = 6,
+    n_flows: int = 200,
+    seed: int = 0,
+) -> list[dict]:
+    """Energy spent on O/E/O conversions as optical capacity grows."""
+    functions = FunctionCatalog.standard()
+    model = ConversionModel()
+    rng = random.Random(seed)
+    light = ("firewall", "nat", "load-balancer", "proxy")
+    names = [rng.choice(light) for _ in range(chain_length)]
+    chain = NetworkFunctionChain.from_names("chain-energy", names, functions)
+    flow_sizes = [rng.lognormvariate(20.5, 1.0) for _ in range(n_flows)]
+
+    rows = []
+    for scale in capacity_scales:
+        base = ResourceVector(cpu_cores=4, memory_gb=8, storage_gb=64)
+        pool = (
+            {f"ops-{index}": base.scaled(scale) for index in range(2)}
+            if scale > 0
+            else {}
+        )
+        placement = PlacementSolver(pool, seed=seed).solve(
+            chain, PlacementAlgorithm.GREEDY
+        )
+        energy = sum(
+            placement.conversion_energy_joules(model, size)
+            for size in flow_sizes
+        )
+        baseline = all_electronic_placement(chain)
+        baseline_energy = sum(
+            baseline.conversion_energy_joules(model, size)
+            for size in flow_sizes
+        )
+        rows.append(
+            {
+                "capacity_scale": scale,
+                "optical_vnfs": placement.optical_count,
+                "conversions": placement.conversions,
+                "energy_joules": energy,
+                "baseline_energy_joules": baseline_energy,
+                "energy_saving": (
+                    1 - energy / baseline_energy if baseline_energy else 0.0
+                ),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E13 — incremental AL reconfiguration vs full rebuild (extension)
+# ----------------------------------------------------------------------
+def experiment_e13_reconfiguration(
+    *,
+    n_racks: int = 12,
+    servers_per_rack: int = 8,
+    n_ops: int = 12,
+    churn_events: int = 40,
+    seed: int = 0,
+) -> list[dict]:
+    """Switches touched per churn event: incremental repair vs rebuild.
+
+    One cluster starts with half the fabric's servers; the experiment
+    then replays a churn trace (arrivals from the unused half, random
+    departures) twice — once repaired incrementally with
+    :class:`~repro.core.reconfiguration.AlReconfigurator`, once rebuilt
+    from scratch per event — and compares the switches-touched totals.
+    """
+    import random as _random
+
+    from repro.core.abstraction_layer import AlConstructor
+    from repro.core.reconfiguration import AlReconfigurator, full_rebuild_cost
+    from repro.topology.generators import build_alvc_fabric as _fabric
+
+    dcn = _fabric(
+        n_racks=n_racks,
+        servers_per_rack=servers_per_rack,
+        n_ops=n_ops,
+        dual_homing_fraction=0.3,
+        seed=seed,
+    )
+    rng = _random.Random(seed)
+    servers = dcn.servers()
+    members = servers[: len(servers) // 2]
+    outside = servers[len(servers) // 2:]
+    attachments = {s: dcn.tors_of_server(s) for s in members}
+    layer = AlConstructor(dcn).construct("cluster-churn", attachments)
+    available = set(dcn.optical_switches()) - layer.ops_ids
+
+    # Build one churn trace shared by both policies.
+    trace: list[tuple[str, str]] = []
+    pool_in = list(members)
+    pool_out = list(outside)
+    for _ in range(churn_events):
+        if pool_out and (len(pool_in) <= 1 or rng.random() < 0.5):
+            server = pool_out.pop(rng.randrange(len(pool_out)))
+            trace.append(("add", server))
+            pool_in.append(server)
+        else:
+            server = pool_in.pop(rng.randrange(len(pool_in)))
+            trace.append(("remove", server))
+            pool_out.append(server)
+
+    # Policy 1: incremental repair.
+    reconfigurator = AlReconfigurator(dcn, layer, attachments)
+    incremental_cost = 0
+    zero_cost_events = 0
+    for action, server in trace:
+        previous_ops = reconfigurator.layer.ops_ids
+        if action == "add":
+            result = reconfigurator.add_vm(
+                server, dcn.tors_of_server(server), available
+            )
+            available -= result.layer.ops_ids
+        else:
+            result = reconfigurator.remove_vm(server)
+            available |= previous_ops - result.layer.ops_ids
+        incremental_cost += result.cost
+        if result.cost == 0:
+            zero_cost_events += 1
+    reconfigurator.verify()
+
+    # Policy 2: full rebuild after every event.
+    rebuild_attachments = dict(attachments)
+    rebuild_layer = layer
+    rebuild_available = set(dcn.optical_switches()) - layer.ops_ids
+    rebuild_cost = 0
+    for action, server in trace:
+        if action == "add":
+            rebuild_attachments[server] = dcn.tors_of_server(server)
+        else:
+            del rebuild_attachments[server]
+        result = full_rebuild_cost(
+            dcn, rebuild_layer, rebuild_attachments, rebuild_available
+        )
+        rebuild_cost += result.cost
+        rebuild_available |= rebuild_layer.ops_ids
+        rebuild_available -= result.layer.ops_ids
+        rebuild_layer = result.layer
+
+    return [
+        {
+            "policy": "incremental",
+            "events": churn_events,
+            "total_touched": incremental_cost,
+            "mean_touched": incremental_cost / churn_events,
+            "zero_cost_events": zero_cost_events,
+        },
+        {
+            "policy": "rebuild",
+            "events": churn_events,
+            "total_touched": rebuild_cost,
+            "mean_touched": rebuild_cost / churn_events,
+            "zero_cost_events": 0,
+        },
+    ]
+
+
+# ----------------------------------------------------------------------
+# E14 — per-chain traffic cost with transport energy (extension)
+# ----------------------------------------------------------------------
+def experiment_e14_chain_traffic(
+    *, n_flows: int = 150, seed: int = 0
+) -> list[dict]:
+    """Full per-flow cost of an NFC under optimized vs baseline placement.
+
+    Two identical chains are provisioned on two clusters — one with the
+    greedy O/E/O-minimizing placement, one all-electronic — and the same
+    flow population is pushed through both, accounting conversion cost,
+    NF processing cost, and transport energy.
+    """
+    from repro.core.placement import PlacementAlgorithm as _Alg
+    from repro.sim.chain_traffic import ChainTrafficSimulator
+    from repro.sim.flows import Flow as _Flow
+
+    inventory, _, services = standard_testbed(
+        n_services=2, n_ops=8, seed=seed
+    )
+    orchestrator = NetworkOrchestrator(inventory)
+    functions = FunctionCatalog.standard()
+    names = ("firewall", "nat", "load-balancer")
+
+    placements = {}
+    for service, algorithm, label in (
+        (services[0], _Alg.GREEDY, "greedy-optical"),
+        (services[1], _Alg.ALL_ELECTRONIC, "all-electronic"),
+    ):
+        orchestrator.cluster_manager.create_cluster(service)
+        chain = NetworkFunctionChain.from_names(
+            f"chain-{label}", names, functions
+        )
+        placements[label] = orchestrator.provision_chain(
+            ChainRequest(tenant="t", chain=chain, service=service),
+            algorithm=algorithm,
+        )
+
+    rng = random.Random(seed)
+    flows = [
+        _Flow(
+            flow_id=f"flow-{i}",
+            source="vm-0",
+            destination="vm-1",
+            size_bytes=rng.lognormvariate(20.5, 1.0),
+        )
+        for i in range(n_flows)
+    ]
+    simulator = ChainTrafficSimulator(inventory, seed=seed)
+    rows = []
+    for label, live in placements.items():
+        report = simulator.run_flows(live, flows)
+        rows.append(
+            {
+                "placement": label,
+                "optical_vnfs": live.placement.optical_count,
+                "conversions_per_flow": live.conversions,
+                "conversion_cost": report.total_conversion_cost,
+                "processing_cost": report.total_processing_cost,
+                "energy_joules": report.total_energy_joules,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E15 — flow completion times under load (extension)
+# ----------------------------------------------------------------------
+def experiment_e15_flow_completion(
+    *,
+    arrival_rates: Sequence[float] = (10.0, 40.0, 160.0),
+    n_flows: int = 150,
+    intra_probability: float = 0.85,
+    seed: int = 0,
+) -> list[dict]:
+    """Flow completion times on the shared fabric, AL-VC vs flat.
+
+    The event-driven simulator plays the same workload under both
+    routing policies at several offered loads; rows report mean/median/
+    p99 FCT, makespan, and mean link utilization.
+    """
+    from repro.sim.event_simulator import EventDrivenFlowSimulator
+
+    inventory, _, services = standard_testbed(seed=seed)
+    clusters = ClusterManager(inventory)
+    for service in services:
+        clusters.create_cluster(service)
+
+    rows = []
+    for rate in arrival_rates:
+        generator = TrafficGenerator(
+            inventory,
+            TrafficConfig(
+                arrival_rate=rate,
+                intra_service_probability=intra_probability,
+                sigma=0.5,
+            ),
+            seed=seed,
+        )
+        flows = generator.flows(n_flows)
+        for label, cluster_manager in (
+            ("al-vc", clusters),
+            ("flat", None),
+        ):
+            simulator = EventDrivenFlowSimulator(inventory, cluster_manager)
+            report = simulator.run(flows)
+            stats = report.fct_statistics()
+            rows.append(
+                {
+                    "arrival_rate": rate,
+                    "architecture": label,
+                    "flows": report.flows,
+                    "mean_fct": stats["mean"],
+                    "median_fct": stats["median"],
+                    "p99_fct": stats["p99"],
+                    "makespan": report.makespan,
+                    "mean_utilization": report.mean_link_utilization(
+                        simulator.capacities
+                    ),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E17 — operational VM migration through the orchestrator (extension)
+# ----------------------------------------------------------------------
+def experiment_e17_operational_migration(
+    *, n_migrations: int = 20, seed: int = 0
+) -> list[dict]:
+    """Live VM migrations through the orchestrator with chains running.
+
+    Each event migrates a random cluster VM to a random feasible server
+    via :meth:`NetworkOrchestrator.handle_vm_migration`, which repairs
+    the AL, extends the slice when needed, and reroutes the cluster's
+    chain.  Rows report the per-event switches-touched distribution and
+    post-churn consistency checks.
+    """
+    inventory, _, services = standard_testbed(
+        n_services=2, n_ops=10, seed=seed
+    )
+    orchestrator = NetworkOrchestrator(inventory)
+    functions = FunctionCatalog.standard()
+    for index, service in enumerate(services):
+        orchestrator.cluster_manager.create_cluster(service)
+        orchestrator.provision_chain(
+            ChainRequest(
+                tenant="t",
+                chain=NetworkFunctionChain.from_names(
+                    f"chain-{index}", ("firewall", "nat"), functions
+                ),
+                service=service,
+            )
+        )
+
+    rng = random.Random(seed)
+    touched: list[int] = []
+    rerouted_total = 0
+    performed = 0
+    for _ in range(n_migrations):
+        service = rng.choice(services)
+        cluster = orchestrator.cluster_manager.cluster_of_service(service)
+        vm = rng.choice(sorted(cluster.vm_ids))
+        current = inventory.host_of(vm)
+        demand = inventory.get(vm).demand
+        candidates = [
+            server
+            for server in inventory.network.servers()
+            if server != current
+            and demand.fits_within(inventory.remaining_capacity(server))
+        ]
+        if not candidates:
+            continue
+        target = rng.choice(candidates)
+        result = orchestrator.handle_vm_migration(vm, target)
+        touched.append(result["switches_touched"])
+        rerouted_total += result["chains_rerouted"]
+        performed += 1
+        orchestrator.slice_allocator.verify_isolation()
+
+    zero_cost = sum(1 for cost in touched if cost == 0)
+    return [
+        {
+            "migrations": performed,
+            "mean_switches_touched": (
+                sum(touched) / performed if performed else 0.0
+            ),
+            "max_switches_touched": max(touched, default=0),
+            "zero_cost_fraction": (
+                zero_cost / performed if performed else 0.0
+            ),
+            "chains_rerouted": rerouted_total,
+            "isolation_violations": 0,
+        }
+    ]
+
+
+# ----------------------------------------------------------------------
+# E18 — traffic continuity under optical-switch failure (extension)
+# ----------------------------------------------------------------------
+def experiment_e18_failure_continuity(
+    *,
+    n_flows: int = 150,
+    n_failures_sweep: Sequence[int] = (0, 1, 2),
+    seed: int = 0,
+) -> list[dict]:
+    """Flows rerouted/dropped as core switches die mid-workload.
+
+    The same workload runs with 0, 1, 2... optical switches failing at
+    staggered times; rows report completions, reroutes, drops and the
+    FCT penalty relative to the failure-free run.
+    """
+    from repro.sim.event_simulator import EventDrivenFlowSimulator
+
+    inventory, _, services = standard_testbed(seed=seed)
+    clusters = ClusterManager(inventory)
+    for service in services:
+        clusters.create_cluster(service)
+    generator = TrafficGenerator(
+        inventory, TrafficConfig(arrival_rate=30.0, sigma=0.5), seed=seed
+    )
+    flows = generator.flows(n_flows)
+    switches = inventory.network.optical_switches()
+
+    baseline_fct = None
+    rows = []
+    for n_failures in n_failures_sweep:
+        failures = [
+            (0.5 + index * 0.5, switches[index % len(switches)])
+            for index in range(n_failures)
+        ]
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        report = simulator.run(flows, failures=failures)
+        mean_fct = report.fct_statistics()["mean"]
+        if baseline_fct is None:
+            baseline_fct = mean_fct
+        rows.append(
+            {
+                "failures": n_failures,
+                "completed": report.flows,
+                "dropped": len(report.dropped),
+                "reroutes": report.reroutes,
+                "mean_fct": mean_fct,
+                "fct_penalty": (
+                    mean_fct / baseline_fct if baseline_fct else 0.0
+                ),
+            }
+        )
+    return rows

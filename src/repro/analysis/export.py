@@ -1,0 +1,75 @@
+"""Export experiment rows to CSV and JSON.
+
+Every experiment in :mod:`repro.analysis.experiments` returns plain row
+dictionaries; these helpers persist them so results can be diffed across
+runs or consumed by external plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows as CSV text (columns = union of keys, first-seen order)."""
+    if not rows:
+        return ""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows as a JSON array."""
+    return json.dumps([dict(row) for row in rows], indent=2, default=str)
+
+
+def save_rows(
+    rows: Sequence[Mapping[str, object]], path: str | Path
+) -> Path:
+    """Write rows to a file, format chosen by extension (.csv / .json).
+
+    Raises:
+        ValueError: for unsupported extensions.
+    """
+    target = Path(path)
+    suffix = target.suffix.lower()
+    if suffix == ".csv":
+        target.write_text(rows_to_csv(rows))
+    elif suffix == ".json":
+        target.write_text(rows_to_json(rows))
+    else:
+        raise ValueError(
+            f"unsupported export extension {suffix!r} (use .csv or .json)"
+        )
+    return target
+
+
+def load_rows(path: str | Path) -> list[dict]:
+    """Read rows back from a .csv or .json export.
+
+    CSV values come back as strings (CSV carries no types); JSON values
+    round-trip.
+    """
+    source = Path(path)
+    suffix = source.suffix.lower()
+    if suffix == ".json":
+        return [dict(row) for row in json.loads(source.read_text())]
+    if suffix == ".csv":
+        with source.open(newline="") as handle:
+            return [dict(row) for row in csv.DictReader(handle)]
+    raise ValueError(
+        f"unsupported export extension {suffix!r} (use .csv or .json)"
+    )

@@ -1,0 +1,72 @@
+"""Plain-text tables and series for experiment output.
+
+The benchmark harness prints the same rows/series a paper table or figure
+would carry; these helpers keep that output consistent and readable
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_value(value) -> str:
+    """Human-friendly cell formatting (floats get 4 significant digits)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Args:
+        rows: one mapping per row; missing cells render empty.
+        title: optional heading printed above the table.
+        columns: column order; defaults to first-row key order.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    names = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        {name: format_value(row.get(name, "")) for name in names}
+        for row in rows
+    ]
+    widths = {
+        name: max(len(name), *(len(row[name]) for row in rendered))
+        for name in names
+    }
+    header = " | ".join(name.ljust(widths[name]) for name in names)
+    rule = "-+-".join("-" * widths[name] for name in names)
+    body = [
+        " | ".join(row[name].ljust(widths[name]) for name in names)
+        for row in rendered
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, rule, *body])
+    return "\n".join(lines)
+
+
+def render_series(
+    points: Sequence[tuple[object, object]],
+    *,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render (x, y) points as the two-column series of a figure."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return render_table(rows, title=title, columns=[x_label, y_label])

@@ -1,0 +1,27 @@
+"""Small statistics helpers used in experiment summaries."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def describe(values: Sequence[float]) -> dict[str, float]:
+    """Count, mean, std (population), min, max of a sample."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((value - mean) ** 2 for value in values) / count
+    return {
+        "count": count,
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio: 0 when the denominator is 0."""
+    return numerator / denominator if denominator else 0.0

@@ -1,0 +1,148 @@
+"""Quantitative topology metrics for fabric comparisons (experiment E2).
+
+The numbers a network architect reads off a design: diameter,
+server-to-server path lengths, switch-per-server cost, oversubscription
+at the ToR tier, and a bisection-bandwidth estimate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+from repro.topology.datacenter import DataCenterNetwork
+
+
+def fabric_metrics(
+    dcn: DataCenterNetwork, *, sample_pairs: int = 128, seed: int = 0
+) -> dict[str, float]:
+    """One row of comparable metrics for a fabric.
+
+    Args:
+        dcn: the fabric.
+        sample_pairs: server pairs sampled for the mean path length
+            (exact diameter is still computed on the full graph).
+        seed: sampling seed.
+
+    Returns:
+        servers / switches / links counts, switch-per-server ratio,
+        diameter, mean server path length, ToR oversubscription ratio,
+        and the bisection bandwidth estimate in Gbps.
+    """
+    servers = dcn.servers()
+    if not servers:
+        raise TopologyError("fabric has no servers")
+    graph = dcn.graph
+    switches = len(dcn.tors()) + len(dcn.optical_switches())
+
+    rng = random.Random(seed)
+    if len(servers) >= 2:
+        pairs = [
+            tuple(rng.sample(servers, 2)) for _ in range(sample_pairs)
+        ]
+        lengths = [
+            nx.shortest_path_length(graph, a, b) for a, b in pairs
+        ]
+        mean_server_path = sum(lengths) / len(lengths)
+    else:
+        mean_server_path = 0.0
+
+    return {
+        "servers": len(servers),
+        "switches": switches,
+        "links": graph.number_of_edges(),
+        "switches_per_server": switches / len(servers),
+        "diameter": float(nx.diameter(graph)),
+        "mean_server_path": mean_server_path,
+        "mean_tor_oversubscription": mean_tor_oversubscription(dcn),
+        "bisection_bandwidth_gbps": bisection_bandwidth_estimate(dcn),
+    }
+
+
+def mean_tor_oversubscription(dcn: DataCenterNetwork) -> float:
+    """Average downlink/uplink bandwidth ratio over the ToR tier.
+
+    An oversubscription of 1.0 means a rack's servers can collectively
+    drive the uplinks at full rate; above 1.0 the uplinks are the
+    bottleneck (the usual DCN compromise).
+    """
+    ratios = []
+    for tor in dcn.tors():
+        down = sum(
+            dcn.link_of(tor, server).bandwidth_gbps
+            for server in dcn.servers_under(tor)
+        )
+        up = sum(
+            dcn.link_of(tor, ops).bandwidth_gbps
+            for ops in dcn.ops_of_tor(tor)
+        )
+        if up > 0:
+            ratios.append(down / up)
+    return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def bisection_bandwidth_estimate(
+    dcn: DataCenterNetwork, *, attempts: int = 8, seed: int = 0
+) -> float:
+    """Estimated worst even-split cut bandwidth across the rack tier.
+
+    Racks are repeatedly split into two equal halves (random balanced
+    partitions); the estimate is the smallest total bandwidth crossing
+    any sampled cut.  Exact bisection is NP-hard; this sampled bound is
+    the standard back-of-envelope figure.
+    """
+    tors = dcn.tors()
+    if len(tors) < 2:
+        # Single rack: the bisection is inside the rack; report the
+        # rack's total server bandwidth as the trivial answer.
+        return sum(
+            dcn.link_of(tors[0], server).bandwidth_gbps
+            for server in dcn.servers_under(tors[0])
+        ) if tors else 0.0
+
+    rng = random.Random(seed)
+    graph = dcn.graph
+    half = len(tors) // 2
+    best = float("inf")
+    for _ in range(attempts):
+        shuffled = list(tors)
+        rng.shuffle(shuffled)
+        left_tors = set(shuffled[:half])
+        left = set()
+        for tor in left_tors:
+            left.add(tor)
+            left.update(dcn.servers_under(tor))
+        cut = 0.0
+        for a, b, data in graph.edges(data=True):
+            if (a in left) != (b in left):
+                cut += data["link"].bandwidth_gbps
+        best = min(best, cut)
+    return best
+
+
+def core_layout_comparison(
+    layouts: tuple[str, ...] = ("none", "ring", "full_mesh", "hypercube"),
+    *,
+    n_racks: int = 8,
+    servers_per_rack: int = 4,
+    n_ops: int = 8,
+    seed: int = 0,
+) -> list[dict]:
+    """Metric rows for the same fabric under each optical-core layout."""
+    from repro.topology.generators import build_alvc_fabric
+
+    rows = []
+    for layout in layouts:
+        dcn = build_alvc_fabric(
+            n_racks=n_racks,
+            servers_per_rack=servers_per_rack,
+            n_ops=n_ops,
+            core_layout=layout,
+            seed=seed,
+        )
+        row = {"core_layout": layout}
+        row.update(fabric_metrics(dcn, seed=seed))
+        rows.append(row)
+    return rows

@@ -1,0 +1,19 @@
+"""Baselines the experiments compare AL-VC against.
+
+* random AL selection — the construction of the authors' earlier work [15];
+* exact minimum AL — the optimum the greedy is measured against (E9);
+* flat (no-clustering) fabric — conventional DCN routing and update costs;
+* all-electronic VNF placement — the no-optimization chain deployment.
+"""
+
+from repro.baselines.electronic_placement import all_electronic_placement
+from repro.baselines.no_clustering import FlatNetworkBaseline
+from repro.baselines.optimal import optimal_abstraction_layer
+from repro.baselines.random_al import random_abstraction_layer
+
+__all__ = [
+    "FlatNetworkBaseline",
+    "all_electronic_placement",
+    "optimal_abstraction_layer",
+    "random_abstraction_layer",
+]

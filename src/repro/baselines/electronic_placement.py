@@ -1,0 +1,24 @@
+"""All-electronic VNF placement (the Fig. 8 'before' configuration).
+
+Deploying every VNF in the electronic domain is what a conventional NFV
+deployment does; each electronic excursion then costs one O/E/O
+conversion.  Experiment E8 measures the savings of the optical-placement
+optimizer against this baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.chaining import NetworkFunctionChain
+from repro.core.placement import (
+    ChainPlacement,
+    PlacementAlgorithm,
+    PlacementSolver,
+)
+
+
+def all_electronic_placement(
+    chain: NetworkFunctionChain, *, merge_consecutive: bool = False
+) -> ChainPlacement:
+    """The placement that keeps every VNF in the electronic domain."""
+    solver = PlacementSolver({}, merge_consecutive=merge_consecutive)
+    return solver.solve(chain, PlacementAlgorithm.ALL_ELECTRONIC)

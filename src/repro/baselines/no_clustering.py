@@ -1,0 +1,46 @@
+"""The flat (no-clustering) data-center baseline.
+
+A conventional virtualized DCN has no abstraction layers: flows may ride
+any core switch, and a churn event can touch forwarding state anywhere.
+This baseline packages flat routing and flat update costs so experiments
+E1 and E10 can compare like for like.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.optical.conversion import ConversionModel
+from repro.sdn.updates import UpdateCostModel, UpdateEvent
+from repro.sim.flows import Flow
+from repro.sim.simulator import FlowSimulator, SimulationReport
+from repro.virtualization.machines import MachineInventory
+
+
+class FlatNetworkBaseline:
+    """Routes and costs everything without cluster structure."""
+
+    def __init__(
+        self,
+        inventory: MachineInventory,
+        conversion_model: ConversionModel | None = None,
+    ) -> None:
+        self._inventory = inventory
+        # No ClusterManager: the simulator falls back to flat shortest
+        # paths for every flow.
+        self._simulator = FlowSimulator(
+            inventory, clusters=None, conversion_model=conversion_model
+        )
+        self._updates = UpdateCostModel(inventory.network)
+
+    def run_flows(self, flows: Iterable[Flow]) -> SimulationReport:
+        """Simulate a flow batch over the flat fabric."""
+        return self._simulator.run(flows)
+
+    def update_cost(self, event: UpdateEvent) -> int:
+        """Switches touched by one churn event on the flat fabric."""
+        return len(self._updates.flat_touched(event))
+
+    def total_update_cost(self, events: Iterable[UpdateEvent]) -> int:
+        """Aggregate switches-touched over an event sequence."""
+        return sum(self.update_cost(event) for event in events)

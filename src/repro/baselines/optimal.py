@@ -1,0 +1,34 @@
+"""Exact minimum abstraction layers (optimality-gap baseline, E9).
+
+Solves both cover stages exactly (subset search), so it is limited to
+small instances; experiments use it to report how close the paper's greedy
+gets to the true minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.abstraction_layer import (
+    AbstractionLayer,
+    AlConstructionStrategy,
+    AlConstructor,
+)
+from repro.topology.datacenter import DataCenterNetwork
+
+
+def optimal_abstraction_layer(
+    dcn: DataCenterNetwork,
+    cluster: str,
+    servers: Iterable[str],
+    *,
+    available_ops: Iterable[str] | None = None,
+) -> AbstractionLayer:
+    """Construct the smallest possible AL for a machine group.
+
+    Raises:
+        ValueError: when the instance is too large for exact search
+            (more than ~24 candidate switches per stage).
+    """
+    constructor = AlConstructor(dcn, strategy=AlConstructionStrategy.EXACT)
+    return constructor.construct_for_servers(cluster, servers, available_ops)

@@ -1,0 +1,41 @@
+"""Random abstraction-layer selection (the prior-work baseline [15]).
+
+"In our previous works [15], we use random selection approach.  In this
+work, we use the vertex cover and max-weightage algorithms" — this module
+is that previous approach, kept as the comparison point of experiment E4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.abstraction_layer import (
+    AbstractionLayer,
+    AlConstructionStrategy,
+    AlConstructor,
+)
+from repro.topology.datacenter import DataCenterNetwork
+
+
+def random_abstraction_layer(
+    dcn: DataCenterNetwork,
+    cluster: str,
+    servers: Iterable[str],
+    *,
+    seed: int = 0,
+    available_ops: Iterable[str] | None = None,
+) -> AbstractionLayer:
+    """Construct an AL by random ToR/OPS selection.
+
+    Args:
+        dcn: the fabric.
+        cluster: cluster id to label the AL with.
+        servers: the cluster's machines.
+        seed: RNG seed (each seed is one random draw; experiments average
+            over many seeds).
+        available_ops: unassigned OPSs (disjointness pool).
+    """
+    constructor = AlConstructor(
+        dcn, strategy=AlConstructionStrategy.RANDOM, seed=seed
+    )
+    return constructor.construct_for_servers(cluster, servers, available_ops)

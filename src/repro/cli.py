@@ -1,0 +1,309 @@
+"""Command-line experiment runner.
+
+Run any of the paper-reproduction experiments from a shell::
+
+    python -m repro.cli list
+    python -m repro.cli run fig4 fig8
+    python -m repro.cli run all --export-dir results/
+    python -m repro.cli report REPORT.md
+
+Each experiment prints the same rows/series its benchmark asserts, and
+``--export-dir`` additionally writes every table as CSV.  The CLI is a
+thin veneer over :mod:`repro.analysis.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis import experiments
+from repro.analysis.export import save_rows
+from repro.analysis.reporting import render_table
+
+# Experiment id -> (description, producer).  A producer returns
+# {table name: rows}; scalar worked examples are rendered as one-row
+# tables so everything prints and exports uniformly.
+_Producer = Callable[[], dict]
+_REGISTRY: dict[str, tuple[str, _Producer]] = {}
+
+
+def _register(exp_id: str, description: str):
+    def decorator(producer: _Producer):
+        _REGISTRY[exp_id] = (description, producer)
+        return producer
+
+    return decorator
+
+
+@_register("fig1", "Service clustering vs flat DCN (traffic locality)")
+def _run_fig1() -> dict:
+    result = experiments.experiment_fig1_clustering()
+    return {
+        "Fig. 1 — traffic locality": result["traffic"],
+        "Fig. 1 — cluster census": result["census"],
+    }
+
+
+@_register("fig2", "AL-VC fabric vs fat-tree (census, path lengths)")
+def _run_fig2() -> dict:
+    return {
+        "Fig. 2 — fabric census and path lengths": (
+            experiments.experiment_fig2_topology()
+        )
+    }
+
+
+@_register("fig3", "Disjoint per-service abstraction layers")
+def _run_fig3() -> dict:
+    return {
+        "Fig. 3 — per-cluster abstraction layers": (
+            experiments.experiment_fig3_clusters()
+        )
+    }
+
+
+@_register("fig4", "AL construction worked example + strategy sweep")
+def _run_fig4() -> dict:
+    example = experiments.experiment_fig4_worked_example()
+    example_rows = [
+        {
+            "tor_weights": str(example["tor_weights"]),
+            "tors_considered": "->".join(example["tor_considered"]),
+            "tors_selected": "->".join(example["tor_selected"]),
+            "final_al": ",".join(example["al"]),
+        }
+    ]
+    return {
+        "Fig. 4 — worked example": example_rows,
+        "Fig. 4 — AL size per construction strategy": (
+            experiments.experiment_fig4_strategy_sweep()
+        ),
+    }
+
+
+@_register("fig5", "Three NFCs, each on its own path")
+def _run_fig5() -> dict:
+    return {
+        "Fig. 5 — per-chain paths": experiments.experiment_fig5_nfc_paths()
+    }
+
+
+@_register("fig6", "Orchestration action census (NFV functional blocks)")
+def _run_fig6() -> dict:
+    return {
+        "Fig. 6 — orchestration action census": (
+            experiments.experiment_fig6_orchestration()
+        )
+    }
+
+
+@_register("fig7", "One optical slice per NFC, to exhaustion")
+def _run_fig7() -> dict:
+    return {
+        "Fig. 7 — slice allocation and rejection": (
+            experiments.experiment_fig7_slicing()
+        )
+    }
+
+
+@_register("fig8", "VNF placement saving O/E/O conversions")
+def _run_fig8() -> dict:
+    example = experiments.experiment_fig8_worked_example()
+    return {
+        "Fig. 8 — worked example": [
+            {
+                "chain": "->".join(example["chain"]),
+                "before_conversions": example["before_conversions"],
+                "after_conversions": example["after_conversions"],
+                "saved": example["saved"],
+                "vnfs_optical_after": example["after_optical"],
+            }
+        ],
+        "Fig. 8 — conversions per placement algorithm": (
+            experiments.experiment_fig8_sweep()
+        ),
+    }
+
+
+@_register("e9", "Optimality gap of AL construction heuristics")
+def _run_e9() -> dict:
+    return {
+        "E9 — AL size vs exact optimum": (
+            experiments.experiment_e9_optimality_gap()
+        )
+    }
+
+
+@_register("e10", "Network-update cost under churn (AL-VC vs flat)")
+def _run_e10() -> dict:
+    return {
+        "E10 — switches touched per churn event": (
+            experiments.experiment_e10_update_cost()
+        )
+    }
+
+
+@_register("e11", "AL construction scalability (64 -> 2048 servers)")
+def _run_e11() -> dict:
+    return {
+        "E11 — AL construction vs fabric size": (
+            experiments.experiment_e11_scalability()
+        )
+    }
+
+
+@_register("e12", "O/E/O conversion energy vs optical capacity")
+def _run_e12() -> dict:
+    return {
+        "E12 — conversion energy vs capacity": (
+            experiments.experiment_e12_energy()
+        )
+    }
+
+
+@_register("e13", "Incremental AL reconfiguration vs full rebuild")
+def _run_e13() -> dict:
+    return {
+        "E13 — switches touched: incremental repair vs rebuild": (
+            experiments.experiment_e13_reconfiguration()
+        )
+    }
+
+
+@_register("e14", "Per-chain traffic cost with transport energy")
+def _run_e14() -> dict:
+    return {
+        "E14 — per-chain flow cost by placement policy": (
+            experiments.experiment_e14_chain_traffic()
+        )
+    }
+
+
+@_register("e15", "Flow completion times under load (fair-share DES)")
+def _run_e15() -> dict:
+    return {
+        "E15 — flow completion time vs offered load": (
+            experiments.experiment_e15_flow_completion()
+        )
+    }
+
+
+@_register("e16", "Optical-core layout metrics (ref [29] ablation)")
+def _run_e16() -> dict:
+    from repro.analysis.topology_metrics import core_layout_comparison
+
+    return {
+        "E16 — optical-core layout metrics": core_layout_comparison()
+    }
+
+
+@_register("e17", "Live VM migration churn through the orchestrator")
+def _run_e17() -> dict:
+    return {
+        "E17 — operational migration churn": (
+            experiments.experiment_e17_operational_migration()
+        )
+    }
+
+
+@_register("e18", "Traffic continuity under optical-switch failures")
+def _run_e18() -> dict:
+    return {
+        "E18 — continuity under switch failures": (
+            experiments.experiment_e18_failure_continuity()
+        )
+    }
+
+
+def _slug(title: str) -> str:
+    keep = [c if c.isalnum() else "-" for c in title.lower()]
+    collapsed = "".join(keep)
+    while "--" in collapsed:
+        collapsed = collapsed.replace("--", "-")
+    return collapsed.strip("-")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Run AL-VC paper-reproduction experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    report_parser = subparsers.add_parser(
+        "report", help="run every experiment into one markdown report"
+    )
+    report_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        metavar="PATH",
+        help="write the report here instead of stdout",
+    )
+    run_parser = subparsers.add_parser("run", help="run experiments by id")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"experiment ids ({', '.join(sorted(_REGISTRY))}) or 'all'",
+    )
+    run_parser.add_argument(
+        "--export-dir",
+        metavar="DIR",
+        default=None,
+        help="also write every table as CSV into this directory",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id in sorted(_REGISTRY):
+            description, _ = _REGISTRY[exp_id]
+            print(f"{exp_id:<6} {description}")
+        return 0
+    if args.command == "report":
+        from repro.analysis.report import generate_report, write_report
+
+        if args.path is None:
+            print(generate_report())
+        else:
+            target = write_report(args.path)
+            print(f"report written to {target}")
+        return 0
+    requested = list(args.experiments)
+    if requested == ["all"]:
+        requested = sorted(_REGISTRY)
+    unknown = [exp_id for exp_id in requested if exp_id not in _REGISTRY]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} (try 'list')",
+            file=sys.stderr,
+        )
+        return 2
+    export_dir = Path(args.export_dir) if args.export_dir else None
+    if export_dir is not None:
+        export_dir.mkdir(parents=True, exist_ok=True)
+    first = True
+    for exp_id in requested:
+        if not first:
+            print()
+        first = False
+        _, producer = _REGISTRY[exp_id]
+        for title, rows in producer().items():
+            print(render_table(rows, title=title))
+            if export_dir is not None:
+                target = export_dir / f"{exp_id}-{_slug(title)}.csv"
+                save_rows(rows, target)
+                print(f"  [exported {target}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Abstraction-layer construction (paper Section III.C, Fig. 4).
+
+An abstraction layer (AL) is "the set of switches … used to manage the
+cluster.  It selects the minimum set of switches that connect all the
+nodes."  Construction is a two-stage cover:
+
+1. **ToR stage** — over the bipartite machine↔ToR graph, select ToRs until
+   every cluster machine is covered, visiting ToRs in descending weight
+   (machine-side degree + OPS-side degree, the "four incoming … and two
+   outgoing" of Fig. 4);
+2. **OPS stage** — over the bipartite ToR↔OPS graph restricted to the
+   selected ToRs, select OPSs "against the selected ToRs" the same way; the
+   selected OPSs *are* the AL.
+
+Strategies other than the paper's greedy (random [15], marginal-gain
+greedy, exact optimum) exist for the comparison experiments E4/E9.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from typing import Iterable, Mapping
+
+from repro.core.algorithms import (
+    CoverResult,
+    exact_min_cover,
+    greedy_marginal_cover,
+    greedy_max_weight_cover,
+    random_cover,
+)
+from repro.exceptions import CoverInfeasibleError, TopologyError
+from repro.ids import ClusterId, OpsId, TorId
+from repro.topology.datacenter import DataCenterNetwork
+
+
+class AlConstructionStrategy(enum.Enum):
+    """Available AL construction algorithms."""
+
+    VERTEX_COVER_GREEDY = "vertex_cover_greedy"  # the paper's algorithm
+    IN_DEGREE_GREEDY = "in_degree_greedy"        # weight ablation: machines only
+    MARGINAL_GREEDY = "marginal_greedy"          # classic set-cover greedy
+    RANDOM = "random"                            # prior work [15]
+    EXACT = "exact"                              # optimal (small instances)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AbstractionLayer:
+    """A constructed abstraction layer with its full decision trace."""
+
+    cluster: ClusterId
+    tor_ids: frozenset
+    ops_ids: frozenset
+    tor_trace: CoverResult
+    ops_trace: CoverResult
+    strategy: AlConstructionStrategy
+
+    @property
+    def size(self) -> int:
+        """Number of optical switches in the AL (the minimized quantity)."""
+        return len(self.ops_ids)
+
+    def connects(self, machine_tors: Iterable[TorId]) -> bool:
+        """True if a machine attached to ``machine_tors`` can reach the AL
+        through one of the AL's selected ToRs."""
+        return bool(set(machine_tors) & self.tor_ids)
+
+
+class AlConstructor:
+    """Builds abstraction layers over a physical fabric.
+
+    One constructor may build ALs for many clusters; the caller passes the
+    set of still-unassigned OPSs to honour the paper's disjointness rule
+    ("one OPS cannot be part of two ALs at the same time") — the
+    :class:`~repro.core.cluster.ClusterManager` does this bookkeeping.
+    """
+
+    def __init__(
+        self,
+        dcn: DataCenterNetwork,
+        strategy: AlConstructionStrategy = AlConstructionStrategy.VERTEX_COVER_GREEDY,
+        seed: int = 0,
+    ) -> None:
+        self._dcn = dcn
+        self._strategy = strategy
+        self._rng = random.Random(seed)
+
+    @property
+    def strategy(self) -> AlConstructionStrategy:
+        """The algorithm this constructor runs."""
+        return self._strategy
+
+    # ------------------------------------------------------------------
+    def construct(
+        self,
+        cluster: ClusterId,
+        machine_attachments: Mapping[str, Iterable[TorId]],
+        available_ops: Iterable[OpsId] | None = None,
+    ) -> AbstractionLayer:
+        """Construct the AL for one cluster.
+
+        Args:
+            cluster: id of the cluster being covered.
+            machine_attachments: machine id → ToRs it attaches to (for VMs,
+                the host server's ToRs).
+            available_ops: OPSs not yet assigned to another AL; defaults to
+                every OPS in the fabric.
+
+        Raises:
+            CoverInfeasibleError: when the machines cannot all be covered,
+                or the remaining OPSs cannot connect the selected ToRs
+                (OPS exhaustion under the disjointness rule).
+            TopologyError: when the cluster has no machines.
+        """
+        if not machine_attachments:
+            raise TopologyError(f"cluster {cluster} has no machines to cover")
+        ops_pool = (
+            set(available_ops)
+            if available_ops is not None
+            else set(self._dcn.optical_switches())
+        )
+
+        tor_result = self._tor_stage(machine_attachments, ops_pool)
+        selected_tors = frozenset(tor_result.selected)
+        ops_result = self._ops_stage(selected_tors, ops_pool)
+        return AbstractionLayer(
+            cluster=cluster,
+            tor_ids=selected_tors,
+            ops_ids=frozenset(ops_result.selected),
+            tor_trace=tor_result,
+            ops_trace=ops_result,
+            strategy=self._strategy,
+        )
+
+    def construct_for_servers(
+        self,
+        cluster: ClusterId,
+        servers: Iterable[str],
+        available_ops: Iterable[OpsId] | None = None,
+    ) -> AbstractionLayer:
+        """Convenience wrapper covering physical servers directly."""
+        attachments = {
+            server: self._dcn.tors_of_server(server) for server in servers
+        }
+        return self.construct(cluster, attachments, available_ops)
+
+    # ------------------------------------------------------------------
+    def _tor_stage(
+        self,
+        machine_attachments: Mapping[str, Iterable[TorId]],
+        ops_pool: set,
+    ) -> CoverResult:
+        universe = frozenset(machine_attachments)
+        candidates: dict[TorId, set] = {}
+        for machine, tors in machine_attachments.items():
+            for tor in tors:
+                candidates.setdefault(tor, set()).add(machine)
+        frozen = {tor: frozenset(members) for tor, members in candidates.items()}
+        # Weight = cluster machines under the ToR (incoming) + uplinks into
+        # the available OPS pool (outgoing), per the Fig. 4 walk-through.
+        # The IN_DEGREE ablation (DESIGN.md §6) drops the outgoing term.
+        if self._strategy is AlConstructionStrategy.IN_DEGREE_GREEDY:
+            weights = {tor: len(frozen[tor]) for tor in frozen}
+        else:
+            weights = {
+                tor: len(frozen[tor])
+                + len(set(self._dcn.ops_of_tor(tor)) & ops_pool)
+                for tor in frozen
+            }
+        return self._run_cover(universe, frozen, weights)
+
+    def _ops_stage(self, selected_tors: frozenset, ops_pool: set) -> CoverResult:
+        candidates: dict[OpsId, frozenset] = {}
+        for ops in sorted(ops_pool):
+            covered = frozenset(set(self._dcn.tors_of_ops(ops)) & selected_tors)
+            if covered:
+                candidates[ops] = covered
+        if not candidates and selected_tors:
+            raise CoverInfeasibleError(selected_tors)
+        # Weight = number of *selected* ToRs the OPS connects ("the OPSs
+        # against the selected ToRs").
+        weights = {ops: len(covered) for ops, covered in candidates.items()}
+        return self._run_cover(selected_tors, candidates, weights)
+
+    def _run_cover(self, universe, candidates, weights) -> CoverResult:
+        if self._strategy in (
+            AlConstructionStrategy.VERTEX_COVER_GREEDY,
+            AlConstructionStrategy.IN_DEGREE_GREEDY,
+        ):
+            return greedy_max_weight_cover(universe, candidates, weights)
+        if self._strategy is AlConstructionStrategy.MARGINAL_GREEDY:
+            return greedy_marginal_cover(universe, candidates)
+        if self._strategy is AlConstructionStrategy.RANDOM:
+            return random_cover(universe, candidates, self._rng)
+        if self._strategy is AlConstructionStrategy.EXACT:
+            return exact_min_cover(universe, candidates)
+        raise TopologyError(f"unknown strategy {self._strategy!r}")

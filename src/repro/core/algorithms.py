@@ -1,0 +1,308 @@
+"""Covering algorithms behind abstraction-layer construction.
+
+The paper (Section III.C) formalizes AL construction as minimum vertex
+cover over the machine↔ToR bipartite graph ("S ⊆ V is a vertex cover …
+find a vertex cover S that minimizes |S|") and solves it with a
+*maximum-weighted* greedy pass: candidates are visited in descending static
+weight, and a candidate is selected exactly when it still covers an
+uncovered element — the walk-through in Fig. 4 selects ToR 1 (weight 6),
+*skips* ToR 2 (its machines are already covered), and selects ToR 3.
+
+This module gives that greedy its precise form plus the comparison
+algorithms the experiments need: the classic marginal-gain greedy, the
+random selection of the authors' earlier work [15], an exact
+branch-and-bound set cover for optimality gaps, and König's-theorem
+bipartite minimum vertex cover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from typing import Hashable, Mapping
+
+import networkx as nx
+
+from repro.exceptions import CoverInfeasibleError
+from repro.ids import index_of, kind_prefix
+
+
+def natural_sort_key(entity_id: Hashable):
+    """Sort key ordering ``tor-2`` before ``tor-10`` (prefix, then index).
+
+    Ids without a numeric suffix sort after indexed ids with the same
+    prefix, by their string form.  Deterministic tie-breaking in every
+    algorithm below uses this key.
+    """
+    text = str(entity_id)
+    try:
+        return (kind_prefix(text), 0, index_of(text), text)
+    except ValueError:
+        return (kind_prefix(text), 1, 0, text)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CoverStep:
+    """One decision of a covering algorithm (kept for traceability).
+
+    ``selected`` is False for the paper's "tries to select … and notices
+    the machines are already covered" skip steps.
+    """
+
+    candidate: Hashable
+    weight: float
+    newly_covered: frozenset
+    selected: bool
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CoverResult:
+    """Outcome of a covering run: the chosen sets and the decision trace."""
+
+    selected: tuple
+    steps: tuple[CoverStep, ...]
+    universe: frozenset
+
+    @property
+    def size(self) -> int:
+        """Number of selected candidates."""
+        return len(self.selected)
+
+    def covered(self) -> frozenset:
+        """Union of elements covered by the selected candidates."""
+        covered: set = set()
+        for step in self.steps:
+            if step.selected:
+                covered |= step.newly_covered
+        return frozenset(covered)
+
+    def selection_order(self) -> list:
+        """Selected candidates in the order they were chosen."""
+        return [step.candidate for step in self.steps if step.selected]
+
+    def considered_order(self) -> list:
+        """Every candidate the algorithm looked at, in visit order."""
+        return [step.candidate for step in self.steps]
+
+
+def _check_feasible(
+    universe: frozenset, candidates: Mapping[Hashable, frozenset]
+) -> None:
+    coverable: set = set()
+    for members in candidates.values():
+        coverable |= members
+    uncovered = universe - coverable
+    if uncovered:
+        raise CoverInfeasibleError(frozenset(uncovered))
+
+
+def greedy_max_weight_cover(
+    universe,
+    candidates: Mapping[Hashable, frozenset],
+    weights: Mapping[Hashable, float],
+) -> CoverResult:
+    """The paper's maximum-weighted greedy cover (Section III.C).
+
+    Candidates are visited in descending static ``weights`` order (ties by
+    :func:`natural_sort_key`); each is *selected* if it covers at least one
+    still-uncovered element and *skipped* otherwise.  The visit stops once
+    the universe is covered, so trailing candidates never appear in the
+    trace (Fig. 4: "ToR N" is never considered).
+
+    Args:
+        universe: elements that must be covered.
+        candidates: candidate id → set of elements it covers.
+        weights: candidate id → static weight (e.g. a ToR's incoming plus
+            outgoing connection count).
+
+    Raises:
+        CoverInfeasibleError: when the union of all candidates misses part
+            of the universe.
+    """
+    target = frozenset(universe)
+    _check_feasible(target, candidates)
+    order = sorted(
+        candidates,
+        key=lambda cand: (-weights.get(cand, 0.0), natural_sort_key(cand)),
+    )
+    steps: list[CoverStep] = []
+    selected: list = []
+    uncovered = set(target)
+    for candidate in order:
+        if not uncovered:
+            break
+        gain = frozenset(candidates[candidate] & uncovered)
+        take = bool(gain)
+        steps.append(
+            CoverStep(
+                candidate=candidate,
+                weight=float(weights.get(candidate, 0.0)),
+                newly_covered=gain,
+                selected=take,
+            )
+        )
+        if take:
+            selected.append(candidate)
+            uncovered -= gain
+    return CoverResult(
+        selected=tuple(selected), steps=tuple(steps), universe=target
+    )
+
+
+def greedy_marginal_cover(
+    universe, candidates: Mapping[Hashable, frozenset]
+) -> CoverResult:
+    """Classic greedy set cover: pick the candidate covering the most
+    still-uncovered elements each round (ablation baseline, experiment E9).
+    """
+    target = frozenset(universe)
+    _check_feasible(target, candidates)
+    steps: list[CoverStep] = []
+    selected: list = []
+    uncovered = set(target)
+    remaining = dict(candidates)
+    while uncovered:
+        best = min(
+            remaining,
+            key=lambda cand: (
+                -len(remaining[cand] & uncovered),
+                natural_sort_key(cand),
+            ),
+        )
+        gain = frozenset(remaining.pop(best) & uncovered)
+        if not gain:
+            # All remaining candidates are useless; infeasibility was
+            # excluded up front, so this cannot happen — guard anyway.
+            raise CoverInfeasibleError(frozenset(uncovered))
+        steps.append(
+            CoverStep(
+                candidate=best,
+                weight=float(len(gain)),
+                newly_covered=gain,
+                selected=True,
+            )
+        )
+        selected.append(best)
+        uncovered -= gain
+    return CoverResult(
+        selected=tuple(selected), steps=tuple(steps), universe=target
+    )
+
+
+def random_cover(
+    universe,
+    candidates: Mapping[Hashable, frozenset],
+    rng: random.Random,
+) -> CoverResult:
+    """Random selection: the authors' earlier AL construction ([15]).
+
+    Candidates are visited in uniformly random order; each is selected if
+    it still covers something.  Expected AL sizes exceed the greedy's —
+    the gap is exactly what experiment E4 quantifies.
+    """
+    target = frozenset(universe)
+    _check_feasible(target, candidates)
+    order = sorted(candidates, key=natural_sort_key)
+    rng.shuffle(order)
+    steps: list[CoverStep] = []
+    selected: list = []
+    uncovered = set(target)
+    for candidate in order:
+        if not uncovered:
+            break
+        gain = frozenset(candidates[candidate] & uncovered)
+        take = bool(gain)
+        steps.append(
+            CoverStep(
+                candidate=candidate,
+                weight=0.0,
+                newly_covered=gain,
+                selected=take,
+            )
+        )
+        if take:
+            selected.append(candidate)
+            uncovered -= gain
+    return CoverResult(
+        selected=tuple(selected), steps=tuple(steps), universe=target
+    )
+
+
+_EXACT_LIMIT = 24
+
+
+def exact_min_cover(
+    universe,
+    candidates: Mapping[Hashable, frozenset],
+    *,
+    max_candidates: int = _EXACT_LIMIT,
+) -> CoverResult:
+    """Exact minimum set cover by size-ordered subset search.
+
+    Only for optimality-gap experiments on small instances; the candidate
+    count is capped because the search is exponential.
+
+    Raises:
+        ValueError: when the instance exceeds ``max_candidates``.
+        CoverInfeasibleError: when no cover exists.
+    """
+    target = frozenset(universe)
+    _check_feasible(target, candidates)
+    names = sorted(candidates, key=natural_sort_key)
+    if len(names) > max_candidates:
+        raise ValueError(
+            f"exact_min_cover is limited to {max_candidates} candidates, "
+            f"got {len(names)}"
+        )
+    if not target:
+        return CoverResult(selected=(), steps=(), universe=target)
+    for size in range(1, len(names) + 1):
+        for combo in itertools.combinations(names, size):
+            covered: set = set()
+            for candidate in combo:
+                covered |= candidates[candidate]
+            if target <= covered:
+                steps = []
+                uncovered = set(target)
+                for candidate in combo:
+                    gain = frozenset(candidates[candidate] & uncovered)
+                    steps.append(
+                        CoverStep(
+                            candidate=candidate,
+                            weight=float(len(candidates[candidate])),
+                            newly_covered=gain,
+                            selected=True,
+                        )
+                    )
+                    uncovered -= gain
+                return CoverResult(
+                    selected=tuple(combo),
+                    steps=tuple(steps),
+                    universe=target,
+                )
+    raise CoverInfeasibleError(target)  # pragma: no cover - guarded above
+
+
+def bipartite_min_vertex_cover(
+    graph: nx.Graph, top_nodes
+) -> set:
+    """Exact minimum vertex cover of a bipartite graph (König's theorem).
+
+    This is the MIN-VCP formulation the paper states; networkx's
+    Hopcroft–Karp maximum matching yields the cover via
+    :func:`nx.algorithms.bipartite.to_vertex_cover`.
+
+    Args:
+        graph: a bipartite graph.
+        top_nodes: one side of the bipartition (needed when the graph is
+            disconnected).
+
+    Returns:
+        A minimum vertex cover as a set of nodes.
+    """
+    top = set(top_nodes)
+    if not graph:
+        return set()
+    matching = nx.algorithms.bipartite.hopcroft_karp_matching(graph, top)
+    return nx.algorithms.bipartite.to_vertex_cover(graph, matching, top)

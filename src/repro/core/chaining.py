@@ -1,0 +1,131 @@
+"""Network function chains (paper Section IV.A).
+
+"An NFC is defined as a set of Network Functions (NFs), packet processing
+order (simple or complex), network resource requirements (node and links),
+and network forwarding graph."  :class:`NetworkFunctionChain` captures all
+four: the ordered function list is the simple processing order, and
+:meth:`forwarding_graph` derives the DAG form for complex orders.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Sequence
+
+import networkx as nx
+
+from repro.exceptions import ChainValidationError
+from repro.ids import ChainId, TenantId
+from repro.nfv.functions import NetworkFunctionType
+from repro.topology.elements import ResourceVector
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkFunctionChain:
+    """An ordered service chain of network function types.
+
+    Attributes:
+        chain_id: unique chain id.
+        functions: the NFs in packet-processing order.  The same function
+            type may appear more than once (each occurrence becomes its own
+            VNF instance).
+        bandwidth_gbps: link requirement of the chain's path.
+    """
+
+    chain_id: ChainId
+    functions: tuple[NetworkFunctionType, ...]
+    bandwidth_gbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ChainValidationError(
+                f"chain {self.chain_id} must contain at least one function"
+            )
+        if self.bandwidth_gbps <= 0:
+            raise ChainValidationError(
+                f"chain {self.chain_id} bandwidth must be positive, "
+                f"got {self.bandwidth_gbps}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __iter__(self) -> Iterator[NetworkFunctionType]:
+        return iter(self.functions)
+
+    @property
+    def function_names(self) -> tuple[str, ...]:
+        """Names of the functions in processing order."""
+        return tuple(function.name for function in self.functions)
+
+    def total_demand(self) -> ResourceVector:
+        """Aggregate node resource requirement of the chain."""
+        return ResourceVector.total(
+            function.demand for function in self.functions
+        )
+
+    def positions_of(self, function_name: str) -> list[int]:
+        """Chain positions (0-based) where a function name occurs."""
+        return [
+            index
+            for index, function in enumerate(self.functions)
+            if function.name == function_name
+        ]
+
+    def forwarding_graph(self) -> nx.DiGraph:
+        """The chain's network forwarding graph.
+
+        Nodes are ``(position, function name)`` pairs plus the virtual
+        ``"ingress"`` and ``"egress"`` endpoints; edges follow the packet
+        processing order.
+        """
+        graph = nx.DiGraph(name=self.chain_id)
+        nodes = ["ingress"] + [
+            (index, function.name)
+            for index, function in enumerate(self.functions)
+        ] + ["egress"]
+        graph.add_nodes_from(nodes)
+        graph.add_edges_from(zip(nodes, nodes[1:]))
+        return graph
+
+    @staticmethod
+    def from_names(
+        chain_id: ChainId,
+        names: Sequence[str],
+        catalog,
+        bandwidth_gbps: float = 1.0,
+    ) -> "NetworkFunctionChain":
+        """Build a chain from function names using a catalog."""
+        return NetworkFunctionChain(
+            chain_id=chain_id,
+            functions=tuple(catalog.get(name) for name in names),
+            bandwidth_gbps=bandwidth_gbps,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainRequest:
+    """A tenant's request to orchestrate one NFC over one cluster.
+
+    "Considering the per-user/per-application scenario, AL-VC can be
+    modified in such a way that one VC host only one NFC" (Section IV.C):
+    the request names the service whose cluster will carry the chain.
+
+    Attributes:
+        tenant: requesting tenant.
+        chain: the chain to deploy.
+        service: service name identifying the target cluster.
+        flow_size_gb: expected size of a flow of this application, which
+            scales the O/E/O conversion cost.
+    """
+
+    tenant: TenantId
+    chain: NetworkFunctionChain
+    service: str
+    flow_size_gb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.flow_size_gb <= 0:
+            raise ChainValidationError(
+                f"flow size must be positive, got {self.flow_size_gb}"
+            )

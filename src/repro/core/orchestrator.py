@@ -1,0 +1,577 @@
+"""The network orchestrator for multi-tenant NFC management.
+
+Paper Section IV.B: "we proposed a network orchestrator for multiple-tenant
+SDN-enabled network.  It is responsible for managing (provisioning,
+creation, modification, upgradation, and deletion) of multiple NFCs.  It
+will logically divide the optical network into virtual slices and will
+allocate each slice to a single NFC."
+
+``provision_chain`` runs the full AL-VC pipeline for one
+:class:`~repro.core.chaining.ChainRequest`:
+
+1. look up (or build) the service's virtual cluster and its AL;
+2. allocate the cluster's optical slice;
+3. solve VNF placement over the AL's optoelectronic routers
+   (O/E/O-minimizing, Section IV.D);
+4. deploy the VNFs through the Cloud/NFV manager;
+5. route the chain inside the AL and install flow rules through the SDN
+   controller.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.chaining import ChainRequest, NetworkFunctionChain
+from repro.core.cluster import ClusterManager, VirtualCluster
+from repro.core.placement import (
+    ChainPlacement,
+    HostPolicy,
+    PlacementAlgorithm,
+    PlacementSolver,
+)
+from repro.core.slicing import OpticalSlice, SliceAllocator
+from repro.exceptions import DuplicateEntityError, PlacementError, UnknownEntityError
+from repro.ids import ChainId, ServerId, VnfId
+from repro.nfv.manager import CloudNfvManager
+from repro.optical.conversion import ConversionModel
+from repro.sdn.controller import SdnController
+from repro.sdn.routing import chain_path
+from repro.topology.elements import Domain
+from repro.virtualization.machines import MachineInventory
+
+
+@dataclasses.dataclass(frozen=True)
+class ProvisioningPlan:
+    """A dry-run answer to "would this chain provision succeed?".
+
+    Produced by :meth:`NetworkOrchestrator.plan_chain` without mutating
+    any state; ``problems`` is empty exactly when provisioning would be
+    admitted.
+    """
+
+    request: ChainRequest
+    feasible: bool
+    problems: tuple[str, ...]
+    placement: ChainPlacement | None = None
+    electronic_hosts: tuple[ServerId, ...] = ()
+
+    @property
+    def conversions(self) -> int | None:
+        """Predicted O/E/O conversions per flow (None when infeasible)."""
+        return self.placement.conversions if self.placement else None
+
+
+@dataclasses.dataclass(frozen=True)
+class OrchestratedChain:
+    """A live NFC: its cluster, slice, placement, instances and path."""
+
+    request: ChainRequest
+    cluster: VirtualCluster
+    optical_slice: OpticalSlice
+    placement: ChainPlacement
+    vnf_ids: tuple[VnfId, ...]
+    path: tuple[str, ...]
+
+    @property
+    def chain_id(self) -> ChainId:
+        """Id of the underlying chain."""
+        return self.request.chain.chain_id
+
+    @property
+    def conversions(self) -> int:
+        """O/E/O conversions per flow of this chain."""
+        return self.placement.conversions
+
+
+class NetworkOrchestrator:
+    """End-to-end manager of clusters, slices, placements and chains."""
+
+    def __init__(
+        self,
+        inventory: MachineInventory,
+        *,
+        cluster_manager: ClusterManager | None = None,
+        nfv_manager: CloudNfvManager | None = None,
+        sdn: SdnController | None = None,
+        merge_consecutive: bool = False,
+        placement_seed: int = 0,
+        exclusive_chains: bool = True,
+        host_policy: HostPolicy | None = None,
+    ) -> None:
+        """Create an orchestrator over a populated inventory.
+
+        Args:
+            inventory: the VM ledger (and through it, the fabric).
+            cluster_manager: cluster manager to use (one is created when
+                omitted).
+            nfv_manager: Cloud/NFV manager (created when omitted).
+            sdn: SDN controller (created when omitted).
+            merge_consecutive: O/E/O accounting semantics; see
+                :mod:`repro.optical.conversion`.
+            placement_seed: seed for randomized placement algorithms.
+            exclusive_chains: when True (the paper's Section IV.C
+                specialization) each cluster hosts exactly one NFC; when
+                False (the per-user/per-application mode of Section IV.A)
+                a cluster may carry several chains sharing its slice.
+            host_policy: how optical VNFs pick among fitting routers
+                (FIRST_FIT consolidates; WORST_FIT load-balances); see
+                :class:`~repro.core.placement.HostPolicy`.
+        """
+        self._inventory = inventory
+        self._clusters = cluster_manager or ClusterManager(inventory)
+        self._nfv = nfv_manager or CloudNfvManager(inventory)
+        self._sdn = sdn or SdnController(inventory.network)
+        self._slices = SliceAllocator(inventory.network)
+        self._merge = merge_consecutive
+        self._seed = placement_seed
+        self._exclusive = exclusive_chains
+        self._host_policy = host_policy
+        self._chains: dict[ChainId, OrchestratedChain] = {}
+        self._slice_users: dict[str, set] = {}
+        self._actions: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Admission control: dry-run planning
+    # ------------------------------------------------------------------
+    def plan_chain(
+        self,
+        request: ChainRequest,
+        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+    ) -> ProvisioningPlan:
+        """Answer whether :meth:`provision_chain` would succeed, and how.
+
+        Nothing is allocated: the plan previews the placement (which VNFs
+        go optical, which servers would carry the electronic ones) and
+        lists every blocking problem found.
+
+        The electronic-host preview checks each VNF against *current*
+        free capacity independently; a plan with several electronic VNFs
+        that only fit one-at-a-time can therefore be optimistic — the
+        authoritative answer remains :meth:`provision_chain`, which is
+        transactional (failures roll back fully).
+        """
+        problems: list[str] = []
+        chain = request.chain
+        if chain.chain_id in self._chains:
+            problems.append(f"chain id {chain.chain_id} already in use")
+        try:
+            cluster = self._clusters.cluster_of_service(request.service)
+        except UnknownEntityError:
+            return ProvisioningPlan(
+                request=request,
+                feasible=False,
+                problems=(
+                    f"service {request.service!r} has no cluster",
+                    *problems,
+                ),
+            )
+        users = self._slice_users.get(cluster.cluster_id, set())
+        if self._exclusive and users:
+            problems.append(
+                f"cluster {cluster.cluster_id} already hosts a chain "
+                f"(exclusive mode)"
+            )
+
+        pool = self._nfv.pool
+        al_free = {
+            ops: pool.get(ops).free
+            for ops in sorted(cluster.al_switches)
+            if ops in pool
+        }
+        solver = PlacementSolver(
+            al_free,
+            merge_consecutive=self._merge,
+            host_policy=self._host_policy,
+            seed=self._seed,
+        )
+        placement = solver.solve(chain, algorithm)
+        electronic_hosts: list[ServerId] = []
+        for placed in placement.assignments:
+            if placed.domain is Domain.OPTICAL:
+                continue
+            try:
+                electronic_hosts.append(
+                    self._electronic_host(cluster, placed.function)
+                )
+            except PlacementError as error:
+                problems.append(str(error))
+        return ProvisioningPlan(
+            request=request,
+            feasible=not problems,
+            problems=tuple(problems),
+            placement=placement,
+            electronic_hosts=tuple(electronic_hosts),
+        )
+
+    # ------------------------------------------------------------------
+    # NFC lifecycle: provisioning / creation
+    # ------------------------------------------------------------------
+    def provision_chain(
+        self,
+        request: ChainRequest,
+        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+    ) -> OrchestratedChain:
+        """Provision one NFC over its service's cluster.
+
+        The cluster must already exist (create it with
+        :meth:`ClusterManager.create_cluster`).  In the default exclusive
+        mode one cluster hosts exactly one NFC ("one VC host only one
+        NFC", Section IV.C); with ``exclusive_chains=False`` additional
+        chains share the cluster's existing slice.
+        """
+        chain = request.chain
+        if chain.chain_id in self._chains:
+            raise DuplicateEntityError("chain", chain.chain_id)
+        cluster = self._clusters.cluster_of_service(request.service)
+        users = self._slice_users.get(cluster.cluster_id, set())
+        if self._exclusive and users:
+            raise DuplicateEntityError("chain on cluster", cluster.cluster_id)
+        allocated_here = False
+        if users:
+            optical_slice = self._slices.slice_of_cluster(cluster.cluster_id)
+        else:
+            optical_slice = self._slices.allocate(
+                cluster, chain.bandwidth_gbps
+            )
+            allocated_here = True
+        try:
+            placement, vnf_ids, path = self._deploy(request, cluster, algorithm)
+        except Exception:
+            if allocated_here:
+                self._slices.release(optical_slice.slice_id)
+            raise
+        self._slice_users.setdefault(cluster.cluster_id, set()).add(
+            chain.chain_id
+        )
+        orchestrated = OrchestratedChain(
+            request=request,
+            cluster=cluster,
+            optical_slice=optical_slice,
+            placement=placement,
+            vnf_ids=vnf_ids,
+            path=tuple(path),
+        )
+        self._chains[chain.chain_id] = orchestrated
+        self._actions.append(("provision", chain.chain_id))
+        return orchestrated
+
+    def _deploy(
+        self,
+        request: ChainRequest,
+        cluster: VirtualCluster,
+        algorithm: PlacementAlgorithm,
+    ) -> tuple[ChainPlacement, tuple[VnfId, ...], list[str]]:
+        chain = request.chain
+        pool = self._nfv.pool
+        al_free = {
+            ops: pool.get(ops).free
+            for ops in sorted(cluster.al_switches)
+            if ops in pool
+        }
+        solver = PlacementSolver(
+            al_free,
+            merge_consecutive=self._merge,
+            host_policy=self._host_policy,
+            seed=self._seed,
+        )
+        placement = solver.solve(chain, algorithm)
+        vnf_ids: list[VnfId] = []
+        deployed_hosts: list[str] = []
+        try:
+            for placed in placement.assignments:
+                if placed.domain is Domain.OPTICAL:
+                    instance = self._nfv.deploy_optical(
+                        placed.function.name, ops=placed.host
+                    )
+                else:
+                    server = self._electronic_host(cluster, placed.function)
+                    instance = self._nfv.deploy_electronic(
+                        placed.function.name, server=server
+                    )
+                vnf_ids.append(instance.vnf_id)
+                deployed_hosts.append(instance.host)
+            path = self._route(request, cluster, deployed_hosts)
+        except Exception:
+            for vnf in vnf_ids:
+                self._nfv.terminate(vnf)
+            raise
+        return placement, tuple(vnf_ids), path
+
+    def _electronic_host(self, cluster: VirtualCluster, function) -> ServerId:
+        """A server inside the cluster's reach with room for the VNF.
+
+        Preference order: servers hosting the cluster's VMs, then any
+        server attached to one of the AL's selected ToRs — either keeps
+        the chain path inside the abstraction layer.
+        """
+        cluster_servers = sorted(
+            {
+                self._inventory.host_of(vm)
+                for vm in cluster.vm_ids
+                if self._inventory.is_placed(vm)
+            }
+        )
+        al_servers = sorted(
+            {
+                server
+                for tor in cluster.tor_switches
+                for server in self._inventory.network.servers_under(tor)
+            }
+            - set(cluster_servers)
+        )
+        for server in (*cluster_servers, *al_servers):
+            if function.demand.fits_within(
+                self._inventory.remaining_capacity(server)
+            ):
+                return server
+        raise PlacementError(
+            f"no server in cluster {cluster.cluster_id} fits "
+            f"{function.name} (demand {function.demand})"
+        )
+
+    def _route(
+        self,
+        request: ChainRequest,
+        cluster: VirtualCluster,
+        hosts: list[str],
+    ) -> list[str]:
+        """Route ingress → VNF hosts (in order) → egress inside the AL."""
+        vm_servers = sorted(
+            {
+                self._inventory.host_of(vm)
+                for vm in cluster.vm_ids
+                if self._inventory.is_placed(vm)
+            }
+        )
+        ingress = vm_servers[0]
+        egress = vm_servers[-1]
+        waypoints = [ingress, *hosts, egress]
+        path = chain_path(
+            self._inventory.network, waypoints, al_switches=cluster.al_switches
+        )
+        if len(path) >= 2:
+            self._sdn.install_path(request.chain.chain_id, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Cluster churn: VM migration with AL repair and chain rerouting
+    # ------------------------------------------------------------------
+    def handle_vm_migration(
+        self, vm: str, new_server: ServerId
+    ) -> dict[str, int]:
+        """Migrate a cluster VM and repair everything that depends on it.
+
+        The operational path the low-update-cost claim is about: the VM
+        moves in the inventory, the cluster's abstraction layer is
+        repaired incrementally (never rebuilt unless coverage demands
+        it), and the cluster's live chain — if any — is rerouted inside
+        the (possibly extended) AL.
+
+        Returns:
+            ``{"switches_touched": ..., "chains_rerouted": ...}`` — the
+            update-cost accounting of the whole event.
+
+        Raises:
+            UnknownEntityError: when the VM is in no cluster.
+            PlacementError: when the target server lacks capacity (the
+                VM stays put).
+        """
+        from repro.core.reconfiguration import AlReconfigurator
+
+        cluster = self._clusters.cluster_of_service(
+            self._inventory.get(vm).service
+        )
+        self._inventory.migrate(vm, new_server)
+
+        attachments = {
+            member: self._inventory.tors_of_vm(member)
+            for member in sorted(cluster.vm_ids)
+            if self._inventory.is_placed(member)
+        }
+        reconfigurator = AlReconfigurator(
+            self._inventory.network,
+            cluster.abstraction_layer,
+            {m: t for m, t in attachments.items() if m != vm},
+        )
+        available = self._clusters.free_ops()
+        result = reconfigurator.add_vm(vm, attachments[vm], available)
+        repaired = dataclasses.replace(
+            cluster, abstraction_layer=reconfigurator.layer
+        )
+        self._clusters.replace_cluster(repaired)
+        # Keep the optical slice congruent with the repaired AL.
+        updated_slice = None
+        if self._slice_users.get(cluster.cluster_id):
+            current_slice = self._slices.slice_of_cluster(
+                cluster.cluster_id
+            )
+            updated_slice = self._slices.extend(
+                current_slice.slice_id, repaired.al_switches
+            )
+
+        rerouted = 0
+        for live in list(self._chains.values()):
+            if live.cluster.cluster_id != cluster.cluster_id:
+                continue
+            updated = self._reroute_chain(live, repaired)
+            if updated_slice is not None:
+                updated = dataclasses.replace(
+                    updated, optical_slice=updated_slice
+                )
+            self._chains[updated.chain_id] = updated
+            rerouted += 1
+        self._actions.append(("migrate", vm))
+        return {
+            "switches_touched": result.cost,
+            "chains_rerouted": rerouted,
+        }
+
+    def _reroute_chain(
+        self, live: OrchestratedChain, cluster: VirtualCluster
+    ) -> OrchestratedChain:
+        hosts = [
+            self._nfv.instance_of(vnf).host for vnf in live.vnf_ids
+        ]
+        vm_servers = sorted(
+            {
+                self._inventory.host_of(member)
+                for member in cluster.vm_ids
+                if self._inventory.is_placed(member)
+            }
+        )
+        waypoints = [vm_servers[0], *hosts, vm_servers[-1]]
+        path = chain_path(
+            self._inventory.network,
+            waypoints,
+            al_switches=cluster.al_switches,
+        )
+        if self._sdn.has_flow(live.chain_id):
+            if len(path) >= 2:
+                self._sdn.reroute(live.chain_id, path)
+            else:
+                self._sdn.remove_flow(live.chain_id)
+        elif len(path) >= 2:
+            self._sdn.install_path(live.chain_id, path)
+        return dataclasses.replace(
+            live, cluster=cluster, path=tuple(path)
+        )
+
+    # ------------------------------------------------------------------
+    # NFC lifecycle: modification / upgradation / deletion
+    # ------------------------------------------------------------------
+    def modify_chain(
+        self,
+        chain_id: ChainId,
+        new_chain: NetworkFunctionChain,
+        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+    ) -> OrchestratedChain:
+        """Replace a chain's function list, re-placing and re-routing."""
+        old = self.chain(chain_id)
+        self.delete_chain(chain_id)
+        new_request = ChainRequest(
+            tenant=old.request.tenant,
+            chain=new_chain,
+            service=old.request.service,
+            flow_size_gb=old.request.flow_size_gb,
+        )
+        result = self.provision_chain(new_request, algorithm)
+        self._actions.append(("modify", new_chain.chain_id))
+        return result
+
+    def upgrade_chain(self, chain_id: ChainId) -> int:
+        """Run an update event on every VNF of a chain (software upgrade).
+
+        Returns the number of VNFs updated.
+        """
+        live = self.chain(chain_id)
+        for vnf in live.vnf_ids:
+            self._nfv.update(vnf, reason=f"upgrade {chain_id}")
+        self._actions.append(("upgrade", chain_id))
+        return len(live.vnf_ids)
+
+    def delete_chain(self, chain_id: ChainId) -> None:
+        """Tear down a chain: VNFs, flow rules, and (when it was the
+        cluster's last chain) its slice."""
+        live = self.chain(chain_id)
+        for vnf in live.vnf_ids:
+            self._nfv.terminate(vnf)
+        if self._sdn.has_flow(chain_id):
+            self._sdn.remove_flow(chain_id)
+        users = self._slice_users.get(live.cluster.cluster_id, set())
+        users.discard(chain_id)
+        if not users:
+            self._slices.release(live.optical_slice.slice_id)
+            self._slice_users.pop(live.cluster.cluster_id, None)
+        del self._chains[chain_id]
+        self._actions.append(("delete", chain_id))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def chain(self, chain_id: ChainId) -> OrchestratedChain:
+        """The live chain with this id."""
+        try:
+            return self._chains[chain_id]
+        except KeyError:
+            raise UnknownEntityError("chain", chain_id) from None
+
+    def chains(self) -> list[OrchestratedChain]:
+        """All live chains, sorted by id."""
+        return [self._chains[key] for key in sorted(self._chains)]
+
+    def action_log(self) -> list[tuple[str, str]]:
+        """Every orchestration action taken, in order."""
+        return list(self._actions)
+
+    def cost_report(
+        self, model: ConversionModel | None = None
+    ) -> list[dict]:
+        """Per-chain O/E/O accounting rows for every live chain.
+
+        Each row prices one flow of the chain's declared
+        ``flow_size_gb``; operators use this to see which chains still
+        pay conversions and what optical capacity would save.
+        """
+        conversion_model = model or ConversionModel()
+        rows = []
+        for live in self.chains():
+            flow_bytes = live.request.flow_size_gb * 1e9
+            rows.append(
+                {
+                    "chain": live.chain_id,
+                    "service": live.request.service,
+                    "vnfs": len(live.vnf_ids),
+                    "optical_vnfs": live.placement.optical_count,
+                    "conversions_per_flow": live.conversions,
+                    "cost_per_flow": live.placement.conversion_cost(
+                        conversion_model, flow_bytes
+                    ),
+                    "energy_per_flow_joules": (
+                        live.placement.conversion_energy_joules(
+                            conversion_model, flow_bytes
+                        )
+                    ),
+                }
+            )
+        return rows
+
+    @property
+    def cluster_manager(self) -> ClusterManager:
+        """The cluster manager (create clusters through this)."""
+        return self._clusters
+
+    @property
+    def nfv_manager(self) -> CloudNfvManager:
+        """The Cloud/NFV manager."""
+        return self._nfv
+
+    @property
+    def sdn(self) -> SdnController:
+        """The SDN controller."""
+        return self._sdn
+
+    @property
+    def slice_allocator(self) -> SliceAllocator:
+        """The optical slice allocator."""
+        return self._slices

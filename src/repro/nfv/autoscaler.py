@@ -1,0 +1,159 @@
+"""Threshold-based VNF autoscaling.
+
+The Cloud/NFV manager is responsible for "scaling … events during the
+life cycle of VNF" (Section IV.B); this module supplies the policy that
+*triggers* them.  Load observations per VNF (utilization in [0, 1+))
+drive hysteresis scaling: sustained load above ``scale_up_threshold``
+grows the instance, sustained load below ``scale_down_threshold`` shrinks
+it back — never below its catalog size, and never beyond its host's
+capacity (a failed grow is recorded, not raised, so a full
+optoelectronic router degrades gracefully).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.exceptions import ALVCError, PlacementError
+from repro.ids import VnfId
+from repro.nfv.manager import CloudNfvManager
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AutoscalerPolicy:
+    """Thresholds and step size of the scaling loop.
+
+    Attributes:
+        scale_up_threshold: utilization at/above which a VNF grows.
+        scale_down_threshold: utilization at/below which a VNF shrinks.
+        step_factor: multiplicative size change per action (>1).
+        observations_required: consecutive breaches needed to act
+            (hysteresis against flapping).
+    """
+
+    scale_up_threshold: float = 0.8
+    scale_down_threshold: float = 0.3
+    step_factor: float = 2.0
+    observations_required: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale_down_threshold < self.scale_up_threshold:
+            raise ValueError(
+                "need 0 < scale_down_threshold < scale_up_threshold, got "
+                f"{self.scale_down_threshold} / {self.scale_up_threshold}"
+            )
+        if self.step_factor <= 1:
+            raise ValueError(
+                f"step_factor must exceed 1, got {self.step_factor}"
+            )
+        if self.observations_required < 1:
+            raise ValueError("observations_required must be at least 1")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScalingAction:
+    """One decision of the autoscaler."""
+
+    vnf_id: VnfId
+    direction: str  # "up", "down", or "blocked"
+    factor: float
+
+
+class VnfAutoscaler:
+    """Watches per-VNF load and drives scaling through the manager."""
+
+    def __init__(
+        self,
+        manager: CloudNfvManager,
+        policy: AutoscalerPolicy | None = None,
+    ) -> None:
+        self._manager = manager
+        self._policy = policy or AutoscalerPolicy()
+        self._high_streak: dict[VnfId, int] = {}
+        self._low_streak: dict[VnfId, int] = {}
+        # Cumulative size factor per VNF relative to its catalog demand;
+        # scale-down never goes below 1.0.
+        self._size_factor: dict[VnfId, float] = {}
+        self._actions: list[ScalingAction] = []
+
+    @property
+    def policy(self) -> AutoscalerPolicy:
+        """The active thresholds."""
+        return self._policy
+
+    def observe(self, vnf: VnfId, utilization: float) -> ScalingAction | None:
+        """Feed one load observation; returns the action taken, if any."""
+        if utilization < 0:
+            raise ValueError(
+                f"utilization must be non-negative, got {utilization}"
+            )
+        self._manager.instance_of(vnf)  # raises for unknown VNFs
+        if utilization >= self._policy.scale_up_threshold:
+            self._high_streak[vnf] = self._high_streak.get(vnf, 0) + 1
+            self._low_streak[vnf] = 0
+        elif utilization <= self._policy.scale_down_threshold:
+            self._low_streak[vnf] = self._low_streak.get(vnf, 0) + 1
+            self._high_streak[vnf] = 0
+        else:
+            self._high_streak[vnf] = 0
+            self._low_streak[vnf] = 0
+            return None
+
+        needed = self._policy.observations_required
+        if self._high_streak.get(vnf, 0) >= needed:
+            self._high_streak[vnf] = 0
+            return self._scale(vnf, up=True)
+        if self._low_streak.get(vnf, 0) >= needed:
+            self._low_streak[vnf] = 0
+            return self._scale(vnf, up=False)
+        return None
+
+    def observe_many(
+        self, loads: Iterable[tuple[VnfId, float]]
+    ) -> list[ScalingAction]:
+        """Feed a batch of observations; returns the actions taken."""
+        actions = []
+        for vnf, utilization in loads:
+            action = self.observe(vnf, utilization)
+            if action is not None:
+                actions.append(action)
+        return actions
+
+    def _scale(self, vnf: VnfId, *, up: bool) -> ScalingAction:
+        current = self._size_factor.get(vnf, 1.0)
+        step = self._policy.step_factor
+        if up:
+            target = current * step
+        else:
+            target = max(current / step, 1.0)
+            if target == current:
+                action = ScalingAction(vnf_id=vnf, direction="blocked",
+                                       factor=1.0)
+                self._actions.append(action)
+                return action
+        # CloudNfvManager.scale takes a factor relative to the *catalog*
+        # demand of the instance's current function record.
+        relative = target / current
+        try:
+            self._manager.scale(vnf, relative)
+        except (PlacementError, ALVCError):
+            action = ScalingAction(
+                vnf_id=vnf, direction="blocked", factor=relative
+            )
+            self._actions.append(action)
+            return action
+        self._size_factor[vnf] = target
+        action = ScalingAction(
+            vnf_id=vnf, direction="up" if up else "down", factor=relative
+        )
+        self._actions.append(action)
+        return action
+
+    def size_factor_of(self, vnf: VnfId) -> float:
+        """Current size of a VNF relative to its catalog demand."""
+        return self._size_factor.get(vnf, 1.0)
+
+    def actions(self) -> list[ScalingAction]:
+        """All actions taken, in order."""
+        return list(self._actions)

@@ -1,0 +1,164 @@
+"""Network function types and VNF instances.
+
+The catalog covers the middleboxes the paper names — "firewalls, Deep
+Packet Inspection (DPI), load balancers" (Section I) and "security gateways
+(GWs), firewalls, DPI, etc." (Section IV.A) — plus common chain members.
+Each type carries a resource demand; whether a VNF can run on an
+optoelectronic router depends on that demand fitting the router's limited
+capacity (Section IV.D).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.exceptions import DuplicateEntityError, UnknownEntityError
+from repro.topology.elements import Domain, ResourceVector
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NetworkFunctionType:
+    """A type of network function (the template VNFs are instantiated from).
+
+    Attributes:
+        name: unique function name (e.g. ``"firewall"``).
+        demand: resources one instance needs.
+        per_gb_processing_cost: abstract processing cost per gigabyte of
+            traffic (used by simulation metrics).
+        optical_capable: whether the function is *implementable* in the
+            optical domain at all.  Some functions intrinsically need the
+            electronic domain regardless of resources.
+    """
+
+    name: str
+    demand: ResourceVector
+    per_gb_processing_cost: float = 0.1
+    optical_capable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("function name must be non-empty")
+        if self.per_gb_processing_cost < 0:
+            raise ValueError(
+                f"per_gb_processing_cost must be non-negative, "
+                f"got {self.per_gb_processing_cost}"
+            )
+
+    def fits_on(self, capacity: ResourceVector) -> bool:
+        """True if one instance fits within the given capacity."""
+        return self.demand.fits_within(capacity)
+
+
+# Light functions: deployable on optoelectronic routers (low demand).
+FIREWALL = NetworkFunctionType(
+    "firewall", ResourceVector(cpu_cores=1, memory_gb=2, storage_gb=4)
+)
+NAT = NetworkFunctionType(
+    "nat", ResourceVector(cpu_cores=0.5, memory_gb=1, storage_gb=2)
+)
+LOAD_BALANCER = NetworkFunctionType(
+    "load-balancer", ResourceVector(cpu_cores=1, memory_gb=2, storage_gb=2)
+)
+SECURITY_GATEWAY = NetworkFunctionType(
+    "security-gateway", ResourceVector(cpu_cores=2, memory_gb=4, storage_gb=8)
+)
+PROXY = NetworkFunctionType(
+    "proxy", ResourceVector(cpu_cores=1, memory_gb=4, storage_gb=16)
+)
+# Heavy functions: "some VNFs' resource demand, e.g., CPU is quite large and
+# that cannot be met by optoelectronic routers" (Section IV.D).
+DPI = NetworkFunctionType(
+    "dpi",
+    ResourceVector(cpu_cores=8, memory_gb=16, storage_gb=32),
+    per_gb_processing_cost=0.5,
+)
+IDS = NetworkFunctionType(
+    "ids",
+    ResourceVector(cpu_cores=6, memory_gb=16, storage_gb=64),
+    per_gb_processing_cost=0.4,
+)
+WAN_OPTIMIZER = NetworkFunctionType(
+    "wan-optimizer",
+    ResourceVector(cpu_cores=4, memory_gb=8, storage_gb=128),
+    per_gb_processing_cost=0.3,
+)
+CACHE = NetworkFunctionType(
+    "cache",
+    ResourceVector(cpu_cores=2, memory_gb=32, storage_gb=512),
+    per_gb_processing_cost=0.2,
+)
+
+STANDARD_FUNCTIONS: tuple[NetworkFunctionType, ...] = (
+    FIREWALL,
+    NAT,
+    LOAD_BALANCER,
+    SECURITY_GATEWAY,
+    PROXY,
+    DPI,
+    IDS,
+    WAN_OPTIMIZER,
+    CACHE,
+)
+
+
+class FunctionCatalog:
+    """Registry of the network function types an operator offers."""
+
+    def __init__(self, functions=()) -> None:
+        self._functions: dict[str, NetworkFunctionType] = {}
+        for function in functions:
+            self.register(function)
+
+    @classmethod
+    def standard(cls) -> "FunctionCatalog":
+        """Catalog pre-populated with :data:`STANDARD_FUNCTIONS`."""
+        return cls(STANDARD_FUNCTIONS)
+
+    def register(self, function: NetworkFunctionType) -> NetworkFunctionType:
+        """Add a function type; duplicate names are rejected."""
+        if function.name in self._functions:
+            raise DuplicateEntityError("network function", function.name)
+        self._functions[function.name] = function
+        return function
+
+    def get(self, name: str) -> NetworkFunctionType:
+        """Look up a function type by name."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise UnknownEntityError("network function", name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        return sorted(self._functions)
+
+    def optical_deployable(self, capacity: ResourceVector) -> list[str]:
+        """Function names deployable on a router of the given capacity."""
+        return [
+            name
+            for name in self.names()
+            if self._functions[name].optical_capable
+            and self._functions[name].fits_on(capacity)
+        ]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VnfInstance:
+    """One deployed VNF: a function type bound to a host node and domain."""
+
+    vnf_id: str
+    function: NetworkFunctionType
+    host: str
+    domain: Domain
+
+    def __post_init__(self) -> None:
+        if self.domain is Domain.OPTICAL and not self.function.optical_capable:
+            raise ValueError(
+                f"{self.function.name} cannot be deployed in the optical domain"
+            )

@@ -1,0 +1,137 @@
+"""VNF lifecycle state machine.
+
+Section IV.B: the Cloud/NFV manager handles "VNF creation, scaling,
+termination, and update events during the life cycle of VNF".  Every
+transition is validated and journalled so orchestration experiments can
+count management actions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.exceptions import LifecycleError, UnknownEntityError
+from repro.ids import VnfId
+
+
+class VnfState(enum.Enum):
+    """States a VNF instance moves through."""
+
+    INSTANTIATED = "instantiated"
+    RUNNING = "running"
+    SCALING = "scaling"
+    UPDATING = "updating"
+    TERMINATED = "terminated"
+
+
+# Legal transitions: the paper's creation / scaling / update / termination
+# events.  SCALING and UPDATING are transient management states that return
+# to RUNNING.
+_TRANSITIONS: dict[VnfState, frozenset[VnfState]] = {
+    VnfState.INSTANTIATED: frozenset({VnfState.RUNNING, VnfState.TERMINATED}),
+    VnfState.RUNNING: frozenset(
+        {VnfState.SCALING, VnfState.UPDATING, VnfState.TERMINATED}
+    ),
+    VnfState.SCALING: frozenset({VnfState.RUNNING, VnfState.TERMINATED}),
+    VnfState.UPDATING: frozenset({VnfState.RUNNING, VnfState.TERMINATED}),
+    VnfState.TERMINATED: frozenset(),
+}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LifecycleEvent:
+    """One journalled lifecycle transition."""
+
+    vnf_id: VnfId
+    before: VnfState | None
+    after: VnfState
+    reason: str = ""
+
+
+class VnfLifecycleManager:
+    """Tracks the lifecycle state of every VNF instance.
+
+    All mutations go through :meth:`transition`, which enforces the state
+    machine and appends to the journal.
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[VnfId, VnfState] = {}
+        self._journal: list[LifecycleEvent] = []
+
+    def create(self, vnf: VnfId, reason: str = "") -> LifecycleEvent:
+        """Register a new VNF in the INSTANTIATED state."""
+        if vnf in self._states:
+            raise LifecycleError(f"{vnf} already exists")
+        event = LifecycleEvent(
+            vnf_id=vnf, before=None, after=VnfState.INSTANTIATED, reason=reason
+        )
+        self._states[vnf] = VnfState.INSTANTIATED
+        self._journal.append(event)
+        return event
+
+    def transition(
+        self, vnf: VnfId, to: VnfState, reason: str = ""
+    ) -> LifecycleEvent:
+        """Move a VNF to a new state, enforcing legality."""
+        current = self.state_of(vnf)
+        if to not in _TRANSITIONS[current]:
+            raise LifecycleError(
+                f"illegal transition {current.value} -> {to.value} for {vnf}"
+            )
+        event = LifecycleEvent(vnf_id=vnf, before=current, after=to, reason=reason)
+        self._states[vnf] = to
+        self._journal.append(event)
+        return event
+
+    # Convenience wrappers naming the paper's lifecycle events -----------
+    def start(self, vnf: VnfId, reason: str = "") -> LifecycleEvent:
+        """INSTANTIATED → RUNNING."""
+        return self.transition(vnf, VnfState.RUNNING, reason)
+
+    def scale(self, vnf: VnfId, reason: str = "") -> LifecycleEvent:
+        """RUNNING → SCALING (complete with :meth:`finish_management`)."""
+        return self.transition(vnf, VnfState.SCALING, reason)
+
+    def update(self, vnf: VnfId, reason: str = "") -> LifecycleEvent:
+        """RUNNING → UPDATING (complete with :meth:`finish_management`)."""
+        return self.transition(vnf, VnfState.UPDATING, reason)
+
+    def finish_management(self, vnf: VnfId, reason: str = "") -> LifecycleEvent:
+        """SCALING/UPDATING → RUNNING."""
+        return self.transition(vnf, VnfState.RUNNING, reason)
+
+    def terminate(self, vnf: VnfId, reason: str = "") -> LifecycleEvent:
+        """Any live state → TERMINATED."""
+        return self.transition(vnf, VnfState.TERMINATED, reason)
+
+    # Queries -------------------------------------------------------------
+    def state_of(self, vnf: VnfId) -> VnfState:
+        """Current state of a VNF."""
+        try:
+            return self._states[vnf]
+        except KeyError:
+            raise UnknownEntityError("vnf", vnf) from None
+
+    def __contains__(self, vnf: VnfId) -> bool:
+        return vnf in self._states
+
+    def live_vnfs(self) -> list[VnfId]:
+        """Ids of VNFs not yet terminated, sorted."""
+        return sorted(
+            vnf
+            for vnf, state in self._states.items()
+            if state is not VnfState.TERMINATED
+        )
+
+    def journal(self) -> list[LifecycleEvent]:
+        """All recorded events, in order."""
+        return list(self._journal)
+
+    def event_counts(self) -> dict[str, int]:
+        """Number of transitions into each state (for reports)."""
+        counts: dict[str, int] = {}
+        for event in self._journal:
+            counts[event.after.value] = counts.get(event.after.value, 0) + 1
+        return counts

@@ -1,0 +1,250 @@
+"""The Cloud/NFV manager.
+
+One of the two NFVI managers of the AL-VC functional architecture (Section
+IV.B, Fig. 6): it is "responsible for managing VMs and storage resources
+[and] for managing the VNFs during its lifetime, such as VNF creation,
+scaling, termination, and update events".
+
+Deployment model:
+
+* an **optical-domain** VNF is hosted directly on an optoelectronic router,
+  reserving part of its limited compute;
+* an **electronic-domain** VNF runs inside a carrier VM on a server, so its
+  capacity is charged through the same :class:`MachineInventory` that
+  tracks tenant VMs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PlacementError, UnknownEntityError
+from repro.ids import IdAllocator, OpsId, ServerId, VnfId, vnf_id
+from repro.nfv.functions import FunctionCatalog, NetworkFunctionType, VnfInstance
+from repro.nfv.lifecycle import VnfLifecycleManager, VnfState
+from repro.optical.optoelectronic import OptoelectronicPool
+from repro.topology.elements import Domain, ResourceVector
+from repro.virtualization.machines import MachineInventory
+from repro.virtualization.services import ServiceType
+
+# Carrier VMs for electronic VNFs are tagged with this pseudo-service so
+# they are distinguishable from tenant VMs in inventory queries.
+NFV_INFRA_SERVICE = ServiceType("nfv-infra", traffic_intensity=0.0)
+
+
+class CloudNfvManager:
+    """Deploys and manages VNF instances across both domains."""
+
+    def __init__(
+        self,
+        inventory: MachineInventory,
+        catalog: FunctionCatalog | None = None,
+        pool: OptoelectronicPool | None = None,
+    ) -> None:
+        self._inventory = inventory
+        self._catalog = catalog if catalog is not None else FunctionCatalog.standard()
+        network = inventory.network
+        self._pool = (
+            pool
+            if pool is not None
+            else OptoelectronicPool.from_network(
+                network, network.optical_switches()
+            )
+        )
+        self._lifecycle = VnfLifecycleManager()
+        self._ids = IdAllocator()
+        self._instances: dict[VnfId, VnfInstance] = {}
+        self._carrier_vms: dict[VnfId, str] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def deploy_optical(
+        self, function_name: str, ops: OpsId | None = None
+    ) -> VnfInstance:
+        """Deploy a VNF on an optoelectronic router.
+
+        Args:
+            function_name: a name from the catalog.
+            ops: target router; first-fit over the pool when omitted.
+
+        Raises:
+            PlacementError: if the function is not optical-capable or no
+                router has room for it.
+        """
+        function = self._catalog.get(function_name)
+        if not function.optical_capable:
+            raise PlacementError(
+                f"{function_name} cannot run in the optical domain"
+            )
+        new_id = self._ids.allocate(vnf_id)
+        if ops is None:
+            ops = self._pool.first_fit(function.demand)
+            if ops is None:
+                raise PlacementError(
+                    f"no optoelectronic router fits {function_name} "
+                    f"(demand {function.demand})"
+                )
+            self._pool.get(ops).host(new_id, function.demand)
+        else:
+            self._pool.get(ops).host(new_id, function.demand)
+        instance = VnfInstance(
+            vnf_id=new_id, function=function, host=ops, domain=Domain.OPTICAL
+        )
+        self._register(instance)
+        return instance
+
+    def deploy_electronic(
+        self, function_name: str, server: ServerId | None = None
+    ) -> VnfInstance:
+        """Deploy a VNF in a carrier VM on a server (first-fit if omitted)."""
+        function = self._catalog.get(function_name)
+        carrier = self._inventory.create_vm(NFV_INFRA_SERVICE, function.demand)
+        placed = False
+        try:
+            if server is None:
+                for candidate in self._inventory.network.servers():
+                    if function.demand.fits_within(
+                        self._inventory.remaining_capacity(candidate)
+                    ):
+                        server = candidate
+                        break
+                if server is None:
+                    raise PlacementError(
+                        f"no server fits {function_name} "
+                        f"(demand {function.demand})"
+                    )
+            self._inventory.place(carrier, server)
+            placed = True
+        finally:
+            if not placed:
+                self._inventory.remove(carrier)
+        instance = VnfInstance(
+            vnf_id=self._ids.allocate(vnf_id),
+            function=function,
+            host=server,
+            domain=Domain.ELECTRONIC,
+        )
+        self._carrier_vms[instance.vnf_id] = carrier.vm_id
+        self._register(instance)
+        return instance
+
+    def _register(self, instance: VnfInstance) -> None:
+        self._instances[instance.vnf_id] = instance
+        self._lifecycle.create(instance.vnf_id, reason=f"deploy {instance.function.name}")
+        self._lifecycle.start(instance.vnf_id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle management (paper: creation, scaling, update, termination)
+    # ------------------------------------------------------------------
+    def scale(self, vnf: VnfId, factor: float) -> VnfInstance:
+        """Scale a VNF's reservation by ``factor`` (e.g. 2.0 to double).
+
+        The new reservation must fit its current host; scaling never
+        migrates.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        instance = self.instance_of(vnf)
+        self._lifecycle.scale(vnf, reason=f"scale x{factor}")
+        new_demand = instance.function.demand.scaled(factor)
+        try:
+            self._rehost(instance, new_demand)
+        finally:
+            self._lifecycle.finish_management(vnf)
+        scaled_function = NetworkFunctionType(
+            name=instance.function.name,
+            demand=new_demand,
+            per_gb_processing_cost=instance.function.per_gb_processing_cost,
+            optical_capable=instance.function.optical_capable,
+        )
+        updated = VnfInstance(
+            vnf_id=instance.vnf_id,
+            function=scaled_function,
+            host=instance.host,
+            domain=instance.domain,
+        )
+        self._instances[vnf] = updated
+        return updated
+
+    def _rehost(self, instance: VnfInstance, new_demand: ResourceVector) -> None:
+        """Replace an instance's reservation with ``new_demand`` in place."""
+        if instance.domain is Domain.OPTICAL:
+            host = self._pool.get(instance.host)
+            host.evict(instance.vnf_id)
+            try:
+                host.host(instance.vnf_id, new_demand)
+            except PlacementError:
+                host.host(instance.vnf_id, instance.function.demand)
+                raise
+        else:
+            carrier_id = self._carrier_vms[instance.vnf_id]
+            server = self._inventory.host_of(carrier_id)
+            self._inventory.remove(carrier_id)
+            new_carrier = self._inventory.create_vm(NFV_INFRA_SERVICE, new_demand)
+            try:
+                self._inventory.place(new_carrier, server)
+            except PlacementError:
+                self._inventory.remove(new_carrier)
+                restored = self._inventory.create_vm(
+                    NFV_INFRA_SERVICE, instance.function.demand
+                )
+                self._inventory.place(restored, server)
+                self._carrier_vms[instance.vnf_id] = restored.vm_id
+                raise
+            self._carrier_vms[instance.vnf_id] = new_carrier.vm_id
+
+    def update(self, vnf: VnfId, reason: str = "software update") -> None:
+        """Run an update event (no resource change)."""
+        self._lifecycle.update(vnf, reason=reason)
+        self._lifecycle.finish_management(vnf)
+
+    def terminate(self, vnf: VnfId) -> None:
+        """Terminate a VNF and release its resources."""
+        instance = self.instance_of(vnf)
+        self._lifecycle.terminate(vnf)
+        if instance.domain is Domain.OPTICAL:
+            self._pool.get(instance.host).evict(vnf)
+        else:
+            self._inventory.remove(self._carrier_vms.pop(vnf))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def instance_of(self, vnf: VnfId) -> VnfInstance:
+        """The instance record of a VNF."""
+        try:
+            return self._instances[vnf]
+        except KeyError:
+            raise UnknownEntityError("vnf", vnf) from None
+
+    def state_of(self, vnf: VnfId) -> VnfState:
+        """Lifecycle state of a VNF."""
+        return self._lifecycle.state_of(vnf)
+
+    def live_instances(self) -> list[VnfInstance]:
+        """Instances not yet terminated, sorted by id."""
+        return [
+            self._instances[vnf] for vnf in self._lifecycle.live_vnfs()
+        ]
+
+    def instances_on(self, host: str) -> list[VnfInstance]:
+        """Live instances on one host node."""
+        return [
+            instance
+            for instance in self.live_instances()
+            if instance.host == host
+        ]
+
+    @property
+    def catalog(self) -> FunctionCatalog:
+        """The function catalog used for deployments."""
+        return self._catalog
+
+    @property
+    def pool(self) -> OptoelectronicPool:
+        """The optoelectronic router pool backing optical deployments."""
+        return self._pool
+
+    @property
+    def lifecycle(self) -> VnfLifecycleManager:
+        """The lifecycle journal (read-mostly)."""
+        return self._lifecycle

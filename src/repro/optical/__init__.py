@@ -1,0 +1,33 @@
+"""Optical substrate: domains, O/E/O conversion accounting, wavelengths.
+
+Models the hybrid optical/electronic fabric of Section III.B and the
+conversion-cost semantics of Section IV.D: "Each time the flow is traversed
+from optical to electronic and back to optical, it consumes O/E/O
+conversion.  Cost of this conversion corresponds to the length of the
+flow."
+"""
+
+from repro.optical.conversion import (
+    ConversionAccounting,
+    ConversionModel,
+    count_excursions,
+    domain_sequence,
+)
+from repro.optical.domain import domain_of_node, is_optical_node
+from repro.optical.optoelectronic import OptoelectronicHost, OptoelectronicPool
+from repro.optical.packet_switch import PortAllocator
+from repro.optical.wavelengths import WavelengthAssigner, WavelengthAssignment
+
+__all__ = [
+    "ConversionAccounting",
+    "ConversionModel",
+    "OptoelectronicHost",
+    "OptoelectronicPool",
+    "PortAllocator",
+    "WavelengthAssigner",
+    "WavelengthAssignment",
+    "count_excursions",
+    "domain_of_node",
+    "domain_sequence",
+    "is_optical_node",
+]

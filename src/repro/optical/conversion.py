@@ -1,0 +1,190 @@
+"""O/E/O conversion counting and cost/energy accounting (Section IV.D).
+
+The flow model of the paper: a flow entering the data center is steered
+through the optical core; every VNF hosted in the electronic domain forces
+the flow off the core — an optical→electronic→optical *excursion* — and
+each excursion costs one O/E/O conversion whose cost is proportional to the
+flow's length (size in bytes).
+
+Two counting semantics are provided:
+
+* **per-visit** (default): every electronic VNF costs its own conversion —
+  the paper's Fig. 8 semantics, where a 3-VNF chain with two electronic
+  VNFs "consumes two O/E/O conversions" because the flow returns to the
+  optical core between function visits;
+* **excursion** (``merge_consecutive=True``): consecutive electronic VNFs
+  served in one excursion (co-located on one electronic host) share a
+  single conversion — a chain ``[E, E, O]`` costs one.  This is the
+  co-location ablation of DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.topology.elements import Domain
+
+
+def count_excursions(
+    domains: Sequence[Domain], *, merge_consecutive: bool = False
+) -> int:
+    """Number of O/E/O conversions needed to visit VNFs in these domains.
+
+    Args:
+        domains: hosting domain of each VNF, in chain order.
+        merge_consecutive: if False (default, the paper's per-visit
+            semantics) every electronic VNF costs one conversion; if True
+            (excursion semantics) a maximal run of electronic VNFs costs
+            one conversion.
+    """
+    if not merge_consecutive:
+        return sum(1 for domain in domains if domain is Domain.ELECTRONIC)
+    conversions = 0
+    previous = Domain.OPTICAL  # the flow rides the optical core between VNFs
+    for domain in domains:
+        if domain is Domain.ELECTRONIC and previous is Domain.OPTICAL:
+            conversions += 1
+        previous = domain
+    return conversions
+
+
+def domain_sequence(dcn, path: Sequence[str]) -> list[Domain]:
+    """Domains a flow occupies along a physical node path."""
+    from repro.optical.domain import domain_of_node
+
+    return [domain_of_node(dcn, node) for node in path]
+
+
+def boundary_crossings(domains: Sequence[Domain]) -> int:
+    """Number of electronic↔optical boundary crossings along a path."""
+    return sum(
+        1 for before, after in zip(domains, domains[1:]) if before is not after
+    )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ConversionModel:
+    """Cost and energy of one O/E/O conversion, as a function of flow size.
+
+    "Cost of this conversion corresponds to the length of the flow.  The
+    larger the flow is, higher will be the cost" (Section IV.D): both the
+    abstract cost and the energy are linear in the flow's bit count.
+
+    Attributes:
+        cost_per_gb: abstract cost units charged per gigabyte converted.
+        pj_per_bit: energy of one O/E/O conversion per bit.  The default,
+            20 pJ/bit, models an E/O and an O/E transceiver stage of
+            ~10 pJ/bit each — representative of the optical packet switch
+            hardware in the paper's reference [29].
+    """
+
+    cost_per_gb: float = 1.0
+    pj_per_bit: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.cost_per_gb < 0 or self.pj_per_bit < 0:
+            raise ValueError("conversion cost parameters must be non-negative")
+
+    def conversion_cost(self, flow_bytes: float, conversions: int) -> float:
+        """Abstract cost of pushing a flow through N conversions."""
+        if flow_bytes < 0 or conversions < 0:
+            raise ValueError("flow size and conversion count must be non-negative")
+        gigabytes = flow_bytes / 1e9
+        return self.cost_per_gb * gigabytes * conversions
+
+    def conversion_energy_joules(
+        self, flow_bytes: float, conversions: int
+    ) -> float:
+        """Energy in joules of pushing a flow through N conversions."""
+        if flow_bytes < 0 or conversions < 0:
+            raise ValueError("flow size and conversion count must be non-negative")
+        bits = flow_bytes * 8
+        return bits * self.pj_per_bit * 1e-12 * conversions
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TransportEnergyModel:
+    """Per-hop transmission energy, by domain.
+
+    Models the Section III.B motivation for an optical core: "in order to
+    achieve higher bandwidth with small energy consumption, we use OPS".
+    Defaults put optical forwarding an order of magnitude below
+    electronic switching per bit-hop (representative of OPS vs.
+    store-and-forward electronic fabrics, ref [29]).
+    """
+
+    optical_pj_per_bit_hop: float = 1.0
+    electronic_pj_per_bit_hop: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.optical_pj_per_bit_hop < 0 or self.electronic_pj_per_bit_hop < 0:
+            raise ValueError("per-hop energies must be non-negative")
+
+    def hop_energy_joules(self, flow_bytes: float, domain: Domain) -> float:
+        """Energy to push a flow across one hop in the given domain."""
+        if flow_bytes < 0:
+            raise ValueError("flow size must be non-negative")
+        per_bit = (
+            self.optical_pj_per_bit_hop
+            if domain is Domain.OPTICAL
+            else self.electronic_pj_per_bit_hop
+        )
+        return flow_bytes * 8 * per_bit * 1e-12
+
+    def path_energy_joules(
+        self, flow_bytes: float, domains: Sequence[Domain]
+    ) -> float:
+        """Transport energy of a flow over a path's domain sequence.
+
+        A hop's domain is the domain of the link, approximated here by
+        the domain of the *downstream* node (a hop into an OPS is
+        optical, a hop into a server/ToR is electronic).
+        """
+        return sum(
+            self.hop_energy_joules(flow_bytes, domain)
+            for domain in domains[1:]
+        )
+
+
+@dataclasses.dataclass
+class ConversionAccounting:
+    """Accumulator of conversion counts/costs over many flows."""
+
+    model: ConversionModel = dataclasses.field(default_factory=ConversionModel)
+    flows: int = 0
+    total_conversions: int = 0
+    total_bytes_converted: float = 0.0
+    total_cost: float = 0.0
+    total_energy_joules: float = 0.0
+
+    def record(self, flow_bytes: float, conversions: int) -> None:
+        """Account one flow passing through ``conversions`` O/E/O stages."""
+        self.flows += 1
+        self.total_conversions += conversions
+        self.total_bytes_converted += flow_bytes * conversions
+        self.total_cost += self.model.conversion_cost(flow_bytes, conversions)
+        self.total_energy_joules += self.model.conversion_energy_joules(
+            flow_bytes, conversions
+        )
+
+    def record_many(self, records: Iterable[tuple[float, int]]) -> None:
+        """Account ``(flow_bytes, conversions)`` pairs in bulk."""
+        for flow_bytes, conversions in records:
+            self.record(flow_bytes, conversions)
+
+    @property
+    def mean_conversions_per_flow(self) -> float:
+        """Average number of conversions per recorded flow."""
+        return self.total_conversions / self.flows if self.flows else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all counters (for reports)."""
+        return {
+            "flows": self.flows,
+            "total_conversions": self.total_conversions,
+            "total_bytes_converted": self.total_bytes_converted,
+            "total_cost": self.total_cost,
+            "total_energy_joules": self.total_energy_joules,
+            "mean_conversions_per_flow": self.mean_conversions_per_flow,
+        }

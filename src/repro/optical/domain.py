@@ -1,0 +1,28 @@
+"""Domain classification of physical nodes.
+
+Servers live in the electronic domain; OPSs (including optoelectronic
+routers) live in the optical domain.  ToR switches sit exactly on the
+boundary — they "produce electronic packets and they need to be converted
+into optical packets before sending over the optical domain" (Section
+III.B) — and are classified as electronic here because packets at a ToR
+exist in electronic form.
+"""
+
+from __future__ import annotations
+
+from repro.ids import NodeKind
+from repro.topology.datacenter import DataCenterNetwork
+from repro.topology.elements import Domain
+
+
+def domain_of_node(dcn: DataCenterNetwork, node_id: str) -> Domain:
+    """Domain in which traffic exists while at this node."""
+    kind = dcn.kind_of(node_id)
+    if kind is NodeKind.OPS:
+        return Domain.OPTICAL
+    return Domain.ELECTRONIC
+
+
+def is_optical_node(dcn: DataCenterNetwork, node_id: str) -> bool:
+    """True when the node operates in the optical domain."""
+    return domain_of_node(dcn, node_id) is Domain.OPTICAL

@@ -1,0 +1,33 @@
+"""SDN substrate: controller, flow tables, routing, and update costs.
+
+The SDN controller of the AL-VC functional architecture "provision[s],
+control[s], and manage[s] the optical network and provide[s] virtual
+connectivity services to users between VMs hosting VNFs" (Section IV.B).
+The update-cost model quantifies the low-network-update-cost claim the
+paper inherits from its companion work (reference [14]).
+"""
+
+from repro.sdn.controller import SdnController
+from repro.sdn.flow_table import FlowRule, FlowTable
+from repro.sdn.routing import (
+    chain_path,
+    k_shortest_paths,
+    least_loaded_path,
+    shortest_path_in_al,
+    simple_path,
+)
+from repro.sdn.updates import UpdateCostModel, UpdateEvent, UpdateKind
+
+__all__ = [
+    "FlowRule",
+    "FlowTable",
+    "SdnController",
+    "UpdateCostModel",
+    "UpdateEvent",
+    "UpdateKind",
+    "chain_path",
+    "k_shortest_paths",
+    "least_loaded_path",
+    "shortest_path_in_al",
+    "simple_path",
+]

@@ -1,0 +1,84 @@
+"""Per-switch flow tables.
+
+A :class:`FlowRule` matches a flow id and forwards to a next hop; a
+:class:`FlowTable` is a switch's rule set.  Rule installs/removals are
+counted so experiments can report control-plane churn.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.exceptions import DuplicateEntityError, UnknownEntityError
+from repro.ids import FlowId
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FlowRule:
+    """One forwarding entry: flow ``match`` exits toward ``next_hop``."""
+
+    match: FlowId
+    next_hop: str
+    priority: int = 0
+
+
+class FlowTable:
+    """The forwarding state of a single switch."""
+
+    def __init__(self, switch_id: str) -> None:
+        self.switch_id = switch_id
+        self._rules: dict[FlowId, FlowRule] = {}
+        self.installs = 0
+        self.removals = 0
+
+    def install(self, rule: FlowRule) -> None:
+        """Install a rule; one rule per match key.
+
+        Raises:
+            DuplicateEntityError: when a rule for the match already exists
+                (modify flows via :meth:`replace`).
+        """
+        if rule.match in self._rules:
+            raise DuplicateEntityError(
+                f"rule on {self.switch_id}", rule.match
+            )
+        self._rules[rule.match] = rule
+        self.installs += 1
+
+    def replace(self, rule: FlowRule) -> FlowRule:
+        """Replace the rule for a match; returns the old rule."""
+        try:
+            old = self._rules[rule.match]
+        except KeyError:
+            raise UnknownEntityError(
+                f"rule on {self.switch_id}", rule.match
+            ) from None
+        self._rules[rule.match] = rule
+        self.installs += 1
+        self.removals += 1
+        return old
+
+    def remove(self, match: FlowId) -> FlowRule:
+        """Remove and return the rule for a match."""
+        try:
+            rule = self._rules.pop(match)
+        except KeyError:
+            raise UnknownEntityError(
+                f"rule on {self.switch_id}", match
+            ) from None
+        self.removals += 1
+        return rule
+
+    def lookup(self, match: FlowId) -> FlowRule | None:
+        """The rule for a match, or None."""
+        return self._rules.get(match)
+
+    def rules(self) -> list[FlowRule]:
+        """All rules, sorted by match key."""
+        return [self._rules[match] for match in sorted(self._rules)]
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, match: FlowId) -> bool:
+        return match in self._rules

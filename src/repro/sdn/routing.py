@@ -1,0 +1,194 @@
+"""Path computation over the fabric and within abstraction layers.
+
+``shortest_path_in_al`` restricts routing to a cluster's own switches —
+the isolation property of AL-VC slices — while ``chain_path`` concatenates
+per-segment shortest paths so a flow visits its chain's VNF hosts in order
+(the "packet processing order" of Section IV.A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.exceptions import RoutingError
+from repro.ids import NodeKind
+from repro.topology.datacenter import DataCenterNetwork
+
+
+def simple_path(dcn: DataCenterNetwork, source: str, target: str) -> list[str]:
+    """Unrestricted shortest path between two fabric nodes."""
+    try:
+        return nx.shortest_path(dcn.graph, source, target)
+    except nx.NodeNotFound as exc:
+        raise RoutingError(str(exc)) from None
+    except nx.NetworkXNoPath:
+        raise RoutingError(f"no path from {source} to {target}") from None
+
+
+def shortest_path_in_al(
+    dcn: DataCenterNetwork,
+    source: str,
+    target: str,
+    al_switches: Iterable[str],
+) -> list[str]:
+    """Shortest path whose optical hops all belong to one abstraction layer.
+
+    Servers and ToRs are always allowed (they are cluster members'
+    attachment points); OPSs outside ``al_switches`` are forbidden — an
+    AL-VC cluster's traffic must stay inside its own optical slice.
+
+    Raises:
+        RoutingError: when the AL does not connect the endpoints.
+    """
+    allowed_ops = set(al_switches)
+    graph = dcn.graph
+
+    def permitted(node: str) -> bool:
+        return dcn.kind_of(node) is not NodeKind.OPS or node in allowed_ops
+
+    if not graph.has_node(source) or not graph.has_node(target):
+        raise RoutingError(f"unknown endpoint in ({source}, {target})")
+    if not permitted(source) or not permitted(target):
+        raise RoutingError(
+            f"endpoint outside the abstraction layer: {source} -> {target}"
+        )
+    restricted = graph.subgraph(node for node in graph if permitted(node))
+    try:
+        return nx.shortest_path(restricted, source, target)
+    except nx.NetworkXNoPath:
+        raise RoutingError(
+            f"abstraction layer {sorted(allowed_ops)} does not connect "
+            f"{source} to {target}"
+        ) from None
+
+
+def chain_path(
+    dcn: DataCenterNetwork,
+    waypoints: Sequence[str],
+    al_switches: Iterable[str] | None = None,
+) -> list[str]:
+    """Path visiting ``waypoints`` in order (source, VNF hosts…, target).
+
+    Consecutive duplicate waypoints (two VNFs on the same host) are
+    traversed without extra hops.  When ``al_switches`` is given, every
+    segment is routed inside that abstraction layer.
+
+    Returns:
+        The concatenated node path, including source and target.
+    """
+    if len(waypoints) < 2:
+        raise RoutingError(
+            f"chain path needs at least source and target, got {waypoints!r}"
+        )
+    full_path: list[str] = [waypoints[0]]
+    for source, target in zip(waypoints, waypoints[1:]):
+        if source == target:
+            continue
+        if al_switches is None:
+            segment = simple_path(dcn, source, target)
+        else:
+            segment = shortest_path_in_al(dcn, source, target, al_switches)
+        full_path.extend(segment[1:])
+    return full_path
+
+
+def k_shortest_paths(
+    dcn: DataCenterNetwork,
+    source: str,
+    target: str,
+    k: int = 3,
+    al_switches: Iterable[str] | None = None,
+) -> list[list[str]]:
+    """Up to ``k`` shortest simple paths, optionally AL-restricted.
+
+    Paths come in non-decreasing length order; fewer than ``k`` are
+    returned when the graph has fewer simple paths.
+
+    Raises:
+        RoutingError: when no path exists at all.
+    """
+    if k <= 0:
+        raise RoutingError(f"k must be positive, got {k}")
+    graph = dcn.graph
+    if al_switches is not None:
+        allowed = set(al_switches)
+        graph = graph.subgraph(
+            node
+            for node in graph
+            if dcn.kind_of(node) is not NodeKind.OPS or node in allowed
+        )
+    if not graph.has_node(source) or not graph.has_node(target):
+        raise RoutingError(f"unknown endpoint in ({source}, {target})")
+    paths: list[list[str]] = []
+    try:
+        for path in nx.shortest_simple_paths(graph, source, target):
+            paths.append(list(path))
+            if len(paths) >= k:
+                break
+    except nx.NetworkXNoPath:
+        raise RoutingError(f"no path from {source} to {target}") from None
+    return paths
+
+
+def least_loaded_path(
+    dcn: DataCenterNetwork,
+    source: str,
+    target: str,
+    link_load,
+    *,
+    k: int = 3,
+    al_switches: Iterable[str] | None = None,
+) -> list[str]:
+    """Among the k shortest paths, the one with the lightest bottleneck.
+
+    Args:
+        dcn: the fabric.
+        source: path start.
+        target: path end.
+        link_load: mapping ``frozenset({a, b}) -> load`` (any unit);
+            missing links count as load 0.
+        k: candidate pool size.
+        al_switches: restrict optical hops to these switches.
+
+    Returns:
+        The candidate minimizing (max link load, total link load, hops);
+        with no load anywhere this degenerates to the shortest path.
+    """
+    candidates = k_shortest_paths(
+        dcn, source, target, k=k, al_switches=al_switches
+    )
+
+    def score(path: list[str]):
+        loads = [
+            link_load.get(frozenset((a, b)), 0.0)
+            for a, b in zip(path, path[1:])
+        ]
+        return (
+            max(loads, default=0.0),
+            sum(loads),
+            len(path),
+        )
+
+    return min(candidates, key=score)
+
+
+def path_length_statistics(
+    graph: nx.Graph, sample_pairs: Sequence[tuple[str, str]]
+) -> dict[str, float]:
+    """Hop-count statistics over a sample of node pairs (experiment E2)."""
+    lengths = []
+    for source, target in sample_pairs:
+        try:
+            lengths.append(nx.shortest_path_length(graph, source, target))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            continue
+    if not lengths:
+        return {"pairs": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "pairs": len(lengths),
+        "mean": sum(lengths) / len(lengths),
+        "min": float(min(lengths)),
+        "max": float(max(lengths)),
+    }

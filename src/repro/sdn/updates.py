@@ -1,0 +1,123 @@
+"""Network-update cost model (experiment E10).
+
+The paper inherits from its companion work [14] the claim that AL-VC
+provides "low network update costs": when a cluster changes (VM arrival,
+departure, migration), only the switches of *that cluster's abstraction
+layer* need reconfiguration, whereas a flat SDN fabric — where any flow may
+ride any core switch — must touch the whole optical core.
+
+The metric is the standard one of the network-update literature: the number
+of distinct switches whose forwarding state must change for one event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable
+
+from repro.exceptions import UnknownEntityError
+from repro.ids import ServerId, VmId
+from repro.topology.datacenter import DataCenterNetwork
+
+
+class UpdateKind(enum.Enum):
+    """Cluster-churn events that force forwarding-state updates."""
+
+    VM_ARRIVAL = "vm_arrival"
+    VM_DEPARTURE = "vm_departure"
+    VM_MIGRATION = "vm_migration"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class UpdateEvent:
+    """One churn event: which VM changed, and on which server(s)."""
+
+    kind: UpdateKind
+    vm: VmId
+    server: ServerId
+    new_server: ServerId | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is UpdateKind.VM_MIGRATION and self.new_server is None:
+            raise ValueError("VM_MIGRATION events need a new_server")
+        if self.kind is not UpdateKind.VM_MIGRATION and self.new_server is not None:
+            raise ValueError(f"{self.kind.value} events must not set new_server")
+
+    def affected_servers(self) -> list[ServerId]:
+        """Servers whose attachment changed."""
+        if self.new_server is not None:
+            return [self.server, self.new_server]
+        return [self.server]
+
+
+class UpdateCostModel:
+    """Computes switches-touched for churn events under both architectures."""
+
+    def __init__(self, dcn: DataCenterNetwork) -> None:
+        self._dcn = dcn
+
+    def alvc_touched(
+        self, event: UpdateEvent, al_switches: Iterable[str]
+    ) -> set[str]:
+        """Switches touched under AL-VC: affected ToRs plus the subset of
+        the cluster's AL adjacent to them.
+
+        The update is confined to the cluster: rules change on the ToRs of
+        the affected server(s) and on the AL switches those ToRs uplink to
+        — never on another cluster's switches.
+        """
+        al_set = set(al_switches)
+        touched: set[str] = set()
+        for server in event.affected_servers():
+            if not self._dcn.has_node(server):
+                raise UnknownEntityError("server", server)
+            for tor in self._dcn.tors_of_server(server):
+                touched.add(tor)
+                touched.update(
+                    ops for ops in self._dcn.ops_of_tor(tor) if ops in al_set
+                )
+        return touched
+
+    def flat_touched(self, event: UpdateEvent) -> set[str]:
+        """Switches touched under a flat fabric: affected ToRs plus the
+        whole optical core.
+
+        Without abstraction layers any flow of the VM may be routed over
+        any core switch (ECMP-style), so the controller must assume every
+        OPS can hold state for it.
+        """
+        touched: set[str] = set(self._dcn.optical_switches())
+        for server in event.affected_servers():
+            if not self._dcn.has_node(server):
+                raise UnknownEntityError("server", server)
+            touched.update(self._dcn.tors_of_server(server))
+        return touched
+
+    def compare(
+        self, event: UpdateEvent, al_switches: Iterable[str]
+    ) -> dict[str, int]:
+        """Cost of one event under both architectures."""
+        alvc = len(self.alvc_touched(event, al_switches))
+        flat = len(self.flat_touched(event))
+        return {"alvc": alvc, "flat": flat}
+
+    def total_cost(
+        self,
+        events: Iterable[UpdateEvent],
+        al_of_event,
+    ) -> dict[str, int]:
+        """Aggregate cost over an event sequence.
+
+        Args:
+            events: churn events in order.
+            al_of_event: callable mapping an event to its cluster's AL
+                switch ids (the cluster is known by the caller).
+        """
+        totals = {"alvc": 0, "flat": 0, "events": 0}
+        for event in events:
+            comparison = self.compare(event, al_of_event(event))
+            totals["alvc"] += comparison["alvc"]
+            totals["flat"] += comparison["flat"]
+            totals["events"] += 1
+        return totals

@@ -1,0 +1,107 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are ``(time, sequence, callback)`` triples on a heap; the sequence
+number makes simultaneous events fire in scheduling order, so runs are
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.exceptions import SimulationError
+
+EventCallback = Callable[[float], None]
+
+
+class EventQueue:
+    """Time-ordered queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, EventCallback]] = []
+        self._sequence = 0
+
+    def schedule(self, time: float, callback: EventCallback) -> None:
+        """Enqueue ``callback(time)`` to fire at ``time``."""
+        if time < 0:
+            raise SimulationError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def pop(self) -> tuple[float, EventCallback]:
+        """Remove and return the earliest ``(time, callback)``."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time, _, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """Drives an :class:`EventQueue` forward in virtual time."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Events fired so far."""
+        return self._processed
+
+    def schedule_at(self, time: float, callback: EventCallback) -> None:
+        """Schedule an absolute-time event (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self._now})"
+            )
+        self.queue.schedule(time, callback)
+
+    def schedule_in(self, delay: float, callback: EventCallback) -> None:
+        """Schedule an event ``delay`` after the current time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self.queue.schedule(self._now + delay, callback)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Process events in time order.
+
+        Args:
+            until: stop before events later than this time (they stay
+                queued); None runs to exhaustion.
+            max_events: hard cap on events processed in this call.
+
+        Returns:
+            Number of events processed in this call.
+        """
+        processed = 0
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            time, callback = self.queue.pop()
+            self._now = time
+            callback(time)
+            processed += 1
+            self._processed += 1
+        if until is not None and self._now < until and not self.queue:
+            self._now = until
+        return processed

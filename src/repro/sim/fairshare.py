@@ -1,0 +1,92 @@
+"""Max-min fair bandwidth allocation over shared links.
+
+The event-driven simulator needs, at every arrival/completion event, the
+rate of each active flow when link capacities are shared max-min fairly —
+the standard flow-level model of TCP-like sharing.  The classic
+water-filling algorithm: repeatedly find the most contended link, freeze
+its flows at the link's equal share, remove the frozen capacity, repeat.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.exceptions import SimulationError
+
+LinkId = frozenset  # unordered node pair
+
+
+def link_of(a: str, b: str) -> LinkId:
+    """Canonical link key for an undirected hop."""
+    return frozenset((a, b))
+
+
+def links_on_path(path: Sequence[str]) -> list[LinkId]:
+    """The links a node path traverses (empty for single-node paths)."""
+    return [link_of(a, b) for a, b in zip(path, path[1:])]
+
+
+def max_min_fair_rates(
+    flow_links: Mapping[Hashable, Sequence[LinkId]],
+    capacities: Mapping[LinkId, float],
+) -> dict[Hashable, float]:
+    """Max-min fair rate for every flow.
+
+    Args:
+        flow_links: flow id → links its path uses.  Flows with no links
+            (co-located endpoints) get infinite rate, reported as
+            ``float("inf")``.
+        capacities: link → capacity (any consistent unit; rates come out
+            in the same unit).
+
+    Returns:
+        flow id → allocated rate.
+
+    Raises:
+        SimulationError: when a flow uses a link without a capacity
+            entry, or a capacity is non-positive.
+    """
+    for link, capacity in capacities.items():
+        if capacity <= 0:
+            raise SimulationError(
+                f"link {sorted(link)} has non-positive capacity {capacity}"
+            )
+
+    rates: dict[Hashable, float] = {}
+    unfrozen: dict[Hashable, list[LinkId]] = {}
+    for flow, links in flow_links.items():
+        if not links:
+            rates[flow] = float("inf")
+            continue
+        for link in links:
+            if link not in capacities:
+                raise SimulationError(
+                    f"flow {flow!r} uses unknown link {sorted(link)}"
+                )
+        unfrozen[flow] = list(links)
+
+    remaining = dict(capacities)
+    while unfrozen:
+        # Count unfrozen flows per link.
+        load: dict[LinkId, int] = {}
+        for links in unfrozen.values():
+            for link in links:
+                load[link] = load.get(link, 0) + 1
+        # The bottleneck link offers the smallest equal share.
+        bottleneck = min(
+            (link for link in load),
+            key=lambda link: (remaining[link] / load[link], sorted(link)),
+        )
+        share = remaining[bottleneck] / load[bottleneck]
+        # Freeze every flow crossing the bottleneck at that share.
+        frozen = [
+            flow
+            for flow, links in unfrozen.items()
+            if bottleneck in links
+        ]
+        for flow in frozen:
+            rates[flow] = share
+            for link in unfrozen[flow]:
+                remaining[link] = max(remaining[link] - share, 0.0)
+            del unfrozen[flow]
+    return rates

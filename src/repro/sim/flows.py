@@ -1,0 +1,49 @@
+"""Flow records exchanged between VMs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ids import FlowId, VmId
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Flow:
+    """One VM-to-VM traffic flow.
+
+    Attributes:
+        flow_id: unique flow id.
+        source: originating VM.
+        destination: receiving VM.
+        size_bytes: total bytes carried — O/E/O conversion cost is linear
+            in this (Section IV.D).
+        arrival_time: virtual time the flow starts.
+        intra_service: True when both endpoints offer the same service
+            (the traffic-locality property clustering exploits).
+    """
+
+    flow_id: FlowId
+    source: VmId
+    destination: VmId
+    size_bytes: float
+    arrival_time: float = 0.0
+    intra_service: bool = True
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError(f"flow {self.flow_id} has identical endpoints")
+        if self.size_bytes <= 0:
+            raise ValueError(
+                f"flow {self.flow_id} size must be positive, "
+                f"got {self.size_bytes}"
+            )
+        if self.arrival_time < 0:
+            raise ValueError(
+                f"flow {self.flow_id} arrival must be non-negative, "
+                f"got {self.arrival_time}"
+            )
+
+    @property
+    def size_gb(self) -> float:
+        """Flow size in gigabytes."""
+        return self.size_bytes / 1e9

@@ -1,0 +1,69 @@
+"""Counters and histograms for simulation metrics."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+
+class MetricsCollector:
+    """Named counters plus streaming summary statistics.
+
+    ``count``/``increment`` maintain plain counters; ``observe`` feeds a
+    named series whose count/mean/variance are tracked online (Welford),
+    so memory stays constant regardless of run length.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._series: dict[str, tuple[int, float, float, float, float]] = {}
+        # series value: (n, mean, m2, min, max)
+
+    # ------------------------------------------------------------------
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to a counter (created on first use)."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def count(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation of a named series."""
+        n, mean, m2, lo, hi = self._series.get(
+            name, (0, 0.0, 0.0, math.inf, -math.inf)
+        )
+        n += 1
+        delta = value - mean
+        mean += delta / n
+        m2 += delta * (value - mean)
+        self._series[name] = (n, mean, m2, min(lo, value), max(hi, value))
+
+    # ------------------------------------------------------------------
+    def summary(self, name: str) -> dict[str, float]:
+        """Count/mean/std/min/max of a series (zeros when empty)."""
+        if name not in self._series:
+            return {"count": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+        n, mean, m2, lo, hi = self._series[name]
+        std = math.sqrt(m2 / n) if n > 0 else 0.0
+        return {"count": n, "mean": mean, "std": std, "min": lo, "max": hi}
+
+    def counters(self) -> Mapping[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._counters)
+
+    def series_names(self) -> list[str]:
+        """Names of all observed series, sorted."""
+        return sorted(self._series)
+
+    def merged(self, other: "MetricsCollector") -> "MetricsCollector":
+        """A new collector with this one's counters plus ``other``'s.
+
+        Series are not merged (their online state is not composable
+        exactly); only counters are.
+        """
+        result = MetricsCollector()
+        for source in (self, other):
+            for name, value in source._counters.items():
+                result.increment(name, value)
+        return result

@@ -1,0 +1,173 @@
+"""Flow-level simulator: routes flows and charges conversions and load.
+
+Routing policy:
+
+* **clustered** (AL-VC): intra-service flows ride their cluster's
+  abstraction layer only; inter-service flows fall back to the full
+  fabric (cluster-to-cluster traffic leaves the slice);
+* **flat**: every flow takes an unrestricted shortest path.
+
+Per-flow accounting: hop count, transport O/E/O conversions (one per
+maximal optical segment of the path — the flow converts E/O entering the
+core and O/E leaving it), conversion cost/energy, and per-link byte load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.core.cluster import ClusterManager
+from repro.exceptions import RoutingError, UnknownEntityError
+from repro.optical.conversion import ConversionModel, domain_sequence
+from repro.sdn.routing import shortest_path_in_al, simple_path
+from repro.sim.flows import Flow
+from repro.sim.metrics import MetricsCollector
+from repro.topology.elements import Domain
+from repro.virtualization.machines import MachineInventory
+
+
+def transport_conversions(domains: Sequence[Domain]) -> int:
+    """O/E/O conversions of a transport path: its maximal optical runs."""
+    conversions = 0
+    previous = Domain.ELECTRONIC
+    for domain in domains:
+        if domain is Domain.OPTICAL and previous is Domain.ELECTRONIC:
+            conversions += 1
+        previous = domain
+    return conversions
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationReport:
+    """Aggregate outcome of one simulation run."""
+
+    flows: int
+    intra_service_flows: int
+    total_bytes: float
+    total_hops: int
+    total_conversions: int
+    total_conversion_cost: float
+    total_energy_joules: float
+    link_load_bytes: dict[frozenset, float]
+    al_confined_flows: int
+
+    @property
+    def mean_hops(self) -> float:
+        """Average path length over all flows."""
+        return self.total_hops / self.flows if self.flows else 0.0
+
+    @property
+    def mean_conversions(self) -> float:
+        """Average O/E/O conversions per flow."""
+        return self.total_conversions / self.flows if self.flows else 0.0
+
+    @property
+    def intra_service_fraction(self) -> float:
+        """Fraction of flows between same-service VMs."""
+        return self.intra_service_flows / self.flows if self.flows else 0.0
+
+    @property
+    def max_link_load(self) -> float:
+        """Bytes on the most loaded link."""
+        return max(self.link_load_bytes.values(), default=0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Scalar summary (for reports)."""
+        return {
+            "flows": self.flows,
+            "intra_service_fraction": self.intra_service_fraction,
+            "mean_hops": self.mean_hops,
+            "mean_conversions": self.mean_conversions,
+            "total_conversion_cost": self.total_conversion_cost,
+            "total_energy_joules": self.total_energy_joules,
+            "max_link_load": self.max_link_load,
+            "al_confined_flows": self.al_confined_flows,
+        }
+
+
+class FlowSimulator:
+    """Routes a batch of flows and accounts their cost."""
+
+    def __init__(
+        self,
+        inventory: MachineInventory,
+        clusters: ClusterManager | None = None,
+        conversion_model: ConversionModel | None = None,
+    ) -> None:
+        self._inventory = inventory
+        self._clusters = clusters
+        self._model = conversion_model or ConversionModel()
+        self.metrics = MetricsCollector()
+
+    def route(self, flow: Flow) -> tuple[list[str], bool]:
+        """Path of one flow and whether it stayed inside one AL."""
+        source_host = self._inventory.host_of(flow.source)
+        dest_host = self._inventory.host_of(flow.destination)
+        if source_host == dest_host:
+            return [source_host], True
+        if self._clusters is not None and flow.intra_service:
+            service = self._inventory.get(flow.source).service
+            try:
+                cluster = self._clusters.cluster_of_service(service)
+            except UnknownEntityError:
+                cluster = None
+            if cluster is not None:
+                try:
+                    return (
+                        shortest_path_in_al(
+                            self._inventory.network,
+                            source_host,
+                            dest_host,
+                            cluster.al_switches,
+                        ),
+                        True,
+                    )
+                except RoutingError:
+                    pass  # AL cannot connect them; fall back to the fabric
+        return simple_path(self._inventory.network, source_host, dest_host), False
+
+    def run(self, flows: Iterable[Flow]) -> SimulationReport:
+        """Route every flow and return the aggregate report."""
+        count = 0
+        intra = 0
+        confined = 0
+        total_bytes = 0.0
+        total_hops = 0
+        total_conversions = 0
+        total_cost = 0.0
+        total_energy = 0.0
+        link_load: dict[frozenset, float] = {}
+        for flow in flows:
+            path, in_al = self.route(flow)
+            domains = domain_sequence(self._inventory.network, path)
+            conversions = transport_conversions(domains)
+            count += 1
+            intra += 1 if flow.intra_service else 0
+            confined += 1 if in_al else 0
+            total_bytes += flow.size_bytes
+            total_hops += max(len(path) - 1, 0)
+            total_conversions += conversions
+            total_cost += self._model.conversion_cost(
+                flow.size_bytes, conversions
+            )
+            total_energy += self._model.conversion_energy_joules(
+                flow.size_bytes, conversions
+            )
+            for a, b in zip(path, path[1:]):
+                key = frozenset((a, b))
+                link_load[key] = link_load.get(key, 0.0) + flow.size_bytes
+            self.metrics.increment("flows")
+            self.metrics.observe("hops", len(path) - 1)
+            self.metrics.observe("conversions", conversions)
+        return SimulationReport(
+            flows=count,
+            intra_service_flows=intra,
+            total_bytes=total_bytes,
+            total_hops=total_hops,
+            total_conversions=total_conversions,
+            total_conversion_cost=total_cost,
+            total_energy_joules=total_energy,
+            link_load_bytes=link_load,
+            al_confined_flows=confined,
+        )

@@ -1,0 +1,149 @@
+"""Workload traces: serialize and replay flow workloads.
+
+The reproduction substitutes production DCN traces with the synthetic
+service-correlated generator (DESIGN.md §3).  This module closes the
+loop for users who *do* have traces: a :class:`WorkloadTrace` is a
+JSON-serializable list of flows that any simulator accepts, so recorded
+or externally-produced workloads replay bit-identically across runs and
+machines.
+
+Format (one JSON object)::
+
+    {"version": 1,
+     "flows": [{"flow_id": ..., "source": ..., "destination": ...,
+                "size_bytes": ..., "arrival_time": ...,
+                "intra_service": ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import SimulationError
+from repro.sim.flows import Flow
+
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadTrace:
+    """An immutable, replayable flow workload."""
+
+    flows: tuple[Flow, ...]
+
+    def __post_init__(self) -> None:
+        ids = [flow.flow_id for flow in self.flows]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("trace contains duplicate flow ids")
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self.flows)
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of all flow sizes."""
+        return sum(flow.size_bytes for flow in self.flows)
+
+    @property
+    def duration(self) -> float:
+        """Span of arrival times (0 for empty or single-flow traces)."""
+        if len(self.flows) < 2:
+            return 0.0
+        arrivals = [flow.arrival_time for flow in self.flows]
+        return max(arrivals) - min(arrivals)
+
+    def sorted_by_arrival(self) -> "WorkloadTrace":
+        """A copy ordered by (arrival_time, flow_id)."""
+        return WorkloadTrace(
+            flows=tuple(
+                sorted(
+                    self.flows,
+                    key=lambda flow: (flow.arrival_time, flow.flow_id),
+                )
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """The trace as a JSON document."""
+        return json.dumps(
+            {
+                "version": _FORMAT_VERSION,
+                "flows": [dataclasses.asdict(flow) for flow in self.flows],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "WorkloadTrace":
+        """Parse a trace from its JSON form.
+
+        Raises:
+            SimulationError: on malformed documents or unknown versions.
+        """
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise SimulationError(f"malformed trace JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise SimulationError("trace document must be a JSON object")
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise SimulationError(
+                f"unsupported trace version {version!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        raw_flows = payload.get("flows")
+        if not isinstance(raw_flows, list):
+            raise SimulationError("trace document needs a 'flows' list")
+        flows = []
+        for index, record in enumerate(raw_flows):
+            try:
+                flows.append(Flow(**record))
+            except (TypeError, ValueError) as error:
+                raise SimulationError(
+                    f"invalid flow record #{index}: {error}"
+                ) from None
+        return cls(flows=tuple(flows))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace to a file; returns the path."""
+        target = Path(path)
+        target.write_text(self.to_json())
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkloadTrace":
+        """Read a trace from a file."""
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def record(cls, flows: Iterable[Flow]) -> "WorkloadTrace":
+        """Capture an iterable of flows (e.g. a generator's output)."""
+        return cls(flows=tuple(flows))
+
+    def filtered(
+        self, *, intra_service: bool | None = None, min_bytes: float = 0.0
+    ) -> "WorkloadTrace":
+        """A sub-trace selected by locality and/or size."""
+        selected: Sequence[Flow] = [
+            flow
+            for flow in self.flows
+            if flow.size_bytes >= min_bytes
+            and (
+                intra_service is None
+                or flow.intra_service == intra_service
+            )
+        ]
+        return WorkloadTrace(flows=tuple(selected))

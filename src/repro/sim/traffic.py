@@ -1,0 +1,147 @@
+"""Service-correlated traffic generation.
+
+Section III.A: "two machines (physical or virtual) providing similar
+service have high data correlation in comparison with servers providing
+different service … two machines offering identical services are likely to
+interact with each other more often than machines hosting different
+services."  The generator parameterizes that skew with
+``intra_service_probability`` and draws flow sizes from a lognormal
+distribution (the usual heavy-tailed DCN flow-size model).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Iterator
+
+from repro.exceptions import SimulationError
+from repro.ids import IdAllocator, flow_id
+from repro.sim.flows import Flow
+from repro.virtualization.machines import MachineInventory
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TrafficConfig:
+    """Parameters of the synthetic workload.
+
+    Attributes:
+        intra_service_probability: probability a flow's destination offers
+            the same service as its source (the paper's data-correlation
+            skew; 1.0 = perfectly clustered traffic).
+        mean_flow_gb: mean flow size in gigabytes.
+        sigma: lognormal shape parameter (0 = constant-size flows).
+        arrival_rate: flows per unit virtual time (Poisson process).
+    """
+
+    intra_service_probability: float = 0.8
+    mean_flow_gb: float = 1.0
+    sigma: float = 1.0
+    arrival_rate: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.intra_service_probability <= 1.0:
+            raise SimulationError(
+                "intra_service_probability must be in [0, 1], got "
+                f"{self.intra_service_probability}"
+            )
+        if self.mean_flow_gb <= 0 or self.arrival_rate <= 0:
+            raise SimulationError(
+                "mean_flow_gb and arrival_rate must be positive"
+            )
+        if self.sigma < 0:
+            raise SimulationError(f"sigma must be non-negative, got {self.sigma}")
+
+
+class TrafficGenerator:
+    """Draws service-correlated flows between placed VMs."""
+
+    def __init__(
+        self,
+        inventory: MachineInventory,
+        config: TrafficConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._inventory = inventory
+        self._config = config if config is not None else TrafficConfig()
+        self._rng = random.Random(seed)
+        self._ids = IdAllocator()
+        self._by_service: dict[str, list[str]] = {}
+        for vm in inventory.placed_vms():
+            self._by_service.setdefault(vm.service, []).append(vm.vm_id)
+        if sum(len(vms) for vms in self._by_service.values()) < 2:
+            raise SimulationError(
+                "traffic generation needs at least two placed VMs"
+            )
+
+    @property
+    def config(self) -> TrafficConfig:
+        """The workload parameters."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def _draw_size_bytes(self) -> float:
+        mean_bytes = self._config.mean_flow_gb * 1e9
+        if self._config.sigma == 0:
+            return mean_bytes
+        # Parameterize the lognormal so its mean equals mean_bytes.
+        sigma = self._config.sigma
+        mu = math.log(mean_bytes) - sigma * sigma / 2
+        return self._rng.lognormvariate(mu, sigma)
+
+    def _draw_pair(self) -> tuple[str, str, bool]:
+        services = sorted(self._by_service)
+        weights = [len(self._by_service[name]) for name in services]
+        source_service = self._rng.choices(services, weights=weights)[0]
+        source = self._rng.choice(self._by_service[source_service])
+        intra_pool = [
+            vm for vm in self._by_service[source_service] if vm != source
+        ]
+        other_services = [
+            name
+            for name in services
+            if name != source_service and self._by_service[name]
+        ]
+        want_intra = (
+            self._rng.random() < self._config.intra_service_probability
+        )
+        if want_intra and intra_pool:
+            return source, self._rng.choice(intra_pool), True
+        if other_services:
+            dest_service = self._rng.choice(other_services)
+            return source, self._rng.choice(self._by_service[dest_service]), False
+        if intra_pool:
+            return source, self._rng.choice(intra_pool), True
+        raise SimulationError(f"no destination candidates for {source}")
+
+    # ------------------------------------------------------------------
+    def next_flow(self, arrival_time: float = 0.0) -> Flow:
+        """Draw one flow arriving at the given time."""
+        source, destination, intra = self._draw_pair()
+        return Flow(
+            flow_id=self._ids.allocate(flow_id),
+            source=source,
+            destination=destination,
+            size_bytes=self._draw_size_bytes(),
+            arrival_time=arrival_time,
+            intra_service=intra,
+        )
+
+    def flows(self, count: int) -> list[Flow]:
+        """Draw ``count`` flows with Poisson arrival times."""
+        if count <= 0:
+            raise SimulationError(f"flow count must be positive, got {count}")
+        now = 0.0
+        generated = []
+        for _ in range(count):
+            now += self._rng.expovariate(self._config.arrival_rate)
+            generated.append(self.next_flow(now))
+        return generated
+
+    def stream(self) -> Iterator[Flow]:
+        """Endless flow stream with Poisson arrivals."""
+        now = 0.0
+        while True:
+            now += self._rng.expovariate(self._config.arrival_rate)
+            yield self.next_flow(now)

@@ -1,0 +1,56 @@
+"""Physical data-center topology substrate.
+
+Models the fabric of the AL-VC architecture (paper Section III.B, Fig. 2):
+racks of servers behind Top-of-Rack (ToR) switches, with an optical core of
+Optical Packet Switches (OPSs) — some of which are *optoelectronic routers*
+with limited compute, able to host VNFs (Section IV.D).
+"""
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.datacenter import DataCenterNetwork
+from repro.topology.federation import InterDcLink, federate, site_node, site_of
+from repro.topology.elements import (
+    Domain,
+    LinkSpec,
+    OpticalSwitchSpec,
+    ResourceVector,
+    ServerSpec,
+    TorSpec,
+)
+from repro.topology.generators import (
+    build_alvc_fabric,
+    build_fat_tree,
+    build_leaf_spine,
+    paper_example_topology,
+)
+from repro.topology.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_json,
+    topology_to_json,
+)
+from repro.topology.validation import validate_topology
+
+__all__ = [
+    "DataCenterNetwork",
+    "InterDcLink",
+    "Domain",
+    "LinkSpec",
+    "OpticalSwitchSpec",
+    "ResourceVector",
+    "ServerSpec",
+    "TopologyBuilder",
+    "TorSpec",
+    "build_alvc_fabric",
+    "build_fat_tree",
+    "build_leaf_spine",
+    "federate",
+    "load_topology",
+    "paper_example_topology",
+    "save_topology",
+    "site_node",
+    "site_of",
+    "topology_from_json",
+    "topology_to_json",
+    "validate_topology",
+]

@@ -1,0 +1,235 @@
+"""The physical data-center network graph.
+
+:class:`DataCenterNetwork` is the single source of truth for the physical
+fabric: which servers sit behind which ToR switches, and which ToRs connect
+to which optical packet switches.  All higher layers (virtualization,
+abstraction layers, NFV, simulation) hold only entity ids and query this
+object for structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.exceptions import DuplicateEntityError, TopologyError, UnknownEntityError
+from repro.ids import NodeKind, OpsId, ServerId, TorId
+from repro.topology.elements import (
+    Domain,
+    LinkSpec,
+    OpticalSwitchSpec,
+    ServerSpec,
+    TorSpec,
+)
+
+_KIND_ATTR = "kind"
+_SPEC_ATTR = "spec"
+_LINK_ATTR = "link"
+
+
+class DataCenterNetwork:
+    """A hybrid electronic/optical data-center fabric (paper Fig. 2).
+
+    The topology is a three-level undirected graph:
+
+    * **servers** attach to one or more ToR switches with electronic links
+      (dual-homing is what makes the vertex-cover stage of AL construction
+      non-trivial — a machine reachable through two ToRs lets the greedy
+      algorithm skip one of them, exactly as in the paper's Fig. 4 where
+      ToR 2 is skipped because its machines are already covered by ToR 1);
+    * **ToR switches** attach to one or more OPSs with optical links (the
+      ToR carries the E/O transceiver);
+    * **OPSs** may interconnect among themselves with optical links.
+    """
+
+    def __init__(self, name: str = "dcn") -> None:
+        self.name = name
+        self._graph = nx.Graph(name=name)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_server(self, spec: ServerSpec) -> ServerId:
+        """Add a physical server node; returns its id."""
+        self._add_node(spec.server_id, NodeKind.SERVER, spec)
+        return spec.server_id
+
+    def add_tor(self, spec: TorSpec) -> TorId:
+        """Add a Top-of-Rack switch node; returns its id."""
+        self._add_node(spec.tor_id, NodeKind.TOR, spec)
+        return spec.tor_id
+
+    def add_optical_switch(self, spec: OpticalSwitchSpec) -> OpsId:
+        """Add an optical packet switch (plain or optoelectronic)."""
+        self._add_node(spec.ops_id, NodeKind.OPS, spec)
+        return spec.ops_id
+
+    def _add_node(self, node_id: str, kind: NodeKind, spec: object) -> None:
+        if self._graph.has_node(node_id):
+            raise DuplicateEntityError(kind.value, node_id)
+        self._graph.add_node(node_id, **{_KIND_ATTR: kind, _SPEC_ATTR: spec})
+
+    def connect(self, a: str, b: str, link: LinkSpec | None = None) -> None:
+        """Connect two existing nodes.
+
+        The link domain is inferred when not given: server↔ToR links are
+        electronic; any link with an OPS endpoint is optical (the E/O
+        conversion lives at the ToR transceiver).  Connecting a server
+        directly to an OPS is rejected — the paper's fabric always goes
+        through a ToR.
+        """
+        kind_a = self.kind_of(a)
+        kind_b = self.kind_of(b)
+        if a == b:
+            raise TopologyError(f"self-loop on {a!r} is not allowed")
+        kinds = {kind_a, kind_b}
+        if kinds == {NodeKind.SERVER}:
+            raise TopologyError(f"server-to-server link {a!r}-{b!r} is not allowed")
+        if kinds == {NodeKind.SERVER, NodeKind.OPS}:
+            raise TopologyError(
+                f"server {a!r}-{b!r} must attach to the optical core via a ToR"
+            )
+        if link is None:
+            domain = Domain.OPTICAL if NodeKind.OPS in kinds else Domain.ELECTRONIC
+            link = LinkSpec(domain=domain)
+        self._graph.add_edge(a, b, **{_LINK_ATTR: link})
+
+    # ------------------------------------------------------------------
+    # Node queries
+    # ------------------------------------------------------------------
+    def kind_of(self, node_id: str) -> NodeKind:
+        """Return the :class:`NodeKind` of a node, or raise UnknownEntityError."""
+        try:
+            return self._graph.nodes[node_id][_KIND_ATTR]
+        except KeyError:
+            raise UnknownEntityError("node", node_id) from None
+
+    def spec_of(self, node_id: str):
+        """Return the spec dataclass attached to a node."""
+        self.kind_of(node_id)  # raises UnknownEntityError when absent
+        return self._graph.nodes[node_id][_SPEC_ATTR]
+
+    def link_of(self, a: str, b: str) -> LinkSpec:
+        """Return the :class:`LinkSpec` of the edge between ``a`` and ``b``."""
+        try:
+            return self._graph.edges[a, b][_LINK_ATTR]
+        except KeyError:
+            raise UnknownEntityError("link", (a, b)) from None
+
+    def has_node(self, node_id: str) -> bool:
+        """True if the node exists in the fabric."""
+        return self._graph.has_node(node_id)
+
+    def _nodes_of_kind(self, kind: NodeKind) -> Iterator[str]:
+        for node_id, data in self._graph.nodes(data=True):
+            if data[_KIND_ATTR] is kind:
+                yield node_id
+
+    def servers(self) -> list[ServerId]:
+        """All server ids (sorted for determinism)."""
+        return sorted(self._nodes_of_kind(NodeKind.SERVER))
+
+    def tors(self) -> list[TorId]:
+        """All ToR switch ids (sorted)."""
+        return sorted(self._nodes_of_kind(NodeKind.TOR))
+
+    def optical_switches(self) -> list[OpsId]:
+        """All OPS ids, both plain and optoelectronic (sorted)."""
+        return sorted(self._nodes_of_kind(NodeKind.OPS))
+
+    def optoelectronic_routers(self) -> list[OpsId]:
+        """Ids of OPSs with compute capacity (able to host VNFs)."""
+        return [
+            ops
+            for ops in self.optical_switches()
+            if self.spec_of(ops).is_optoelectronic
+        ]
+
+    # ------------------------------------------------------------------
+    # Adjacency queries used by AL construction
+    # ------------------------------------------------------------------
+    def _neighbors_of_kind(self, node_id: str, kind: NodeKind) -> list[str]:
+        self.kind_of(node_id)
+        return sorted(
+            neighbor
+            for neighbor in self._graph.neighbors(node_id)
+            if self._graph.nodes[neighbor][_KIND_ATTR] is kind
+        )
+
+    def tors_of_server(self, server: ServerId) -> list[TorId]:
+        """ToR switches a server attaches to (≥2 when dual-homed)."""
+        if self.kind_of(server) is not NodeKind.SERVER:
+            raise TopologyError(f"{server!r} is not a server")
+        return self._neighbors_of_kind(server, NodeKind.TOR)
+
+    def servers_under(self, tor: TorId) -> list[ServerId]:
+        """Servers directly attached to a ToR (its *incoming* connections)."""
+        if self.kind_of(tor) is not NodeKind.TOR:
+            raise TopologyError(f"{tor!r} is not a ToR switch")
+        return self._neighbors_of_kind(tor, NodeKind.SERVER)
+
+    def ops_of_tor(self, tor: TorId) -> list[OpsId]:
+        """OPSs a ToR uplinks to (its *outgoing* connections)."""
+        if self.kind_of(tor) is not NodeKind.TOR:
+            raise TopologyError(f"{tor!r} is not a ToR switch")
+        return self._neighbors_of_kind(tor, NodeKind.OPS)
+
+    def tors_of_ops(self, ops: OpsId) -> list[TorId]:
+        """ToR switches attached to an OPS."""
+        if self.kind_of(ops) is not NodeKind.OPS:
+            raise TopologyError(f"{ops!r} is not an optical switch")
+        return self._neighbors_of_kind(ops, NodeKind.TOR)
+
+    def tor_weight(self, tor: TorId) -> int:
+        """The paper's maximum-weight score for a ToR.
+
+        Section III.C selects "ToR 1 as it has four incoming connections
+        and two outgoing": the weight of a ToR is its machine-side degree
+        plus its OPS-side degree.
+        """
+        return len(self.servers_under(tor)) + len(self.ops_of_tor(tor))
+
+    def ops_weight(self, ops: OpsId) -> int:
+        """Weight of an OPS: number of ToRs it connects (plus core degree)."""
+        self.kind_of(ops)
+        return self._graph.degree(ops)
+
+    # ------------------------------------------------------------------
+    # Whole-fabric views
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """Read-only view of the underlying graph."""
+        return self._graph.copy(as_view=True)
+
+    def optical_core(self) -> nx.Graph:
+        """Subgraph induced by the optical switches (a copy)."""
+        return self._graph.subgraph(self.optical_switches()).copy()
+
+    def edges(self) -> Iterable[tuple[str, str, LinkSpec]]:
+        """Iterate over ``(a, b, LinkSpec)`` triples."""
+        for a, b, data in self._graph.edges(data=True):
+            yield a, b, data[_LINK_ATTR]
+
+    def summary(self) -> dict[str, int]:
+        """Census of the fabric, convenient for reports and tests."""
+        optical_links = sum(
+            1 for _, _, link in self.edges() if link.domain is Domain.OPTICAL
+        )
+        return {
+            "servers": len(self.servers()),
+            "tors": len(self.tors()),
+            "optical_switches": len(self.optical_switches()),
+            "optoelectronic_routers": len(self.optoelectronic_routers()),
+            "links": self._graph.number_of_edges(),
+            "optical_links": optical_links,
+            "electronic_links": self._graph.number_of_edges() - optical_links,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        census = self.summary()
+        return (
+            f"DataCenterNetwork({self.name!r}, servers={census['servers']}, "
+            f"tors={census['tors']}, ops={census['optical_switches']})"
+        )

@@ -1,0 +1,169 @@
+"""Serialize fabrics to JSON and back.
+
+Lets users persist, share and diff data-center topologies: every node
+spec and link round-trips exactly, so a saved fabric reloads into an
+identical :class:`DataCenterNetwork` (asserted by property tests).
+
+Format (one JSON object)::
+
+    {"version": 1, "name": ...,
+     "servers": [...], "tors": [...], "optical_switches": [...],
+     "links": [{"a": ..., "b": ..., "domain": ..., "bandwidth_gbps": ...}]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import TopologyError
+from repro.topology.datacenter import DataCenterNetwork
+from repro.topology.elements import (
+    Domain,
+    LinkSpec,
+    OpticalSwitchSpec,
+    ResourceVector,
+    ServerSpec,
+    TorSpec,
+)
+
+_FORMAT_VERSION = 1
+
+
+def _vector_to_dict(vector: ResourceVector) -> dict:
+    return {
+        "cpu_cores": vector.cpu_cores,
+        "memory_gb": vector.memory_gb,
+        "storage_gb": vector.storage_gb,
+    }
+
+
+def _vector_from_dict(payload: dict) -> ResourceVector:
+    return ResourceVector(**payload)
+
+
+def topology_to_json(dcn: DataCenterNetwork) -> str:
+    """The fabric as a JSON document."""
+    servers = []
+    for server in dcn.servers():
+        spec = dcn.spec_of(server)
+        servers.append(
+            {
+                "server_id": spec.server_id,
+                "capacity": _vector_to_dict(spec.capacity),
+                "rack": spec.rack,
+            }
+        )
+    tors = []
+    for tor in dcn.tors():
+        spec = dcn.spec_of(tor)
+        tors.append(
+            {
+                "tor_id": spec.tor_id,
+                "rack": spec.rack,
+                "port_count": spec.port_count,
+            }
+        )
+    switches = []
+    for ops in dcn.optical_switches():
+        spec = dcn.spec_of(ops)
+        switches.append(
+            {
+                "ops_id": spec.ops_id,
+                "port_count": spec.port_count,
+                "wavelengths": spec.wavelengths,
+                "compute": _vector_to_dict(spec.compute),
+            }
+        )
+    links = [
+        {
+            "a": a,
+            "b": b,
+            "domain": link.domain.value,
+            "bandwidth_gbps": link.bandwidth_gbps,
+        }
+        for a, b, link in sorted(
+            dcn.edges(), key=lambda edge: (edge[0], edge[1])
+        )
+    ]
+    return json.dumps(
+        {
+            "version": _FORMAT_VERSION,
+            "name": dcn.name,
+            "servers": servers,
+            "tors": tors,
+            "optical_switches": switches,
+            "links": links,
+        },
+        indent=2,
+    )
+
+
+def topology_from_json(document: str) -> DataCenterNetwork:
+    """Rebuild a fabric from its JSON form.
+
+    Raises:
+        TopologyError: on malformed documents, unknown versions, or
+            inconsistent content.
+    """
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as error:
+        raise TopologyError(f"malformed topology JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise TopologyError("topology document must be a JSON object")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology version {payload.get('version')!r}"
+        )
+    dcn = DataCenterNetwork(payload.get("name", "dcn"))
+    try:
+        for record in payload.get("servers", []):
+            dcn.add_server(
+                ServerSpec(
+                    server_id=record["server_id"],
+                    capacity=_vector_from_dict(record["capacity"]),
+                    rack=record["rack"],
+                )
+            )
+        for record in payload.get("tors", []):
+            dcn.add_tor(
+                TorSpec(
+                    tor_id=record["tor_id"],
+                    rack=record["rack"],
+                    port_count=record["port_count"],
+                )
+            )
+        for record in payload.get("optical_switches", []):
+            dcn.add_optical_switch(
+                OpticalSwitchSpec(
+                    ops_id=record["ops_id"],
+                    port_count=record["port_count"],
+                    wavelengths=record["wavelengths"],
+                    compute=_vector_from_dict(record["compute"]),
+                )
+            )
+        for record in payload.get("links", []):
+            dcn.connect(
+                record["a"],
+                record["b"],
+                link=LinkSpec(
+                    domain=Domain(record["domain"]),
+                    bandwidth_gbps=record["bandwidth_gbps"],
+                ),
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise TopologyError(f"invalid topology record: {error}") from None
+    return dcn
+
+
+def save_topology(dcn: DataCenterNetwork, path: str | Path) -> Path:
+    """Write a fabric to a file; returns the path."""
+    target = Path(path)
+    target.write_text(topology_to_json(dcn))
+    return target
+
+
+def load_topology(path: str | Path) -> DataCenterNetwork:
+    """Read a fabric from a file."""
+    return topology_from_json(Path(path).read_text())

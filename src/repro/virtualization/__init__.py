@@ -1,0 +1,35 @@
+"""Virtualization substrate: VMs on servers, grouped by service type.
+
+The AL-VC architecture groups machines "according to network service types,
+e.g. VMs offering Map-reduce services can be grouped together and VMs
+offering web services can be grouped separately" (paper Section I); this
+package provides the VM/PM resource model, the service catalog, placement
+strategies, and virtual networks.
+"""
+
+from repro.virtualization.machines import (
+    MachineInventory,
+    VirtualMachine,
+)
+from repro.virtualization.services import (
+    STANDARD_SERVICES,
+    ServiceCatalog,
+    ServiceType,
+)
+from repro.virtualization.virtual_network import VirtualLink, VirtualNetwork
+from repro.virtualization.vm_placement import (
+    PlacementStrategy,
+    VmPlacementEngine,
+)
+
+__all__ = [
+    "MachineInventory",
+    "PlacementStrategy",
+    "STANDARD_SERVICES",
+    "ServiceCatalog",
+    "ServiceType",
+    "VirtualLink",
+    "VirtualMachine",
+    "VirtualNetwork",
+    "VmPlacementEngine",
+]

@@ -1,0 +1,213 @@
+"""Virtual machines and the inventory tracking their physical placement.
+
+"With virtualization, we can create multiple logical Virtual Machines (VMs)
+on a single server to support multiple applications" (paper Section I).
+:class:`MachineInventory` is the mutable ledger: which VM runs on which
+server, with capacity bookkeeping, migration, and the VM→ToR adjacency that
+abstraction-layer construction consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from repro.exceptions import (
+    DuplicateEntityError,
+    PlacementError,
+    UnknownEntityError,
+)
+from repro.ids import IdAllocator, ServerId, TorId, VmId, vm_id
+from repro.topology.datacenter import DataCenterNetwork
+from repro.topology.elements import ResourceVector
+from repro.virtualization.services import ServiceType
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VirtualMachine:
+    """An immutable VM description; placement lives in the inventory."""
+
+    vm_id: VmId
+    service: str
+    demand: ResourceVector
+
+
+class MachineInventory:
+    """Ledger of VMs, their host servers and remaining server capacity."""
+
+    def __init__(self, dcn: DataCenterNetwork) -> None:
+        self._dcn = dcn
+        self._ids = IdAllocator()
+        self._vms: dict[VmId, VirtualMachine] = {}
+        self._host: dict[VmId, ServerId] = {}
+        self._guests: dict[ServerId, set[VmId]] = {
+            server: set() for server in dcn.servers()
+        }
+        self._used: dict[ServerId, ResourceVector] = {
+            server: ResourceVector.zero() for server in dcn.servers()
+        }
+
+    # ------------------------------------------------------------------
+    # VM lifecycle
+    # ------------------------------------------------------------------
+    def create_vm(
+        self, service: ServiceType, demand: ResourceVector | None = None
+    ) -> VirtualMachine:
+        """Create an unplaced VM of a service (demand defaults to the
+        service's typical VM demand)."""
+        vm = VirtualMachine(
+            vm_id=self._ids.allocate(vm_id),
+            service=service.name,
+            demand=demand if demand is not None else service.vm_demand,
+        )
+        self._vms[vm.vm_id] = vm
+        return vm
+
+    def register_vm(self, vm: VirtualMachine) -> VirtualMachine:
+        """Register an externally constructed VM (must have a fresh id)."""
+        if vm.vm_id in self._vms:
+            raise DuplicateEntityError("vm", vm.vm_id)
+        self._vms[vm.vm_id] = vm
+        return vm
+
+    def place(self, vm: VmId | VirtualMachine, server: ServerId) -> None:
+        """Place an unplaced VM on a server, reserving capacity.
+
+        Raises:
+            PlacementError: if the VM is already placed or does not fit.
+        """
+        machine = self._resolve(vm)
+        if machine.vm_id in self._host:
+            raise PlacementError(
+                f"{machine.vm_id} is already placed on "
+                f"{self._host[machine.vm_id]}"
+            )
+        self._reserve(machine, server)
+        self._host[machine.vm_id] = server
+
+    def migrate(self, vm: VmId | VirtualMachine, new_server: ServerId) -> ServerId:
+        """Move a placed VM to another server; returns the old server."""
+        machine = self._resolve(vm)
+        old_server = self.host_of(machine.vm_id)
+        if new_server == old_server:
+            raise PlacementError(
+                f"{machine.vm_id} is already on {new_server}"
+            )
+        self._reserve(machine, new_server)
+        self._release(machine, old_server)
+        self._host[machine.vm_id] = new_server
+        return old_server
+
+    def remove(self, vm: VmId | VirtualMachine) -> None:
+        """Delete a VM, releasing its capacity if placed."""
+        machine = self._resolve(vm)
+        server = self._host.pop(machine.vm_id, None)
+        if server is not None:
+            self._release(machine, server)
+        del self._vms[machine.vm_id]
+
+    def _reserve(self, machine: VirtualMachine, server: ServerId) -> None:
+        if server not in self._guests:
+            raise UnknownEntityError("server", server)
+        capacity = self._dcn.spec_of(server).capacity
+        proposed = self._used[server] + machine.demand
+        if not proposed.fits_within(capacity):
+            raise PlacementError(
+                f"{machine.vm_id} (demand {machine.demand}) does not fit on "
+                f"{server} (used {self._used[server]}, capacity {capacity})"
+            )
+        self._used[server] = proposed
+        self._guests[server].add(machine.vm_id)
+
+    def _release(self, machine: VirtualMachine, server: ServerId) -> None:
+        self._used[server] = self._used[server] - machine.demand
+        self._guests[server].discard(machine.vm_id)
+
+    def _resolve(self, vm: VmId | VirtualMachine) -> VirtualMachine:
+        key = vm.vm_id if isinstance(vm, VirtualMachine) else vm
+        try:
+            return self._vms[key]
+        except KeyError:
+            raise UnknownEntityError("vm", key) from None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, vm: VmId) -> VirtualMachine:
+        """The VM with this id."""
+        return self._resolve(vm)
+
+    def __contains__(self, vm: VmId) -> bool:
+        return vm in self._vms
+
+    def __len__(self) -> int:
+        return len(self._vms)
+
+    def host_of(self, vm: VmId) -> ServerId:
+        """Server hosting this VM; raises if the VM is unplaced."""
+        self._resolve(vm)
+        try:
+            return self._host[vm]
+        except KeyError:
+            raise PlacementError(f"{vm} is not placed on any server") from None
+
+    def is_placed(self, vm: VmId) -> bool:
+        """True if the VM currently runs on a server."""
+        self._resolve(vm)
+        return vm in self._host
+
+    def vms_on(self, server: ServerId) -> list[VirtualMachine]:
+        """VMs hosted by a server (sorted by id)."""
+        if server not in self._guests:
+            raise UnknownEntityError("server", server)
+        return [self._vms[v] for v in sorted(self._guests[server])]
+
+    def vms_of_service(self, service_name: str) -> list[VirtualMachine]:
+        """All VMs of one service (placed or not), sorted by id."""
+        return [
+            self._vms[key]
+            for key in sorted(self._vms)
+            if self._vms[key].service == service_name
+        ]
+
+    def all_vms(self) -> list[VirtualMachine]:
+        """Every VM, sorted by id."""
+        return [self._vms[key] for key in sorted(self._vms)]
+
+    def placed_vms(self) -> list[VirtualMachine]:
+        """Every placed VM, sorted by id."""
+        return [self._vms[key] for key in sorted(self._host)]
+
+    def services_present(self) -> list[str]:
+        """Names of services with at least one VM, sorted."""
+        return sorted({vm.service for vm in self._vms.values()})
+
+    def tors_of_vm(self, vm: VmId) -> list[TorId]:
+        """ToR switches reachable by a VM — the adjacency used by AL
+        construction (a VM inherits its host server's ToR attachments)."""
+        return self._dcn.tors_of_server(self.host_of(vm))
+
+    def remaining_capacity(self, server: ServerId) -> ResourceVector:
+        """Capacity a server still has free."""
+        if server not in self._used:
+            raise UnknownEntityError("server", server)
+        return self._dcn.spec_of(server).capacity - self._used[server]
+
+    def used_capacity(self, server: ServerId) -> ResourceVector:
+        """Capacity currently reserved on a server."""
+        if server not in self._used:
+            raise UnknownEntityError("server", server)
+        return self._used[server]
+
+    def utilization_by_server(self) -> dict[ServerId, float]:
+        """CPU utilization fraction per server (0 when capacity is 0)."""
+        result = {}
+        for server, used in self._used.items():
+            capacity = self._dcn.spec_of(server).capacity
+            result[server] = (
+                used.cpu_cores / capacity.cpu_cores if capacity.cpu_cores else 0.0
+            )
+        return result
+
+    @property
+    def network(self) -> DataCenterNetwork:
+        """The physical fabric this inventory tracks."""
+        return self._dcn

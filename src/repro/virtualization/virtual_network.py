@@ -1,0 +1,131 @@
+"""Virtual networks: VM-level topologies embedded on the physical fabric.
+
+"Virtual nodes are interconnected through virtual links, forming a virtual
+topology.  With node and link virtualization, multiple VN topologies can be
+created and co-hosted on the same physical infrastructure" (Section I).
+A :class:`VirtualNetwork` is a graph over VM ids whose links are embedded
+onto physical paths by :meth:`VirtualNetwork.embed`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import networkx as nx
+
+from repro.exceptions import RoutingError, UnknownEntityError
+from repro.ids import VmId
+from repro.virtualization.machines import MachineInventory
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VirtualLink:
+    """A virtual link between two VMs with a bandwidth requirement."""
+
+    a: VmId
+    b: VmId
+    bandwidth_gbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"virtual self-loop on {self.a!r}")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(
+                f"virtual link bandwidth must be positive, "
+                f"got {self.bandwidth_gbps}"
+            )
+
+    @property
+    def endpoints(self) -> frozenset:
+        """Unordered endpoint pair."""
+        return frozenset((self.a, self.b))
+
+
+class VirtualNetwork:
+    """A named virtual topology over VMs.
+
+    The VN is purely logical until :meth:`embed` maps every virtual link to
+    a shortest physical path between the hosts of its endpoint VMs.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._graph = nx.Graph(name=name)
+        self._embedding: dict[frozenset, list[str]] = {}
+
+    def add_vm(self, vm: VmId) -> None:
+        """Add a virtual node (idempotent)."""
+        self._graph.add_node(vm)
+
+    def add_link(self, link: VirtualLink) -> None:
+        """Add a virtual link; both endpoints are added implicitly."""
+        self._graph.add_edge(link.a, link.b, link=link)
+
+    def vms(self) -> list[VmId]:
+        """Virtual nodes, sorted."""
+        return sorted(self._graph.nodes)
+
+    def links(self) -> list[VirtualLink]:
+        """Virtual links, sorted by endpoints."""
+        return sorted(
+            (data["link"] for _, _, data in self._graph.edges(data=True)),
+            key=lambda link: tuple(sorted((link.a, link.b))),
+        )
+
+    def degree_of(self, vm: VmId) -> int:
+        """Number of virtual links at a VM."""
+        if vm not in self._graph:
+            raise UnknownEntityError("virtual node", vm)
+        return self._graph.degree(vm)
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+    def embed(self, inventory: MachineInventory) -> dict[frozenset, list[str]]:
+        """Embed every virtual link onto a shortest physical path.
+
+        Every VM must already be placed on a server.  Returns and caches
+        ``{frozenset({vm_a, vm_b}): [physical node path]}``; links between
+        VMs on the same server embed to the single-node path of that
+        server.
+
+        Raises:
+            RoutingError: if the hosts of some link are disconnected.
+        """
+        physical = inventory.network.graph
+        embedding: dict[frozenset, list[str]] = {}
+        for link in self.links():
+            host_a = inventory.host_of(link.a)
+            host_b = inventory.host_of(link.b)
+            if host_a == host_b:
+                embedding[link.endpoints] = [host_a]
+                continue
+            try:
+                path = nx.shortest_path(physical, host_a, host_b)
+            except nx.NetworkXNoPath:
+                raise RoutingError(
+                    f"no physical path between {host_a} and {host_b} "
+                    f"for virtual link {link.a}-{link.b}"
+                ) from None
+            embedding[link.endpoints] = path
+        self._embedding = embedding
+        return dict(embedding)
+
+    def path_of(self, a: VmId, b: VmId) -> list[str]:
+        """The embedded physical path of the a-b virtual link."""
+        key = frozenset((a, b))
+        try:
+            return list(self._embedding[key])
+        except KeyError:
+            raise UnknownEntityError("embedded virtual link", (a, b)) from None
+
+    def physical_footprint(self) -> set[str]:
+        """All physical nodes used by the current embedding."""
+        footprint: set[str] = set()
+        for path in self._embedding.values():
+            footprint.update(path)
+        return footprint
+
+    def total_bandwidth_demand(self) -> float:
+        """Sum of the bandwidth requirements of all virtual links."""
+        return sum(link.bandwidth_gbps for link in self.links())

@@ -1,0 +1,75 @@
+"""Tests for blast-radius analysis."""
+
+import pytest
+
+from repro.analysis.failure_domains import (
+    blast_radius_of,
+    failure_domain_report,
+    worst_case_blast_radius,
+)
+from repro.core.cluster import ClusterManager
+
+
+@pytest.fixture
+def clustered(populated_inventory):
+    manager = ClusterManager(populated_inventory)
+    for service in ("web", "map-reduce", "sns"):
+        manager.create_cluster(service)
+    return manager
+
+
+class TestBlastRadius:
+    def test_owned_switch_affects_exactly_one(self, clustered):
+        cluster = clustered.cluster_of_service("web")
+        ops = sorted(cluster.al_switches)[0]
+        radius = blast_radius_of(clustered, ops)
+        assert radius.alvc_clusters_affected == 1
+        assert radius.affected_cluster == "cluster-web"
+        assert radius.flat_clusters_affected == 3
+
+    def test_free_switch_affects_none(self, clustered):
+        free = sorted(clustered.free_ops())
+        assert free, "fixture expects unassigned switches"
+        radius = blast_radius_of(clustered, free[0])
+        assert radius.alvc_clusters_affected == 0
+        assert radius.affected_cluster is None
+
+    def test_isolation_gain(self, clustered):
+        cluster = clustered.cluster_of_service("sns")
+        ops = sorted(cluster.al_switches)[0]
+        radius = blast_radius_of(clustered, ops)
+        assert radius.isolation_gain == 2  # 3 flat - 1 alvc
+
+
+class TestReport:
+    def test_row_per_switch(self, clustered):
+        rows = failure_domain_report(clustered)
+        network = clustered.inventory.network
+        assert len(rows) == len(network.optical_switches())
+
+    def test_disjointness_invariant(self, clustered):
+        rows = failure_domain_report(clustered)
+        # The architectural guarantee: no switch failure touches more
+        # than one cluster.
+        assert all(row["alvc_affected"] <= 1 for row in rows)
+
+    def test_owned_count_matches_al_sizes(self, clustered):
+        rows = failure_domain_report(clustered)
+        owned = sum(1 for row in rows if row["owner"] != "(free)")
+        total_al = sum(
+            len(cluster.al_switches) for cluster in clustered.clusters()
+        )
+        assert owned == total_al
+
+
+class TestWorstCase:
+    def test_worst_case_bounded_by_one(self, clustered):
+        worst = worst_case_blast_radius(clustered)
+        assert worst.alvc_clusters_affected == 1
+        assert worst.flat_clusters_affected == 3
+
+    def test_no_clusters_no_impact(self, populated_inventory):
+        manager = ClusterManager(populated_inventory)
+        worst = worst_case_blast_radius(manager)
+        assert worst.alvc_clusters_affected == 0
+        assert worst.flat_clusters_affected == 0

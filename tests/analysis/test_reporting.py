@@ -1,0 +1,75 @@
+"""Tests for table/series rendering."""
+
+from repro.analysis.reporting import format_value, render_series, render_table
+
+
+class TestFormatValue:
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_value(True) == "True"
+
+    def test_float_four_significant_digits(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_value(1.5e7)
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_value(1.5e-5)
+
+    def test_string_passthrough(self):
+        assert format_value("web") == "web"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        rows = [
+            {"name": "a", "value": 1},
+            {"name": "longer", "value": 22},
+        ]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_title(self):
+        text = render_table([{"x": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([])
+
+    def test_empty_rows_with_title(self):
+        text = render_table([], title="Empty")
+        assert text.startswith("Empty")
+
+    def test_column_order_from_first_row(self):
+        rows = [{"b": 1, "a": 2}]
+        header = render_table(rows).splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_explicit_columns(self):
+        rows = [{"b": 1, "a": 2}]
+        header = render_table(rows, columns=["a", "b"]).splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = render_table(rows)
+        assert text  # no KeyError; second row just lacks the cell
+
+
+class TestRenderSeries:
+    def test_two_columns(self):
+        text = render_series(
+            [(1, 10), (2, 20)], x_label="size", y_label="time"
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("size")
+        assert "time" in lines[0]
+        assert len(lines) == 4

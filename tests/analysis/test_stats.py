@@ -1,0 +1,35 @@
+"""Tests for statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import describe, ratio
+
+
+class TestDescribe:
+    def test_basic(self):
+        summary = describe([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_population_std(self):
+        summary = describe([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary["std"] == pytest.approx(2.0)
+
+    def test_empty(self):
+        summary = describe([])
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+
+    def test_single_value(self):
+        summary = describe([5.0])
+        assert summary["std"] == 0.0
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(1, 2) == 0.5
+
+    def test_zero_denominator(self):
+        assert ratio(1, 0) == 0.0

@@ -1,0 +1,117 @@
+"""Tests for topology metrics."""
+
+import pytest
+
+from repro.analysis.topology_metrics import (
+    bisection_bandwidth_estimate,
+    core_layout_comparison,
+    fabric_metrics,
+    mean_tor_oversubscription,
+)
+from repro.exceptions import TopologyError
+from repro.topology.builder import TopologyBuilder
+from repro.topology.elements import LinkSpec, Domain
+
+
+class TestFabricMetrics:
+    def test_counts_match_summary(self, small_fabric):
+        metrics = fabric_metrics(small_fabric)
+        summary = small_fabric.summary()
+        assert metrics["servers"] == summary["servers"]
+        assert metrics["switches"] == (
+            summary["tors"] + summary["optical_switches"]
+        )
+        assert metrics["links"] == summary["links"]
+
+    def test_diameter_at_least_mean_path(self, small_fabric):
+        metrics = fabric_metrics(small_fabric)
+        assert metrics["diameter"] >= metrics["mean_server_path"]
+        assert metrics["mean_server_path"] >= 1.0
+
+    def test_switches_per_server(self, small_fabric):
+        metrics = fabric_metrics(small_fabric)
+        assert metrics["switches_per_server"] == pytest.approx(
+            metrics["switches"] / metrics["servers"]
+        )
+
+    def test_deterministic(self, small_fabric):
+        assert fabric_metrics(small_fabric, seed=5) == fabric_metrics(
+            small_fabric, seed=5
+        )
+
+    def test_empty_fabric_rejected(self):
+        from repro.topology.datacenter import DataCenterNetwork
+
+        with pytest.raises(TopologyError):
+            fabric_metrics(DataCenterNetwork())
+
+
+class TestOversubscription:
+    def test_known_ratio(self):
+        builder = TopologyBuilder()
+        core = builder.add_optical_core(1)
+        # 4 servers x 10 Gbps down, 1 uplink x 10 Gbps: ratio 4.
+        builder.add_rack(servers=4, uplinks=core)
+        dcn = builder.build()
+        assert mean_tor_oversubscription(dcn) == pytest.approx(4.0)
+
+    def test_one_to_one(self):
+        builder = TopologyBuilder()
+        core = builder.add_optical_core(2)
+        builder.add_rack(servers=2, uplinks=core)
+        dcn = builder.build()
+        assert mean_tor_oversubscription(dcn) == pytest.approx(1.0)
+
+
+class TestBisection:
+    def test_two_rack_fabric_cut_is_core_links(self):
+        builder = TopologyBuilder()
+        core = builder.add_optical_core(1)
+        builder.add_rack(servers=2, uplinks=core)
+        builder.add_rack(servers=2, uplinks=core)
+        dcn = builder.build()
+        # Any even split of the two racks cuts exactly one ToR uplink
+        # (10 Gbps default).
+        assert bisection_bandwidth_estimate(dcn) == pytest.approx(10.0)
+
+    def test_richer_core_raises_bisection(self, small_fabric):
+        from repro.topology.generators import build_alvc_fabric
+
+        thin = build_alvc_fabric(
+            n_racks=4, servers_per_rack=4, n_ops=4, tor_uplinks=1, seed=3
+        )
+        fat = build_alvc_fabric(
+            n_racks=4, servers_per_rack=4, n_ops=4, tor_uplinks=4, seed=3
+        )
+        assert bisection_bandwidth_estimate(
+            fat
+        ) >= bisection_bandwidth_estimate(thin)
+
+    def test_single_rack(self):
+        builder = TopologyBuilder()
+        core = builder.add_optical_core(1)
+        builder.add_rack(servers=3, uplinks=core)
+        dcn = builder.build()
+        assert bisection_bandwidth_estimate(dcn) == pytest.approx(30.0)
+
+
+class TestCoreLayoutComparison:
+    def test_row_per_layout(self):
+        rows = core_layout_comparison(
+            ("none", "ring"), n_racks=4, servers_per_rack=2, n_ops=4
+        )
+        assert [row["core_layout"] for row in rows] == ["none", "ring"]
+
+    def test_interconnect_shrinks_diameter(self):
+        rows = core_layout_comparison(
+            ("none", "full_mesh"),
+            n_racks=8,
+            servers_per_rack=2,
+            n_ops=8,
+        )
+        by_layout = {row["core_layout"]: row for row in rows}
+        assert (
+            by_layout["full_mesh"]["diameter"]
+            <= by_layout["none"]["diameter"]
+        )
+        assert by_layout["full_mesh"]["links"] > by_layout["none"]["links"]

@@ -1,0 +1,64 @@
+"""Shared fixtures: fabrics, inventories and populated testbeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nfv.functions import FunctionCatalog
+from repro.topology.generators import build_alvc_fabric, paper_example_topology
+from repro.virtualization.machines import MachineInventory
+from repro.virtualization.services import ServiceCatalog
+from repro.virtualization.vm_placement import PlacementStrategy, VmPlacementEngine
+
+
+@pytest.fixture
+def paper_dcn():
+    """The exact Fig. 4 worked-example fabric."""
+    return paper_example_topology()
+
+
+@pytest.fixture
+def small_fabric():
+    """A small deterministic fabric: 4 racks x 4 servers, 4 OPSs."""
+    return build_alvc_fabric(
+        n_racks=4, servers_per_rack=4, n_ops=4, dual_homing_fraction=0.25, seed=7
+    )
+
+
+@pytest.fixture
+def medium_fabric():
+    """A medium fabric: 8 racks x 8 servers, 8 OPSs."""
+    return build_alvc_fabric(
+        n_racks=8, servers_per_rack=8, n_ops=8, dual_homing_fraction=0.25, seed=11
+    )
+
+
+@pytest.fixture
+def service_catalog():
+    """The standard service catalog."""
+    return ServiceCatalog.standard()
+
+
+@pytest.fixture
+def function_catalog():
+    """The standard network function catalog."""
+    return FunctionCatalog.standard()
+
+
+@pytest.fixture
+def inventory(small_fabric):
+    """An empty machine inventory over the small fabric."""
+    return MachineInventory(small_fabric)
+
+
+@pytest.fixture
+def populated_inventory(medium_fabric, service_catalog):
+    """Inventory with 6 placed VMs each of web, map-reduce and sns."""
+    inv = MachineInventory(medium_fabric)
+    engine = VmPlacementEngine(
+        inv, strategy=PlacementStrategy.SERVICE_AFFINITY, seed=3
+    )
+    for service_name in ("web", "map-reduce", "sns"):
+        for _ in range(6):
+            engine.place(inv.create_vm(service_catalog.get(service_name)))
+    return inv

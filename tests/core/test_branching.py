@@ -1,0 +1,192 @@
+"""Tests for branching (complex processing order) chains."""
+
+import networkx as nx
+import pytest
+
+from repro.core.branching import (
+    Branch,
+    BranchingChain,
+    BranchingPlacement,
+    BranchingPlacementSolver,
+)
+from repro.core.placement import PlacementAlgorithm
+from repro.exceptions import ChainValidationError
+from repro.nfv.functions import FunctionCatalog
+from repro.optical.conversion import ConversionModel
+from repro.topology.elements import ResourceVector
+
+
+CATALOG = FunctionCatalog.standard()
+
+
+def F(name):
+    return CATALOG.get(name)
+
+
+def make_chain():
+    """firewall -> LB, then 70% [nat], 30% [dpi, proxy]."""
+    return BranchingChain(
+        chain_id="chain-b",
+        common=(F("firewall"), F("load-balancer")),
+        branches=(
+            Branch("fast", (F("nat"),), 0.7),
+            Branch("deep", (F("dpi"), F("proxy")), 0.3),
+        ),
+    )
+
+
+class TestValidation:
+    def test_valid_chain(self):
+        chain = make_chain()
+        assert len(chain.branches) == 2
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ChainValidationError):
+            BranchingChain(
+                chain_id="x",
+                common=(),
+                branches=(
+                    Branch("a", (F("nat"),), 0.5),
+                    Branch("b", (F("nat"),), 0.4),
+                ),
+            )
+
+    def test_needs_a_branch(self):
+        with pytest.raises(ChainValidationError):
+            BranchingChain(chain_id="x", common=(F("nat"),), branches=())
+
+    def test_duplicate_branch_names_rejected(self):
+        with pytest.raises(ChainValidationError):
+            BranchingChain(
+                chain_id="x",
+                common=(),
+                branches=(
+                    Branch("a", (F("nat"),), 0.5),
+                    Branch("a", (F("dpi"),), 0.5),
+                ),
+            )
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(ChainValidationError):
+            Branch("a", (), 1.0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ChainValidationError):
+            Branch("a", (F("nat"),), 0.0)
+        with pytest.raises(ChainValidationError):
+            Branch("a", (F("nat"),), 1.5)
+
+
+class TestLinearPaths:
+    def test_linear_path_concatenates(self):
+        chain = make_chain()
+        deep = chain.linear_path("deep")
+        assert deep.function_names == (
+            "firewall",
+            "load-balancer",
+            "dpi",
+            "proxy",
+        )
+
+    def test_unknown_branch_rejected(self):
+        with pytest.raises(ChainValidationError):
+            make_chain().linear_path("nope")
+
+
+class TestForwardingGraph:
+    def test_dag_with_split(self):
+        graph = make_chain().forwarding_graph()
+        assert nx.is_directed_acyclic_graph(graph)
+        assert graph.out_degree("split") == 2
+        assert graph.in_degree("egress") == 2
+
+    def test_prefix_precedes_split(self):
+        graph = make_chain().forwarding_graph()
+        assert nx.has_path(graph, "ingress", "split")
+        assert nx.has_path(graph, "split", "egress")
+
+    def test_immediate_branching(self):
+        chain = BranchingChain(
+            chain_id="x",
+            common=(),
+            branches=(Branch("only", (F("nat"),), 1.0),),
+        )
+        graph = chain.forwarding_graph()
+        assert graph.has_edge("ingress", "split")
+
+
+class TestPlacement:
+    def _pool(self, cpu=4.0):
+        return {
+            "ops-0": ResourceVector(cpu, 16, 64),
+            "ops-1": ResourceVector(cpu, 16, 64),
+        }
+
+    def test_full_capacity_zero_conversions_on_light_chain(self):
+        chain = BranchingChain(
+            chain_id="x",
+            common=(F("firewall"),),
+            branches=(
+                Branch("a", (F("nat"),), 0.6),
+                Branch("b", (F("load-balancer"),), 0.4),
+            ),
+        )
+        placement = BranchingPlacementSolver(self._pool()).solve(chain)
+        assert placement.expected_conversions() == 0.0
+        assert placement.optical_count() == 3
+
+    def test_expected_conversions_weighting(self):
+        # DPI never fits: the deep branch pays conversions per its share.
+        chain = make_chain()
+        placement = BranchingPlacementSolver(self._pool()).solve(chain)
+        # common: 0 conversions; fast: 0; deep: 1 (dpi electronic, proxy
+        # optical).
+        assert placement.expected_conversions() == pytest.approx(0.3)
+
+    def test_no_capacity_everything_electronic(self):
+        chain = make_chain()
+        placement = BranchingPlacementSolver({}).solve(chain)
+        # common 2 + 0.7*1 + 0.3*2 = 3.3
+        assert placement.expected_conversions() == pytest.approx(3.3)
+        assert placement.optical_count() == 0
+
+    def test_branches_share_capacity(self):
+        # One router fitting exactly one NAT: the higher-traffic branch
+        # gets it.
+        chain = BranchingChain(
+            chain_id="x",
+            common=(),
+            branches=(
+                Branch("big", (F("nat"),), 0.8),
+                Branch("small", (F("nat"),), 0.2),
+            ),
+        )
+        capacity = {"ops-0": ResourceVector(0.5, 1, 2)}
+        placement = BranchingPlacementSolver(capacity).solve(chain)
+        assert placement.branch_placements["big"].optical_count == 1
+        assert placement.branch_placements["small"].optical_count == 0
+
+    def test_expected_cost_linear_in_flow(self):
+        chain = make_chain()
+        placement = BranchingPlacementSolver({}).solve(chain)
+        model = ConversionModel(cost_per_gb=1.0)
+        assert placement.expected_cost(model, 2e9) == pytest.approx(
+            2 * placement.expected_cost(model, 1e9)
+        )
+
+    def test_all_electronic_algorithm(self):
+        chain = make_chain()
+        placement = BranchingPlacementSolver(self._pool()).solve(
+            chain, PlacementAlgorithm.ALL_ELECTRONIC
+        )
+        assert placement.optical_count() == 0
+
+    def test_empty_common_prefix(self):
+        chain = BranchingChain(
+            chain_id="x",
+            common=(),
+            branches=(Branch("only", (F("nat"),), 1.0),),
+        )
+        placement = BranchingPlacementSolver(self._pool()).solve(chain)
+        assert placement.common_placement is None
+        assert placement.expected_conversions() == 0.0

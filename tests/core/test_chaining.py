@@ -1,0 +1,107 @@
+"""Tests for network function chains."""
+
+import pytest
+
+from repro.core.chaining import ChainRequest, NetworkFunctionChain
+from repro.exceptions import ChainValidationError
+from repro.nfv.functions import FunctionCatalog
+from repro.topology.elements import ResourceVector
+
+
+@pytest.fixture
+def chain(function_catalog):
+    return NetworkFunctionChain.from_names(
+        "chain-0", ("firewall", "dpi", "load-balancer"), function_catalog
+    )
+
+
+class TestConstruction:
+    def test_from_names(self, chain):
+        assert chain.function_names == ("firewall", "dpi", "load-balancer")
+        assert len(chain) == 3
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ChainValidationError):
+            NetworkFunctionChain(chain_id="chain-0", functions=())
+
+    def test_zero_bandwidth_rejected(self, function_catalog):
+        with pytest.raises(ChainValidationError):
+            NetworkFunctionChain.from_names(
+                "chain-0", ("nat",), function_catalog, bandwidth_gbps=0
+            )
+
+    def test_repeated_function_allowed(self, function_catalog):
+        chain = NetworkFunctionChain.from_names(
+            "chain-0", ("firewall", "firewall"), function_catalog
+        )
+        assert len(chain) == 2
+
+    def test_iteration(self, chain):
+        names = [function.name for function in chain]
+        assert names == ["firewall", "dpi", "load-balancer"]
+
+    def test_unknown_function_raises(self, function_catalog):
+        from repro.exceptions import UnknownEntityError
+
+        with pytest.raises(UnknownEntityError):
+            NetworkFunctionChain.from_names(
+                "chain-0", ("nope",), function_catalog
+            )
+
+
+class TestAccessors:
+    def test_total_demand(self, chain, function_catalog):
+        expected = ResourceVector.total(
+            function_catalog.get(name).demand
+            for name in ("firewall", "dpi", "load-balancer")
+        )
+        assert chain.total_demand() == expected
+
+    def test_positions_of(self, function_catalog):
+        chain = NetworkFunctionChain.from_names(
+            "chain-0", ("nat", "firewall", "nat"), function_catalog
+        )
+        assert chain.positions_of("nat") == [0, 2]
+        assert chain.positions_of("firewall") == [1]
+        assert chain.positions_of("dpi") == []
+
+
+class TestForwardingGraph:
+    def test_linear_dag(self, chain):
+        graph = chain.forwarding_graph()
+        assert graph.number_of_nodes() == 5  # ingress + 3 + egress
+        assert graph.number_of_edges() == 4
+
+    def test_order_follows_chain(self, chain):
+        graph = chain.forwarding_graph()
+        assert graph.has_edge("ingress", (0, "firewall"))
+        assert graph.has_edge((0, "firewall"), (1, "dpi"))
+        assert graph.has_edge((2, "load-balancer"), "egress")
+
+    def test_is_acyclic(self, chain):
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(chain.forwarding_graph())
+
+    def test_repeated_functions_get_distinct_nodes(self, function_catalog):
+        chain = NetworkFunctionChain.from_names(
+            "chain-0", ("nat", "nat"), function_catalog
+        )
+        graph = chain.forwarding_graph()
+        assert (0, "nat") in graph
+        assert (1, "nat") in graph
+
+
+class TestChainRequest:
+    def test_valid_request(self, chain):
+        request = ChainRequest(
+            tenant="tenant-0", chain=chain, service="web", flow_size_gb=2.0
+        )
+        assert request.flow_size_gb == 2.0
+
+    def test_zero_flow_size_rejected(self, chain):
+        with pytest.raises(ChainValidationError):
+            ChainRequest(
+                tenant="tenant-0", chain=chain, service="web",
+                flow_size_gb=0,
+            )

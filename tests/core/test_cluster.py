@@ -1,0 +1,191 @@
+"""Tests for virtual clusters and the cluster manager."""
+
+import pytest
+
+from repro.core.cluster import ClusterManager
+from repro.exceptions import (
+    CoverInfeasibleError,
+    DuplicateEntityError,
+    TopologyError,
+    UnknownEntityError,
+)
+
+
+@pytest.fixture
+def manager(populated_inventory):
+    return ClusterManager(populated_inventory)
+
+
+class TestCreateCluster:
+    def test_cluster_contains_service_vms(self, manager, populated_inventory):
+        cluster = manager.create_cluster("web")
+        expected = {
+            vm.vm_id for vm in populated_inventory.vms_of_service("web")
+        }
+        assert cluster.vm_ids == expected
+        assert cluster.service == "web"
+        assert len(cluster) == len(expected)
+
+    def test_cluster_id_derived_from_service(self, manager):
+        cluster = manager.create_cluster("web")
+        assert cluster.cluster_id == "cluster-web"
+
+    def test_al_constructed(self, manager):
+        cluster = manager.create_cluster("web")
+        assert cluster.al_switches
+        assert cluster.tor_switches
+
+    def test_duplicate_service_rejected(self, manager):
+        manager.create_cluster("web")
+        with pytest.raises(DuplicateEntityError):
+            manager.create_cluster("web")
+
+    def test_unknown_service_rejected(self, manager):
+        with pytest.raises(TopologyError):
+            manager.create_cluster("nonexistent-service")
+
+    def test_explicit_vm_subset(self, manager, populated_inventory):
+        vms = [
+            vm.vm_id
+            for vm in populated_inventory.vms_of_service("web")[:3]
+        ]
+        cluster = manager.create_cluster("web", vms=vms)
+        assert cluster.vm_ids == set(vms)
+
+    def test_explicit_vm_wrong_service_rejected(
+        self, manager, populated_inventory
+    ):
+        sns_vm = populated_inventory.vms_of_service("sns")[0]
+        with pytest.raises(TopologyError):
+            manager.create_cluster("web", vms=[sns_vm.vm_id])
+
+    def test_unplaced_vms_excluded_by_default(
+        self, manager, populated_inventory, service_catalog
+    ):
+        floating = populated_inventory.create_vm(service_catalog.get("web"))
+        cluster = manager.create_cluster("web")
+        assert floating.vm_id not in cluster.vm_ids
+
+
+class TestDisjointness:
+    def test_ops_not_shared_between_clusters(self, manager):
+        web = manager.create_cluster("web")
+        mr = manager.create_cluster("map-reduce")
+        sns = manager.create_cluster("sns")
+        assert not (web.al_switches & mr.al_switches)
+        assert not (web.al_switches & sns.al_switches)
+        assert not (mr.al_switches & sns.al_switches)
+
+    def test_owner_tracking(self, manager):
+        web = manager.create_cluster("web")
+        for ops in web.al_switches:
+            assert manager.owner_of_ops(ops) == "cluster-web"
+        free = manager.free_ops()
+        assert not (free & web.al_switches)
+
+    def test_exhaustion_raises_cover_infeasible(
+        self, small_fabric, service_catalog
+    ):
+        from repro.virtualization.machines import MachineInventory
+        from repro.virtualization.vm_placement import (
+            PlacementStrategy,
+            VmPlacementEngine,
+        )
+
+        # One VM per rack for each of many services: every cluster spans
+        # all 4 ToRs, quickly consuming the 4 OPSs.
+        inventory = MachineInventory(small_fabric)
+        engine = VmPlacementEngine(
+            inventory, PlacementStrategy.ROUND_ROBIN
+        )
+        services = ["web", "sns", "database", "map-reduce", "backup"]
+        for name in services:
+            for _ in range(4):
+                engine.place(inventory.create_vm(service_catalog.get(name)))
+        manager = ClusterManager(inventory)
+        with pytest.raises(CoverInfeasibleError):
+            for name in services:
+                manager.create_cluster(name)
+
+
+class TestDissolveAndRebuild:
+    def test_dissolve_frees_ops(self, manager):
+        web = manager.create_cluster("web")
+        manager.dissolve_cluster("web")
+        assert web.al_switches <= manager.free_ops()
+        with pytest.raises(UnknownEntityError):
+            manager.cluster_of_service("web")
+
+    def test_dissolve_unknown_raises(self, manager):
+        with pytest.raises(UnknownEntityError):
+            manager.dissolve_cluster("web")
+
+    def test_rebuild_after_churn(self, manager, populated_inventory):
+        manager.create_cluster("web")
+        # Migrate a web VM somewhere else, then rebuild.
+        vm = populated_inventory.vms_of_service("web")[0]
+        current = populated_inventory.host_of(vm.vm_id)
+        target = next(
+            server
+            for server in populated_inventory.network.servers()
+            if server != current
+            and vm.demand.fits_within(
+                populated_inventory.remaining_capacity(server)
+            )
+        )
+        populated_inventory.migrate(vm.vm_id, target)
+        rebuilt = manager.rebuild_cluster("web")
+        assert set(populated_inventory.network.tors_of_server(target)) & (
+            rebuilt.tor_switches
+        )
+
+
+class TestQueries:
+    def test_cluster_of_vm(self, manager, populated_inventory):
+        manager.create_cluster("web")
+        vm = populated_inventory.vms_of_service("web")[0]
+        assert manager.cluster_of_vm(vm.vm_id).service == "web"
+
+    def test_cluster_of_vm_unknown_raises(self, manager):
+        with pytest.raises(UnknownEntityError):
+            manager.cluster_of_vm("vm-999")
+
+    def test_clusters_sorted(self, manager):
+        manager.create_cluster("web")
+        manager.create_cluster("map-reduce")
+        names = [cluster.cluster_id for cluster in manager.clusters()]
+        assert names == sorted(names)
+
+    def test_census(self, manager):
+        manager.create_cluster("web")
+        census = manager.census()
+        assert census["cluster-web"]["vms"] == 6
+        assert census["cluster-web"]["al_switches"] >= 1
+
+
+class TestCreateAllClusters:
+    def test_creates_every_present_service(self, manager):
+        created = manager.create_all_clusters()
+        assert {cluster.service for cluster in created} == {
+            "web",
+            "map-reduce",
+            "sns",
+        }
+
+    def test_skips_existing_clusters(self, manager):
+        manager.create_cluster("web")
+        created = manager.create_all_clusters()
+        assert "web" not in {cluster.service for cluster in created}
+        assert len(manager.clusters()) == 3
+
+    def test_skips_services_with_only_unplaced_vms(
+        self, manager, populated_inventory, service_catalog
+    ):
+        populated_inventory.create_vm(service_catalog.get("backup"))
+        created = manager.create_all_clusters()
+        assert "backup" not in {cluster.service for cluster in created}
+
+    def test_deterministic_order(self, manager):
+        created = manager.create_all_clusters()
+        names = [cluster.service for cluster in created]
+        assert names == sorted(names)

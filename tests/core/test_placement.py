@@ -1,0 +1,400 @@
+"""Tests for the O/E/O-minimizing VNF placement solver."""
+
+import pytest
+
+from repro.core.chaining import NetworkFunctionChain
+from repro.core.placement import (
+    ChainPlacement,
+    PlacedVnf,
+    PlacementAlgorithm,
+    PlacementSolver,
+)
+from repro.exceptions import PlacementError
+from repro.nfv.functions import FunctionCatalog
+from repro.optical.conversion import ConversionModel
+from repro.topology.elements import Domain, ResourceVector
+
+
+CATALOG = FunctionCatalog.standard()
+
+
+def make_chain(names, chain_id="chain-t"):
+    return NetworkFunctionChain.from_names(chain_id, names, CATALOG)
+
+
+def pool(cpu=4, memory=8, storage=64, count=2):
+    return {
+        f"ops-{index}": ResourceVector(cpu, memory, storage)
+        for index in range(count)
+    }
+
+
+class TestPlacedVnf:
+    def test_optical_needs_host(self):
+        with pytest.raises(PlacementError):
+            PlacedVnf(0, CATALOG.get("nat"), Domain.OPTICAL, None)
+
+    def test_electronic_forbids_host(self):
+        with pytest.raises(PlacementError):
+            PlacedVnf(0, CATALOG.get("nat"), Domain.ELECTRONIC, "ops-0")
+
+
+class TestChainPlacement:
+    def test_length_mismatch_rejected(self):
+        chain = make_chain(("nat", "firewall"))
+        with pytest.raises(PlacementError):
+            ChainPlacement(
+                chain=chain,
+                assignments=(
+                    PlacedVnf(0, CATALOG.get("nat"), Domain.ELECTRONIC, None),
+                ),
+            )
+
+    def test_conversions_per_visit(self):
+        chain = make_chain(("nat", "firewall", "proxy"))
+        placement = ChainPlacement(
+            chain=chain,
+            assignments=(
+                PlacedVnf(0, chain.functions[0], Domain.ELECTRONIC, None),
+                PlacedVnf(1, chain.functions[1], Domain.OPTICAL, "ops-0"),
+                PlacedVnf(2, chain.functions[2], Domain.ELECTRONIC, None),
+            ),
+        )
+        assert placement.conversions == 2
+        assert placement.optical_count == 1
+        assert placement.conversions_saved() == 1
+
+    def test_conversion_cost_and_energy(self):
+        chain = make_chain(("nat",))
+        placement = ChainPlacement(
+            chain=chain,
+            assignments=(
+                PlacedVnf(0, chain.functions[0], Domain.ELECTRONIC, None),
+            ),
+        )
+        model = ConversionModel(cost_per_gb=1.0, pj_per_bit=20.0)
+        assert placement.conversion_cost(model, 1e9) == pytest.approx(1.0)
+        assert placement.conversion_energy_joules(model, 1e9) == (
+            pytest.approx(0.16)
+        )
+
+    def test_optical_hosts_map(self):
+        chain = make_chain(("nat", "firewall"))
+        placement = ChainPlacement(
+            chain=chain,
+            assignments=(
+                PlacedVnf(0, chain.functions[0], Domain.OPTICAL, "ops-1"),
+                PlacedVnf(1, chain.functions[1], Domain.ELECTRONIC, None),
+            ),
+        )
+        assert placement.optical_hosts() == {0: "ops-1"}
+
+
+class TestAllElectronic:
+    def test_everything_electronic(self):
+        solver = PlacementSolver(pool())
+        placement = solver.solve(
+            make_chain(("nat", "firewall")), PlacementAlgorithm.ALL_ELECTRONIC
+        )
+        assert placement.optical_count == 0
+        assert placement.conversions == 2
+
+
+class TestGreedyPerVisit:
+    def test_packs_everything_that_fits(self):
+        solver = PlacementSolver(pool())
+        placement = solver.solve(make_chain(("nat", "firewall", "nat")))
+        assert placement.optical_count == 3
+        assert placement.conversions == 0
+
+    def test_heavy_function_stays_electronic(self):
+        solver = PlacementSolver(pool())
+        placement = solver.solve(make_chain(("nat", "dpi", "firewall")))
+        assert placement.conversions == 1
+        domains = placement.domains()
+        assert domains[1] is Domain.ELECTRONIC
+
+    def test_empty_pool_places_nothing(self):
+        solver = PlacementSolver({})
+        placement = solver.solve(make_chain(("nat", "firewall")))
+        assert placement.optical_count == 0
+
+    def test_cheapest_first_under_scarcity(self):
+        # Capacity for NAT (0.5 cpu) but not security-gateway (2 cpu).
+        solver = PlacementSolver(pool(cpu=1, count=1))
+        placement = solver.solve(
+            make_chain(("security-gateway", "nat"))
+        )
+        assert placement.domains() == [Domain.ELECTRONIC, Domain.OPTICAL]
+
+    def test_capacity_respected_across_positions(self):
+        # One router with 1 cpu: only two 0.5-cpu NATs fit.
+        solver = PlacementSolver(pool(cpu=1, memory=8, storage=64, count=1))
+        placement = solver.solve(make_chain(("nat", "nat", "nat")))
+        assert placement.optical_count == 2
+
+    def test_optical_incapable_functions_never_moved(self):
+        from repro.nfv.functions import NetworkFunctionType
+
+        catalog = FunctionCatalog.standard()
+        catalog.register(
+            NetworkFunctionType(
+                "legacy",
+                ResourceVector(cpu_cores=0.1),
+                optical_capable=False,
+            )
+        )
+        chain = NetworkFunctionChain.from_names(
+            "chain-l", ("legacy", "nat"), catalog
+        )
+        placement = PlacementSolver(pool()).solve(chain)
+        assert placement.domains()[0] is Domain.ELECTRONIC
+        assert placement.domains()[1] is Domain.OPTICAL
+
+
+class TestGreedyMergedRuns:
+    def test_whole_run_moves_together(self):
+        solver = PlacementSolver(pool(), merge_consecutive=True)
+        placement = solver.solve(make_chain(("nat", "firewall")))
+        # Under excursion semantics the only way to save is to move the
+        # entire [nat, firewall] run.
+        assert placement.optical_count == 2
+        assert placement.conversions == 0
+
+    def test_unmovable_run_left_alone(self):
+        # DPI pins the excursion: moving its neighbours saves nothing.
+        solver = PlacementSolver(pool(), merge_consecutive=True)
+        placement = solver.solve(make_chain(("nat", "dpi", "firewall")))
+        assert placement.conversions == 1
+        assert placement.optical_count == 0
+
+    def test_from_scratch_single_excursion_is_already_optimal(self):
+        # All-electronic is one excursion under merge semantics; with DPI
+        # unpackable the excursion cannot be eliminated, so moving any
+        # subset saves nothing and the greedy correctly moves nothing.
+        solver = PlacementSolver(
+            pool(cpu=1, count=1), merge_consecutive=True
+        )
+        chain = make_chain(("nat", "dpi", "security-gateway"))
+        placement = solver.solve(chain)
+        assert placement.optical_count == 0
+        assert placement.conversions == 1
+
+    def test_improve_moves_cheapest_feasible_run(self):
+        # Before: [E, O, E] — two single-position runs around the optical
+        # firewall.  Only NAT (0.5 cpu) fits the remaining capacity, so
+        # exactly that run is eliminated.
+        chain = make_chain(("nat", "firewall", "security-gateway"))
+        before = ChainPlacement(
+            chain=chain,
+            assignments=(
+                PlacedVnf(0, chain.functions[0], Domain.ELECTRONIC, None),
+                PlacedVnf(1, chain.functions[1], Domain.OPTICAL, "ops-0"),
+                PlacedVnf(2, chain.functions[2], Domain.ELECTRONIC, None),
+            ),
+            merge_consecutive=True,
+        )
+        solver = PlacementSolver(
+            pool(cpu=1, count=1), merge_consecutive=True
+        )
+        after = solver.improve(before)
+        assert after.domains() == [
+            Domain.OPTICAL, Domain.OPTICAL, Domain.ELECTRONIC,
+        ]
+        assert before.conversions == 2
+        assert after.conversions == 1
+
+
+class TestRandomPlacement:
+    def test_deterministic_per_seed(self):
+        chain = make_chain(("nat", "firewall", "proxy"))
+        first = PlacementSolver(pool(), seed=5).solve(
+            chain, PlacementAlgorithm.RANDOM
+        )
+        second = PlacementSolver(pool(), seed=5).solve(
+            chain, PlacementAlgorithm.RANDOM
+        )
+        assert first.optical_hosts() == second.optical_hosts()
+
+    def test_respects_capacity(self):
+        chain = make_chain(("nat",) * 6)
+        placement = PlacementSolver(
+            pool(cpu=1, count=1), seed=0
+        ).solve(chain, PlacementAlgorithm.RANDOM)
+        assert placement.optical_count <= 2
+
+
+class TestOptimalPlacement:
+    def test_matches_greedy_on_easy_instance(self):
+        chain = make_chain(("nat", "firewall"))
+        optimal = PlacementSolver(pool()).solve(
+            chain, PlacementAlgorithm.OPTIMAL
+        )
+        greedy = PlacementSolver(pool()).solve(
+            chain, PlacementAlgorithm.GREEDY
+        )
+        assert optimal.conversions == greedy.conversions == 0
+
+    def test_never_worse_than_greedy(self):
+        import random
+
+        light = ("nat", "firewall", "load-balancer", "proxy",
+                 "security-gateway")
+        for seed in range(6):
+            rng = random.Random(seed)
+            names = tuple(rng.choice(light) for _ in range(5))
+            chain = make_chain(names, chain_id=f"chain-{seed}")
+            capacity = pool(cpu=rng.choice([1, 2, 4]), count=2)
+            optimal = PlacementSolver(dict(capacity)).solve(
+                chain, PlacementAlgorithm.OPTIMAL
+            )
+            greedy = PlacementSolver(dict(capacity)).solve(
+                chain, PlacementAlgorithm.GREEDY
+            )
+            assert optimal.conversions <= greedy.conversions
+
+    def test_prefers_fewer_optical_on_tie(self):
+        # Everything fits, but zero conversions needs all positions; a tie
+        # at equal conversions prefers fewer optical deployments.
+        chain = make_chain(("nat",))
+        placement = PlacementSolver(pool()).solve(
+            chain, PlacementAlgorithm.OPTIMAL
+        )
+        assert placement.conversions == 0
+        assert placement.optical_count == 1
+
+    def test_position_limit(self):
+        chain = make_chain(("nat",) * 15)
+        with pytest.raises(PlacementError):
+            PlacementSolver(pool()).solve(
+                chain, PlacementAlgorithm.OPTIMAL
+            )
+
+    def test_bin_packing_split_across_routers(self):
+        # Two 2-cpu routers; three VNFs of 1, 1, 2 cpu: feasible only by
+        # packing {1, 1} together and {2} alone.
+        capacity = {
+            "ops-0": ResourceVector(2, 100, 100),
+            "ops-1": ResourceVector(2, 100, 100),
+        }
+        chain = make_chain(("firewall", "load-balancer", "security-gateway"))
+        placement = PlacementSolver(capacity).solve(
+            chain, PlacementAlgorithm.OPTIMAL
+        )
+        assert placement.conversions == 0
+        hosts = placement.optical_hosts()
+        assert len(hosts) == 3
+
+
+class TestImprove:
+    def test_fig8_improvement(self):
+        chain = make_chain(("nat", "firewall", "dpi"))
+        firewall = CATALOG.get("firewall")
+        before = ChainPlacement(
+            chain=chain,
+            assignments=(
+                PlacedVnf(0, chain.functions[0], Domain.ELECTRONIC, None),
+                PlacedVnf(1, firewall, Domain.OPTICAL, "ops-0"),
+                PlacedVnf(2, chain.functions[2], Domain.ELECTRONIC, None),
+            ),
+        )
+        remaining = {
+            "ops-0": ResourceVector(4, 8, 64) - firewall.demand
+        }
+        after = PlacementSolver(remaining).improve(before)
+        assert before.conversions == 2
+        assert after.conversions == 1
+        assert after.optical_count == 2
+
+    def test_improve_keeps_existing_assignments(self):
+        chain = make_chain(("nat", "firewall"))
+        before = ChainPlacement(
+            chain=chain,
+            assignments=(
+                PlacedVnf(0, chain.functions[0], Domain.OPTICAL, "ops-9"),
+                PlacedVnf(1, chain.functions[1], Domain.ELECTRONIC, None),
+            ),
+        )
+        after = PlacementSolver(pool()).improve(before)
+        assert after.optical_hosts()[0] == "ops-9"
+        assert after.optical_count == 2
+
+    def test_improve_with_no_capacity_is_identity(self):
+        chain = make_chain(("nat", "firewall"))
+        before = PlacementSolver({}).solve(
+            chain, PlacementAlgorithm.ALL_ELECTRONIC
+        )
+        after = PlacementSolver({}).improve(before)
+        assert after.domains() == before.domains()
+
+    def test_improve_merged_moves_whole_runs(self):
+        chain = make_chain(("nat", "firewall", "dpi"))
+        before = PlacementSolver({}, merge_consecutive=True).solve(
+            chain, PlacementAlgorithm.ALL_ELECTRONIC
+        )
+        after = PlacementSolver(
+            pool(), merge_consecutive=True
+        ).improve(before)
+        # The run [nat, firewall, dpi] contains DPI (unpackable), so
+        # nothing moves under excursion semantics.
+        assert after.optical_count == 0
+
+
+class TestHostPolicy:
+    def _pool4(self):
+        return {
+            f"ops-{i}": ResourceVector(4, 16, 64) for i in range(4)
+        }
+
+    def test_first_fit_consolidates(self):
+        chain = make_chain(("nat", "firewall", "load-balancer", "proxy"))
+        placement = PlacementSolver(self._pool4()).solve(chain)
+        assert placement.optical_host_count == 1
+
+    def test_worst_fit_spreads(self):
+        from repro.core.placement import HostPolicy
+
+        chain = make_chain(("nat", "firewall", "load-balancer", "proxy"))
+        placement = PlacementSolver(
+            self._pool4(), host_policy=HostPolicy.WORST_FIT
+        ).solve(chain)
+        assert placement.optical_host_count == 4
+
+    def test_best_fit_prefers_tightest(self):
+        from repro.core.placement import HostPolicy
+
+        capacity = {
+            "ops-0": ResourceVector(8, 64, 64),
+            "ops-1": ResourceVector(1, 64, 64),  # tight but sufficient
+        }
+        chain = make_chain(("nat",))  # 0.5 cpu
+        placement = PlacementSolver(
+            capacity, host_policy=HostPolicy.BEST_FIT
+        ).solve(chain)
+        assert placement.optical_hosts()[0] == "ops-1"
+
+    def test_policy_never_changes_conversions(self):
+        from repro.core.placement import HostPolicy
+
+        chain = make_chain(
+            ("nat", "firewall", "dpi", "load-balancer", "proxy")
+        )
+        results = {
+            policy: PlacementSolver(
+                self._pool4(), host_policy=policy
+            ).solve(chain).conversions
+            for policy in HostPolicy
+        }
+        assert len(set(results.values())) == 1
+
+    def test_worst_fit_balances_load(self):
+        from repro.core.placement import HostPolicy
+
+        chain = make_chain(("nat",) * 4)
+        pool = self._pool4()
+        placement = PlacementSolver(
+            dict(pool), host_policy=HostPolicy.WORST_FIT
+        ).solve(chain)
+        hosts = list(placement.optical_hosts().values())
+        # Four equal routers, four equal VNFs: one each.
+        assert sorted(hosts) == sorted(pool)

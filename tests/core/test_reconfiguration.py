@@ -1,0 +1,224 @@
+"""Tests for incremental AL reconfiguration and failure repair."""
+
+import pytest
+
+from repro.core.abstraction_layer import AlConstructor
+from repro.core.reconfiguration import (
+    AlReconfigurator,
+    full_rebuild_cost,
+)
+from repro.exceptions import CoverInfeasibleError, TopologyError
+
+
+@pytest.fixture
+def setup(paper_dcn):
+    """The Fig. 4 AL over servers 0-3 (tor-0 only), ready to grow."""
+    servers = ["server-0", "server-1", "server-2", "server-3"]
+    attachments = {
+        server: paper_dcn.tors_of_server(server) for server in servers
+    }
+    layer = AlConstructor(paper_dcn).construct(
+        "cluster-r", attachments
+    )
+    reconfigurator = AlReconfigurator(paper_dcn, layer, attachments)
+    return paper_dcn, reconfigurator
+
+
+class TestAddVm:
+    def test_zero_cost_when_tor_already_selected(self, setup):
+        dcn, reconfigurator = setup
+        # A new machine on tor-0, which the AL already selected.
+        result = reconfigurator.add_vm(
+            "vm-new", ["tor-0"], available_ops=[]
+        )
+        assert result.cost == 0
+        assert result.touched_switches == frozenset()
+        reconfigurator.verify()
+
+    def test_extension_through_existing_ops(self, setup):
+        dcn, reconfigurator = setup
+        layer = reconfigurator.layer
+        # server-5 attaches to tor-2 and tor-3; if either uplinks to an
+        # AL OPS, only the ToR is touched.
+        result = reconfigurator.add_vm(
+            "server-5",
+            dcn.tors_of_server("server-5"),
+            available_ops=set(dcn.optical_switches()) - layer.ops_ids,
+        )
+        assert 1 <= result.cost <= 2
+        reconfigurator.verify()
+
+    def test_extension_adds_new_ops_when_needed(self, paper_dcn):
+        # AL over server-0..3 selects tor-0 and one of its uplinks; a
+        # machine only on tor-2 (uplinks ops-2/ops-3) needs a new OPS.
+        servers = ["server-0", "server-1", "server-2", "server-3"]
+        attachments = {
+            server: paper_dcn.tors_of_server(server) for server in servers
+        }
+        layer = AlConstructor(paper_dcn).construct("cluster-r", attachments)
+        assert layer.ops_ids <= {"ops-0", "ops-1"}
+        reconfigurator = AlReconfigurator(paper_dcn, layer, attachments)
+        result = reconfigurator.add_vm(
+            "server-4", ["tor-2"], available_ops={"ops-2", "ops-3"}
+        )
+        assert "tor-2" in result.layer.tor_ids
+        assert result.layer.ops_ids & {"ops-2", "ops-3"}
+        assert result.cost == 2  # the ToR and one fresh OPS
+        reconfigurator.verify()
+
+    def test_duplicate_machine_rejected(self, setup):
+        _, reconfigurator = setup
+        with pytest.raises(TopologyError):
+            reconfigurator.add_vm("server-0", ["tor-0"], available_ops=[])
+
+    def test_machine_without_tors_infeasible(self, setup):
+        _, reconfigurator = setup
+        with pytest.raises(CoverInfeasibleError):
+            reconfigurator.add_vm("vm-x", [], available_ops=[])
+
+    def test_unreachable_extension_infeasible(self, setup):
+        _, reconfigurator = setup
+        with pytest.raises(CoverInfeasibleError):
+            # tor-2's uplinks are ops-2/ops-3; none available, none in AL.
+            reconfigurator.add_vm("vm-x", ["tor-2"], available_ops=[])
+
+    def test_failed_add_does_not_pollute_membership(self, setup):
+        _, reconfigurator = setup
+        before = reconfigurator.machines
+        with pytest.raises(CoverInfeasibleError):
+            reconfigurator.add_vm("vm-x", ["tor-2"], available_ops=[])
+        assert reconfigurator.machines == before
+
+
+class TestRemoveVm:
+    def test_prunes_unneeded_tor_and_ops(self, paper_dcn):
+        # Cover servers of tor-0 plus server-4 (tor-2 only); removing
+        # server-4 should drop tor-2 and its OPS.
+        servers = ["server-0", "server-1", "server-2", "server-3", "server-4"]
+        attachments = {
+            server: paper_dcn.tors_of_server(server) for server in servers
+        }
+        layer = AlConstructor(paper_dcn).construct("cluster-r", attachments)
+        reconfigurator = AlReconfigurator(paper_dcn, layer, attachments)
+        assert "tor-2" in layer.tor_ids
+        result = reconfigurator.remove_vm("server-4")
+        assert "tor-2" not in result.layer.tor_ids
+        assert result.cost >= 1
+        reconfigurator.verify()
+
+    def test_removing_redundant_machine_keeps_layer(self, setup):
+        _, reconfigurator = setup
+        before = reconfigurator.layer
+        result = reconfigurator.remove_vm("server-1")
+        assert result.layer.tor_ids == before.tor_ids
+        assert result.cost == 0
+        reconfigurator.verify()
+
+    def test_remove_unknown_rejected(self, setup):
+        _, reconfigurator = setup
+        with pytest.raises(TopologyError):
+            reconfigurator.remove_vm("vm-ghost")
+
+
+class TestOpsFailure:
+    def test_failed_ops_replaced(self, setup):
+        dcn, reconfigurator = setup
+        failed = sorted(reconfigurator.layer.ops_ids)[0]
+        available = set(dcn.optical_switches()) - reconfigurator.layer.ops_ids
+        result = reconfigurator.handle_ops_failure(failed, available)
+        assert failed not in result.layer.ops_ids
+        assert failed in result.touched_switches
+        reconfigurator.verify()
+
+    def test_failure_of_foreign_switch_rejected(self, setup):
+        _, reconfigurator = setup
+        foreign = "ops-3"
+        if foreign in reconfigurator.layer.ops_ids:
+            foreign = "ops-2"
+        with pytest.raises(TopologyError):
+            reconfigurator.handle_ops_failure(foreign, [])
+
+    def test_unrecoverable_failure_raises(self, paper_dcn):
+        # AL over tor-0's servers; if both its uplinks are gone and no
+        # substitutes exist, coverage cannot be restored.
+        servers = ["server-0", "server-3"]
+        attachments = {s: ["tor-0"] for s in servers}
+        layer = AlConstructor(paper_dcn).construct("cluster-r", attachments)
+        reconfigurator = AlReconfigurator(paper_dcn, layer, attachments)
+        failed = sorted(layer.ops_ids)[0]
+        # Only offer switches that do not uplink tor-0.
+        non_uplinks = set(paper_dcn.optical_switches()) - set(
+            paper_dcn.ops_of_tor("tor-0")
+        )
+        with pytest.raises(CoverInfeasibleError):
+            reconfigurator.handle_ops_failure(failed, non_uplinks)
+
+
+class TestVerify:
+    def test_verify_detects_broken_layer(self, setup):
+        import dataclasses
+
+        dcn, reconfigurator = setup
+        # Corrupt the layer: drop all OPSs.
+        reconfigurator._layer = dataclasses.replace(
+            reconfigurator.layer, ops_ids=frozenset()
+        )
+        with pytest.raises(CoverInfeasibleError):
+            reconfigurator.verify()
+
+
+class TestFullRebuildBaseline:
+    def test_rebuild_reports_symmetric_difference(self, paper_dcn):
+        servers = ["server-0", "server-1", "server-2", "server-3"]
+        attachments = {
+            server: paper_dcn.tors_of_server(server) for server in servers
+        }
+        layer = AlConstructor(paper_dcn).construct("cluster-r", attachments)
+        # Same membership: rebuild yields the same layer, zero touched.
+        result = full_rebuild_cost(
+            paper_dcn, layer, attachments, available_ops=[]
+        )
+        assert result.rebuilt
+        assert result.cost == 0
+
+    def test_incremental_cheaper_or_equal_on_growth(self, medium_fabric):
+        servers = medium_fabric.servers()
+        initial = servers[: len(servers) // 2]
+        attachments = {
+            server: medium_fabric.tors_of_server(server)
+            for server in initial
+        }
+        layer = AlConstructor(medium_fabric).construct(
+            "cluster-r", attachments
+        )
+        reconfigurator = AlReconfigurator(
+            medium_fabric, layer, attachments
+        )
+        available = set(medium_fabric.optical_switches()) - layer.ops_ids
+        incremental_total = 0
+        for server in servers[len(servers) // 2:]:
+            result = reconfigurator.add_vm(
+                server,
+                medium_fabric.tors_of_server(server),
+                available_ops=available,
+            )
+            available -= result.layer.ops_ids
+            incremental_total += result.cost
+        reconfigurator.verify()
+        # Rebuild from scratch with full membership for comparison.
+        full_attachments = {
+            server: medium_fabric.tors_of_server(server)
+            for server in servers
+        }
+        rebuild = full_rebuild_cost(
+            medium_fabric,
+            layer,
+            full_attachments,
+            available_ops=set(medium_fabric.optical_switches())
+            - layer.ops_ids,
+        )
+        # Incremental repair touches no more switches than a rebuild's
+        # churn across this growth episode.
+        assert incremental_total <= rebuild.cost + len(
+            rebuild.layer.ops_ids
+        ) + len(rebuild.layer.tor_ids)

@@ -1,0 +1,205 @@
+"""Tests for optical slicing."""
+
+import pytest
+
+from repro.core.cluster import ClusterManager
+from repro.core.slicing import OpticalSlice, SliceAllocator
+from repro.exceptions import SlicingError
+
+
+@pytest.fixture
+def clustered(populated_inventory):
+    manager = ClusterManager(populated_inventory)
+    clusters = [
+        manager.create_cluster(service)
+        for service in ("web", "map-reduce", "sns")
+    ]
+    return populated_inventory, clusters
+
+
+class TestOpticalSlice:
+    def test_empty_switch_set_rejected(self):
+        with pytest.raises(SlicingError):
+            OpticalSlice(
+                slice_id="slice-0",
+                cluster="cluster-web",
+                switches=frozenset(),
+                wavelength=0,
+                bandwidth_gbps=1.0,
+            )
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(SlicingError):
+            OpticalSlice(
+                slice_id="slice-0",
+                cluster="cluster-web",
+                switches=frozenset({"ops-0"}),
+                wavelength=0,
+                bandwidth_gbps=0,
+            )
+
+
+class TestAllocation:
+    def test_allocate_uses_al_switches(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        allocated = allocator.allocate(clusters[0], bandwidth_gbps=5.0)
+        assert allocated.switches == clusters[0].al_switches
+        assert allocated.cluster == clusters[0].cluster_id
+        assert allocated.bandwidth_gbps == 5.0
+
+    def test_one_slice_per_cluster(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        allocator.allocate(clusters[0])
+        with pytest.raises(SlicingError):
+            allocator.allocate(clusters[0])
+
+    def test_disjoint_clusters_all_get_slices(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        for cluster in clusters:
+            allocator.allocate(cluster)
+        assert len(allocator.slices()) == 3
+        allocator.verify_isolation()
+
+    def test_overlapping_switches_rejected(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        allocator.allocate(clusters[0])
+        # Forge a cluster whose "AL" overlaps the first slice.
+        import dataclasses
+
+        forged = dataclasses.replace(
+            clusters[1],
+            abstraction_layer=clusters[0].abstraction_layer,
+        )
+        with pytest.raises(SlicingError):
+            allocator.allocate(forged)
+
+
+class TestRelease:
+    def test_release_returns_slice(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        allocated = allocator.allocate(clusters[0])
+        released = allocator.release(allocated.slice_id)
+        assert released.slice_id == allocated.slice_id
+        assert allocator.slices() == []
+
+    def test_release_allows_reallocation(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        allocated = allocator.allocate(clusters[0])
+        allocator.release(allocated.slice_id)
+        again = allocator.allocate(clusters[0])
+        assert again.switches == allocated.switches
+
+    def test_release_unknown_raises(self, clustered):
+        inventory, _ = clustered
+        allocator = SliceAllocator(inventory.network)
+        with pytest.raises(SlicingError):
+            allocator.release("slice-9")
+
+
+class TestQueries:
+    def test_slice_of_cluster(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        allocated = allocator.allocate(clusters[0])
+        assert (
+            allocator.slice_of_cluster(clusters[0].cluster_id).slice_id
+            == allocated.slice_id
+        )
+
+    def test_slice_of_cluster_unknown_raises(self, clustered):
+        inventory, _ = clustered
+        allocator = SliceAllocator(inventory.network)
+        with pytest.raises(SlicingError):
+            allocator.slice_of_cluster("cluster-web")
+
+    def test_slices_sorted(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        for cluster in clusters:
+            allocator.allocate(cluster)
+        names = [s.slice_id for s in allocator.slices()]
+        assert names == sorted(names)
+
+
+class TestPortIntegration:
+    def test_ports_reserved_and_released(self, clustered):
+        from repro.optical.packet_switch import PortAllocator
+
+        inventory, clusters = clustered
+        ports = PortAllocator(inventory.network)
+        allocator = SliceAllocator(inventory.network, port_allocator=ports)
+        allocated = allocator.allocate(clusters[0])
+        for switch in allocated.switches:
+            assert allocated.slice_id in ports.holders_of(switch)
+        allocator.release(allocated.slice_id)
+        for switch in allocated.switches:
+            assert allocated.slice_id not in ports.holders_of(switch)
+
+    def test_port_exhaustion_rolls_back_wavelength(self, clustered):
+        from repro.exceptions import InsufficientResourcesError
+        from repro.optical.packet_switch import PortAllocator
+
+        inventory, clusters = clustered
+        ports = PortAllocator(inventory.network)
+        # Consume every free port on the first cluster's AL switches.
+        for switch in clusters[0].al_switches:
+            free = ports.free(switch)
+            if free:
+                ports.reserve(switch, "hog", free)
+        allocator = SliceAllocator(inventory.network, port_allocator=ports)
+        with pytest.raises(InsufficientResourcesError):
+            allocator.allocate(clusters[0])
+        # The wavelength was rolled back: allocation after freeing works.
+        for switch in clusters[0].al_switches:
+            ports.release(switch, "hog")
+        allocated = allocator.allocate(clusters[0])
+        assert allocated.cluster == clusters[0].cluster_id
+
+
+class TestExtendSlice:
+    def test_extend_adds_switches(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        allocated = allocator.allocate(clusters[0])
+        free_ops = sorted(
+            set(inventory.network.optical_switches())
+            - {s for c in clusters for s in c.al_switches}
+        )
+        updated = allocator.extend(allocated.slice_id, [free_ops[0]])
+        assert free_ops[0] in updated.switches
+        assert updated.wavelength == allocated.wavelength
+        allocator.verify_isolation()
+
+    def test_extend_into_other_slice_rejected(self, clustered):
+        inventory, clusters = clustered
+        allocator = SliceAllocator(inventory.network)
+        first = allocator.allocate(clusters[0])
+        second = allocator.allocate(clusters[1])
+        with pytest.raises(SlicingError):
+            allocator.extend(first.slice_id, second.switches)
+
+    def test_extend_unknown_slice_rejected(self, clustered):
+        inventory, _ = clustered
+        allocator = SliceAllocator(inventory.network)
+        with pytest.raises(SlicingError):
+            allocator.extend("slice-9", ["ops-0"])
+
+    def test_extend_reserves_ports(self, clustered):
+        from repro.optical.packet_switch import PortAllocator
+
+        inventory, clusters = clustered
+        ports = PortAllocator(inventory.network)
+        allocator = SliceAllocator(inventory.network, port_allocator=ports)
+        allocated = allocator.allocate(clusters[0])
+        free_ops = sorted(
+            set(inventory.network.optical_switches())
+            - {s for c in clusters for s in c.al_switches}
+        )
+        allocator.extend(allocated.slice_id, [free_ops[0]])
+        assert allocated.slice_id in ports.holders_of(free_ops[0])

@@ -1,0 +1,37 @@
+"""Every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[script.stem for script in SCRIPTS]
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    names = {script.stem for script in SCRIPTS}
+    assert {
+        "quickstart",
+        "nfc_orchestration",
+        "oeo_placement_study",
+        "datacenter_scaling",
+        "resilience_study",
+        "capacity_planning",
+        "multi_datacenter",
+    } <= names

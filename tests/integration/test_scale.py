@@ -1,0 +1,90 @@
+"""Scale smoke tests: laptop-sized ceilings stay comfortable.
+
+These are not micro-benchmarks (those live in ``benchmarks/``); they pin
+order-of-magnitude behaviour so a regression that makes AL construction
+quadratic or orchestration super-linear fails loudly.
+"""
+
+import time
+
+import pytest
+
+from repro.core.abstraction_layer import AlConstructor
+from repro.core.chaining import ChainRequest, NetworkFunctionChain
+from repro.core.cluster import ClusterManager
+from repro.core.orchestrator import NetworkOrchestrator
+from repro.nfv.functions import FunctionCatalog
+from repro.sim.traffic import TrafficConfig, TrafficGenerator
+from repro.sim.simulator import FlowSimulator
+from repro.topology.generators import build_alvc_fabric
+from repro.virtualization.machines import MachineInventory
+from repro.virtualization.services import STANDARD_SERVICES, ServiceCatalog
+from repro.virtualization.vm_placement import VmPlacementEngine
+
+
+class TestLargeFabric:
+    def test_4096_server_al_construction_under_a_second(self):
+        dcn = build_alvc_fabric(
+            n_racks=64, servers_per_rack=64, n_ops=32, seed=0
+        )
+        constructor = AlConstructor(dcn)
+        start = time.perf_counter()
+        layer = constructor.construct_for_servers(
+            "cluster-big", dcn.servers()
+        )
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+        assert layer.size <= 32
+
+    def test_seven_clusters_and_chains(self):
+        dcn = build_alvc_fabric(
+            n_racks=21, servers_per_rack=8, n_ops=21, seed=1
+        )
+        inventory = MachineInventory(dcn)
+        services = ServiceCatalog.standard()
+        engine = VmPlacementEngine(inventory, seed=1)
+        names = [service.name for service in STANDARD_SERVICES]
+        for name in names:
+            for _ in range(8):
+                engine.place(inventory.create_vm(services.get(name)))
+        orchestrator = NetworkOrchestrator(inventory)
+        functions = FunctionCatalog.standard()
+        start = time.perf_counter()
+        for index, name in enumerate(names):
+            orchestrator.cluster_manager.create_cluster(name)
+            orchestrator.provision_chain(
+                ChainRequest(
+                    tenant=f"t{index}",
+                    chain=NetworkFunctionChain.from_names(
+                        f"chain-{index}", ("firewall", "nat"), functions
+                    ),
+                    service=name,
+                )
+            )
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0
+        assert len(orchestrator.chains()) == len(names)
+        orchestrator.slice_allocator.verify_isolation()
+
+    def test_thousand_flow_simulation(self):
+        dcn = build_alvc_fabric(
+            n_racks=16, servers_per_rack=8, n_ops=8, seed=2
+        )
+        inventory = MachineInventory(dcn)
+        services = ServiceCatalog.standard()
+        engine = VmPlacementEngine(inventory, seed=2)
+        for name in ("web", "sns", "map-reduce"):
+            for _ in range(16):
+                engine.place(inventory.create_vm(services.get(name)))
+        clusters = ClusterManager(inventory)
+        for name in ("web", "sns", "map-reduce"):
+            clusters.create_cluster(name)
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=100.0), seed=2
+        )
+        flows = generator.flows(1000)
+        start = time.perf_counter()
+        report = FlowSimulator(inventory, clusters).run(flows)
+        elapsed = time.perf_counter() - start
+        assert report.flows == 1000
+        assert elapsed < 5.0

@@ -1,0 +1,132 @@
+"""Tests for threshold-based VNF autoscaling."""
+
+import pytest
+
+from repro.exceptions import UnknownEntityError
+from repro.nfv.autoscaler import (
+    AutoscalerPolicy,
+    VnfAutoscaler,
+)
+from repro.nfv.manager import CloudNfvManager
+
+
+@pytest.fixture
+def scaled_setup(populated_inventory):
+    manager = CloudNfvManager(populated_inventory)
+    instance = manager.deploy_optical("nat")
+    return manager, VnfAutoscaler(manager), instance
+
+
+class TestPolicy:
+    def test_default_policy_valid(self):
+        policy = AutoscalerPolicy()
+        assert policy.scale_down_threshold < policy.scale_up_threshold
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(
+                scale_up_threshold=0.2, scale_down_threshold=0.8
+            )
+
+    def test_step_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(step_factor=1.0)
+
+    def test_observations_required_positive(self):
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(observations_required=0)
+
+
+class TestScalingUp:
+    def test_hysteresis_requires_streak(self, scaled_setup):
+        _, autoscaler, instance = scaled_setup
+        assert autoscaler.observe(instance.vnf_id, 0.95) is None
+        assert autoscaler.observe(instance.vnf_id, 0.95) is None
+        action = autoscaler.observe(instance.vnf_id, 0.95)
+        assert action is not None
+        assert action.direction == "up"
+        assert autoscaler.size_factor_of(instance.vnf_id) == 2.0
+
+    def test_streak_broken_by_normal_load(self, scaled_setup):
+        _, autoscaler, instance = scaled_setup
+        autoscaler.observe(instance.vnf_id, 0.95)
+        autoscaler.observe(instance.vnf_id, 0.5)  # resets
+        autoscaler.observe(instance.vnf_id, 0.95)
+        assert autoscaler.observe(instance.vnf_id, 0.95) is None
+
+    def test_capacity_charged_on_scale_up(self, scaled_setup):
+        manager, autoscaler, instance = scaled_setup
+        host = manager.pool.get(instance.host)
+        used_before = host.used
+        for _ in range(3):
+            autoscaler.observe(instance.vnf_id, 1.0)
+        assert host.used.cpu_cores > used_before.cpu_cores
+
+    def test_blocked_when_host_full(self, populated_inventory):
+        manager = CloudNfvManager(populated_inventory)
+        instance = manager.deploy_optical("security-gateway")
+        autoscaler = VnfAutoscaler(manager)
+        directions = []
+        # Keep pushing: eventually the router cannot fit another doubling.
+        for _ in range(30):
+            action = autoscaler.observe(instance.vnf_id, 1.0)
+            if action is not None:
+                directions.append(action.direction)
+                if action.direction == "blocked":
+                    break
+        assert directions[-1] == "blocked"
+        assert "up" in directions[:-1]
+
+
+class TestScalingDown:
+    def test_scale_down_after_up(self, scaled_setup):
+        _, autoscaler, instance = scaled_setup
+        for _ in range(3):
+            autoscaler.observe(instance.vnf_id, 1.0)
+        assert autoscaler.size_factor_of(instance.vnf_id) == 2.0
+        for _ in range(3):
+            action = autoscaler.observe(instance.vnf_id, 0.1)
+        assert action.direction == "down"
+        assert autoscaler.size_factor_of(instance.vnf_id) == 1.0
+
+    def test_never_below_catalog_size(self, scaled_setup):
+        _, autoscaler, instance = scaled_setup
+        for _ in range(6):
+            action = autoscaler.observe(instance.vnf_id, 0.0)
+        assert autoscaler.size_factor_of(instance.vnf_id) == 1.0
+        # The attempted shrink below 1.0 is reported as blocked.
+        assert action is not None
+        assert action.direction == "blocked"
+
+
+class TestObserveMany:
+    def test_batch_returns_actions(self, populated_inventory):
+        manager = CloudNfvManager(populated_inventory)
+        first = manager.deploy_optical("nat")
+        second = manager.deploy_optical("firewall")
+        autoscaler = VnfAutoscaler(
+            manager, AutoscalerPolicy(observations_required=1)
+        )
+        actions = autoscaler.observe_many(
+            [(first.vnf_id, 0.9), (second.vnf_id, 0.5)]
+        )
+        assert len(actions) == 1
+        assert actions[0].vnf_id == first.vnf_id
+
+    def test_actions_log(self, scaled_setup):
+        _, autoscaler, instance = scaled_setup
+        for _ in range(3):
+            autoscaler.observe(instance.vnf_id, 1.0)
+        assert len(autoscaler.actions()) == 1
+
+
+class TestValidation:
+    def test_unknown_vnf_rejected(self, scaled_setup):
+        _, autoscaler, _ = scaled_setup
+        with pytest.raises(UnknownEntityError):
+            autoscaler.observe("vnf-ghost", 0.5)
+
+    def test_negative_utilization_rejected(self, scaled_setup):
+        _, autoscaler, instance = scaled_setup
+        with pytest.raises(ValueError):
+            autoscaler.observe(instance.vnf_id, -0.1)

@@ -1,0 +1,131 @@
+"""Tests for the network function catalog and VNF instances."""
+
+import pytest
+
+from repro.exceptions import DuplicateEntityError, UnknownEntityError
+from repro.nfv.functions import (
+    STANDARD_FUNCTIONS,
+    FunctionCatalog,
+    NetworkFunctionType,
+    VnfInstance,
+)
+from repro.topology.elements import (
+    DEFAULT_OPTOELECTRONIC_CAPACITY,
+    Domain,
+    ResourceVector,
+)
+
+
+class TestNetworkFunctionType:
+    def test_paper_middleboxes_present(self):
+        # Section I names firewalls, DPI and load balancers explicitly.
+        names = {function.name for function in STANDARD_FUNCTIONS}
+        assert {"firewall", "dpi", "load-balancer"} <= names
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkFunctionType("", ResourceVector())
+
+    def test_negative_processing_cost_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkFunctionType(
+                "x", ResourceVector(), per_gb_processing_cost=-1
+            )
+
+    def test_fits_on(self):
+        light = NetworkFunctionType("x", ResourceVector(cpu_cores=1))
+        assert light.fits_on(ResourceVector(cpu_cores=2))
+        assert not light.fits_on(ResourceVector(cpu_cores=0.5))
+
+    def test_heavy_functions_exceed_optoelectronic_capacity(self):
+        # "Some VNFs' resource demand, e.g., CPU is quite large and that
+        # cannot be met by optoelectronic routers" — DPI is the example.
+        catalog = FunctionCatalog.standard()
+        assert not catalog.get("dpi").fits_on(
+            DEFAULT_OPTOELECTRONIC_CAPACITY
+        )
+
+    def test_light_functions_fit_optoelectronic_capacity(self):
+        catalog = FunctionCatalog.standard()
+        for name in ("firewall", "nat", "load-balancer"):
+            assert catalog.get(name).fits_on(
+                DEFAULT_OPTOELECTRONIC_CAPACITY
+            )
+
+
+class TestFunctionCatalog:
+    def test_standard_complete(self):
+        assert len(FunctionCatalog.standard()) == len(STANDARD_FUNCTIONS)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownEntityError):
+            FunctionCatalog().get("nope")
+
+    def test_register_duplicate_rejected(self):
+        catalog = FunctionCatalog.standard()
+        with pytest.raises(DuplicateEntityError):
+            catalog.register(
+                NetworkFunctionType("firewall", ResourceVector())
+            )
+
+    def test_contains(self):
+        catalog = FunctionCatalog.standard()
+        assert "nat" in catalog
+        assert "nope" not in catalog
+
+    def test_names_sorted(self):
+        names = FunctionCatalog.standard().names()
+        assert names == sorted(names)
+
+    def test_optical_deployable_filters_by_capacity(self):
+        catalog = FunctionCatalog.standard()
+        deployable = catalog.optical_deployable(
+            DEFAULT_OPTOELECTRONIC_CAPACITY
+        )
+        assert "firewall" in deployable
+        assert "dpi" not in deployable
+
+    def test_optical_deployable_respects_capability_flag(self):
+        catalog = FunctionCatalog()
+        catalog.register(
+            NetworkFunctionType(
+                "legacy",
+                ResourceVector(cpu_cores=0.1),
+                optical_capable=False,
+            )
+        )
+        assert catalog.optical_deployable(ResourceVector(cpu_cores=10)) == []
+
+
+class TestVnfInstance:
+    def test_optical_instance(self):
+        function = FunctionCatalog.standard().get("firewall")
+        instance = VnfInstance(
+            vnf_id="vnf-0", function=function, host="ops-0",
+            domain=Domain.OPTICAL,
+        )
+        assert instance.host == "ops-0"
+
+    def test_optical_incapable_function_rejected_in_optical_domain(self):
+        function = NetworkFunctionType(
+            "legacy", ResourceVector(), optical_capable=False
+        )
+        with pytest.raises(ValueError):
+            VnfInstance(
+                vnf_id="vnf-0",
+                function=function,
+                host="ops-0",
+                domain=Domain.OPTICAL,
+            )
+
+    def test_optical_incapable_ok_in_electronic_domain(self):
+        function = NetworkFunctionType(
+            "legacy", ResourceVector(), optical_capable=False
+        )
+        instance = VnfInstance(
+            vnf_id="vnf-0",
+            function=function,
+            host="server-0",
+            domain=Domain.ELECTRONIC,
+        )
+        assert instance.domain is Domain.ELECTRONIC

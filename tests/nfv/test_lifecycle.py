@@ -1,0 +1,113 @@
+"""Tests for the VNF lifecycle state machine."""
+
+import pytest
+
+from repro.exceptions import LifecycleError, UnknownEntityError
+from repro.nfv.lifecycle import VnfLifecycleManager, VnfState
+
+
+@pytest.fixture
+def manager():
+    return VnfLifecycleManager()
+
+
+class TestCreation:
+    def test_create_starts_instantiated(self, manager):
+        manager.create("vnf-0")
+        assert manager.state_of("vnf-0") is VnfState.INSTANTIATED
+
+    def test_duplicate_create_rejected(self, manager):
+        manager.create("vnf-0")
+        with pytest.raises(LifecycleError):
+            manager.create("vnf-0")
+
+    def test_create_event_journalled(self, manager):
+        event = manager.create("vnf-0", reason="deploy firewall")
+        assert event.before is None
+        assert event.after is VnfState.INSTANTIATED
+        assert event.reason == "deploy firewall"
+
+
+class TestTransitions:
+    def test_full_happy_path(self, manager):
+        manager.create("vnf-0")
+        manager.start("vnf-0")
+        manager.scale("vnf-0")
+        manager.finish_management("vnf-0")
+        manager.update("vnf-0")
+        manager.finish_management("vnf-0")
+        manager.terminate("vnf-0")
+        assert manager.state_of("vnf-0") is VnfState.TERMINATED
+
+    def test_cannot_scale_before_running(self, manager):
+        manager.create("vnf-0")
+        with pytest.raises(LifecycleError):
+            manager.scale("vnf-0")
+
+    def test_cannot_update_while_scaling(self, manager):
+        manager.create("vnf-0")
+        manager.start("vnf-0")
+        manager.scale("vnf-0")
+        with pytest.raises(LifecycleError):
+            manager.update("vnf-0")
+
+    def test_terminated_is_final(self, manager):
+        manager.create("vnf-0")
+        manager.terminate("vnf-0")
+        with pytest.raises(LifecycleError):
+            manager.start("vnf-0")
+
+    def test_terminate_from_any_live_state(self, manager):
+        for index, prepare in enumerate(
+            [
+                lambda m, v: None,
+                lambda m, v: m.start(v),
+                lambda m, v: (m.start(v), m.scale(v)),
+                lambda m, v: (m.start(v), m.update(v)),
+            ]
+        ):
+            vnf = f"vnf-{index}"
+            manager.create(vnf)
+            prepare(manager, vnf)
+            manager.terminate(vnf)
+            assert manager.state_of(vnf) is VnfState.TERMINATED
+
+    def test_unknown_vnf_raises(self, manager):
+        with pytest.raises(UnknownEntityError):
+            manager.state_of("vnf-9")
+        with pytest.raises(UnknownEntityError):
+            manager.start("vnf-9")
+
+
+class TestJournal:
+    def test_journal_ordered(self, manager):
+        manager.create("vnf-0")
+        manager.start("vnf-0")
+        manager.terminate("vnf-0")
+        states = [event.after for event in manager.journal()]
+        assert states == [
+            VnfState.INSTANTIATED,
+            VnfState.RUNNING,
+            VnfState.TERMINATED,
+        ]
+
+    def test_event_counts(self, manager):
+        manager.create("vnf-0")
+        manager.start("vnf-0")
+        manager.scale("vnf-0")
+        manager.finish_management("vnf-0")
+        counts = manager.event_counts()
+        assert counts["instantiated"] == 1
+        assert counts["running"] == 2  # start + finish_management
+        assert counts["scaling"] == 1
+
+    def test_live_vnfs_excludes_terminated(self, manager):
+        manager.create("vnf-0")
+        manager.create("vnf-1")
+        manager.terminate("vnf-0")
+        assert manager.live_vnfs() == ["vnf-1"]
+
+    def test_contains(self, manager):
+        manager.create("vnf-0")
+        assert "vnf-0" in manager
+        assert "vnf-1" not in manager

@@ -1,0 +1,151 @@
+"""Tests for the Cloud/NFV manager."""
+
+import pytest
+
+from repro.exceptions import PlacementError, UnknownEntityError
+from repro.nfv.lifecycle import VnfState
+from repro.nfv.manager import NFV_INFRA_SERVICE, CloudNfvManager
+from repro.topology.elements import Domain
+
+
+@pytest.fixture
+def manager(populated_inventory):
+    return CloudNfvManager(populated_inventory)
+
+
+class TestOpticalDeployment:
+    def test_deploy_optical_first_fit(self, manager):
+        instance = manager.deploy_optical("firewall")
+        assert instance.domain is Domain.OPTICAL
+        assert instance.host in manager.pool.host_ids()
+        assert manager.state_of(instance.vnf_id) is VnfState.RUNNING
+
+    def test_deploy_optical_specific_router(self, manager):
+        router = manager.pool.host_ids()[1]
+        instance = manager.deploy_optical("nat", ops=router)
+        assert instance.host == router
+
+    def test_capacity_charged(self, manager):
+        before = manager.pool.total_free()
+        instance = manager.deploy_optical("firewall")
+        after = manager.pool.total_free()
+        assert after == before - instance.function.demand
+
+    def test_heavy_function_rejected_when_nothing_fits(self, manager):
+        # DPI exceeds every optoelectronic router's capacity.
+        with pytest.raises(PlacementError):
+            manager.deploy_optical("dpi")
+
+    def test_unknown_function_raises(self, manager):
+        with pytest.raises(UnknownEntityError):
+            manager.deploy_optical("nope")
+
+
+class TestElectronicDeployment:
+    def test_deploy_electronic_uses_carrier_vm(
+        self, manager, populated_inventory
+    ):
+        vm_count = len(populated_inventory)
+        instance = manager.deploy_electronic("dpi")
+        assert instance.domain is Domain.ELECTRONIC
+        assert len(populated_inventory) == vm_count + 1
+        carriers = populated_inventory.vms_of_service(
+            NFV_INFRA_SERVICE.name
+        )
+        assert len(carriers) == 1
+        assert carriers[0].demand == instance.function.demand
+
+    def test_deploy_electronic_specific_server(
+        self, manager, populated_inventory
+    ):
+        server = populated_inventory.network.servers()[5]
+        instance = manager.deploy_electronic("firewall", server=server)
+        assert instance.host == server
+
+    def test_deploy_electronic_rolls_back_on_failure(
+        self, manager, populated_inventory
+    ):
+        vm_count = len(populated_inventory)
+        server = populated_inventory.network.servers()[0]
+        # Exhaust that server first.
+        capacity = populated_inventory.remaining_capacity(server)
+        blocker = populated_inventory.create_vm(NFV_INFRA_SERVICE, capacity)
+        populated_inventory.place(blocker, server)
+        with pytest.raises(PlacementError):
+            manager.deploy_electronic("dpi", server=server)
+        # The carrier VM of the failed deployment is cleaned up.
+        assert len(populated_inventory) == vm_count + 1  # only the blocker
+
+
+class TestLifecycleOperations:
+    def test_scale_updates_reservation(self, manager):
+        instance = manager.deploy_optical("firewall")
+        host = manager.pool.get(instance.host)
+        used_before = host.used
+        scaled = manager.scale(instance.vnf_id, 2.0)
+        assert scaled.function.demand == instance.function.demand.scaled(2.0)
+        assert host.used == used_before + instance.function.demand
+        assert manager.state_of(instance.vnf_id) is VnfState.RUNNING
+
+    def test_scale_electronic(self, manager, populated_inventory):
+        instance = manager.deploy_electronic("firewall")
+        scaled = manager.scale(instance.vnf_id, 3.0)
+        carriers = populated_inventory.vms_of_service(NFV_INFRA_SERVICE.name)
+        assert carriers[0].demand == scaled.function.demand
+
+    def test_scale_beyond_capacity_restores_state(self, manager):
+        instance = manager.deploy_optical("security-gateway")
+        host = manager.pool.get(instance.host)
+        used_before = host.used
+        with pytest.raises(PlacementError):
+            manager.scale(instance.vnf_id, 100.0)
+        assert host.used == used_before
+        # VNF is back to RUNNING despite the failed scale.
+        assert manager.state_of(instance.vnf_id) is VnfState.RUNNING
+
+    def test_invalid_scale_factor(self, manager):
+        instance = manager.deploy_optical("nat")
+        with pytest.raises(ValueError):
+            manager.scale(instance.vnf_id, 0)
+
+    def test_update_round_trip(self, manager):
+        instance = manager.deploy_optical("nat")
+        manager.update(instance.vnf_id)
+        assert manager.state_of(instance.vnf_id) is VnfState.RUNNING
+        events = manager.lifecycle.event_counts()
+        assert events["updating"] == 1
+
+    def test_terminate_optical_releases_capacity(self, manager):
+        before = manager.pool.total_free()
+        instance = manager.deploy_optical("firewall")
+        manager.terminate(instance.vnf_id)
+        assert manager.pool.total_free() == before
+        assert manager.state_of(instance.vnf_id) is VnfState.TERMINATED
+
+    def test_terminate_electronic_removes_carrier(
+        self, manager, populated_inventory
+    ):
+        vm_count = len(populated_inventory)
+        instance = manager.deploy_electronic("dpi")
+        manager.terminate(instance.vnf_id)
+        assert len(populated_inventory) == vm_count
+
+
+class TestQueries:
+    def test_instance_of_unknown_raises(self, manager):
+        with pytest.raises(UnknownEntityError):
+            manager.instance_of("vnf-9")
+
+    def test_live_instances(self, manager):
+        first = manager.deploy_optical("firewall")
+        second = manager.deploy_optical("nat")
+        manager.terminate(first.vnf_id)
+        live = manager.live_instances()
+        assert [i.vnf_id for i in live] == [second.vnf_id]
+
+    def test_instances_on_host(self, manager):
+        router = manager.pool.host_ids()[0]
+        instance = manager.deploy_optical("firewall", ops=router)
+        hosted = manager.instances_on(router)
+        assert [i.vnf_id for i in hosted] == [instance.vnf_id]
+        assert manager.instances_on("server-0") == []

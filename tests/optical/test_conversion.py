@@ -1,0 +1,148 @@
+"""Tests for O/E/O conversion counting and cost models."""
+
+import pytest
+
+from repro.optical.conversion import (
+    ConversionAccounting,
+    ConversionModel,
+    boundary_crossings,
+    count_excursions,
+    domain_sequence,
+)
+from repro.topology.elements import Domain
+
+E = Domain.ELECTRONIC
+O = Domain.OPTICAL
+
+
+class TestCountExcursionsPerVisit:
+    """Default semantics: every electronic VNF costs a conversion."""
+
+    def test_empty_chain(self):
+        assert count_excursions([]) == 0
+
+    def test_all_optical_is_free(self):
+        assert count_excursions([O, O, O]) == 0
+
+    def test_fig8_two_electronic(self):
+        # Fig. 8: two electronic VNFs => two conversions.
+        assert count_excursions([E, O, E]) == 2
+
+    def test_all_electronic_counts_each(self):
+        assert count_excursions([E, E, E]) == 3
+
+    def test_adjacent_electronic_not_merged(self):
+        assert count_excursions([E, E, O]) == 2
+
+
+class TestCountExcursionsMerged:
+    """Excursion semantics: consecutive electronic VNFs share one."""
+
+    def test_adjacent_electronic_merged(self):
+        assert count_excursions([E, E, O], merge_consecutive=True) == 1
+
+    def test_separated_electronic_not_merged(self):
+        assert count_excursions([E, O, E], merge_consecutive=True) == 2
+
+    def test_all_electronic_is_one_run(self):
+        assert count_excursions([E] * 5, merge_consecutive=True) == 1
+
+    def test_alternating(self):
+        assert (
+            count_excursions([E, O, E, O, E], merge_consecutive=True) == 3
+        )
+
+    def test_merged_never_exceeds_per_visit(self):
+        for pattern in ([E], [E, E], [E, O, E], [O, E, E, O, E]):
+            assert count_excursions(
+                pattern, merge_consecutive=True
+            ) <= count_excursions(pattern)
+
+
+class TestBoundaryCrossings:
+    def test_no_crossing(self):
+        assert boundary_crossings([E, E, E]) == 0
+
+    def test_single_crossing(self):
+        assert boundary_crossings([E, O]) == 1
+
+    def test_round_trip(self):
+        assert boundary_crossings([E, O, E]) == 2
+
+    def test_empty(self):
+        assert boundary_crossings([]) == 0
+
+
+class TestDomainSequence:
+    def test_sequence_over_fabric(self, paper_dcn):
+        path = ["server-0", "tor-0", "ops-0", "tor-3", "server-5"]
+        assert domain_sequence(paper_dcn, path) == [E, E, O, E, E]
+
+
+class TestConversionModel:
+    def test_cost_linear_in_flow_size(self):
+        model = ConversionModel(cost_per_gb=2.0)
+        assert model.conversion_cost(1e9, 1) == pytest.approx(2.0)
+        assert model.conversion_cost(2e9, 1) == pytest.approx(4.0)
+
+    def test_cost_linear_in_conversions(self):
+        model = ConversionModel(cost_per_gb=1.0)
+        assert model.conversion_cost(1e9, 3) == pytest.approx(3.0)
+
+    def test_zero_conversions_free(self):
+        assert ConversionModel().conversion_cost(1e12, 0) == 0.0
+
+    def test_energy_from_pj_per_bit(self):
+        model = ConversionModel(pj_per_bit=20.0)
+        # 1 GB = 8e9 bits; 8e9 * 20e-12 J = 0.16 J per conversion.
+        assert model.conversion_energy_joules(1e9, 1) == pytest.approx(0.16)
+
+    def test_negative_inputs_rejected(self):
+        model = ConversionModel()
+        with pytest.raises(ValueError):
+            model.conversion_cost(-1, 1)
+        with pytest.raises(ValueError):
+            model.conversion_energy_joules(1, -1)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ConversionModel(cost_per_gb=-1)
+        with pytest.raises(ValueError):
+            ConversionModel(pj_per_bit=-1)
+
+
+class TestConversionAccounting:
+    def test_record_accumulates(self):
+        accounting = ConversionAccounting()
+        accounting.record(1e9, 2)
+        accounting.record(2e9, 1)
+        assert accounting.flows == 2
+        assert accounting.total_conversions == 3
+        assert accounting.total_bytes_converted == pytest.approx(4e9)
+
+    def test_mean_conversions(self):
+        accounting = ConversionAccounting()
+        accounting.record(1e9, 2)
+        accounting.record(1e9, 0)
+        assert accounting.mean_conversions_per_flow == 1.0
+
+    def test_mean_of_empty_is_zero(self):
+        assert ConversionAccounting().mean_conversions_per_flow == 0.0
+
+    def test_record_many(self):
+        accounting = ConversionAccounting()
+        accounting.record_many([(1e9, 1), (1e9, 1), (1e9, 1)])
+        assert accounting.flows == 3
+
+    def test_as_dict_keys(self):
+        accounting = ConversionAccounting()
+        accounting.record(1e9, 1)
+        snapshot = accounting.as_dict()
+        assert snapshot["flows"] == 1
+        assert snapshot["total_cost"] > 0
+        assert snapshot["total_energy_joules"] > 0
+
+    def test_cost_uses_model(self):
+        accounting = ConversionAccounting(model=ConversionModel(cost_per_gb=10))
+        accounting.record(1e9, 1)
+        assert accounting.total_cost == pytest.approx(10.0)

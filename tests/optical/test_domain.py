@@ -1,0 +1,30 @@
+"""Tests for node domain classification."""
+
+import pytest
+
+from repro.exceptions import UnknownEntityError
+from repro.optical.domain import domain_of_node, is_optical_node
+from repro.topology.elements import Domain
+
+
+class TestDomainOfNode:
+    def test_server_is_electronic(self, paper_dcn):
+        assert domain_of_node(paper_dcn, "server-0") is Domain.ELECTRONIC
+
+    def test_tor_is_electronic(self, paper_dcn):
+        # Packets at a ToR exist in electronic form; the ToR carries the
+        # E/O transceiver toward the core.
+        assert domain_of_node(paper_dcn, "tor-0") is Domain.ELECTRONIC
+
+    def test_ops_is_optical(self, paper_dcn):
+        assert domain_of_node(paper_dcn, "ops-0") is Domain.OPTICAL
+
+    def test_unknown_node_raises(self, paper_dcn):
+        with pytest.raises(UnknownEntityError):
+            domain_of_node(paper_dcn, "nothing")
+
+
+class TestIsOpticalNode:
+    def test_predicate(self, paper_dcn):
+        assert is_optical_node(paper_dcn, "ops-1")
+        assert not is_optical_node(paper_dcn, "server-1")

@@ -1,0 +1,141 @@
+"""Tests for optoelectronic router capacity ledgers."""
+
+import pytest
+
+from repro.exceptions import PlacementError, UnknownEntityError
+from repro.optical.optoelectronic import OptoelectronicHost, OptoelectronicPool
+from repro.topology.elements import ResourceVector
+
+
+@pytest.fixture
+def host():
+    return OptoelectronicHost(
+        "ops-0", ResourceVector(cpu_cores=4, memory_gb=8, storage_gb=64)
+    )
+
+
+class TestHost:
+    def test_initially_free(self, host):
+        assert host.used.is_zero()
+        assert host.free == host.capacity
+
+    def test_host_reserves(self, host):
+        demand = ResourceVector(cpu_cores=1, memory_gb=2, storage_gb=4)
+        host.host("vnf-0", demand)
+        assert host.used == demand
+        assert host.free == host.capacity - demand
+        assert "vnf-0" in host
+
+    def test_oversized_rejected(self, host):
+        with pytest.raises(PlacementError):
+            host.host("vnf-0", ResourceVector(cpu_cores=5))
+
+    def test_duplicate_rejected(self, host):
+        demand = ResourceVector(cpu_cores=1)
+        host.host("vnf-0", demand)
+        with pytest.raises(PlacementError):
+            host.host("vnf-0", demand)
+
+    def test_fills_to_capacity_exactly(self, host):
+        host.host("vnf-0", host.capacity)
+        assert host.free.is_zero()
+
+    def test_evict_releases(self, host):
+        demand = ResourceVector(cpu_cores=2)
+        host.host("vnf-0", demand)
+        returned = host.evict("vnf-0")
+        assert returned == demand
+        assert host.used.is_zero()
+        assert "vnf-0" not in host
+
+    def test_evict_unknown_raises(self, host):
+        with pytest.raises(UnknownEntityError):
+            host.evict("vnf-99")
+
+    def test_hosted_vnfs_sorted(self, host):
+        host.host("vnf-2", ResourceVector(cpu_cores=1))
+        host.host("vnf-0", ResourceVector(cpu_cores=1))
+        assert host.hosted_vnfs() == ["vnf-0", "vnf-2"]
+
+    def test_fits_query(self, host):
+        assert host.fits(ResourceVector(cpu_cores=4))
+        host.host("vnf-0", ResourceVector(cpu_cores=3))
+        assert not host.fits(ResourceVector(cpu_cores=2))
+
+
+class TestPool:
+    def _pool(self):
+        return OptoelectronicPool(
+            [
+                OptoelectronicHost("ops-0", ResourceVector(cpu_cores=2)),
+                OptoelectronicHost("ops-1", ResourceVector(cpu_cores=4)),
+            ]
+        )
+
+    def test_duplicate_host_rejected(self):
+        with pytest.raises(PlacementError):
+            OptoelectronicPool(
+                [
+                    OptoelectronicHost("ops-0", ResourceVector(cpu_cores=1)),
+                    OptoelectronicHost("ops-0", ResourceVector(cpu_cores=1)),
+                ]
+            )
+
+    def test_from_network_excludes_plain_ops(self, paper_dcn):
+        pool = OptoelectronicPool.from_network(
+            paper_dcn, paper_dcn.optical_switches()
+        )
+        # The paper example makes all four switches optoelectronic.
+        assert len(pool) == 4
+
+    def test_from_network_subset(self, paper_dcn):
+        pool = OptoelectronicPool.from_network(paper_dcn, ["ops-0", "ops-2"])
+        assert pool.host_ids() == ["ops-0", "ops-2"]
+
+    def test_first_fit_in_sorted_order(self):
+        pool = self._pool()
+        assert pool.first_fit(ResourceVector(cpu_cores=1)) == "ops-0"
+        assert pool.first_fit(ResourceVector(cpu_cores=3)) == "ops-1"
+        assert pool.first_fit(ResourceVector(cpu_cores=5)) is None
+
+    def test_best_fit_prefers_tightest(self):
+        pool = self._pool()
+        # Both fit a 1-cpu demand; ops-0 (2 free) is tighter than ops-1 (4).
+        assert pool.best_fit(ResourceVector(cpu_cores=1)) == "ops-0"
+
+    def test_best_fit_none_when_nothing_fits(self):
+        pool = self._pool()
+        assert pool.best_fit(ResourceVector(cpu_cores=100)) is None
+
+    def test_place_reserves(self):
+        pool = self._pool()
+        chosen = pool.place("vnf-0", ResourceVector(cpu_cores=2))
+        assert chosen == "ops-0"
+        assert pool.get("ops-0").free.cpu_cores == 0
+
+    def test_place_raises_when_full(self):
+        pool = self._pool()
+        with pytest.raises(PlacementError):
+            pool.place("vnf-0", ResourceVector(cpu_cores=10))
+
+    def test_total_free(self):
+        pool = self._pool()
+        assert pool.total_free().cpu_cores == 6
+        pool.place("vnf-0", ResourceVector(cpu_cores=2))
+        assert pool.total_free().cpu_cores == 4
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownEntityError):
+            self._pool().get("ops-9")
+
+    def test_snapshot(self):
+        pool = self._pool()
+        pool.place("vnf-0", ResourceVector(cpu_cores=1))
+        snapshot = pool.snapshot()
+        assert snapshot["ops-0"]["used"].cpu_cores == 1
+        assert snapshot["ops-1"]["used"].is_zero()
+
+    def test_contains(self):
+        pool = self._pool()
+        assert "ops-0" in pool
+        assert "ops-9" not in pool

@@ -1,0 +1,59 @@
+"""Tests for OPS port accounting."""
+
+import pytest
+
+from repro.exceptions import InsufficientResourcesError, UnknownEntityError
+from repro.optical.packet_switch import PortAllocator
+
+
+class TestInitialState:
+    def test_physical_links_pre_charged(self, paper_dcn):
+        allocator = PortAllocator(paper_dcn)
+        # ops-0 connects tor-0 and tor-3 in the Fig. 4 fabric.
+        assert allocator.used("ops-0") == 2
+        assert allocator.holders_of("ops-0") == {"physical": 2}
+
+    def test_capacity_from_spec(self, paper_dcn):
+        allocator = PortAllocator(paper_dcn)
+        spec = paper_dcn.spec_of("ops-0")
+        assert allocator.capacity("ops-0") == spec.port_count
+
+    def test_unknown_switch_raises(self, paper_dcn):
+        allocator = PortAllocator(paper_dcn)
+        with pytest.raises(UnknownEntityError):
+            allocator.capacity("ops-99")
+
+
+class TestReservation:
+    def test_reserve_and_free(self, paper_dcn):
+        allocator = PortAllocator(paper_dcn)
+        before = allocator.free("ops-0")
+        allocator.reserve("ops-0", "slice-0", 3)
+        assert allocator.free("ops-0") == before - 3
+
+    def test_reserve_zero_rejected(self, paper_dcn):
+        allocator = PortAllocator(paper_dcn)
+        with pytest.raises(ValueError):
+            allocator.reserve("ops-0", "slice-0", 0)
+
+    def test_over_reservation_rejected(self, paper_dcn):
+        allocator = PortAllocator(paper_dcn)
+        free = allocator.free("ops-0")
+        with pytest.raises(InsufficientResourcesError):
+            allocator.reserve("ops-0", "slice-0", free + 1)
+
+    def test_exact_fill_allowed(self, paper_dcn):
+        allocator = PortAllocator(paper_dcn)
+        allocator.reserve("ops-0", "slice-0", allocator.free("ops-0"))
+        assert allocator.free("ops-0") == 0
+
+    def test_release_returns_count(self, paper_dcn):
+        allocator = PortAllocator(paper_dcn)
+        allocator.reserve("ops-0", "slice-0", 2)
+        allocator.reserve("ops-0", "slice-0", 1)
+        assert allocator.release("ops-0", "slice-0") == 3
+        assert "slice-0" not in allocator.holders_of("ops-0")
+
+    def test_release_unknown_holder_is_zero(self, paper_dcn):
+        allocator = PortAllocator(paper_dcn)
+        assert allocator.release("ops-0", "ghost") == 0

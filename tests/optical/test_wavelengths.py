@@ -1,0 +1,130 @@
+"""Tests for wavelength assignment."""
+
+import pytest
+
+from repro.exceptions import SlicingError
+from repro.optical.wavelengths import WavelengthAssigner
+
+
+@pytest.fixture
+def assigner():
+    return WavelengthAssigner({"ops-0": 2, "ops-1": 2, "ops-2": 2})
+
+
+class TestAssignment:
+    def test_first_slice_gets_wavelength_zero(self, assigner):
+        assignment = assigner.assign("slice-0", ["ops-0"])
+        assert assignment.wavelength == 0
+
+    def test_disjoint_slices_share_wavelength(self, assigner):
+        first = assigner.assign("slice-0", ["ops-0"])
+        second = assigner.assign("slice-1", ["ops-1"])
+        assert first.wavelength == second.wavelength == 0
+
+    def test_overlapping_slices_get_distinct_wavelengths(self, assigner):
+        first = assigner.assign("slice-0", ["ops-0", "ops-1"])
+        second = assigner.assign("slice-1", ["ops-1", "ops-2"])
+        assert first.wavelength != second.wavelength
+
+    def test_capacity_exhaustion_raises(self, assigner):
+        assigner.assign("slice-0", ["ops-0"])
+        assigner.assign("slice-1", ["ops-0"])
+        with pytest.raises(SlicingError):
+            assigner.assign("slice-2", ["ops-0"])
+
+    def test_duplicate_slice_rejected(self, assigner):
+        assigner.assign("slice-0", ["ops-0"])
+        with pytest.raises(SlicingError):
+            assigner.assign("slice-0", ["ops-1"])
+
+    def test_empty_switch_set_rejected(self, assigner):
+        with pytest.raises(SlicingError):
+            assigner.assign("slice-0", [])
+
+    def test_unknown_switch_rejected(self, assigner):
+        with pytest.raises(SlicingError):
+            assigner.assign("slice-0", ["ops-99"])
+
+    def test_limit_is_min_over_switches(self):
+        assigner = WavelengthAssigner({"ops-0": 1, "ops-1": 5})
+        assigner.assign("slice-0", ["ops-0", "ops-1"])
+        # ops-0 only offers one wavelength, so a second overlapping slice
+        # cannot be served even though ops-1 has room.
+        with pytest.raises(SlicingError):
+            assigner.assign("slice-1", ["ops-0"])
+
+
+class TestRelease:
+    def test_release_frees_wavelength(self, assigner):
+        assigner.assign("slice-0", ["ops-0"])
+        assigner.assign("slice-1", ["ops-0"])
+        assigner.release("slice-0")
+        # Released index 0 becomes available again.
+        third = assigner.assign("slice-2", ["ops-0"])
+        assert third.wavelength == 0
+
+    def test_release_unknown_raises(self, assigner):
+        with pytest.raises(SlicingError):
+            assigner.release("slice-9")
+
+
+class TestQueries:
+    def test_assignment_of(self, assigner):
+        assigner.assign("slice-0", ["ops-0", "ops-1"])
+        assignment = assigner.assignment_of("slice-0")
+        assert assignment.switches == frozenset({"ops-0", "ops-1"})
+
+    def test_assignment_of_unknown_raises(self, assigner):
+        with pytest.raises(SlicingError):
+            assigner.assignment_of("slice-9")
+
+    def test_assignments_sorted(self, assigner):
+        assigner.assign("slice-1", ["ops-1"])
+        assigner.assign("slice-0", ["ops-0"])
+        names = [a.slice_id for a in assigner.assignments()]
+        assert names == ["slice-0", "slice-1"]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SlicingError):
+            WavelengthAssigner({"ops-0": 0})
+
+    def test_from_network(self, paper_dcn):
+        assigner = WavelengthAssigner.from_network(paper_dcn)
+        assignment = assigner.assign("slice-0", paper_dcn.optical_switches())
+        assert assignment.wavelength == 0
+
+
+class TestExtend:
+    def test_extend_keeps_wavelength(self, assigner):
+        assigner.assign("slice-0", ["ops-0"])
+        extended = assigner.extend("slice-0", ["ops-1"])
+        assert extended.wavelength == 0
+        assert extended.switches == frozenset({"ops-0", "ops-1"})
+
+    def test_extend_idempotent_for_subset(self, assigner):
+        assigner.assign("slice-0", ["ops-0", "ops-1"])
+        extended = assigner.extend("slice-0", ["ops-1"])
+        assert extended.switches == frozenset({"ops-0", "ops-1"})
+
+    def test_extend_unknown_slice_raises(self, assigner):
+        with pytest.raises(SlicingError):
+            assigner.extend("slice-9", ["ops-0"])
+
+    def test_extend_unknown_switch_raises(self, assigner):
+        assigner.assign("slice-0", ["ops-0"])
+        with pytest.raises(SlicingError):
+            assigner.extend("slice-0", ["ops-99"])
+
+    def test_extend_conflicting_wavelength_raises(self, assigner):
+        first = assigner.assign("slice-0", ["ops-0"])
+        second = assigner.assign("slice-1", ["ops-1"])
+        assert first.wavelength == second.wavelength  # disjoint reuse
+        with pytest.raises(SlicingError):
+            assigner.extend("slice-0", ["ops-1"])
+
+    def test_extend_beyond_capacity_raises(self):
+        assigner = WavelengthAssigner({"ops-0": 2, "ops-1": 1})
+        assigner.assign("slice-other", ["ops-0"])     # wavelength 0
+        assigner.assign("slice-0", ["ops-0"])         # wavelength 1
+        with pytest.raises(SlicingError):
+            assigner.extend("slice-0", ["ops-1"])     # ops-1 max is 1

@@ -1,0 +1,108 @@
+"""Property-based tests for branching-chain placement."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.branching import (
+    Branch,
+    BranchingChain,
+    BranchingPlacementSolver,
+)
+from repro.core.placement import PlacementAlgorithm
+from repro.nfv.functions import FunctionCatalog
+from repro.topology.elements import Domain, ResourceVector
+
+CATALOG = FunctionCatalog.standard()
+NAMES = ("nat", "firewall", "load-balancer", "proxy", "dpi")
+
+
+@st.composite
+def branching_instances(draw):
+    common_len = draw(st.integers(min_value=0, max_value=3))
+    common = tuple(
+        CATALOG.get(draw(st.sampled_from(NAMES))) for _ in range(common_len)
+    )
+    n_branches = draw(st.integers(min_value=1, max_value=4))
+    weights = [
+        draw(st.integers(min_value=1, max_value=10))
+        for _ in range(n_branches)
+    ]
+    total = sum(weights)
+    branches = []
+    for index in range(n_branches):
+        length = draw(st.integers(min_value=1, max_value=3))
+        functions = tuple(
+            CATALOG.get(draw(st.sampled_from(NAMES))) for _ in range(length)
+        )
+        branches.append(
+            Branch(f"b{index}", functions, weights[index] / total)
+        )
+    chain = BranchingChain(
+        chain_id="chain-h", common=common, branches=tuple(branches)
+    )
+    n_routers = draw(st.integers(min_value=0, max_value=3))
+    pool = {
+        f"ops-{i}": ResourceVector(
+            draw(st.sampled_from([1.0, 2.0, 4.0])), 32, 256
+        )
+        for i in range(n_routers)
+    }
+    return chain, pool
+
+
+@given(branching_instances())
+@settings(max_examples=50, deadline=None)
+def test_expected_conversions_bounds(instance):
+    chain, pool = instance
+    placement = BranchingPlacementSolver(dict(pool)).solve(chain)
+    ceiling = len(chain.common) + max(
+        len(branch.functions) for branch in chain.branches
+    )
+    assert 0.0 <= placement.expected_conversions() <= ceiling + 1e-9
+
+
+@given(branching_instances())
+@settings(max_examples=50, deadline=None)
+def test_capacity_never_exceeded_across_branches(instance):
+    chain, pool = instance
+    placement = BranchingPlacementSolver(dict(pool)).solve(chain)
+    used: dict[str, ResourceVector] = {}
+    placements = list(placement.branch_placements.values())
+    if placement.common_placement is not None:
+        placements.append(placement.common_placement)
+    for chain_placement in placements:
+        for placed in chain_placement.assignments:
+            if placed.domain is Domain.OPTICAL:
+                used[placed.host] = (
+                    used.get(placed.host, ResourceVector.zero())
+                    + placed.function.demand
+                )
+    for host, total in used.items():
+        assert total.fits_within(pool[host])
+
+
+@given(branching_instances())
+@settings(max_examples=40, deadline=None)
+def test_all_electronic_is_ceiling(instance):
+    chain, pool = instance
+    solver = BranchingPlacementSolver(dict(pool))
+    greedy = solver.solve(chain, PlacementAlgorithm.GREEDY)
+    electronic = BranchingPlacementSolver({}).solve(
+        chain, PlacementAlgorithm.ALL_ELECTRONIC
+    )
+    assert greedy.expected_conversions() <= (
+        electronic.expected_conversions() + 1e-9
+    )
+
+
+@given(branching_instances())
+@settings(max_examples=40, deadline=None)
+def test_every_branch_placed(instance):
+    chain, pool = instance
+    placement = BranchingPlacementSolver(dict(pool)).solve(chain)
+    assert set(placement.branch_placements) == {
+        branch.name for branch in chain.branches
+    }
+    for branch in chain.branches:
+        branch_placement = placement.branch_placements[branch.name]
+        assert len(branch_placement.assignments) == len(branch.functions)

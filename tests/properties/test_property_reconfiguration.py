@@ -1,0 +1,97 @@
+"""Property-based tests: AL coverage survives arbitrary churn traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.abstraction_layer import AlConstructor
+from repro.core.reconfiguration import AlReconfigurator
+from repro.exceptions import CoverInfeasibleError
+from repro.topology.generators import build_alvc_fabric
+
+
+@st.composite
+def churn_traces(draw):
+    """A fabric seed plus a sequence of add/remove churn decisions."""
+    seed = draw(st.integers(min_value=0, max_value=50))
+    decisions = draw(
+        st.lists(st.booleans(), min_size=1, max_size=30)
+    )
+    return seed, decisions
+
+
+@given(churn_traces())
+@settings(max_examples=40, deadline=None)
+def test_coverage_invariant_under_churn(trace):
+    """After every add/remove the layer still covers every member."""
+    seed, decisions = trace
+    dcn = build_alvc_fabric(
+        n_racks=6,
+        servers_per_rack=4,
+        n_ops=6,
+        dual_homing_fraction=0.4,
+        seed=seed,
+    )
+    servers = dcn.servers()
+    members = servers[: len(servers) // 2]
+    outside = servers[len(servers) // 2:]
+    attachments = {s: dcn.tors_of_server(s) for s in members}
+    layer = AlConstructor(dcn).construct("cluster-h", attachments)
+    reconfigurator = AlReconfigurator(dcn, layer, attachments)
+    available = set(dcn.optical_switches()) - layer.ops_ids
+
+    pool_in = list(members)
+    pool_out = list(outside)
+    for add in decisions:
+        if add and pool_out:
+            server = pool_out.pop()
+            try:
+                result = reconfigurator.add_vm(
+                    server, dcn.tors_of_server(server), available
+                )
+            except CoverInfeasibleError:
+                pool_out.append(server)
+                continue
+            available -= result.layer.ops_ids
+            pool_in.append(server)
+        elif not add and len(pool_in) > 1:
+            server = pool_in.pop()
+            reconfigurator.remove_vm(server)
+            pool_out.append(server)
+        # The invariant: every tracked machine reaches a selected ToR and
+        # every selected ToR reaches a selected OPS.
+        reconfigurator.verify()
+
+
+@given(churn_traces())
+@settings(max_examples=30, deadline=None)
+def test_membership_tracks_operations(trace):
+    seed, decisions = trace
+    dcn = build_alvc_fabric(
+        n_racks=4, servers_per_rack=4, n_ops=4, seed=seed
+    )
+    servers = dcn.servers()
+    members = servers[:8]
+    attachments = {s: dcn.tors_of_server(s) for s in members}
+    layer = AlConstructor(dcn).construct("cluster-h", attachments)
+    reconfigurator = AlReconfigurator(dcn, layer, attachments)
+    available = set(dcn.optical_switches()) - layer.ops_ids
+
+    expected = set(members)
+    spare = [s for s in servers if s not in expected]
+    for add in decisions:
+        if add and spare:
+            server = spare.pop()
+            try:
+                reconfigurator.add_vm(
+                    server, dcn.tors_of_server(server), available
+                )
+            except CoverInfeasibleError:
+                spare.append(server)
+                continue
+            expected.add(server)
+        elif not add and len(expected) > 1:
+            server = sorted(expected)[0]
+            reconfigurator.remove_vm(server)
+            expected.discard(server)
+            spare.append(server)
+        assert set(reconfigurator.machines) == expected

@@ -1,0 +1,82 @@
+"""Property-based tests for ResourceVector arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.elements import ResourceVector
+
+components = st.floats(
+    min_value=0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.builds(ResourceVector, components, components, components)
+
+
+@given(vectors, vectors)
+@settings(max_examples=100, deadline=None)
+def test_addition_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(vectors, vectors, vectors)
+@settings(max_examples=100, deadline=None)
+def test_addition_associative_within_tolerance(a, b, c):
+    left = (a + b) + c
+    right = a + (b + c)
+    assert abs(left.cpu_cores - right.cpu_cores) < 1e-6
+    assert abs(left.memory_gb - right.memory_gb) < 1e-6
+    assert abs(left.storage_gb - right.storage_gb) < 1e-6
+
+
+@given(vectors)
+@settings(max_examples=100, deadline=None)
+def test_zero_is_identity(a):
+    assert a + ResourceVector.zero() == a
+
+
+@given(vectors, vectors)
+@settings(max_examples=100, deadline=None)
+def test_add_then_subtract_roundtrip(a, b):
+    result = (a + b) - b
+    assert abs(result.cpu_cores - a.cpu_cores) < 1e-6
+    assert abs(result.memory_gb - a.memory_gb) < 1e-6
+    assert abs(result.storage_gb - a.storage_gb) < 1e-6
+
+
+@given(vectors, vectors)
+@settings(max_examples=100, deadline=None)
+def test_fits_within_sum(a, b):
+    assert a.fits_within(a + b)
+    assert b.fits_within(a + b)
+
+
+@given(vectors)
+@settings(max_examples=100, deadline=None)
+def test_fits_within_reflexive(a):
+    assert a.fits_within(a)
+
+
+@given(vectors, vectors, vectors)
+@settings(max_examples=100, deadline=None)
+def test_fits_within_transitive(a, b, c):
+    if a.fits_within(b) and b.fits_within(c):
+        assert a.fits_within(c)
+
+
+@given(vectors, st.floats(min_value=0, max_value=100, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_scaling_preserves_fit_direction(a, factor):
+    scaled = a.scaled(factor)
+    if factor <= 1:
+        assert scaled.fits_within(a)
+    else:
+        assert a.fits_within(scaled)
+
+
+@given(st.lists(vectors, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_total_equals_fold(vector_list):
+    total = ResourceVector.total(vector_list)
+    folded = ResourceVector.zero()
+    for vector in vector_list:
+        folded = folded + vector
+    assert total == folded

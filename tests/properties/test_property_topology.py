@@ -1,0 +1,117 @@
+"""Property-based tests over generated fabrics and AL construction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.abstraction_layer import AlConstructionStrategy, AlConstructor
+from repro.optical.conversion import count_excursions
+from repro.topology.elements import Domain
+from repro.topology.generators import build_alvc_fabric
+from repro.topology.validation import validate_topology
+
+
+fabric_params = st.fixed_dictionaries(
+    {
+        "n_racks": st.integers(min_value=1, max_value=10),
+        "servers_per_rack": st.integers(min_value=1, max_value=6),
+        "n_ops": st.integers(min_value=1, max_value=8),
+        "tor_uplinks": st.integers(min_value=1, max_value=4),
+        "dual_homing_fraction": st.floats(
+            min_value=0, max_value=1, allow_nan=False
+        ),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+@given(fabric_params)
+@settings(max_examples=40, deadline=None)
+def test_generated_fabrics_always_validate(params):
+    dcn = build_alvc_fabric(**params)
+    assert validate_topology(dcn).ok
+
+
+@given(fabric_params)
+@settings(max_examples=40, deadline=None)
+def test_census_matches_parameters(params):
+    dcn = build_alvc_fabric(**params)
+    summary = dcn.summary()
+    assert summary["servers"] == params["n_racks"] * params["servers_per_rack"]
+    assert summary["tors"] == params["n_racks"]
+    assert summary["optical_switches"] == params["n_ops"]
+
+
+@given(fabric_params, st.sampled_from([
+    AlConstructionStrategy.VERTEX_COVER_GREEDY,
+    AlConstructionStrategy.MARGINAL_GREEDY,
+    AlConstructionStrategy.RANDOM,
+]))
+@settings(max_examples=40, deadline=None)
+def test_al_construction_covers_everything(params, strategy):
+    dcn = build_alvc_fabric(**params)
+    layer = AlConstructor(
+        dcn, strategy=strategy, seed=params["seed"]
+    ).construct_for_servers("cluster-h", dcn.servers())
+    # Machine stage: every server reaches a selected ToR.
+    for server in dcn.servers():
+        assert set(dcn.tors_of_server(server)) & layer.tor_ids
+    # OPS stage: every selected ToR reaches a selected OPS.
+    for tor in layer.tor_ids:
+        assert set(dcn.ops_of_tor(tor)) & layer.ops_ids
+    # The AL never exceeds the core.
+    assert layer.size <= params["n_ops"]
+
+
+@given(fabric_params)
+@settings(max_examples=30, deadline=None)
+def test_greedy_al_within_core_and_deterministic(params):
+    dcn = build_alvc_fabric(**params)
+    first = AlConstructor(dcn).construct_for_servers(
+        "cluster-h", dcn.servers()
+    )
+    second = AlConstructor(dcn).construct_for_servers(
+        "cluster-h", dcn.servers()
+    )
+    assert first.ops_ids == second.ops_ids
+    assert first.tor_ids == second.tor_ids
+
+
+@given(
+    st.lists(
+        st.sampled_from([Domain.ELECTRONIC, Domain.OPTICAL]),
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_excursion_merge_is_lower_bound(domains):
+    merged = count_excursions(domains, merge_consecutive=True)
+    per_visit = count_excursions(domains)
+    assert merged <= per_visit
+    assert per_visit == sum(
+        1 for domain in domains if domain is Domain.ELECTRONIC
+    )
+    # Merged counts the maximal electronic runs.
+    runs = 0
+    previous = Domain.OPTICAL
+    for domain in domains:
+        if domain is Domain.ELECTRONIC and previous is Domain.OPTICAL:
+            runs += 1
+        previous = domain
+    assert merged == runs
+
+
+@given(fabric_params)
+@settings(max_examples=30, deadline=None)
+def test_serialization_round_trip(params):
+    from repro.topology.serialization import (
+        topology_from_json,
+        topology_to_json,
+    )
+
+    dcn = build_alvc_fabric(**params)
+    restored = topology_from_json(topology_to_json(dcn))
+    assert restored.summary() == dcn.summary()
+    assert set(restored.graph.nodes) == set(dcn.graph.nodes)
+    assert set(
+        frozenset((a, b)) for a, b, _ in restored.edges()
+    ) == set(frozenset((a, b)) for a, b, _ in dcn.edges())

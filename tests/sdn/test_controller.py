@@ -1,0 +1,104 @@
+"""Tests for the SDN controller."""
+
+import pytest
+
+from repro.exceptions import RoutingError, UnknownEntityError
+from repro.sdn.controller import SdnController
+
+
+@pytest.fixture
+def controller(paper_dcn):
+    return SdnController(paper_dcn)
+
+
+# A valid server-to-server path in the Fig. 4 fabric.
+PATH = ["server-0", "tor-0", "ops-0", "tor-3", "server-5"]
+
+
+class TestInstallPath:
+    def test_install_programs_switches_only(self, controller):
+        programmed = controller.install_path("flow-0", PATH)
+        # tor-0, ops-0, tor-3 get rules; servers do not.
+        assert programmed == 3
+        assert controller.table_of("tor-0").lookup("flow-0").next_hop == "ops-0"
+        assert controller.table_of("ops-0").lookup("flow-0").next_hop == "tor-3"
+        assert controller.table_of("tor-3").lookup("flow-0").next_hop == "server-5"
+
+    def test_path_of(self, controller):
+        controller.install_path("flow-0", PATH)
+        assert controller.path_of("flow-0") == PATH
+
+    def test_duplicate_flow_rejected(self, controller):
+        controller.install_path("flow-0", PATH)
+        with pytest.raises(RoutingError):
+            controller.install_path("flow-0", PATH)
+
+    def test_short_path_rejected(self, controller):
+        with pytest.raises(RoutingError):
+            controller.install_path("flow-0", ["server-0"])
+
+    def test_unknown_node_rejected(self, controller):
+        with pytest.raises(RoutingError):
+            controller.install_path("flow-0", ["server-0", "mars"])
+
+    def test_non_adjacent_hop_rejected(self, controller):
+        with pytest.raises(RoutingError):
+            controller.install_path("flow-0", ["server-0", "ops-3"])
+
+    def test_revisited_switch_gets_segment_rule(self, controller):
+        # A chain-style path that leaves and re-enters tor-0.
+        loop = ["server-0", "tor-0", "server-1", "tor-0", "ops-0"]
+        programmed = controller.install_path("flow-0", loop)
+        assert programmed == 1  # only tor-0 is a switch here
+        table = controller.table_of("tor-0")
+        assert table.lookup("flow-0").next_hop == "server-1"
+        assert table.lookup("flow-0@1").next_hop == "ops-0"
+
+
+class TestRemoveFlow:
+    def test_remove_clears_rules(self, controller):
+        controller.install_path("flow-0", PATH)
+        touched = controller.remove_flow("flow-0")
+        assert touched == 3
+        assert controller.total_rules() == 0
+        assert not controller.has_flow("flow-0")
+
+    def test_remove_handles_revisits(self, controller):
+        loop = ["server-0", "tor-0", "server-1", "tor-0", "ops-0"]
+        controller.install_path("flow-0", loop)
+        assert controller.remove_flow("flow-0") == 1
+        assert controller.total_rules() == 0
+
+    def test_remove_unknown_raises(self, controller):
+        with pytest.raises(UnknownEntityError):
+            controller.remove_flow("flow-9")
+
+
+class TestReroute:
+    def test_reroute_counts_union_of_switches(self, controller):
+        controller.install_path("flow-0", PATH)
+        alternate = ["server-1", "tor-1", "ops-1", "tor-0", "server-0"]
+        touched = controller.reroute("flow-0", alternate)
+        # Old: tor-0, ops-0, tor-3. New: tor-1, ops-1, tor-0. Union = 5.
+        assert touched == 5
+        assert controller.path_of("flow-0") == alternate
+
+
+class TestCounters:
+    def test_churn_counters(self, controller):
+        controller.install_path("flow-0", PATH)
+        controller.remove_flow("flow-0")
+        churn = controller.churn_counters()
+        assert churn == {"installs": 3, "removals": 3}
+
+    def test_switches_with_rules(self, controller):
+        controller.install_path("flow-0", PATH)
+        assert controller.switches_with_rules() == ["ops-0", "tor-0", "tor-3"]
+
+    def test_installed_flows(self, controller):
+        controller.install_path("flow-1", PATH)
+        assert controller.installed_flows() == ["flow-1"]
+
+    def test_table_of_unknown_raises(self, controller):
+        with pytest.raises(UnknownEntityError):
+            controller.table_of("server-0")

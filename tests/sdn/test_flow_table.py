@@ -1,0 +1,72 @@
+"""Tests for per-switch flow tables."""
+
+import pytest
+
+from repro.exceptions import DuplicateEntityError, UnknownEntityError
+from repro.sdn.flow_table import FlowRule, FlowTable
+
+
+@pytest.fixture
+def table():
+    return FlowTable("tor-0")
+
+
+class TestInstall:
+    def test_install_and_lookup(self, table):
+        rule = FlowRule(match="flow-0", next_hop="ops-0")
+        table.install(rule)
+        assert table.lookup("flow-0") is rule
+        assert "flow-0" in table
+        assert len(table) == 1
+
+    def test_duplicate_match_rejected(self, table):
+        table.install(FlowRule(match="flow-0", next_hop="ops-0"))
+        with pytest.raises(DuplicateEntityError):
+            table.install(FlowRule(match="flow-0", next_hop="ops-1"))
+
+    def test_install_counter(self, table):
+        table.install(FlowRule(match="flow-0", next_hop="ops-0"))
+        table.install(FlowRule(match="flow-1", next_hop="ops-0"))
+        assert table.installs == 2
+
+
+class TestReplace:
+    def test_replace_returns_old(self, table):
+        old = FlowRule(match="flow-0", next_hop="ops-0")
+        table.install(old)
+        returned = table.replace(FlowRule(match="flow-0", next_hop="ops-1"))
+        assert returned is old
+        assert table.lookup("flow-0").next_hop == "ops-1"
+
+    def test_replace_counts_both(self, table):
+        table.install(FlowRule(match="flow-0", next_hop="ops-0"))
+        table.replace(FlowRule(match="flow-0", next_hop="ops-1"))
+        assert table.installs == 2
+        assert table.removals == 1
+
+    def test_replace_missing_raises(self, table):
+        with pytest.raises(UnknownEntityError):
+            table.replace(FlowRule(match="flow-0", next_hop="ops-0"))
+
+
+class TestRemove:
+    def test_remove_returns_rule(self, table):
+        rule = FlowRule(match="flow-0", next_hop="ops-0")
+        table.install(rule)
+        assert table.remove("flow-0") is rule
+        assert len(table) == 0
+        assert table.removals == 1
+
+    def test_remove_missing_raises(self, table):
+        with pytest.raises(UnknownEntityError):
+            table.remove("flow-9")
+
+
+class TestQueries:
+    def test_lookup_missing_is_none(self, table):
+        assert table.lookup("flow-9") is None
+
+    def test_rules_sorted_by_match(self, table):
+        table.install(FlowRule(match="flow-1", next_hop="a"))
+        table.install(FlowRule(match="flow-0", next_hop="b"))
+        assert [rule.match for rule in table.rules()] == ["flow-0", "flow-1"]

@@ -1,0 +1,114 @@
+"""Tests for the network-update cost model (experiment E10 substrate)."""
+
+import pytest
+
+from repro.exceptions import UnknownEntityError
+from repro.sdn.updates import UpdateCostModel, UpdateEvent, UpdateKind
+
+
+class TestUpdateEvent:
+    def test_migration_requires_new_server(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(
+                kind=UpdateKind.VM_MIGRATION, vm="vm-0", server="server-0"
+            )
+
+    def test_non_migration_forbids_new_server(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(
+                kind=UpdateKind.VM_ARRIVAL,
+                vm="vm-0",
+                server="server-0",
+                new_server="server-1",
+            )
+
+    def test_affected_servers_arrival(self):
+        event = UpdateEvent(
+            kind=UpdateKind.VM_ARRIVAL, vm="vm-0", server="server-0"
+        )
+        assert event.affected_servers() == ["server-0"]
+
+    def test_affected_servers_migration(self):
+        event = UpdateEvent(
+            kind=UpdateKind.VM_MIGRATION,
+            vm="vm-0",
+            server="server-0",
+            new_server="server-4",
+        )
+        assert event.affected_servers() == ["server-0", "server-4"]
+
+
+class TestAlvcCost(object):
+    def test_touches_only_al_and_local_tors(self, paper_dcn):
+        model = UpdateCostModel(paper_dcn)
+        event = UpdateEvent(
+            kind=UpdateKind.VM_ARRIVAL, vm="vm-0", server="server-0"
+        )
+        touched = model.alvc_touched(event, {"ops-0"})
+        # server-0 attaches to tor-0 only; tor-0 uplinks to ops-0, ops-1,
+        # of which only ops-0 is in the AL.
+        assert touched == {"tor-0", "ops-0"}
+
+    def test_out_of_al_switches_excluded(self, paper_dcn):
+        model = UpdateCostModel(paper_dcn)
+        event = UpdateEvent(
+            kind=UpdateKind.VM_ARRIVAL, vm="vm-0", server="server-0"
+        )
+        touched = model.alvc_touched(event, {"ops-3"})
+        # ops-3 does not uplink tor-0, so only the ToR is touched.
+        assert touched == {"tor-0"}
+
+    def test_migration_touches_both_ends(self, paper_dcn):
+        model = UpdateCostModel(paper_dcn)
+        event = UpdateEvent(
+            kind=UpdateKind.VM_MIGRATION,
+            vm="vm-0",
+            server="server-0",
+            new_server="server-4",
+        )
+        touched = model.alvc_touched(event, {"ops-0", "ops-2"})
+        assert "tor-0" in touched
+        assert "tor-2" in touched
+
+    def test_unknown_server_raises(self, paper_dcn):
+        model = UpdateCostModel(paper_dcn)
+        event = UpdateEvent(
+            kind=UpdateKind.VM_ARRIVAL, vm="vm-0", server="server-99"
+        )
+        with pytest.raises(UnknownEntityError):
+            model.alvc_touched(event, set())
+
+
+class TestFlatCost:
+    def test_flat_touches_whole_core(self, paper_dcn):
+        model = UpdateCostModel(paper_dcn)
+        event = UpdateEvent(
+            kind=UpdateKind.VM_ARRIVAL, vm="vm-0", server="server-0"
+        )
+        touched = model.flat_touched(event)
+        assert set(paper_dcn.optical_switches()) <= touched
+        assert "tor-0" in touched
+
+
+class TestComparison:
+    def test_alvc_never_worse(self, paper_dcn):
+        model = UpdateCostModel(paper_dcn)
+        for server in paper_dcn.servers():
+            event = UpdateEvent(
+                kind=UpdateKind.VM_DEPARTURE, vm="vm-0", server=server
+            )
+            comparison = model.compare(event, {"ops-0", "ops-2"})
+            assert comparison["alvc"] <= comparison["flat"]
+
+    def test_total_cost_aggregates(self, paper_dcn):
+        model = UpdateCostModel(paper_dcn)
+        events = [
+            UpdateEvent(
+                kind=UpdateKind.VM_ARRIVAL, vm=f"vm-{i}", server="server-0"
+            )
+            for i in range(3)
+        ]
+        totals = model.total_cost(events, lambda event: {"ops-0"})
+        assert totals["events"] == 3
+        assert totals["alvc"] == 6  # 2 switches per event
+        assert totals["flat"] == 15  # 4 OPS + tor-0 per event

@@ -1,0 +1,282 @@
+"""Tests for chain-level traffic simulation."""
+
+import pytest
+
+from repro.core.chaining import ChainRequest, NetworkFunctionChain
+from repro.core.orchestrator import NetworkOrchestrator
+from repro.core.placement import PlacementAlgorithm
+from repro.exceptions import SimulationError
+from repro.nfv.functions import FunctionCatalog
+from repro.optical.conversion import ConversionModel, TransportEnergyModel
+from repro.sim.chain_traffic import ChainTrafficSimulator
+from repro.sim.flows import Flow
+
+
+CATALOG = FunctionCatalog.standard()
+
+
+@pytest.fixture
+def provisioned(populated_inventory):
+    orchestrator = NetworkOrchestrator(populated_inventory)
+    orchestrator.cluster_manager.create_cluster("web")
+    chain = NetworkFunctionChain.from_names(
+        "chain-t", ("firewall", "dpi"), CATALOG
+    )
+    live = orchestrator.provision_chain(
+        ChainRequest(
+            tenant="t", chain=chain, service="web", flow_size_gb=1.0
+        )
+    )
+    return populated_inventory, orchestrator, live
+
+
+class TestRun:
+    def test_record_count(self, provisioned):
+        inventory, _, live = provisioned
+        simulator = ChainTrafficSimulator(inventory, seed=0)
+        report = simulator.run(live, n_flows=50)
+        assert report.flows == 50
+        assert report.chain_id == "chain-t"
+
+    def test_conversions_match_placement(self, provisioned):
+        inventory, _, live = provisioned
+        simulator = ChainTrafficSimulator(inventory, seed=0)
+        report = simulator.run(live, n_flows=10)
+        assert report.mean_conversions == live.conversions
+        for record in report.records:
+            assert record.conversions == live.conversions
+
+    def test_costs_scale_with_flow_size(self, provisioned):
+        inventory, _, live = provisioned
+        simulator = ChainTrafficSimulator(inventory, seed=0)
+        report = simulator.run(live, n_flows=20)
+        for record in report.records:
+            expected = ConversionModel().conversion_cost(
+                record.size_bytes, record.conversions
+            )
+            assert record.conversion_cost == pytest.approx(expected)
+            assert record.processing_cost > 0
+            assert record.total_cost == pytest.approx(
+                record.conversion_cost + record.processing_cost
+            )
+
+    def test_deterministic_per_seed(self, provisioned):
+        inventory, _, live = provisioned
+        first = ChainTrafficSimulator(inventory, seed=4).run(
+            live, n_flows=10
+        )
+        second = ChainTrafficSimulator(inventory, seed=4).run(
+            live, n_flows=10
+        )
+        assert [r.size_bytes for r in first.records] == [
+            r.size_bytes for r in second.records
+        ]
+
+    def test_invalid_parameters(self, provisioned):
+        inventory, _, live = provisioned
+        simulator = ChainTrafficSimulator(inventory)
+        with pytest.raises(SimulationError):
+            simulator.run(live, n_flows=0)
+        with pytest.raises(SimulationError):
+            simulator.run(live, n_flows=5, mean_flow_gb=0)
+
+    def test_as_dict(self, provisioned):
+        inventory, _, live = provisioned
+        report = ChainTrafficSimulator(inventory, seed=0).run(
+            live, n_flows=5
+        )
+        summary = report.as_dict()
+        assert summary["flows"] == 5
+        assert summary["chain"] == "chain-t"
+
+
+class TestRunFlows:
+    def test_uses_given_sizes(self, provisioned):
+        inventory, _, live = provisioned
+        simulator = ChainTrafficSimulator(inventory)
+        flows = [
+            Flow(
+                flow_id=f"flow-{i}",
+                source="vm-0",
+                destination="vm-1",
+                size_bytes=2e9,
+            )
+            for i in range(3)
+        ]
+        report = simulator.run_flows(live, flows)
+        assert report.flows == 3
+        for record in report.records:
+            assert record.size_bytes == 2e9
+
+
+class TestPlacementEffect:
+    def test_optical_placement_cheaper_than_electronic(
+        self, populated_inventory
+    ):
+        orchestrator = NetworkOrchestrator(populated_inventory)
+        orchestrator.cluster_manager.create_cluster("web")
+        orchestrator.cluster_manager.create_cluster("sns")
+        chain_names = ("firewall", "nat")
+
+        optical = orchestrator.provision_chain(
+            ChainRequest(
+                tenant="t",
+                chain=NetworkFunctionChain.from_names(
+                    "chain-opt", chain_names, CATALOG
+                ),
+                service="web",
+            ),
+            algorithm=PlacementAlgorithm.GREEDY,
+        )
+        electronic = orchestrator.provision_chain(
+            ChainRequest(
+                tenant="t",
+                chain=NetworkFunctionChain.from_names(
+                    "chain-ele", chain_names, CATALOG
+                ),
+                service="sns",
+            ),
+            algorithm=PlacementAlgorithm.ALL_ELECTRONIC,
+        )
+        simulator = ChainTrafficSimulator(populated_inventory, seed=1)
+        flows = [
+            Flow(
+                flow_id=f"flow-{i}",
+                source="vm-0",
+                destination="vm-1",
+                size_bytes=1e9,
+            )
+            for i in range(10)
+        ]
+        optical_report = simulator.run_flows(optical, flows)
+        electronic_report = simulator.run_flows(electronic, flows)
+        assert (
+            optical_report.total_conversion_cost
+            < electronic_report.total_conversion_cost
+        )
+
+
+class TestTransportEnergyModel:
+    def test_optical_cheaper_per_hop(self):
+        from repro.topology.elements import Domain
+
+        model = TransportEnergyModel()
+        optical = model.hop_energy_joules(1e9, Domain.OPTICAL)
+        electronic = model.hop_energy_joules(1e9, Domain.ELECTRONIC)
+        assert optical < electronic
+
+    def test_path_energy_sums_hops(self):
+        from repro.topology.elements import Domain
+
+        model = TransportEnergyModel(
+            optical_pj_per_bit_hop=1.0, electronic_pj_per_bit_hop=10.0
+        )
+        domains = [
+            Domain.ELECTRONIC,  # source node (no inbound hop)
+            Domain.ELECTRONIC,
+            Domain.OPTICAL,
+            Domain.ELECTRONIC,
+        ]
+        energy = model.path_energy_joules(1e9, domains)
+        bits = 8e9
+        expected = bits * (10 + 1 + 10) * 1e-12
+        assert energy == pytest.approx(expected)
+
+    def test_single_node_path_is_free(self):
+        from repro.topology.elements import Domain
+
+        model = TransportEnergyModel()
+        assert model.path_energy_joules(1e9, [Domain.ELECTRONIC]) == 0.0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TransportEnergyModel(optical_pj_per_bit_hop=-1)
+
+    def test_negative_flow_rejected(self):
+        from repro.topology.elements import Domain
+
+        with pytest.raises(ValueError):
+            TransportEnergyModel().hop_energy_joules(-1, Domain.OPTICAL)
+
+
+class TestLatencyModel:
+    def test_components_sum(self, provisioned):
+        from repro.sim.chain_traffic import LatencyModel
+        from repro.topology.elements import Domain
+
+        model = LatencyModel(
+            optical_hop_us=1.0,
+            electronic_hop_us=10.0,
+            conversion_penalty_us=100.0,
+            processing_us_per_mb=1.0,
+        )
+        domains = [Domain.ELECTRONIC, Domain.OPTICAL, Domain.ELECTRONIC]
+        latency = model.flow_latency_seconds(
+            2e6, domains, conversions=1, n_functions=2
+        )
+        # hops: 1 optical + 1 electronic = 11 us; conversion: 100 us;
+        # processing: 2 functions * 1 us/MB * 2 MB = 4 us.
+        assert latency == pytest.approx(115e-6)
+
+    def test_negative_parameter_rejected(self):
+        from repro.sim.chain_traffic import LatencyModel
+
+        with pytest.raises(ValueError):
+            LatencyModel(optical_hop_us=-1)
+
+    def test_records_carry_latency(self, provisioned):
+        inventory, _, live = provisioned
+        report = ChainTrafficSimulator(inventory, seed=0).run(
+            live, n_flows=10
+        )
+        assert all(r.latency_seconds > 0 for r in report.records)
+        stats = report.latency_statistics()
+        assert 0 < stats["mean"] <= stats["p99"]
+
+    def test_optical_placement_lower_latency(self, populated_inventory):
+        from repro.core.placement import PlacementAlgorithm
+
+        orchestrator = NetworkOrchestrator(populated_inventory)
+        orchestrator.cluster_manager.create_cluster("web")
+        orchestrator.cluster_manager.create_cluster("sns")
+        names = ("firewall", "nat")
+        optical = orchestrator.provision_chain(
+            ChainRequest(
+                tenant="t",
+                chain=NetworkFunctionChain.from_names(
+                    "chain-lo", names, CATALOG
+                ),
+                service="web",
+            ),
+            algorithm=PlacementAlgorithm.GREEDY,
+        )
+        electronic = orchestrator.provision_chain(
+            ChainRequest(
+                tenant="t",
+                chain=NetworkFunctionChain.from_names(
+                    "chain-le", names, CATALOG
+                ),
+                service="sns",
+            ),
+            algorithm=PlacementAlgorithm.ALL_ELECTRONIC,
+        )
+        simulator = ChainTrafficSimulator(populated_inventory, seed=2)
+        flows = [
+            Flow(
+                flow_id=f"f{i}",
+                source="vm-0",
+                destination="vm-1",
+                size_bytes=1e9,
+            )
+            for i in range(10)
+        ]
+        fast = simulator.run_flows(optical, flows).latency_statistics()
+        slow = simulator.run_flows(electronic, flows).latency_statistics()
+        # Fewer conversions => strictly lower latency for the same flows.
+        assert fast["mean"] < slow["mean"]
+
+    def test_empty_report_latency(self, provisioned):
+        from repro.sim.chain_traffic import ChainTrafficReport
+
+        report = ChainTrafficReport(chain_id="x", records=())
+        assert report.latency_statistics() == {"mean": 0.0, "p99": 0.0}

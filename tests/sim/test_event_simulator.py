@@ -1,0 +1,366 @@
+"""Tests for the event-driven fair-share flow simulator."""
+
+import pytest
+
+from repro.core.cluster import ClusterManager
+from repro.exceptions import SimulationError
+from repro.sim.event_simulator import EventDrivenFlowSimulator
+from repro.sim.flows import Flow
+from repro.sim.traffic import TrafficConfig, TrafficGenerator
+
+
+@pytest.fixture
+def clustered(populated_inventory):
+    clusters = ClusterManager(populated_inventory)
+    for service in populated_inventory.services_present():
+        clusters.create_cluster(service)
+    return populated_inventory, clusters
+
+
+def _two_remote_vms(inventory):
+    """Two VMs on different servers (different services, so the flow is
+    inter-service and flat-routed deterministically)."""
+    web = inventory.vms_of_service("web")[0]
+    sns = inventory.vms_of_service("sns")[0]
+    assert inventory.host_of(web.vm_id) != inventory.host_of(sns.vm_id)
+    return web, sns
+
+
+class TestSingleFlow:
+    def test_duration_matches_bottleneck(self, clustered):
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        flow = Flow(
+            flow_id="flow-0",
+            source=source.vm_id,
+            destination=destination.vm_id,
+            size_bytes=1e9,
+            arrival_time=0.0,
+            intra_service=False,
+        )
+        simulator = EventDrivenFlowSimulator(
+            inventory, clusters, default_bandwidth_gbps=8.0
+        )
+        report = simulator.run([flow])
+        # 1 GB over an uncontended 8 Gbps (= 1 GB/s) path: 1 second.
+        assert report.completed[0].duration == pytest.approx(1.0)
+        assert report.makespan == pytest.approx(1.0)
+
+    def test_colocated_flow_completes_instantly(
+        self, inventory, service_catalog
+    ):
+        web = service_catalog.get("web")
+        first = inventory.create_vm(web)
+        second = inventory.create_vm(web)
+        server = inventory.network.servers()[0]
+        inventory.place(first, server)
+        inventory.place(second, server)
+        flow = Flow(
+            flow_id="flow-0",
+            source=first.vm_id,
+            destination=second.vm_id,
+            size_bytes=1e12,
+            arrival_time=2.0,
+        )
+        report = EventDrivenFlowSimulator(inventory).run([flow])
+        record = report.completed[0]
+        assert record.duration == 0.0
+        assert record.hops == 0
+
+
+class TestSharing:
+    def test_two_flows_on_same_path_halve_rate(self, clustered):
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        flows = [
+            Flow(
+                flow_id=f"flow-{i}",
+                source=source.vm_id,
+                destination=destination.vm_id,
+                size_bytes=1e9,
+                arrival_time=0.0,
+                intra_service=False,
+            )
+            for i in range(2)
+        ]
+        simulator = EventDrivenFlowSimulator(
+            inventory, clusters, default_bandwidth_gbps=8.0
+        )
+        report = simulator.run(flows)
+        # Both share the path: each effectively gets 0.5 GB/s -> 2 s.
+        for record in report.completed:
+            assert record.duration == pytest.approx(2.0)
+
+    def test_staggered_arrivals_fct_ordering(self, clustered):
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        early = Flow(
+            flow_id="flow-early",
+            source=source.vm_id,
+            destination=destination.vm_id,
+            size_bytes=1e9,
+            arrival_time=0.0,
+            intra_service=False,
+        )
+        late = Flow(
+            flow_id="flow-late",
+            source=source.vm_id,
+            destination=destination.vm_id,
+            size_bytes=1e9,
+            arrival_time=10.0,  # after the first completes
+            intra_service=False,
+        )
+        simulator = EventDrivenFlowSimulator(
+            inventory, clusters, default_bandwidth_gbps=8.0
+        )
+        report = simulator.run([early, late])
+        by_id = {record.flow_id: record for record in report.completed}
+        # No overlap: both get the full rate.
+        assert by_id["flow-early"].duration == pytest.approx(1.0)
+        assert by_id["flow-late"].duration == pytest.approx(1.0)
+        assert by_id["flow-late"].completion_time == pytest.approx(11.0)
+
+
+class TestWorkloads:
+    def test_all_flows_complete(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=30.0), seed=1
+        )
+        flows = generator.flows(120)
+        report = EventDrivenFlowSimulator(inventory, clusters).run(flows)
+        assert report.flows == 120
+        assert report.makespan >= max(flow.arrival_time for flow in flows)
+
+    def test_completion_after_arrival(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(inventory, seed=2)
+        report = EventDrivenFlowSimulator(inventory, clusters).run(
+            generator.flows(60)
+        )
+        for record in report.completed:
+            assert record.completion_time >= record.arrival_time
+
+    def test_fct_statistics_shape(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(inventory, seed=3)
+        report = EventDrivenFlowSimulator(inventory, clusters).run(
+            generator.flows(80)
+        )
+        stats = report.fct_statistics()
+        assert 0 <= stats["median"] <= stats["p99"] <= stats["max"]
+        assert stats["mean"] > 0
+
+    def test_heavier_load_slower_fct(self, clustered):
+        inventory, clusters = clustered
+
+        def mean_fct(rate):
+            generator = TrafficGenerator(
+                inventory,
+                TrafficConfig(arrival_rate=rate, sigma=0.5),
+                seed=4,
+            )
+            report = EventDrivenFlowSimulator(inventory, clusters).run(
+                generator.flows(150)
+            )
+            return report.fct_statistics()["mean"]
+
+        # 10x the arrival rate compresses the same flows into a shorter
+        # window: more contention, higher mean FCT.
+        assert mean_fct(100.0) > mean_fct(10.0)
+
+    def test_duplicate_flow_ids_rejected(self, clustered):
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        flow = Flow(
+            flow_id="flow-0",
+            source=source.vm_id,
+            destination=destination.vm_id,
+            size_bytes=1e9,
+        )
+        with pytest.raises(SimulationError):
+            EventDrivenFlowSimulator(inventory, clusters).run([flow, flow])
+
+    def test_empty_workload(self, clustered):
+        inventory, clusters = clustered
+        report = EventDrivenFlowSimulator(inventory, clusters).run([])
+        assert report.flows == 0
+        assert report.makespan == 0.0
+
+    def test_utilization_bounded(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=50.0), seed=5
+        )
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        report = simulator.run(generator.flows(100))
+        utilization = report.mean_link_utilization(simulator.capacities)
+        assert 0.0 <= utilization <= 1.0 + 1e-9
+
+
+class TestLoadAwareRouting:
+    def test_load_aware_never_slower_on_contended_pair(self, clustered):
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        flows = [
+            Flow(
+                flow_id=f"flow-{i}",
+                source=source.vm_id,
+                destination=destination.vm_id,
+                size_bytes=2e9,
+                arrival_time=0.0,
+                intra_service=False,
+            )
+            for i in range(6)
+        ]
+        shortest = EventDrivenFlowSimulator(
+            inventory, clusters, default_bandwidth_gbps=8.0
+        ).run(flows)
+        balanced = EventDrivenFlowSimulator(
+            inventory,
+            clusters,
+            default_bandwidth_gbps=8.0,
+            load_aware=True,
+        ).run(flows)
+        assert (
+            balanced.fct_statistics()["mean"]
+            <= shortest.fct_statistics()["mean"] + 1e-9
+        )
+
+    def test_load_aware_spreads_over_more_links(self, clustered):
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        flows = [
+            Flow(
+                flow_id=f"flow-{i}",
+                source=source.vm_id,
+                destination=destination.vm_id,
+                size_bytes=2e9,
+                arrival_time=0.0,
+                intra_service=False,
+            )
+            for i in range(6)
+        ]
+        shortest = EventDrivenFlowSimulator(inventory, clusters).run(flows)
+        balanced = EventDrivenFlowSimulator(
+            inventory, clusters, load_aware=True
+        ).run(flows)
+        assert len(balanced.link_busy_byte_seconds) >= len(
+            shortest.link_busy_byte_seconds
+        )
+
+    def test_load_aware_completes_everything(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=40.0), seed=9
+        )
+        report = EventDrivenFlowSimulator(
+            inventory, clusters, load_aware=True
+        ).run(generator.flows(80))
+        assert report.flows == 80
+
+
+class TestFailureInjection:
+    def test_failure_reroutes_active_flow(self, clustered):
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        flow = Flow(
+            flow_id="flow-0",
+            source=source.vm_id,
+            destination=destination.vm_id,
+            size_bytes=8e9,  # long-lived at 8 Gbps
+            arrival_time=0.0,
+            intra_service=False,
+        )
+        simulator = EventDrivenFlowSimulator(
+            inventory, clusters, default_bandwidth_gbps=8.0
+        )
+        # Find an OPS on the flow's shortest path and kill it mid-flow.
+        from repro.sdn.routing import simple_path
+
+        path = simple_path(
+            inventory.network,
+            inventory.host_of(source.vm_id),
+            inventory.host_of(destination.vm_id),
+        )
+        victim = next(node for node in path if node.startswith("ops"))
+        report = simulator.run([flow], failures=[(1.0, victim)])
+        assert report.failed_nodes == (victim,)
+        if report.dropped:
+            assert report.dropped == ("flow-0",)
+        else:
+            assert report.reroutes == 1
+            record = report.completed[0]
+            assert record.duration > 1.0  # it survived past the failure
+
+    def test_unaffected_flows_keep_running(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=30.0), seed=11
+        )
+        flows = generator.flows(60)
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        # Fail a switch no flow may even use; everything still finishes.
+        victim = inventory.network.optical_switches()[-1]
+        report = simulator.run(flows, failures=[(0.5, victim)])
+        assert report.flows + len(report.dropped) == 60
+
+    def test_arrivals_after_failure_avoid_the_node(self, clustered):
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        late = Flow(
+            flow_id="flow-late",
+            source=source.vm_id,
+            destination=destination.vm_id,
+            size_bytes=1e9,
+            arrival_time=5.0,
+            intra_service=False,
+        )
+        from repro.sdn.routing import simple_path
+
+        path = simple_path(
+            inventory.network,
+            inventory.host_of(source.vm_id),
+            inventory.host_of(destination.vm_id),
+        )
+        victim = next(node for node in path if node.startswith("ops"))
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        report = simulator.run([late], failures=[(0.0, victim)])
+        # Either rerouted around the dead switch or dropped as
+        # partitioned; never silently carried over it.
+        assert victim in report.failed_nodes
+        assert report.flows + len(report.dropped) == 1
+
+    def test_unknown_failure_node_rejected(self, clustered):
+        inventory, clusters = clustered
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        with pytest.raises(SimulationError):
+            simulator.run([], failures=[(1.0, "mars")])
+
+    def test_negative_failure_time_rejected(self, clustered):
+        inventory, clusters = clustered
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        with pytest.raises(SimulationError):
+            simulator.run([], failures=[(-1.0, "ops-0")])
+
+    def test_simulator_reusable_after_failure_run(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(inventory, seed=12)
+        flows = generator.flows(20)
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        victim = inventory.network.optical_switches()[0]
+        simulator.run(flows, failures=[(0.1, victim)])
+        # A later clean run sees the full fabric again.
+        clean = simulator.run(flows)
+        assert clean.flows == 20
+        assert clean.failed_nodes == ()
+        assert clean.dropped == ()
+
+    def test_duplicate_failure_ignored(self, clustered):
+        inventory, clusters = clustered
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        victim = inventory.network.optical_switches()[0]
+        report = simulator.run(
+            [], failures=[(0.1, victim), (0.2, victim)]
+        )
+        assert report.failed_nodes == (victim,)

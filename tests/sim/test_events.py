@@ -1,0 +1,118 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda t: order.append("b"))
+        queue.schedule(1.0, lambda t: order.append("a"))
+        for _ in range(2):
+            _, callback = queue.pop()
+            callback(0)
+        assert order == ["a", "b"]
+
+    def test_simultaneous_events_fifo(self):
+        queue = EventQueue()
+        order = []
+        for name in "abc":
+            queue.schedule(1.0, lambda t, n=name: order.append(n))
+        while queue:
+            _, callback = queue.pop()
+            callback(1.0)
+        assert order == ["a", "b", "c"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1.0, lambda t: None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(5.0, lambda t: None)
+        assert queue.peek_time() == 5.0
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.schedule(1.0, lambda t: None)
+        assert len(queue) == 1
+        assert queue
+
+
+class TestSimulator:
+    def test_run_advances_time(self):
+        sim = Simulator()
+        sim.schedule_at(3.0, lambda t: None)
+        sim.run()
+        assert sim.now == 3.0
+        assert sim.events_processed == 1
+
+    def test_run_until_leaves_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda t: fired.append(t))
+        sim.schedule_at(5.0, lambda t: fired.append(t))
+        sim.run(until=2.0)
+        assert fired == [1.0]
+        assert len(sim.queue) == 1
+        # now advances to the until bound only when the queue is empty; a
+        # pending later event keeps the clock at the last fired event.
+        assert sim.now == 1.0
+
+    def test_run_until_empty_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_callbacks_receive_fire_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.5, seen.append)
+        sim.run()
+        assert seen == [2.5]
+
+    def test_schedule_in_relative(self):
+        sim = Simulator()
+        times = []
+        def chain(t):
+            times.append(t)
+            if len(times) < 3:
+                sim.schedule_in(1.0, chain)
+        sim.schedule_at(1.0, chain)
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda t: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda t: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda t: None)
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        for index in range(10):
+            sim.schedule_at(float(index), lambda t: None)
+        processed = sim.run(max_events=4)
+        assert processed == 4
+        assert len(sim.queue) == 6
+
+    def test_run_returns_count(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda t: None)
+        sim.schedule_at(2.0, lambda t: None)
+        assert sim.run() == 2

@@ -1,0 +1,125 @@
+"""Tests for max-min fair bandwidth allocation."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.fairshare import (
+    link_of,
+    links_on_path,
+    max_min_fair_rates,
+)
+
+
+AB = link_of("a", "b")
+BC = link_of("b", "c")
+CD = link_of("c", "d")
+
+
+class TestHelpers:
+    def test_link_of_unordered(self):
+        assert link_of("a", "b") == link_of("b", "a")
+
+    def test_links_on_path(self):
+        assert links_on_path(["a", "b", "c"]) == [AB, BC]
+
+    def test_single_node_path_has_no_links(self):
+        assert links_on_path(["a"]) == []
+
+
+class TestMaxMinFairness:
+    def test_single_flow_gets_full_capacity(self):
+        rates = max_min_fair_rates({"f1": [AB]}, {AB: 10.0})
+        assert rates["f1"] == pytest.approx(10.0)
+
+    def test_two_flows_share_equally(self):
+        rates = max_min_fair_rates(
+            {"f1": [AB], "f2": [AB]}, {AB: 10.0}
+        )
+        assert rates["f1"] == pytest.approx(5.0)
+        assert rates["f2"] == pytest.approx(5.0)
+
+    def test_disjoint_flows_independent(self):
+        rates = max_min_fair_rates(
+            {"f1": [AB], "f2": [CD]}, {AB: 10.0, CD: 4.0}
+        )
+        assert rates["f1"] == pytest.approx(10.0)
+        assert rates["f2"] == pytest.approx(4.0)
+
+    def test_classic_three_flow_example(self):
+        # f1: AB+BC, f2: AB, f3: BC; capacities AB=10, BC=4.
+        # BC is the bottleneck: f1 and f3 get 2 each; f2 then gets the
+        # remaining 8 on AB.
+        rates = max_min_fair_rates(
+            {"f1": [AB, BC], "f2": [AB], "f3": [BC]},
+            {AB: 10.0, BC: 4.0},
+        )
+        assert rates["f1"] == pytest.approx(2.0)
+        assert rates["f3"] == pytest.approx(2.0)
+        assert rates["f2"] == pytest.approx(8.0)
+
+    def test_linkless_flow_is_unbounded(self):
+        rates = max_min_fair_rates({"f1": []}, {})
+        assert rates["f1"] == float("inf")
+
+    def test_capacity_conservation(self):
+        flows = {
+            "f1": [AB, BC],
+            "f2": [AB],
+            "f3": [BC, CD],
+            "f4": [CD],
+        }
+        capacities = {AB: 6.0, BC: 3.0, CD: 9.0}
+        rates = max_min_fair_rates(flows, capacities)
+        # No link is oversubscribed.
+        for link, capacity in capacities.items():
+            used = sum(
+                rates[flow]
+                for flow, links in flows.items()
+                if link in links
+            )
+            assert used <= capacity + 1e-9
+
+    def test_all_rates_positive(self):
+        flows = {f"f{i}": [AB, BC] for i in range(5)}
+        rates = max_min_fair_rates(flows, {AB: 10.0, BC: 1.0})
+        assert all(rate > 0 for rate in rates.values())
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates({"f1": [AB]}, {})
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates({"f1": [AB]}, {AB: 0.0})
+
+    def test_no_flows(self):
+        assert max_min_fair_rates({}, {AB: 5.0}) == {}
+
+    def test_bottleneck_fairness_property(self):
+        """Each flow is limited by at least one saturated link on which
+        it gets a maximal share (the max-min optimality condition)."""
+        flows = {
+            "f1": [AB, BC],
+            "f2": [AB],
+            "f3": [BC],
+            "f4": [BC, CD],
+        }
+        capacities = {AB: 12.0, BC: 6.0, CD: 2.0}
+        rates = max_min_fair_rates(flows, capacities)
+        for flow, links in flows.items():
+            has_bottleneck = False
+            for link in links:
+                used = sum(
+                    rates[other]
+                    for other, other_links in flows.items()
+                    if link in other_links
+                )
+                saturated = used >= capacities[link] - 1e-9
+                maximal = all(
+                    rates[flow] >= rates[other] - 1e-9
+                    for other, other_links in flows.items()
+                    if link in other_links
+                )
+                if saturated and maximal:
+                    has_bottleneck = True
+            assert has_bottleneck, f"{flow} has no bottleneck link"

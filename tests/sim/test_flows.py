@@ -1,0 +1,64 @@
+"""Tests for the Flow value type."""
+
+import pytest
+
+from repro.sim.flows import Flow
+
+
+class TestFlowValidation:
+    def test_valid_flow(self):
+        flow = Flow(
+            flow_id="flow-0",
+            source="vm-0",
+            destination="vm-1",
+            size_bytes=1e9,
+        )
+        assert flow.size_gb == pytest.approx(1.0)
+
+    def test_identical_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(
+                flow_id="flow-0",
+                source="vm-0",
+                destination="vm-0",
+                size_bytes=1,
+            )
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(
+                flow_id="flow-0",
+                source="vm-0",
+                destination="vm-1",
+                size_bytes=0,
+            )
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(
+                flow_id="flow-0",
+                source="vm-0",
+                destination="vm-1",
+                size_bytes=1,
+                arrival_time=-1,
+            )
+
+    def test_defaults(self):
+        flow = Flow(
+            flow_id="flow-0",
+            source="vm-0",
+            destination="vm-1",
+            size_bytes=1,
+        )
+        assert flow.arrival_time == 0.0
+        assert flow.intra_service is True
+
+    def test_frozen(self):
+        flow = Flow(
+            flow_id="flow-0",
+            source="vm-0",
+            destination="vm-1",
+            size_bytes=1,
+        )
+        with pytest.raises(AttributeError):
+            flow.size_bytes = 2

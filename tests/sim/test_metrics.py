@@ -1,0 +1,85 @@
+"""Tests for the metrics collector."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector
+
+
+class TestCounters:
+    def test_increment_default_one(self):
+        metrics = MetricsCollector()
+        metrics.increment("flows")
+        metrics.increment("flows")
+        assert metrics.count("flows") == 2
+
+    def test_increment_amount(self):
+        metrics = MetricsCollector()
+        metrics.increment("bytes", 100.0)
+        assert metrics.count("bytes") == 100.0
+
+    def test_unknown_counter_is_zero(self):
+        assert MetricsCollector().count("missing") == 0.0
+
+    def test_counters_snapshot(self):
+        metrics = MetricsCollector()
+        metrics.increment("a")
+        snapshot = metrics.counters()
+        assert snapshot == {"a": 1.0}
+        # Snapshot is a copy.
+        snapshot["a"] = 99
+        assert metrics.count("a") == 1.0
+
+
+class TestSeries:
+    def test_summary_of_observations(self):
+        metrics = MetricsCollector()
+        for value in (1.0, 2.0, 3.0):
+            metrics.observe("hops", value)
+        summary = metrics.summary("hops")
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_std_matches_population_formula(self):
+        metrics = MetricsCollector()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            metrics.observe("x", value)
+        assert metrics.summary("x")["std"] == pytest.approx(2.0)
+
+    def test_empty_series_summary(self):
+        summary = MetricsCollector().summary("missing")
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+
+    def test_single_observation(self):
+        metrics = MetricsCollector()
+        metrics.observe("x", 5.0)
+        summary = metrics.summary("x")
+        assert summary["std"] == 0.0
+        assert summary["min"] == summary["max"] == 5.0
+
+    def test_series_names_sorted(self):
+        metrics = MetricsCollector()
+        metrics.observe("zeta", 1)
+        metrics.observe("alpha", 1)
+        assert metrics.series_names() == ["alpha", "zeta"]
+
+
+class TestMerged:
+    def test_merged_sums_counters(self):
+        left = MetricsCollector()
+        left.increment("flows", 2)
+        right = MetricsCollector()
+        right.increment("flows", 3)
+        right.increment("errors", 1)
+        merged = left.merged(right)
+        assert merged.count("flows") == 5
+        assert merged.count("errors") == 1
+
+    def test_merged_leaves_sources_untouched(self):
+        left = MetricsCollector()
+        left.increment("flows")
+        left.merged(MetricsCollector())
+        assert left.count("flows") == 1

@@ -1,0 +1,120 @@
+"""Tests for workload trace serialization and replay."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.flows import Flow
+from repro.sim.trace import WorkloadTrace
+from repro.sim.traffic import TrafficGenerator
+
+
+def make_flows(count=3):
+    return tuple(
+        Flow(
+            flow_id=f"flow-{i}",
+            source="vm-0",
+            destination="vm-1",
+            size_bytes=1e9 * (i + 1),
+            arrival_time=float(i),
+            intra_service=(i % 2 == 0),
+        )
+        for i in range(count)
+    )
+
+
+class TestConstruction:
+    def test_record(self):
+        trace = WorkloadTrace.record(make_flows())
+        assert len(trace) == 3
+        assert trace.total_bytes == pytest.approx(6e9)
+        assert trace.duration == 2.0
+
+    def test_duplicate_ids_rejected(self):
+        flow = make_flows(1)[0]
+        with pytest.raises(SimulationError):
+            WorkloadTrace(flows=(flow, flow))
+
+    def test_empty_trace(self):
+        trace = WorkloadTrace(flows=())
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+    def test_iteration(self):
+        trace = WorkloadTrace.record(make_flows())
+        assert [flow.flow_id for flow in trace] == [
+            "flow-0",
+            "flow-1",
+            "flow-2",
+        ]
+
+    def test_sorted_by_arrival(self):
+        flows = make_flows()
+        shuffled = (flows[2], flows[0], flows[1])
+        trace = WorkloadTrace(flows=shuffled).sorted_by_arrival()
+        arrivals = [flow.arrival_time for flow in trace]
+        assert arrivals == sorted(arrivals)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        original = WorkloadTrace.record(make_flows())
+        restored = WorkloadTrace.from_json(original.to_json())
+        assert restored == original
+
+    def test_file_roundtrip(self, tmp_path):
+        original = WorkloadTrace.record(make_flows())
+        path = original.save(tmp_path / "trace.json")
+        assert WorkloadTrace.load(path) == original
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadTrace.from_json("not json")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadTrace.from_json('{"version": 99, "flows": []}')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadTrace.from_json("[1, 2, 3]")
+
+    def test_missing_flows_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadTrace.from_json('{"version": 1}')
+
+    def test_invalid_flow_record_rejected(self):
+        with pytest.raises(SimulationError, match="record #0"):
+            WorkloadTrace.from_json(
+                '{"version": 1, "flows": [{"flow_id": "x"}]}'
+            )
+
+
+class TestFiltering:
+    def test_filter_by_locality(self):
+        trace = WorkloadTrace.record(make_flows())
+        intra = trace.filtered(intra_service=True)
+        assert all(flow.intra_service for flow in intra)
+        assert len(intra) == 2
+
+    def test_filter_by_size(self):
+        trace = WorkloadTrace.record(make_flows())
+        big = trace.filtered(min_bytes=2.5e9)
+        assert len(big) == 1
+        assert big.flows[0].flow_id == "flow-2"
+
+
+class TestReplay:
+    def test_generator_output_replays_identically(self, populated_inventory):
+        from repro.core.cluster import ClusterManager
+        from repro.sim.simulator import FlowSimulator
+
+        generator = TrafficGenerator(populated_inventory, seed=7)
+        trace = WorkloadTrace.record(generator.flows(40))
+        restored = WorkloadTrace.from_json(trace.to_json())
+
+        clusters = ClusterManager(populated_inventory)
+        for service in populated_inventory.services_present():
+            clusters.create_cluster(service)
+        first = FlowSimulator(populated_inventory, clusters).run(trace)
+        second = FlowSimulator(populated_inventory, clusters).run(restored)
+        assert first.as_dict() == second.as_dict()

@@ -1,0 +1,148 @@
+"""Tests for service-correlated traffic generation."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.traffic import TrafficConfig, TrafficGenerator
+from repro.virtualization.machines import MachineInventory
+
+
+class TestTrafficConfig:
+    def test_defaults_valid(self):
+        config = TrafficConfig()
+        assert 0 <= config.intra_service_probability <= 1
+
+    def test_probability_bounds(self):
+        with pytest.raises(SimulationError):
+            TrafficConfig(intra_service_probability=1.5)
+        with pytest.raises(SimulationError):
+            TrafficConfig(intra_service_probability=-0.1)
+
+    def test_positive_parameters_required(self):
+        with pytest.raises(SimulationError):
+            TrafficConfig(mean_flow_gb=0)
+        with pytest.raises(SimulationError):
+            TrafficConfig(arrival_rate=0)
+        with pytest.raises(SimulationError):
+            TrafficConfig(sigma=-1)
+
+
+class TestGeneratorBasics:
+    def test_needs_two_placed_vms(self, inventory, service_catalog):
+        vm = inventory.create_vm(service_catalog.get("web"))
+        inventory.place(vm, inventory.network.servers()[0])
+        with pytest.raises(SimulationError):
+            TrafficGenerator(inventory)
+
+    def test_flow_ids_unique(self, populated_inventory):
+        generator = TrafficGenerator(populated_inventory, seed=0)
+        flows = generator.flows(50)
+        assert len({flow.flow_id for flow in flows}) == 50
+
+    def test_flow_count_positive(self, populated_inventory):
+        generator = TrafficGenerator(populated_inventory, seed=0)
+        with pytest.raises(SimulationError):
+            generator.flows(0)
+
+    def test_arrivals_increase(self, populated_inventory):
+        generator = TrafficGenerator(populated_inventory, seed=0)
+        flows = generator.flows(20)
+        times = [flow.arrival_time for flow in flows]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_deterministic_per_seed(self, populated_inventory):
+        first = TrafficGenerator(populated_inventory, seed=9).flows(10)
+        second = TrafficGenerator(populated_inventory, seed=9).flows(10)
+        assert [
+            (f.source, f.destination, f.size_bytes) for f in first
+        ] == [(f.source, f.destination, f.size_bytes) for f in second]
+
+    def test_endpoints_are_placed_vms(self, populated_inventory):
+        generator = TrafficGenerator(populated_inventory, seed=0)
+        placed = {vm.vm_id for vm in populated_inventory.placed_vms()}
+        for flow in generator.flows(30):
+            assert flow.source in placed
+            assert flow.destination in placed
+            assert flow.source != flow.destination
+
+    def test_stream_yields_flows(self, populated_inventory):
+        generator = TrafficGenerator(populated_inventory, seed=0)
+        stream = generator.stream()
+        first = next(stream)
+        second = next(stream)
+        assert second.arrival_time > first.arrival_time
+
+
+class TestServiceCorrelation:
+    def _intra_fraction(self, inventory, probability, n=400):
+        generator = TrafficGenerator(
+            inventory,
+            TrafficConfig(intra_service_probability=probability),
+            seed=1,
+        )
+        flows = generator.flows(n)
+        return sum(1 for f in flows if f.intra_service) / n
+
+    def test_high_correlation(self, populated_inventory):
+        assert self._intra_fraction(populated_inventory, 0.9) > 0.8
+
+    def test_low_correlation(self, populated_inventory):
+        assert self._intra_fraction(populated_inventory, 0.1) < 0.25
+
+    def test_full_correlation(self, populated_inventory):
+        assert self._intra_fraction(populated_inventory, 1.0) == 1.0
+
+    def test_intra_flag_matches_services(self, populated_inventory):
+        generator = TrafficGenerator(populated_inventory, seed=2)
+        for flow in generator.flows(100):
+            same = (
+                populated_inventory.get(flow.source).service
+                == populated_inventory.get(flow.destination).service
+            )
+            assert flow.intra_service == same
+
+
+class TestFlowSizes:
+    def test_constant_size_when_sigma_zero(self, populated_inventory):
+        generator = TrafficGenerator(
+            populated_inventory,
+            TrafficConfig(mean_flow_gb=2.0, sigma=0),
+            seed=0,
+        )
+        for flow in generator.flows(10):
+            assert flow.size_bytes == pytest.approx(2e9)
+
+    def test_lognormal_mean_approximates_target(self, populated_inventory):
+        generator = TrafficGenerator(
+            populated_inventory,
+            TrafficConfig(mean_flow_gb=1.0, sigma=0.5),
+            seed=3,
+        )
+        flows = generator.flows(2000)
+        mean_gb = sum(f.size_bytes for f in flows) / len(flows) / 1e9
+        assert mean_gb == pytest.approx(1.0, rel=0.15)
+
+    def test_sizes_positive(self, populated_inventory):
+        generator = TrafficGenerator(populated_inventory, seed=4)
+        assert all(f.size_bytes > 0 for f in generator.flows(50))
+
+
+class TestSingleServiceFallback:
+    def test_inter_service_request_falls_back_to_intra(
+        self, small_fabric, service_catalog
+    ):
+        # Only one service exists: even with p_intra = 0 every flow must
+        # be intra-service.
+        inventory = MachineInventory(small_fabric)
+        web = service_catalog.get("web")
+        servers = inventory.network.servers()
+        for index in range(3):
+            vm = inventory.create_vm(web)
+            inventory.place(vm, servers[index])
+        generator = TrafficGenerator(
+            inventory,
+            TrafficConfig(intra_service_probability=0.0),
+            seed=0,
+        )
+        assert all(flow.intra_service for flow in generator.flows(20))

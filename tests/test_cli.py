@@ -1,0 +1,78 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for exp_id in ("fig1", "fig4", "fig8", "e9", "e10", "e11", "e12"):
+            assert exp_id in output
+
+
+class TestRun:
+    def test_run_fig4(self, capsys):
+        assert main(["run", "fig4"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 4 — worked example" in output
+        assert "ops-0,ops-2" in output
+
+    def test_run_fig8(self, capsys):
+        assert main(["run", "fig8"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 8 — worked example" in output
+        assert "nat->firewall->dpi" in output
+
+    def test_export_dir(self, capsys, tmp_path):
+        target = tmp_path / "results"
+        assert main(["run", "e11", "--export-dir", str(target)]) == 0
+        exports = list(target.glob("e11-*.csv"))
+        assert len(exports) == 1
+        content = exports[0].read_text()
+        assert content.startswith("servers,")
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "fig3", "e10"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 3" in output
+        assert "E10" in output
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_mixed_known_unknown_rejected_before_running(self, capsys):
+        assert main(["run", "fig4", "bogus"]) == 2
+        captured = capsys.readouterr()
+        assert "bogus" in captured.err
+        # Nothing ran.
+        assert "Fig. 4" not in captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        output = capsys.readouterr().out
+        assert "# AL-VC reproduction report" in output
+        assert "fig4" in output
+        assert "| --- |" in output
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "REPORT.md"
+        assert main(["report", str(target)]) == 0
+        text = target.read_text()
+        assert "fig8" in text
+        assert "worked example" in text.lower()

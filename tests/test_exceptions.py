@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            exc.TopologyError,
+            exc.UnknownEntityError,
+            exc.DuplicateEntityError,
+            exc.InsufficientResourcesError,
+            exc.CoverInfeasibleError,
+            exc.PlacementError,
+            exc.ChainValidationError,
+            exc.SlicingError,
+            exc.LifecycleError,
+            exc.SimulationError,
+            exc.RoutingError,
+        ],
+    )
+    def test_all_derive_from_alvc_error(self, subclass):
+        assert issubclass(subclass, exc.ALVCError)
+
+    def test_cover_infeasible_is_resource_exhaustion(self):
+        assert issubclass(
+            exc.CoverInfeasibleError, exc.InsufficientResourcesError
+        )
+
+
+class TestMessages:
+    def test_unknown_entity_message(self):
+        error = exc.UnknownEntityError("server", "server-9")
+        assert "server" in str(error)
+        assert "server-9" in str(error)
+        assert error.kind == "server"
+        assert error.entity_id == "server-9"
+
+    def test_duplicate_entity_message(self):
+        error = exc.DuplicateEntityError("vm", "vm-1")
+        assert "duplicate" in str(error)
+        assert error.entity_id == "vm-1"
+
+    def test_cover_infeasible_lists_sample(self):
+        error = exc.CoverInfeasibleError(frozenset({"vm-1", "vm-2"}))
+        assert "2 element(s)" in str(error)
+        assert error.uncovered == frozenset({"vm-1", "vm-2"})
+
+    def test_cover_infeasible_sample_truncated(self):
+        many = frozenset(f"vm-{i}" for i in range(20))
+        error = exc.CoverInfeasibleError(many)
+        # Sample caps at 5 ids to keep the message readable.
+        listed = str(error).split("sample: ")[1]
+        assert listed.count("vm-") == 5

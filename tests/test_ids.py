@@ -1,0 +1,80 @@
+"""Tests for typed id helpers."""
+
+import pytest
+
+from repro import ids
+
+
+class TestIdFactories:
+    def test_server_id_shape(self):
+        assert ids.server_id(3) == "server-3"
+
+    def test_tor_id_shape(self):
+        assert ids.tor_id(0) == "tor-0"
+
+    def test_ops_id_shape(self):
+        assert ids.ops_id(12) == "ops-12"
+
+    def test_vm_id_shape(self):
+        assert ids.vm_id(7) == "vm-7"
+
+    def test_cluster_id_uses_name(self):
+        assert ids.cluster_id("web") == "cluster-web"
+
+    def test_vnf_chain_slice_flow_ids(self):
+        assert ids.vnf_id(1) == "vnf-1"
+        assert ids.chain_id(2) == "chain-2"
+        assert ids.slice_id(3) == "slice-3"
+        assert ids.flow_id(4) == "flow-4"
+
+
+class TestIndexOf:
+    def test_roundtrip(self):
+        assert ids.index_of(ids.server_id(42)) == 42
+
+    def test_large_index(self):
+        assert ids.index_of(ids.vm_id(123456)) == 123456
+
+    def test_no_index_raises(self):
+        with pytest.raises(ValueError):
+            ids.index_of("not-an-indexed-id")
+
+    def test_plain_word_raises(self):
+        with pytest.raises(ValueError):
+            ids.index_of("server")
+
+
+class TestKindPrefix:
+    def test_simple(self):
+        assert ids.kind_prefix("server-3") == "server"
+
+    def test_hyphenated_name(self):
+        assert ids.kind_prefix("cluster-map-reduce") == "cluster-map"
+
+    def test_no_separator(self):
+        assert ids.kind_prefix("standalone") == "standalone"
+
+
+class TestIdAllocator:
+    def test_monotonic_per_factory(self):
+        allocator = ids.IdAllocator()
+        assert allocator.allocate(ids.vm_id) == "vm-0"
+        assert allocator.allocate(ids.vm_id) == "vm-1"
+
+    def test_factories_independent(self):
+        allocator = ids.IdAllocator()
+        allocator.allocate(ids.vm_id)
+        assert allocator.allocate(ids.vnf_id) == "vnf-0"
+
+    def test_reserve_batch(self):
+        allocator = ids.IdAllocator()
+        batch = allocator.reserve(ids.flow_id, 3)
+        assert batch == ["flow-0", "flow-1", "flow-2"]
+        assert allocator.allocate(ids.flow_id) == "flow-3"
+
+
+class TestNodeKind:
+    def test_values(self):
+        assert ids.NodeKind.SERVER.value == "server"
+        assert ids.NodeKind.TOR.value == "tor"
+        assert ids.NodeKind.OPS.value == "ops"

@@ -1,0 +1,164 @@
+"""Tests for TopologyBuilder."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.builder import TopologyBuilder
+from repro.topology.elements import ResourceVector
+
+
+class TestOpticalCore:
+    def test_count_must_be_positive(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder().add_optical_core(0)
+
+    def test_all_optoelectronic_by_default(self):
+        builder = TopologyBuilder()
+        builder.add_optical_core(3)
+        builder.add_rack(servers=1, uplinks=["ops-0"])
+        dcn = builder.build()
+        assert len(dcn.optoelectronic_routers()) == 3
+
+    def test_optoelectronic_every_two(self):
+        builder = TopologyBuilder()
+        builder.add_optical_core(4, optoelectronic_every=2)
+        builder.add_rack(servers=1, uplinks=["ops-0"])
+        dcn = builder.build()
+        assert dcn.optoelectronic_routers() == ["ops-0", "ops-2"]
+
+    def test_optoelectronic_none(self):
+        builder = TopologyBuilder()
+        builder.add_optical_core(3, optoelectronic_every=0)
+        builder.add_rack(servers=1, uplinks=["ops-0"])
+        dcn = builder.build()
+        assert dcn.optoelectronic_routers() == []
+
+    def test_full_mesh_interconnect(self):
+        builder = TopologyBuilder()
+        switches = builder.add_optical_core(4, interconnect="full_mesh")
+        builder.add_rack(servers=1, uplinks=[switches[0]])
+        dcn = builder.build()
+        core = dcn.optical_core()
+        assert core.number_of_edges() == 6  # C(4, 2)
+
+    def test_ring_interconnect(self):
+        builder = TopologyBuilder()
+        switches = builder.add_optical_core(5, interconnect="ring")
+        builder.add_rack(servers=1, uplinks=[switches[0]])
+        dcn = builder.build()
+        core = dcn.optical_core()
+        assert core.number_of_edges() == 5
+        assert all(core.degree(node) == 2 for node in core)
+
+    def test_ring_needs_three_switches(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder().add_optical_core(2, interconnect="ring")
+
+    def test_torus_interconnect(self):
+        builder = TopologyBuilder()
+        switches = builder.add_optical_core(9, interconnect="torus")
+        builder.add_rack(servers=1, uplinks=[switches[0]])
+        dcn = builder.build()
+        core = dcn.optical_core()
+        # 2D torus: every node has degree 4 (wrap-around), 2*n edges...
+        # for a 3x3 torus, rows and columns wrap with 3 nodes: degree 4.
+        assert all(core.degree(node) == 4 for node in core)
+
+    def test_torus_requires_square_count(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder().add_optical_core(6, interconnect="torus")
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder().add_optical_core(4, interconnect="dragonfly")
+
+
+class TestRacks:
+    def test_rack_needs_servers(self):
+        builder = TopologyBuilder()
+        core = builder.add_optical_core(1)
+        with pytest.raises(TopologyError):
+            builder.add_rack(servers=0, uplinks=core)
+
+    def test_rack_needs_uplinks(self):
+        builder = TopologyBuilder()
+        builder.add_optical_core(1)
+        with pytest.raises(TopologyError):
+            builder.add_rack(servers=2, uplinks=[])
+
+    def test_rack_returns_tor_and_servers(self):
+        builder = TopologyBuilder()
+        core = builder.add_optical_core(2)
+        tor, servers = builder.add_rack(servers=3, uplinks=core)
+        dcn = builder.build()
+        assert dcn.servers_under(tor) == sorted(servers)
+        assert dcn.ops_of_tor(tor) == ["ops-0", "ops-1"]
+
+    def test_rack_index_assigned_to_specs(self):
+        builder = TopologyBuilder()
+        core = builder.add_optical_core(1)
+        builder.add_rack(servers=1, uplinks=core)
+        tor, servers = builder.add_rack(servers=1, uplinks=core)
+        dcn = builder.build()
+        assert dcn.spec_of(tor).rack == 1
+        assert dcn.spec_of(servers[0]).rack == 1
+
+    def test_extra_tors_dual_home_servers(self):
+        builder = TopologyBuilder()
+        core = builder.add_optical_core(1)
+        first_tor, _ = builder.add_rack(servers=1, uplinks=core)
+        _, servers = builder.add_rack(
+            servers=2, uplinks=core, extra_tors=[first_tor]
+        )
+        dcn = builder.build()
+        for server in servers:
+            assert len(dcn.tors_of_server(server)) == 2
+
+    def test_custom_server_capacity(self):
+        builder = TopologyBuilder()
+        core = builder.add_optical_core(1)
+        capacity = ResourceVector(cpu_cores=4, memory_gb=8, storage_gb=100)
+        _, servers = builder.add_rack(
+            servers=1, uplinks=core, server_capacity=capacity
+        )
+        dcn = builder.build()
+        assert dcn.spec_of(servers[0]).capacity == capacity
+
+
+class TestBuildOnce:
+    def test_build_twice_rejected(self):
+        builder = TopologyBuilder()
+        builder.add_optical_core(1)
+        builder.add_rack(servers=1, uplinks=["ops-0"])
+        builder.build()
+        with pytest.raises(TopologyError):
+            builder.build()
+
+
+class TestHypercube:
+    def test_hypercube_degrees(self):
+        builder = TopologyBuilder()
+        switches = builder.add_optical_core(8, interconnect="hypercube")
+        builder.add_rack(servers=1, uplinks=[switches[0]])
+        dcn = builder.build()
+        core = dcn.optical_core()
+        # 3-cube: every node has degree 3, 12 edges.
+        assert all(core.degree(node) == 3 for node in core)
+        assert core.number_of_edges() == 12
+
+    def test_hypercube_connected(self):
+        import networkx as nx
+
+        builder = TopologyBuilder()
+        switches = builder.add_optical_core(16, interconnect="hypercube")
+        builder.add_rack(servers=1, uplinks=[switches[0]])
+        core = builder.build().optical_core()
+        assert nx.is_connected(core)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder().add_optical_core(6, interconnect="hypercube")
+
+    def test_single_switch_rejected(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder().add_optical_core(1, interconnect="hypercube")

@@ -1,0 +1,181 @@
+"""Tests for the DataCenterNetwork graph wrapper."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateEntityError,
+    TopologyError,
+    UnknownEntityError,
+)
+from repro.ids import NodeKind
+from repro.topology.datacenter import DataCenterNetwork
+from repro.topology.elements import (
+    Domain,
+    LinkSpec,
+    OpticalSwitchSpec,
+    ResourceVector,
+    ServerSpec,
+    TorSpec,
+)
+
+
+@pytest.fixture
+def tiny():
+    """server-0 — tor-0 — ops-0, plus an optoelectronic ops-1."""
+    dcn = DataCenterNetwork("tiny")
+    dcn.add_server(ServerSpec(server_id="server-0"))
+    dcn.add_tor(TorSpec(tor_id="tor-0"))
+    dcn.add_optical_switch(OpticalSwitchSpec(ops_id="ops-0"))
+    dcn.add_optical_switch(
+        OpticalSwitchSpec(
+            ops_id="ops-1", compute=ResourceVector(cpu_cores=2, memory_gb=4)
+        )
+    )
+    dcn.connect("server-0", "tor-0")
+    dcn.connect("tor-0", "ops-0")
+    dcn.connect("tor-0", "ops-1")
+    return dcn
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self, tiny):
+        with pytest.raises(DuplicateEntityError):
+            tiny.add_server(ServerSpec(server_id="server-0"))
+
+    def test_duplicate_across_kinds_rejected(self, tiny):
+        with pytest.raises(DuplicateEntityError):
+            tiny.add_tor(TorSpec(tor_id="server-0"))
+
+    def test_self_loop_rejected(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.connect("tor-0", "tor-0")
+
+    def test_server_to_server_rejected(self, tiny):
+        tiny.add_server(ServerSpec(server_id="server-1"))
+        with pytest.raises(TopologyError):
+            tiny.connect("server-0", "server-1")
+
+    def test_server_to_ops_rejected(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.connect("server-0", "ops-0")
+
+    def test_connect_unknown_node_raises(self, tiny):
+        with pytest.raises(UnknownEntityError):
+            tiny.connect("server-0", "tor-99")
+
+
+class TestDomainInference:
+    def test_server_tor_link_is_electronic(self, tiny):
+        assert tiny.link_of("server-0", "tor-0").domain is Domain.ELECTRONIC
+
+    def test_tor_ops_link_is_optical(self, tiny):
+        assert tiny.link_of("tor-0", "ops-0").domain is Domain.OPTICAL
+
+    def test_ops_ops_link_is_optical(self, tiny):
+        tiny.connect("ops-0", "ops-1")
+        assert tiny.link_of("ops-0", "ops-1").domain is Domain.OPTICAL
+
+    def test_explicit_link_spec_preserved(self, tiny):
+        tiny.add_server(ServerSpec(server_id="server-1"))
+        custom = LinkSpec(domain=Domain.ELECTRONIC, bandwidth_gbps=40.0)
+        tiny.connect("server-1", "tor-0", link=custom)
+        assert tiny.link_of("server-1", "tor-0").bandwidth_gbps == 40.0
+
+    def test_link_of_missing_edge_raises(self, tiny):
+        with pytest.raises(UnknownEntityError):
+            tiny.link_of("ops-0", "ops-1")
+
+
+class TestQueries:
+    def test_kind_of(self, tiny):
+        assert tiny.kind_of("server-0") is NodeKind.SERVER
+        assert tiny.kind_of("tor-0") is NodeKind.TOR
+        assert tiny.kind_of("ops-0") is NodeKind.OPS
+
+    def test_kind_of_unknown_raises(self, tiny):
+        with pytest.raises(UnknownEntityError):
+            tiny.kind_of("nonexistent")
+
+    def test_spec_of_returns_dataclass(self, tiny):
+        assert tiny.spec_of("server-0").server_id == "server-0"
+
+    def test_servers_sorted(self, tiny):
+        tiny.add_server(ServerSpec(server_id="server-1"))
+        assert tiny.servers() == ["server-0", "server-1"]
+
+    def test_optoelectronic_routers_filters_compute(self, tiny):
+        assert tiny.optoelectronic_routers() == ["ops-1"]
+
+    def test_tors_of_server(self, tiny):
+        assert tiny.tors_of_server("server-0") == ["tor-0"]
+
+    def test_tors_of_server_wrong_kind_raises(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.tors_of_server("tor-0")
+
+    def test_servers_under(self, tiny):
+        assert tiny.servers_under("tor-0") == ["server-0"]
+
+    def test_servers_under_wrong_kind_raises(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.servers_under("ops-0")
+
+    def test_ops_of_tor(self, tiny):
+        assert tiny.ops_of_tor("tor-0") == ["ops-0", "ops-1"]
+
+    def test_tors_of_ops(self, tiny):
+        assert tiny.tors_of_ops("ops-0") == ["tor-0"]
+
+    def test_tors_of_ops_wrong_kind_raises(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.tors_of_ops("tor-0")
+
+    def test_has_node(self, tiny):
+        assert tiny.has_node("server-0")
+        assert not tiny.has_node("server-99")
+
+
+class TestWeights:
+    def test_tor_weight_counts_in_and_out(self, tiny):
+        # 1 server + 2 OPS uplinks.
+        assert tiny.tor_weight("tor-0") == 3
+
+    def test_ops_weight_is_degree(self, tiny):
+        assert tiny.ops_weight("ops-0") == 1
+        tiny.connect("ops-0", "ops-1")
+        assert tiny.ops_weight("ops-0") == 2
+
+    def test_paper_example_weights(self, paper_dcn):
+        # Fig. 4: ToR 1 has four incoming and two outgoing connections.
+        weights = {tor: paper_dcn.tor_weight(tor) for tor in paper_dcn.tors()}
+        assert weights == {"tor-0": 6, "tor-1": 5, "tor-2": 4, "tor-3": 3}
+
+
+class TestViews:
+    def test_optical_core_contains_only_ops(self, tiny):
+        core = tiny.optical_core()
+        assert set(core.nodes) == {"ops-0", "ops-1"}
+
+    def test_optical_core_is_a_copy(self, tiny):
+        core = tiny.optical_core()
+        core.add_node("intruder")
+        assert not tiny.has_node("intruder")
+
+    def test_graph_view_is_read_only(self, tiny):
+        with pytest.raises(Exception):
+            tiny.graph.add_node("intruder")
+
+    def test_summary_counts(self, tiny):
+        summary = tiny.summary()
+        assert summary["servers"] == 1
+        assert summary["tors"] == 1
+        assert summary["optical_switches"] == 2
+        assert summary["optoelectronic_routers"] == 1
+        assert summary["links"] == 3
+        assert summary["optical_links"] == 2
+        assert summary["electronic_links"] == 1
+
+    def test_edges_yield_linkspecs(self, tiny):
+        edges = list(tiny.edges())
+        assert len(edges) == 3
+        assert all(isinstance(link, LinkSpec) for _, _, link in edges)

@@ -1,0 +1,160 @@
+"""Tests for multi-DC federation."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.federation import (
+    InterDcLink,
+    federate,
+    site_node,
+    site_of,
+)
+from repro.topology.generators import build_alvc_fabric
+from repro.topology.validation import validate_topology
+
+
+@pytest.fixture
+def two_sites():
+    east = build_alvc_fabric(n_racks=3, servers_per_rack=2, n_ops=3, seed=1)
+    west = build_alvc_fabric(n_racks=2, servers_per_rack=2, n_ops=2, seed=2)
+    return {"east": east, "west": west}
+
+
+@pytest.fixture
+def federation(two_sites):
+    return federate(
+        two_sites,
+        [InterDcLink("east", "ops-0", "west", "ops-0")],
+    )
+
+
+class TestHelpers:
+    def test_site_node_format(self):
+        assert site_node("east", "ops-1") == "east/ops-1"
+
+    def test_site_of_roundtrip(self):
+        assert site_of(site_node("west", "server-3")) == "west"
+
+    def test_site_of_rejects_unprefixed(self):
+        with pytest.raises(TopologyError):
+            site_of("server-3")
+
+
+class TestInterDcLink:
+    def test_same_site_rejected(self):
+        with pytest.raises(TopologyError):
+            InterDcLink("east", "ops-0", "east", "ops-1")
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(TopologyError):
+            InterDcLink("east", "ops-0", "west", "ops-0", bandwidth_gbps=0)
+
+
+class TestFederate:
+    def test_node_census_is_union(self, two_sites, federation):
+        expected = sum(
+            site.graph.number_of_nodes() for site in two_sites.values()
+        )
+        assert federation.graph.number_of_nodes() == expected
+
+    def test_links_preserved_plus_inter_dc(self, two_sites, federation):
+        intra = sum(
+            site.graph.number_of_edges() for site in two_sites.values()
+        )
+        assert federation.graph.number_of_edges() == intra + 1
+
+    def test_validates(self, federation):
+        assert validate_topology(federation).ok
+
+    def test_inter_dc_link_is_optical(self, federation):
+        link = federation.link_of("east/ops-0", "west/ops-0")
+        assert link.bandwidth_gbps == 100.0
+
+    def test_specs_renamed(self, federation):
+        spec = federation.spec_of("east/server-0")
+        assert spec.server_id == "east/server-0"
+
+    def test_queries_work_across_namespace(self, two_sites, federation):
+        expected = [
+            site_node("west", tor)
+            for tor in two_sites["west"].tors_of_server("server-0")
+        ]
+        assert federation.tors_of_server("west/server-0") == expected
+
+    def test_disconnected_federation_rejected(self, two_sites):
+        with pytest.raises(TopologyError, match="disconnected"):
+            federate(two_sites, [])
+
+    def test_unknown_site_rejected(self, two_sites):
+        with pytest.raises(TopologyError):
+            federate(
+                two_sites,
+                [InterDcLink("east", "ops-0", "mars", "ops-0")],
+            )
+
+    def test_unknown_endpoint_rejected(self, two_sites):
+        with pytest.raises(TopologyError):
+            federate(
+                two_sites,
+                [InterDcLink("east", "ops-99", "west", "ops-0")],
+            )
+
+    def test_non_ops_endpoint_rejected(self, two_sites):
+        with pytest.raises(TopologyError):
+            federate(
+                two_sites,
+                [InterDcLink("east", "tor-0", "west", "ops-0")],
+            )
+
+    def test_bad_site_name_rejected(self, two_sites):
+        renamed = {"ea/st": two_sites["east"]}
+        with pytest.raises(TopologyError):
+            federate(renamed, [])
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(TopologyError):
+            federate({}, [])
+
+    def test_single_site_needs_no_links(self, two_sites):
+        merged = federate({"east": two_sites["east"]}, [])
+        assert validate_topology(merged).ok
+
+
+class TestCrossSiteClustering:
+    def test_cluster_spanning_sites(self, federation):
+        """A service spread over both sites gets one AL across the
+        federation's optical cores — the distributed architecture of
+        the paper's Section IV.B."""
+        from repro.core.abstraction_layer import AlConstructor
+        from repro.virtualization.machines import MachineInventory
+        from repro.virtualization.services import ServiceCatalog
+        from repro.sdn.routing import shortest_path_in_al
+
+        inventory = MachineInventory(federation)
+        web = ServiceCatalog.standard().get("web")
+        east_vm = inventory.create_vm(web)
+        west_vm = inventory.create_vm(web)
+        inventory.place(east_vm, "east/server-0")
+        inventory.place(west_vm, "west/server-0")
+
+        constructor = AlConstructor(federation)
+        layer = constructor.construct(
+            "cluster-geo",
+            {
+                east_vm.vm_id: inventory.tors_of_vm(east_vm.vm_id),
+                west_vm.vm_id: inventory.tors_of_vm(west_vm.vm_id),
+            },
+        )
+        sites_in_al = {node.split("/")[0] for node in layer.ops_ids}
+        assert sites_in_al == {"east", "west"}
+        # The AL must actually connect the two VMs (via the inter-DC
+        # link) for intra-cluster routing to stay inside the slice.
+        al_with_bridge = set(layer.ops_ids)
+        path = shortest_path_in_al(
+            federation,
+            "east/server-0",
+            "west/server-0",
+            al_with_bridge | {"east/ops-0", "west/ops-0"},
+        )
+        assert path[0] == "east/server-0"
+        assert path[-1] == "west/server-0"

@@ -1,0 +1,194 @@
+"""Tests for topology generators, including the Fig. 4 fixture."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.generators import (
+    build_alvc_fabric,
+    build_fat_tree,
+    build_leaf_spine,
+    paper_example_topology,
+)
+from repro.topology.validation import validate_topology
+
+
+class TestPaperExample:
+    def test_census(self, paper_dcn):
+        summary = paper_dcn.summary()
+        assert summary["servers"] == 6
+        assert summary["tors"] == 4
+        assert summary["optical_switches"] == 4
+
+    def test_validates(self, paper_dcn):
+        assert validate_topology(paper_dcn).ok
+
+    def test_tor0_has_four_incoming_two_outgoing(self, paper_dcn):
+        # The figure's "ToR 1": four machines, two OPS uplinks.
+        assert len(paper_dcn.servers_under("tor-0")) == 4
+        assert len(paper_dcn.ops_of_tor("tor-0")) == 2
+
+    def test_tor1_machines_subset_of_tor0(self, paper_dcn):
+        # "machines against this switch are already connected by ToR 1".
+        tor1_machines = set(paper_dcn.servers_under("tor-1"))
+        tor0_machines = set(paper_dcn.servers_under("tor-0"))
+        assert tor1_machines <= tor0_machines
+
+    def test_tor2_covers_the_rest(self, paper_dcn):
+        covered = set(paper_dcn.servers_under("tor-0")) | set(
+            paper_dcn.servers_under("tor-2")
+        )
+        assert covered == set(paper_dcn.servers())
+
+    def test_weights_strictly_decreasing(self, paper_dcn):
+        weights = [paper_dcn.tor_weight(tor) for tor in paper_dcn.tors()]
+        assert weights == sorted(weights, reverse=True)
+        assert len(set(weights)) == len(weights)
+
+    def test_all_switches_optoelectronic(self, paper_dcn):
+        assert (
+            paper_dcn.optoelectronic_routers()
+            == paper_dcn.optical_switches()
+        )
+
+    def test_deterministic(self):
+        first = paper_example_topology()
+        second = paper_example_topology()
+        assert first.summary() == second.summary()
+        assert set(first.graph.edges) == set(second.graph.edges)
+
+
+class TestAlvcFabric:
+    def test_dimensions(self):
+        dcn = build_alvc_fabric(
+            n_racks=5, servers_per_rack=3, n_ops=4, seed=0
+        )
+        summary = dcn.summary()
+        assert summary["servers"] == 15
+        assert summary["tors"] == 5
+        assert summary["optical_switches"] == 4
+
+    def test_validates(self):
+        dcn = build_alvc_fabric(n_racks=6, servers_per_rack=4, n_ops=3, seed=1)
+        assert validate_topology(dcn).ok
+
+    def test_deterministic_per_seed(self):
+        first = build_alvc_fabric(n_racks=4, servers_per_rack=4, n_ops=4, seed=5)
+        second = build_alvc_fabric(n_racks=4, servers_per_rack=4, n_ops=4, seed=5)
+        assert set(first.graph.edges) == set(second.graph.edges)
+
+    def test_different_seeds_differ(self):
+        first = build_alvc_fabric(
+            n_racks=8, servers_per_rack=4, n_ops=6, seed=1,
+            dual_homing_fraction=0.5,
+        )
+        second = build_alvc_fabric(
+            n_racks=8, servers_per_rack=4, n_ops=6, seed=2,
+            dual_homing_fraction=0.5,
+        )
+        assert set(first.graph.edges) != set(second.graph.edges)
+
+    def test_every_tor_has_uplinks(self):
+        dcn = build_alvc_fabric(
+            n_racks=4, servers_per_rack=2, n_ops=4, tor_uplinks=3, seed=0
+        )
+        for tor in dcn.tors():
+            assert len(dcn.ops_of_tor(tor)) == 3
+
+    def test_uplinks_clamped_to_core_size(self):
+        dcn = build_alvc_fabric(
+            n_racks=2, servers_per_rack=2, n_ops=2, tor_uplinks=10, seed=0
+        )
+        for tor in dcn.tors():
+            assert len(dcn.ops_of_tor(tor)) == 2
+
+    def test_dual_homing_creates_multi_tor_servers(self):
+        dcn = build_alvc_fabric(
+            n_racks=6,
+            servers_per_rack=8,
+            n_ops=4,
+            dual_homing_fraction=1.0,
+            seed=0,
+        )
+        assert all(
+            len(dcn.tors_of_server(server)) == 2 for server in dcn.servers()
+        )
+
+    def test_no_dual_homing_when_zero(self):
+        dcn = build_alvc_fabric(
+            n_racks=6,
+            servers_per_rack=8,
+            n_ops=4,
+            dual_homing_fraction=0.0,
+            seed=0,
+        )
+        assert all(
+            len(dcn.tors_of_server(server)) == 1 for server in dcn.servers()
+        )
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(TopologyError):
+            build_alvc_fabric(n_racks=0, servers_per_rack=1, n_ops=1)
+
+    def test_invalid_dual_homing_rejected(self):
+        with pytest.raises(TopologyError):
+            build_alvc_fabric(dual_homing_fraction=1.5)
+
+    def test_core_layout_ring(self):
+        dcn = build_alvc_fabric(
+            n_racks=2, servers_per_rack=2, n_ops=4, core_layout="ring", seed=0
+        )
+        core = dcn.optical_core()
+        assert core.number_of_edges() == 4
+
+    def test_optoelectronic_every(self):
+        dcn = build_alvc_fabric(
+            n_racks=2,
+            servers_per_rack=2,
+            n_ops=4,
+            optoelectronic_every=2,
+            seed=0,
+        )
+        assert len(dcn.optoelectronic_routers()) == 2
+
+
+class TestLeafSpine:
+    def test_full_bipartite_uplinks(self):
+        dcn = build_leaf_spine(n_leaf=3, n_spine=2, servers_per_leaf=4)
+        for tor in dcn.tors():
+            assert len(dcn.ops_of_tor(tor)) == 2
+
+    def test_validates(self):
+        assert validate_topology(build_leaf_spine()).ok
+
+
+class TestFatTree:
+    def test_server_count(self):
+        tree = build_fat_tree(4)
+        servers = [n for n, l in tree.nodes(data="layer") if l == "server"]
+        assert len(servers) == 16  # k^3/4
+
+    def test_layer_census(self):
+        tree = build_fat_tree(4)
+        layers = {}
+        for _, layer in tree.nodes(data="layer"):
+            layers[layer] = layers.get(layer, 0) + 1
+        assert layers == {"core": 4, "agg": 8, "edge": 8, "server": 16}
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(TopologyError):
+            build_fat_tree(3)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(TopologyError):
+            build_fat_tree(0)
+
+    def test_connected(self):
+        import networkx as nx
+
+        assert nx.is_connected(build_fat_tree(4))
+
+    def test_server_degree_is_one(self):
+        tree = build_fat_tree(4)
+        for node, layer in tree.nodes(data="layer"):
+            if layer == "server":
+                assert tree.degree(node) == 1

@@ -1,0 +1,87 @@
+"""Tests for topology serialization."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_json,
+    topology_to_json,
+)
+
+
+def _same_fabric(left, right) -> bool:
+    if left.summary() != right.summary():
+        return False
+    if set(left.graph.nodes) != set(right.graph.nodes):
+        return False
+    left_edges = {
+        (tuple(sorted((a, b))), link.domain, link.bandwidth_gbps)
+        for a, b, link in left.edges()
+    }
+    right_edges = {
+        (tuple(sorted((a, b))), link.domain, link.bandwidth_gbps)
+        for a, b, link in right.edges()
+    }
+    if left_edges != right_edges:
+        return False
+    return all(
+        left.spec_of(node) == right.spec_of(node)
+        for node in left.graph.nodes
+    )
+
+
+class TestRoundTrip:
+    def test_paper_example(self, paper_dcn):
+        restored = topology_from_json(topology_to_json(paper_dcn))
+        assert _same_fabric(paper_dcn, restored)
+
+    def test_generated_fabric(self, medium_fabric):
+        restored = topology_from_json(topology_to_json(medium_fabric))
+        assert _same_fabric(medium_fabric, restored)
+
+    def test_file_round_trip(self, small_fabric, tmp_path):
+        path = save_topology(small_fabric, tmp_path / "fabric.json")
+        assert _same_fabric(small_fabric, load_topology(path))
+
+    def test_restored_fabric_is_usable(self, paper_dcn):
+        from repro.core.abstraction_layer import AlConstructor
+
+        restored = topology_from_json(topology_to_json(paper_dcn))
+        layer = AlConstructor(restored).construct_for_servers(
+            "cluster-x", restored.servers()
+        )
+        assert sorted(layer.ops_ids) == ["ops-0", "ops-2"]
+
+    def test_name_preserved(self, paper_dcn):
+        restored = topology_from_json(topology_to_json(paper_dcn))
+        assert restored.name == paper_dcn.name
+
+
+class TestErrors:
+    def test_malformed_json(self):
+        with pytest.raises(TopologyError):
+            topology_from_json("not json")
+
+    def test_wrong_version(self):
+        with pytest.raises(TopologyError):
+            topology_from_json('{"version": 99}')
+
+    def test_non_object(self):
+        with pytest.raises(TopologyError):
+            topology_from_json("[]")
+
+    def test_missing_fields(self):
+        with pytest.raises(TopologyError):
+            topology_from_json(
+                '{"version": 1, "servers": [{"server_id": "server-0"}]}'
+            )
+
+    def test_invalid_link_domain(self, paper_dcn):
+        import json
+
+        payload = json.loads(topology_to_json(paper_dcn))
+        payload["links"][0]["domain"] = "quantum"
+        with pytest.raises(TopologyError):
+            topology_from_json(json.dumps(payload))

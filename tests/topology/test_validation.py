@@ -1,0 +1,86 @@
+"""Tests for topology structural validation."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.datacenter import DataCenterNetwork
+from repro.topology.elements import OpticalSwitchSpec, ServerSpec, TorSpec
+from repro.topology.validation import validate_topology
+
+
+def _valid_fabric() -> DataCenterNetwork:
+    dcn = DataCenterNetwork()
+    dcn.add_server(ServerSpec(server_id="server-0"))
+    dcn.add_tor(TorSpec(tor_id="tor-0"))
+    dcn.add_optical_switch(OpticalSwitchSpec(ops_id="ops-0"))
+    dcn.connect("server-0", "tor-0")
+    dcn.connect("tor-0", "ops-0")
+    return dcn
+
+
+class TestValidFabric:
+    def test_valid_fabric_passes(self):
+        report = validate_topology(_valid_fabric())
+        assert report.ok
+        assert report.problems == ()
+
+    def test_raise_if_invalid_noop_when_valid(self):
+        validate_topology(_valid_fabric()).raise_if_invalid()
+
+    def test_generated_fabrics_pass(self, small_fabric, medium_fabric):
+        assert validate_topology(small_fabric).ok
+        assert validate_topology(medium_fabric).ok
+
+
+class TestInvalidFabrics:
+    def test_orphan_server_detected(self):
+        dcn = _valid_fabric()
+        dcn.add_server(ServerSpec(server_id="server-1"))
+        report = validate_topology(dcn)
+        assert not report.ok
+        assert any("server-1" in problem for problem in report.problems)
+
+    def test_tor_without_servers_detected(self):
+        dcn = _valid_fabric()
+        dcn.add_tor(TorSpec(tor_id="tor-1"))
+        dcn.connect("tor-1", "ops-0")
+        report = validate_topology(dcn)
+        assert any("tor-1 has no servers" in p for p in report.problems)
+
+    def test_tor_without_uplink_detected(self):
+        dcn = DataCenterNetwork()
+        dcn.add_server(ServerSpec(server_id="server-0"))
+        dcn.add_tor(TorSpec(tor_id="tor-0"))
+        dcn.connect("server-0", "tor-0")
+        report = validate_topology(dcn)
+        assert any("no OPS uplink" in p for p in report.problems)
+
+    def test_isolated_ops_detected(self):
+        dcn = _valid_fabric()
+        dcn.add_optical_switch(OpticalSwitchSpec(ops_id="ops-9"))
+        report = validate_topology(dcn)
+        assert any("ops-9 is isolated" in p for p in report.problems)
+
+    def test_disconnected_fabric_detected(self):
+        dcn = _valid_fabric()
+        # Second island.
+        dcn.add_server(ServerSpec(server_id="server-1"))
+        dcn.add_tor(TorSpec(tor_id="tor-1"))
+        dcn.add_optical_switch(OpticalSwitchSpec(ops_id="ops-1"))
+        dcn.connect("server-1", "tor-1")
+        dcn.connect("tor-1", "ops-1")
+        report = validate_topology(dcn)
+        assert any("disconnected" in p for p in report.problems)
+
+    def test_raise_if_invalid_raises(self):
+        dcn = _valid_fabric()
+        dcn.add_server(ServerSpec(server_id="server-1"))
+        with pytest.raises(TopologyError, match="invalid topology"):
+            validate_topology(dcn).raise_if_invalid()
+
+    def test_multiple_problems_accumulate(self):
+        dcn = _valid_fabric()
+        dcn.add_server(ServerSpec(server_id="server-1"))
+        dcn.add_optical_switch(OpticalSwitchSpec(ops_id="ops-9"))
+        report = validate_topology(dcn)
+        assert len(report.problems) >= 2

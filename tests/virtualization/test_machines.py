@@ -1,0 +1,223 @@
+"""Tests for the VM inventory: lifecycle, capacity, queries."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateEntityError,
+    PlacementError,
+    UnknownEntityError,
+)
+from repro.topology.elements import ResourceVector
+from repro.virtualization.machines import MachineInventory, VirtualMachine
+
+
+@pytest.fixture
+def web(service_catalog):
+    return service_catalog.get("web")
+
+
+class TestCreation:
+    def test_create_vm_ids_monotonic(self, inventory, web):
+        first = inventory.create_vm(web)
+        second = inventory.create_vm(web)
+        assert first.vm_id == "vm-0"
+        assert second.vm_id == "vm-1"
+
+    def test_create_vm_uses_service_demand(self, inventory, web):
+        vm = inventory.create_vm(web)
+        assert vm.demand == web.vm_demand
+
+    def test_create_vm_custom_demand(self, inventory, web):
+        demand = ResourceVector(cpu_cores=1)
+        assert inventory.create_vm(web, demand).demand == demand
+
+    def test_register_external_vm(self, inventory):
+        vm = VirtualMachine(
+            vm_id="vm-custom", service="web", demand=ResourceVector(1, 1, 1)
+        )
+        inventory.register_vm(vm)
+        assert inventory.get("vm-custom") is vm
+
+    def test_register_duplicate_rejected(self, inventory, web):
+        vm = inventory.create_vm(web)
+        with pytest.raises(DuplicateEntityError):
+            inventory.register_vm(vm)
+
+    def test_len_counts_vms(self, inventory, web):
+        inventory.create_vm(web)
+        inventory.create_vm(web)
+        assert len(inventory) == 2
+
+    def test_contains(self, inventory, web):
+        vm = inventory.create_vm(web)
+        assert vm.vm_id in inventory
+        assert "vm-99" not in inventory
+
+
+class TestPlacement:
+    def test_place_and_host_of(self, inventory, web):
+        vm = inventory.create_vm(web)
+        server = inventory.network.servers()[0]
+        inventory.place(vm, server)
+        assert inventory.host_of(vm.vm_id) == server
+
+    def test_place_accepts_vm_or_id(self, inventory, web):
+        vm = inventory.create_vm(web)
+        server = inventory.network.servers()[0]
+        inventory.place(vm.vm_id, server)
+        assert inventory.is_placed(vm.vm_id)
+
+    def test_place_twice_rejected(self, inventory, web):
+        vm = inventory.create_vm(web)
+        servers = inventory.network.servers()
+        inventory.place(vm, servers[0])
+        with pytest.raises(PlacementError):
+            inventory.place(vm, servers[1])
+
+    def test_place_on_unknown_server_rejected(self, inventory, web):
+        vm = inventory.create_vm(web)
+        with pytest.raises(UnknownEntityError):
+            inventory.place(vm, "server-999")
+
+    def test_capacity_enforced(self, inventory, web):
+        server = inventory.network.servers()[0]
+        capacity = inventory.network.spec_of(server).capacity
+        big = inventory.create_vm(
+            web, ResourceVector(cpu_cores=capacity.cpu_cores + 1)
+        )
+        with pytest.raises(PlacementError):
+            inventory.place(big, server)
+
+    def test_capacity_accumulates(self, inventory, web):
+        server = inventory.network.servers()[0]
+        capacity = inventory.network.spec_of(server).capacity
+        half = ResourceVector(cpu_cores=capacity.cpu_cores / 2 + 1)
+        inventory.place(inventory.create_vm(web, half), server)
+        with pytest.raises(PlacementError):
+            inventory.place(inventory.create_vm(web, half), server)
+
+    def test_host_of_unplaced_raises(self, inventory, web):
+        vm = inventory.create_vm(web)
+        with pytest.raises(PlacementError):
+            inventory.host_of(vm.vm_id)
+
+    def test_host_of_unknown_raises(self, inventory):
+        with pytest.raises(UnknownEntityError):
+            inventory.host_of("vm-999")
+
+
+class TestMigration:
+    def test_migrate_moves_capacity(self, inventory, web):
+        vm = inventory.create_vm(web)
+        servers = inventory.network.servers()
+        inventory.place(vm, servers[0])
+        used_before = inventory.used_capacity(servers[0])
+        old = inventory.migrate(vm, servers[1])
+        assert old == servers[0]
+        assert inventory.host_of(vm.vm_id) == servers[1]
+        assert inventory.used_capacity(servers[0]) == used_before - vm.demand
+        assert inventory.used_capacity(servers[1]) == vm.demand
+
+    def test_migrate_to_same_server_rejected(self, inventory, web):
+        vm = inventory.create_vm(web)
+        server = inventory.network.servers()[0]
+        inventory.place(vm, server)
+        with pytest.raises(PlacementError):
+            inventory.migrate(vm, server)
+
+    def test_migrate_unplaced_rejected(self, inventory, web):
+        vm = inventory.create_vm(web)
+        with pytest.raises(PlacementError):
+            inventory.migrate(vm, inventory.network.servers()[0])
+
+    def test_migrate_capacity_checked_first(self, inventory, web):
+        servers = inventory.network.servers()
+        capacity = inventory.network.spec_of(servers[1]).capacity
+        blocker = inventory.create_vm(web, capacity)
+        inventory.place(blocker, servers[1])
+        vm = inventory.create_vm(web)
+        inventory.place(vm, servers[0])
+        with pytest.raises(PlacementError):
+            inventory.migrate(vm, servers[1])
+        # Original placement untouched after the failed migration.
+        assert inventory.host_of(vm.vm_id) == servers[0]
+
+
+class TestRemoval:
+    def test_remove_releases_capacity(self, inventory, web):
+        vm = inventory.create_vm(web)
+        server = inventory.network.servers()[0]
+        inventory.place(vm, server)
+        inventory.remove(vm)
+        assert inventory.used_capacity(server).is_zero()
+        assert vm.vm_id not in inventory
+
+    def test_remove_unplaced_vm(self, inventory, web):
+        vm = inventory.create_vm(web)
+        inventory.remove(vm)
+        assert vm.vm_id not in inventory
+
+    def test_remove_unknown_raises(self, inventory):
+        with pytest.raises(UnknownEntityError):
+            inventory.remove("vm-999")
+
+
+class TestQueries:
+    def test_vms_on(self, inventory, web):
+        vm = inventory.create_vm(web)
+        server = inventory.network.servers()[0]
+        inventory.place(vm, server)
+        assert [v.vm_id for v in inventory.vms_on(server)] == [vm.vm_id]
+
+    def test_vms_on_unknown_server(self, inventory):
+        with pytest.raises(UnknownEntityError):
+            inventory.vms_on("server-999")
+
+    def test_vms_of_service(self, inventory, service_catalog):
+        inventory.create_vm(service_catalog.get("web"))
+        inventory.create_vm(service_catalog.get("sns"))
+        inventory.create_vm(service_catalog.get("web"))
+        assert len(inventory.vms_of_service("web")) == 2
+        assert len(inventory.vms_of_service("sns")) == 1
+        assert inventory.vms_of_service("nope") == []
+
+    def test_placed_vms_only_placed(self, inventory, web):
+        placed = inventory.create_vm(web)
+        inventory.create_vm(web)  # never placed
+        inventory.place(placed, inventory.network.servers()[0])
+        assert [v.vm_id for v in inventory.placed_vms()] == [placed.vm_id]
+
+    def test_services_present(self, inventory, service_catalog):
+        inventory.create_vm(service_catalog.get("sns"))
+        inventory.create_vm(service_catalog.get("web"))
+        assert inventory.services_present() == ["sns", "web"]
+
+    def test_tors_of_vm_matches_host_server(self, inventory, web):
+        vm = inventory.create_vm(web)
+        server = inventory.network.servers()[0]
+        inventory.place(vm, server)
+        assert inventory.tors_of_vm(vm.vm_id) == (
+            inventory.network.tors_of_server(server)
+        )
+
+    def test_remaining_capacity(self, inventory, web):
+        server = inventory.network.servers()[0]
+        capacity = inventory.network.spec_of(server).capacity
+        vm = inventory.create_vm(web)
+        inventory.place(vm, server)
+        assert inventory.remaining_capacity(server) == capacity - vm.demand
+
+    def test_utilization_by_server(self, inventory, web):
+        server = inventory.network.servers()[0]
+        vm = inventory.create_vm(web)
+        inventory.place(vm, server)
+        utilization = inventory.utilization_by_server()
+        capacity = inventory.network.spec_of(server).capacity
+        assert utilization[server] == pytest.approx(
+            vm.demand.cpu_cores / capacity.cpu_cores
+        )
+        assert all(
+            value == 0.0
+            for name, value in utilization.items()
+            if name != server
+        )

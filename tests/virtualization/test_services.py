@@ -1,0 +1,81 @@
+"""Tests for service types and the catalog."""
+
+import pytest
+
+from repro.exceptions import DuplicateEntityError, UnknownEntityError
+from repro.topology.elements import ResourceVector
+from repro.virtualization.services import (
+    STANDARD_SERVICES,
+    ServiceCatalog,
+    ServiceType,
+)
+
+
+class TestServiceType:
+    def test_paper_services_present(self):
+        # Fig. 1 names web, map-reduce and SNS clusters explicitly.
+        names = {service.name for service in STANDARD_SERVICES}
+        assert {"web", "map-reduce", "sns"} <= names
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceType("")
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceType("x", traffic_intensity=-1)
+
+    def test_default_demand_positive(self):
+        service = ServiceType("x")
+        assert service.vm_demand.cpu_cores > 0
+
+    def test_custom_demand(self):
+        demand = ResourceVector(cpu_cores=1, memory_gb=1, storage_gb=1)
+        assert ServiceType("x", vm_demand=demand).vm_demand == demand
+
+    def test_frozen(self):
+        service = ServiceType("x")
+        with pytest.raises(AttributeError):
+            service.name = "y"
+
+
+class TestServiceCatalog:
+    def test_standard_has_all(self):
+        catalog = ServiceCatalog.standard()
+        assert len(catalog) == len(STANDARD_SERVICES)
+
+    def test_get(self):
+        catalog = ServiceCatalog.standard()
+        assert catalog.get("web").name == "web"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownEntityError):
+            ServiceCatalog().get("nope")
+
+    def test_register_duplicate_rejected(self):
+        catalog = ServiceCatalog.standard()
+        with pytest.raises(DuplicateEntityError):
+            catalog.register(ServiceType("web"))
+
+    def test_register_returns_service(self):
+        catalog = ServiceCatalog()
+        service = ServiceType("custom")
+        assert catalog.register(service) is service
+
+    def test_contains(self):
+        catalog = ServiceCatalog.standard()
+        assert "web" in catalog
+        assert "nope" not in catalog
+
+    def test_names_sorted(self):
+        catalog = ServiceCatalog.standard()
+        assert catalog.names() == sorted(catalog.names())
+
+    def test_all_matches_names(self):
+        catalog = ServiceCatalog.standard()
+        assert [service.name for service in catalog.all()] == catalog.names()
+
+    def test_empty_catalog(self):
+        catalog = ServiceCatalog()
+        assert len(catalog) == 0
+        assert catalog.names() == []

@@ -1,0 +1,130 @@
+"""Tests for VM placement strategies."""
+
+import pytest
+
+from repro.exceptions import PlacementError
+from repro.topology.elements import ResourceVector
+from repro.virtualization.machines import MachineInventory
+from repro.virtualization.vm_placement import (
+    PlacementStrategy,
+    VmPlacementEngine,
+)
+
+
+@pytest.fixture
+def web(service_catalog):
+    return service_catalog.get("web")
+
+
+class TestFirstFit:
+    def test_fills_first_server(self, inventory, web):
+        engine = VmPlacementEngine(inventory, PlacementStrategy.FIRST_FIT)
+        first = inventory.network.servers()[0]
+        for _ in range(3):
+            assert engine.place(inventory.create_vm(web)) == first
+
+    def test_overflows_to_next(self, inventory, web):
+        engine = VmPlacementEngine(inventory, PlacementStrategy.FIRST_FIT)
+        servers = inventory.network.servers()
+        capacity = inventory.network.spec_of(servers[0]).capacity
+        engine.place(inventory.create_vm(web, capacity))
+        assert engine.place(inventory.create_vm(web)) == servers[1]
+
+
+class TestRoundRobin:
+    def test_rotates_servers(self, inventory, web):
+        engine = VmPlacementEngine(inventory, PlacementStrategy.ROUND_ROBIN)
+        servers = inventory.network.servers()
+        chosen = [engine.place(inventory.create_vm(web)) for _ in range(4)]
+        assert chosen == servers[:4]
+
+    def test_wraps_around(self, inventory, web):
+        engine = VmPlacementEngine(inventory, PlacementStrategy.ROUND_ROBIN)
+        total = len(inventory.network.servers())
+        chosen = [
+            engine.place(inventory.create_vm(web)) for _ in range(total + 1)
+        ]
+        assert chosen[0] == chosen[total]
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self, small_fabric, web):
+        runs = []
+        for _ in range(2):
+            inv = MachineInventory(small_fabric)
+            engine = VmPlacementEngine(
+                inv, PlacementStrategy.RANDOM, seed=42
+            )
+            runs.append(
+                [engine.place(inv.create_vm(web)) for _ in range(6)]
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_usually_differ(self, small_fabric, web):
+        outcomes = set()
+        for seed in range(5):
+            inv = MachineInventory(small_fabric)
+            engine = VmPlacementEngine(
+                inv, PlacementStrategy.RANDOM, seed=seed
+            )
+            outcomes.add(
+                tuple(engine.place(inv.create_vm(web)) for _ in range(6))
+            )
+        assert len(outcomes) > 1
+
+
+class TestServiceAffinity:
+    def test_same_service_packs_together(self, inventory, web):
+        engine = VmPlacementEngine(
+            inventory, PlacementStrategy.SERVICE_AFFINITY
+        )
+        chosen = {engine.place(inventory.create_vm(web)) for _ in range(4)}
+        assert len(chosen) == 1
+
+    def test_new_services_go_to_distinct_racks(
+        self, inventory, service_catalog
+    ):
+        engine = VmPlacementEngine(
+            inventory, PlacementStrategy.SERVICE_AFFINITY
+        )
+        racks = {}
+        for name in ("web", "sns", "database"):
+            server = engine.place(
+                inventory.create_vm(service_catalog.get(name))
+            )
+            racks[name] = inventory.network.spec_of(server).rack
+        assert len(set(racks.values())) == 3
+
+    def test_service_stays_on_its_rack(self, inventory, service_catalog):
+        engine = VmPlacementEngine(
+            inventory, PlacementStrategy.SERVICE_AFFINITY
+        )
+        web = service_catalog.get("web")
+        sns = service_catalog.get("sns")
+        web_first = engine.place(inventory.create_vm(web))
+        engine.place(inventory.create_vm(sns))
+        web_second = engine.place(inventory.create_vm(web))
+        rack_of = lambda s: inventory.network.spec_of(s).rack
+        assert rack_of(web_first) == rack_of(web_second)
+
+
+class TestPlaceAll:
+    def test_returns_mapping(self, inventory, web):
+        engine = VmPlacementEngine(inventory)
+        vms = [inventory.create_vm(web) for _ in range(3)]
+        result = engine.place_all(vms)
+        assert set(result) == {vm.vm_id for vm in vms}
+        for vm in vms:
+            assert inventory.host_of(vm.vm_id) == result[vm.vm_id]
+
+
+class TestExhaustion:
+    def test_no_room_raises(self, inventory, web):
+        engine = VmPlacementEngine(inventory, PlacementStrategy.FIRST_FIT)
+        for server in inventory.network.servers():
+            capacity = inventory.network.spec_of(server).capacity
+            inventory.place(inventory.create_vm(web, capacity), server)
+        with pytest.raises(PlacementError):
+            engine.place(
+                inventory.create_vm(web, ResourceVector(cpu_cores=1))
+            )
