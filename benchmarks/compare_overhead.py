@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare two pytest-benchmark JSON files for telemetry overhead.
+
+Usage::
+
+    python benchmarks/compare_overhead.py baseline.json telemetry.json \
+        [--max-overhead 0.05]
+
+Matches benchmarks by fully-qualified name and compares the median
+per-call time.  Exits non-zero when any benchmark in ``telemetry.json``
+is more than ``--max-overhead`` (default 5%) slower than its baseline —
+the regression gate for the zero-cost-when-disabled telemetry contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _medians(path: str) -> dict[str, float]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in data["benchmarks"]
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="benchmark JSON without telemetry")
+    parser.add_argument("candidate", help="benchmark JSON with telemetry")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="allowed slowdown of candidate vs baseline (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _medians(args.baseline)
+    candidate = _medians(args.candidate)
+    shared = sorted(baseline.keys() & candidate.keys())
+    if not shared:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in shared:
+        before = baseline[name]
+        after = candidate[name]
+        overhead = (after - before) / before if before > 0 else 0.0
+        status = "ok"
+        if overhead > args.max_overhead:
+            status = "FAIL"
+            failed = True
+        print(
+            f"{status:<5} {name}: {before * 1e3:.3f} ms -> "
+            f"{after * 1e3:.3f} ms ({overhead:+.1%}, "
+            f"limit {args.max_overhead:+.1%})"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,24 +2,15 @@
 """Multi-tenant NFC orchestration — the paper's Fig. 5-7 scenario.
 
 Three tenants (web, map-reduce, SNS) each get their own virtual cluster,
-optical slice and network function chain; the script then exercises the
-orchestrator's full management surface (upgrade, modify, delete) and
+optical slice and network function chain through the
+:class:`repro.AlvcStack` facade; the script then exercises the
+orchestrator's full management surface (upgrade, modify, teardown) and
 prints the resulting state, slice isolation, and O/E/O accounting.
 
 Run: ``python examples/nfc_orchestration.py``
 """
 
-from repro import (
-    ChainRequest,
-    ConversionModel,
-    FunctionCatalog,
-    MachineInventory,
-    NetworkFunctionChain,
-    NetworkOrchestrator,
-    ServiceCatalog,
-    VmPlacementEngine,
-    build_alvc_fabric,
-)
+from repro import AlvcStack, ConversionModel, NetworkFunctionChain
 from repro.analysis.reporting import render_table
 
 TENANT_CHAINS = (
@@ -30,31 +21,23 @@ TENANT_CHAINS = (
 
 
 def main() -> None:
-    dcn = build_alvc_fabric(n_racks=9, servers_per_rack=6, n_ops=9, seed=3)
-    inventory = MachineInventory(dcn)
-    services = ServiceCatalog.standard()
-    engine = VmPlacementEngine(inventory, seed=3)
+    stack = AlvcStack.build(
+        n_racks=9, servers_per_rack=6, n_ops=9, seed=3
+    )
     for service_name, _, _ in TENANT_CHAINS:
-        for _ in range(8):
-            engine.place(inventory.create_vm(services.get(service_name)))
+        stack.populate(service_name, vms=8)
 
-    orchestrator = NetworkOrchestrator(inventory)
-    functions = FunctionCatalog.standard()
+    orchestrator = stack.orchestrator
     model = ConversionModel()
 
     rows = []
     for service_name, label, names in TENANT_CHAINS:
-        orchestrator.cluster_manager.create_cluster(service_name)
-        chain = NetworkFunctionChain.from_names(
-            f"chain-{label}", names, functions
-        )
-        live = orchestrator.provision_chain(
-            ChainRequest(
-                tenant=f"tenant-{label}",
-                chain=chain,
-                service=service_name,
-                flow_size_gb=2.0,
-            )
+        live = stack.provision(
+            names,
+            service=service_name,
+            tenant=f"tenant-{label}",
+            chain_id=f"chain-{label}",
+            flow_size_gb=2.0,
         )
         rows.append(
             {
@@ -84,14 +67,14 @@ def main() -> None:
         NetworkFunctionChain.from_names(
             "chain-black-v2",
             ("firewall", "load-balancer", "cache"),
-            functions,
+            stack.functions,
         ),
     )
     print("modified chain-black -> chain-black-v2 (added a cache)")
-    orchestrator.delete_chain("chain-green")
-    print("deleted chain-green (slice and VNFs released)")
+    stack.teardown("chain-green")
+    print("tore down chain-green (slice and VNFs released)")
 
-    print("\nlive chains:", [c.chain_id for c in orchestrator.chains()])
+    print("\nlive chains:", [c.chain_id for c in stack.chains()])
     print("orchestration log:", orchestrator.action_log())
     print(
         "lifecycle event census:",

@@ -1,62 +1,53 @@
 #!/usr/bin/env python3
 """Quickstart: build a fabric, cluster a service, orchestrate one chain.
 
-Walks the complete AL-VC pipeline in ~40 lines:
+The :class:`repro.AlvcStack` facade wires the whole AL-VC pipeline —
+fabric generation, VM inventory, service catalog, placement engine,
+cluster manager, orchestrator — behind one object, so the complete
+walkthrough is now:
 
-1. generate a physical fabric (racks of servers + an OPS core);
-2. create and place VMs of one service;
-3. build the service's virtual cluster (abstraction-layer construction);
-4. provision a firewall→NAT chain over it and inspect the result.
+1. ``AlvcStack.build(...)`` — the physical fabric plus every manager;
+2. ``stack.populate(...)`` — create and place VMs of one service;
+3. ``stack.provision(...)`` — cluster the service (AL construction),
+   allocate its optical slice, place and deploy the VNFs, route the
+   chain.
 
 Run: ``python examples/quickstart.py``
 """
 
-from repro import (
-    ChainRequest,
-    FunctionCatalog,
-    MachineInventory,
-    NetworkFunctionChain,
-    NetworkOrchestrator,
-    ServiceCatalog,
-    VmPlacementEngine,
-    build_alvc_fabric,
-    validate_topology,
-)
+from repro import AlvcStack, validate_topology
 
 
 def main() -> None:
-    # 1. Physical fabric: 8 racks x 8 servers behind an 8-switch OPS core.
-    dcn = build_alvc_fabric(n_racks=8, servers_per_rack=8, n_ops=8, seed=1)
-    validate_topology(dcn).raise_if_invalid()
-    print(f"fabric: {dcn.summary()}")
+    # 1. The whole stack over an 8x8 fabric with an 8-switch OPS core.
+    #    telemetry="json" turns on the metrics/tracing sink so we can
+    #    inspect per-stage spans afterwards.
+    stack = AlvcStack.build(
+        n_racks=8, servers_per_rack=8, n_ops=8, seed=1, telemetry="json"
+    )
+    validate_topology(stack.fabric).raise_if_invalid()
+    print(f"fabric: {stack.fabric.summary()}")
 
     # 2. Ten web VMs, placed with service affinity.
-    inventory = MachineInventory(dcn)
-    services = ServiceCatalog.standard()
-    engine = VmPlacementEngine(inventory, seed=1)
-    for _ in range(10):
-        engine.place(inventory.create_vm(services.get("web")))
+    stack.populate("web", vms=10)
 
-    # 3. The web cluster and its abstraction layer.
-    orchestrator = NetworkOrchestrator(inventory)
-    cluster = orchestrator.cluster_manager.create_cluster("web")
+    # 3+4. Provision a firewall -> NAT chain; the facade builds the web
+    #      cluster (abstraction-layer construction) on first use.
+    live = stack.provision(
+        ("firewall", "nat"),
+        service="web",
+        tenant="tenant-0",
+        chain_id="chain-quickstart",
+    )
+    cluster = live.cluster
     print(
         f"cluster {cluster.cluster_id}: {len(cluster.vm_ids)} VMs, "
         f"ToRs {sorted(cluster.tor_switches)}, "
         f"AL {sorted(cluster.al_switches)}"
     )
-
-    # 4. A firewall -> NAT chain for this cluster's application.
-    functions = FunctionCatalog.standard()
-    chain = NetworkFunctionChain.from_names(
-        "chain-quickstart", ("firewall", "nat"), functions
-    )
-    live = orchestrator.provision_chain(
-        ChainRequest(tenant="tenant-0", chain=chain, service="web")
-    )
     print(f"chain path: {' -> '.join(live.path)}")
     for vnf in live.vnf_ids:
-        instance = orchestrator.nfv_manager.instance_of(vnf)
+        instance = stack.orchestrator.nfv_manager.instance_of(vnf)
         print(
             f"  {instance.function.name:<10} on {instance.host} "
             f"({instance.domain.value} domain)"
@@ -65,6 +56,11 @@ def main() -> None:
         f"O/E/O conversions per flow: {live.conversions} "
         f"(saved {live.placement.conversions_saved()} vs all-electronic)"
     )
+
+    # Telemetry: every pipeline stage of the provision was traced.
+    stats = stack.telemetry.tracer.stats()
+    stages = sorted(name for name in stats if name.startswith("provision."))
+    print("traced pipeline stages:", ", ".join(stages))
 
 
 if __name__ == "__main__":

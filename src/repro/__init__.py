@@ -4,30 +4,20 @@ A faithful reproduction of *Bashir, Ohsita, Murata — "Abstraction Layer
 Based Virtual Data Center Architecture for Network Function Chaining",
 IEEE ICDCS Workshops 2016*.
 
-Quickstart::
+Quickstart (the :class:`~repro.stack.AlvcStack` facade wires the whole
+pipeline — fabric, inventory, catalogs, placement engine, orchestrator —
+behind one object)::
 
-    from repro import (
-        build_alvc_fabric, MachineInventory, ServiceCatalog,
-        VmPlacementEngine, NetworkOrchestrator, NetworkFunctionChain,
-        ChainRequest, FunctionCatalog,
-    )
+    from repro import AlvcStack
 
-    dcn = build_alvc_fabric(n_racks=8, servers_per_rack=8, n_ops=8)
-    inventory = MachineInventory(dcn)
-    catalog = ServiceCatalog.standard()
-    engine = VmPlacementEngine(inventory)
-    for _ in range(8):
-        engine.place(inventory.create_vm(catalog.get("web")))
-
-    orchestrator = NetworkOrchestrator(inventory)
-    orchestrator.cluster_manager.create_cluster("web")
-    chain = NetworkFunctionChain.from_names(
-        "chain-0", ("firewall", "nat"), FunctionCatalog.standard()
-    )
-    live = orchestrator.provision_chain(
-        ChainRequest(tenant="t0", chain=chain, service="web")
-    )
+    stack = AlvcStack.build(n_racks=8, servers_per_rack=8, n_ops=8)
+    live = stack.provision(("firewall", "nat"), service="web")
     print(live.conversions, live.placement.conversions_saved())
+
+Add ``telemetry="json"`` to ``build`` to trace every pipeline stage and
+read ``stack.telemetry.to_json()`` afterwards; the long-form API (each
+collaborator wired by hand) remains available and is documented in
+``docs/api_guide.md``.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproductions.
@@ -52,9 +42,16 @@ from repro.core import (
 )
 from repro.exceptions import ALVCError
 from repro.nfv import CloudNfvManager, FunctionCatalog, NetworkFunctionType
+from repro.observability import (
+    Telemetry,
+    configure,
+    current_telemetry,
+    use_telemetry,
+)
 from repro.optical import ConversionModel, count_excursions
 from repro.sdn import SdnController, UpdateCostModel, UpdateEvent, UpdateKind
 from repro.sim import FlowSimulator, TrafficConfig, TrafficGenerator
+from repro.stack import AlvcStack
 from repro.topology import (
     DataCenterNetwork,
     Domain,
@@ -81,6 +78,7 @@ __all__ = [
     "AbstractionLayer",
     "AlConstructionStrategy",
     "AlConstructor",
+    "AlvcStack",
     "ChainPlacement",
     "ChainRequest",
     "CloudNfvManager",
@@ -105,6 +103,7 @@ __all__ = [
     "ServiceCatalog",
     "ServiceType",
     "SliceAllocator",
+    "Telemetry",
     "TopologyBuilder",
     "TrafficConfig",
     "TrafficGenerator",
@@ -116,8 +115,11 @@ __all__ = [
     "VmPlacementEngine",
     "build_alvc_fabric",
     "build_leaf_spine",
+    "configure",
     "count_excursions",
+    "current_telemetry",
     "paper_example_topology",
+    "use_telemetry",
     "validate_topology",
     "__version__",
 ]

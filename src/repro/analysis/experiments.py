@@ -383,7 +383,7 @@ def experiment_fig6_orchestration(*, seed: int = 0) -> list[dict]:
             "chain-a2", ("firewall", "nat", "load-balancer"), functions
         ),
     )
-    orchestrator.delete_chain("chain-b")
+    orchestrator.teardown_chain("chain-b")
     elapsed_ms = 1e3 * (time.perf_counter() - start)
 
     actions: dict[str, int] = {}

@@ -22,6 +22,7 @@ from typing import Callable
 from repro.analysis import experiments
 from repro.analysis.export import save_rows
 from repro.analysis.reporting import render_table
+from repro.observability.runtime import resolve, use_telemetry
 
 # Experiment id -> (description, producer).  A producer returns
 # {table name: rows}; scalar worked examples are rendered as one-row
@@ -257,6 +258,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write every table as CSV into this directory",
     )
+    run_parser.add_argument(
+        "--telemetry",
+        choices=("json", "prom", "off"),
+        default="off",
+        help=(
+            "collect control-plane metrics/traces while the experiments "
+            "run and print them afterwards (json: snapshot; prom: "
+            "Prometheus text format; off: zero-cost no-op, the default)"
+        ),
+    )
     return parser
 
 
@@ -290,18 +301,30 @@ def main(argv: list[str] | None = None) -> int:
     export_dir = Path(args.export_dir) if args.export_dir else None
     if export_dir is not None:
         export_dir.mkdir(parents=True, exist_ok=True)
+    mode = getattr(args, "telemetry", "off")
+    telemetry = resolve(mode != "off")
     first = True
-    for exp_id in requested:
-        if not first:
-            print()
-        first = False
-        _, producer = _REGISTRY[exp_id]
-        for title, rows in producer().items():
-            print(render_table(rows, title=title))
-            if export_dir is not None:
-                target = export_dir / f"{exp_id}-{_slug(title)}.csv"
-                save_rows(rows, target)
-                print(f"  [exported {target}]")
+    # Experiments build their own orchestrators/simulators, which pick
+    # up the ambient telemetry at construction — so install ours for
+    # the duration of the run.
+    with use_telemetry(telemetry):
+        for exp_id in requested:
+            if not first:
+                print()
+            first = False
+            _, producer = _REGISTRY[exp_id]
+            for title, rows in producer().items():
+                print(render_table(rows, title=title))
+                if export_dir is not None:
+                    target = export_dir / f"{exp_id}-{_slug(title)}.csv"
+                    save_rows(rows, target)
+                    print(f"  [exported {target}]")
+    if mode == "json":
+        print()
+        print(telemetry.to_json())
+    elif mode == "prom":
+        print()
+        print(telemetry.to_prometheus(), end="")
     return 0
 
 

@@ -32,6 +32,7 @@ from repro.core.algorithms import (
 )
 from repro.exceptions import CoverInfeasibleError, TopologyError
 from repro.ids import ClusterId, OpsId, TorId
+from repro.observability.runtime import Telemetry, current_telemetry
 from repro.topology.datacenter import DataCenterNetwork
 
 
@@ -81,10 +82,44 @@ class AlConstructor:
         dcn: DataCenterNetwork,
         strategy: AlConstructionStrategy = AlConstructionStrategy.VERTEX_COVER_GREEDY,
         seed: int = 0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._dcn = dcn
         self._strategy = strategy
         self._rng = random.Random(seed)
+        self._telemetry = (
+            telemetry if telemetry is not None else current_telemetry()
+        )
+        # The strategy label is fixed for this constructor's lifetime, so
+        # the labeled instruments are resolved once here rather than per
+        # construction (the registry lookup — label sorting plus dict
+        # hashing — dominated the enabled-mode hot path).
+        self._instruments = None
+        if self._telemetry.enabled:
+            label = strategy.value
+            self._instruments = (
+                self._telemetry.counter(
+                    "alvc_al_constructions_total",
+                    "abstraction layers constructed",
+                    strategy=label,
+                ),
+                self._telemetry.counter(
+                    "alvc_cover_candidates_scanned_total",
+                    "covering candidates visited (ToR + OPS stages)",
+                    strategy=label,
+                ),
+                self._telemetry.counter(
+                    "alvc_cover_skips_total",
+                    "candidates visited but skipped (already covered)",
+                    strategy=label,
+                ),
+                self._telemetry.histogram(
+                    "alvc_al_size",
+                    "OPS count per constructed abstraction layer",
+                    buckets=(1, 2, 4, 8, 16, 32, 64),
+                    strategy=label,
+                ),
+            )
 
     @property
     def strategy(self) -> AlConstructionStrategy:
@@ -121,16 +156,43 @@ class AlConstructor:
             else set(self._dcn.optical_switches())
         )
 
-        tor_result = self._tor_stage(machine_attachments, ops_pool)
-        selected_tors = frozenset(tor_result.selected)
-        ops_result = self._ops_stage(selected_tors, ops_pool)
-        return AbstractionLayer(
-            cluster=cluster,
-            tor_ids=selected_tors,
-            ops_ids=frozenset(ops_result.selected),
-            tor_trace=tor_result,
-            ops_trace=ops_result,
-            strategy=self._strategy,
+        telemetry = self._telemetry
+        with telemetry.span("al_construction", cluster=str(cluster)) as span:
+            try:
+                tor_result = self._tor_stage(machine_attachments, ops_pool)
+                selected_tors = frozenset(tor_result.selected)
+                ops_result = self._ops_stage(selected_tors, ops_pool)
+            except CoverInfeasibleError:
+                telemetry.counter(
+                    "alvc_cover_infeasible_total",
+                    "AL constructions aborted by CoverInfeasibleError",
+                ).inc()
+                raise
+            layer = AbstractionLayer(
+                cluster=cluster,
+                tor_ids=selected_tors,
+                ops_ids=frozenset(ops_result.selected),
+                tor_trace=tor_result,
+                ops_trace=ops_result,
+                strategy=self._strategy,
+            )
+            if self._instruments is not None:
+                self._record_construction(span, layer)
+            return layer
+
+    def _record_construction(self, span, layer: AbstractionLayer) -> None:
+        """Publish per-construction covering counters (enabled path only)."""
+        steps = (*layer.tor_trace.steps, *layer.ops_trace.steps)
+        skips = sum(1 for step in steps if not step.selected)
+        constructions, scanned, skipped, size = self._instruments
+        constructions.inc()
+        scanned.inc(len(steps))
+        skipped.inc(skips)
+        size.observe(layer.size)
+        span.set(
+            candidates_scanned=len(steps),
+            skips=skips,
+            cover_size=layer.size,
         )
 
     def construct_for_servers(

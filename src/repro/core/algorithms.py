@@ -24,7 +24,7 @@ from typing import Hashable, Mapping
 
 import networkx as nx
 
-from repro.exceptions import CoverInfeasibleError
+from repro.exceptions import CoverInfeasibleError, ValidationError
 from repro.ids import index_of, kind_prefix
 
 
@@ -251,7 +251,7 @@ def exact_min_cover(
     _check_feasible(target, candidates)
     names = sorted(candidates, key=natural_sort_key)
     if len(names) > max_candidates:
-        raise ValueError(
+        raise ValidationError(
             f"exact_min_cover is limited to {max_candidates} candidates, "
             f"got {len(names)}"
         )

@@ -22,6 +22,7 @@ from repro.exceptions import (
     UnknownEntityError,
 )
 from repro.ids import ClusterId, OpsId, VmId, cluster_id
+from repro.observability.runtime import Telemetry, current_telemetry
 from repro.virtualization.machines import MachineInventory
 
 
@@ -60,10 +61,17 @@ class ClusterManager:
         inventory: MachineInventory,
         strategy: AlConstructionStrategy = AlConstructionStrategy.VERTEX_COVER_GREEDY,
         seed: int = 0,
+        telemetry: Telemetry | None = None,
     ) -> None:
+        self._telemetry = (
+            telemetry if telemetry is not None else current_telemetry()
+        )
         self._inventory = inventory
         self._constructor = AlConstructor(
-            inventory.network, strategy=strategy, seed=seed
+            inventory.network,
+            strategy=strategy,
+            seed=seed,
+            telemetry=self._telemetry,
         )
         self._clusters: dict[ClusterId, VirtualCluster] = {}
         self._assigned_ops: dict[OpsId, ClusterId] = {}
@@ -90,23 +98,27 @@ class ClusterManager:
         new_id = cluster_id(service)
         if new_id in self._clusters:
             raise DuplicateEntityError("cluster", new_id)
-        members = self._resolve_members(service, vms)
-        attachments = {
-            vm: self._inventory.tors_of_vm(vm) for vm in sorted(members)
-        }
-        layer = self._constructor.construct(
-            new_id, attachments, available_ops=self.free_ops()
-        )
-        cluster = VirtualCluster(
-            cluster_id=new_id,
-            service=service,
-            vm_ids=frozenset(members),
-            abstraction_layer=layer,
-        )
-        self._clusters[new_id] = cluster
-        for ops in layer.ops_ids:
-            self._assigned_ops[ops] = new_id
-        return cluster
+        with self._telemetry.span("create_cluster", cluster=str(new_id)):
+            members = self._resolve_members(service, vms)
+            attachments = {
+                vm: self._inventory.tors_of_vm(vm) for vm in sorted(members)
+            }
+            layer = self._constructor.construct(
+                new_id, attachments, available_ops=self.free_ops()
+            )
+            cluster = VirtualCluster(
+                cluster_id=new_id,
+                service=service,
+                vm_ids=frozenset(members),
+                abstraction_layer=layer,
+            )
+            self._clusters[new_id] = cluster
+            for ops in layer.ops_ids:
+                self._assigned_ops[ops] = new_id
+            self._telemetry.counter(
+                "alvc_clusters_created_total", "virtual clusters created"
+            ).inc()
+            return cluster
 
     def _resolve_members(
         self, service: str, vms: Iterable[VmId] | None

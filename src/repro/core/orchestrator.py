@@ -21,6 +21,7 @@ allocate each slice to a single NFC."
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 from repro.core.chaining import ChainRequest, NetworkFunctionChain
 from repro.core.cluster import ClusterManager, VirtualCluster
@@ -34,6 +35,7 @@ from repro.core.slicing import OpticalSlice, SliceAllocator
 from repro.exceptions import DuplicateEntityError, PlacementError, UnknownEntityError
 from repro.ids import ChainId, ServerId, VnfId
 from repro.nfv.manager import CloudNfvManager
+from repro.observability.runtime import Telemetry, current_telemetry
 from repro.optical.conversion import ConversionModel
 from repro.sdn.controller import SdnController
 from repro.sdn.routing import chain_path
@@ -98,8 +100,12 @@ class NetworkOrchestrator:
         placement_seed: int = 0,
         exclusive_chains: bool = True,
         host_policy: HostPolicy | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """Create an orchestrator over a populated inventory.
+
+        All collaborators are injected keyword-only; only the inventory —
+        the one mandatory dependency — may be passed positionally.
 
         Args:
             inventory: the VM ledger (and through it, the fabric).
@@ -117,12 +123,26 @@ class NetworkOrchestrator:
             host_policy: how optical VNFs pick among fitting routers
                 (FIRST_FIT consolidates; WORST_FIT load-balances); see
                 :class:`~repro.core.placement.HostPolicy`.
+            telemetry: metrics/tracing sink; defaults to the ambient
+                telemetry (a zero-cost no-op unless enabled).  Collaborators
+                created here inherit it.
         """
+        self._telemetry = (
+            telemetry if telemetry is not None else current_telemetry()
+        )
         self._inventory = inventory
-        self._clusters = cluster_manager or ClusterManager(inventory)
-        self._nfv = nfv_manager or CloudNfvManager(inventory)
-        self._sdn = sdn or SdnController(inventory.network)
-        self._slices = SliceAllocator(inventory.network)
+        self._clusters = cluster_manager or ClusterManager(
+            inventory, telemetry=self._telemetry
+        )
+        self._nfv = nfv_manager or CloudNfvManager(
+            inventory, telemetry=self._telemetry
+        )
+        self._sdn = sdn or SdnController(
+            inventory.network, telemetry=self._telemetry
+        )
+        self._slices = SliceAllocator(
+            inventory.network, telemetry=self._telemetry
+        )
         self._merge = merge_consecutive
         self._seed = placement_seed
         self._exclusive = exclusive_chains
@@ -151,57 +171,64 @@ class NetworkOrchestrator:
         authoritative answer remains :meth:`provision_chain`, which is
         transactional (failures roll back fully).
         """
-        problems: list[str] = []
-        chain = request.chain
-        if chain.chain_id in self._chains:
-            problems.append(f"chain id {chain.chain_id} already in use")
-        try:
-            cluster = self._clusters.cluster_of_service(request.service)
-        except UnknownEntityError:
+        with self._telemetry.span(
+            "plan_chain", chain=str(request.chain.chain_id)
+        ):
+            problems: list[str] = []
+            chain = request.chain
+            if chain.chain_id in self._chains:
+                problems.append(f"chain id {chain.chain_id} already in use")
+            try:
+                cluster = self._clusters.cluster_of_service(request.service)
+            except UnknownEntityError:
+                return ProvisioningPlan(
+                    request=request,
+                    feasible=False,
+                    problems=(
+                        f"service {request.service!r} has no cluster",
+                        *problems,
+                    ),
+                )
+            users = self._slice_users.get(cluster.cluster_id, set())
+            if self._exclusive and users:
+                problems.append(
+                    f"cluster {cluster.cluster_id} already hosts a chain "
+                    f"(exclusive mode)"
+                )
+
+            placement = self._solver_for(cluster).solve(chain, algorithm)
+            electronic_hosts: list[ServerId] = []
+            for placed in placement.assignments:
+                if placed.domain is Domain.OPTICAL:
+                    continue
+                try:
+                    electronic_hosts.append(
+                        self._electronic_host(cluster, placed.function)
+                    )
+                except PlacementError as error:
+                    problems.append(str(error))
             return ProvisioningPlan(
                 request=request,
-                feasible=False,
-                problems=(
-                    f"service {request.service!r} has no cluster",
-                    *problems,
-                ),
-            )
-        users = self._slice_users.get(cluster.cluster_id, set())
-        if self._exclusive and users:
-            problems.append(
-                f"cluster {cluster.cluster_id} already hosts a chain "
-                f"(exclusive mode)"
+                feasible=not problems,
+                problems=tuple(problems),
+                placement=placement,
+                electronic_hosts=tuple(electronic_hosts),
             )
 
+    def _solver_for(self, cluster: VirtualCluster) -> PlacementSolver:
+        """A placement solver over the cluster AL's current free capacity."""
         pool = self._nfv.pool
         al_free = {
             ops: pool.get(ops).free
             for ops in sorted(cluster.al_switches)
             if ops in pool
         }
-        solver = PlacementSolver(
+        return PlacementSolver(
             al_free,
             merge_consecutive=self._merge,
             host_policy=self._host_policy,
             seed=self._seed,
-        )
-        placement = solver.solve(chain, algorithm)
-        electronic_hosts: list[ServerId] = []
-        for placed in placement.assignments:
-            if placed.domain is Domain.OPTICAL:
-                continue
-            try:
-                electronic_hosts.append(
-                    self._electronic_host(cluster, placed.function)
-                )
-            except PlacementError as error:
-                problems.append(str(error))
-        return ProvisioningPlan(
-            request=request,
-            feasible=not problems,
-            problems=tuple(problems),
-            placement=placement,
-            electronic_hosts=tuple(electronic_hosts),
+            telemetry=self._telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -219,42 +246,73 @@ class NetworkOrchestrator:
         mode one cluster hosts exactly one NFC ("one VC host only one
         NFC", Section IV.C); with ``exclusive_chains=False`` additional
         chains share the cluster's existing slice.
+
+        When telemetry is enabled, one span wraps the whole call and one
+        child span wraps each of the five pipeline stages
+        (``provision.cluster_lookup``, ``provision.slice_allocation``,
+        ``provision.placement_solve``, ``provision.deploy``,
+        ``provision.route``).
         """
+        telemetry = self._telemetry
         chain = request.chain
-        if chain.chain_id in self._chains:
-            raise DuplicateEntityError("chain", chain.chain_id)
-        cluster = self._clusters.cluster_of_service(request.service)
-        users = self._slice_users.get(cluster.cluster_id, set())
-        if self._exclusive and users:
-            raise DuplicateEntityError("chain on cluster", cluster.cluster_id)
-        allocated_here = False
-        if users:
-            optical_slice = self._slices.slice_of_cluster(cluster.cluster_id)
-        else:
-            optical_slice = self._slices.allocate(
-                cluster, chain.bandwidth_gbps
+        with telemetry.span(
+            "provision_chain", chain=str(chain.chain_id)
+        ) as root:
+            with telemetry.span("provision.cluster_lookup"):
+                if chain.chain_id in self._chains:
+                    raise DuplicateEntityError("chain", chain.chain_id)
+                cluster = self._clusters.cluster_of_service(request.service)
+                users = self._slice_users.get(cluster.cluster_id, set())
+                if self._exclusive and users:
+                    raise DuplicateEntityError(
+                        "chain on cluster", cluster.cluster_id
+                    )
+            with telemetry.span("provision.slice_allocation"):
+                allocated_here = False
+                if users:
+                    optical_slice = self._slices.slice_of_cluster(
+                        cluster.cluster_id
+                    )
+                else:
+                    optical_slice = self._slices.allocate(
+                        cluster, chain.bandwidth_gbps
+                    )
+                    allocated_here = True
+            try:
+                placement, vnf_ids, path = self._deploy(
+                    request, cluster, algorithm
+                )
+            except Exception:
+                if allocated_here:
+                    self._slices.release(optical_slice.slice_id)
+                telemetry.counter(
+                    "alvc_chains_provision_failures_total",
+                    "provision_chain calls that raised",
+                ).inc()
+                raise
+            self._slice_users.setdefault(cluster.cluster_id, set()).add(
+                chain.chain_id
             )
-            allocated_here = True
-        try:
-            placement, vnf_ids, path = self._deploy(request, cluster, algorithm)
-        except Exception:
-            if allocated_here:
-                self._slices.release(optical_slice.slice_id)
-            raise
-        self._slice_users.setdefault(cluster.cluster_id, set()).add(
-            chain.chain_id
-        )
-        orchestrated = OrchestratedChain(
-            request=request,
-            cluster=cluster,
-            optical_slice=optical_slice,
-            placement=placement,
-            vnf_ids=vnf_ids,
-            path=tuple(path),
-        )
-        self._chains[chain.chain_id] = orchestrated
-        self._actions.append(("provision", chain.chain_id))
-        return orchestrated
+            orchestrated = OrchestratedChain(
+                request=request,
+                cluster=cluster,
+                optical_slice=optical_slice,
+                placement=placement,
+                vnf_ids=vnf_ids,
+                path=tuple(path),
+            )
+            self._chains[chain.chain_id] = orchestrated
+            self._actions.append(("provision", chain.chain_id))
+            if telemetry.enabled:
+                telemetry.counter(
+                    "alvc_chains_provisioned_total",
+                    "NFCs successfully provisioned",
+                ).inc()
+                root.set(
+                    conversions=orchestrated.conversions,
+                    path_hops=max(0, len(path) - 1),
+                )
+            return orchestrated
 
     def _deploy(
         self,
@@ -262,36 +320,30 @@ class NetworkOrchestrator:
         cluster: VirtualCluster,
         algorithm: PlacementAlgorithm,
     ) -> tuple[ChainPlacement, tuple[VnfId, ...], list[str]]:
+        telemetry = self._telemetry
         chain = request.chain
-        pool = self._nfv.pool
-        al_free = {
-            ops: pool.get(ops).free
-            for ops in sorted(cluster.al_switches)
-            if ops in pool
-        }
-        solver = PlacementSolver(
-            al_free,
-            merge_consecutive=self._merge,
-            host_policy=self._host_policy,
-            seed=self._seed,
-        )
-        placement = solver.solve(chain, algorithm)
+        with telemetry.span("provision.placement_solve"):
+            placement = self._solver_for(cluster).solve(chain, algorithm)
         vnf_ids: list[VnfId] = []
         deployed_hosts: list[str] = []
         try:
-            for placed in placement.assignments:
-                if placed.domain is Domain.OPTICAL:
-                    instance = self._nfv.deploy_optical(
-                        placed.function.name, ops=placed.host
-                    )
-                else:
-                    server = self._electronic_host(cluster, placed.function)
-                    instance = self._nfv.deploy_electronic(
-                        placed.function.name, server=server
-                    )
-                vnf_ids.append(instance.vnf_id)
-                deployed_hosts.append(instance.host)
-            path = self._route(request, cluster, deployed_hosts)
+            with telemetry.span("provision.deploy"):
+                for placed in placement.assignments:
+                    if placed.domain is Domain.OPTICAL:
+                        instance = self._nfv.deploy_optical(
+                            placed.function.name, ops=placed.host
+                        )
+                    else:
+                        server = self._electronic_host(
+                            cluster, placed.function
+                        )
+                        instance = self._nfv.deploy_electronic(
+                            placed.function.name, server=server
+                        )
+                    vnf_ids.append(instance.vnf_id)
+                    deployed_hosts.append(instance.host)
+            with telemetry.span("provision.route"):
+                path = self._route(request, cluster, deployed_hosts)
         except Exception:
             for vnf in vnf_ids:
                 self._nfv.terminate(vnf)
@@ -379,6 +431,12 @@ class NetworkOrchestrator:
         """
         from repro.core.reconfiguration import AlReconfigurator
 
+        with self._telemetry.span("vm_migration", vm=str(vm)):
+            return self._handle_vm_migration(vm, new_server, AlReconfigurator)
+
+    def _handle_vm_migration(
+        self, vm: str, new_server: ServerId, AlReconfigurator
+    ) -> dict[str, int]:
         cluster = self._clusters.cluster_of_service(
             self._inventory.get(vm).service
         )
@@ -422,6 +480,14 @@ class NetworkOrchestrator:
             self._chains[updated.chain_id] = updated
             rerouted += 1
         self._actions.append(("migrate", vm))
+        if self._telemetry.enabled:
+            self._telemetry.counter(
+                "alvc_vm_migrations_total", "VM migrations handled"
+            ).inc()
+            self._telemetry.counter(
+                "alvc_migration_switches_touched_total",
+                "switches touched repairing ALs after migrations",
+            ).inc(result.cost)
         return {
             "switches_touched": result.cost,
             "chains_rerouted": rerouted,
@@ -468,7 +534,7 @@ class NetworkOrchestrator:
     ) -> OrchestratedChain:
         """Replace a chain's function list, re-placing and re-routing."""
         old = self.chain(chain_id)
-        self.delete_chain(chain_id)
+        self.teardown_chain(chain_id)
         new_request = ChainRequest(
             tenant=old.request.tenant,
             chain=new_chain,
@@ -490,21 +556,46 @@ class NetworkOrchestrator:
         self._actions.append(("upgrade", chain_id))
         return len(live.vnf_ids)
 
-    def delete_chain(self, chain_id: ChainId) -> None:
+    def teardown_chain(self, chain_id: ChainId) -> None:
         """Tear down a chain: VNFs, flow rules, and (when it was the
-        cluster's last chain) its slice."""
-        live = self.chain(chain_id)
-        for vnf in live.vnf_ids:
-            self._nfv.terminate(vnf)
-        if self._sdn.has_flow(chain_id):
-            self._sdn.remove_flow(chain_id)
-        users = self._slice_users.get(live.cluster.cluster_id, set())
-        users.discard(chain_id)
-        if not users:
-            self._slices.release(live.optical_slice.slice_id)
-            self._slice_users.pop(live.cluster.cluster_id, None)
-        del self._chains[chain_id]
-        self._actions.append(("delete", chain_id))
+        cluster's last chain) its slice.
+
+        The action log keeps the paper's lifecycle verb (``"delete"``).
+        """
+        with self._telemetry.span(
+            "teardown_chain", chain=str(chain_id)
+        ):
+            live = self.chain(chain_id)
+            for vnf in live.vnf_ids:
+                self._nfv.terminate(vnf)
+            if self._sdn.has_flow(chain_id):
+                self._sdn.remove_flow(chain_id)
+            users = self._slice_users.get(live.cluster.cluster_id, set())
+            users.discard(chain_id)
+            if not users:
+                self._slices.release(live.optical_slice.slice_id)
+                self._slice_users.pop(live.cluster.cluster_id, None)
+            del self._chains[chain_id]
+            self._actions.append(("delete", chain_id))
+            self._telemetry.counter(
+                "alvc_chains_torn_down_total", "NFCs torn down"
+            ).inc()
+
+    def delete_chain(self, chain_id: ChainId) -> None:
+        """Deprecated alias of :meth:`teardown_chain`.
+
+        The orchestrator/facade surface was normalized to consistent
+        ``*_chain`` verbs (``plan_chain`` / ``provision_chain`` /
+        ``modify_chain`` / ``upgrade_chain`` / ``teardown_chain``); this
+        shim keeps pre-rename callers working.
+        """
+        warnings.warn(
+            "NetworkOrchestrator.delete_chain is deprecated; use "
+            "teardown_chain (same semantics)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.teardown_chain(chain_id)
 
     # ------------------------------------------------------------------
     # Queries
@@ -575,3 +666,8 @@ class NetworkOrchestrator:
     def slice_allocator(self) -> SliceAllocator:
         """The optical slice allocator."""
         return self._slices
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The metrics/tracing sink this orchestrator reports into."""
+        return self._telemetry

@@ -29,6 +29,7 @@ from typing import Mapping, Sequence
 from repro.core.chaining import NetworkFunctionChain
 from repro.exceptions import PlacementError
 from repro.ids import OpsId
+from repro.observability.runtime import Telemetry, current_telemetry
 from repro.nfv.functions import NetworkFunctionType
 from repro.optical.conversion import ConversionModel, count_excursions
 from repro.optical.optoelectronic import OptoelectronicPool
@@ -172,6 +173,7 @@ class PlacementSolver:
         merge_consecutive: bool = False,
         host_policy: HostPolicy = None,
         seed: int = 0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """Create a solver over a capacity snapshot.
 
@@ -185,11 +187,17 @@ class PlacementSolver:
                 holes), or ``WORST_FIT`` (most free capacity, spreads
                 load across the AL's routers).
             seed: RNG seed for the RANDOM algorithm.
+            telemetry: metrics sink (ambient default when omitted);
+                records per-solve conversions, conversions saved, and
+                improve-pass iterations.
         """
         self._free = dict(free_capacity)
         self._merge = merge_consecutive
         self._host_policy = host_policy or HostPolicy.FIRST_FIT
         self._rng = random.Random(seed)
+        self._telemetry = (
+            telemetry if telemetry is not None else current_telemetry()
+        )
 
     def _pick_host(
         self,
@@ -241,7 +249,31 @@ class PlacementSolver:
             optical = self._solve_optimal(chain)
         else:
             raise PlacementError(f"unknown algorithm {algorithm!r}")
-        return self._materialize(chain, optical)
+        placement = self._materialize(chain, optical)
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            algo = algorithm.value
+            telemetry.counter(
+                "alvc_placements_solved_total",
+                "chain placements computed",
+                algorithm=algo,
+            ).inc()
+            telemetry.counter(
+                "alvc_placement_conversions_total",
+                "O/E/O conversions per flow across solved placements",
+                algorithm=algo,
+            ).inc(placement.conversions)
+            telemetry.counter(
+                "alvc_placement_conversions_saved_total",
+                "O/E/O conversions saved vs all-electronic",
+                algorithm=algo,
+            ).inc(placement.conversions_saved())
+            telemetry.histogram(
+                "alvc_placement_optical_vnfs",
+                "VNFs per placement hosted in the optical domain",
+                buckets=(0, 1, 2, 4, 8, 16, 32),
+            ).observe(placement.optical_count)
+        return placement
 
     def improve(self, placement: ChainPlacement) -> ChainPlacement:
         """Move further VNFs of an existing placement into the optical
@@ -295,6 +327,16 @@ class PlacementSolver:
                 if host is not None:
                     free[host] = free[host] - demand
                     optical[position] = host
+        if self._telemetry.enabled:
+            moved = len(optical) - len(placement.optical_hosts())
+            self._telemetry.counter(
+                "alvc_placement_improve_iterations_total",
+                "VNFs moved optical by improve() passes",
+            ).inc(moved)
+            self._telemetry.counter(
+                "alvc_placement_improve_passes_total",
+                "improve() invocations",
+            ).inc()
         return self._materialize(chain, optical)
 
     def _materialize(

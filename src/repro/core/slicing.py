@@ -13,6 +13,7 @@ import dataclasses
 from repro.core.cluster import VirtualCluster
 from repro.exceptions import InsufficientResourcesError, SlicingError
 from repro.ids import ClusterId, IdAllocator, SliceId, slice_id
+from repro.observability.runtime import Telemetry, current_telemetry
 from repro.optical.packet_switch import PortAllocator
 from repro.optical.wavelengths import WavelengthAssigner
 from repro.topology.datacenter import DataCenterNetwork
@@ -50,12 +51,21 @@ class SliceAllocator:
         self,
         dcn: DataCenterNetwork,
         port_allocator: PortAllocator | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
+        self._telemetry = (
+            telemetry if telemetry is not None else current_telemetry()
+        )
         self._assigner = WavelengthAssigner.from_network(dcn)
         self._ports = port_allocator
         self._ids = IdAllocator()
         self._slices: dict[SliceId, OpticalSlice] = {}
         self._by_cluster: dict[ClusterId, SliceId] = {}
+
+    def _record_census(self) -> None:
+        self._telemetry.gauge(
+            "alvc_slices_active", "currently allocated optical slices"
+        ).set(len(self._slices))
 
     def allocate(
         self, cluster: VirtualCluster, bandwidth_gbps: float = 1.0
@@ -99,6 +109,11 @@ class SliceAllocator:
         )
         self._slices[new_id] = allocated
         self._by_cluster[cluster.cluster_id] = new_id
+        if self._telemetry.enabled:
+            self._telemetry.counter(
+                "alvc_slices_allocated_total", "optical slices allocated"
+            ).inc()
+            self._record_census()
         return allocated
 
     def _overlapping(self, switches) -> list[SliceId]:
@@ -165,6 +180,11 @@ class SliceAllocator:
             for switch in old.switches:
                 self._ports.release(switch, released)
         del self._by_cluster[old.cluster]
+        if self._telemetry.enabled:
+            self._telemetry.counter(
+                "alvc_slices_released_total", "optical slices released"
+            ).inc()
+            self._record_census()
         return old
 
     def slice_of_cluster(self, cluster: ClusterId) -> OpticalSlice:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 
 from repro.core.chaining import ChainRequest
 from repro.core.orchestrator import NetworkOrchestrator, OrchestratedChain
@@ -25,6 +26,7 @@ from repro.exceptions import (
     ALVCError,
     DuplicateEntityError,
     UnknownEntityError,
+    ValidationError,
 )
 from repro.ids import ChainId, TenantId
 from repro.topology.elements import Domain
@@ -48,10 +50,10 @@ class Tenant:
 
     def __post_init__(self) -> None:
         if not self.tenant_id:
-            raise ValueError("tenant id must be non-empty")
+            raise ValidationError("tenant id must be non-empty")
         for name in ("max_chains", "max_vnfs", "max_optical_cpu"):
             if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
+                raise ValidationError(f"{name} must be non-negative")
 
 
 @dataclasses.dataclass
@@ -203,9 +205,9 @@ class QuotaGuard:
         )
         return live
 
-    def delete_chain(self, chain_id: ChainId) -> None:
+    def teardown_chain(self, chain_id: ChainId) -> None:
         """Tear down a chain and credit its tenant's usage."""
-        self._orchestrator.delete_chain(chain_id)
+        self._orchestrator.teardown_chain(chain_id)
         tenant, vnfs, optical_cpu = self._charges.pop(
             chain_id, (None, 0, 0.0)
         )
@@ -213,6 +215,16 @@ class QuotaGuard:
             self._registry.credit(
                 tenant, chains=1, vnfs=vnfs, optical_cpu=optical_cpu
             )
+
+    def delete_chain(self, chain_id: ChainId) -> None:
+        """Deprecated alias of :meth:`teardown_chain`."""
+        warnings.warn(
+            "QuotaGuard.delete_chain is deprecated; use teardown_chain "
+            "(same semantics)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.teardown_chain(chain_id)
 
     def usage_report(self) -> list[dict]:
         """Per-tenant usage-vs-quota rows."""

@@ -12,6 +12,25 @@ class ALVCError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class ValidationError(ALVCError, ValueError):
+    """A caller-supplied value fails domain validation.
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    call sites keep working, while new code can catch :class:`ALVCError`
+    at API boundaries — no bare built-in exceptions leak from public
+    paths.
+    """
+
+
+class TelemetryError(ALVCError):
+    """The observability subsystem was used inconsistently.
+
+    Raised for malformed metric names, kind conflicts (registering one
+    name as both counter and gauge), negative counter increments, and
+    unknown telemetry modes.
+    """
+
+
 class TopologyError(ALVCError):
     """The physical topology is malformed or an element is missing."""
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable
 
-from repro.exceptions import ALVCError, PlacementError
+from repro.exceptions import ALVCError, PlacementError, ValidationError
 from repro.ids import VnfId
 from repro.nfv.manager import CloudNfvManager
 
@@ -39,16 +39,16 @@ class AutoscalerPolicy:
 
     def __post_init__(self) -> None:
         if not 0 < self.scale_down_threshold < self.scale_up_threshold:
-            raise ValueError(
+            raise ValidationError(
                 "need 0 < scale_down_threshold < scale_up_threshold, got "
                 f"{self.scale_down_threshold} / {self.scale_up_threshold}"
             )
         if self.step_factor <= 1:
-            raise ValueError(
+            raise ValidationError(
                 f"step_factor must exceed 1, got {self.step_factor}"
             )
         if self.observations_required < 1:
-            raise ValueError("observations_required must be at least 1")
+            raise ValidationError("observations_required must be at least 1")
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -85,7 +85,7 @@ class VnfAutoscaler:
     def observe(self, vnf: VnfId, utilization: float) -> ScalingAction | None:
         """Feed one load observation; returns the action taken, if any."""
         if utilization < 0:
-            raise ValueError(
+            raise ValidationError(
                 f"utilization must be non-negative, got {utilization}"
             )
         self._manager.instance_of(vnf)  # raises for unknown VNFs

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.exceptions import DuplicateEntityError, UnknownEntityError
+from repro.exceptions import DuplicateEntityError, UnknownEntityError, ValidationError
 from repro.topology.elements import Domain, ResourceVector
 
 
@@ -37,9 +37,9 @@ class NetworkFunctionType:
 
     def __post_init__(self) -> None:
         if not self.name:
-            raise ValueError("function name must be non-empty")
+            raise ValidationError("function name must be non-empty")
         if self.per_gb_processing_cost < 0:
-            raise ValueError(
+            raise ValidationError(
                 f"per_gb_processing_cost must be non-negative, "
                 f"got {self.per_gb_processing_cost}"
             )
@@ -159,6 +159,6 @@ class VnfInstance:
 
     def __post_init__(self) -> None:
         if self.domain is Domain.OPTICAL and not self.function.optical_capable:
-            raise ValueError(
+            raise ValidationError(
                 f"{self.function.name} cannot be deployed in the optical domain"
             )

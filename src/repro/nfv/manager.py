@@ -16,10 +16,11 @@ Deployment model:
 
 from __future__ import annotations
 
-from repro.exceptions import PlacementError, UnknownEntityError
+from repro.exceptions import PlacementError, UnknownEntityError, ValidationError
 from repro.ids import IdAllocator, OpsId, ServerId, VnfId, vnf_id
 from repro.nfv.functions import FunctionCatalog, NetworkFunctionType, VnfInstance
 from repro.nfv.lifecycle import VnfLifecycleManager, VnfState
+from repro.observability.runtime import Telemetry, current_telemetry
 from repro.optical.optoelectronic import OptoelectronicPool
 from repro.topology.elements import Domain, ResourceVector
 from repro.virtualization.machines import MachineInventory
@@ -38,7 +39,11 @@ class CloudNfvManager:
         inventory: MachineInventory,
         catalog: FunctionCatalog | None = None,
         pool: OptoelectronicPool | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
+        self._telemetry = (
+            telemetry if telemetry is not None else current_telemetry()
+        )
         self._inventory = inventory
         self._catalog = catalog if catalog is not None else FunctionCatalog.standard()
         network = inventory.network
@@ -131,6 +136,11 @@ class CloudNfvManager:
         self._instances[instance.vnf_id] = instance
         self._lifecycle.create(instance.vnf_id, reason=f"deploy {instance.function.name}")
         self._lifecycle.start(instance.vnf_id)
+        self._telemetry.counter(
+            "alvc_vnfs_deployed_total",
+            "VNF instances deployed",
+            domain=instance.domain.value,
+        ).inc()
 
     # ------------------------------------------------------------------
     # Lifecycle management (paper: creation, scaling, update, termination)
@@ -142,7 +152,7 @@ class CloudNfvManager:
         migrates.
         """
         if factor <= 0:
-            raise ValueError(f"scale factor must be positive, got {factor}")
+            raise ValidationError(f"scale factor must be positive, got {factor}")
         instance = self.instance_of(vnf)
         self._lifecycle.scale(vnf, reason=f"scale x{factor}")
         new_demand = instance.function.demand.scaled(factor)
@@ -205,6 +215,11 @@ class CloudNfvManager:
             self._pool.get(instance.host).evict(vnf)
         else:
             self._inventory.remove(self._carrier_vms.pop(vnf))
+        self._telemetry.counter(
+            "alvc_vnfs_terminated_total",
+            "VNF instances terminated",
+            domain=instance.domain.value,
+        ).inc()
 
     # ------------------------------------------------------------------
     # Queries

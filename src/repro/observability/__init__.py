@@ -1,0 +1,72 @@
+"""Telemetry for the AL-VC control plane.
+
+A dependency-free observability subsystem:
+
+* :class:`MetricsRegistry` — counters, gauges, histograms with labeled
+  series (:mod:`repro.observability.metrics`);
+* :class:`Tracer` / :class:`Span` — nested timed stages
+  (:mod:`repro.observability.tracing`);
+* exporters — JSON snapshot and Prometheus text format
+  (:mod:`repro.observability.export`);
+* :class:`Telemetry` — the bundle instrumented components accept, plus
+  the ambient default (:mod:`repro.observability.runtime`).
+
+Instrumentation is **zero-cost when disabled**: the default ambient
+telemetry is :data:`NULL_TELEMETRY`, whose registry and tracer hand out
+preallocated no-op singletons, so hot paths bound to it allocate no
+metric objects and never read the clock.  Enable per-stack with
+``AlvcStack.build(..., telemetry="json")``, process-wide with
+:func:`configure`, or from the environment with ``ALVC_TELEMETRY=on``.
+"""
+
+from repro.observability.export import (
+    json_snapshot,
+    prometheus_metrics_text,
+    prometheus_text,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.observability.runtime import (
+    NULL_TELEMETRY,
+    Telemetry,
+    configure,
+    current_telemetry,
+    resolve,
+    set_telemetry,
+    use_telemetry,
+)
+from repro.observability.tracing import (
+    NullTracer,
+    Span,
+    SpanStats,
+    Tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Span",
+    "SpanStats",
+    "Telemetry",
+    "Tracer",
+    "configure",
+    "current_telemetry",
+    "json_snapshot",
+    "prometheus_metrics_text",
+    "prometheus_text",
+    "resolve",
+    "set_telemetry",
+    "use_telemetry",
+]

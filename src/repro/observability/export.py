@@ -1,0 +1,111 @@
+"""Telemetry exporters: JSON snapshot and Prometheus text format.
+
+Two consumers, two formats:
+
+* :func:`json_snapshot` / ``Telemetry.to_json`` — a full point-in-time
+  dump (metrics *and* spans) for the CLI's ``--telemetry json`` mode and
+  offline analysis;
+* :func:`prometheus_text` / ``Telemetry.to_prometheus`` — the Prometheus
+  `text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a
+  scraper (or ``curl``) can ingest the same numbers; span aggregates are
+  flattened into ``alvc_span_*`` gauge lines.
+"""
+
+from __future__ import annotations
+
+from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.runtime import Telemetry
+
+
+def json_snapshot(telemetry: Telemetry) -> dict:
+    """The combined metrics + tracing snapshot (JSON-serializable)."""
+    return telemetry.snapshot()
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [*sorted(labels.items()), *extra]
+    if not items:
+        return ""
+    inner = ",".join(f'{key}="{_escape(str(value))}"' for key, value in items)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_metrics_text(registry: MetricsRegistry) -> str:
+    """Render one registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key in sorted(family.series):
+            instrument = family.series[key]
+            labels = dict(key)
+            if isinstance(instrument, Histogram):
+                for bound, count in zip(
+                    instrument.upper_bounds, instrument.bucket_counts
+                ):
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_render_labels(labels, (('le', repr(bound)),))}"
+                        f" {count}"
+                    )
+                lines.append(
+                    f"{family.name}_bucket"
+                    f"{_render_labels(labels, (('le', '+Inf'),))}"
+                    f" {instrument.count}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_render_labels(labels)} "
+                    f"{_format_value(instrument.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_render_labels(labels)} "
+                    f"{instrument.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_render_labels(labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_text(telemetry: Telemetry) -> str:
+    """Registry metrics plus span aggregates as one scrape document."""
+    parts = [prometheus_metrics_text(telemetry.registry)]
+    stats = telemetry.tracer.stats()
+    if stats:
+        span_lines = [
+            "# HELP alvc_span_seconds_total cumulative span time per name",
+            "# TYPE alvc_span_seconds_total counter",
+        ]
+        for name in sorted(stats):
+            labels = _render_labels({"span": name})
+            span_lines.append(
+                f"alvc_span_seconds_total{labels} "
+                f"{_format_value(stats[name].total_seconds)}"
+            )
+        span_lines.append(
+            "# HELP alvc_span_count_total finished spans per name"
+        )
+        span_lines.append("# TYPE alvc_span_count_total counter")
+        for name in sorted(stats):
+            labels = _render_labels({"span": name})
+            span_lines.append(
+                f"alvc_span_count_total{labels} {stats[name].count}"
+            )
+        parts.append("\n".join(span_lines) + "\n")
+    return "".join(parts)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, Sequence
 
+from repro.exceptions import ValidationError
 from repro.topology.elements import Domain
 
 
@@ -84,12 +85,12 @@ class ConversionModel:
 
     def __post_init__(self) -> None:
         if self.cost_per_gb < 0 or self.pj_per_bit < 0:
-            raise ValueError("conversion cost parameters must be non-negative")
+            raise ValidationError("conversion cost parameters must be non-negative")
 
     def conversion_cost(self, flow_bytes: float, conversions: int) -> float:
         """Abstract cost of pushing a flow through N conversions."""
         if flow_bytes < 0 or conversions < 0:
-            raise ValueError("flow size and conversion count must be non-negative")
+            raise ValidationError("flow size and conversion count must be non-negative")
         gigabytes = flow_bytes / 1e9
         return self.cost_per_gb * gigabytes * conversions
 
@@ -98,7 +99,7 @@ class ConversionModel:
     ) -> float:
         """Energy in joules of pushing a flow through N conversions."""
         if flow_bytes < 0 or conversions < 0:
-            raise ValueError("flow size and conversion count must be non-negative")
+            raise ValidationError("flow size and conversion count must be non-negative")
         bits = flow_bytes * 8
         return bits * self.pj_per_bit * 1e-12 * conversions
 
@@ -119,12 +120,12 @@ class TransportEnergyModel:
 
     def __post_init__(self) -> None:
         if self.optical_pj_per_bit_hop < 0 or self.electronic_pj_per_bit_hop < 0:
-            raise ValueError("per-hop energies must be non-negative")
+            raise ValidationError("per-hop energies must be non-negative")
 
     def hop_energy_joules(self, flow_bytes: float, domain: Domain) -> float:
         """Energy to push a flow across one hop in the given domain."""
         if flow_bytes < 0:
-            raise ValueError("flow size must be non-negative")
+            raise ValidationError("flow size must be non-negative")
         per_bit = (
             self.optical_pj_per_bit_hop
             if domain is Domain.OPTICAL

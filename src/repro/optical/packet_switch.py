@@ -7,7 +7,7 @@ bookkeeping the slice allocator uses to refuse over-subscription.
 
 from __future__ import annotations
 
-from repro.exceptions import InsufficientResourcesError, UnknownEntityError
+from repro.exceptions import InsufficientResourcesError, UnknownEntityError, ValidationError
 from repro.ids import OpsId
 from repro.topology.datacenter import DataCenterNetwork
 
@@ -60,7 +60,7 @@ class PortAllocator:
                 ports.
         """
         if count <= 0:
-            raise ValueError(f"port count must be positive, got {count}")
+            raise ValidationError(f"port count must be positive, got {count}")
         if self.free(ops) < count:
             raise InsufficientResourcesError(
                 f"{ops} has {self.free(ops)} free port(s), {count} requested "

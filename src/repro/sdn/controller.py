@@ -12,6 +12,7 @@ from typing import Sequence
 
 from repro.exceptions import RoutingError, UnknownEntityError
 from repro.ids import FlowId
+from repro.observability.runtime import Telemetry, current_telemetry
 from repro.sdn.flow_table import FlowRule, FlowTable
 from repro.topology.datacenter import DataCenterNetwork
 
@@ -19,7 +20,15 @@ from repro.topology.datacenter import DataCenterNetwork
 class SdnController:
     """Central controller managing flow tables on ToRs and OPSs."""
 
-    def __init__(self, dcn: DataCenterNetwork) -> None:
+    def __init__(
+        self,
+        dcn: DataCenterNetwork,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self._telemetry = (
+            telemetry if telemetry is not None else current_telemetry()
+        )
         self._dcn = dcn
         self._tables: dict[str, FlowTable] = {
             switch: FlowTable(switch)
@@ -65,6 +74,15 @@ class SdnController:
             touched.add(node)
         self._paths[flow] = list(path)
         self._installed[flow] = installed
+        if self._telemetry.enabled:
+            self._telemetry.counter(
+                "alvc_sdn_rules_installed_total",
+                "flow rules installed across all switches",
+            ).inc(len(installed))
+            self._telemetry.counter(
+                "alvc_sdn_paths_installed_total",
+                "paths programmed into the fabric",
+            ).inc()
         return len(touched)
 
     def reroute(self, flow: FlowId, new_path: Sequence[str]) -> int:
@@ -80,10 +98,17 @@ class SdnController:
         """Tear down a flow's rules; returns switches touched."""
         self.path_of(flow)  # raises when unknown
         touched: set[str] = set()
+        removed = 0
         for node, match in self._installed.pop(flow, []):
             self._tables[node].remove(match)
             touched.add(node)
+            removed += 1
         del self._paths[flow]
+        if self._telemetry.enabled:
+            self._telemetry.counter(
+                "alvc_sdn_rules_removed_total",
+                "flow rules removed across all switches",
+            ).inc(removed)
         return len(touched)
 
     def _validate_path(self, path: Sequence[str]) -> None:

@@ -16,7 +16,7 @@ import dataclasses
 import enum
 from typing import Iterable
 
-from repro.exceptions import UnknownEntityError
+from repro.exceptions import UnknownEntityError, ValidationError
 from repro.ids import ServerId, VmId
 from repro.topology.datacenter import DataCenterNetwork
 
@@ -40,9 +40,9 @@ class UpdateEvent:
 
     def __post_init__(self) -> None:
         if self.kind is UpdateKind.VM_MIGRATION and self.new_server is None:
-            raise ValueError("VM_MIGRATION events need a new_server")
+            raise ValidationError("VM_MIGRATION events need a new_server")
         if self.kind is not UpdateKind.VM_MIGRATION and self.new_server is not None:
-            raise ValueError(f"{self.kind.value} events must not set new_server")
+            raise ValidationError(f"{self.kind.value} events must not set new_server")
 
     def affected_servers(self) -> list[ServerId]:
         """Servers whose attachment changed."""

@@ -18,7 +18,7 @@ import random
 from typing import Sequence
 
 from repro.core.orchestrator import OrchestratedChain
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationError, ValidationError
 from repro.optical.conversion import (
     ConversionModel,
     TransportEnergyModel,
@@ -46,7 +46,7 @@ class LatencyModel:
     def __post_init__(self) -> None:
         for field in dataclasses.fields(self):
             if getattr(self, field.name) < 0:
-                raise ValueError(f"{field.name} must be non-negative")
+                raise ValidationError(f"{field.name} must be non-negative")
 
     def flow_latency_seconds(
         self,

@@ -22,6 +22,7 @@ from typing import Sequence
 from repro.core.cluster import ClusterManager
 from repro.exceptions import RoutingError, SimulationError, UnknownEntityError
 from repro.ids import FlowId
+from repro.observability.runtime import Telemetry, current_telemetry
 from repro.sdn.routing import (
     least_loaded_path,
     shortest_path_in_al,
@@ -118,6 +119,7 @@ class EventDrivenFlowSimulator:
         default_bandwidth_gbps: float | None = None,
         load_aware: bool = False,
         k_paths: int = 3,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """Create a simulator over a populated inventory.
 
@@ -131,7 +133,12 @@ class EventDrivenFlowSimulator:
                 ``k_paths`` shortest paths (load = concurrent flows per
                 link) instead of always the shortest.
             k_paths: candidate pool size for load-aware routing.
+            telemetry: metrics/tracing sink (ambient default when
+                omitted); records event throughput and queue depth.
         """
+        self._telemetry = (
+            telemetry if telemetry is not None else current_telemetry()
+        )
         self._inventory = inventory
         self._clusters = clusters
         self._load_aware = load_aware
@@ -242,6 +249,41 @@ class EventDrivenFlowSimulator:
                 remains (counted in ``reroutes``) and dropped otherwise
                 (listed in ``dropped``); later arrivals route around it.
         """
+        telemetry = self._telemetry
+        with telemetry.span(
+            "event_simulation", flows=len(flows)
+        ) as span:
+            report = self._run(flows, failures)
+        if telemetry.enabled:
+            span.set(makespan=report.makespan)
+            telemetry.counter(
+                "alvc_sim_flows_completed_total",
+                "flows completed by the event-driven simulator",
+            ).inc(report.flows)
+            telemetry.counter(
+                "alvc_sim_flows_dropped_total",
+                "flows dropped (partitioned by failures)",
+            ).inc(len(report.dropped))
+        return report
+
+    def _run(
+        self,
+        flows: Sequence[Flow],
+        failures: Sequence[tuple[float, str]] = (),
+    ) -> EventSimulationReport:
+        # Instruments are bound once; when telemetry is disabled these
+        # are shared no-op singletons (one cheap call per event).
+        events_counter = self._telemetry.counter(
+            "alvc_sim_events_total",
+            "discrete events processed (arrivals, completions, failures)",
+        )
+        depth_gauge = self._telemetry.gauge(
+            "alvc_sim_active_flows", "concurrent in-flight flows (queue depth)"
+        )
+        peak_gauge = self._telemetry.gauge(
+            "alvc_sim_active_flows_peak", "peak concurrent in-flight flows"
+        )
+        peak_depth = 0
         pending = sorted(flows, key=lambda flow: (flow.arrival_time, flow.flow_id))
         ids = [flow.flow_id for flow in pending]
         if len(set(ids)) != len(ids):
@@ -302,6 +344,7 @@ class EventDrivenFlowSimulator:
                 raise SimulationError(
                     "simulation stalled: active flows with zero rate"
                 )
+            events_counter.inc()
             # Account progress (and link busy-time) over [now, event_time].
             elapsed = event_time - now
             if elapsed > 0:
@@ -402,7 +445,12 @@ class EventDrivenFlowSimulator:
                     )
                 )
                 recompute_rates()
+            depth = len(active)
+            depth_gauge.set(depth)
+            if depth > peak_depth:
+                peak_depth = depth
 
+        peak_gauge.set(peak_depth)
         return EventSimulationReport(
             completed=tuple(
                 sorted(completed, key=lambda record: record.flow_id)

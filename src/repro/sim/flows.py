@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.exceptions import ValidationError
 from repro.ids import FlowId, VmId
 
 
@@ -31,14 +32,14 @@ class Flow:
 
     def __post_init__(self) -> None:
         if self.source == self.destination:
-            raise ValueError(f"flow {self.flow_id} has identical endpoints")
+            raise ValidationError(f"flow {self.flow_id} has identical endpoints")
         if self.size_bytes <= 0:
-            raise ValueError(
+            raise ValidationError(
                 f"flow {self.flow_id} size must be positive, "
                 f"got {self.size_bytes}"
             )
         if self.arrival_time < 0:
-            raise ValueError(
+            raise ValidationError(
                 f"flow {self.flow_id} arrival must be non-negative, "
                 f"got {self.arrival_time}"
             )

@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 from repro.core.cluster import ClusterManager
 from repro.exceptions import RoutingError, UnknownEntityError
+from repro.observability.runtime import Telemetry, current_telemetry
 from repro.optical.conversion import ConversionModel, domain_sequence
 from repro.sdn.routing import shortest_path_in_al, simple_path
 from repro.sim.flows import Flow
@@ -94,10 +95,14 @@ class FlowSimulator:
         inventory: MachineInventory,
         clusters: ClusterManager | None = None,
         conversion_model: ConversionModel | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._inventory = inventory
         self._clusters = clusters
         self._model = conversion_model or ConversionModel()
+        self._telemetry = (
+            telemetry if telemetry is not None else current_telemetry()
+        )
         self.metrics = MetricsCollector()
 
     def route(self, flow: Flow) -> tuple[list[str], bool]:
@@ -129,6 +134,19 @@ class FlowSimulator:
 
     def run(self, flows: Iterable[Flow]) -> SimulationReport:
         """Route every flow and return the aggregate report."""
+        with self._telemetry.span("flow_simulation"):
+            report = self._run(flows)
+        if self._telemetry.enabled:
+            self._telemetry.counter(
+                "alvc_sim_flows_total", "flows routed by the analytic simulator"
+            ).inc(report.flows)
+            self._telemetry.counter(
+                "alvc_sim_transport_conversions_total",
+                "transport O/E/O conversions charged",
+            ).inc(report.total_conversions)
+        return report
+
+    def _run(self, flows: Iterable[Flow]) -> SimulationReport:
         count = 0
         intra = 0
         confined = 0

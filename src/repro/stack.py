@@ -1,0 +1,338 @@
+"""``AlvcStack`` — the one-stop facade over the AL-VC pipeline.
+
+The hand-wired quickstart takes six objects to provision one chain
+(fabric → inventory → service catalog → placement engine → cluster
+manager → orchestrator).  The facade collapses that dance::
+
+    from repro import AlvcStack
+
+    stack = AlvcStack.build(n_racks=8, servers_per_rack=8, n_ops=8, seed=1)
+    live = stack.provision(("firewall", "nat"), service="web")
+    print(live.conversions, stack.telemetry.to_json())
+
+``build`` assembles the whole stack; ``provision`` normalizes its input
+(a chain object *or* a plain tuple of function names), creates the
+service's cluster on first use — populating it with a default batch of
+VMs when the service has none — and runs the orchestrator's transactional
+pipeline.  Every underlying collaborator stays reachable
+(:attr:`orchestrator`, :attr:`inventory`, …) so the facade never becomes
+a ceiling: anything the long-form API can do, the facade's attributes
+can too.
+
+Telemetry rides along: pass ``telemetry="json"``/``"prom"``/``True`` (or
+a :class:`~repro.observability.Telemetry`) to ``build`` and every stage
+of every provision is traced; leave it off and the stack inherits the
+ambient (default no-op, zero-cost) sink.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.chaining import ChainRequest, NetworkFunctionChain
+from repro.core.cluster import VirtualCluster
+from repro.core.orchestrator import (
+    NetworkOrchestrator,
+    OrchestratedChain,
+    ProvisioningPlan,
+)
+from repro.core.placement import HostPolicy, PlacementAlgorithm
+from repro.exceptions import UnknownEntityError
+from repro.ids import ChainId
+from repro.nfv.functions import FunctionCatalog
+from repro.observability.runtime import Telemetry, resolve
+from repro.topology.datacenter import DataCenterNetwork
+from repro.topology.generators import build_alvc_fabric
+from repro.virtualization.machines import MachineInventory, VirtualMachine
+from repro.virtualization.services import ServiceCatalog
+from repro.virtualization.vm_placement import PlacementStrategy, VmPlacementEngine
+
+#: VMs created per service when ``provision`` has to bootstrap a cluster
+#: for a service that has no placed VMs yet.
+DEFAULT_VMS_PER_SERVICE = 8
+
+
+class AlvcStack:
+    """A fully-wired AL-VC deployment behind one object.
+
+    Construct with :meth:`build` (or wire the collaborators yourself and
+    call the constructor).  The facade owns nothing exotic — it simply
+    holds the same objects the quickstart used to create by hand and
+    adds input normalization plus lazy cluster bootstrap.
+    """
+
+    def __init__(
+        self,
+        *,
+        inventory: MachineInventory,
+        orchestrator: NetworkOrchestrator,
+        services: ServiceCatalog,
+        functions: FunctionCatalog,
+        engine: VmPlacementEngine,
+        vms_per_service: int = DEFAULT_VMS_PER_SERVICE,
+    ) -> None:
+        """Assemble a stack from pre-built collaborators (keyword-only)."""
+        self._inventory = inventory
+        self._orchestrator = orchestrator
+        self._services = services
+        self._functions = functions
+        self._engine = engine
+        self._vms_per_service = vms_per_service
+        self._chain_serial = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n_racks: int = 8,
+        servers_per_rack: int = 8,
+        n_ops: int = 8,
+        *,
+        seed: int = 0,
+        fabric: DataCenterNetwork | None = None,
+        telemetry: Telemetry | str | bool | None = None,
+        services: ServiceCatalog | None = None,
+        functions: FunctionCatalog | None = None,
+        placement_strategy: PlacementStrategy | None = None,
+        vms_per_service: int = DEFAULT_VMS_PER_SERVICE,
+        merge_consecutive: bool = False,
+        exclusive_chains: bool = True,
+        host_policy: HostPolicy | None = None,
+        **fabric_options,
+    ) -> "AlvcStack":
+        """Build fabric, inventory, catalogs, engine and orchestrator.
+
+        Args:
+            n_racks / servers_per_rack / n_ops: fabric dimensions
+                (ignored when ``fabric`` is supplied).
+            seed: one seed drives fabric generation, VM placement, and
+                randomized chain placement — two stacks built with the
+                same arguments are bit-identical.
+            fabric: bring your own :class:`DataCenterNetwork` instead of
+                generating one.
+            telemetry: ``"json"``/``"prom"``/``True`` to enable an
+                isolated telemetry sink, ``"off"``/``False`` for an
+                explicit no-op, a :class:`Telemetry` to inject your own,
+                or ``None`` to inherit the ambient sink (see
+                :func:`repro.observability.configure`).
+            services / functions: catalogs (standard ones when omitted).
+            placement_strategy: VM placement policy (service affinity
+                when omitted).
+            vms_per_service: batch size for lazy cluster bootstrap.
+            merge_consecutive / exclusive_chains / host_policy: passed
+                through to :class:`NetworkOrchestrator`.
+            **fabric_options: extra keywords for
+                :func:`~repro.topology.generators.build_alvc_fabric`
+                (e.g. ``tor_uplinks``, ``dual_homing_fraction``).
+        """
+        sink = resolve(telemetry)
+        if fabric is None:
+            fabric = build_alvc_fabric(
+                n_racks=n_racks,
+                servers_per_rack=servers_per_rack,
+                n_ops=n_ops,
+                seed=seed,
+                **fabric_options,
+            )
+        inventory = MachineInventory(fabric)
+        service_catalog = services if services is not None else ServiceCatalog.standard()
+        function_catalog = (
+            functions if functions is not None else FunctionCatalog.standard()
+        )
+        engine = (
+            VmPlacementEngine(inventory, placement_strategy, seed=seed)
+            if placement_strategy is not None
+            else VmPlacementEngine(inventory, seed=seed)
+        )
+        orchestrator = NetworkOrchestrator(
+            inventory,
+            merge_consecutive=merge_consecutive,
+            placement_seed=seed,
+            exclusive_chains=exclusive_chains,
+            host_policy=host_policy,
+            telemetry=sink,
+        )
+        return cls(
+            inventory=inventory,
+            orchestrator=orchestrator,
+            services=service_catalog,
+            functions=function_catalog,
+            engine=engine,
+            vms_per_service=vms_per_service,
+        )
+
+    # ------------------------------------------------------------------
+    # Workload population and clusters
+    # ------------------------------------------------------------------
+    def populate(self, service: str, vms: int) -> list[VirtualMachine]:
+        """Create and place ``vms`` VMs of a service; returns them."""
+        service_type = self._services.get(service)
+        placed: list[VirtualMachine] = []
+        for _ in range(vms):
+            machine = self._inventory.create_vm(service_type)
+            self._engine.place(machine)
+            placed.append(machine)
+        return placed
+
+    def cluster(self, service: str) -> VirtualCluster:
+        """The service's virtual cluster, built on first use.
+
+        When the service has no placed VMs yet, a batch of
+        ``vms_per_service`` VMs is created and placed first, so
+        ``AlvcStack.build().provision(...)`` works on an empty fabric.
+        """
+        manager = self._orchestrator.cluster_manager
+        try:
+            return manager.cluster_of_service(service)
+        except UnknownEntityError:
+            pass
+        if not self._inventory.vms_of_service(service):
+            self.populate(service, self._vms_per_service)
+        return manager.create_cluster(service)
+
+    # ------------------------------------------------------------------
+    # Chain lifecycle (the facade's reason to exist)
+    # ------------------------------------------------------------------
+    def provision(
+        self,
+        chain: NetworkFunctionChain | Sequence[str],
+        *,
+        service: str,
+        tenant: str = "tenant-0",
+        chain_id: ChainId | None = None,
+        flow_size_gb: float = 1.0,
+        bandwidth_gbps: float = 1.0,
+        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+    ) -> OrchestratedChain:
+        """Provision one NFC over a service's cluster (built on demand).
+
+        Args:
+            chain: a :class:`NetworkFunctionChain`, or simply an ordered
+                sequence of catalog function names (``("firewall",
+                "nat")``) — the facade builds the chain object.
+            service: the service whose cluster carries the chain.
+            tenant / flow_size_gb: request metadata.
+            chain_id: id for a name-sequence chain (auto-numbered when
+                omitted; ignored when ``chain`` is already a chain).
+            bandwidth_gbps: link requirement for a name-sequence chain.
+            algorithm: VNF placement algorithm.
+        """
+        self.cluster(service)
+        request = self._request(
+            chain, service, tenant, chain_id, flow_size_gb, bandwidth_gbps
+        )
+        return self._orchestrator.provision_chain(request, algorithm)
+
+    def plan(
+        self,
+        chain: NetworkFunctionChain | Sequence[str],
+        *,
+        service: str,
+        tenant: str = "tenant-0",
+        chain_id: ChainId | None = None,
+        flow_size_gb: float = 1.0,
+        bandwidth_gbps: float = 1.0,
+        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+    ) -> ProvisioningPlan:
+        """Dry-run admission check; mutates nothing.
+
+        Unlike :meth:`provision`, this never bootstraps a cluster — a
+        missing cluster is reported as a blocking problem in the plan.
+        """
+        request = self._request(
+            chain, service, tenant, chain_id, flow_size_gb, bandwidth_gbps
+        )
+        return self._orchestrator.plan_chain(request, algorithm)
+
+    def teardown(self, chain_id: ChainId | None = None) -> int:
+        """Tear down one chain, or every live chain when id is omitted.
+
+        Returns the number of chains torn down.
+        """
+        if chain_id is not None:
+            self._orchestrator.teardown_chain(chain_id)
+            return 1
+        count = 0
+        for live in self._orchestrator.chains():
+            self._orchestrator.teardown_chain(live.chain_id)
+            count += 1
+        return count
+
+    def _request(
+        self,
+        chain: NetworkFunctionChain | Sequence[str],
+        service: str,
+        tenant: str,
+        chain_id: ChainId | None,
+        flow_size_gb: float,
+        bandwidth_gbps: float,
+    ) -> ChainRequest:
+        return ChainRequest(
+            tenant=tenant,
+            chain=self._as_chain(chain, chain_id, bandwidth_gbps),
+            service=service,
+            flow_size_gb=flow_size_gb,
+        )
+
+    def _as_chain(
+        self,
+        chain: NetworkFunctionChain | Sequence[str],
+        chain_id: ChainId | None,
+        bandwidth_gbps: float,
+    ) -> NetworkFunctionChain:
+        if isinstance(chain, NetworkFunctionChain):
+            return chain
+        if chain_id is None:
+            chain_id = f"chain-{self._chain_serial}"
+            self._chain_serial += 1
+        return NetworkFunctionChain.from_names(
+            chain_id, tuple(chain), self._functions, bandwidth_gbps
+        )
+
+    # ------------------------------------------------------------------
+    # Queries and collaborator access (the facade is not a ceiling)
+    # ------------------------------------------------------------------
+    def chains(self) -> list[OrchestratedChain]:
+        """All live chains, sorted by id."""
+        return self._orchestrator.chains()
+
+    def chain(self, chain_id: ChainId) -> OrchestratedChain:
+        """The live chain with this id."""
+        return self._orchestrator.chain(chain_id)
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The stack's metrics/tracing sink."""
+        return self._orchestrator.telemetry
+
+    @property
+    def fabric(self) -> DataCenterNetwork:
+        """The physical data-center network."""
+        return self._inventory.network
+
+    @property
+    def inventory(self) -> MachineInventory:
+        """The VM ledger."""
+        return self._inventory
+
+    @property
+    def orchestrator(self) -> NetworkOrchestrator:
+        """The underlying orchestrator (full long-form API)."""
+        return self._orchestrator
+
+    @property
+    def services(self) -> ServiceCatalog:
+        """The service catalog."""
+        return self._services
+
+    @property
+    def functions(self) -> FunctionCatalog:
+        """The network-function catalog."""
+        return self._functions
+
+    @property
+    def engine(self) -> VmPlacementEngine:
+        """The VM placement engine used by :meth:`populate`."""
+        return self._engine

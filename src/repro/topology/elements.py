@@ -12,6 +12,8 @@ import dataclasses
 import enum
 import math
 
+from repro.exceptions import ValidationError
+
 
 class Domain(enum.Enum):
     """Transmission domain of a link or hosting domain of a function.
@@ -53,7 +55,7 @@ class ResourceVector:
         for field in dataclasses.fields(self):
             value = getattr(self, field.name)
             if not math.isfinite(value) or value < 0:
-                raise ValueError(
+                raise ValidationError(
                     f"{field.name} must be finite and non-negative, got {value!r}"
                 )
 
@@ -75,7 +77,7 @@ class ResourceVector:
     def scaled(self, factor: float) -> "ResourceVector":
         """Return this vector scaled by a non-negative factor."""
         if factor < 0:
-            raise ValueError(f"scale factor must be non-negative, got {factor}")
+            raise ValidationError(f"scale factor must be non-negative, got {factor}")
         return ResourceVector(
             cpu_cores=self.cpu_cores * factor,
             memory_gb=self.memory_gb * factor,
@@ -165,7 +167,7 @@ class LinkSpec:
 
     def __post_init__(self) -> None:
         if self.bandwidth_gbps <= 0:
-            raise ValueError(
+            raise ValidationError(
                 f"bandwidth must be positive, got {self.bandwidth_gbps}"
             )
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.exceptions import DuplicateEntityError, UnknownEntityError
+from repro.exceptions import DuplicateEntityError, UnknownEntityError, ValidationError
 from repro.topology.elements import ResourceVector
 
 
@@ -37,9 +37,9 @@ class ServiceType:
 
     def __post_init__(self) -> None:
         if not self.name:
-            raise ValueError("service name must be non-empty")
+            raise ValidationError("service name must be non-empty")
         if self.traffic_intensity < 0:
-            raise ValueError(
+            raise ValidationError(
                 f"traffic_intensity must be non-negative, "
                 f"got {self.traffic_intensity}"
             )

@@ -13,7 +13,7 @@ import dataclasses
 
 import networkx as nx
 
-from repro.exceptions import RoutingError, UnknownEntityError
+from repro.exceptions import RoutingError, UnknownEntityError, ValidationError
 from repro.ids import VmId
 from repro.virtualization.machines import MachineInventory
 
@@ -28,9 +28,9 @@ class VirtualLink:
 
     def __post_init__(self) -> None:
         if self.a == self.b:
-            raise ValueError(f"virtual self-loop on {self.a!r}")
+            raise ValidationError(f"virtual self-loop on {self.a!r}")
         if self.bandwidth_gbps <= 0:
-            raise ValueError(
+            raise ValidationError(
                 f"virtual link bandwidth must be positive, "
                 f"got {self.bandwidth_gbps}"
             )

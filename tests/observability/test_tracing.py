@@ -1,0 +1,120 @@
+"""Tracer/Span semantics: nesting, attributes, bounded buffer, no-op."""
+
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.observability import NullTracer, Tracer
+from repro.observability.runtime import (
+    Telemetry,
+    current_telemetry,
+    resolve,
+    use_telemetry,
+)
+
+
+class TestSpans:
+    def test_span_records_name_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        [span] = tracer.finished_spans()
+        assert span.name == "work"
+        assert span.duration >= 0
+
+    def test_nested_spans_link_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sorted(
+            tracer.finished_spans(), key=lambda span: span.name
+        )
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert [child.name for child in tracer.children_of(outer)] == ["inner"]
+
+    def test_attributes_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("work", chain="c0") as span:
+            span.set(hops=3)
+        [finished] = tracer.finished_spans()
+        assert finished.attributes == {"chain": "c0", "hops": 3}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        [span] = tracer.finished_spans()
+        assert span.attributes["error"] == "RuntimeError"
+        assert tracer.stats()["work"].errors == 1
+
+    def test_stats_aggregate_per_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("work"):
+                pass
+        stats = tracer.stats()["work"]
+        assert stats.count == 3
+        assert stats.total_seconds >= 0
+        assert stats.mean_seconds == pytest.approx(stats.total_seconds / 3)
+
+    def test_span_buffer_is_bounded_but_stats_complete(self):
+        tracer = Tracer(max_spans=4)
+        for _ in range(10):
+            with tracer.span("work"):
+                pass
+        assert len(tracer.finished_spans()) == 4
+        assert tracer.stats()["work"].count == 10
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_span(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        assert tracer.span("a") is tracer.span("b", key="value")
+        with tracer.span("a") as span:
+            span.set(anything=1)
+        assert tracer.finished_spans() == []
+        assert tracer.stats() == {}
+
+
+class TestRuntime:
+    def test_ambient_default_is_disabled(self):
+        assert not current_telemetry().enabled
+
+    def test_use_telemetry_installs_and_restores(self):
+        before = current_telemetry()
+        enabled = Telemetry.enabled_instance()
+        with use_telemetry(enabled):
+            assert current_telemetry() is enabled
+        assert current_telemetry() is before
+
+    def test_resolve_modes(self):
+        assert not resolve(False).enabled
+        assert not resolve("off").enabled
+        assert resolve(True).enabled
+        assert resolve("json").enabled
+        assert resolve("prom").enabled
+        ambient = resolve(None)
+        assert ambient is current_telemetry()
+        injected = Telemetry.enabled_instance()
+        assert resolve(injected) is injected
+        with pytest.raises(TelemetryError):
+            resolve("bogus-mode")
+
+    def test_snapshot_contains_metrics_and_tracing(self):
+        telemetry = Telemetry.enabled_instance()
+        telemetry.counter("x_total").inc()
+        with telemetry.span("work"):
+            pass
+        snapshot = telemetry.snapshot()
+        assert "x_total" in snapshot["metrics"]
+        assert snapshot["tracing"]["aggregates"]["work"]["count"] == 1
+
+    def test_to_prometheus_includes_span_aggregates(self):
+        telemetry = Telemetry.enabled_instance()
+        with telemetry.span("work"):
+            pass
+        text = telemetry.to_prometheus()
+        assert 'alvc_span_count_total{span="work"} 1' in text
