@@ -1,0 +1,74 @@
+"""E19 — event-driven simulator throughput (hot-path optimization).
+
+Regenerates: the engineering claim behind this repo's event-driven
+simulator rework — the incremental water-filling engine, the LRU route
+cache and the lazy-deletion completion heap together deliver at least a
+3x events/second speedup over the pre-optimization loop on a 64-rack
+fabric, with the same flow-completion results.
+
+The run writes a machine-readable record (``BENCH_e19.json`` in the
+working directory, or ``$ALVC_BENCH_E19_OUT``) that
+``benchmarks/compare_throughput.py`` diffs against the committed
+``benchmarks/BENCH_e19.json`` to gate throughput regressions in CI.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.experiments import experiment_e19_event_throughput
+from repro.analysis.reporting import render_table
+
+#: The tentpole promise: incremental engine at least this much faster.
+MIN_SPEEDUP = 3.0
+
+
+def test_bench_e19_event_throughput(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e19_event_throughput,
+        kwargs={"seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            rows, title="E19 — event-simulator throughput by engine"
+        )
+    )
+
+    by_engine = {row["engine"]: row for row in rows}
+    legacy = by_engine["legacy"]
+    incremental = by_engine["incremental"]
+
+    # Identical workload, identical outcome (to float tolerance; the
+    # bit-for-bit check lives in tests/sim/test_event_simulator.py).
+    assert incremental["flows"] == legacy["flows"]
+    assert incremental["events"] == legacy["events"]
+    assert incremental["mean_fct"] == pytest.approx(
+        legacy["mean_fct"], rel=1e-6
+    )
+
+    # The tentpole acceptance bar: >= 3x events/second.
+    assert incremental["speedup"] >= MIN_SPEEDUP, (
+        f"incremental engine is only {incremental['speedup']:.2f}x the "
+        f"legacy loop (target {MIN_SPEEDUP}x)"
+    )
+
+    out_path = os.environ.get("ALVC_BENCH_E19_OUT", "BENCH_e19.json")
+    with open(out_path, "w") as handle:
+        json.dump(
+            {
+                "experiment": "e19_event_throughput",
+                "rows": rows,
+                "events_per_sec": {
+                    row["engine"]: row["events_per_sec"] for row in rows
+                },
+                "speedup": incremental["speedup"],
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")

@@ -119,12 +119,25 @@ def greedy_max_weight_cover(
     Raises:
         CoverInfeasibleError: when the union of all candidates misses part
             of the universe.
+        ValidationError: when any candidate is missing from ``weights``.
+            Silently defaulting a missing weight to 0.0 used to demote the
+            candidate to the back of the visit order, which can flip the
+            cover for fabrics where callers forgot to score a switch — a
+            wrong answer instead of a loud error.
     """
     target = frozenset(universe)
     _check_feasible(target, candidates)
+    missing = sorted(
+        (cand for cand in candidates if cand not in weights),
+        key=natural_sort_key,
+    )
+    if missing:
+        raise ValidationError(
+            f"greedy_max_weight_cover: candidates missing a weight: {missing!r}"
+        )
     order = sorted(
         candidates,
-        key=lambda cand: (-weights.get(cand, 0.0), natural_sort_key(cand)),
+        key=lambda cand: (-weights[cand], natural_sort_key(cand)),
     )
     steps: list[CoverStep] = []
     selected: list = []
@@ -137,7 +150,7 @@ def greedy_max_weight_cover(
         steps.append(
             CoverStep(
                 candidate=candidate,
-                weight=float(weights.get(candidate, 0.0)),
+                weight=float(weights[candidate]),
                 newly_covered=gain,
                 selected=take,
             )

@@ -9,10 +9,12 @@ paper inherits from its companion work (reference [14]).
 
 from repro.sdn.controller import SdnController
 from repro.sdn.flow_table import FlowRule, FlowTable
+from repro.sdn.route_cache import NO_ROUTE, RouteCache
 from repro.sdn.routing import (
     chain_path,
     k_shortest_paths,
     least_loaded_path,
+    pick_least_loaded,
     shortest_path_in_al,
     simple_path,
 )
@@ -21,6 +23,8 @@ from repro.sdn.updates import UpdateCostModel, UpdateEvent, UpdateKind
 __all__ = [
     "FlowRule",
     "FlowTable",
+    "NO_ROUTE",
+    "RouteCache",
     "SdnController",
     "UpdateCostModel",
     "UpdateEvent",
@@ -28,6 +32,7 @@ __all__ = [
     "chain_path",
     "k_shortest_paths",
     "least_loaded_path",
+    "pick_least_loaded",
     "shortest_path_in_al",
     "simple_path",
 ]

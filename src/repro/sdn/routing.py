@@ -132,6 +132,42 @@ def k_shortest_paths(
     return paths
 
 
+def pick_least_loaded(candidates: Sequence[Sequence[str]], link_load):
+    """The candidate path with the lightest bottleneck under ``link_load``.
+
+    The scoring core of :func:`least_loaded_path`, split out so cached
+    candidate lists (see :mod:`repro.sdn.route_cache`) can be re-scored
+    against live loads without recomputing the k-shortest-path pool.
+
+    Args:
+        candidates: non-empty sequence of node paths.
+        link_load: mapping ``frozenset({a, b}) -> load`` (any unit);
+            missing links count as load 0.
+
+    Returns:
+        The candidate minimizing (max link load, total link load, hops);
+        ties keep the earliest (shortest) candidate.
+
+    Raises:
+        RoutingError: when ``candidates`` is empty.
+    """
+    if not candidates:
+        raise RoutingError("no candidate paths to score")
+
+    def score(path: Sequence[str]):
+        loads = [
+            link_load.get(frozenset((a, b)), 0.0)
+            for a, b in zip(path, path[1:])
+        ]
+        return (
+            max(loads, default=0.0),
+            sum(loads),
+            len(path),
+        )
+
+    return min(candidates, key=score)
+
+
 def least_loaded_path(
     dcn: DataCenterNetwork,
     source: str,
@@ -159,19 +195,7 @@ def least_loaded_path(
     candidates = k_shortest_paths(
         dcn, source, target, k=k, al_switches=al_switches
     )
-
-    def score(path: list[str]):
-        loads = [
-            link_load.get(frozenset((a, b)), 0.0)
-            for a, b in zip(path, path[1:])
-        ]
-        return (
-            max(loads, default=0.0),
-            sum(loads),
-            len(path),
-        )
-
-    return min(candidates, key=score)
+    return list(pick_least_loaded(candidates, link_load))
 
 
 def path_length_statistics(

@@ -19,7 +19,7 @@ from repro.sim.event_simulator import (
     EventSimulationReport,
 )
 from repro.sim.events import EventQueue, Simulator
-from repro.sim.fairshare import max_min_fair_rates
+from repro.sim.fairshare import FairShareEngine, max_min_fair_rates
 from repro.sim.flows import Flow
 from repro.sim.metrics import MetricsCollector
 from repro.sim.simulator import FlowSimulator, SimulationReport
@@ -33,6 +33,7 @@ __all__ = [
     "EventDrivenFlowSimulator",
     "EventQueue",
     "EventSimulationReport",
+    "FairShareEngine",
     "Flow",
     "FlowSimulator",
     "MetricsCollector",

@@ -11,26 +11,69 @@ bandwidth without delay").
 Routing follows the same policy as the analytic simulator: intra-service
 flows ride their cluster's abstraction layer; everything else takes flat
 shortest paths.
+
+The hot path is engineered to scale with the number of *affected* flows
+per event rather than the number of active flows:
+
+* rates come from the incremental
+  :class:`~repro.sim.fairshare.FairShareEngine` (per-link flow counts
+  maintained across events) instead of a from-scratch water-filling;
+* the next completion is popped from a lazy-deletion min-heap of
+  projected completion times — entries are re-pushed only for flows
+  whose rate actually changed, and stale entries are discarded on peek;
+* flow progress (and per-link busy time) is materialized lazily at
+  rate-change boundaries instead of being charged to every active flow
+  on every event;
+* routes are served from an LRU :class:`~repro.sdn.route_cache.RouteCache`
+  keyed by ``(src_host, dst_host, al_signature, load_aware)``.
+
+Three engines are selectable for parity testing and benchmarking:
+``"incremental"`` (the default), ``"from_scratch"`` (same event loop,
+reference fair-share algorithm — bit-for-bit identical reports), and
+``"legacy"`` (the pre-optimization loop: per-event from-scratch
+water-filling with per-round load rebuilds, linear scan for the next
+completion, eager per-event progress accounting).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import math
 from typing import Sequence
 
 from repro.core.cluster import ClusterManager
-from repro.exceptions import RoutingError, SimulationError, UnknownEntityError
+from repro.exceptions import (
+    RoutingError,
+    SimulationError,
+    UnknownEntityError,
+    ValidationError,
+)
 from repro.ids import FlowId
 from repro.observability.runtime import Telemetry, current_telemetry
+from repro.sdn.route_cache import (
+    DEFAULT_ROUTE_CACHE_SIZE,
+    NO_ROUTE,
+    RouteCache,
+)
 from repro.sdn.routing import (
+    k_shortest_paths,
     least_loaded_path,
+    pick_least_loaded,
     shortest_path_in_al,
     simple_path,
 )
-from repro.sim.fairshare import LinkId, links_on_path, max_min_fair_rates
+from repro.sim.fairshare import (
+    FairShareEngine,
+    LinkId,
+    links_on_path,
+    max_min_fair_rates,
+)
 from repro.sim.flows import Flow
 from repro.virtualization.machines import MachineInventory
+
+#: Selectable fair-share/event-loop engines.
+ENGINES = ("incremental", "from_scratch", "legacy")
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -59,6 +102,7 @@ class EventSimulationReport:
     dropped: tuple[FlowId, ...] = ()
     reroutes: int = 0
     failed_nodes: tuple[str, ...] = ()
+    events: int = 0
 
     @property
     def flows(self) -> int:
@@ -86,26 +130,57 @@ class EventSimulationReport:
     def mean_link_utilization(
         self, capacities: dict[LinkId, float]
     ) -> float:
-        """Time-averaged utilization over links that carried traffic."""
+        """Time-averaged utilization over links that carried traffic.
+
+        Args:
+            capacities: link → capacity in the same byte/second unit the
+                simulation ran with; must cover every link that carried
+                traffic.  Zero-capacity links that carried nothing count
+                as utilization 0 (they used to be silently skipped,
+                which biased the mean upward).
+
+        Raises:
+            SimulationError: when a busy link has no capacity entry, a
+                capacity is negative, or a zero-capacity link somehow
+                carried traffic.
+        """
         if not self.link_busy_byte_seconds or self.makespan <= 0:
             return 0.0
         utilizations = []
         for link, byte_seconds in self.link_busy_byte_seconds.items():
-            capacity = capacities.get(link)
-            if capacity:
+            if link not in capacities:
+                raise SimulationError(
+                    f"busy link {sorted(link)} has no capacity entry"
+                )
+            capacity = capacities[link]
+            if capacity < 0:
+                raise SimulationError(
+                    f"link {sorted(link)} has negative capacity {capacity}"
+                )
+            if capacity == 0:
+                if byte_seconds > 0:
+                    raise SimulationError(
+                        f"zero-capacity link {sorted(link)} carried "
+                        f"{byte_seconds} byte-seconds"
+                    )
+                utilizations.append(0.0)
+            else:
                 utilizations.append(
                     byte_seconds / (capacity * self.makespan)
                 )
         return sum(utilizations) / len(utilizations) if utilizations else 0.0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _ActiveFlow:
     flow: Flow
     path: list[str]
     links: list[LinkId]
     remaining_bytes: float
     rate: float = 0.0
+    eta: float = math.inf
+    last_update: float = 0.0
+    epoch: int = 0
 
 
 class EventDrivenFlowSimulator:
@@ -120,6 +195,8 @@ class EventDrivenFlowSimulator:
         load_aware: bool = False,
         k_paths: int = 3,
         telemetry: Telemetry | None = None,
+        engine: str = "incremental",
+        route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
     ) -> None:
         """Create a simulator over a populated inventory.
 
@@ -127,15 +204,41 @@ class EventDrivenFlowSimulator:
             inventory: the VM ledger.
             clusters: cluster manager for AL-confined routing (flat
                 routing when omitted).
-            default_bandwidth_gbps: override every link's capacity;
-                defaults to each link's own ``bandwidth_gbps``.
+            default_bandwidth_gbps: override every physical link's
+                capacity (a trunk of ``n`` parallel links gets ``n``
+                times this); defaults to each trunk's own aggregated
+                ``bandwidth_gbps``.
             load_aware: route each arrival over the least-loaded of the
                 ``k_paths`` shortest paths (load = concurrent flows per
                 link) instead of always the shortest.
             k_paths: candidate pool size for load-aware routing.
             telemetry: metrics/tracing sink (ambient default when
-                omitted); records event throughput and queue depth.
+                omitted); records event throughput, queue depths,
+                fair-share rounds and route-cache traffic.
+            engine: ``"incremental"`` (default hot path),
+                ``"from_scratch"`` (reference fair-share, same loop) or
+                ``"legacy"`` (the pre-optimization loop).
+            route_cache_size: LRU entries for route caching; ``0``
+                disables the cache entirely.
+
+        Raises:
+            ValidationError: on an unknown engine, a negative cache
+                size, or a non-positive bandwidth override.
         """
+        if engine not in ENGINES:
+            raise ValidationError(
+                f"unknown simulation engine {engine!r} "
+                f"(expected one of {', '.join(ENGINES)})"
+            )
+        if route_cache_size < 0:
+            raise ValidationError(
+                f"route_cache_size must be >= 0, got {route_cache_size}"
+            )
+        if default_bandwidth_gbps is not None and default_bandwidth_gbps <= 0:
+            raise ValidationError(
+                "default_bandwidth_gbps must be positive, "
+                f"got {default_bandwidth_gbps}"
+            )
         self._telemetry = (
             telemetry if telemetry is not None else current_telemetry()
         )
@@ -143,20 +246,56 @@ class EventDrivenFlowSimulator:
         self._clusters = clusters
         self._load_aware = load_aware
         self._k_paths = k_paths
+        self._engine_mode = engine
         self._capacities: dict[LinkId, float] = {}
-        for a, b, link in inventory.network.edges():
-            bandwidth = (
-                default_bandwidth_gbps
-                if default_bandwidth_gbps is not None
-                else link.bandwidth_gbps
-            )
-            # Bytes per second: gbps -> bits/s -> bytes/s.
-            self._capacities[frozenset((a, b))] = bandwidth * 1e9 / 8
+        for a, b, link, parallel in inventory.network.trunks():
+            if default_bandwidth_gbps is not None:
+                bandwidth = default_bandwidth_gbps * parallel
+            else:
+                bandwidth = link.bandwidth_gbps
+            key = frozenset((a, b))
+            # Bytes per second: gbps -> bits/s -> bytes/s.  Aggregate
+            # defensively should a backend ever report a pair twice —
+            # parallel links must add capacity, not overwrite it.
+            capacity = bandwidth * 1e9 / 8
+            if key in self._capacities:
+                self._capacities[key] += capacity
+            else:
+                self._capacities[key] = capacity
+        self._route_cache: RouteCache | None = (
+            RouteCache(route_cache_size, telemetry=self._telemetry)
+            if route_cache_size > 0
+            else None
+        )
 
     @property
     def capacities(self) -> dict[LinkId, float]:
         """Per-link capacity in bytes/second (a copy)."""
         return dict(self._capacities)
+
+    @property
+    def engine(self) -> str:
+        """The fair-share/event-loop engine in use."""
+        return self._engine_mode
+
+    @property
+    def route_cache(self) -> RouteCache | None:
+        """The LRU route cache (``None`` when disabled)."""
+        return self._route_cache
+
+    def invalidate_routes(self) -> int:
+        """Drop every cached route.
+
+        Call after mutating the fabric or reconstructing an abstraction
+        layer in place.  (AL *replacements* need no invalidation — the
+        AL switch set is part of the cache key.)
+
+        Returns:
+            The number of entries dropped (0 when the cache is off).
+        """
+        if self._route_cache is None:
+            return 0
+        return self._route_cache.invalidate()
 
     # ------------------------------------------------------------------
     def _route(
@@ -181,6 +320,48 @@ class EventDrivenFlowSimulator:
         return self._pick_path(source, destination, None, link_flows)
 
     def _pick_path(
+        self,
+        source: str,
+        destination: str,
+        al,
+        link_flows: dict[LinkId, int],
+    ) -> list[str]:
+        cache = self._route_cache
+        if cache is None:
+            return self._compute_path(source, destination, al, link_flows)
+        al_key = None if al is None else frozenset(al)
+        key = (source, destination, al_key, self._load_aware)
+        cached = cache.get(key)
+        if cached is NO_ROUTE:
+            raise RoutingError(
+                f"no cached route from {source} to {destination}"
+                + ("" if al_key is None else " inside the abstraction layer")
+            )
+        if cached is not None:
+            if self._load_aware:
+                return list(pick_least_loaded(cached, link_flows))
+            return list(cached)
+        try:
+            if self._load_aware:
+                candidates = k_shortest_paths(
+                    self._inventory.network,
+                    source,
+                    destination,
+                    k=self._k_paths,
+                    al_switches=al,
+                )
+                cache.put(
+                    key, tuple(tuple(path) for path in candidates)
+                )
+                return list(pick_least_loaded(candidates, link_flows))
+            path = self._compute_path(source, destination, al, link_flows)
+        except RoutingError:
+            cache.put(key, NO_ROUTE)
+            raise
+        cache.put(key, tuple(path))
+        return path
+
+    def _compute_path(
         self,
         source: str,
         destination: str,
@@ -212,7 +393,9 @@ class EventDrivenFlowSimulator:
 
         Failure-aware routing is policy-free (plain shortest path over
         the surviving fabric): with switches gone, staying inside the AL
-        or balancing load is secondary to reconnecting at all.
+        or balancing load is secondary to reconnecting at all.  It is
+        deliberately uncached — the surviving fabric changes with every
+        failure event.
         """
         import networkx as nx
 
@@ -253,9 +436,12 @@ class EventDrivenFlowSimulator:
         with telemetry.span(
             "event_simulation", flows=len(flows)
         ) as span:
-            report = self._run(flows, failures)
+            if self._engine_mode == "legacy":
+                report = self._run_legacy(flows, failures)
+            else:
+                report = self._run(flows, failures)
         if telemetry.enabled:
-            span.set(makespan=report.makespan)
+            span.set(makespan=report.makespan, events=report.events)
             telemetry.counter(
                 "alvc_sim_flows_completed_total",
                 "flows completed by the event-driven simulator",
@@ -266,6 +452,9 @@ class EventDrivenFlowSimulator:
             ).inc(len(report.dropped))
         return report
 
+    # ------------------------------------------------------------------
+    # Fast path: lazy heap + incremental (or reference) fair share
+    # ------------------------------------------------------------------
     def _run(
         self,
         flows: Sequence[Flow],
@@ -283,7 +472,294 @@ class EventDrivenFlowSimulator:
         peak_gauge = self._telemetry.gauge(
             "alvc_sim_active_flows_peak", "peak concurrent in-flight flows"
         )
+        heap_gauge = self._telemetry.gauge(
+            "alvc_sim_event_queue_depth",
+            "completion-heap entries (including stale lazy-deletion ones)",
+        )
         peak_depth = 0
+        pending = sorted(flows, key=lambda flow: (flow.arrival_time, flow.flow_id))
+        ids = [flow.flow_id for flow in pending]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("duplicate flow ids in workload")
+        failure_queue = sorted(failures)
+        for when, node in failure_queue:
+            if when < 0:
+                raise SimulationError(f"failure time must be >= 0, got {when}")
+            if not self._inventory.network.has_node(node):
+                raise SimulationError(f"unknown failure node {node!r}")
+
+        incremental = self._engine_mode == "incremental"
+        # Per-run capacity view: failures remove links here without
+        # poisoning the simulator for subsequent runs.
+        capacities = dict(self._capacities)
+        engine = (
+            FairShareEngine(capacities, telemetry=self._telemetry)
+            if incremental
+            else None
+        )
+
+        active: dict[FlowId, _ActiveFlow] = {}
+        heap: list[tuple[float, FlowId, int]] = []
+        completed: list[CompletedFlow] = []
+        dropped: list[FlowId] = []
+        reroutes = 0
+        events = 0
+        failed_nodes: set[str] = set()
+        busy: dict[LinkId, float] = {}
+        link_flows: dict[LinkId, int] = {}
+        now = 0.0
+        arrival_index = 0
+        failure_index = 0
+        infinity = math.inf
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        def materialize(state: _ActiveFlow) -> None:
+            """Charge a flow's progress (and link busy time) since its
+            last rate change.  Progress is linear between rate changes,
+            so charging at the boundaries is exact."""
+            elapsed = now - state.last_update
+            rate = state.rate
+            if elapsed > 0.0 and 0.0 < rate < infinity:
+                moved = rate * elapsed
+                remaining = state.remaining_bytes
+                if moved > remaining:
+                    moved = remaining
+                state.remaining_bytes = remaining - moved
+                if moved > 0.0:
+                    # Accumulators are pre-seeded when the flow starts,
+                    # keeping this hot loop a plain ``+=``.
+                    for link in state.links:
+                        busy[link] += moved
+            state.last_update = now
+
+        def apply_rates(rates: dict[FlowId, float]) -> None:
+            """Adopt a fresh allocation; only flows whose rate changed
+            get materialized and re-pushed onto the completion heap."""
+            for flow_id, state in active.items():
+                new_rate = rates[flow_id]
+                if new_rate == state.rate:
+                    continue  # projected completion time is unchanged
+                materialize(state)
+                state.rate = new_rate
+                state.epoch += 1
+                if new_rate == infinity:
+                    # Mirrors remaining / inf == 0.0: completes "now".
+                    state.eta = now
+                    heappush(heap, (now, flow_id, state.epoch))
+                elif new_rate > 0.0:
+                    eta = now + state.remaining_bytes / new_rate
+                    state.eta = eta
+                    heappush(heap, (eta, flow_id, state.epoch))
+                else:
+                    state.eta = infinity
+
+        def recompute_rates() -> None:
+            if incremental:
+                rates = engine.recompute()
+            else:
+                rates = max_min_fair_rates(
+                    {
+                        flow_id: state.links
+                        for flow_id, state in active.items()
+                    },
+                    capacities,
+                )
+            apply_rates(rates)
+
+        while (
+            arrival_index < len(pending)
+            or active
+            or failure_index < len(failure_queue)
+        ):
+            next_arrival = (
+                pending[arrival_index].arrival_time
+                if arrival_index < len(pending)
+                else infinity
+            )
+            next_failure = (
+                failure_queue[failure_index][0]
+                if failure_index < len(failure_queue)
+                else infinity
+            )
+            # Peek the earliest *valid* completion; lazily discard
+            # entries whose flow completed, rerouted or changed rate.
+            while heap:
+                _, flow_id, epoch = heap[0]
+                state = active.get(flow_id)
+                if state is not None and state.epoch == epoch:
+                    break
+                heappop(heap)
+            if heap:
+                next_completion = heap[0][0]
+                next_finisher: FlowId | None = heap[0][1]
+            else:
+                next_completion = infinity
+                next_finisher = None
+            event_time = min(next_arrival, next_completion, next_failure)
+            if math.isinf(event_time):
+                raise SimulationError(
+                    "simulation stalled: active flows with zero rate"
+                )
+            events += 1
+            events_counter.inc()
+            now = event_time
+
+            if next_failure <= next_arrival and next_failure <= next_completion:
+                _, failed = failure_queue[failure_index]
+                failure_index += 1
+                if failed in failed_nodes:
+                    continue
+                failed_nodes.add(failed)
+                # Active flows over the node reroute or drop.
+                victims = [
+                    flow_id
+                    for flow_id, state in sorted(active.items())
+                    if failed in state.path
+                ]
+                for flow_id in victims:
+                    state = active.pop(flow_id)
+                    materialize(state)
+                    for link in state.links:
+                        link_flows[link] -= 1
+                        if link_flows[link] == 0:
+                            del link_flows[link]
+                    if incremental:
+                        engine.remove_flow(flow_id)
+                    new_path = self._route_avoiding(
+                        state.flow, failed_nodes, link_flows
+                    )
+                    if new_path is None:
+                        dropped.append(flow_id)
+                        continue
+                    reroutes += 1
+                    rerouted = _ActiveFlow(
+                        flow=state.flow,
+                        path=new_path,
+                        links=links_on_path(new_path),
+                        remaining_bytes=state.remaining_bytes,
+                        last_update=now,
+                    )
+                    active[flow_id] = rerouted
+                    for link in rerouted.links:
+                        link_flows[link] = link_flows.get(link, 0) + 1
+                        if link not in busy:
+                            busy[link] = 0.0
+                    if incremental:
+                        engine.add_flow(flow_id, rerouted.links)
+                # Links touching the node leave the capacity map (after
+                # the reroutes, so the engine never drops a loaded link).
+                for link in list(capacities):
+                    if failed in link:
+                        del capacities[link]
+                        if incremental:
+                            engine.remove_link(link)
+                recompute_rates()
+            elif next_arrival <= next_completion and arrival_index < len(pending):
+                flow = pending[arrival_index]
+                arrival_index += 1
+                if failed_nodes:
+                    path = self._route_avoiding(
+                        flow, failed_nodes, link_flows
+                    )
+                    if path is None:
+                        dropped.append(flow.flow_id)
+                        continue
+                else:
+                    path = self._route(flow, link_flows)
+                links = links_on_path(path)
+                if not links:
+                    # Co-located endpoints: completes immediately and
+                    # leaves every other allocation untouched.
+                    completed.append(
+                        CompletedFlow(
+                            flow_id=flow.flow_id,
+                            size_bytes=flow.size_bytes,
+                            arrival_time=flow.arrival_time,
+                            completion_time=now,
+                            hops=0,
+                        )
+                    )
+                else:
+                    state = _ActiveFlow(
+                        flow=flow,
+                        path=path,
+                        links=links,
+                        remaining_bytes=flow.size_bytes,
+                        last_update=now,
+                    )
+                    active[flow.flow_id] = state
+                    for link in links:
+                        link_flows[link] = link_flows.get(link, 0) + 1
+                        if link not in busy:
+                            busy[link] = 0.0
+                    if incremental:
+                        engine.add_flow(flow.flow_id, links)
+                    recompute_rates()
+            else:
+                state = active.pop(next_finisher)
+                heappop(heap)  # the validated top entry is the finisher
+                materialize(state)
+                for link in state.links:
+                    link_flows[link] -= 1
+                    if link_flows[link] == 0:
+                        del link_flows[link]
+                if incremental:
+                    engine.remove_flow(next_finisher)
+                completed.append(
+                    CompletedFlow(
+                        flow_id=state.flow.flow_id,
+                        size_bytes=state.flow.size_bytes,
+                        arrival_time=state.flow.arrival_time,
+                        completion_time=now,
+                        hops=len(state.path) - 1,
+                    )
+                )
+                recompute_rates()
+            depth = len(active)
+            depth_gauge.set(depth)
+            heap_gauge.set(len(heap))
+            if depth > peak_depth:
+                peak_depth = depth
+
+        peak_gauge.set(peak_depth)
+        return EventSimulationReport(
+            completed=tuple(
+                sorted(completed, key=lambda record: record.flow_id)
+            ),
+            makespan=now,
+            # Drop accumulators that never carried a byte, matching the
+            # lazily-populated mapping the report always exposed.
+            link_busy_byte_seconds={
+                link: value for link, value in busy.items() if value > 0.0
+            },
+            dropped=tuple(sorted(dropped)),
+            reroutes=reroutes,
+            failed_nodes=tuple(sorted(failed_nodes)),
+            events=events,
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy path: pre-optimization loop, kept for benchmarking and
+    # behavioural regression tests (E19 measures the speedup against it)
+    # ------------------------------------------------------------------
+    def _run_legacy(
+        self,
+        flows: Sequence[Flow],
+        failures: Sequence[tuple[float, str]] = (),
+    ) -> EventSimulationReport:
+        events_counter = self._telemetry.counter(
+            "alvc_sim_events_total",
+            "discrete events processed (arrivals, completions, failures)",
+        )
+        depth_gauge = self._telemetry.gauge(
+            "alvc_sim_active_flows", "concurrent in-flight flows (queue depth)"
+        )
+        peak_gauge = self._telemetry.gauge(
+            "alvc_sim_active_flows_peak", "peak concurrent in-flight flows"
+        )
+        peak_depth = 0
+        events = 0
         pending = sorted(flows, key=lambda flow: (flow.arrival_time, flow.flow_id))
         ids = [flow.flow_id for flow in pending]
         if len(set(ids)) != len(ids):
@@ -302,8 +778,6 @@ class EventDrivenFlowSimulator:
         failed_nodes: set[str] = set()
         busy: dict[LinkId, float] = {}
         link_flows: dict[LinkId, int] = {}
-        # Per-run capacity view: failures remove links here without
-        # poisoning the simulator for subsequent runs.
         capacities = dict(self._capacities)
         now = 0.0
         arrival_index = 0
@@ -344,6 +818,7 @@ class EventDrivenFlowSimulator:
                 raise SimulationError(
                     "simulation stalled: active flows with zero rate"
                 )
+            events += 1
             events_counter.inc()
             # Account progress (and link busy-time) over [now, event_time].
             elapsed = event_time - now
@@ -460,4 +935,5 @@ class EventDrivenFlowSimulator:
             dropped=tuple(sorted(dropped)),
             reroutes=reroutes,
             failed_nodes=tuple(sorted(failed_nodes)),
+            events=events,
         )

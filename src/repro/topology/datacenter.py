@@ -26,6 +26,7 @@ from repro.topology.elements import (
 _KIND_ATTR = "kind"
 _SPEC_ATTR = "spec"
 _LINK_ATTR = "link"
+_PARALLEL_ATTR = "parallel"
 
 
 class DataCenterNetwork:
@@ -78,6 +79,13 @@ class DataCenterNetwork:
         conversion lives at the ToR transceiver).  Connecting a server
         directly to an OPS is rejected — the paper's fabric always goes
         through a ToR.
+
+        Connecting an already-connected pair adds a **parallel link**:
+        the pair's :class:`LinkSpec` becomes a trunk aggregating the
+        bandwidth of every member (it used to be silently overwritten,
+        which collapsed parallel links to the last one's bandwidth).
+        The member count is exposed via :meth:`parallel_links` and
+        :meth:`trunks`; mixing domains on one pair is rejected.
         """
         kind_a = self.kind_of(a)
         kind_b = self.kind_of(b)
@@ -93,7 +101,28 @@ class DataCenterNetwork:
         if link is None:
             domain = Domain.OPTICAL if NodeKind.OPS in kinds else Domain.ELECTRONIC
             link = LinkSpec(domain=domain)
-        self._graph.add_edge(a, b, **{_LINK_ATTR: link})
+        if self._graph.has_edge(a, b):
+            data = self._graph.edges[a, b]
+            existing: LinkSpec = data[_LINK_ATTR]
+            if link.domain is not existing.domain:
+                raise TopologyError(
+                    f"parallel link {a!r}-{b!r} mixes domains: trunk is "
+                    f"{existing.domain}, new member is {link.domain}"
+                )
+            merged = LinkSpec(
+                domain=existing.domain,
+                bandwidth_gbps=existing.bandwidth_gbps + link.bandwidth_gbps,
+            )
+            self._graph.add_edge(
+                a,
+                b,
+                **{
+                    _LINK_ATTR: merged,
+                    _PARALLEL_ATTR: data.get(_PARALLEL_ATTR, 1) + 1,
+                },
+            )
+            return
+        self._graph.add_edge(a, b, **{_LINK_ATTR: link, _PARALLEL_ATTR: 1})
 
     # ------------------------------------------------------------------
     # Node queries
@@ -111,11 +140,23 @@ class DataCenterNetwork:
         return self._graph.nodes[node_id][_SPEC_ATTR]
 
     def link_of(self, a: str, b: str) -> LinkSpec:
-        """Return the :class:`LinkSpec` of the edge between ``a`` and ``b``."""
+        """Return the :class:`LinkSpec` of the edge between ``a`` and ``b``.
+
+        For a pair connected more than once this is the aggregated trunk
+        spec (bandwidth summed over the parallel members).
+        """
         try:
             return self._graph.edges[a, b][_LINK_ATTR]
         except KeyError:
             raise UnknownEntityError("link", (a, b)) from None
+
+    def parallel_links(self, a: str, b: str) -> int:
+        """Number of parallel physical links between two connected nodes."""
+        try:
+            data = self._graph.edges[a, b]
+        except KeyError:
+            raise UnknownEntityError("link", (a, b)) from None
+        return data.get(_PARALLEL_ATTR, 1)
 
     def has_node(self, node_id: str) -> bool:
         """True if the node exists in the fabric."""
@@ -208,9 +249,24 @@ class DataCenterNetwork:
         return self._graph.subgraph(self.optical_switches()).copy()
 
     def edges(self) -> Iterable[tuple[str, str, LinkSpec]]:
-        """Iterate over ``(a, b, LinkSpec)`` triples."""
+        """Iterate over ``(a, b, LinkSpec)`` triples.
+
+        One triple per connected *pair*; the spec of a pair connected
+        multiple times is the aggregated trunk (see :meth:`trunks` for
+        the parallel-member count).
+        """
         for a, b, data in self._graph.edges(data=True):
             yield a, b, data[_LINK_ATTR]
+
+    def trunks(self) -> Iterable[tuple[str, str, LinkSpec, int]]:
+        """Iterate over ``(a, b, trunk LinkSpec, parallel count)``.
+
+        The spec's bandwidth already aggregates the trunk's members;
+        the count lets capacity-overriding consumers (e.g. the event
+        simulator's ``default_bandwidth_gbps``) scale per physical link.
+        """
+        for a, b, data in self._graph.edges(data=True):
+            yield a, b, data[_LINK_ATTR], data.get(_PARALLEL_ATTR, 1)
 
     def summary(self) -> dict[str, int]:
         """Census of the fabric, convenient for reports and tests."""

@@ -13,7 +13,7 @@ from repro.core.algorithms import (
     natural_sort_key,
     random_cover,
 )
-from repro.exceptions import CoverInfeasibleError
+from repro.exceptions import CoverInfeasibleError, ValidationError
 
 
 UNIVERSE = frozenset({"a", "b", "c", "d"})
@@ -96,8 +96,22 @@ class TestGreedyMaxWeight:
         assert info.value.uncovered == frozenset({"z"})
 
     def test_empty_universe_selects_nothing(self):
-        result = greedy_max_weight_cover(frozenset(), CANDIDATES, {})
+        weights = {name: 1 for name in CANDIDATES}
+        result = greedy_max_weight_cover(frozenset(), CANDIDATES, weights)
         assert result.selected == ()
+
+    def test_missing_weight_raises(self):
+        weights = {name: 1 for name in CANDIDATES}
+        weights.pop("tor-2")
+        with pytest.raises(ValidationError) as info:
+            greedy_max_weight_cover(UNIVERSE, CANDIDATES, weights)
+        assert "tor-2" in str(info.value)
+
+    def test_missing_weights_listed_in_order(self):
+        with pytest.raises(ValidationError) as info:
+            greedy_max_weight_cover(UNIVERSE, CANDIDATES, {})
+        message = str(info.value)
+        assert message.index("tor-0") < message.index("tor-3")
 
     def test_covered_matches_universe(self):
         weights = {name: 1 for name in CANDIDATES}

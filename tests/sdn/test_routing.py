@@ -195,3 +195,45 @@ class TestLeastLoadedPath:
             paper_dcn, "server-0", "server-1", {}, k=5
         )
         assert chosen == ["server-0", "tor-0", "server-1"]
+
+
+class TestPickLeastLoaded:
+    def test_empty_candidates_raise(self):
+        from repro.sdn.routing import pick_least_loaded
+
+        with pytest.raises(RoutingError):
+            pick_least_loaded([], {})
+
+    def test_picks_lightest_bottleneck(self):
+        from repro.sdn.routing import pick_least_loaded
+
+        short_hot = ["a", "b", "c"]
+        long_cool = ["a", "x", "y", "c"]
+        load = {frozenset(("a", "b")): 5.0}
+        assert pick_least_loaded([short_hot, long_cool], load) == long_cool
+
+    def test_tie_keeps_earliest_candidate(self):
+        from repro.sdn.routing import pick_least_loaded
+
+        first = ["a", "b", "c"]
+        second = ["a", "d", "c"]
+        assert pick_least_loaded([first, second], {}) == first
+
+    def test_matches_least_loaded_path(self, paper_dcn):
+        """Re-scoring a cached candidate pool must pick the same path
+        as the uncached `least_loaded_path` (the cache-correctness
+        invariant of the route cache)."""
+        from repro.sdn.routing import (
+            k_shortest_paths,
+            least_loaded_path,
+            pick_least_loaded,
+        )
+
+        load = {frozenset(("tor-0", "ops-0")): 3.0}
+        candidates = k_shortest_paths(
+            paper_dcn, "server-0", "server-5", k=3
+        )
+        assert (
+            list(pick_least_loaded(candidates, load))
+            == least_loaded_path(paper_dcn, "server-0", "server-5", load, k=3)
+        )

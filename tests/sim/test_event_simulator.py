@@ -3,10 +3,25 @@
 import pytest
 
 from repro.core.cluster import ClusterManager
-from repro.exceptions import SimulationError
-from repro.sim.event_simulator import EventDrivenFlowSimulator
+from repro.exceptions import SimulationError, ValidationError
+from repro.sim.event_simulator import (
+    ENGINES,
+    CompletedFlow,
+    EventDrivenFlowSimulator,
+    EventSimulationReport,
+)
+from repro.sim.fairshare import link_of
 from repro.sim.flows import Flow
 from repro.sim.traffic import TrafficConfig, TrafficGenerator
+from repro.topology.datacenter import DataCenterNetwork
+from repro.topology.elements import (
+    Domain,
+    LinkSpec,
+    OpticalSwitchSpec,
+    ServerSpec,
+    TorSpec,
+)
+from repro.virtualization.machines import MachineInventory
 
 
 @pytest.fixture
@@ -364,3 +379,337 @@ class TestFailureInjection:
             [], failures=[(0.1, victim), (0.2, victim)]
         )
         assert report.failed_nodes == (victim,)
+
+
+# ----------------------------------------------------------------------
+# Engine selection and bit-for-bit parity
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_engines_tuple(self):
+        assert ENGINES == ("incremental", "from_scratch", "legacy")
+
+    def test_default_engine_is_incremental(self, clustered):
+        inventory, clusters = clustered
+        assert EventDrivenFlowSimulator(inventory, clusters).engine == (
+            "incremental"
+        )
+
+    def test_unknown_engine_rejected(self, clustered):
+        inventory, clusters = clustered
+        with pytest.raises(ValidationError):
+            EventDrivenFlowSimulator(inventory, clusters, engine="warp")
+
+    def test_negative_cache_size_rejected(self, clustered):
+        inventory, clusters = clustered
+        with pytest.raises(ValidationError):
+            EventDrivenFlowSimulator(
+                inventory, clusters, route_cache_size=-1
+            )
+
+    def test_non_positive_bandwidth_rejected(self, clustered):
+        inventory, clusters = clustered
+        with pytest.raises(ValidationError):
+            EventDrivenFlowSimulator(
+                inventory, clusters, default_bandwidth_gbps=0.0
+            )
+
+    def test_events_counted(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(inventory, seed=21)
+        report = EventDrivenFlowSimulator(inventory, clusters).run(
+            generator.flows(30)
+        )
+        # At least one arrival and one completion event per flow.
+        assert report.events >= 30
+
+
+class TestEngineParity:
+    """The incremental hot path must reproduce the reference engine's
+    `CompletedFlow` stream bit for bit (ids, times, hops)."""
+
+    @pytest.mark.parametrize("seed", [101, 102, 103, 104, 105, 106])
+    def test_randomized_workload_bit_parity(self, clustered, seed):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=60.0, sigma=0.8), seed=seed
+        )
+        flows = generator.flows(150)
+        reports = {
+            engine: EventDrivenFlowSimulator(
+                inventory, clusters, engine=engine
+            ).run(flows)
+            for engine in ("from_scratch", "incremental")
+        }
+        assert (
+            reports["incremental"].completed
+            == reports["from_scratch"].completed
+        )
+        assert (
+            reports["incremental"].makespan
+            == reports["from_scratch"].makespan
+        )
+        assert (
+            reports["incremental"].link_busy_byte_seconds
+            == reports["from_scratch"].link_busy_byte_seconds
+        )
+
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_parity_under_load_aware_routing(self, clustered, seed):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=50.0), seed=seed
+        )
+        flows = generator.flows(100)
+        reports = [
+            EventDrivenFlowSimulator(
+                inventory, clusters, engine=engine, load_aware=True
+            ).run(flows)
+            for engine in ("from_scratch", "incremental")
+        ]
+        assert reports[0].completed == reports[1].completed
+
+    def test_parity_under_failures(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=40.0), seed=41
+        )
+        flows = generator.flows(80)
+        victims = inventory.network.optical_switches()[:2]
+        failures = [(0.05, victims[0]), (0.4, victims[1])]
+        reports = [
+            EventDrivenFlowSimulator(
+                inventory, clusters, engine=engine
+            ).run(flows, failures=failures)
+            for engine in ("from_scratch", "incremental")
+        ]
+        assert reports[0].completed == reports[1].completed
+        assert reports[0].dropped == reports[1].dropped
+        assert reports[0].reroutes == reports[1].reroutes
+
+    def test_route_cache_does_not_change_results(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=60.0), seed=51
+        )
+        flows = generator.flows(120)
+        cached = EventDrivenFlowSimulator(inventory, clusters).run(flows)
+        uncached = EventDrivenFlowSimulator(
+            inventory, clusters, route_cache_size=0
+        ).run(flows)
+        assert cached.completed == uncached.completed
+
+    @pytest.mark.parametrize("seed", [61, 62])
+    def test_legacy_engine_agrees_approximately(self, clustered, seed):
+        """The verbatim pre-optimization loop steps progress eagerly at
+        every event, so float error accumulates differently — results
+        agree to tolerance, not bit for bit."""
+        inventory, clusters = clustered
+        generator = TrafficGenerator(
+            inventory, TrafficConfig(arrival_rate=40.0), seed=seed
+        )
+        flows = generator.flows(80)
+        fast = EventDrivenFlowSimulator(
+            inventory, clusters, engine="incremental"
+        ).run(flows)
+        slow = EventDrivenFlowSimulator(
+            inventory, clusters, engine="legacy"
+        ).run(flows)
+        assert [record.flow_id for record in fast.completed] == [
+            record.flow_id for record in slow.completed
+        ]
+        for ours, theirs in zip(fast.completed, slow.completed):
+            assert ours.completion_time == pytest.approx(
+                theirs.completion_time, rel=1e-6, abs=1e-6
+            )
+            assert ours.hops == theirs.hops
+        assert fast.makespan == pytest.approx(slow.makespan, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Route-cache integration
+# ----------------------------------------------------------------------
+class TestRouteCacheIntegration:
+    def test_repeated_pairs_hit_the_cache(self, clustered):
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        flows = [
+            Flow(
+                flow_id=f"flow-{i}",
+                source=source.vm_id,
+                destination=destination.vm_id,
+                size_bytes=1e8,
+                arrival_time=0.1 * i,
+                intra_service=False,
+            )
+            for i in range(10)
+        ]
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        simulator.run(flows)
+        cache = simulator.route_cache
+        assert cache is not None
+        assert cache.hits >= 9  # first arrival misses, the rest hit
+        assert cache.misses >= 1
+
+    def test_cache_disabled_with_zero_size(self, clustered):
+        inventory, clusters = clustered
+        simulator = EventDrivenFlowSimulator(
+            inventory, clusters, route_cache_size=0
+        )
+        assert simulator.route_cache is None
+        assert simulator.invalidate_routes() == 0
+
+    def test_invalidate_routes_drops_entries(self, clustered):
+        inventory, clusters = clustered
+        generator = TrafficGenerator(inventory, seed=71)
+        simulator = EventDrivenFlowSimulator(inventory, clusters)
+        simulator.run(generator.flows(30))
+        assert len(simulator.route_cache) > 0
+        dropped = simulator.invalidate_routes()
+        assert dropped > 0
+        assert len(simulator.route_cache) == 0
+
+    def test_failure_runs_do_not_poison_the_cache(self, clustered):
+        """A run with failures must not leave routes through dead nodes
+        cached for the next (clean) run."""
+        inventory, clusters = clustered
+        source, destination = _two_remote_vms(inventory)
+        flow = Flow(
+            flow_id="flow-0",
+            source=source.vm_id,
+            destination=destination.vm_id,
+            size_bytes=1e9,
+            arrival_time=0.0,
+            intra_service=False,
+        )
+        simulator = EventDrivenFlowSimulator(
+            inventory, clusters, default_bandwidth_gbps=8.0
+        )
+        victim = inventory.network.optical_switches()[0]
+        simulator.run([flow], failures=[(0.0, victim)])
+        clean = simulator.run([flow])
+        assert clean.flows == 1
+        assert clean.completed[0].duration == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Parallel-link capacity regression (satellite bugfix)
+# ----------------------------------------------------------------------
+def _parallel_link_inventory(members: int) -> MachineInventory:
+    """Fabric with ``members`` parallel 10 Gbps links on one trunk:
+
+    srv-0 — tor-0 ={members}= ops-0 — tor-1 — srv-1
+    """
+    dcn = DataCenterNetwork("parallel")
+    dcn.add_server(ServerSpec(server_id="srv-0"))
+    dcn.add_server(ServerSpec(server_id="srv-1"))
+    dcn.add_tor(TorSpec(tor_id="tor-0"))
+    dcn.add_tor(TorSpec(tor_id="tor-1", rack=1))
+    dcn.add_optical_switch(OpticalSwitchSpec(ops_id="ops-0"))
+    dcn.connect("srv-0", "tor-0")
+    dcn.connect("srv-1", "tor-1")
+    for _ in range(members):
+        dcn.connect(
+            "tor-0",
+            "ops-0",
+            LinkSpec(domain=Domain.OPTICAL, bandwidth_gbps=10.0),
+        )
+    dcn.connect(
+        "tor-1", "ops-0", LinkSpec(domain=Domain.OPTICAL, bandwidth_gbps=10.0)
+    )
+    return MachineInventory(dcn)
+
+
+class TestParallelLinkCapacity:
+    def test_trunk_capacity_aggregates(self, service_catalog):
+        inventory = _parallel_link_inventory(members=2)
+        simulator = EventDrivenFlowSimulator(inventory)
+        trunk = link_of("tor-0", "ops-0")
+        single = link_of("tor-1", "ops-0")
+        # 2 x 10 Gbps -> 20 Gbps -> 2.5e9 bytes/s; the single-member
+        # link keeps 10 Gbps.  Before the fix the trunk collapsed to
+        # the last member's 10 Gbps.
+        assert simulator.capacities[trunk] == pytest.approx(2.5e9)
+        assert simulator.capacities[single] == pytest.approx(1.25e9)
+
+    def test_bandwidth_override_scales_with_member_count(
+        self, service_catalog
+    ):
+        inventory = _parallel_link_inventory(members=3)
+        simulator = EventDrivenFlowSimulator(
+            inventory, default_bandwidth_gbps=8.0
+        )
+        trunk = link_of("tor-0", "ops-0")
+        # Override applies per physical member: 3 x 8 Gbps = 3 GB/s.
+        assert simulator.capacities[trunk] == pytest.approx(3e9)
+
+    def test_flow_uses_full_trunk_bandwidth(self, service_catalog):
+        inventory = _parallel_link_inventory(members=2)
+        web = service_catalog.get("web")
+        first = inventory.create_vm(web)
+        second = inventory.create_vm(web)
+        inventory.place(first, "srv-0")
+        inventory.place(second, "srv-1")
+        flow = Flow(
+            flow_id="flow-0",
+            source=first.vm_id,
+            destination=second.vm_id,
+            size_bytes=1.25e9,
+            arrival_time=0.0,
+        )
+        report = EventDrivenFlowSimulator(inventory).run([flow])
+        # Bottleneck is the single 10 Gbps (=1.25 GB/s) tor-1 uplink,
+        # not the 20 Gbps trunk: exactly 1 second.
+        assert report.completed[0].duration == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# mean_link_utilization hardening (satellite bugfix)
+# ----------------------------------------------------------------------
+class TestMeanLinkUtilization:
+    LINK = link_of("tor-0", "ops-0")
+    OTHER = link_of("tor-1", "ops-0")
+
+    def _report(self, busy):
+        return EventSimulationReport(
+            completed=(
+                CompletedFlow(
+                    flow_id="flow-0",
+                    size_bytes=1e9,
+                    arrival_time=0.0,
+                    completion_time=2.0,
+                    hops=4,
+                ),
+            ),
+            makespan=2.0,
+            link_busy_byte_seconds=busy,
+        )
+
+    def test_unknown_busy_link_raises(self):
+        report = self._report({self.LINK: 1e9})
+        with pytest.raises(SimulationError, match="no capacity entry"):
+            report.mean_link_utilization({})
+
+    def test_negative_capacity_raises(self):
+        report = self._report({self.LINK: 1e9})
+        with pytest.raises(SimulationError, match="negative capacity"):
+            report.mean_link_utilization({self.LINK: -1.0})
+
+    def test_zero_capacity_with_traffic_raises(self):
+        report = self._report({self.LINK: 1e9})
+        with pytest.raises(SimulationError, match="zero-capacity"):
+            report.mean_link_utilization({self.LINK: 0.0})
+
+    def test_zero_capacity_idle_link_counts_as_zero(self):
+        # An idle zero-capacity link drags the mean down instead of
+        # being silently skipped (the old upward bias).
+        report = self._report({self.LINK: 2e9, self.OTHER: 0.0})
+        value = report.mean_link_utilization(
+            {self.LINK: 1e9, self.OTHER: 0.0}
+        )
+        assert value == pytest.approx(0.5)  # (1.0 + 0.0) / 2
+
+    def test_normal_utilization(self):
+        report = self._report({self.LINK: 1e9})
+        assert report.mean_link_utilization(
+            {self.LINK: 1e9}
+        ) == pytest.approx(0.5)

@@ -1,9 +1,12 @@
 """Tests for max-min fair bandwidth allocation."""
 
+import random
+
 import pytest
 
 from repro.exceptions import SimulationError
 from repro.sim.fairshare import (
+    FairShareEngine,
     link_of,
     links_on_path,
     max_min_fair_rates,
@@ -95,6 +98,28 @@ class TestMaxMinFairness:
     def test_no_flows(self):
         assert max_min_fair_rates({}, {AB: 5.0}) == {}
 
+    def test_colocated_flow_beside_loaded_flows(self):
+        rates = max_min_fair_rates(
+            {"f1": [], "f2": [AB]}, {AB: 6.0}
+        )
+        assert rates["f1"] == float("inf")
+        assert rates["f2"] == 6.0
+
+    def test_bottleneck_tie_broken_by_sorted_link(self):
+        # AB and CD offer the same share; sorted(link) makes the pick
+        # deterministic regardless of dict/set iteration order, so the
+        # allocation is stable across runs and engines.
+        first = max_min_fair_rates(
+            {"f1": [AB], "f2": [CD], "f3": [AB, CD]},
+            {AB: 4.0, CD: 4.0},
+        )
+        second = max_min_fair_rates(
+            {"f3": [CD, AB], "f2": [CD], "f1": [AB]},
+            {CD: 4.0, AB: 4.0},
+        )
+        assert first == second
+        assert first["f3"] == pytest.approx(2.0)
+
     def test_bottleneck_fairness_property(self):
         """Each flow is limited by at least one saturated link on which
         it gets a maximal share (the max-min optimality condition)."""
@@ -123,3 +148,119 @@ class TestMaxMinFairness:
                 if saturated and maximal:
                     has_bottleneck = True
             assert has_bottleneck, f"{flow} has no bottleneck link"
+
+
+class TestFairShareEngine:
+    """Incremental engine must match the reference bit for bit."""
+
+    def test_matches_reference_on_classic_example(self):
+        capacities = {AB: 10.0, BC: 4.0}
+        engine = FairShareEngine(capacities)
+        flows = {"f1": [AB, BC], "f2": [AB], "f3": [BC]}
+        for flow, links in flows.items():
+            engine.add_flow(flow, links)
+        assert engine.recompute() == max_min_fair_rates(flows, capacities)
+
+    def test_linkless_flow_is_unbounded(self):
+        engine = FairShareEngine({})
+        engine.add_flow("f1", [])
+        assert engine.recompute() == {"f1": float("inf")}
+
+    def test_colocated_inf_alongside_loaded_flows(self):
+        # A zero-hop flow must get inf without disturbing loaded shares.
+        engine = FairShareEngine({AB: 6.0})
+        engine.add_flow("loaded", [AB])
+        engine.add_flow("colocated", [])
+        rates = engine.recompute()
+        assert rates["colocated"] == float("inf")
+        assert rates["loaded"] == 6.0
+
+    def test_bottleneck_tie_broken_by_sorted_link(self):
+        # Two links with identical remaining/load: the reference's min()
+        # keeps the first encountered; the engine tie-breaks on
+        # sorted(link), which must produce the same allocation.
+        capacities = {AB: 4.0, CD: 4.0}
+        flows = {"f1": [AB], "f2": [CD], "f3": [AB, CD]}
+        engine = FairShareEngine(capacities)
+        for flow, links in flows.items():
+            engine.add_flow(flow, links)
+        assert engine.recompute() == max_min_fair_rates(flows, capacities)
+
+    def test_remove_flow_releases_share(self):
+        engine = FairShareEngine({AB: 10.0})
+        engine.add_flow("f1", [AB])
+        engine.add_flow("f2", [AB])
+        assert engine.recompute()["f1"] == 5.0
+        engine.remove_flow("f2")
+        assert engine.recompute() == {"f1": 10.0}
+
+    def test_duplicate_flow_rejected(self):
+        engine = FairShareEngine({AB: 1.0})
+        engine.add_flow("f1", [AB])
+        with pytest.raises(SimulationError):
+            engine.add_flow("f1", [AB])
+
+    def test_unknown_link_rejected(self):
+        engine = FairShareEngine({AB: 1.0})
+        with pytest.raises(SimulationError):
+            engine.add_flow("f1", [BC])
+
+    def test_remove_inactive_flow_rejected(self):
+        engine = FairShareEngine({AB: 1.0})
+        with pytest.raises(SimulationError):
+            engine.remove_flow("ghost")
+
+    def test_remove_loaded_link_rejected(self):
+        engine = FairShareEngine({AB: 1.0})
+        engine.add_flow("f1", [AB])
+        with pytest.raises(SimulationError):
+            engine.remove_link(AB)
+        engine.remove_flow("f1")
+        engine.remove_link(AB)
+        assert engine.loaded_links == 0
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            FairShareEngine({AB: 0.0})
+        with pytest.raises(SimulationError):
+            FairShareEngine({AB: -1.0})
+
+    def test_counters_track_membership(self):
+        engine = FairShareEngine({AB: 2.0, BC: 2.0})
+        engine.add_flow("f1", [AB, BC])
+        engine.add_flow("f2", [AB])
+        assert engine.active_flows == 2
+        assert engine.link_counts() == {AB: 2, BC: 1}
+        engine.remove_flow("f1")
+        assert engine.link_counts() == {AB: 1}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6])
+    def test_randomized_parity_with_reference(self, seed):
+        """Exact (==, not approx) parity against `max_min_fair_rates`
+        through a random churn of arrivals and departures."""
+        rng = random.Random(seed)
+        nodes = [f"n{i}" for i in range(8)]
+        links = [
+            link_of(a, b)
+            for a in nodes
+            for b in nodes
+            if a < b and rng.random() < 0.4
+        ]
+        capacities = {
+            link: rng.choice([1.0, 2.5, 4.0, 10.0, 40.0]) for link in links
+        }
+        engine = FairShareEngine(capacities)
+        reference: dict[str, list] = {}
+        for step in range(60):
+            if reference and rng.random() < 0.35:
+                victim = rng.choice(list(reference))
+                del reference[victim]
+                engine.remove_flow(victim)
+            else:
+                flow = f"f{seed}-{step}"
+                chosen = rng.sample(links, k=rng.randint(0, 3))
+                reference[flow] = chosen
+                engine.add_flow(flow, chosen)
+            assert engine.recompute() == max_min_fair_rates(
+                reference, capacities
+            )

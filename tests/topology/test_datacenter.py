@@ -179,3 +179,55 @@ class TestViews:
         edges = list(tiny.edges())
         assert len(edges) == 3
         assert all(isinstance(link, LinkSpec) for _, _, link in edges)
+
+
+class TestParallelLinks:
+    """Reconnecting an already-connected pair forms a trunk (a LAG)
+    instead of silently overwriting the first link's spec."""
+
+    def test_reconnect_aggregates_bandwidth(self, tiny):
+        dcn = tiny
+        assert dcn.link_of("tor-0", "ops-0").bandwidth_gbps == 10.0
+        dcn.connect(
+            "tor-0",
+            "ops-0",
+            LinkSpec(domain=Domain.OPTICAL, bandwidth_gbps=40.0),
+        )
+        trunk = dcn.link_of("tor-0", "ops-0")
+        assert trunk.bandwidth_gbps == 50.0
+        assert trunk.domain is Domain.OPTICAL
+
+    def test_parallel_count_tracked(self, tiny):
+        assert tiny.parallel_links("tor-0", "ops-0") == 1
+        tiny.connect("tor-0", "ops-0")
+        tiny.connect("tor-0", "ops-0")
+        assert tiny.parallel_links("tor-0", "ops-0") == 3
+
+    def test_parallel_links_missing_edge_raises(self, tiny):
+        with pytest.raises(UnknownEntityError):
+            tiny.parallel_links("server-0", "ops-0")
+
+    def test_domain_mismatch_rejected(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.connect(
+                "tor-0",
+                "ops-0",
+                LinkSpec(domain=Domain.ELECTRONIC, bandwidth_gbps=10.0),
+            )
+
+    def test_trunks_iterates_counts(self, tiny):
+        tiny.connect("tor-0", "ops-0")
+        by_pair = {
+            frozenset((a, b)): (link, count)
+            for a, b, link, count in tiny.trunks()
+        }
+        link, count = by_pair[frozenset(("tor-0", "ops-0"))]
+        assert count == 2
+        assert link.bandwidth_gbps == 20.0
+        _, single = by_pair[frozenset(("server-0", "tor-0"))]
+        assert single == 1
+
+    def test_parallel_links_do_not_add_edges(self, tiny):
+        before = tiny.summary()["links"]
+        tiny.connect("tor-0", "ops-0")
+        assert tiny.summary()["links"] == before
