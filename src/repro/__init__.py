@@ -23,6 +23,16 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
+from repro.chaos import (
+    ChaosReport,
+    ChaosRunner,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    RecoveryOutcome,
+    RecoveryPolicy,
+    run_chaos,
+)
 from repro.core import (
     AbstractionLayer,
     AlConstructionStrategy,
@@ -81,11 +91,16 @@ __all__ = [
     "AlvcStack",
     "ChainPlacement",
     "ChainRequest",
+    "ChaosReport",
+    "ChaosRunner",
     "CloudNfvManager",
     "ClusterManager",
     "ConversionModel",
     "DataCenterNetwork",
     "Domain",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
     "FlowSimulator",
     "FunctionCatalog",
     "MachineInventory",
@@ -98,6 +113,8 @@ __all__ = [
     "PlacementSolver",
     "PlacementStrategy",
     "ProvisioningPlan",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
     "ResourceVector",
     "SdnController",
     "ServiceCatalog",
@@ -119,6 +136,7 @@ __all__ = [
     "count_excursions",
     "current_telemetry",
     "paper_example_topology",
+    "run_chaos",
     "use_telemetry",
     "validate_topology",
     "__version__",

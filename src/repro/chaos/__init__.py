@@ -1,0 +1,44 @@
+"""Fault injection and self-healing for the AL-VC control plane.
+
+The paper's isolation story — OPS disjointness confines a switch failure
+to the single VC whose AL contains it — is only credible if correlated
+failures can actually be *driven* through a live orchestrator+simulator
+run and the invariants checked.  This package provides that drive train:
+
+* :class:`FaultInjector` — deterministic, seedable schedules of
+  :class:`~repro.sim.faults.FaultEvent` records (OPS/ToR/server crash,
+  link cut, flapping, correlated rack outage, optional repairs) against
+  a :class:`~repro.topology.datacenter.DataCenterNetwork`;
+* :class:`RecoveryPolicy` — bounded retry with exponential backoff and
+  seeded jitter in *virtual* time (never sleeps), give-up → degraded
+  mode;
+* :class:`ChaosRunner` / :func:`run_chaos` — plays a schedule through
+  the orchestrator (AL repair, VNF evacuation, SDN re-pathing) and the
+  event-driven simulator (reroutes, drops, capacity revocation);
+* :class:`ChaosReport` — MTTR, flows rerouted/dropped, degraded chains,
+  and blast radius observed vs. predicted by
+  :mod:`repro.analysis.failure_domains`.
+
+The fault *model* itself lives in :mod:`repro.sim.faults` (the simulator
+consumes it natively without importing this package); the names are
+re-exported here so chaos users need a single import.
+"""
+
+from repro.chaos.injector import FaultInjector
+from repro.chaos.recovery import RecoveryOutcome, RecoveryPolicy
+from repro.chaos.report import BlastRadiusObservation, ChaosReport
+from repro.chaos.runner import ChaosRunner, run_chaos
+from repro.sim.faults import FaultEvent, FaultKind, normalize_failures
+
+__all__ = [
+    "BlastRadiusObservation",
+    "ChaosReport",
+    "ChaosRunner",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "normalize_failures",
+    "run_chaos",
+]

@@ -1,0 +1,167 @@
+"""Bounded retry with exponential backoff in *virtual* time.
+
+The orchestrator's self-healing path re-runs AL construction after an
+OPS failure; :class:`RecoveryPolicy` wraps any such repair thunk with
+the classic reliability pattern — bounded attempts, exponential backoff,
+seeded jitter — without ever sleeping.  Delays are accumulated as
+virtual seconds and reported in the :class:`RecoveryOutcome`, so chaos
+runs stay fast *and* deterministic: the same seed always produces the
+same jittered delays, which is what makes `ChaosReport` replayable.
+
+Give-up semantics: after ``max_attempts`` failures the outcome reports
+``succeeded=False`` with the final error string; the caller (e.g.
+:meth:`NetworkOrchestrator.handle_ops_failure`) then enters degraded
+mode instead of raising.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable
+
+from repro.exceptions import ALVCError, ValidationError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RecoveryOutcome:
+    """Result of running an operation under a :class:`RecoveryPolicy`.
+
+    Attributes:
+        succeeded: whether any attempt returned normally.
+        attempts: attempts actually made (1..max_attempts).
+        total_delay: virtual seconds of backoff spent between attempts.
+        result: the operation's return value (``None`` on give-up).
+        error: string form of the last error (``None`` on success).
+    """
+
+    succeeded: bool
+    attempts: int
+    total_delay: float
+    result: object = None
+    error: str | None = None
+
+
+class RecoveryPolicy:
+    """Retry policy: exponential backoff + seeded jitter, bounded attempts.
+
+    The delay before retry *n* (1-based) is::
+
+        base_delay * backoff**(n-1) * (1 + jitter * u_n),  u_n ~ U[0, 1)
+
+    capped at ``max_delay``.  The jitter stream is drawn from a private
+    ``random.Random(seed)``, so a policy is deterministic and reusable —
+    each :meth:`run` re-seeds, making every run identical.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 3,
+        base_delay: float = 0.5,
+        backoff: float = 2.0,
+        jitter: float = 0.1,
+        max_delay: float = 30.0,
+        seed: int = 0,
+        retry_on: tuple[type[BaseException], ...] = (ALVCError,),
+    ) -> None:
+        """Configure the policy.
+
+        Args:
+            max_attempts: total attempts (>= 1; 1 disables retries).
+            base_delay: virtual seconds before the first retry (>= 0).
+            backoff: multiplier per retry (>= 1).
+            jitter: jitter fraction in [0, 1]; 0 disables jitter.
+            max_delay: cap on any single backoff delay.
+            seed: jitter RNG seed (replayability).
+            retry_on: exception types that trigger a retry; anything
+                else propagates immediately.
+
+        Raises:
+            ValidationError: on out-of-range parameters.
+        """
+        if max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if base_delay < 0:
+            raise ValidationError(
+                f"base_delay must be >= 0, got {base_delay}"
+            )
+        if backoff < 1.0:
+            raise ValidationError(f"backoff must be >= 1, got {backoff}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValidationError(
+                f"jitter must be in [0, 1], got {jitter}"
+            )
+        if max_delay < base_delay:
+            raise ValidationError(
+                f"max_delay ({max_delay}) must be >= base_delay "
+                f"({base_delay})"
+            )
+        self._max_attempts = max_attempts
+        self._base_delay = base_delay
+        self._backoff = backoff
+        self._jitter = jitter
+        self._max_delay = max_delay
+        self._seed = seed
+        self._retry_on = tuple(retry_on)
+
+    # ------------------------------------------------------------------
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts the policy allows."""
+        return self._max_attempts
+
+    def delays(self) -> list[float]:
+        """The virtual backoff delays a fully-failing run would spend.
+
+        ``max_attempts - 1`` entries: the delay *before* each retry.
+        Deterministic for a given policy (the jitter stream re-seeds).
+        """
+        rng = random.Random(self._seed)
+        delays = []
+        for attempt in range(1, self._max_attempts):
+            raw = self._base_delay * self._backoff ** (attempt - 1)
+            raw *= 1.0 + self._jitter * rng.random()
+            delays.append(min(raw, self._max_delay))
+        return delays
+
+    def run(
+        self, operation: Callable[[], object]
+    ) -> RecoveryOutcome:
+        """Run ``operation`` under the policy.
+
+        Args:
+            operation: zero-argument repair thunk.  Exceptions matching
+                ``retry_on`` consume an attempt; others propagate.
+
+        Returns:
+            A :class:`RecoveryOutcome`; never raises for retryable
+            errors — give-up is reported, not thrown.
+        """
+        rng = random.Random(self._seed)
+        total_delay = 0.0
+        error: str | None = None
+        for attempt in range(1, self._max_attempts + 1):
+            if attempt > 1:
+                raw = self._base_delay * self._backoff ** (attempt - 2)
+                raw *= 1.0 + self._jitter * rng.random()
+                total_delay += min(raw, self._max_delay)
+            try:
+                result = operation()
+            except self._retry_on as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            return RecoveryOutcome(
+                succeeded=True,
+                attempts=attempt,
+                total_delay=total_delay,
+                result=result,
+            )
+        return RecoveryOutcome(
+            succeeded=False,
+            attempts=self._max_attempts,
+            total_delay=total_delay,
+            error=error,
+        )

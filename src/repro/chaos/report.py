@@ -1,0 +1,190 @@
+"""The chaos run's scorecard.
+
+:class:`ChaosReport` aggregates everything a chaos run produced — the
+fault schedule, the orchestrator's per-failure recoveries, blast radius
+observed vs. predicted by :mod:`repro.analysis.failure_domains`, and the
+data-plane :class:`~repro.sim.event_simulator.EventSimulationReport` —
+into one frozen, value-comparable record.  Frozen matters: the
+deterministic-replay acceptance test simply asserts two reports from
+identically-seeded runs compare equal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.orchestrator import OpsFailureRecovery
+from repro.ids import ChainId, FlowId, OpsId
+from repro.sim.event_simulator import EventSimulationReport
+from repro.sim.faults import FaultEvent
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BlastRadiusObservation:
+    """Blast radius of one OPS crash: prediction vs. what happened.
+
+    ``predicted_clusters`` comes from
+    :func:`repro.analysis.failure_domains.blast_radius_of` *before* the
+    failure was handled; ``observed_clusters`` counts the clusters the
+    recovery actually touched.  The paper's isolation claim is exactly
+    ``observed <= predicted <= 1``.
+    """
+
+    ops: OpsId
+    predicted_clusters: int
+    observed_clusters: int
+    predicted_cluster: str | None = None
+
+    @property
+    def within_prediction(self) -> bool:
+        """True when the observed impact never exceeded the prediction."""
+        return self.observed_clusters <= self.predicted_clusters
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosReport:
+    """Everything one chaos run produced (value-comparable).
+
+    Attributes:
+        seed: the injector seed (``None`` for hand-written schedules).
+        faults: the normalized schedule that was played.
+        recoveries: orchestrator-level recovery record per OPS crash.
+        blast_radii: predicted vs. observed impact per OPS crash.
+        degraded_chains: chains left in degraded mode after the run.
+        simulation: the data-plane report (``None`` for control-plane
+            -only runs).
+    """
+
+    seed: int | None
+    faults: tuple[FaultEvent, ...]
+    recoveries: tuple[OpsFailureRecovery, ...]
+    blast_radii: tuple[BlastRadiusObservation, ...]
+    degraded_chains: tuple[ChainId, ...]
+    simulation: EventSimulationReport | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def faults_injected(self) -> int:
+        """Number of fault events played."""
+        return len(self.faults)
+
+    @property
+    def mttr(self) -> float:
+        """Mean virtual time to recover per handled OPS failure.
+
+        0.0 when no failure needed recovery.
+        """
+        if not self.recoveries:
+            return 0.0
+        return sum(
+            recovery.recovery_time for recovery in self.recoveries
+        ) / len(self.recoveries)
+
+    @property
+    def recovered_count(self) -> int:
+        """Failures fully recovered (AL repaired)."""
+        return sum(1 for recovery in self.recoveries if recovery.recovered)
+
+    @property
+    def chains_degraded(self) -> int:
+        """Chains left degraded when the run ended."""
+        return len(self.degraded_chains)
+
+    @property
+    def vnfs_migrated(self) -> int:
+        """VNF instances evacuated across all recoveries."""
+        return sum(recovery.vnfs_migrated for recovery in self.recoveries)
+
+    @property
+    def chains_rerouted(self) -> int:
+        """Chain re-pathings across all recoveries."""
+        return sum(
+            recovery.chains_rerouted for recovery in self.recoveries
+        )
+
+    @property
+    def flows_completed(self) -> int:
+        """Data-plane flows that completed (0 without a simulation)."""
+        return 0 if self.simulation is None else self.simulation.flows
+
+    @property
+    def flows_dropped(self) -> int:
+        """Data-plane flows dropped as unroutable."""
+        return (
+            0 if self.simulation is None else len(self.simulation.dropped)
+        )
+
+    @property
+    def flows_rerouted(self) -> int:
+        """Mid-flight reroutes the simulator performed."""
+        return 0 if self.simulation is None else self.simulation.reroutes
+
+    @property
+    def isolation_held(self) -> bool:
+        """True when every observed blast radius was within prediction."""
+        return all(
+            observation.within_prediction
+            for observation in self.blast_radii
+        )
+
+    # ------------------------------------------------------------------
+    def unaccounted_flows(
+        self, flow_ids: "tuple[FlowId, ...] | list[FlowId] | set"
+    ) -> set:
+        """Flows neither completed nor explicitly dropped — the
+        conservation check.  An empty set means every injected flow is
+        accounted for."""
+        if self.simulation is None:
+            return set(flow_ids)
+        seen = {record.flow_id for record in self.simulation.completed}
+        seen.update(self.simulation.dropped)
+        return set(flow_ids) - seen
+
+    def to_rows(self) -> list[dict]:
+        """Per-failure experiment rows (for reports/CSV)."""
+        observations = {
+            observation.ops: observation
+            for observation in self.blast_radii
+        }
+        rows = []
+        for recovery in self.recoveries:
+            observation = observations.get(recovery.failed)
+            rows.append(
+                {
+                    "ops": recovery.failed,
+                    "cluster": recovery.cluster or "(free)",
+                    "recovered": recovery.recovered,
+                    "attempts": recovery.attempts,
+                    "recovery_time": recovery.recovery_time,
+                    "switches_touched": recovery.switches_touched,
+                    "chains_rerouted": recovery.chains_rerouted,
+                    "vnfs_migrated": recovery.vnfs_migrated,
+                    "predicted_blast": (
+                        observation.predicted_clusters
+                        if observation
+                        else None
+                    ),
+                    "observed_blast": (
+                        observation.observed_clusters
+                        if observation
+                        else None
+                    ),
+                }
+            )
+        return rows
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers of the run."""
+        return {
+            "faults": float(self.faults_injected),
+            "recoveries": float(len(self.recoveries)),
+            "recovered": float(self.recovered_count),
+            "mttr": self.mttr,
+            "chains_degraded": float(self.chains_degraded),
+            "chains_rerouted": float(self.chains_rerouted),
+            "vnfs_migrated": float(self.vnfs_migrated),
+            "flows_completed": float(self.flows_completed),
+            "flows_dropped": float(self.flows_dropped),
+            "flows_rerouted": float(self.flows_rerouted),
+            "isolation_held": float(self.isolation_held),
+        }

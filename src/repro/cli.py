@@ -219,6 +219,79 @@ def _run_e18() -> dict:
     }
 
 
+@_register("e20", "Chaos recovery: AL-VC vs the random-AL baseline")
+def _run_e20() -> dict:
+    return {
+        "E20 — self-healing under fault injection": (
+            experiments.experiment_e20_chaos_recovery()
+        )
+    }
+
+
+#: Defaults for the ``--chaos`` option; every key may be overridden in
+#: the ``key=value,key=value`` spec.
+_CHAOS_DEFAULTS: dict[str, float] = {
+    "seed": 0,
+    "rate": 0.2,
+    "duration": 40.0,
+    "repair_after": 8.0,
+    "flows": 120,
+}
+
+
+def _parse_chaos(spec: str) -> dict:
+    """Parse ``--chaos seed=N,rate=R[,duration=D,...]`` into kwargs.
+
+    Raises:
+        ValueError: on an unknown key or a malformed entry.
+    """
+    options = dict(_CHAOS_DEFAULTS)
+    for entry in filter(None, spec.split(",")):
+        key, separator, value = entry.partition("=")
+        key = key.strip()
+        if not separator or key not in options:
+            raise ValueError(
+                f"bad --chaos entry {entry!r} (known keys: "
+                f"{', '.join(sorted(_CHAOS_DEFAULTS))})"
+            )
+        options[key] = (
+            int(value) if key in ("seed", "flows") else float(value)
+        )
+    return options
+
+
+def _run_chaos(options: dict) -> dict:
+    """One seeded chaos run through the facade; returns printable tables."""
+    from repro.chaos import RecoveryPolicy
+    from repro.stack import AlvcStack
+
+    seed = int(options["seed"])
+    stack = AlvcStack.build(seed=seed)
+    for service, functions in (
+        ("web", ("firewall", "nat")),
+        ("database", ("load-balancer", "proxy")),
+    ):
+        stack.provision(functions, service=service)
+    report = stack.inject_faults(
+        seed=seed,
+        rate=float(options["rate"]),
+        duration=float(options["duration"]),
+        repair_after=float(options["repair_after"]),
+        n_flows=int(options["flows"]),
+        policy=RecoveryPolicy(seed=seed),
+    )
+    tables = {
+        "Chaos — run summary": [
+            {"metric": name, "value": value}
+            for name, value in sorted(report.summary().items())
+        ]
+    }
+    rows = report.to_rows()
+    if rows:
+        tables["Chaos — per-failure recoveries"] = rows
+    return tables
+
+
 def _slug(title: str) -> str:
     keep = [c if c.isalnum() else "-" for c in title.lower()]
     collapsed = "".join(keep)
@@ -257,6 +330,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="also write every table as CSV into this directory",
+    )
+    run_parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "append a seeded chaos run: 'seed=N,rate=R' (optional "
+            "duration=, repair_after=, flows=); the fault schedule is "
+            "replayed through the orchestrator and the event-driven "
+            "simulator and the ChaosReport is printed as tables"
+        ),
     )
     run_parser.add_argument(
         "--telemetry",
@@ -298,6 +382,13 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    chaos_options = None
+    if getattr(args, "chaos", None) is not None:
+        try:
+            chaos_options = _parse_chaos(args.chaos)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     export_dir = Path(args.export_dir) if args.export_dir else None
     if export_dir is not None:
         export_dir.mkdir(parents=True, exist_ok=True)
@@ -317,6 +408,16 @@ def main(argv: list[str] | None = None) -> int:
                 print(render_table(rows, title=title))
                 if export_dir is not None:
                     target = export_dir / f"{exp_id}-{_slug(title)}.csv"
+                    save_rows(rows, target)
+                    print(f"  [exported {target}]")
+        if chaos_options is not None:
+            if not first:
+                print()
+            first = False
+            for title, rows in _run_chaos(chaos_options).items():
+                print(render_table(rows, title=title))
+                if export_dir is not None:
+                    target = export_dir / f"chaos-{_slug(title)}.csv"
                     save_rows(rows, target)
                     print(f"  [exported {target}]")
     if mode == "json":

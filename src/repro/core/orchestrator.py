@@ -32,8 +32,14 @@ from repro.core.placement import (
     PlacementSolver,
 )
 from repro.core.slicing import OpticalSlice, SliceAllocator
-from repro.exceptions import DuplicateEntityError, PlacementError, UnknownEntityError
-from repro.ids import ChainId, ServerId, VnfId
+from repro.exceptions import (
+    CoverInfeasibleError,
+    DuplicateEntityError,
+    PlacementError,
+    RoutingError,
+    UnknownEntityError,
+)
+from repro.ids import ChainId, OpsId, ServerId, VnfId
 from repro.nfv.manager import CloudNfvManager
 from repro.observability.runtime import Telemetry, current_telemetry
 from repro.optical.conversion import ConversionModel
@@ -62,6 +68,44 @@ class ProvisioningPlan:
     def conversions(self) -> int | None:
         """Predicted O/E/O conversions per flow (None when infeasible)."""
         return self.placement.conversions if self.placement else None
+
+
+#: Histogram buckets for virtual recovery time after an OPS failure.
+RECOVERY_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class OpsFailureRecovery:
+    """Outcome of one orchestrator-level OPS failure recovery.
+
+    Attributes:
+        failed: the dead optical switch.
+        cluster: id of the cluster whose AL contained it (``None`` for
+            a free switch — the blast radius the paper promises).
+        recovered: False when AL repair gave up and the cluster's
+            chains entered degraded mode.
+        attempts: repair attempts made (1 without a policy).
+        recovery_time: virtual seconds of backoff spent before the
+            final attempt (0.0 on first-try success).
+        switches_touched: update cost of the AL repair.
+        rebuilt: whether repair fell back to full reconstruction.
+        chains_rerouted: live chains re-pathed inside the repaired AL.
+        vnfs_migrated: VNF instances evacuated off the dead router.
+        degraded_chains: chains newly marked degraded by this event.
+    """
+
+    failed: OpsId
+    cluster: str | None
+    recovered: bool
+    attempts: int
+    recovery_time: float
+    switches_touched: int
+    rebuilt: bool
+    chains_rerouted: int
+    vnfs_migrated: int
+    degraded_chains: tuple[ChainId, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -150,6 +194,8 @@ class NetworkOrchestrator:
         self._chains: dict[ChainId, OrchestratedChain] = {}
         self._slice_users: dict[str, set] = {}
         self._actions: list[tuple[str, str]] = []
+        self._failed_ops: set[OpsId] = set()
+        self._degraded_chains: set[ChainId] = set()
 
     # ------------------------------------------------------------------
     # Admission control: dry-run planning
@@ -522,6 +568,221 @@ class NetworkOrchestrator:
         return dataclasses.replace(
             live, cluster=cluster, path=tuple(path)
         )
+
+    # ------------------------------------------------------------------
+    # Failure handling: OPS crash recovery (self-healing)
+    # ------------------------------------------------------------------
+    def handle_ops_failure(
+        self, failed: OpsId, *, policy=None
+    ) -> OpsFailureRecovery:
+        """React to an optical-switch crash end to end.
+
+        The self-healing pipeline: record the death (the switch leaves
+        every candidate pool until :meth:`mark_ops_repaired`), repair
+        the owning cluster's AL through
+        :class:`~repro.core.reconfiguration.AlReconfigurator` (retried
+        under ``policy`` when given), keep the optical slice congruent,
+        evacuate optical VNFs off the dead router via
+        :meth:`CloudNfvManager.migrate`, and re-path the cluster's live
+        chains inside the repaired AL (rewriting SDN flow tables).
+        When repair gives up, the cluster's chains enter *degraded
+        mode*: they stay installed but are listed in
+        :meth:`degraded_chains` and the ``alvc_degraded_chains`` gauge.
+
+        By AL disjointness at most one cluster is ever touched — the
+        isolation claim the chaos suite asserts.
+
+        Args:
+            failed: the crashed optical switch.
+            policy: optional retry policy (duck-typed; see
+                :class:`repro.chaos.RecoveryPolicy`).  ``policy.run``
+                receives the repair thunk and must return an outcome
+                with ``succeeded``/``attempts``/``total_delay``/
+                ``result`` fields.  Without a policy the repair is
+                attempted exactly once.
+
+        Raises:
+            UnknownEntityError: when ``failed`` is not an optical
+                switch of the fabric.
+            DuplicateEntityError: when the switch is already recorded
+                as failed (repair it first).
+        """
+        if failed not in set(self._inventory.network.optical_switches()):
+            raise UnknownEntityError("optical switch", failed)
+        if failed in self._failed_ops:
+            raise DuplicateEntityError("failed ops", failed)
+        with self._telemetry.span("ops_failure", ops=str(failed)):
+            recovery = self._handle_ops_failure(failed, policy)
+        if self._telemetry.enabled:
+            self._telemetry.counter(
+                "alvc_ops_failures_total",
+                "optical switch failures handled by the orchestrator",
+            ).inc()
+            self._telemetry.histogram(
+                "alvc_recovery_seconds",
+                "virtual time spent recovering from an OPS failure",
+                RECOVERY_SECONDS_BUCKETS,
+            ).observe(recovery.recovery_time)
+            self._telemetry.gauge(
+                "alvc_degraded_chains",
+                "chains currently running in degraded mode",
+            ).set(len(self._degraded_chains))
+        return recovery
+
+    def _handle_ops_failure(
+        self, failed: OpsId, policy
+    ) -> OpsFailureRecovery:
+        from repro.core.reconfiguration import AlReconfigurator
+
+        self._failed_ops.add(failed)
+        owner = self._clusters.owner_of_ops(failed)
+        attempts = 1
+        recovery_time = 0.0
+        recovered = True
+        switches_touched = 0
+        rebuilt = False
+        rerouted = 0
+        migrated = 0
+        newly_degraded: list[ChainId] = []
+        repaired_cluster: VirtualCluster | None = None
+
+        def degrade(chain_id: ChainId) -> None:
+            if chain_id not in self._degraded_chains:
+                self._degraded_chains.add(chain_id)
+                newly_degraded.append(chain_id)
+
+        if owner is not None:
+            cluster = next(
+                candidate
+                for candidate in self._clusters.clusters()
+                if candidate.cluster_id == owner
+            )
+            attachments = {
+                member: self._inventory.tors_of_vm(member)
+                for member in sorted(cluster.vm_ids)
+                if self._inventory.is_placed(member)
+            }
+            reconfigurator = AlReconfigurator(
+                self._inventory.network,
+                cluster.abstraction_layer,
+                attachments,
+                failed_ops=self._failed_ops - {failed},
+            )
+            available = self._clusters.free_ops() - self._failed_ops
+
+            def repair():
+                return reconfigurator.handle_ops_failure(failed, available)
+
+            if policy is not None:
+                outcome = policy.run(repair)
+                attempts = outcome.attempts
+                recovery_time = outcome.total_delay
+                result = outcome.result if outcome.succeeded else None
+            else:
+                try:
+                    result = repair()
+                except CoverInfeasibleError:
+                    result = None
+
+            if result is None:
+                recovered = False
+                for live in self.chains():
+                    if live.cluster.cluster_id == owner:
+                        degrade(live.chain_id)
+            else:
+                switches_touched = result.cost
+                rebuilt = result.rebuilt
+                repaired_cluster = dataclasses.replace(
+                    cluster, abstraction_layer=reconfigurator.layer
+                )
+                self._clusters.replace_cluster(repaired_cluster)
+                if self._slice_users.get(owner):
+                    current_slice = self._slices.slice_of_cluster(owner)
+                    self._slices.extend(
+                        current_slice.slice_id,
+                        repaired_cluster.al_switches,
+                    )
+
+        # Evacuate optical VNFs off the dead router — preferring the
+        # repaired AL's routers so chain paths stay inside the layer.
+        pool = self._nfv.pool
+        preferred = (
+            sorted(repaired_cluster.al_switches)
+            if repaired_cluster is not None
+            else []
+        )
+        fallback = sorted(set(pool.host_ids()) - set(preferred))
+        for instance in self._nfv.instances_on(failed):
+            target = None
+            for candidate in (*preferred, *fallback):
+                if candidate == failed or candidate in self._failed_ops:
+                    continue
+                if candidate not in pool:
+                    continue
+                if pool.get(candidate).fits(instance.function.demand):
+                    target = candidate
+                    break
+            if target is None:
+                chain_id = self._chain_of_vnf(instance.vnf_id)
+                if chain_id is not None:
+                    degrade(chain_id)
+                continue
+            self._nfv.migrate(instance.vnf_id, target)
+            migrated += 1
+
+        # Re-path the cluster's live chains inside the repaired AL
+        # (rewrites the affected switches' flow tables).
+        if repaired_cluster is not None:
+            for live in list(self._chains.values()):
+                if live.cluster.cluster_id != owner:
+                    continue
+                try:
+                    updated = self._reroute_chain(live, repaired_cluster)
+                except RoutingError:
+                    degrade(live.chain_id)
+                    continue
+                self._chains[updated.chain_id] = updated
+                rerouted += 1
+
+        self._actions.append(("ops_failure", failed))
+        return OpsFailureRecovery(
+            failed=failed,
+            cluster=owner,
+            recovered=recovered,
+            attempts=attempts,
+            recovery_time=recovery_time,
+            switches_touched=switches_touched,
+            rebuilt=rebuilt,
+            chains_rerouted=rerouted,
+            vnfs_migrated=migrated,
+            degraded_chains=tuple(newly_degraded),
+        )
+
+    def _chain_of_vnf(self, vnf: VnfId) -> ChainId | None:
+        for live in self._chains.values():
+            if vnf in live.vnf_ids:
+                return live.chain_id
+        return None
+
+    def mark_ops_repaired(self, ops: OpsId) -> None:
+        """Return a previously failed switch to the candidate pools.
+
+        Raises:
+            UnknownEntityError: when the switch is not recorded failed.
+        """
+        if ops not in self._failed_ops:
+            raise UnknownEntityError("failed ops", ops)
+        self._failed_ops.discard(ops)
+        self._actions.append(("ops_repair", ops))
+
+    @property
+    def failed_ops(self) -> frozenset:
+        """Optical switches currently recorded as failed."""
+        return frozenset(self._failed_ops)
+
+    def degraded_chains(self) -> list[ChainId]:
+        """Chains running in degraded mode, sorted."""
+        return sorted(self._degraded_chains)
 
     # ------------------------------------------------------------------
     # NFC lifecycle: modification / upgradation / deletion

@@ -59,6 +59,8 @@ class AlReconfigurator:
         dcn: DataCenterNetwork,
         layer: AbstractionLayer,
         machine_attachments: Mapping[str, Iterable[TorId]],
+        *,
+        failed_ops: Iterable[OpsId] = (),
     ) -> None:
         self._dcn = dcn
         self._layer = layer
@@ -66,11 +68,33 @@ class AlReconfigurator:
             machine: list(tors)
             for machine, tors in machine_attachments.items()
         }
+        # OPSs that died on our watch (pre-seeded with ``failed_ops``
+        # for reconfigurators built mid-incident).  They must never
+        # re-enter any candidate pool — callers routinely pass pools
+        # derived from cluster bookkeeping (e.g.
+        # ``ClusterManager.free_ops``) that has no notion of dead
+        # hardware.
+        self._failed: set[OpsId] = set(failed_ops)
 
     @property
     def layer(self) -> AbstractionLayer:
         """The current (possibly repaired) abstraction layer."""
         return self._layer
+
+    @property
+    def failed_ops(self) -> frozenset:
+        """OPSs recorded as failed (excluded from every candidate pool)."""
+        return frozenset(self._failed)
+
+    def mark_ops_repaired(self, ops: OpsId) -> None:
+        """Forget a failure: ``ops`` becomes selectable again.
+
+        Raises:
+            TopologyError: if the switch was never recorded as failed.
+        """
+        if ops not in self._failed:
+            raise TopologyError(f"{ops} is not recorded as failed")
+        self._failed.discard(ops)
 
     @property
     def machines(self) -> list[str]:
@@ -116,7 +140,9 @@ class AlReconfigurator:
     def _extend_to(
         self, tor_candidates: list[TorId], available_ops: Iterable[OpsId]
     ) -> ReconfigurationResult:
-        ops_pool = set(available_ops) | set(self._layer.ops_ids)
+        ops_pool = (
+            set(available_ops) | set(self._layer.ops_ids)
+        ) - self._failed
         best: tuple[int, TorId, OpsId | None] | None = None
         for tor in sorted(tor_candidates):
             uplinks = set(self._dcn.ops_of_tor(tor))
@@ -190,14 +216,25 @@ class AlReconfigurator:
         two-stage reconstruction — dual-homed machines may still be
         coverable through other ToRs.
 
+        Failures are *sticky*: every OPS that ever failed is excluded
+        from candidate pools on this and all later calls (including the
+        rebuild fallback and :meth:`add_vm` extensions), regardless of
+        what the caller's ``available_ops`` contains.  Use
+        :meth:`mark_ops_repaired` once the hardware returns.
+
         Raises:
             TopologyError: if the switch is not in this AL.
             CoverInfeasibleError: if coverage cannot be restored at all.
         """
         if failed not in self._layer.ops_ids:
             raise TopologyError(f"{failed} is not part of this AL")
-        survivors = set(self._layer.ops_ids) - {failed}
-        pool = (set(available_ops) | survivors) - {failed}
+        # Record the death *before* building the pool: earlier failures
+        # stay excluded too, even when the caller's ``available_ops``
+        # (typically cluster bookkeeping that knows nothing about dead
+        # hardware) still lists them.
+        self._failed.add(failed)
+        survivors = set(self._layer.ops_ids) - self._failed
+        pool = (set(available_ops) | survivors) - self._failed
         try:
             new_ops = self._resolve_ops_stage(self._layer.tor_ids, pool)
         except CoverInfeasibleError:
@@ -248,16 +285,22 @@ class AlReconfigurator:
     def verify(self) -> None:
         """Assert the layer still covers every tracked machine.
 
+        Also flags any OPS recorded as failed that is (still) selected —
+        a dead switch covers nothing.
+
         Raises:
-            CoverInfeasibleError: listing the uncovered machines.
+            CoverInfeasibleError: listing the uncovered machines (and
+                any dead-but-selected switches).
         """
+        live_ops = self._layer.ops_ids - frozenset(self._failed)
         uncovered = {
             machine
             for machine, tors in self._attachments.items()
             if not (set(tors) & self._layer.tor_ids)
         }
+        uncovered |= self._layer.ops_ids - live_ops
         for tor in self._layer.tor_ids:
-            if not (set(self._dcn.ops_of_tor(tor)) & self._layer.ops_ids):
+            if not (set(self._dcn.ops_of_tor(tor)) & live_ops):
                 uncovered.add(tor)
         if uncovered:
             raise CoverInfeasibleError(frozenset(uncovered))

@@ -207,6 +207,75 @@ class CloudNfvManager:
         self._lifecycle.update(vnf, reason=reason)
         self._lifecycle.finish_management(vnf)
 
+    def migrate(self, vnf: VnfId, new_host: str) -> VnfInstance:
+        """Move a live VNF to a new host in the same domain.
+
+        The evacuation path of the self-healing story: when an
+        optoelectronic router dies, its optical VNFs are re-hosted on a
+        surviving router (and likewise electronic VNFs between
+        servers).  The move is transactional — on a placement failure
+        the original reservation is restored and the error re-raised.
+
+        Args:
+            vnf: the instance to move.
+            new_host: target router (optical) or server (electronic).
+
+        Raises:
+            ValidationError: when the VNF already runs on ``new_host``.
+            PlacementError: when the target lacks capacity (the VNF
+                stays where it was).
+            UnknownEntityError: on an unknown VNF or target host.
+        """
+        instance = self.instance_of(vnf)
+        if instance.host == new_host:
+            raise ValidationError(
+                f"{vnf} already runs on {new_host}"
+            )
+        self._lifecycle.update(vnf, reason=f"migrate to {new_host}")
+        try:
+            if instance.domain is Domain.OPTICAL:
+                source = self._pool.get(instance.host)
+                target = self._pool.get(new_host)
+                source.evict(vnf)
+                try:
+                    target.host(vnf, instance.function.demand)
+                except PlacementError:
+                    source.host(vnf, instance.function.demand)
+                    raise
+            else:
+                carrier_id = self._carrier_vms[vnf]
+                old_server = self._inventory.host_of(carrier_id)
+                self._inventory.remove(carrier_id)
+                new_carrier = self._inventory.create_vm(
+                    NFV_INFRA_SERVICE, instance.function.demand
+                )
+                try:
+                    self._inventory.place(new_carrier, new_host)
+                except (PlacementError, UnknownEntityError):
+                    self._inventory.remove(new_carrier)
+                    restored = self._inventory.create_vm(
+                        NFV_INFRA_SERVICE, instance.function.demand
+                    )
+                    self._inventory.place(restored, old_server)
+                    self._carrier_vms[vnf] = restored.vm_id
+                    raise
+                self._carrier_vms[vnf] = new_carrier.vm_id
+        finally:
+            self._lifecycle.finish_management(vnf)
+        updated = VnfInstance(
+            vnf_id=vnf,
+            function=instance.function,
+            host=new_host,
+            domain=instance.domain,
+        )
+        self._instances[vnf] = updated
+        self._telemetry.counter(
+            "alvc_vnfs_migrated_total",
+            "VNF instances migrated between hosts",
+            domain=instance.domain.value,
+        ).inc()
+        return updated
+
     def terminate(self, vnf: VnfId) -> None:
         """Terminate a VNF and release its resources."""
         instance = self.instance_of(vnf)

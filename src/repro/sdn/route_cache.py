@@ -33,7 +33,7 @@ counters are kept as well so tests and reports can read
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable
+from typing import Hashable, Iterable
 
 from repro.exceptions import ValidationError
 
@@ -180,4 +180,51 @@ class RouteCache:
         dropped = len(self._entries)
         self._entries.clear()
         self._size_gauge.set(0)
+        return dropped
+
+    def invalidate_crossing(self, links: "Iterable[frozenset]") -> int:
+        """Drop every cached path that traverses one of ``links``.
+
+        The capacity-change hook: when a trunk member (one of several
+        parallel physical links) dies, the trunk survives with reduced
+        capacity — the AL signature in the key does not change, so
+        entries whose cached path (or any load-aware candidate path)
+        rides the degraded trunk must be evicted explicitly and
+        recomputed/re-scored on the next lookup.  :data:`NO_ROUTE`
+        entries are kept: a capacity change never makes an infeasible
+        pair feasible.
+
+        Args:
+            links: canonical undirected link keys (frozensets of the
+                two endpoint ids).
+
+        Returns:
+            The number of entries dropped.
+        """
+        targets = {frozenset(link) for link in links}
+        if not targets:
+            return 0
+
+        def crosses(path) -> bool:
+            return any(
+                frozenset((a, b)) in targets
+                for a, b in zip(path, path[1:])
+            )
+
+        entries = self._entries
+        dropped = 0
+        for key in list(entries):
+            value = entries[key]
+            if value is NO_ROUTE:
+                continue
+            if not isinstance(value, tuple) or not value:
+                continue  # pragma: no cover - foreign value, leave it
+            # A load-aware entry caches a tuple of candidate paths; a
+            # plain entry caches one path (a tuple of node ids).
+            paths = value if isinstance(value[0], tuple) else (value,)
+            if any(crosses(path) for path in paths):
+                del entries[key]
+                dropped += 1
+        if dropped:
+            self._size_gauge.set(len(entries))
         return dropped

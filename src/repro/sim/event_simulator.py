@@ -69,6 +69,15 @@ from repro.sim.fairshare import (
     links_on_path,
     max_min_fair_rates,
 )
+from repro.sim.faults import (
+    LINK_DEGRADE,
+    LINK_DOWN,
+    LINK_UP,
+    NODE_DOWN,
+    NODE_UP,
+    FaultEvent,
+    normalize_failures,
+)
 from repro.sim.flows import Flow
 from repro.virtualization.machines import MachineInventory
 
@@ -387,6 +396,7 @@ class EventDrivenFlowSimulator:
         self,
         flow: Flow,
         failed_nodes: set,
+        cut_links: set,
         link_flows: dict[LinkId, int],
     ) -> list[str] | None:
         """Shortest surviving path for a flow, or None when partitioned.
@@ -406,18 +416,48 @@ class EventDrivenFlowSimulator:
         if source == destination:
             return [source]
         graph = self._inventory.network.graph
-        surviving = graph.subgraph(
-            node for node in graph if node not in failed_nodes
+        surviving = nx.restricted_view(
+            graph,
+            tuple(failed_nodes),
+            tuple(tuple(sorted(link)) for link in cut_links),
         )
         try:
             return list(nx.shortest_path(surviving, source, destination))
         except (nx.NetworkXNoPath, nx.NodeNotFound):
             return None
 
+    def _validated_failures(self, failures) -> list:
+        """Normalize and validate a failure schedule (both loop engines).
+
+        Raises:
+            SimulationError: on a negative fault time, an unknown node,
+                or an unknown link.
+        """
+        records = normalize_failures(failures)
+        network = self._inventory.network
+        graph = network.graph
+        for record in records:
+            if record.time < 0:
+                raise SimulationError(
+                    f"failure time must be >= 0, got {record.time}"
+                )
+            if record.action in (NODE_DOWN, NODE_UP):
+                if not network.has_node(record.payload):
+                    raise SimulationError(
+                        f"unknown failure node {record.payload!r}"
+                    )
+            else:
+                a, b = sorted(record.payload)
+                if not graph.has_edge(a, b):
+                    raise SimulationError(
+                        f"unknown failure link {a!r}-{b!r}"
+                    )
+        return records
+
     def run(
         self,
         flows: Sequence[Flow],
-        failures: Sequence[tuple[float, str]] = (),
+        failures: Sequence["FaultEvent | tuple[float, str]"] = (),
     ) -> EventSimulationReport:
         """Simulate the workload to completion.
 
@@ -426,11 +466,19 @@ class EventDrivenFlowSimulator:
 
         Args:
             flows: the workload.
-            failures: optional ``(time, node_id)`` events — at each time
-                the node and its links leave the fabric.  Active flows
-                crossing it are rerouted around the failure when a path
-                remains (counted in ``reroutes``) and dropped otherwise
-                (listed in ``dropped``); later arrivals route around it.
+            failures: optional fault schedule.  Entries are either
+                legacy ``(time, node_id)`` crash tuples or
+                :class:`~repro.sim.faults.FaultEvent` records (node
+                crash/repair, link cut/repair, trunk degrade).  Crashed
+                nodes and cut links leave the fabric: active flows
+                crossing them are rerouted over the surviving fabric
+                when a path remains (counted in ``reroutes``) and
+                dropped otherwise (listed in ``dropped``); later
+                arrivals route around the failure.  Repairs restore the
+                stored pre-failure capacity; degrades shrink a trunk by
+                ``severity`` while it keeps carrying flows (their rates
+                adapt at the event).  ``failed_nodes`` in the report
+                lists nodes still down when the run ends.
         """
         telemetry = self._telemetry
         with telemetry.span(
@@ -481,12 +529,7 @@ class EventDrivenFlowSimulator:
         ids = [flow.flow_id for flow in pending]
         if len(set(ids)) != len(ids):
             raise SimulationError("duplicate flow ids in workload")
-        failure_queue = sorted(failures)
-        for when, node in failure_queue:
-            if when < 0:
-                raise SimulationError(f"failure time must be >= 0, got {when}")
-            if not self._inventory.network.has_node(node):
-                raise SimulationError(f"unknown failure node {node!r}")
+        failure_queue = self._validated_failures(failures)
 
         incremental = self._engine_mode == "incremental"
         # Per-run capacity view: failures remove links here without
@@ -505,6 +548,10 @@ class EventDrivenFlowSimulator:
         reroutes = 0
         events = 0
         failed_nodes: set[str] = set()
+        cut_links: set[LinkId] = set()
+        # Capacity each down link had when it left the map, so repairs
+        # restore exactly the pre-failure (possibly degraded) value.
+        down_links: dict[LinkId, float] = {}
         busy: dict[LinkId, float] = {}
         link_flows: dict[LinkId, int] = {}
         now = 0.0
@@ -567,6 +614,40 @@ class EventDrivenFlowSimulator:
                 )
             apply_rates(rates)
 
+        def displace(victims: list[FlowId]) -> None:
+            """Reroute (or drop) flows whose path just became unusable."""
+            nonlocal reroutes
+            for flow_id in victims:
+                state = active.pop(flow_id)
+                materialize(state)
+                for link in state.links:
+                    link_flows[link] -= 1
+                    if link_flows[link] == 0:
+                        del link_flows[link]
+                if incremental:
+                    engine.remove_flow(flow_id)
+                new_path = self._route_avoiding(
+                    state.flow, failed_nodes, cut_links, link_flows
+                )
+                if new_path is None:
+                    dropped.append(flow_id)
+                    continue
+                reroutes += 1
+                rerouted = _ActiveFlow(
+                    flow=state.flow,
+                    path=new_path,
+                    links=links_on_path(new_path),
+                    remaining_bytes=state.remaining_bytes,
+                    last_update=now,
+                )
+                active[flow_id] = rerouted
+                for link in rerouted.links:
+                    link_flows[link] = link_flows.get(link, 0) + 1
+                    if link not in busy:
+                        busy[link] = 0.0
+                if incremental:
+                    engine.add_flow(flow_id, rerouted.links)
+
         while (
             arrival_index < len(pending)
             or active
@@ -578,7 +659,7 @@ class EventDrivenFlowSimulator:
                 else infinity
             )
             next_failure = (
-                failure_queue[failure_index][0]
+                failure_queue[failure_index].time
                 if failure_index < len(failure_queue)
                 else infinity
             )
@@ -606,61 +687,106 @@ class EventDrivenFlowSimulator:
             now = event_time
 
             if next_failure <= next_arrival and next_failure <= next_completion:
-                _, failed = failure_queue[failure_index]
+                record = failure_queue[failure_index]
                 failure_index += 1
-                if failed in failed_nodes:
-                    continue
-                failed_nodes.add(failed)
-                # Active flows over the node reroute or drop.
-                victims = [
-                    flow_id
-                    for flow_id, state in sorted(active.items())
-                    if failed in state.path
-                ]
-                for flow_id in victims:
-                    state = active.pop(flow_id)
-                    materialize(state)
-                    for link in state.links:
-                        link_flows[link] -= 1
-                        if link_flows[link] == 0:
-                            del link_flows[link]
-                    if incremental:
-                        engine.remove_flow(flow_id)
-                    new_path = self._route_avoiding(
-                        state.flow, failed_nodes, link_flows
-                    )
-                    if new_path is None:
-                        dropped.append(flow_id)
+                action = record.action
+                if action == NODE_DOWN:
+                    failed = record.payload
+                    if failed in failed_nodes:
                         continue
-                    reroutes += 1
-                    rerouted = _ActiveFlow(
-                        flow=state.flow,
-                        path=new_path,
-                        links=links_on_path(new_path),
-                        remaining_bytes=state.remaining_bytes,
-                        last_update=now,
+                    failed_nodes.add(failed)
+                    # Active flows over the node reroute or drop.
+                    displace(
+                        [
+                            flow_id
+                            for flow_id, state in sorted(active.items())
+                            if failed in state.path
+                        ]
                     )
-                    active[flow_id] = rerouted
-                    for link in rerouted.links:
-                        link_flows[link] = link_flows.get(link, 0) + 1
-                        if link not in busy:
-                            busy[link] = 0.0
+                    # Links touching the node leave the capacity map
+                    # (after the reroutes, so the engine never drops a
+                    # loaded link).
+                    for link in list(capacities):
+                        if failed in link:
+                            down_links[link] = capacities.pop(link)
+                            if incremental:
+                                engine.remove_link(link)
+                    recompute_rates()
+                elif action == NODE_UP:
+                    repaired = record.payload
+                    if repaired not in failed_nodes:
+                        continue
+                    failed_nodes.discard(repaired)
+                    # Links regain their stored capacity once both
+                    # endpoints are alive, unless individually cut.
+                    for link in list(down_links):
+                        if (
+                            repaired in link
+                            and not (link & failed_nodes)
+                            and link not in cut_links
+                        ):
+                            capacity = down_links.pop(link)
+                            capacities[link] = capacity
+                            if incremental:
+                                engine.set_capacity(link, capacity)
+                    recompute_rates()
+                elif action == LINK_DOWN:
+                    link = record.payload
+                    if link in cut_links:
+                        continue
+                    cut_links.add(link)
+                    if link not in capacities:
+                        # Already gone (an endpoint is down); the cut is
+                        # remembered so a node repair cannot revive it.
+                        continue
+                    displace(
+                        [
+                            flow_id
+                            for flow_id, state in sorted(active.items())
+                            if link in state.links
+                        ]
+                    )
+                    down_links[link] = capacities.pop(link)
                     if incremental:
-                        engine.add_flow(flow_id, rerouted.links)
-                # Links touching the node leave the capacity map (after
-                # the reroutes, so the engine never drops a loaded link).
-                for link in list(capacities):
-                    if failed in link:
-                        del capacities[link]
+                        engine.remove_link(link)
+                    recompute_rates()
+                elif action == LINK_UP:
+                    link = record.payload
+                    if link not in cut_links:
+                        continue
+                    cut_links.discard(link)
+                    if link in down_links and not (link & failed_nodes):
+                        capacity = down_links.pop(link)
+                        capacities[link] = capacity
                         if incremental:
-                            engine.remove_link(link)
-                recompute_rates()
+                            engine.set_capacity(link, capacity)
+                        recompute_rates()
+                else:  # LINK_DEGRADE
+                    link = record.payload
+                    if link in capacities:
+                        new_capacity = capacities[link] * (
+                            1.0 - record.severity
+                        )
+                        capacities[link] = new_capacity
+                        if incremental:
+                            engine.set_capacity(link, new_capacity)
+                        # The trunk survives with less capacity: the AL
+                        # signature in cached keys is unchanged, so
+                        # entries riding the trunk must be dropped
+                        # explicitly (satellite fix).
+                        if self._route_cache is not None:
+                            self._route_cache.invalidate_crossing((link,))
+                        recompute_rates()
+                    elif link in down_links:
+                        # Degrading a link that is currently down only
+                        # shrinks the capacity a later repair restores.
+                        down_links[link] *= 1.0 - record.severity
             elif next_arrival <= next_completion and arrival_index < len(pending):
                 flow = pending[arrival_index]
                 arrival_index += 1
-                if failed_nodes:
+                if failed_nodes or cut_links:
                     path = self._route_avoiding(
-                        flow, failed_nodes, link_flows
+                        flow, failed_nodes, cut_links, link_flows
                     )
                     if path is None:
                         dropped.append(flow.flow_id)
@@ -764,18 +890,15 @@ class EventDrivenFlowSimulator:
         ids = [flow.flow_id for flow in pending]
         if len(set(ids)) != len(ids):
             raise SimulationError("duplicate flow ids in workload")
-        failure_queue = sorted(failures)
-        for when, node in failure_queue:
-            if when < 0:
-                raise SimulationError(f"failure time must be >= 0, got {when}")
-            if not self._inventory.network.has_node(node):
-                raise SimulationError(f"unknown failure node {node!r}")
+        failure_queue = self._validated_failures(failures)
 
         active: dict[FlowId, _ActiveFlow] = {}
         completed: list[CompletedFlow] = []
         dropped: list[FlowId] = []
         reroutes = 0
         failed_nodes: set[str] = set()
+        cut_links: set[LinkId] = set()
+        down_links: dict[LinkId, float] = {}
         busy: dict[LinkId, float] = {}
         link_flows: dict[LinkId, int] = {}
         capacities = dict(self._capacities)
@@ -791,6 +914,31 @@ class EventDrivenFlowSimulator:
             for flow_id, state in active.items():
                 state.rate = rates[flow_id]
 
+        def displace(victims: list[FlowId]) -> None:
+            nonlocal reroutes
+            for flow_id in victims:
+                state = active.pop(flow_id)
+                for link in state.links:
+                    link_flows[link] -= 1
+                    if link_flows[link] == 0:
+                        del link_flows[link]
+                new_path = self._route_avoiding(
+                    state.flow, failed_nodes, cut_links, link_flows
+                )
+                if new_path is None:
+                    dropped.append(flow_id)
+                    continue
+                reroutes += 1
+                rerouted = _ActiveFlow(
+                    flow=state.flow,
+                    path=new_path,
+                    links=links_on_path(new_path),
+                    remaining_bytes=state.remaining_bytes,
+                )
+                active[flow_id] = rerouted
+                for link in rerouted.links:
+                    link_flows[link] = link_flows.get(link, 0) + 1
+
         while pending[arrival_index:] or active or failure_queue[failure_index:]:
             next_arrival = (
                 pending[arrival_index].arrival_time
@@ -798,7 +946,7 @@ class EventDrivenFlowSimulator:
                 else math.inf
             )
             next_failure = (
-                failure_queue[failure_index][0]
+                failure_queue[failure_index].time
                 if failure_index < len(failure_queue)
                 else math.inf
             )
@@ -835,47 +983,79 @@ class EventDrivenFlowSimulator:
             now = event_time
 
             if next_failure <= min(next_arrival, next_completion):
-                _, failed = failure_queue[failure_index]
+                record = failure_queue[failure_index]
                 failure_index += 1
-                if failed in failed_nodes:
-                    continue
-                failed_nodes.add(failed)
-                # Links touching the node leave the capacity map.
-                for link in list(capacities):
-                    if failed in link:
-                        del capacities[link]
-                # Active flows over the node reroute or drop.
-                for flow_id, state in sorted(active.items()):
-                    if failed not in state.path:
+                action = record.action
+                if action == NODE_DOWN:
+                    failed = record.payload
+                    if failed in failed_nodes:
                         continue
-                    for link in state.links:
-                        link_flows[link] -= 1
-                        if link_flows[link] == 0:
-                            del link_flows[link]
-                    del active[flow_id]
-                    new_path = self._route_avoiding(
-                        state.flow, failed_nodes, link_flows
+                    failed_nodes.add(failed)
+                    # Active flows over the node reroute or drop.
+                    displace(
+                        [
+                            flow_id
+                            for flow_id, state in sorted(active.items())
+                            if failed in state.path
+                        ]
                     )
-                    if new_path is None:
-                        dropped.append(flow_id)
+                    # Links touching the node leave the capacity map.
+                    for link in list(capacities):
+                        if failed in link:
+                            down_links[link] = capacities.pop(link)
+                    recompute_rates()
+                elif action == NODE_UP:
+                    repaired = record.payload
+                    if repaired not in failed_nodes:
                         continue
-                    reroutes += 1
-                    rerouted = _ActiveFlow(
-                        flow=state.flow,
-                        path=new_path,
-                        links=links_on_path(new_path),
-                        remaining_bytes=state.remaining_bytes,
+                    failed_nodes.discard(repaired)
+                    for link in list(down_links):
+                        if (
+                            repaired in link
+                            and not (link & failed_nodes)
+                            and link not in cut_links
+                        ):
+                            capacities[link] = down_links.pop(link)
+                    recompute_rates()
+                elif action == LINK_DOWN:
+                    link = record.payload
+                    if link in cut_links:
+                        continue
+                    cut_links.add(link)
+                    if link not in capacities:
+                        continue
+                    displace(
+                        [
+                            flow_id
+                            for flow_id, state in sorted(active.items())
+                            if link in state.links
+                        ]
                     )
-                    active[flow_id] = rerouted
-                    for link in rerouted.links:
-                        link_flows[link] = link_flows.get(link, 0) + 1
-                recompute_rates()
+                    down_links[link] = capacities.pop(link)
+                    recompute_rates()
+                elif action == LINK_UP:
+                    link = record.payload
+                    if link not in cut_links:
+                        continue
+                    cut_links.discard(link)
+                    if link in down_links and not (link & failed_nodes):
+                        capacities[link] = down_links.pop(link)
+                        recompute_rates()
+                else:  # LINK_DEGRADE
+                    link = record.payload
+                    if link in capacities:
+                        capacities[link] *= 1.0 - record.severity
+                        if self._route_cache is not None:
+                            self._route_cache.invalidate_crossing((link,))
+                        recompute_rates()
+                    elif link in down_links:
+                        down_links[link] *= 1.0 - record.severity
             elif next_arrival <= next_completion and arrival_index < len(pending):
                 flow = pending[arrival_index]
                 arrival_index += 1
-                if failed_nodes:
+                if failed_nodes or cut_links:
                     path = self._route_avoiding(
-                        flow, failed_nodes, link_flows
+                        flow, failed_nodes, cut_links, link_flows
                     )
                     if path is None:
                         dropped.append(flow.flow_id)

@@ -271,6 +271,24 @@ class FairShareEngine:
             )
         self._capacities.pop(link, None)
 
+    def set_capacity(self, link: LinkId, capacity: float) -> None:
+        """Set (or restore) a link's capacity — the revocation hook.
+
+        Used by fault events: a *degrade* shrinks a trunk that lost a
+        parallel member while flows keep crossing it (their rates adapt
+        on the next :meth:`recompute`); a *repair* re-adds a link that
+        :meth:`remove_link` dropped earlier.
+
+        Raises:
+            SimulationError: on a non-positive capacity.
+        """
+        if capacity <= 0:
+            raise SimulationError(
+                f"link {sorted(link)} capacity must be positive, "
+                f"got {capacity}"
+            )
+        self._capacities[link] = capacity
+
     # ------------------------------------------------------------------
     # Water-filling
     # ------------------------------------------------------------------

@@ -292,6 +292,92 @@ class AlvcStack:
         )
 
     # ------------------------------------------------------------------
+    # Chaos engineering
+    # ------------------------------------------------------------------
+    def inject_faults(
+        self,
+        faults: Sequence = (),
+        *,
+        seed: int = 0,
+        rate: float | None = None,
+        duration: float = 100.0,
+        repair_after: float | None = None,
+        flows: Sequence | None = None,
+        n_flows: int = 0,
+        policy=None,
+        simulator=None,
+    ):
+        """Run a chaos experiment against this stack and report.
+
+        Two modes, mirroring :class:`~repro.chaos.FaultInjector`:
+
+        * pass ``faults`` — an explicit schedule of
+          :class:`~repro.chaos.FaultEvent` records (or legacy ``(time,
+          node)`` tuples) — to replay a hand-written scenario;
+        * pass ``rate`` to draw a seeded Poisson fault schedule over
+          ``[0, duration)`` instead (``repair_after`` adds matching
+          repairs).
+
+        The schedule is played through the orchestrator (AL repair under
+        ``policy``, VNF evacuation, SDN re-pathing) and the event-driven
+        simulator (reroutes, drops, capacity revocation).
+
+        Args:
+            faults: explicit fault schedule (exclusive with ``rate``).
+            seed: drives the random schedule *and* is recorded in the
+                report; same seed + same arguments ⇒ identical report.
+            rate: mean faults per virtual second for a random schedule.
+            duration: random-schedule horizon (virtual seconds).
+            repair_after: derive a repair this long after each random
+                crash/cut.
+            flows: data-plane workload; when ``None`` and ``n_flows`` >
+                0, a seeded :class:`~repro.sim.TrafficGenerator` draws
+                the workload.
+            n_flows: number of generated flows (ignored when ``flows``
+                is given).
+            policy: :class:`~repro.chaos.RecoveryPolicy` for AL repair
+                retries (single attempt when omitted).
+            simulator: bring your own data-plane simulator.
+
+        Returns:
+            The run's :class:`~repro.chaos.ChaosReport`.
+
+        Raises:
+            ValidationError: when both ``faults`` and ``rate`` are given
+                (or neither), or on bad schedule parameters.
+        """
+        from repro.chaos import ChaosRunner, FaultInjector
+        from repro.exceptions import ValidationError
+        from repro.sim.traffic import TrafficGenerator
+
+        if faults and rate is not None:
+            raise ValidationError(
+                "pass an explicit fault schedule or rate=, not both"
+            )
+        if not faults and rate is None:
+            raise ValidationError(
+                "nothing to inject: pass a fault schedule or rate="
+            )
+        if rate is not None:
+            injector = FaultInjector(
+                self.fabric, seed=seed, telemetry=self.telemetry
+            )
+            injector.schedule(
+                duration=duration, rate=rate, repair_after=repair_after
+            )
+            schedule = injector.events()
+        else:
+            schedule = list(faults)
+        if flows is None and n_flows > 0:
+            flows = TrafficGenerator(self._inventory, seed=seed).flows(
+                n_flows
+            )
+        runner = ChaosRunner(
+            self._orchestrator, simulator=simulator, policy=policy
+        )
+        return runner.run(schedule, flows or (), seed=seed)
+
+    # ------------------------------------------------------------------
     # Queries and collaborator access (the facade is not a ceiling)
     # ------------------------------------------------------------------
     def chains(self) -> list[OrchestratedChain]:

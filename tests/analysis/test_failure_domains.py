@@ -73,3 +73,60 @@ class TestWorstCase:
         worst = worst_case_blast_radius(manager)
         assert worst.alvc_clusters_affected == 0
         assert worst.flat_clusters_affected == 0
+
+
+class TestWorstCaseOverlappingClusters:
+    """Clusters may overlap at the ToR layer (shared racks) — the blast
+    radius bound must come from OPS disjointness alone."""
+
+    @pytest.fixture
+    def overlapping(self, populated_inventory):
+        # Round-robin placement interleaves services across the same racks,
+        # so the resulting ALs share ToRs while their OPS sets stay
+        # disjoint by construction.
+        from repro.virtualization.machines import MachineInventory
+        from repro.virtualization.services import ServiceCatalog
+        from repro.virtualization.vm_placement import (
+            PlacementStrategy,
+            VmPlacementEngine,
+        )
+
+        inventory = MachineInventory(populated_inventory.network)
+        catalog = ServiceCatalog.standard()
+        engine = VmPlacementEngine(
+            inventory, strategy=PlacementStrategy.ROUND_ROBIN, seed=3
+        )
+        for service in ("web", "map-reduce", "sns"):
+            for _ in range(6):
+                engine.place(inventory.create_vm(catalog.get(service)))
+        manager = ClusterManager(inventory)
+        for service in ("web", "map-reduce", "sns"):
+            manager.create_cluster(service)
+        return manager
+
+    def test_fixture_actually_overlaps(self, overlapping):
+        clusters = overlapping.clusters()
+        shared_tors = any(
+            first.tor_switches & second.tor_switches
+            for index, first in enumerate(clusters)
+            for second in clusters[index + 1 :]
+        )
+        assert shared_tors, "expected ToR-level overlap between clusters"
+
+    def test_ops_stay_disjoint_despite_tor_overlap(self, overlapping):
+        clusters = overlapping.clusters()
+        for index, first in enumerate(clusters):
+            for second in clusters[index + 1 :]:
+                assert not (first.al_switches & second.al_switches)
+
+    def test_worst_case_still_one_cluster(self, overlapping):
+        worst = worst_case_blast_radius(overlapping)
+        assert worst.alvc_clusters_affected == 1
+        assert worst.affected_cluster is not None
+        assert worst.flat_clusters_affected == 3
+        assert worst.isolation_gain == 2
+
+    def test_worst_case_tiebreak_is_deterministic(self, overlapping):
+        assert worst_case_blast_radius(
+            overlapping
+        ) == worst_case_blast_radius(overlapping)

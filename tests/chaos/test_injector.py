@@ -1,0 +1,164 @@
+"""FaultInjector: manual primitives, random schedules, determinism."""
+
+import pytest
+
+from repro.chaos import FaultInjector, FaultKind
+from repro.exceptions import ValidationError
+from repro.observability.runtime import Telemetry
+
+from tests.chaos.testbed import build_inventory
+
+
+@pytest.fixture
+def network():
+    inventory, _ = build_inventory()
+    return inventory.network
+
+
+# ----------------------------------------------------------------------
+# Manual scheduling
+# ----------------------------------------------------------------------
+def test_crash_node_infers_kind_from_role(network):
+    injector = FaultInjector(network)
+    ops = sorted(network.optical_switches())[0]
+    tor = sorted(network.tors())[0]
+    server = sorted(network.servers())[0]
+    assert injector.crash_node(1.0, ops).kind is FaultKind.OPS_CRASH
+    assert injector.crash_node(2.0, tor).kind is FaultKind.TOR_CRASH
+    assert injector.crash_node(3.0, server).kind is FaultKind.SERVER_CRASH
+    assert len(injector) == 3
+
+
+def test_unknown_targets_rejected(network):
+    injector = FaultInjector(network)
+    with pytest.raises(ValidationError):
+        injector.crash_node(0.0, "no-such-node")
+    with pytest.raises(ValidationError):
+        injector.cut_link(0.0, "no", "such-link")
+    assert len(injector) == 0
+
+
+def test_flap_link_emits_cut_repair_pairs(network):
+    injector = FaultInjector(network)
+    edge = sorted(tuple(sorted(e)) for e in network.graph.edges())[0]
+    events = injector.flap_link(10.0, *edge, period=2.0, cycles=3)
+    assert len(events) == 6
+    cuts = [e for e in events if e.kind is FaultKind.LINK_CUT]
+    repairs = [e for e in events if e.kind is FaultKind.LINK_REPAIR]
+    assert [e.time for e in cuts] == [10.0, 12.0, 14.0]
+    assert [e.time for e in repairs] == [11.0, 13.0, 15.0]
+
+
+def test_flap_link_validates_period_and_cycles(network):
+    injector = FaultInjector(network)
+    edge = sorted(tuple(sorted(e)) for e in network.graph.edges())[0]
+    with pytest.raises(ValidationError):
+        injector.flap_link(0.0, *edge, period=0.0, cycles=1)
+    with pytest.raises(ValidationError):
+        injector.flap_link(0.0, *edge, period=1.0, cycles=0)
+
+
+def test_rack_outage_is_correlated(network):
+    injector = FaultInjector(network)
+    tor = sorted(network.tors())[0]
+    servers = network.servers_under(tor)
+    events = injector.rack_outage(5.0, tor, repair_after=3.0)
+    crashes = [e for e in events if e.kind is not FaultKind.NODE_REPAIR]
+    repairs = [e for e in events if e.kind is FaultKind.NODE_REPAIR]
+    assert {e.target for e in crashes} == {tor, *servers}
+    assert all(e.time == 5.0 for e in crashes)  # same instant
+    assert {e.target for e in repairs} == {tor, *servers}
+    assert all(e.time == 8.0 for e in repairs)
+
+
+def test_rack_outage_rejects_non_tor(network):
+    injector = FaultInjector(network)
+    ops = sorted(network.optical_switches())[0]
+    with pytest.raises(ValidationError):
+        injector.rack_outage(0.0, ops)
+
+
+# ----------------------------------------------------------------------
+# Random scheduling
+# ----------------------------------------------------------------------
+def test_schedule_is_deterministic_per_seed(network):
+    first = FaultInjector(network, seed=42)
+    second = FaultInjector(network, seed=42)
+    other = FaultInjector(network, seed=43)
+    kwargs = dict(duration=50.0, rate=0.4, repair_after=5.0)
+    assert first.schedule(**kwargs) == second.schedule(**kwargs)
+    assert first.events() == second.events()
+    assert first.events() != other.schedule(**kwargs)
+
+
+def test_schedule_never_targets_a_corpse(network):
+    injector = FaultInjector(network, seed=7)
+    events = injector.schedule(duration=200.0, rate=0.5)  # no repairs
+    down_nodes: set = set()
+    down_links: set = set()
+    for event in sorted(events, key=lambda e: e.time):
+        if event.kind in (
+            FaultKind.OPS_CRASH,
+            FaultKind.TOR_CRASH,
+            FaultKind.SERVER_CRASH,
+        ):
+            assert event.target not in down_nodes
+            down_nodes.add(event.target)
+        elif event.kind is FaultKind.LINK_CUT:
+            link = frozenset(event.target)
+            assert link not in down_links
+            assert not (link & down_nodes)
+            down_links.add(link)
+
+
+def test_schedule_respects_protected_nodes(network):
+    shielded = sorted(network.optical_switches())[0]
+    injector = FaultInjector(network, seed=3)
+    events = injector.schedule(
+        duration=300.0,
+        rate=0.5,
+        kinds=(FaultKind.OPS_CRASH,),
+        repair_after=1.0,
+        protected=(shielded,),
+    )
+    assert events  # the schedule is non-trivial
+    assert all(event.target != shielded for event in events)
+
+
+def test_schedule_validates_arguments(network):
+    injector = FaultInjector(network)
+    with pytest.raises(ValidationError):
+        injector.schedule(duration=0.0, rate=1.0)
+    with pytest.raises(ValidationError):
+        injector.schedule(duration=1.0, rate=0.0)
+    with pytest.raises(ValidationError):
+        injector.schedule(duration=1.0, rate=1.0, kinds=())
+    with pytest.raises(ValidationError):
+        injector.schedule(
+            duration=1.0, rate=1.0, kinds=(FaultKind.NODE_REPAIR,)
+        )
+    with pytest.raises(ValidationError):
+        injector.schedule(duration=1.0, rate=1.0, severity_range=(0.0, 2.0))
+    with pytest.raises(ValidationError):
+        injector.schedule(duration=1.0, rate=1.0, repair_after=-1.0)
+
+
+def test_events_sorted_and_clearable(network):
+    injector = FaultInjector(network, seed=1)
+    injector.schedule(duration=40.0, rate=0.5)
+    times = [event.time for event in injector.events()]
+    assert times == sorted(times)
+    injector.clear()
+    assert injector.events() == []
+
+
+def test_injector_counts_faults_in_telemetry(network):
+    telemetry = Telemetry.enabled_instance()
+    injector = FaultInjector(network, seed=1, telemetry=telemetry)
+    ops = sorted(network.optical_switches())[0]
+    injector.crash_node(0.0, ops)
+    family = telemetry.snapshot()["metrics"]["alvc_faults_injected_total"]
+    assert any(
+        entry["labels"] == {"kind": "ops_crash"} and entry["value"] == 1
+        for entry in family["series"]
+    )

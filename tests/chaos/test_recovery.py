@@ -1,0 +1,109 @@
+"""RecoveryPolicy: bounded retry, virtual backoff, give-up semantics."""
+
+import pytest
+
+from repro.chaos import RecoveryPolicy
+from repro.exceptions import ALVCError, ValidationError
+
+
+def test_first_try_success_spends_no_delay():
+    policy = RecoveryPolicy(max_attempts=3)
+    outcome = policy.run(lambda: "done")
+    assert outcome.succeeded
+    assert outcome.attempts == 1
+    assert outcome.total_delay == 0.0
+    assert outcome.result == "done"
+    assert outcome.error is None
+
+
+def test_retries_until_success():
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise ALVCError("not yet")
+        return calls["n"]
+
+    policy = RecoveryPolicy(max_attempts=5, base_delay=1.0, jitter=0.0)
+    outcome = policy.run(flaky)
+    assert outcome.succeeded
+    assert outcome.attempts == 3
+    assert outcome.result == 3
+    # two retries: 1.0 + 2.0 virtual seconds of backoff
+    assert outcome.total_delay == pytest.approx(3.0)
+
+
+def test_give_up_reports_instead_of_raising():
+    def always_fails():
+        raise ALVCError("permanently broken")
+
+    policy = RecoveryPolicy(max_attempts=3, jitter=0.0)
+    outcome = policy.run(always_fails)
+    assert not outcome.succeeded
+    assert outcome.attempts == 3
+    assert outcome.result is None
+    assert "permanently broken" in outcome.error
+
+
+def test_non_retryable_errors_propagate():
+    policy = RecoveryPolicy(max_attempts=5)
+
+    def boom():
+        raise KeyError("not an ALVCError")
+
+    with pytest.raises(KeyError):
+        policy.run(boom)
+
+
+def test_delays_are_deterministic_and_capped():
+    policy = RecoveryPolicy(
+        max_attempts=6,
+        base_delay=1.0,
+        backoff=3.0,
+        jitter=0.2,
+        max_delay=10.0,
+        seed=9,
+    )
+    first, second = policy.delays(), policy.delays()
+    assert first == second  # the jitter stream re-seeds per call
+    assert len(first) == 5
+    assert all(delay <= 10.0 for delay in first)
+    # exponential growth until the cap bites
+    assert first[0] < first[1] < first[2]
+
+
+def test_run_matches_advertised_delays():
+    policy = RecoveryPolicy(
+        max_attempts=4, base_delay=0.5, backoff=2.0, jitter=0.3, seed=5
+    )
+
+    def always_fails():
+        raise ALVCError("nope")
+
+    outcome = policy.run(always_fails)
+    assert outcome.total_delay == pytest.approx(sum(policy.delays()))
+
+
+def test_single_attempt_policy_never_delays():
+    policy = RecoveryPolicy(max_attempts=1)
+    assert policy.delays() == []
+    outcome = policy.run(lambda: (_ for _ in ()).throw(ALVCError("x")))
+    assert not outcome.succeeded
+    assert outcome.attempts == 1
+    assert outcome.total_delay == 0.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"backoff": 0.5},
+        {"jitter": 1.5},
+        {"max_delay": 0.1, "base_delay": 1.0},
+    ],
+)
+def test_policy_validates_parameters(kwargs):
+    with pytest.raises(ValidationError):
+        RecoveryPolicy(**kwargs)

@@ -1,0 +1,145 @@
+"""ChaosRunner end-to-end + the deterministic-replay acceptance test."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosRunner,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    RecoveryPolicy,
+    run_chaos,
+)
+from repro.exceptions import ValidationError
+from repro.sim.traffic import TrafficGenerator
+
+from tests.chaos.testbed import build_orchestrator
+
+
+def _assigned_ops(orchestrator, service):
+    cluster = orchestrator.cluster_manager.cluster_of_service(service)
+    return sorted(cluster.al_switches)[0]
+
+
+# ----------------------------------------------------------------------
+# Control-plane pass
+# ----------------------------------------------------------------------
+def test_ops_crash_recovers_and_contains_blast_radius():
+    orchestrator, services = build_orchestrator()
+    ops = _assigned_ops(orchestrator, services[0])
+    flows = TrafficGenerator(
+        orchestrator.cluster_manager.inventory, seed=0
+    ).flows(10)
+
+    report = run_chaos(
+        orchestrator,
+        [FaultEvent(time=1.0, kind=FaultKind.OPS_CRASH, target=ops)],
+        flows,
+        policy=RecoveryPolicy(max_attempts=3),
+        seed=0,
+    )
+
+    assert report.faults_injected == 1
+    (recovery,) = report.recoveries
+    assert recovery.failed == ops
+    assert recovery.cluster is not None
+    assert recovery.recovered
+    assert report.mttr >= 0.0
+    (observation,) = report.blast_radii
+    assert observation.predicted_clusters <= 1
+    assert observation.within_prediction
+    assert report.isolation_held
+    # the repaired layer no longer contains the corpse
+    repaired = orchestrator.cluster_manager.cluster_of_service(services[0])
+    assert ops not in repaired.al_switches
+    # data plane ran and conserved flows
+    assert report.simulation is not None
+    assert report.unaccounted_flows([f.flow_id for f in flows]) == set()
+
+
+def test_crash_of_free_ops_is_a_cheap_recovery():
+    orchestrator, _ = build_orchestrator()
+    free = sorted(orchestrator.cluster_manager.free_ops())[0]
+    report = run_chaos(orchestrator, [(0.5, free)])
+    (recovery,) = report.recoveries
+    assert recovery.cluster is None
+    assert recovery.recovered
+    assert recovery.switches_touched == 0
+    (observation,) = report.blast_radii
+    assert observation.predicted_clusters == 0
+    assert observation.observed_clusters == 0
+
+
+def test_duplicate_crash_is_a_no_op():
+    orchestrator, services = build_orchestrator()
+    ops = _assigned_ops(orchestrator, services[0])
+    report = run_chaos(orchestrator, [(1.0, ops), (2.0, ops)])
+    assert report.faults_injected == 2
+    assert len(report.recoveries) == 1
+
+
+def test_node_repair_returns_ops_to_service():
+    orchestrator, services = build_orchestrator()
+    ops = _assigned_ops(orchestrator, services[0])
+    schedule = [
+        FaultEvent(time=1.0, kind=FaultKind.OPS_CRASH, target=ops),
+        FaultEvent(time=9.0, kind=FaultKind.NODE_REPAIR, target=ops),
+    ]
+    report = run_chaos(orchestrator, schedule)
+    assert len(report.recoveries) == 1
+    assert orchestrator.failed_ops == frozenset()
+
+
+def test_legacy_tuples_and_malformed_entries():
+    orchestrator, services = build_orchestrator()
+    ops = _assigned_ops(orchestrator, services[0])
+    runner = ChaosRunner(orchestrator)
+    with pytest.raises(ValidationError):
+        runner.run([object()])
+    with pytest.raises(ValidationError):
+        runner.run([(1.0, "no-such-node")])
+    report = runner.run([(1.0, ops)])
+    assert report.recoveries[0].failed == ops
+
+
+def test_empty_schedule_and_no_flows_reports_empty():
+    orchestrator, _ = build_orchestrator()
+    report = run_chaos(orchestrator, [])
+    assert report.faults_injected == 0
+    assert report.simulation is None
+    assert report.mttr == 0.0
+    assert report.unaccounted_flows(["f1"]) == {"f1"}
+    assert report.summary()["faults"] == 0.0
+    assert report.to_rows() == []
+
+
+# ----------------------------------------------------------------------
+# The acceptance test: bit-for-bit deterministic replay
+# ----------------------------------------------------------------------
+def _one_full_run(seed: int):
+    orchestrator, _ = build_orchestrator(seed=seed)
+    inventory = orchestrator.cluster_manager.inventory
+    injector = FaultInjector(inventory.network, seed=seed)
+    injector.schedule(duration=30.0, rate=0.4, repair_after=6.0)
+    flows = TrafficGenerator(inventory, seed=seed).flows(25)
+    return run_chaos(
+        orchestrator,
+        injector.events(),
+        flows,
+        policy=RecoveryPolicy(max_attempts=3, seed=seed),
+        seed=seed,
+    )
+
+
+def test_identically_seeded_runs_replay_bit_for_bit():
+    first = _one_full_run(seed=5)
+    second = _one_full_run(seed=5)
+    assert first == second  # the whole frozen report compares equal
+    assert first.simulation.completed == second.simulation.completed
+    assert first.simulation.dropped == second.simulation.dropped
+    assert first.to_rows() == second.to_rows()
+    assert first.summary() == second.summary()
+
+
+def test_different_seeds_diverge():
+    assert _one_full_run(seed=5) != _one_full_run(seed=6)

@@ -1,0 +1,54 @@
+"""AlvcStack.inject_faults — the facade entry to chaos experiments."""
+
+import pytest
+
+from repro.chaos import ChaosReport, RecoveryPolicy
+from repro.exceptions import ValidationError
+from repro.stack import AlvcStack
+
+
+def _stack(seed: int = 3) -> AlvcStack:
+    stack = AlvcStack.build(
+        n_racks=4, servers_per_rack=4, n_ops=6, seed=seed
+    )
+    stack.provision(("firewall", "nat"), service="web")
+    return stack
+
+
+def test_random_mode_runs_and_reports():
+    report = _stack().inject_faults(
+        seed=3,
+        rate=0.4,
+        duration=30.0,
+        repair_after=5.0,
+        n_flows=15,
+        policy=RecoveryPolicy(max_attempts=2, seed=3),
+    )
+    assert isinstance(report, ChaosReport)
+    assert report.seed == 3
+    assert report.faults_injected > 0
+    assert report.simulation is not None
+
+
+def test_random_mode_is_deterministic():
+    kwargs = dict(seed=3, rate=0.4, duration=30.0, n_flows=15)
+    assert _stack().inject_faults(**kwargs) == _stack().inject_faults(
+        **kwargs
+    )
+
+
+def test_explicit_schedule_mode():
+    stack = _stack()
+    ops = sorted(stack.fabric.optical_switches())[0]
+    report = stack.inject_faults([(1.0, ops)], seed=9)
+    assert report.faults_injected == 1
+    assert len(report.recoveries) == 1
+
+
+def test_rejects_both_and_neither():
+    stack = _stack()
+    ops = sorted(stack.fabric.optical_switches())[0]
+    with pytest.raises(ValidationError):
+        stack.inject_faults([(1.0, ops)], rate=0.5)
+    with pytest.raises(ValidationError):
+        stack.inject_faults()

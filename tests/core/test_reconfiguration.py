@@ -222,3 +222,112 @@ class TestFullRebuildBaseline:
         assert incremental_total <= rebuild.cost + len(
             rebuild.layer.ops_ids
         ) + len(rebuild.layer.tor_ids)
+
+
+class TestStickyFailures:
+    """Regression: a failed OPS must never re-enter a candidate pool,
+    even when the caller's ``available_ops`` still lists it (cluster
+    bookkeeping knows nothing about dead hardware)."""
+
+    @pytest.fixture
+    def reconfigurator(self, paper_dcn):
+        servers = ["server-0", "server-1", "server-2", "server-3"]
+        attachments = {
+            server: paper_dcn.tors_of_server(server) for server in servers
+        }
+        layer = AlConstructor(paper_dcn).construct("cluster-r", attachments)
+        return AlReconfigurator(paper_dcn, layer, attachments)
+
+    def test_failed_ops_never_reselected(self, reconfigurator, paper_dcn):
+        failed = sorted(reconfigurator.layer.ops_ids)[0]
+        # The caller's pool *includes* the corpse — the regression.
+        pool = set(paper_dcn.optical_switches())
+        result = reconfigurator.handle_ops_failure(failed, pool)
+        assert failed not in result.layer.ops_ids
+        assert reconfigurator.failed_ops == frozenset({failed})
+        reconfigurator.verify()
+
+    def test_earlier_failures_stay_excluded(self, medium_fabric):
+        # A larger fabric (8 OPSs) so two successive failures stay
+        # repairable; the corpses must both stay out of the pool even
+        # though the caller keeps offering them.
+        servers = sorted(medium_fabric.servers())[:8]
+        attachments = {
+            server: medium_fabric.tors_of_server(server)
+            for server in servers
+        }
+        layer = AlConstructor(medium_fabric).construct(
+            "cluster-m", attachments
+        )
+        reconfigurator = AlReconfigurator(medium_fabric, layer, attachments)
+        pool = set(medium_fabric.optical_switches())
+        first = sorted(reconfigurator.layer.ops_ids)[0]
+        reconfigurator.handle_ops_failure(first, pool)
+        second = sorted(reconfigurator.layer.ops_ids)[0]
+        result = reconfigurator.handle_ops_failure(second, pool)
+        assert first not in result.layer.ops_ids
+        assert second not in result.layer.ops_ids
+        assert reconfigurator.failed_ops == frozenset({first, second})
+        reconfigurator.verify()
+
+    def test_add_vm_excludes_failed_ops(self, reconfigurator, paper_dcn):
+        failed = sorted(reconfigurator.layer.ops_ids)[0]
+        reconfigurator.handle_ops_failure(
+            failed, set(paper_dcn.optical_switches())
+        )
+        result = reconfigurator.add_vm(
+            "server-5",
+            paper_dcn.tors_of_server("server-5"),
+            available_ops=set(paper_dcn.optical_switches()),
+        )
+        assert failed not in result.layer.ops_ids
+
+    def test_constructor_seeding_for_mid_incident_rebuilds(
+        self, reconfigurator, paper_dcn
+    ):
+        dead = sorted(paper_dcn.optical_switches())[-1]
+        servers = ["server-0", "server-1", "server-2", "server-3"]
+        attachments = {
+            server: paper_dcn.tors_of_server(server) for server in servers
+        }
+        seeded = AlReconfigurator(
+            paper_dcn,
+            reconfigurator.layer,
+            attachments,
+            failed_ops=[dead],
+        )
+        assert seeded.failed_ops == frozenset({dead})
+        result = seeded.add_vm(
+            "server-5",
+            paper_dcn.tors_of_server("server-5"),
+            available_ops=set(paper_dcn.optical_switches()),
+        )
+        assert dead not in result.layer.ops_ids
+
+    def test_mark_ops_repaired_restores_eligibility(
+        self, reconfigurator, paper_dcn
+    ):
+        failed = sorted(reconfigurator.layer.ops_ids)[0]
+        reconfigurator.handle_ops_failure(
+            failed, set(paper_dcn.optical_switches())
+        )
+        reconfigurator.mark_ops_repaired(failed)
+        assert reconfigurator.failed_ops == frozenset()
+        with pytest.raises(TopologyError):
+            reconfigurator.mark_ops_repaired(failed)  # only once
+
+    def test_verify_flags_dead_but_selected_ops(self, reconfigurator):
+        # Simulate a corpse left in the layer: record the failure
+        # without repairing (the degraded-mode state).
+        dead = sorted(reconfigurator.layer.ops_ids)[0]
+        reconfigurator._failed.add(dead)
+        with pytest.raises(CoverInfeasibleError):
+            reconfigurator.verify()
+
+    def test_exhaustion_still_raises(self, reconfigurator, paper_dcn):
+        # Failing everything must eventually be infeasible, not loop.
+        pool = set(paper_dcn.optical_switches())
+        with pytest.raises(CoverInfeasibleError):
+            for _ in range(len(pool) + 1):
+                failed = sorted(reconfigurator.layer.ops_ids)[0]
+                reconfigurator.handle_ops_failure(failed, pool)

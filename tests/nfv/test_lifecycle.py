@@ -111,3 +111,48 @@ class TestJournal:
         manager.create("vnf-0")
         assert "vnf-0" in manager
         assert "vnf-1" not in manager
+
+
+class TestIllegalTransitionPaths:
+    """Rejected transitions must neither move state nor touch the journal."""
+
+    def test_double_start_rejected(self, manager):
+        manager.create("vnf-0")
+        manager.start("vnf-0")
+        with pytest.raises(LifecycleError):
+            manager.start("vnf-0")
+        assert manager.state_of("vnf-0") is VnfState.RUNNING
+
+    def test_finish_management_while_running_rejected(self, manager):
+        manager.create("vnf-0")
+        manager.start("vnf-0")
+        with pytest.raises(LifecycleError):
+            manager.finish_management("vnf-0")
+        assert manager.state_of("vnf-0") is VnfState.RUNNING
+
+    def test_double_terminate_rejected(self, manager):
+        manager.create("vnf-0")
+        manager.terminate("vnf-0")
+        with pytest.raises(LifecycleError):
+            manager.terminate("vnf-0")
+
+    def test_update_before_start_rejected(self, manager):
+        manager.create("vnf-0")
+        with pytest.raises(LifecycleError):
+            manager.update("vnf-0")
+        assert manager.state_of("vnf-0") is VnfState.INSTANTIATED
+
+    def test_rejected_transition_leaves_no_journal_entry(self, manager):
+        manager.create("vnf-0")
+        before = list(manager.journal())
+        with pytest.raises(LifecycleError):
+            manager.scale("vnf-0")
+        assert manager.journal() == before
+
+    def test_error_names_both_states(self, manager):
+        manager.create("vnf-0")
+        manager.terminate("vnf-0")
+        with pytest.raises(LifecycleError) as excinfo:
+            manager.start("vnf-0")
+        message = str(excinfo.value)
+        assert "terminated" in message and "running" in message

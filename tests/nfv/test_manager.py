@@ -149,3 +149,98 @@ class TestQueries:
         hosted = manager.instances_on(router)
         assert [i.vnf_id for i in hosted] == [instance.vnf_id]
         assert manager.instances_on("server-0") == []
+
+
+class TestMigration:
+    """VNF evacuation between hosts (the self-healing path)."""
+
+    def test_optical_migration_moves_reservation(self, manager):
+        instance = manager.deploy_optical("firewall")
+        source = instance.host
+        target = next(
+            router
+            for router in manager.pool.host_ids()
+            if router != source
+        )
+        moved = manager.migrate(instance.vnf_id, target)
+        assert moved.host == target
+        assert manager.instance_of(instance.vnf_id).host == target
+        assert manager.state_of(instance.vnf_id) is VnfState.RUNNING
+        # the reservation followed the instance
+        assert manager.instances_on(target) == [moved]
+        assert manager.instances_on(source) == []
+
+    def test_electronic_migration_moves_carrier_vm(
+        self, manager, populated_inventory
+    ):
+        instance = manager.deploy_electronic("firewall")
+        source = instance.host
+        target = next(
+            server
+            for server in populated_inventory.network.servers()
+            if server != source
+        )
+        moved = manager.migrate(instance.vnf_id, target)
+        assert moved.host == target
+        carriers = populated_inventory.vms_of_service(
+            NFV_INFRA_SERVICE.name
+        )
+        assert len(carriers) == 1
+        assert populated_inventory.host_of(carriers[0].vm_id) == target
+
+    def test_migrate_to_same_host_rejected(self, manager):
+        from repro.exceptions import ValidationError
+
+        instance = manager.deploy_optical("firewall")
+        with pytest.raises(ValidationError):
+            manager.migrate(instance.vnf_id, instance.host)
+
+    def test_optical_migration_rolls_back_on_full_target(self, manager):
+        instance = manager.deploy_optical("firewall")
+        source = instance.host
+        target = next(
+            router
+            for router in manager.pool.host_ids()
+            if router != source
+        )
+        # Fill the target completely.
+        filler = manager.pool.get(target)
+        filler.host("filler", filler.free)
+        with pytest.raises(PlacementError):
+            manager.migrate(instance.vnf_id, target)
+        # The VNF kept its original reservation and stayed RUNNING.
+        assert manager.instance_of(instance.vnf_id).host == source
+        assert manager.state_of(instance.vnf_id) is VnfState.RUNNING
+
+    def test_electronic_migration_rolls_back_on_unknown_server(
+        self, manager, populated_inventory
+    ):
+        instance = manager.deploy_electronic("firewall")
+        source = instance.host
+        with pytest.raises(UnknownEntityError):
+            manager.migrate(instance.vnf_id, "server-does-not-exist")
+        carriers = populated_inventory.vms_of_service(
+            NFV_INFRA_SERVICE.name
+        )
+        assert len(carriers) == 1  # no leaked carrier VM
+        assert populated_inventory.host_of(carriers[0].vm_id) == source
+        assert manager.state_of(instance.vnf_id) is VnfState.RUNNING
+
+    def test_migration_counted_in_telemetry(self, populated_inventory):
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry.enabled_instance()
+        manager = CloudNfvManager(populated_inventory, telemetry=telemetry)
+        instance = manager.deploy_optical("firewall")
+        target = next(
+            router
+            for router in manager.pool.host_ids()
+            if router != instance.host
+        )
+        manager.migrate(instance.vnf_id, target)
+        assert (
+            telemetry.registry.value_of(
+                "alvc_vnfs_migrated_total", domain="optical"
+            )
+            == 1
+        )
