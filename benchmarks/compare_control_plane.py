@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two E21 control-plane records and enforce the speedup gates.
+
+Usage::
+
+    python benchmarks/compare_control_plane.py \
+        benchmarks/BENCH_e21.json BENCH_e21.json \
+        [--max-regression 0.10] [--min-kernel-speedup 2.0] \
+        [--min-sweep-speedup 2.0]
+
+Both files are the JSON written by
+``benchmarks/test_bench_e21_control_plane.py``.  Three gates, all of
+which must hold for a zero exit status:
+
+* the candidate's **checksums match** across its three arms — the
+  parallel sweep merge produced bit-identical abstraction layers to the
+  serial arms;
+* the candidate's **kernel speedup** (bitset constructions/sec over the
+  serial-set arm, measured in the same run, so stable across machines)
+  clears the absolute floor *and* has not regressed by more than
+  ``--max-regression`` against the committed baseline;
+* likewise the **sweep speedup** (parallel-arm wall clock over the
+  bitset arm's).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _gate(
+    name: str,
+    before: float,
+    after: float,
+    floor: float,
+    max_regression: float,
+) -> bool:
+    """Print one gate's verdict; returns True when it passes."""
+    if before <= 0:
+        print(f"FAIL: baseline {name} is not positive", file=sys.stderr)
+        return False
+    regression = (before - after) / before
+    ok = after >= floor and regression <= max_regression
+    status = "ok" if ok else "FAIL"
+    print(
+        f"{status}: {name} {before:.2f}x -> {after:.2f}x "
+        f"({-regression:+.1%} vs limit -{max_regression:.1%}, "
+        f"floor {floor:.2f}x)"
+    )
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_e21.json")
+    parser.add_argument("candidate", help="freshly measured BENCH_e21.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help=(
+            "allowed relative speedup drop vs baseline (default 0.25 — "
+            "arm-ratio variance on shared runners is larger than E19's "
+            "single-engine ratio; the absolute floors are the primary "
+            "gate)"
+        ),
+    )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="absolute floor for bitset vs serial-set (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-sweep-speedup",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="absolute floor for parallel vs bitset wall (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    candidate = _load(args.candidate)
+
+    for label, record in (("baseline", baseline), ("candidate", candidate)):
+        rates = record.get("constructions_per_sec", {})
+        formatted = ", ".join(
+            f"{arm}={rate:,.0f}/s" for arm, rate in sorted(rates.items())
+        )
+        print(
+            f"{label}: kernel {record['kernel_speedup']:.2f}x, "
+            f"sweep {record['sweep_speedup']:.2f}x ({formatted})"
+        )
+
+    passed = True
+    if not candidate.get("checksums_match", False):
+        print(
+            "FAIL: candidate arm checksums differ — the parallel sweep "
+            "did not reproduce the serial arms' layers",
+            file=sys.stderr,
+        )
+        passed = False
+    else:
+        print("ok: all three arms produced identical layer checksums")
+    passed &= _gate(
+        "kernel speedup",
+        float(baseline["kernel_speedup"]),
+        float(candidate["kernel_speedup"]),
+        args.min_kernel_speedup,
+        args.max_regression,
+    )
+    passed &= _gate(
+        "sweep speedup",
+        float(baseline["sweep_speedup"]),
+        float(candidate["sweep_speedup"]),
+        args.min_sweep_speedup,
+        args.max_regression,
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,7 @@ from repro.observability import (
     use_telemetry,
 )
 from repro.optical import ConversionModel, count_excursions
+from repro.parallel import SweepRunner
 from repro.sdn import SdnController, UpdateCostModel, UpdateEvent, UpdateKind
 from repro.sim import FlowSimulator, TrafficConfig, TrafficGenerator
 from repro.stack import AlvcStack
@@ -120,6 +121,7 @@ __all__ = [
     "ServiceCatalog",
     "ServiceType",
     "SliceAllocator",
+    "SweepRunner",
     "Telemetry",
     "TopologyBuilder",
     "TrafficConfig",

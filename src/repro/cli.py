@@ -15,6 +15,7 @@ thin veneer over :mod:`repro.analysis.experiments`.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 from typing import Callable
@@ -26,8 +27,11 @@ from repro.observability.runtime import resolve, use_telemetry
 
 # Experiment id -> (description, producer).  A producer returns
 # {table name: rows}; scalar worked examples are rendered as one-row
-# tables so everything prints and exports uniformly.
-_Producer = Callable[[], dict]
+# tables so everything prints and exports uniformly.  Producers whose
+# signature accepts ``workers`` receive the ``--workers`` count (the
+# seeded sweeps shard across processes; results are identical for any
+# worker count).
+_Producer = Callable[..., dict]
 _REGISTRY: dict[str, tuple[str, _Producer]] = {}
 
 
@@ -67,7 +71,7 @@ def _run_fig3() -> dict:
 
 
 @_register("fig4", "AL construction worked example + strategy sweep")
-def _run_fig4() -> dict:
+def _run_fig4(workers: int = 1) -> dict:
     example = experiments.experiment_fig4_worked_example()
     example_rows = [
         {
@@ -80,7 +84,7 @@ def _run_fig4() -> dict:
     return {
         "Fig. 4 — worked example": example_rows,
         "Fig. 4 — AL size per construction strategy": (
-            experiments.experiment_fig4_strategy_sweep()
+            experiments.experiment_fig4_strategy_sweep(workers=workers)
         ),
     }
 
@@ -130,10 +134,10 @@ def _run_fig8() -> dict:
 
 
 @_register("e9", "Optimality gap of AL construction heuristics")
-def _run_e9() -> dict:
+def _run_e9(workers: int = 1) -> dict:
     return {
         "E9 — AL size vs exact optimum": (
-            experiments.experiment_e9_optimality_gap()
+            experiments.experiment_e9_optimality_gap(workers=workers)
         )
     }
 
@@ -148,10 +152,10 @@ def _run_e10() -> dict:
 
 
 @_register("e11", "AL construction scalability (64 -> 2048 servers)")
-def _run_e11() -> dict:
+def _run_e11(workers: int = 1) -> dict:
     return {
         "E11 — AL construction vs fabric size": (
-            experiments.experiment_e11_scalability()
+            experiments.experiment_e11_scalability(workers=workers)
         )
     }
 
@@ -220,10 +224,21 @@ def _run_e18() -> dict:
 
 
 @_register("e20", "Chaos recovery: AL-VC vs the random-AL baseline")
-def _run_e20() -> dict:
+def _run_e20(workers: int = 1) -> dict:
     return {
         "E20 — self-healing under fault injection": (
-            experiments.experiment_e20_chaos_recovery()
+            experiments.experiment_e20_chaos_recovery(workers=workers)
+        )
+    }
+
+
+@_register("e21", "Control-plane throughput: set vs bitset vs parallel")
+def _run_e21(workers: int = 1) -> dict:
+    return {
+        "E21 — AL constructions/sec per control-plane arm": (
+            experiments.experiment_e21_control_plane_throughput(
+                workers=workers
+            )
         )
     }
 
@@ -343,6 +358,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "shard the seeded sweeps (fig4, e9, e11, e20, e21) across N "
+            "worker processes; results are identical for any N "
+            "(default: 1, fully in-process)"
+        ),
+    )
+    run_parser.add_argument(
         "--telemetry",
         choices=("json", "prom", "off"),
         default="off",
@@ -404,7 +430,11 @@ def main(argv: list[str] | None = None) -> int:
                 print()
             first = False
             _, producer = _REGISTRY[exp_id]
-            for title, rows in producer().items():
+            kwargs = {}
+            workers = getattr(args, "workers", 1)
+            if "workers" in inspect.signature(producer).parameters:
+                kwargs["workers"] = workers
+            for title, rows in producer(**kwargs).items():
                 print(render_table(rows, title=title))
                 if export_dir is not None:
                     target = export_dir / f"{exp_id}-{_slug(title)}.csv"

@@ -202,9 +202,26 @@ class AlConstructor:
         available_ops: Iterable[OpsId] | None = None,
     ) -> AbstractionLayer:
         """Convenience wrapper covering physical servers directly."""
-        attachments = {
-            server: self._dcn.tors_of_server(server) for server in servers
-        }
+        dcn = self._dcn
+        if dcn.caching_enabled:
+            # One dict probe per server off the memoized batch map —
+            # re-deriving per-server adjacency dominated warm repeat
+            # constructions before this.
+            attachment_map = dcn.server_attachment_map()
+            try:
+                attachments = {
+                    server: attachment_map[server] for server in servers
+                }
+            except KeyError:
+                # Unknown or non-server id: fall through to the checked
+                # per-node accessor so the usual error surfaces.
+                attachments = {
+                    server: dcn.tors_of_server(server) for server in servers
+                }
+        else:
+            attachments = {
+                server: dcn.tors_of_server(server) for server in servers
+            }
         return self.construct(cluster, attachments, available_ops)
 
     # ------------------------------------------------------------------

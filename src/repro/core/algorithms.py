@@ -13,19 +13,114 @@ algorithms the experiments need: the classic marginal-gain greedy, the
 random selection of the authors' earlier work [15], an exact
 branch-and-bound set cover for optimality gaps, and König's-theorem
 bipartite minimum vertex cover.
+
+Two interchangeable **kernels** back the three heuristic covers:
+
+* the **set kernel** — the original frozenset formulation, kept as the
+  readable reference implementation;
+* the **bitset kernel** — an element→bit-position interning pass turns
+  every candidate into one Python integer, so marginal gains are single
+  ``mask & uncovered`` AND operations and coverage updates are
+  ``uncovered &= ~gain``; :func:`greedy_marginal_cover` additionally
+  runs a *lazy-greedy* max-heap that re-evaluates only stale heap tops
+  instead of rescanning every remaining candidate per round.
+
+Both kernels produce **bit-for-bit identical** :class:`CoverResult`
+values (selection order, the full :class:`CoverStep` trace, the
+universe) — the randomized parity suite in
+``tests/core/test_cover_kernels.py`` holds them to that.  ``auto`` (the
+default) picks the bitset kernel for :func:`greedy_marginal_cover`
+once the universe reaches :data:`BITSET_KERNEL_THRESHOLD` elements —
+that algorithm re-evaluates gains many times per candidate, which
+amortizes the interning pass (measured 4–8× on fat-tree-scale
+fabrics).  The single-pass covers (:func:`greedy_max_weight_cover`,
+:func:`random_cover`) evaluate each candidate's gain exactly once, and
+materializing each step's ``newly_covered`` trace from a mask costs a
+Python-level per-bit decode loop that C-level frozenset intersections
+beat at every measured size/density — so ``auto`` keeps them on the
+set kernel, while ``kernel="bitset"`` (or
+:func:`set_default_kernel`\ ``("bitset")``) remains fully supported
+and parity-tested on all three.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import heapq
 import itertools
 import random
-from typing import Hashable, Mapping
+from typing import Hashable, Iterator, Mapping
 
 import networkx as nx
 
 from repro.exceptions import CoverInfeasibleError, ValidationError
 from repro.ids import index_of, kind_prefix
+
+#: Universe size at which ``kernel="auto"`` switches
+#: :func:`greedy_marginal_cover` from the frozenset reference kernel to
+#: the interned bitset kernel (with the lazy-greedy heap).  Below this
+#: the interning pass costs more than it saves; at fat-tree scale
+#: (hundreds to thousands of machines) the lazy bitset kernel wins 4–8×.
+#: The single-pass covers stay on the set kernel under ``auto`` — they
+#: touch each candidate once, so interning never amortizes there.
+BITSET_KERNEL_THRESHOLD = 64
+
+_KERNELS = ("auto", "set", "bitset")
+
+#: Process-wide default used when call sites pass ``kernel="auto"``.
+_default_kernel = "auto"
+
+
+def set_default_kernel(kernel: str) -> str:
+    """Set the process-wide cover kernel; returns the previous value.
+
+    ``"auto"`` restores the size-threshold heuristic; ``"set"`` or
+    ``"bitset"`` force one kernel for every cover call that does not
+    pass an explicit non-auto ``kernel=`` argument (sweep workers use
+    this to apply a benchmark arm's kernel choice after spawning).
+    """
+    global _default_kernel
+    if kernel not in _KERNELS:
+        raise ValidationError(
+            f"unknown cover kernel {kernel!r} (expected one of {_KERNELS})"
+        )
+    previous = _default_kernel
+    _default_kernel = kernel
+    return previous
+
+
+@contextlib.contextmanager
+def use_kernel(kernel: str) -> Iterator[str]:
+    """Temporarily force a cover kernel (restores the previous default)."""
+    previous = set_default_kernel(kernel)
+    try:
+        yield kernel
+    finally:
+        set_default_kernel(previous)
+
+
+def _resolve_kernel(
+    kernel: str, universe: frozenset, *, amortized: bool = False
+) -> str:
+    """Turn a ``kernel=`` argument into ``"set"`` or ``"bitset"``.
+
+    ``amortized`` is True for algorithms that re-evaluate candidate
+    gains many times (the lazy-greedy marginal cover): only those cross
+    to the bitset kernel under ``auto``, because one-shot gain scans pay
+    the interning pass without ever earning it back.
+    """
+    if kernel not in _KERNELS:
+        raise ValidationError(
+            f"unknown cover kernel {kernel!r} (expected one of {_KERNELS})"
+        )
+    if kernel == "auto":
+        kernel = _default_kernel
+    if kernel == "auto":
+        if amortized and len(universe) >= BITSET_KERNEL_THRESHOLD:
+            return "bitset"
+        return "set"
+    return kernel
 
 
 def natural_sort_key(entity_id: Hashable):
@@ -97,10 +192,214 @@ def _check_feasible(
         raise CoverInfeasibleError(frozenset(uncovered))
 
 
+class _BitUniverse:
+    """Element→bit-position interning behind the bitset cover kernel.
+
+    A single pass over ``candidates`` builds one Python integer mask per
+    candidate *and* the union-of-all-masks ``coverable_mask``, so the
+    feasibility check shares the interning pass instead of rebuilding the
+    coverable union a second time (the set kernel's
+    :func:`_check_feasible` does exactly that rebuild).
+
+    Bit positions follow the universe's iteration order — deliberately
+    *not* sorted, because every value that leaves the kernel is a
+    :func:`decode`-d frozenset (order-independent) or a ``bit_count``
+    (position-independent), so parity with the set kernel never depends
+    on which element owns which bit and the per-instance sort would be
+    pure overhead.
+    """
+
+    __slots__ = ("elements", "index", "masks", "full_mask", "coverable_mask")
+
+    def __init__(
+        self,
+        universe: frozenset,
+        candidates: Mapping[Hashable, frozenset],
+    ) -> None:
+        self.elements = list(universe)
+        self.index = {
+            element: position
+            for position, element in enumerate(self.elements)
+        }
+        self.full_mask = (1 << len(self.elements)) - 1
+        index_get = self.index.get
+        masks: dict = {}
+        coverable = 0
+        for candidate, members in candidates.items():
+            mask = 0
+            for member in members:
+                position = index_get(member)
+                if position is not None:  # out-of-universe members ignored
+                    mask |= 1 << position
+            masks[candidate] = mask
+            coverable |= mask
+        self.masks = masks
+        self.coverable_mask = coverable
+
+    def check_feasible(self) -> None:
+        """Raise :class:`CoverInfeasibleError` naming the exact uncovered set."""
+        uncovered = self.full_mask & ~self.coverable_mask
+        if uncovered:
+            raise CoverInfeasibleError(self.decode(uncovered))
+
+    def decode(self, mask: int) -> frozenset:
+        """Turn a bitmask back into the frozenset of universe elements."""
+        elements = self.elements
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(elements[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(out)
+
+
+def _require_weights(
+    candidates: Mapping[Hashable, frozenset],
+    weights: Mapping[Hashable, float],
+) -> None:
+    missing = sorted(
+        (cand for cand in candidates if cand not in weights),
+        key=natural_sort_key,
+    )
+    if missing:
+        raise ValidationError(
+            f"greedy_max_weight_cover: candidates missing a weight: {missing!r}"
+        )
+
+
+def _greedy_max_weight_bitset(
+    target: frozenset,
+    candidates: Mapping[Hashable, frozenset],
+    weights: Mapping[Hashable, float],
+) -> CoverResult:
+    interned = _BitUniverse(target, candidates)
+    interned.check_feasible()
+    _require_weights(candidates, weights)
+    order = sorted(
+        candidates,
+        key=lambda cand: (-weights[cand], natural_sort_key(cand)),
+    )
+    masks = interned.masks
+    steps: list[CoverStep] = []
+    selected: list = []
+    uncovered = interned.full_mask
+    for candidate in order:
+        if not uncovered:
+            break
+        gain_mask = masks[candidate] & uncovered
+        take = bool(gain_mask)
+        steps.append(
+            CoverStep(
+                candidate=candidate,
+                weight=float(weights[candidate]),
+                newly_covered=interned.decode(gain_mask),
+                selected=take,
+            )
+        )
+        if take:
+            selected.append(candidate)
+            uncovered &= ~gain_mask
+    return CoverResult(
+        selected=tuple(selected), steps=tuple(steps), universe=target
+    )
+
+
+def _greedy_marginal_bitset(
+    target: frozenset, candidates: Mapping[Hashable, frozenset]
+) -> CoverResult:
+    interned = _BitUniverse(target, candidates)
+    interned.check_feasible()
+    masks = interned.masks
+    # Lazy-greedy max-heap.  Marginal gains only shrink as coverage grows
+    # (submodularity), so stored gains are upper bounds: after popping the
+    # top we recompute its gain and re-push only if the *fresh* value no
+    # longer beats the next stored top.  The heap tuple's trailing
+    # ``position`` (insertion order over ``candidates``) reproduces the
+    # eager ``min()``'s first-wins tie-breaking for candidates whose
+    # natural sort keys collide, and keeps candidate objects themselves
+    # out of the comparison.
+    heap: list[tuple] = [
+        (
+            -masks[candidate].bit_count(),
+            natural_sort_key(candidate),
+            position,
+            candidate,
+        )
+        for position, candidate in enumerate(candidates)
+    ]
+    heapq.heapify(heap)
+    steps: list[CoverStep] = []
+    selected: list = []
+    uncovered = interned.full_mask
+    while uncovered:
+        if not heap:
+            raise CoverInfeasibleError(interned.decode(uncovered))
+        neg_gain, key, position, candidate = heapq.heappop(heap)
+        gain_mask = masks[candidate] & uncovered
+        fresh = -gain_mask.bit_count()
+        if fresh != neg_gain and heap and (fresh, key, position) > heap[0][:3]:
+            heapq.heappush(heap, (fresh, key, position, candidate))
+            continue
+        if not gain_mask:
+            # All remaining candidates are useless; infeasibility was
+            # excluded up front, so this cannot happen — guard anyway.
+            raise CoverInfeasibleError(interned.decode(uncovered))
+        gain = interned.decode(gain_mask)
+        steps.append(
+            CoverStep(
+                candidate=candidate,
+                weight=float(len(gain)),
+                newly_covered=gain,
+                selected=True,
+            )
+        )
+        selected.append(candidate)
+        uncovered &= ~gain_mask
+    return CoverResult(
+        selected=tuple(selected), steps=tuple(steps), universe=target
+    )
+
+
+def _random_cover_bitset(
+    target: frozenset,
+    candidates: Mapping[Hashable, frozenset],
+    rng: random.Random,
+) -> CoverResult:
+    interned = _BitUniverse(target, candidates)
+    interned.check_feasible()
+    order = sorted(candidates, key=natural_sort_key)
+    rng.shuffle(order)
+    masks = interned.masks
+    steps: list[CoverStep] = []
+    selected: list = []
+    uncovered = interned.full_mask
+    for candidate in order:
+        if not uncovered:
+            break
+        gain_mask = masks[candidate] & uncovered
+        take = bool(gain_mask)
+        steps.append(
+            CoverStep(
+                candidate=candidate,
+                weight=0.0,
+                newly_covered=interned.decode(gain_mask),
+                selected=take,
+            )
+        )
+        if take:
+            selected.append(candidate)
+            uncovered &= ~gain_mask
+    return CoverResult(
+        selected=tuple(selected), steps=tuple(steps), universe=target
+    )
+
+
 def greedy_max_weight_cover(
     universe,
     candidates: Mapping[Hashable, frozenset],
     weights: Mapping[Hashable, float],
+    *,
+    kernel: str = "auto",
 ) -> CoverResult:
     """The paper's maximum-weighted greedy cover (Section III.C).
 
@@ -115,6 +414,11 @@ def greedy_max_weight_cover(
         candidates: candidate id → set of elements it covers.
         weights: candidate id → static weight (e.g. a ToR's incoming plus
             outgoing connection count).
+        kernel: ``"set"``, ``"bitset"``, or ``"auto"``.  ``auto`` keeps
+            this single-pass cover on the set kernel (interning never
+            amortizes over one gain scan) unless
+            :func:`set_default_kernel` forces bitset process-wide.
+            Both kernels return bit-for-bit identical results.
 
     Raises:
         CoverInfeasibleError: when the union of all candidates misses part
@@ -126,15 +430,10 @@ def greedy_max_weight_cover(
             wrong answer instead of a loud error.
     """
     target = frozenset(universe)
+    if _resolve_kernel(kernel, target) == "bitset":
+        return _greedy_max_weight_bitset(target, candidates, weights)
     _check_feasible(target, candidates)
-    missing = sorted(
-        (cand for cand in candidates if cand not in weights),
-        key=natural_sort_key,
-    )
-    if missing:
-        raise ValidationError(
-            f"greedy_max_weight_cover: candidates missing a weight: {missing!r}"
-        )
+    _require_weights(candidates, weights)
     order = sorted(
         candidates,
         key=lambda cand: (-weights[cand], natural_sort_key(cand)),
@@ -164,12 +463,23 @@ def greedy_max_weight_cover(
 
 
 def greedy_marginal_cover(
-    universe, candidates: Mapping[Hashable, frozenset]
+    universe,
+    candidates: Mapping[Hashable, frozenset],
+    *,
+    kernel: str = "auto",
 ) -> CoverResult:
     """Classic greedy set cover: pick the candidate covering the most
     still-uncovered elements each round (ablation baseline, experiment E9).
+
+    The bitset kernel runs this as a *lazy-greedy* max-heap (gains are
+    submodular, so stale heap tops are only ever over-estimates and the
+    first top whose fresh gain still wins is provably the round's
+    maximum); the trace it produces is bit-for-bit identical to this
+    eager reference.
     """
     target = frozenset(universe)
+    if _resolve_kernel(kernel, target, amortized=True) == "bitset":
+        return _greedy_marginal_bitset(target, candidates)
     _check_feasible(target, candidates)
     steps: list[CoverStep] = []
     selected: list = []
@@ -207,14 +517,20 @@ def random_cover(
     universe,
     candidates: Mapping[Hashable, frozenset],
     rng: random.Random,
+    *,
+    kernel: str = "auto",
 ) -> CoverResult:
     """Random selection: the authors' earlier AL construction ([15]).
 
     Candidates are visited in uniformly random order; each is selected if
     it still covers something.  Expected AL sizes exceed the greedy's —
-    the gap is exactly what experiment E4 quantifies.
+    the gap is exactly what experiment E4 quantifies.  Both kernels
+    consume the ``rng`` identically, so a given seed yields the same
+    cover either way.
     """
     target = frozenset(universe)
+    if _resolve_kernel(kernel, target) == "bitset":
+        return _random_cover_bitset(target, candidates, rng)
     _check_feasible(target, candidates)
     order = sorted(candidates, key=natural_sort_key)
     rng.shuffle(order)
@@ -257,7 +573,9 @@ def exact_min_cover(
     count is capped because the search is exponential.
 
     Raises:
-        ValueError: when the instance exceeds ``max_candidates``.
+        ValidationError: when the instance exceeds ``max_candidates``
+            (``ValidationError`` subclasses :class:`ValueError`, so
+            legacy ``except ValueError`` callers keep working).
         CoverInfeasibleError: when no cover exists.
     """
     target = frozenset(universe)

@@ -285,6 +285,53 @@ class MetricsRegistry:
             }
         return out
 
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a sweep worker) into this
+        registry.
+
+        Counters and gauges add their values; histograms add their
+        per-bucket counts, observation counts, and sums.  Families and
+        series absent here are created; merging a family whose kind (or
+        a histogram whose bucket bounds) disagrees with an existing one
+        raises :class:`TelemetryError`.  The parallel sweep runner uses
+        this to roll per-worker telemetry up into the parent registry —
+        summing is the only order-independent combination, so the rollup
+        is deterministic regardless of worker count or completion order.
+        """
+        for name, family_data in snapshot.items():
+            kind = family_data["kind"]
+            help_text = family_data.get("help", "")
+            for entry in family_data["series"]:
+                labels = entry.get("labels", {})
+                if kind == "counter":
+                    self.counter(name, help_text, **labels).inc(
+                        float(entry["value"])
+                    )
+                elif kind == "gauge":
+                    self.gauge(name, help_text, **labels).inc(
+                        float(entry["value"])
+                    )
+                elif kind == "histogram":
+                    buckets = entry.get("buckets", [])
+                    bounds = tuple(float(b["le"]) for b in buckets)
+                    histogram = self.histogram(
+                        name, help_text, buckets=bounds or None, **labels
+                    )
+                    if histogram.upper_bounds != bounds:
+                        raise TelemetryError(
+                            f"histogram {name!r} bucket bounds differ: "
+                            f"{histogram.upper_bounds} vs {bounds}"
+                        )
+                    for index, bucket in enumerate(buckets):
+                        histogram.bucket_counts[index] += int(bucket["count"])
+                    histogram._count += int(entry["count"])
+                    histogram._sum += float(entry["sum"])
+                else:
+                    raise TelemetryError(
+                        f"cannot merge metric {name!r} of unknown kind "
+                        f"{kind!r}"
+                    )
+
     def reset(self) -> None:
         """Drop every family and series."""
         self._families.clear()
@@ -363,3 +410,6 @@ class NullMetricsRegistry(MetricsRegistry):
     def enabled(self) -> bool:
         """Always False: nothing is recorded."""
         return False
+
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """No-op: the disabled registry swallows worker rollups too."""

@@ -377,6 +377,50 @@ class AlvcStack:
         )
         return runner.run(schedule, flows or (), seed=seed)
 
+    def run_sweep(
+        self,
+        trial,
+        params: Sequence,
+        *,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        kernel: str = "auto",
+    ) -> list:
+        """Shard a seeded experiment sweep across worker processes.
+
+        A facade veneer over :class:`repro.parallel.SweepRunner`, wired
+        to this stack's telemetry: per-worker metrics roll up into
+        :attr:`telemetry`, and ``workers=1`` (the default) runs trials
+        inline under it with no multiprocessing machinery.
+
+        ``trial`` must be a **top-level picklable callable** over
+        picklable parameters — the ``_fig4_cell``-style trial functions
+        in :mod:`repro.analysis.experiments` qualify.  Results come
+        back in ``params`` order and are bit-identical for any worker
+        count.
+
+        Args:
+            trial: top-level callable run once per parameter.
+            params: the seeded parameter grid.
+            workers: worker process count (1 = inline).
+            chunk_size: trials per worker task (defaults to an even
+                split, four chunks per worker).
+            kernel: cover kernel forced inside every trial (``"auto"``,
+                ``"set"``, or ``"bitset"``).
+
+        Returns:
+            One result per parameter, in ``params`` order.
+        """
+        from repro.parallel import SweepRunner
+
+        runner = SweepRunner(
+            workers=workers,
+            chunk_size=chunk_size,
+            telemetry=self.telemetry,
+            kernel=kernel,
+        )
+        return runner.map(trial, params)
+
     # ------------------------------------------------------------------
     # Queries and collaborator access (the facade is not a ceiling)
     # ------------------------------------------------------------------

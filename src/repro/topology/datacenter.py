@@ -47,6 +47,64 @@ class DataCenterNetwork:
     def __init__(self, name: str = "dcn") -> None:
         self.name = name
         self._graph = nx.Graph(name=name)
+        #: Memo tables for the hot accessors AL construction hammers
+        #: (:meth:`_neighbors_of_kind`, :meth:`tor_weight`,
+        #: :meth:`ops_weight`, the kind lists).  One dedicated dict per
+        #: accessor, keyed by node id only — a composite tuple key would
+        #: hash two enum members per probe, and ``enum.__hash__`` is a
+        #: Python-level call that dominated the memoized hot path.
+        #: Values are immutable (tuples / ints); list-returning accessors
+        #: materialize a fresh list per call so callers can never corrupt
+        #: the cache.  Every topology mutation (:meth:`_add_node`,
+        #: :meth:`connect`) clears all tables wholesale — mutations are
+        #: rare (build time) while reads are massive (per-candidate
+        #: during covers), so coarse invalidation is the right trade.
+        self._cache_enabled = True
+        self._nbr_cache: dict = {}          # (node_id, kind) -> tuple
+        self._srv_tors_cache: dict = {}     # server -> tuple of ToRs
+        self._tor_servers_cache: dict = {}  # tor -> tuple of servers
+        self._tor_ops_cache: dict = {}      # tor -> tuple of OPSs
+        self._ops_tors_cache: dict = {}     # ops -> tuple of ToRs
+        self._tor_weight_cache: dict = {}   # tor -> int
+        self._ops_weight_cache: dict = {}   # ops -> int
+        self._kind_list_cache: dict = {}    # NodeKind -> tuple of ids
+        self._attach_cache: dict = {}       # "servers" -> {server: tors}
+        self._all_caches = (
+            self._attach_cache,
+            self._nbr_cache,
+            self._srv_tors_cache,
+            self._tor_servers_cache,
+            self._tor_ops_cache,
+            self._ops_tors_cache,
+            self._tor_weight_cache,
+            self._ops_weight_cache,
+            self._kind_list_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessor memoization
+    # ------------------------------------------------------------------
+    def set_caching(self, enabled: bool) -> bool:
+        """Enable/disable accessor memoization; returns the previous state.
+
+        Disabling also drops the memo table, restoring the pre-cache
+        per-call graph rescans — benchmark baselines (experiment E21's
+        ``serial-set`` arm) use this to measure the un-memoized control
+        plane.
+        """
+        previous = self._cache_enabled
+        self._cache_enabled = bool(enabled)
+        self._invalidate_cache()
+        return previous
+
+    @property
+    def caching_enabled(self) -> bool:
+        """Whether accessor memoization is currently on."""
+        return self._cache_enabled
+
+    def _invalidate_cache(self) -> None:
+        for cache in self._all_caches:
+            cache.clear()
 
     # ------------------------------------------------------------------
     # Construction
@@ -70,6 +128,7 @@ class DataCenterNetwork:
         if self._graph.has_node(node_id):
             raise DuplicateEntityError(kind.value, node_id)
         self._graph.add_node(node_id, **{_KIND_ATTR: kind, _SPEC_ATTR: spec})
+        self._invalidate_cache()
 
     def connect(self, a: str, b: str, link: LinkSpec | None = None) -> None:
         """Connect two existing nodes.
@@ -121,8 +180,10 @@ class DataCenterNetwork:
                     _PARALLEL_ATTR: data.get(_PARALLEL_ATTR, 1) + 1,
                 },
             )
+            self._invalidate_cache()
             return
         self._graph.add_edge(a, b, **{_LINK_ATTR: link, _PARALLEL_ATTR: 1})
+        self._invalidate_cache()
 
     # ------------------------------------------------------------------
     # Node queries
@@ -167,60 +228,149 @@ class DataCenterNetwork:
             if data[_KIND_ATTR] is kind:
                 yield node_id
 
+    def _kind_list(self, kind: NodeKind) -> tuple[str, ...]:
+        if not self._cache_enabled:
+            return tuple(sorted(self._nodes_of_kind(kind)))
+        cached = self._kind_list_cache.get(kind)
+        if cached is None:
+            cached = tuple(sorted(self._nodes_of_kind(kind)))
+            self._kind_list_cache[kind] = cached
+        return cached
+
     def servers(self) -> list[ServerId]:
         """All server ids (sorted for determinism)."""
-        return sorted(self._nodes_of_kind(NodeKind.SERVER))
+        return list(self._kind_list(NodeKind.SERVER))
 
     def tors(self) -> list[TorId]:
         """All ToR switch ids (sorted)."""
-        return sorted(self._nodes_of_kind(NodeKind.TOR))
+        return list(self._kind_list(NodeKind.TOR))
 
     def optical_switches(self) -> list[OpsId]:
         """All OPS ids, both plain and optoelectronic (sorted)."""
-        return sorted(self._nodes_of_kind(NodeKind.OPS))
+        return list(self._kind_list(NodeKind.OPS))
 
     def optoelectronic_routers(self) -> list[OpsId]:
         """Ids of OPSs with compute capacity (able to host VNFs)."""
-        return [
+        if self._cache_enabled:
+            cached = self._kind_list_cache.get("oe_routers")
+            if cached is not None:
+                return list(cached)
+        routers = tuple(
             ops
-            for ops in self.optical_switches()
+            for ops in self._kind_list(NodeKind.OPS)
             if self.spec_of(ops).is_optoelectronic
-        ]
+        )
+        if self._cache_enabled:
+            self._kind_list_cache["oe_routers"] = routers
+        return list(routers)
 
     # ------------------------------------------------------------------
     # Adjacency queries used by AL construction
     # ------------------------------------------------------------------
     def _neighbors_of_kind(self, node_id: str, kind: NodeKind) -> list[str]:
         self.kind_of(node_id)
-        return sorted(
-            neighbor
-            for neighbor in self._graph.neighbors(node_id)
-            if self._graph.nodes[neighbor][_KIND_ATTR] is kind
-        )
+        if not self._cache_enabled:
+            return sorted(
+                neighbor
+                for neighbor in self._graph.neighbors(node_id)
+                if self._graph.nodes[neighbor][_KIND_ATTR] is kind
+            )
+        key = (node_id, kind)
+        cached = self._nbr_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    neighbor
+                    for neighbor in self._graph.neighbors(node_id)
+                    if self._graph.nodes[neighbor][_KIND_ATTR] is kind
+                )
+            )
+            self._nbr_cache[key] = cached
+        return list(cached)
+
+    def _checked_neighbors(
+        self,
+        cache: dict,
+        node_id: str,
+        expected: NodeKind,
+        not_kind_message: str,
+        neighbor_kind: NodeKind,
+    ) -> list[str]:
+        # Wrapper-level memo: a cache hit means this exact accessor
+        # already validated the node's kind (kinds are immutable once a
+        # node is added, and every topology mutation clears the cache),
+        # so the hot path is one dict probe plus a tuple→list copy.
+        if self._cache_enabled:
+            cached = cache.get(node_id)
+            if cached is not None:
+                return list(cached)
+        if self.kind_of(node_id) is not expected:
+            raise TopologyError(not_kind_message)
+        neighbors = self._neighbors_of_kind(node_id, neighbor_kind)
+        if self._cache_enabled:
+            cache[node_id] = tuple(neighbors)
+        return neighbors
 
     def tors_of_server(self, server: ServerId) -> list[TorId]:
         """ToR switches a server attaches to (≥2 when dual-homed)."""
-        if self.kind_of(server) is not NodeKind.SERVER:
-            raise TopologyError(f"{server!r} is not a server")
-        return self._neighbors_of_kind(server, NodeKind.TOR)
+        return self._checked_neighbors(
+            self._srv_tors_cache,
+            server,
+            NodeKind.SERVER,
+            f"{server!r} is not a server",
+            NodeKind.TOR,
+        )
+
+    def server_attachment_map(self) -> dict[str, tuple[TorId, ...]]:
+        """Every server → the ToRs it attaches to, as one mapping.
+
+        The batch companion to :meth:`tors_of_server`, for callers that
+        need the whole fabric's attachments at once — AL construction
+        re-derives the map once per cluster, so it is memoized like the
+        per-node accessors (and invalidated on any topology mutation).
+        The returned mapping is shared: treat it as read-only.
+        """
+        if self._cache_enabled:
+            cached = self._attach_cache.get("servers")
+            if cached is not None:
+                return cached
+        mapping = {
+            server: tuple(self._neighbors_of_kind(server, NodeKind.TOR))
+            for server in self._kind_list(NodeKind.SERVER)
+        }
+        if self._cache_enabled:
+            self._attach_cache["servers"] = mapping
+        return mapping
 
     def servers_under(self, tor: TorId) -> list[ServerId]:
         """Servers directly attached to a ToR (its *incoming* connections)."""
-        if self.kind_of(tor) is not NodeKind.TOR:
-            raise TopologyError(f"{tor!r} is not a ToR switch")
-        return self._neighbors_of_kind(tor, NodeKind.SERVER)
+        return self._checked_neighbors(
+            self._tor_servers_cache,
+            tor,
+            NodeKind.TOR,
+            f"{tor!r} is not a ToR switch",
+            NodeKind.SERVER,
+        )
 
     def ops_of_tor(self, tor: TorId) -> list[OpsId]:
         """OPSs a ToR uplinks to (its *outgoing* connections)."""
-        if self.kind_of(tor) is not NodeKind.TOR:
-            raise TopologyError(f"{tor!r} is not a ToR switch")
-        return self._neighbors_of_kind(tor, NodeKind.OPS)
+        return self._checked_neighbors(
+            self._tor_ops_cache,
+            tor,
+            NodeKind.TOR,
+            f"{tor!r} is not a ToR switch",
+            NodeKind.OPS,
+        )
 
     def tors_of_ops(self, ops: OpsId) -> list[TorId]:
         """ToR switches attached to an OPS."""
-        if self.kind_of(ops) is not NodeKind.OPS:
-            raise TopologyError(f"{ops!r} is not an optical switch")
-        return self._neighbors_of_kind(ops, NodeKind.TOR)
+        return self._checked_neighbors(
+            self._ops_tors_cache,
+            ops,
+            NodeKind.OPS,
+            f"{ops!r} is not an optical switch",
+            NodeKind.TOR,
+        )
 
     def tor_weight(self, tor: TorId) -> int:
         """The paper's maximum-weight score for a ToR.
@@ -229,12 +379,26 @@ class DataCenterNetwork:
         and two outgoing": the weight of a ToR is its machine-side degree
         plus its OPS-side degree.
         """
-        return len(self.servers_under(tor)) + len(self.ops_of_tor(tor))
+        if self._cache_enabled:
+            cached = self._tor_weight_cache.get(tor)
+            if cached is not None:
+                return cached
+        weight = len(self.servers_under(tor)) + len(self.ops_of_tor(tor))
+        if self._cache_enabled:
+            self._tor_weight_cache[tor] = weight
+        return weight
 
     def ops_weight(self, ops: OpsId) -> int:
         """Weight of an OPS: number of ToRs it connects (plus core degree)."""
+        if self._cache_enabled:
+            cached = self._ops_weight_cache.get(ops)
+            if cached is not None:
+                return cached
         self.kind_of(ops)
-        return self._graph.degree(ops)
+        weight = int(self._graph.degree(ops))
+        if self._cache_enabled:
+            self._ops_weight_cache[ops] = weight
+        return weight
 
     # ------------------------------------------------------------------
     # Whole-fabric views

@@ -1,0 +1,279 @@
+"""Bitset-vs-set cover kernel parity and kernel-selection controls.
+
+The bitset kernels must be an *implementation detail*: every public
+cover function returns a bit-for-bit identical :class:`CoverResult`
+(selection, full decision trace, universe) whichever kernel runs, and
+infeasible instances raise the same :class:`CoverInfeasibleError` with
+the same ``uncovered`` set.  The parity suite below generates several
+hundred randomized instances across universe sizes straddling
+:data:`~repro.core.algorithms.BITSET_KERNEL_THRESHOLD`.
+"""
+
+import random
+
+import pytest
+
+from repro.core import algorithms
+from repro.core.algorithms import (
+    BITSET_KERNEL_THRESHOLD,
+    greedy_marginal_cover,
+    greedy_max_weight_cover,
+    natural_sort_key,
+    random_cover,
+    set_default_kernel,
+    use_kernel,
+)
+from repro.exceptions import CoverInfeasibleError, ValidationError
+
+
+def _random_instance(rng: random.Random, universe_size: int):
+    """One feasible random cover instance (universe, candidates, weights)."""
+    universe = frozenset(f"m-{i}" for i in range(universe_size))
+    n_candidates = rng.randint(2, max(3, universe_size // 2))
+    members = list(universe)
+    candidates = {}
+    for index in range(n_candidates):
+        size = rng.randint(1, max(1, universe_size // 2))
+        candidates[f"tor-{index}"] = frozenset(rng.sample(members, size))
+    # Guarantee feasibility: one candidate sweeps up the leftovers.
+    covered = frozenset().union(*candidates.values())
+    leftovers = universe - covered
+    if leftovers:
+        victim = f"tor-{rng.randrange(n_candidates)}"
+        candidates[victim] = candidates[victim] | leftovers
+    weights = {name: rng.randint(1, 12) for name in candidates}
+    return universe, candidates, weights
+
+
+#: (universe size, instances at that size) — sizes straddle the auto
+#: threshold so both sides of the heuristic are exercised.
+_GRID = ((6, 30), (20, 30), (63, 10), (64, 10), (96, 20), (160, 10))
+
+
+class TestKernelParity:
+    """~330 generated instances x 3 algorithms, set vs bitset."""
+
+    @pytest.mark.parametrize("universe_size,count", _GRID)
+    def test_greedy_max_weight_parity(self, universe_size, count):
+        rng = random.Random(universe_size)
+        for _ in range(count):
+            universe, candidates, weights = _random_instance(
+                rng, universe_size
+            )
+            reference = greedy_max_weight_cover(
+                universe, candidates, weights, kernel="set"
+            )
+            bitset = greedy_max_weight_cover(
+                universe, candidates, weights, kernel="bitset"
+            )
+            assert bitset == reference
+
+    @pytest.mark.parametrize("universe_size,count", _GRID)
+    def test_greedy_marginal_parity(self, universe_size, count):
+        rng = random.Random(1000 + universe_size)
+        for _ in range(count):
+            universe, candidates, _ = _random_instance(rng, universe_size)
+            reference = greedy_marginal_cover(
+                universe, candidates, kernel="set"
+            )
+            bitset = greedy_marginal_cover(
+                universe, candidates, kernel="bitset"
+            )
+            assert bitset == reference
+
+    @pytest.mark.parametrize("universe_size,count", _GRID)
+    def test_random_cover_parity(self, universe_size, count):
+        rng = random.Random(2000 + universe_size)
+        for trial in range(count):
+            universe, candidates, _ = _random_instance(rng, universe_size)
+            reference = random_cover(
+                universe, candidates, random.Random(trial), kernel="set"
+            )
+            bitset = random_cover(
+                universe, candidates, random.Random(trial), kernel="bitset"
+            )
+            assert bitset == reference
+
+    def test_infeasible_parity(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            universe, candidates, weights = _random_instance(rng, 24)
+            universe = universe | frozenset({"ghost-1", "ghost-2"})
+            errors = {}
+            for kernel in ("set", "bitset"):
+                with pytest.raises(CoverInfeasibleError) as info:
+                    greedy_max_weight_cover(
+                        universe, candidates, weights, kernel=kernel
+                    )
+                errors[kernel] = info.value.uncovered
+            assert errors["set"] == errors["bitset"]
+            assert {"ghost-1", "ghost-2"} <= errors["bitset"]
+
+    def test_marginal_exhaustion_parity(self):
+        # Feasibility can also fail mid-run semantics-wise: candidates
+        # exist but none add new elements.  Both kernels must report the
+        # same uncovered remainder up front.
+        universe = frozenset(f"m-{i}" for i in range(70))
+        candidates = {
+            "tor-0": frozenset({"m-0", "m-1"}),
+            "tor-1": frozenset({"m-1", "m-2"}),
+        }
+        uncovered = {}
+        for kernel in ("set", "bitset"):
+            with pytest.raises(CoverInfeasibleError) as info:
+                greedy_marginal_cover(universe, candidates, kernel=kernel)
+            uncovered[kernel] = info.value.uncovered
+        assert uncovered["set"] == uncovered["bitset"]
+        assert uncovered["set"] == universe - frozenset(
+            {"m-0", "m-1", "m-2"}
+        )
+
+
+class TestInfeasibilityReporting:
+    """The interning pass doubles as the feasibility check: the error
+    must still name the *exact* uncovered set, not just "infeasible"."""
+
+    def test_bitset_reports_exact_uncovered_set(self):
+        universe = frozenset(f"m-{i}" for i in range(10))
+        candidates = {
+            "tor-0": frozenset({"m-0", "m-1", "m-2"}),
+            "tor-1": frozenset({"m-2", "m-3"}),
+        }
+        with pytest.raises(CoverInfeasibleError) as info:
+            greedy_max_weight_cover(
+                universe,
+                candidates,
+                {"tor-0": 2, "tor-1": 1},
+                kernel="bitset",
+            )
+        assert info.value.uncovered == frozenset(
+            f"m-{i}" for i in range(4, 10)
+        )
+
+    def test_feasibility_checked_before_weights(self):
+        # Both kernels agree on error precedence: an infeasible
+        # instance raises CoverInfeasibleError even when weights are
+        # also missing.
+        universe = frozenset({"m-0", "ghost"})
+        candidates = {"tor-0": frozenset({"m-0"})}
+        for kernel in ("set", "bitset"):
+            with pytest.raises(CoverInfeasibleError):
+                greedy_max_weight_cover(
+                    universe, candidates, {}, kernel=kernel
+                )
+
+    def test_missing_weights_parity(self):
+        universe = frozenset({"m-0", "m-1"})
+        candidates = {
+            "tor-1": frozenset({"m-0"}),
+            "tor-0": frozenset({"m-1"}),
+        }
+        messages = {}
+        for kernel in ("set", "bitset"):
+            with pytest.raises(ValidationError) as info:
+                greedy_max_weight_cover(
+                    universe, candidates, {}, kernel=kernel
+                )
+            messages[kernel] = str(info.value)
+        assert messages["set"] == messages["bitset"]
+        assert messages["set"].index("tor-0") < messages["set"].index(
+            "tor-1"
+        )
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValidationError):
+            greedy_marginal_cover(
+                {"a"}, {"s": frozenset({"a"})}, kernel="simd"
+            )
+
+    def test_set_default_kernel_validates(self):
+        with pytest.raises(ValidationError):
+            set_default_kernel("gpu")
+
+    def test_set_default_kernel_returns_previous(self):
+        previous = set_default_kernel("bitset")
+        try:
+            assert previous == "auto"
+            assert set_default_kernel("auto") == "bitset"
+        finally:
+            set_default_kernel("auto")
+
+    def test_use_kernel_restores(self):
+        with use_kernel("bitset") as active:
+            assert active == "bitset"
+            assert algorithms._default_kernel == "bitset"
+        assert algorithms._default_kernel == "auto"
+
+    def test_auto_keeps_single_pass_covers_on_set(self):
+        big = frozenset(range(BITSET_KERNEL_THRESHOLD * 2))
+        assert algorithms._resolve_kernel("auto", big) == "set"
+
+    def test_auto_promotes_amortized_covers_above_threshold(self):
+        big = frozenset(range(BITSET_KERNEL_THRESHOLD))
+        small = frozenset(range(BITSET_KERNEL_THRESHOLD - 1))
+        assert (
+            algorithms._resolve_kernel("auto", big, amortized=True)
+            == "bitset"
+        )
+        assert (
+            algorithms._resolve_kernel("auto", small, amortized=True)
+            == "set"
+        )
+
+    def test_explicit_kernel_wins_over_default(self):
+        with use_kernel("set"):
+            assert (
+                algorithms._resolve_kernel("bitset", frozenset({"a"}))
+                == "bitset"
+            )
+
+    def test_default_kernel_applies_to_auto_call_sites(self):
+        universe = frozenset(f"m-{i}" for i in range(8))
+        candidates = {
+            "tor-0": frozenset(f"m-{i}" for i in range(5)),
+            "tor-1": frozenset(f"m-{i}" for i in range(3, 8)),
+        }
+        with use_kernel("bitset"):
+            forced = greedy_marginal_cover(universe, candidates)
+        reference = greedy_marginal_cover(universe, candidates, kernel="set")
+        assert forced == reference
+
+
+class TestNaturalSortKeyEdges:
+    """Edge cases beyond the happy paths in test_algorithms."""
+
+    def test_empty_string(self):
+        assert sorted(["tor-1", ""], key=natural_sort_key) == ["", "tor-1"]
+
+    def test_bare_prefix_vs_indexed(self):
+        # "tor" has no numeric suffix: it sorts after every indexed id
+        # sharing the prefix.
+        assert sorted(["tor", "tor-2", "tor-10"], key=natural_sort_key) == [
+            "tor-2",
+            "tor-10",
+            "tor",
+        ]
+
+    def test_multi_dash_ids(self):
+        items = ["dc-1-tor-10", "dc-1-tor-2"]
+        assert sorted(items, key=natural_sort_key) == [
+            "dc-1-tor-2",
+            "dc-1-tor-10",
+        ]
+
+    def test_non_string_ids(self):
+        # Hashable non-strings are keyed by their string form.
+        assert sorted([10, 2], key=natural_sort_key) == sorted(
+            [10, 2], key=lambda item: natural_sort_key(str(item))
+        )
+
+    def test_numeric_suffix_with_leading_zeros(self):
+        assert sorted(["tor-010", "tor-2"], key=natural_sort_key) == [
+            "tor-2",
+            "tor-010",
+        ]
+
+    def test_stable_for_equal_keys(self):
+        assert natural_sort_key("ops-3") == natural_sort_key("ops-3")

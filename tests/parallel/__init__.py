@@ -1,0 +1,1 @@
+"""SweepRunner determinism and telemetry-rollup tests."""

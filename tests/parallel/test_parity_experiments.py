@@ -1,0 +1,93 @@
+"""Sharded-sweep parity: worker count must never change a result.
+
+Holds :func:`experiment_fig4_strategy_sweep`, :func:`experiment_e9_\
+optimality_gap`, :func:`experiment_e11_scalability`, and the E21 arms
+to the SweepRunner guarantee — ``workers=4`` output equals
+``workers=1`` output bit for bit (timing columns zeroed via
+``measure_time=False`` where applicable).
+"""
+
+from repro.analysis.experiments import (
+    experiment_e9_optimality_gap,
+    experiment_e11_scalability,
+    experiment_e21_control_plane_throughput,
+    experiment_fig4_strategy_sweep,
+)
+from repro.parallel import SweepRunner
+from repro.stack import AlvcStack
+
+
+class TestSweepParity:
+    def test_fig4_workers4_bit_identical(self):
+        kwargs = dict(
+            scales=((4, 4), (6, 4)),
+            seeds=(0, 1),
+            include_exact=False,
+            measure_time=False,
+        )
+        serial = experiment_fig4_strategy_sweep(workers=1, **kwargs)
+        sharded = experiment_fig4_strategy_sweep(workers=4, **kwargs)
+        assert sharded == serial
+
+    def test_e9_workers4_bit_identical(self):
+        kwargs = dict(instances=6, n_racks=4, n_ops=4)
+        serial = experiment_e9_optimality_gap(workers=1, **kwargs)
+        sharded = experiment_e9_optimality_gap(workers=4, **kwargs)
+        assert sharded == serial
+
+    def test_e11_workers4_bit_identical(self):
+        scales = ((4, 4, 4), (6, 4, 6), (8, 4, 8))
+        serial = experiment_e11_scalability(
+            scales, workers=1, measure_time=False
+        )
+        sharded = experiment_e11_scalability(
+            scales, workers=4, measure_time=False
+        )
+        assert sharded == serial
+
+    def test_shared_runner_accepted(self):
+        runner = SweepRunner(workers=2, chunk_size=1)
+        rows = experiment_e11_scalability(
+            ((4, 4, 4),), runner=runner, measure_time=False
+        )
+        assert rows == experiment_e11_scalability(
+            ((4, 4, 4),), measure_time=False
+        )
+
+
+class TestE21Checksums:
+    def test_arms_agree_and_workers_do_not_matter(self):
+        rows = experiment_e21_control_plane_throughput(
+            n_racks=12,
+            servers_per_rack=4,
+            n_ops=8,
+            seeds=(0, 1),
+            clusters_per_fabric=2,
+            workers=2,
+        )
+        assert [row["arm"] for row in rows] == [
+            "serial-set",
+            "bitset",
+            "bitset-parallel",
+        ]
+        checksums = {row["checksum"] for row in rows}
+        assert len(checksums) == 1
+        constructions = {row["constructions"] for row in rows}
+        assert constructions == {2 * 2 * 4}  # seeds x clusters x strategies
+
+
+class TestStackFacade:
+    def test_run_sweep_uses_stack_telemetry(self):
+        from repro.analysis.experiments import _e11_scale
+
+        stack = AlvcStack.build(
+            n_racks=4, servers_per_rack=4, n_ops=4, telemetry="json"
+        )
+        rows = stack.run_sweep(
+            _e11_scale, [(4, 4, 4, 0, False), (6, 4, 6, 0, False)]
+        )
+        assert [row["racks"] for row in rows] == [4, 6]
+        registry = stack.telemetry.registry
+        assert (
+            registry.value_of("alvc_sweep_trials_total", workers="1") == 2.0
+        )

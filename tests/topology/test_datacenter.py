@@ -231,3 +231,75 @@ class TestParallelLinks:
         before = tiny.summary()["links"]
         tiny.connect("tor-0", "ops-0")
         assert tiny.summary()["links"] == before
+
+
+class TestAccessorCaching:
+    """Memoized accessors must never serve stale adjacency or weights."""
+
+    def test_weights_update_after_late_connect(self, tiny):
+        # Warm every cache first.
+        assert tiny.tor_weight("tor-0") == 3  # 1 server + 2 OPS uplinks
+        assert tiny.ops_weight("ops-0") == 1
+        assert tiny.tors_of_server("server-0") == ["tor-0"]
+        # A late topology change must invalidate the memo tables.
+        tiny.add_server(ServerSpec(server_id="server-1"))
+        tiny.connect("server-1", "tor-0")
+        assert tiny.tor_weight("tor-0") == 4
+        assert tiny.servers_under("tor-0") == ["server-0", "server-1"]
+
+    def test_kind_lists_update_after_late_add(self, tiny):
+        assert tiny.servers() == ["server-0"]
+        tiny.add_server(ServerSpec(server_id="server-1"))
+        assert tiny.servers() == ["server-0", "server-1"]
+
+    def test_attachment_map_updates_after_late_connect(self, tiny):
+        assert tiny.server_attachment_map() == {"server-0": ("tor-0",)}
+        tiny.add_tor(TorSpec(tor_id="tor-1"))
+        tiny.connect("server-0", "tor-1")
+        assert tiny.server_attachment_map() == {
+            "server-0": ("tor-0", "tor-1")
+        }
+
+    def test_parallel_link_merge_invalidates(self, tiny):
+        assert tiny.ops_of_tor("tor-0") == ["ops-0", "ops-1"]
+        before = tiny.tor_weight("tor-0")
+        # Reconnecting an existing pair aggregates a trunk; adjacency is
+        # unchanged but the cache must still be dropped safely.
+        tiny.connect("tor-0", "ops-0")
+        assert tiny.ops_of_tor("tor-0") == ["ops-0", "ops-1"]
+        assert tiny.tor_weight("tor-0") == before
+
+    def test_set_caching_returns_previous_state(self, tiny):
+        assert tiny.caching_enabled
+        assert tiny.set_caching(False) is True
+        assert not tiny.caching_enabled
+        assert tiny.set_caching(True) is False
+        assert tiny.caching_enabled
+
+    def test_disabled_caching_matches_enabled(self, tiny):
+        cached = (
+            tiny.tors_of_server("server-0"),
+            tiny.ops_of_tor("tor-0"),
+            tiny.tor_weight("tor-0"),
+            tiny.server_attachment_map(),
+        )
+        tiny.set_caching(False)
+        uncached = (
+            tiny.tors_of_server("server-0"),
+            tiny.ops_of_tor("tor-0"),
+            tiny.tor_weight("tor-0"),
+            tiny.server_attachment_map(),
+        )
+        assert cached == uncached
+
+    def test_cached_accessors_validate_kind_and_existence(self, tiny):
+        tiny.tors_of_server("server-0")  # warm
+        with pytest.raises(TopologyError):
+            tiny.tors_of_server("tor-0")
+        with pytest.raises(UnknownEntityError):
+            tiny.tors_of_server("server-404")
+
+    def test_returned_lists_are_fresh_copies(self, tiny):
+        first = tiny.ops_of_tor("tor-0")
+        first.append("ops-tampered")
+        assert tiny.ops_of_tor("tor-0") == ["ops-0", "ops-1"]
