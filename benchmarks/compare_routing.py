@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare two E22 routing records and enforce the speedup gates.
+
+Usage::
+
+    python benchmarks/compare_routing.py \
+        benchmarks/BENCH_e22.json BENCH_e22.json \
+        [--max-regression 0.25] [--min-csr-speedup 5.0] \
+        [--min-cached-speedup 8.0]
+
+Both files are the JSON written by
+``benchmarks/test_bench_e22_routing.py``.  Three gates, all of which
+must hold for a zero exit status:
+
+* the candidate's **parity flag** is set — every arm (nx, csr,
+  csr+cache, csr-batch) folded a checksum that matched its reference
+  pass, i.e. the CSR engine is bit-identical to networkx on paths and
+  error messages alike;
+* the candidate's **csr speedup** (cold AL-restricted paths/sec over
+  the nx arm, measured in the same run, so stable across machines)
+  clears the absolute floor *and* has not regressed by more than
+  ``--max-regression`` against the committed baseline;
+* likewise the **cached speedup** (RouteCache over the CSR engine on
+  the repeat-heavy query pool).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _gate(
+    name: str,
+    before: float,
+    after: float,
+    floor: float,
+    max_regression: float,
+) -> bool:
+    """Print one gate's verdict; returns True when it passes."""
+    if before <= 0:
+        print(f"FAIL: baseline {name} is not positive", file=sys.stderr)
+        return False
+    regression = (before - after) / before
+    ok = after >= floor and regression <= max_regression
+    status = "ok" if ok else "FAIL"
+    print(
+        f"{status}: {name} {before:.2f}x -> {after:.2f}x "
+        f"({-regression:+.1%} vs limit -{max_regression:.1%}, "
+        f"floor {floor:.2f}x)"
+    )
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_e22.json")
+    parser.add_argument("candidate", help="freshly measured BENCH_e22.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help=(
+            "allowed relative speedup drop vs baseline (default 0.25 — "
+            "arm-ratio variance on shared runners is larger than a "
+            "single-engine ratio; the absolute floors are the primary "
+            "gate)"
+        ),
+    )
+    parser.add_argument(
+        "--min-csr-speedup",
+        type=float,
+        default=5.0,
+        metavar="X",
+        help="absolute floor for cold csr vs nx paths/sec (default 5.0)",
+    )
+    parser.add_argument(
+        "--min-cached-speedup",
+        type=float,
+        default=8.0,
+        metavar="X",
+        help="absolute floor for csr+cache vs nx paths/sec (default 8.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    candidate = _load(args.candidate)
+
+    for label, record in (("baseline", baseline), ("candidate", candidate)):
+        rates = record.get("paths_per_sec", {})
+        formatted = ", ".join(
+            f"{arm}={rate:,.0f}/s" for arm, rate in sorted(rates.items())
+        )
+        print(
+            f"{label}: csr {record['csr_speedup']:.2f}x, "
+            f"cached {record['cached_speedup']:.2f}x ({formatted})"
+        )
+
+    passed = True
+    if not candidate.get("parity", False):
+        print(
+            "FAIL: candidate parity flag is unset — some arm's checksum "
+            "diverged from its networkx reference pass",
+            file=sys.stderr,
+        )
+        passed = False
+    else:
+        print("ok: all arms reproduced their networkx reference checksums")
+    passed &= _gate(
+        "csr speedup",
+        float(baseline["csr_speedup"]),
+        float(candidate["csr_speedup"]),
+        args.min_csr_speedup,
+        args.max_regression,
+    )
+    passed &= _gate(
+        "cached speedup",
+        float(baseline["cached_speedup"]),
+        float(candidate["cached_speedup"]),
+        args.min_cached_speedup,
+        args.max_regression,
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1641,3 +1641,225 @@ def experiment_e21_control_plane_throughput(
             }
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# E22 — routing throughput: networkx vs the CSR PathEngine
+# ----------------------------------------------------------------------
+def _e22_query_pool(
+    fabric,
+    *,
+    n_queries: int,
+    n_als: int,
+    al_size: int,
+    n_sources: int,
+    repeat_fraction: float,
+    seed: int,
+) -> list[tuple[str, str, frozenset]]:
+    """A seeded pool of AL-restricted ``(source, target, al)`` queries.
+
+    Sources are drawn from a small pool (service-correlated traffic
+    fans out from few ingress servers, which is also what makes the
+    batched ``routes_from`` arm meaningful) and ``repeat_fraction`` of
+    the stream re-asks earlier queries — the locality the route cache
+    exploits.
+    """
+    rng = random.Random(seed)
+    servers = fabric.servers()
+    ops = fabric.optical_switches()
+    als = [
+        frozenset(rng.sample(ops, min(al_size, len(ops))))
+        for _ in range(n_als)
+    ]
+    sources = rng.sample(servers, min(n_sources, len(servers)))
+    unique = max(1, int(n_queries * (1.0 - repeat_fraction)))
+    base: list[tuple[str, str, frozenset]] = []
+    for _ in range(unique):
+        source = rng.choice(sources)
+        target = rng.choice(servers)
+        while target == source:
+            target = rng.choice(servers)
+        base.append((source, target, als[rng.randrange(len(als))]))
+    queries = list(base)
+    while len(queries) < n_queries:
+        queries.append(base[rng.randrange(len(base))])
+    rng.shuffle(queries)
+    return queries
+
+
+def _e22_fold(checksum: int, source: str, target: str, outcome: str) -> int:
+    """Fold one query's outcome (path or error) into a CRC32 checksum."""
+    return zlib.crc32(f"{source}>{target}|{outcome}".encode(), checksum)
+
+
+def experiment_e22_routing_throughput(
+    *,
+    n_racks: int = 128,
+    servers_per_rack: int = 8,
+    n_ops: int = 32,
+    n_queries: int = 1500,
+    n_als: int = 8,
+    al_size: int = 12,
+    n_sources: int = 32,
+    repeat_fraction: float = 0.5,
+    cache_size: int = 4096,
+    rounds: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """AL-restricted paths/second on a 1024-server fabric, arm by arm.
+
+    Four arms answer the *same* seeded query pool and prove it with a
+    CRC32 checksum over every path (and error) in query order:
+
+    * ``nx`` — the legacy path: per-query ``subgraph()`` view plus
+      ``networkx`` bidirectional BFS.  The baseline.
+    * ``csr`` — the :class:`~repro.sdn.path_engine.PathEngine` CSR
+      kernel with per-AL bitmasks, **no route cache** (every query is a
+      cold BFS).  Its ``speedup`` column is the headline cold-path win
+      (gate: >= 5x).
+    * ``csr+cache`` — the CSR kernel behind a
+      :class:`~repro.sdn.route_cache.RouteCache`, so the
+      ``repeat_fraction`` of the stream is served from the LRU.
+    * ``csr-batch`` — queries grouped by ``(source, AL)`` and answered
+      with one :func:`~repro.sdn.routing.routes_from` level-BFS fan-out
+      per group.  The batch arm serves the *deduplicated* pool (its
+      ``queries``/``paths_per_sec`` columns count unique pairs) and its
+      parity reference is an untimed ``networkx`` batch pass, because
+      level-order fan-out legitimately tie-breaks differently than the
+      pairwise bidirectional search.
+
+    Each arm runs ``rounds`` times and reports its best (minimum) wall
+    clock; checksums are identical across rounds because the pool is
+    seeded.  ``parity`` is True when the arm's checksum matches its
+    reference — engine choice never changes any path.
+    """
+    from repro.exceptions import RoutingError
+    from repro.sdn.route_cache import RouteCache
+    from repro.sdn.routing import routes_from, shortest_path_in_al
+
+    fabric = build_alvc_fabric(
+        n_racks=n_racks,
+        servers_per_rack=servers_per_rack,
+        n_ops=n_ops,
+        seed=seed,
+    )
+    queries = _e22_query_pool(
+        fabric,
+        n_queries=n_queries,
+        n_als=n_als,
+        al_size=al_size,
+        n_sources=n_sources,
+        repeat_fraction=repeat_fraction,
+        seed=seed,
+    )
+
+    def pairwise_pass(engine: str) -> tuple[int, float]:
+        checksum = 0
+        hits = misses = 0
+        for source, target, al in queries:
+            try:
+                outcome = "/".join(
+                    shortest_path_in_al(
+                        fabric, source, target, al, engine=engine
+                    )
+                )
+            except RoutingError as exc:
+                outcome = f"ERR:{exc}"
+            checksum = _e22_fold(checksum, source, target, outcome)
+        return checksum, 0.0
+
+    def cached_pass(engine: str) -> tuple[int, float]:
+        cache = RouteCache(cache_size)
+        checksum = 0
+        for source, target, al in queries:
+            key = (source, target, al, False)
+            outcome = cache.get(key)
+            if outcome is None:
+                try:
+                    outcome = "/".join(
+                        shortest_path_in_al(
+                            fabric, source, target, al, engine=engine
+                        )
+                    )
+                except RoutingError as exc:
+                    outcome = f"ERR:{exc}"
+                cache.put(key, outcome)
+            checksum = _e22_fold(checksum, source, target, outcome)
+        return checksum, cache.hit_rate
+
+    # Group by (source, AL) preserving first-seen order; dedupe targets.
+    group_order: list[tuple[str, frozenset]] = []
+    groups: dict[tuple[str, frozenset], list[str]] = {}
+    for source, target, al in queries:
+        key = (source, al)
+        targets = groups.get(key)
+        if targets is None:
+            targets = groups[key] = []
+            group_order.append(key)
+        if target not in targets:
+            targets.append(target)
+    batch_pairs = sum(len(targets) for targets in groups.values())
+
+    def batch_pass(engine: str) -> tuple[int, float]:
+        checksum = 0
+        for source, al in group_order:
+            targets = groups[(source, al)]
+            routed = routes_from(
+                fabric, source, targets, al_switches=al, engine=engine
+            )
+            for target in targets:
+                path = routed.get(target)
+                outcome = (
+                    "/".join(path) if path is not None else "ERR:unreachable"
+                )
+                checksum = _e22_fold(checksum, source, target, outcome)
+        return checksum, 0.0
+
+    def best_of(fn, engine: str) -> tuple[int, float, float]:
+        checksum = 0
+        extra = 0.0
+        wall = float("inf")
+        for _ in range(max(1, rounds)):
+            started = time.perf_counter()
+            checksum, extra = fn(engine)
+            wall = min(wall, time.perf_counter() - started)
+        return checksum, extra, wall
+
+    # Untimed parity reference for the batch arm (level-order fan-out
+    # tie-breaks differently than pairwise bidirectional BFS, so its
+    # reference is the *nx batch* pass, not the pairwise checksum).
+    nx_batch_checksum, _ = batch_pass("nx")
+
+    arms = [
+        ("nx", pairwise_pass, "nx", len(queries)),
+        ("csr", pairwise_pass, "csr", len(queries)),
+        ("csr+cache", cached_pass, "csr", len(queries)),
+        ("csr-batch", batch_pass, "csr", batch_pairs),
+    ]
+    rows = []
+    baseline_rate = None
+    nx_checksum = None
+    for label, fn, engine, served in arms:
+        checksum, extra, wall = best_of(fn, engine)
+        rate = served / wall if wall > 0 else 0.0
+        if baseline_rate is None:
+            baseline_rate = rate
+        if nx_checksum is None:
+            nx_checksum = checksum
+        reference = (
+            nx_batch_checksum if label == "csr-batch" else nx_checksum
+        )
+        rows.append(
+            {
+                "arm": label,
+                "engine": engine,
+                "queries": served,
+                "wall_seconds": wall,
+                "paths_per_sec": rate,
+                "speedup": rate / baseline_rate if baseline_rate else 0.0,
+                "cache_hit_rate": extra,
+                "checksum": checksum,
+                "parity": checksum == reference,
+            }
+        )
+    return rows

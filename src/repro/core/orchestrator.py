@@ -38,13 +38,15 @@ from repro.exceptions import (
     PlacementError,
     RoutingError,
     UnknownEntityError,
+    ValidationError,
 )
 from repro.ids import ChainId, OpsId, ServerId, VnfId
 from repro.nfv.manager import CloudNfvManager
 from repro.observability.runtime import Telemetry, current_telemetry
 from repro.optical.conversion import ConversionModel
 from repro.sdn.controller import SdnController
-from repro.sdn.routing import chain_path
+from repro.sdn.path_engine import engine_for
+from repro.sdn.routing import ROUTING_ENGINES, chain_path
 from repro.topology.elements import Domain
 from repro.virtualization.machines import MachineInventory
 
@@ -145,6 +147,7 @@ class NetworkOrchestrator:
         exclusive_chains: bool = True,
         host_policy: HostPolicy | None = None,
         telemetry: Telemetry | None = None,
+        routing_engine: str = "auto",
     ) -> None:
         """Create an orchestrator over a populated inventory.
 
@@ -170,10 +173,20 @@ class NetworkOrchestrator:
             telemetry: metrics/tracing sink; defaults to the ambient
                 telemetry (a zero-cost no-op unless enabled).  Collaborators
                 created here inherit it.
+            routing_engine: path-computation backend for chain routing
+                and rerouting — ``"auto"``/``"csr"``/``"nx"``, see
+                :mod:`repro.sdn.routing` (bit-identical outputs; the
+                knob exists for parity tests and benchmarks).
         """
+        if routing_engine not in ROUTING_ENGINES:
+            raise ValidationError(
+                f"unknown routing engine {routing_engine!r} "
+                f"(expected one of {', '.join(ROUTING_ENGINES)})"
+            )
         self._telemetry = (
             telemetry if telemetry is not None else current_telemetry()
         )
+        self._routing_engine = routing_engine
         self._inventory = inventory
         self._clusters = cluster_manager or ClusterManager(
             inventory, telemetry=self._telemetry
@@ -446,7 +459,10 @@ class NetworkOrchestrator:
         egress = vm_servers[-1]
         waypoints = [ingress, *hosts, egress]
         path = chain_path(
-            self._inventory.network, waypoints, al_switches=cluster.al_switches
+            self._inventory.network,
+            waypoints,
+            al_switches=cluster.al_switches,
+            engine=self._routing_engine,
         )
         if len(path) >= 2:
             self._sdn.install_path(request.chain.chain_id, path)
@@ -557,6 +573,7 @@ class NetworkOrchestrator:
             self._inventory.network,
             waypoints,
             al_switches=cluster.al_switches,
+            engine=self._routing_engine,
         )
         if self._sdn.has_flow(live.chain_id):
             if len(path) >= 2:
@@ -635,6 +652,9 @@ class NetworkOrchestrator:
         from repro.core.reconfiguration import AlReconfigurator
 
         self._failed_ops.add(failed)
+        # Fault without topology mutation: invalidate the path engine's
+        # cached availability (mask generation bump).
+        engine_for(self._inventory.network).note_fault()
         owner = self._clusters.owner_of_ops(failed)
         attempts = 1
         recovery_time = 0.0
@@ -773,6 +793,9 @@ class NetworkOrchestrator:
         if ops not in self._failed_ops:
             raise UnknownEntityError("failed ops", ops)
         self._failed_ops.discard(ops)
+        # Repair is an availability change too — same invalidation as
+        # the failure itself.
+        engine_for(self._inventory.network).note_fault()
         self._actions.append(("ops_repair", ops))
 
     @property

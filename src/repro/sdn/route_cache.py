@@ -217,10 +217,21 @@ class RouteCache:
             value = entries[key]
             if value is NO_ROUTE:
                 continue
+            # A load-aware entry caches a RouteCandidates pool, whose
+            # precomputed link keys make the crossing test a set probe
+            # (duck-typed to keep this module import-cycle-free).
+            link_keys = getattr(value, "link_keys", None)
+            if link_keys is not None:
+                if any(
+                    key_ in targets for keys in link_keys for key_ in keys
+                ):
+                    del entries[key]
+                    dropped += 1
+                continue
             if not isinstance(value, tuple) or not value:
                 continue  # pragma: no cover - foreign value, leave it
-            # A load-aware entry caches a tuple of candidate paths; a
-            # plain entry caches one path (a tuple of node ids).
+            # A legacy load-aware entry caches a tuple of candidate
+            # paths; a plain entry caches one path (a tuple of node ids).
             paths = value if isinstance(value[0], tuple) else (value,)
             if any(crosses(path) for path in paths):
                 del entries[key]

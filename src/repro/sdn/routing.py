@@ -4,27 +4,143 @@
 the isolation property of AL-VC slices — while ``chain_path`` concatenates
 per-segment shortest paths so a flow visits its chain's VNF hosts in order
 (the "packet processing order" of Section IV.A).
+
+Every routing function accepts an ``engine`` selector:
+
+* ``"nx"`` — the original ``networkx`` implementation (per-query
+  subgraph views, generic dict BFS);
+* ``"csr"`` — the :class:`repro.sdn.path_engine.PathEngine` CSR kernel
+  (interned int ids, flat adjacency arrays, per-AL bitmasks);
+* ``"auto"`` (default) — CSR when the fabric's accessor caching is
+  enabled (:attr:`DataCenterNetwork.caching_enabled`), otherwise the
+  ``networkx`` reference path.
+
+Both engines produce **bit-identical paths and errors** — the CSR
+kernels replicate the exact traversal order of the ``networkx``
+routines they replace, so engine choice never changes an experiment's
+output.  The process-wide default is controlled with
+:func:`set_default_engine` / :func:`use_engine`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import contextlib
+from typing import Iterable, Iterator, Sequence
 
 import networkx as nx
 
-from repro.exceptions import RoutingError
+from repro.exceptions import RoutingError, ValidationError
 from repro.ids import NodeKind
+from repro.sdn.path_engine import PathEngineNoPath, engine_for
 from repro.topology.datacenter import DataCenterNetwork
 
+#: Recognized values for the ``engine`` selector.
+ROUTING_ENGINES = ("auto", "csr", "nx")
 
-def simple_path(dcn: DataCenterNetwork, source: str, target: str) -> list[str]:
+_default_engine = "auto"
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide routing engine; returns the previous one.
+
+    Raises:
+        ValidationError: for names outside :data:`ROUTING_ENGINES`.
+    """
+    global _default_engine
+    if engine not in ROUTING_ENGINES:
+        raise ValidationError(
+            f"unknown routing engine {engine!r}; expected one of "
+            f"{ROUTING_ENGINES}"
+        )
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+def get_default_engine() -> str:
+    """The current process-wide routing engine selector."""
+    return _default_engine
+
+
+@contextlib.contextmanager
+def use_engine(engine: str) -> Iterator[None]:
+    """Scoped engine override (benchmark arms, parity tests, CLI)."""
+    previous = set_default_engine(engine)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
+def _resolve_engine(dcn: DataCenterNetwork, engine: str | None) -> str:
+    """Collapse ``engine`` (or the default) to ``"csr"`` or ``"nx"``."""
+    if engine is None:
+        engine = _default_engine
+    elif engine not in ROUTING_ENGINES:
+        raise ValidationError(
+            f"unknown routing engine {engine!r}; expected one of "
+            f"{ROUTING_ENGINES}"
+        )
+    if engine == "auto":
+        return "csr" if dcn.caching_enabled else "nx"
+    return engine
+
+
+def simple_path(
+    dcn: DataCenterNetwork,
+    source: str,
+    target: str,
+    *,
+    engine: str | None = None,
+) -> list[str]:
     """Unrestricted shortest path between two fabric nodes."""
+    if not dcn.has_node(source):
+        raise RoutingError(f"Source {source} is not in G")
+    if not dcn.has_node(target):
+        raise RoutingError(f"Target {target} is not in G")
+    if _resolve_engine(dcn, engine) == "csr":
+        try:
+            return engine_for(dcn).route(source, target)
+        except PathEngineNoPath:
+            raise RoutingError(f"no path from {source} to {target}") from None
     try:
         return nx.shortest_path(dcn.graph, source, target)
-    except nx.NodeNotFound as exc:
+    except nx.NodeNotFound as exc:  # pragma: no cover - validated above
         raise RoutingError(str(exc)) from None
     except nx.NetworkXNoPath:
         raise RoutingError(f"no path from {source} to {target}") from None
+
+
+def _check_al_endpoints(
+    dcn: DataCenterNetwork,
+    source: str,
+    target: str,
+    allowed_ops: frozenset,
+) -> None:
+    """Shared endpoint validation for AL-restricted queries.
+
+    Both engines (and every AL-restricted entry point, including
+    :func:`k_shortest_paths`) raise identical errors: unknown nodes
+    first, then AL membership — an OPS endpoint outside the layer is an
+    AL violation, never a misleading "unknown endpoint".
+    """
+    if not dcn.has_node(source) or not dcn.has_node(target):
+        raise RoutingError(f"unknown endpoint in ({source}, {target})")
+    for node in (source, target):
+        if dcn.kind_of(node) is NodeKind.OPS and node not in allowed_ops:
+            raise RoutingError(
+                f"endpoint outside the abstraction layer: {source} -> {target}"
+            )
+
+
+def _al_subgraph(dcn: DataCenterNetwork, allowed_ops: frozenset):
+    """The ``networkx`` engine's per-query restricted view."""
+    graph = dcn.graph
+    return graph.subgraph(
+        node
+        for node in graph
+        if dcn.kind_of(node) is not NodeKind.OPS or node in allowed_ops
+    )
 
 
 def shortest_path_in_al(
@@ -32,6 +148,8 @@ def shortest_path_in_al(
     source: str,
     target: str,
     al_switches: Iterable[str],
+    *,
+    engine: str | None = None,
 ) -> list[str]:
     """Shortest path whose optical hops all belong to one abstraction layer.
 
@@ -42,19 +160,17 @@ def shortest_path_in_al(
     Raises:
         RoutingError: when the AL does not connect the endpoints.
     """
-    allowed_ops = set(al_switches)
-    graph = dcn.graph
-
-    def permitted(node: str) -> bool:
-        return dcn.kind_of(node) is not NodeKind.OPS or node in allowed_ops
-
-    if not graph.has_node(source) or not graph.has_node(target):
-        raise RoutingError(f"unknown endpoint in ({source}, {target})")
-    if not permitted(source) or not permitted(target):
-        raise RoutingError(
-            f"endpoint outside the abstraction layer: {source} -> {target}"
-        )
-    restricted = graph.subgraph(node for node in graph if permitted(node))
+    allowed_ops = frozenset(al_switches)
+    _check_al_endpoints(dcn, source, target, allowed_ops)
+    if _resolve_engine(dcn, engine) == "csr":
+        try:
+            return engine_for(dcn).route(source, target, allowed_ops)
+        except PathEngineNoPath:
+            raise RoutingError(
+                f"abstraction layer {sorted(allowed_ops)} does not connect "
+                f"{source} to {target}"
+            ) from None
+    restricted = _al_subgraph(dcn, allowed_ops)
     try:
         return nx.shortest_path(restricted, source, target)
     except nx.NetworkXNoPath:
@@ -68,6 +184,8 @@ def chain_path(
     dcn: DataCenterNetwork,
     waypoints: Sequence[str],
     al_switches: Iterable[str] | None = None,
+    *,
+    engine: str | None = None,
 ) -> list[str]:
     """Path visiting ``waypoints`` in order (source, VNF hosts…, target).
 
@@ -87,9 +205,11 @@ def chain_path(
         if source == target:
             continue
         if al_switches is None:
-            segment = simple_path(dcn, source, target)
+            segment = simple_path(dcn, source, target, engine=engine)
         else:
-            segment = shortest_path_in_al(dcn, source, target, al_switches)
+            segment = shortest_path_in_al(
+                dcn, source, target, al_switches, engine=engine
+            )
         full_path.extend(segment[1:])
     return full_path
 
@@ -100,6 +220,8 @@ def k_shortest_paths(
     target: str,
     k: int = 3,
     al_switches: Iterable[str] | None = None,
+    *,
+    engine: str | None = None,
 ) -> list[list[str]]:
     """Up to ``k`` shortest simple paths, optionally AL-restricted.
 
@@ -107,20 +229,27 @@ def k_shortest_paths(
     returned when the graph has fewer simple paths.
 
     Raises:
-        RoutingError: when no path exists at all.
+        RoutingError: when an endpoint is unknown, an OPS endpoint lies
+            outside ``al_switches`` (same error as
+            :func:`shortest_path_in_al` — it used to surface as a
+            misleading "unknown endpoint"), or no path exists at all.
     """
     if k <= 0:
         raise RoutingError(f"k must be positive, got {k}")
-    graph = dcn.graph
-    if al_switches is not None:
-        allowed = set(al_switches)
-        graph = graph.subgraph(
-            node
-            for node in graph
-            if dcn.kind_of(node) is not NodeKind.OPS or node in allowed
-        )
-    if not graph.has_node(source) or not graph.has_node(target):
+    allowed_ops = frozenset(al_switches) if al_switches is not None else None
+    if allowed_ops is not None:
+        _check_al_endpoints(dcn, source, target, allowed_ops)
+    elif not dcn.has_node(source) or not dcn.has_node(target):
         raise RoutingError(f"unknown endpoint in ({source}, {target})")
+    if _resolve_engine(dcn, engine) == "csr":
+        try:
+            return engine_for(dcn).k_shortest(source, target, k, allowed_ops)
+        except PathEngineNoPath:
+            raise RoutingError(f"no path from {source} to {target}") from None
+    if allowed_ops is not None:
+        graph = _al_subgraph(dcn, allowed_ops)
+    else:
+        graph = dcn.graph
     paths: list[list[str]] = []
     try:
         for path in nx.shortest_simple_paths(graph, source, target):
@@ -132,7 +261,145 @@ def k_shortest_paths(
     return paths
 
 
-def pick_least_loaded(candidates: Sequence[Sequence[str]], link_load):
+def routes_from(
+    dcn: DataCenterNetwork,
+    source: str,
+    targets: Iterable[str],
+    al_switches: Iterable[str] | None = None,
+    *,
+    engine: str | None = None,
+) -> dict[str, list[str]]:
+    """Batched fan-out: shortest paths from one source to many targets.
+
+    One level-order BFS serves every target (chain waypoint segments
+    and virtual-link embedding fan out from shared endpoints), instead
+    of one bidirectional query per pair.  Unreachable targets are
+    **omitted** from the result — callers decide whether absence is an
+    error.
+
+    Note: level-order BFS may tie-break differently than the pairwise
+    bidirectional search, so a batched path can legitimately differ
+    from :func:`simple_path` on equal-length alternatives.  Both
+    engines produce identical batched results.
+
+    Raises:
+        RoutingError: for unknown endpoints, or (with ``al_switches``)
+            an OPS endpoint outside the layer.
+    """
+    allowed_ops = frozenset(al_switches) if al_switches is not None else None
+    target_list = list(targets)
+    if not target_list:
+        if not dcn.has_node(source):
+            raise RoutingError(f"unknown endpoint in ({source}, {source})")
+        return {}
+    for node in target_list:
+        if allowed_ops is not None:
+            _check_al_endpoints(dcn, source, node, allowed_ops)
+        elif not dcn.has_node(source) or not dcn.has_node(node):
+            raise RoutingError(f"unknown endpoint in ({source}, {node})")
+    if _resolve_engine(dcn, engine) == "csr":
+        return engine_for(dcn).routes_from(source, target_list, allowed_ops)
+    if allowed_ops is not None:
+        graph = _al_subgraph(dcn, allowed_ops)
+    else:
+        graph = dcn.graph
+    tree = nx.single_source_shortest_path(graph, source)
+    return {
+        node: list(tree[node]) for node in target_list if node in tree
+    }
+
+
+def shortest_surviving_path(
+    dcn: DataCenterNetwork,
+    source: str,
+    target: str,
+    failed_nodes: Iterable[str] = (),
+    cut_links: Iterable[Iterable[str]] = (),
+    *,
+    engine: str | None = None,
+) -> list[str]:
+    """Shortest path avoiding failed nodes and cut links.
+
+    The post-fault rerouting primitive: what remains of the fabric
+    after a chaos schedule's casualties still has to carry the flow.
+    Under the ``networkx`` engine this is a ``restricted_view``; under
+    CSR it is a byte-mask minus the failure set plus a cut-edge check —
+    no view construction.
+
+    Raises:
+        RoutingError: unknown endpoints, an endpoint in
+            ``failed_nodes``, or no surviving path.
+    """
+    failed = frozenset(failed_nodes)
+    cuts = frozenset(frozenset(link) for link in cut_links)
+    if not dcn.has_node(source) or not dcn.has_node(target):
+        raise RoutingError(f"unknown endpoint in ({source}, {target})")
+    if source in failed or target in failed:
+        down = source if source in failed else target
+        raise RoutingError(f"endpoint failed: {down}")
+    if _resolve_engine(dcn, engine) == "csr":
+        try:
+            return engine_for(dcn).route_avoiding(source, target, failed, cuts)
+        except PathEngineNoPath:
+            raise RoutingError(
+                f"no surviving path from {source} to {target}"
+            ) from None
+    view = nx.restricted_view(
+        dcn.graph,
+        tuple(failed),
+        tuple(tuple(sorted(link)) for link in cuts),
+    )
+    try:
+        return nx.shortest_path(view, source, target)
+    except nx.NetworkXNoPath:
+        raise RoutingError(
+            f"no surviving path from {source} to {target}"
+        ) from None
+
+
+class RouteCandidates:
+    """A k-shortest candidate pool with precomputed link keys.
+
+    :func:`pick_least_loaded` used to re-allocate one ``frozenset`` per
+    link per candidate on *every* call — and the route cache re-scores
+    every load-aware hit through it.  Freezing the pool once computes
+    each path's link keys a single time; scoring then only does dict
+    probes.  Iterating/indexing yields the path tuples, so existing
+    ``Sequence[Sequence[str]]`` consumers keep working.
+    """
+
+    __slots__ = ("paths", "link_keys")
+
+    def __init__(self, paths: Iterable[Sequence[str]]) -> None:
+        self.paths: tuple[tuple[str, ...], ...] = tuple(
+            tuple(path) for path in paths
+        )
+        self.link_keys: tuple[tuple[frozenset, ...], ...] = tuple(
+            tuple(frozenset((a, b)) for a, b in zip(path, path[1:]))
+            for path in self.paths
+        )
+
+    @classmethod
+    def from_paths(cls, paths) -> "RouteCandidates":
+        """Wrap ``paths``, passing through existing instances."""
+        if isinstance(paths, cls):
+            return paths
+        return cls(paths)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self):
+        return iter(self.paths)
+
+    def __getitem__(self, index):
+        return self.paths[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RouteCandidates({list(self.paths)!r})"
+
+
+def pick_least_loaded(candidates, link_load):
     """The candidate path with the lightest bottleneck under ``link_load``.
 
     The scoring core of :func:`least_loaded_path`, split out so cached
@@ -140,7 +407,9 @@ def pick_least_loaded(candidates: Sequence[Sequence[str]], link_load):
     against live loads without recomputing the k-shortest-path pool.
 
     Args:
-        candidates: non-empty sequence of node paths.
+        candidates: non-empty sequence of node paths, or a
+            :class:`RouteCandidates` pool (scored without per-call
+            link-key allocation).
         link_load: mapping ``frozenset({a, b}) -> load`` (any unit);
             missing links count as load 0.
 
@@ -151,6 +420,21 @@ def pick_least_loaded(candidates: Sequence[Sequence[str]], link_load):
     Raises:
         RoutingError: when ``candidates`` is empty.
     """
+    link_keys = getattr(candidates, "link_keys", None)
+    if link_keys is not None:
+        paths = candidates.paths
+        if not paths:
+            raise RoutingError("no candidate paths to score")
+        get = link_load.get
+        best_path = None
+        best_score = None
+        for path, keys in zip(paths, link_keys):
+            loads = [get(key, 0.0) for key in keys]
+            score = (max(loads, default=0.0), sum(loads), len(path))
+            if best_score is None or score < best_score:
+                best_score = score
+                best_path = path
+        return best_path
     if not candidates:
         raise RoutingError("no candidate paths to score")
 
@@ -176,6 +460,7 @@ def least_loaded_path(
     *,
     k: int = 3,
     al_switches: Iterable[str] | None = None,
+    engine: str | None = None,
 ) -> list[str]:
     """Among the k shortest paths, the one with the lightest bottleneck.
 
@@ -187,15 +472,16 @@ def least_loaded_path(
             missing links count as load 0.
         k: candidate pool size.
         al_switches: restrict optical hops to these switches.
+        engine: routing engine selector (see module docstring).
 
     Returns:
         The candidate minimizing (max link load, total link load, hops);
         with no load anywhere this degenerates to the shortest path.
     """
     candidates = k_shortest_paths(
-        dcn, source, target, k=k, al_switches=al_switches
+        dcn, source, target, k=k, al_switches=al_switches, engine=engine
     )
-    return list(pick_least_loaded(candidates, link_load))
+    return list(pick_least_loaded(RouteCandidates(candidates), link_load))
 
 
 def path_length_statistics(

@@ -56,11 +56,15 @@ from repro.sdn.route_cache import (
     NO_ROUTE,
     RouteCache,
 )
+from repro.sdn.path_engine import engine_for
 from repro.sdn.routing import (
+    ROUTING_ENGINES,
+    RouteCandidates,
     k_shortest_paths,
     least_loaded_path,
     pick_least_loaded,
     shortest_path_in_al,
+    shortest_surviving_path,
     simple_path,
 )
 from repro.sim.fairshare import (
@@ -205,6 +209,7 @@ class EventDrivenFlowSimulator:
         k_paths: int = 3,
         telemetry: Telemetry | None = None,
         engine: str = "incremental",
+        routing_engine: str = "auto",
         route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
     ) -> None:
         """Create a simulator over a populated inventory.
@@ -227,6 +232,11 @@ class EventDrivenFlowSimulator:
             engine: ``"incremental"`` (default hot path),
                 ``"from_scratch"`` (reference fair-share, same loop) or
                 ``"legacy"`` (the pre-optimization loop).
+            routing_engine: path-computation backend —
+                ``"auto"``/``"csr"``/``"nx"``, see
+                :mod:`repro.sdn.routing` (both produce bit-identical
+                paths; this knob exists for parity tests and
+                benchmarks).
             route_cache_size: LRU entries for route caching; ``0``
                 disables the cache entirely.
 
@@ -238,6 +248,11 @@ class EventDrivenFlowSimulator:
             raise ValidationError(
                 f"unknown simulation engine {engine!r} "
                 f"(expected one of {', '.join(ENGINES)})"
+            )
+        if routing_engine not in ROUTING_ENGINES:
+            raise ValidationError(
+                f"unknown routing engine {routing_engine!r} "
+                f"(expected one of {', '.join(ROUTING_ENGINES)})"
             )
         if route_cache_size < 0:
             raise ValidationError(
@@ -256,6 +271,7 @@ class EventDrivenFlowSimulator:
         self._load_aware = load_aware
         self._k_paths = k_paths
         self._engine_mode = engine
+        self._routing_engine = routing_engine
         self._capacities: dict[LinkId, float] = {}
         for a, b, link, parallel in inventory.network.trunks():
             if default_bandwidth_gbps is not None:
@@ -352,16 +368,17 @@ class EventDrivenFlowSimulator:
             return list(cached)
         try:
             if self._load_aware:
-                candidates = k_shortest_paths(
-                    self._inventory.network,
-                    source,
-                    destination,
-                    k=self._k_paths,
-                    al_switches=al,
+                candidates = RouteCandidates(
+                    k_shortest_paths(
+                        self._inventory.network,
+                        source,
+                        destination,
+                        k=self._k_paths,
+                        al_switches=al,
+                        engine=self._routing_engine,
+                    )
                 )
-                cache.put(
-                    key, tuple(tuple(path) for path in candidates)
-                )
+                cache.put(key, candidates)
                 return list(pick_least_loaded(candidates, link_flows))
             path = self._compute_path(source, destination, al, link_flows)
         except RoutingError:
@@ -385,12 +402,22 @@ class EventDrivenFlowSimulator:
                 link_flows,
                 k=self._k_paths,
                 al_switches=al,
+                engine=self._routing_engine,
             )
         if al is not None:
             return shortest_path_in_al(
-                self._inventory.network, source, destination, al
+                self._inventory.network,
+                source,
+                destination,
+                al,
+                engine=self._routing_engine,
             )
-        return simple_path(self._inventory.network, source, destination)
+        return simple_path(
+            self._inventory.network,
+            source,
+            destination,
+            engine=self._routing_engine,
+        )
 
     def _route_avoiding(
         self,
@@ -404,26 +431,29 @@ class EventDrivenFlowSimulator:
         Failure-aware routing is policy-free (plain shortest path over
         the surviving fabric): with switches gone, staying inside the AL
         or balancing load is secondary to reconnecting at all.  It is
-        deliberately uncached — the surviving fabric changes with every
-        failure event.
+        deliberately uncached at this layer — the surviving fabric
+        changes with every failure event (the CSR engine keys its
+        avoidance masks by failure set and drops them on
+        :meth:`~repro.sdn.path_engine.PathEngine.note_fault`).
         """
-        import networkx as nx
-
         source = self._inventory.host_of(flow.source)
         destination = self._inventory.host_of(flow.destination)
         if source in failed_nodes or destination in failed_nodes:
             return None
         if source == destination:
             return [source]
-        graph = self._inventory.network.graph
-        surviving = nx.restricted_view(
-            graph,
-            tuple(failed_nodes),
-            tuple(tuple(sorted(link)) for link in cut_links),
-        )
         try:
-            return list(nx.shortest_path(surviving, source, destination))
-        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return list(
+                shortest_surviving_path(
+                    self._inventory.network,
+                    source,
+                    destination,
+                    failed_nodes,
+                    cut_links,
+                    engine=self._routing_engine,
+                )
+            )
+        except RoutingError:
             return None
 
     def _validated_failures(self, failures) -> list:
@@ -689,6 +719,10 @@ class EventDrivenFlowSimulator:
             if next_failure <= next_arrival and next_failure <= next_completion:
                 record = failure_queue[failure_index]
                 failure_index += 1
+                # Availability changed without a topology mutation:
+                # bump the path engine's mask generation so cached
+                # post-fault avoidance masks cannot go stale.
+                engine_for(self._inventory.network).note_fault()
                 action = record.action
                 if action == NODE_DOWN:
                     failed = record.payload
@@ -985,6 +1019,10 @@ class EventDrivenFlowSimulator:
             if next_failure <= min(next_arrival, next_completion):
                 record = failure_queue[failure_index]
                 failure_index += 1
+                # Availability changed without a topology mutation:
+                # bump the path engine's mask generation so cached
+                # post-fault avoidance masks cannot go stale.
+                engine_for(self._inventory.network).note_fault()
                 action = record.action
                 if action == NODE_DOWN:
                     failed = record.payload

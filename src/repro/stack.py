@@ -100,6 +100,7 @@ class AlvcStack:
         merge_consecutive: bool = False,
         exclusive_chains: bool = True,
         host_policy: HostPolicy | None = None,
+        routing_engine: str = "auto",
         **fabric_options,
     ) -> "AlvcStack":
         """Build fabric, inventory, catalogs, engine and orchestrator.
@@ -123,6 +124,10 @@ class AlvcStack:
             vms_per_service: batch size for lazy cluster bootstrap.
             merge_consecutive / exclusive_chains / host_policy: passed
                 through to :class:`NetworkOrchestrator`.
+            routing_engine: path-computation backend
+                (``"auto"``/``"csr"``/``"nx"``, see
+                :mod:`repro.sdn.routing`), passed through to the
+                orchestrator.
             **fabric_options: extra keywords for
                 :func:`~repro.topology.generators.build_alvc_fabric`
                 (e.g. ``tor_uplinks``, ``dual_homing_fraction``).
@@ -153,6 +158,7 @@ class AlvcStack:
             exclusive_chains=exclusive_chains,
             host_policy=host_policy,
             telemetry=sink,
+            routing_engine=routing_engine,
         )
         return cls(
             inventory=inventory,

@@ -47,6 +47,12 @@ class DataCenterNetwork:
     def __init__(self, name: str = "dcn") -> None:
         self.name = name
         self._graph = nx.Graph(name=name)
+        #: Monotonic topology generation.  Bumped on every structural
+        #: mutation (node/link addition, trunk aggregation); derived
+        #: caches — the accessor memos below and the CSR snapshot of
+        #: :class:`repro.sdn.path_engine.PathEngine` — key their
+        #: validity off this counter instead of subscribing to events.
+        self._generation = 0
         #: Memo tables for the hot accessors AL construction hammers
         #: (:meth:`_neighbors_of_kind`, :meth:`tor_weight`,
         #: :meth:`ops_weight`, the kind lists).  One dedicated dict per
@@ -103,8 +109,21 @@ class DataCenterNetwork:
         return self._cache_enabled
 
     def _invalidate_cache(self) -> None:
+        self._generation += 1
         for cache in self._all_caches:
             cache.clear()
+
+    @property
+    def topology_generation(self) -> int:
+        """Monotonic counter of structural mutations.
+
+        ``add_server``/``add_tor``/``add_optical_switch`` and
+        :meth:`connect` (including parallel-link trunk aggregation)
+        each advance it; consumers holding derived structures (the
+        routing engine's CSR arrays and AL bitmasks) compare against
+        it and rebuild lazily instead of hooking mutations.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # Construction

@@ -81,7 +81,12 @@ class VirtualNetwork:
     # ------------------------------------------------------------------
     # Embedding
     # ------------------------------------------------------------------
-    def embed(self, inventory: MachineInventory) -> dict[frozenset, list[str]]:
+    def embed(
+        self,
+        inventory: MachineInventory,
+        *,
+        engine: str | None = None,
+    ) -> dict[frozenset, list[str]]:
         """Embed every virtual link onto a shortest physical path.
 
         Every VM must already be placed on a server.  Returns and caches
@@ -89,25 +94,62 @@ class VirtualNetwork:
         VMs on the same server embed to the single-node path of that
         server.
 
+        Links sharing a source host are routed through one batched
+        :func:`repro.sdn.routing.routes_from` fan-out per host (a VM
+        with several neighbors costs one BFS, not one per link), via
+        the selected routing engine instead of a raw ``networkx`` call
+        — so unknown hosts and disconnected fabrics surface as
+        :class:`~repro.exceptions.RoutingError`, never as leaked
+        ``networkx`` exceptions.
+
+        Args:
+            inventory: VM placement and the physical fabric.
+            engine: routing engine selector (see
+                :mod:`repro.sdn.routing`).
+
         Raises:
-            RoutingError: if the hosts of some link are disconnected.
+            RoutingError: if the hosts of some link are disconnected
+                (or unknown to the fabric).
         """
-        physical = inventory.network.graph
-        embedding: dict[frozenset, list[str]] = {}
-        for link in self.links():
+        from repro.sdn.routing import routes_from
+
+        network = inventory.network
+        # Group each link's far host under its near host so every
+        # distinct source host needs exactly one BFS fan-out.
+        ordered = self.links()
+        by_source: dict[str, list[str]] = {}
+        pairs: list[tuple[VirtualLink, str, str]] = []
+        for link in ordered:
             host_a = inventory.host_of(link.a)
             host_b = inventory.host_of(link.b)
+            pairs.append((link, host_a, host_b))
+            if host_a != host_b:
+                targets = by_source.setdefault(host_a, [])
+                if host_b not in targets:
+                    targets.append(host_b)
+        routed: dict[str, dict[str, list[str]]] = {}
+        for host_a, targets in by_source.items():
+            try:
+                routed[host_a] = routes_from(
+                    network, host_a, targets, engine=engine
+                )
+            except RoutingError as exc:
+                raise RoutingError(
+                    f"virtual network {self.name!r} cannot embed from "
+                    f"{host_a}: {exc}"
+                ) from None
+        embedding: dict[frozenset, list[str]] = {}
+        for link, host_a, host_b in pairs:
             if host_a == host_b:
                 embedding[link.endpoints] = [host_a]
                 continue
-            try:
-                path = nx.shortest_path(physical, host_a, host_b)
-            except nx.NetworkXNoPath:
+            path = routed[host_a].get(host_b)
+            if path is None:
                 raise RoutingError(
                     f"no physical path between {host_a} and {host_b} "
                     f"for virtual link {link.a}-{link.b}"
-                ) from None
-            embedding[link.endpoints] = path
+                )
+            embedding[link.endpoints] = list(path)
         self._embedding = embedding
         return dict(embedding)
 

@@ -175,3 +175,31 @@ class TestInvalidateCrossing:
         cache.put("k2", ("a", "y", "b"))
         cache.invalidate_crossing([("a", "x")])
         assert telemetry.registry.value_of("alvc_route_cache_size") == 1
+
+
+class TestRouteCandidatesEntries:
+    """invalidate_crossing understands RouteCandidates pools too."""
+
+    def test_pool_riding_the_link_is_dropped(self):
+        from repro.sdn.routing import RouteCandidates
+
+        cache = RouteCache(8)
+        cache.put(
+            "pool",
+            RouteCandidates([("a", "x", "b"), ("a", "y", "b")]),
+        )
+        cache.put(
+            "clear",
+            RouteCandidates([("a", "z", "b")]),
+        )
+        assert cache.invalidate_crossing([("y", "b")]) == 1
+        assert "pool" not in cache
+        assert "clear" in cache
+
+    def test_pool_survives_unrelated_cut(self):
+        from repro.sdn.routing import RouteCandidates
+
+        cache = RouteCache(8)
+        cache.put("pool", RouteCandidates([("a", "x", "b")]))
+        assert cache.invalidate_crossing([("p", "q")]) == 0
+        assert "pool" in cache

@@ -118,3 +118,39 @@ class TestEmbedding:
         footprint = vn.physical_footprint()
         assert inventory.host_of(vms[0].vm_id) in footprint
         assert inventory.host_of(vms[1].vm_id) in footprint
+
+
+class TestEmbeddingEngines:
+    """Embedding routes through the engine layer, not raw networkx."""
+
+    def test_engine_choice_does_not_change_embedding(self, placed):
+        inventory, vms = placed
+        vn = VirtualNetwork("vn")
+        vn.add_link(VirtualLink(vms[0].vm_id, vms[1].vm_id))
+        vn.add_link(VirtualLink(vms[1].vm_id, vms[2].vm_id))
+        vn.add_link(VirtualLink(vms[0].vm_id, vms[2].vm_id))
+        via_nx = vn.embed(inventory, engine="nx")
+        via_csr = vn.embed(inventory, engine="csr")
+        assert via_csr == via_nx
+
+    def test_disconnected_fabric_raises_routing_error(self, service_catalog):
+        from repro.exceptions import RoutingError
+        from repro.topology.datacenter import DataCenterNetwork
+        from repro.topology.elements import ServerSpec, TorSpec
+
+        # Two islands: (server-a, tor-a) and (server-b, tor-b).
+        dcn = DataCenterNetwork("split")
+        for suffix in ("a", "b"):
+            dcn.add_server(ServerSpec(server_id=f"server-{suffix}"))
+            dcn.add_tor(TorSpec(tor_id=f"tor-{suffix}"))
+            dcn.connect(f"server-{suffix}", f"tor-{suffix}")
+        inventory = MachineInventory(dcn)
+        web = service_catalog.get("web")
+        vm_a = inventory.create_vm(web)
+        vm_b = inventory.create_vm(web)
+        inventory.place(vm_a, "server-a")
+        inventory.place(vm_b, "server-b")
+        vn = VirtualNetwork("vn")
+        vn.add_link(VirtualLink(vm_a.vm_id, vm_b.vm_id))
+        with pytest.raises(RoutingError, match="cannot embed|no physical path"):
+            vn.embed(inventory)
