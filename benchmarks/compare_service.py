@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compare two E23 durable-service records and enforce the gates.
+
+Usage::
+
+    python benchmarks/compare_service.py \
+        benchmarks/BENCH_e23.json BENCH_e23.json \
+        [--max-regression 0.25] [--min-batched-speedup 2.0] \
+        [--min-restore-speedup 2.0] [--min-restore-ops 200]
+
+Both files are the JSON written by
+``benchmarks/test_bench_e23_service.py``.  Four gates, all of which
+must hold for a zero exit status:
+
+* the candidate's **parity** flag — every arm (serial, batched, and
+  both restore paths) landed in the bit-identical control-plane state;
+* the candidate's **batched speedup** (batched ops/sec over the serial
+  fsync-per-op arm, measured in the same run, so stable across
+  machines) clears the absolute floor *and* has not regressed by more
+  than ``--max-regression`` against the committed baseline;
+* likewise the **restore speedup** (snapshot-restore wall clock over
+  full-replay wall clock);
+* the **restore throughput** (commands recovered per second by full
+  journal replay) clears its absolute floor and regression bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _gate(
+    name: str,
+    before: float,
+    after: float,
+    floor: float,
+    max_regression: float,
+    unit: str = "x",
+) -> bool:
+    """Print one gate's verdict; returns True when it passes."""
+    if before <= 0:
+        print(f"FAIL: baseline {name} is not positive", file=sys.stderr)
+        return False
+    regression = (before - after) / before
+    ok = after >= floor and regression <= max_regression
+    status = "ok" if ok else "FAIL"
+    print(
+        f"{status}: {name} {before:.2f}{unit} -> {after:.2f}{unit} "
+        f"({-regression:+.1%} vs limit -{max_regression:.1%}, "
+        f"floor {floor:.2f}{unit})"
+    )
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_e23.json")
+    parser.add_argument("candidate", help="freshly measured BENCH_e23.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help=(
+            "allowed relative drop vs baseline (default 0.25 — "
+            "arm-ratio variance on shared runners is larger than a "
+            "single-engine ratio; the absolute floors are the primary "
+            "gate)"
+        ),
+    )
+    parser.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="absolute floor for batched vs serial ops/sec (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-restore-speedup",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="absolute floor for snapshot vs replay wall (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-restore-ops",
+        type=float,
+        default=200.0,
+        metavar="N",
+        help="absolute floor for replay commands/sec (default 200)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    candidate = _load(args.candidate)
+
+    for label, record in (("baseline", baseline), ("candidate", candidate)):
+        rates = record.get("ops_per_sec", {})
+        formatted = ", ".join(
+            f"{arm}={rate:,.0f}/s" for arm, rate in sorted(rates.items())
+        )
+        print(
+            f"{label}: batched {record['batched_speedup']:.2f}x, "
+            f"restore {record['restore_speedup']:.2f}x ({formatted})"
+        )
+
+    passed = True
+    if not candidate.get("parity", False):
+        print(
+            "FAIL: candidate arms are not bit-identical — batching or "
+            "recovery changed the control-plane state",
+            file=sys.stderr,
+        )
+        passed = False
+    else:
+        print("ok: all four arms landed in the bit-identical state")
+    passed &= _gate(
+        "batched speedup",
+        float(baseline["batched_speedup"]),
+        float(candidate["batched_speedup"]),
+        args.min_batched_speedup,
+        args.max_regression,
+    )
+    passed &= _gate(
+        "restore speedup",
+        float(baseline["restore_speedup"]),
+        float(candidate["restore_speedup"]),
+        args.min_restore_speedup,
+        args.max_regression,
+    )
+    passed &= _gate(
+        "restore throughput",
+        float(baseline["restore_ops_per_sec"]),
+        float(candidate["restore_ops_per_sec"]),
+        args.min_restore_ops,
+        args.max_regression,
+        unit=" ops/s",
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

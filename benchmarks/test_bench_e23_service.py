@@ -1,0 +1,103 @@
+"""E23 — durable service throughput (group commit + restore time).
+
+Regenerates: the engineering claim behind this repo's durable
+control-plane service — admitting the same op stream through the
+batched front-end path (one group-commit fsync and one shared
+per-cluster context cache per wave) delivers at least 2x
+provision/teardown ops/second over serial fsync-per-op submission on a
+1024-server fabric, a snapshot bounds restore wall clock to at least
+2x better than full journal replay, and the canonical state digest
+proves every arm (and every recovery) landed in the bit-identical
+control-plane state.
+
+The run writes a machine-readable record (``BENCH_e23.json`` in the
+working directory, or ``$ALVC_BENCH_E23_OUT``) that
+``benchmarks/compare_service.py`` diffs against the committed
+``benchmarks/BENCH_e23.json`` to gate durable-service regressions in
+CI.
+"""
+
+import json
+import os
+
+from repro.analysis.experiments import experiment_e23_service_throughput
+from repro.analysis.reporting import render_table
+
+#: Gate A: batched admission at least this much faster than serial
+#: fsync-per-op (ops/sec, same run, so stable across machines).
+MIN_BATCHED_SPEEDUP = 2.0
+
+#: Gate B: snapshot restore at least this much faster than full
+#: genesis replay (wall clock).
+MIN_RESTORE_SPEEDUP = 2.0
+
+#: Gate C: absolute floor on replay throughput — crash recovery must
+#: re-execute committed commands at a usable rate even on slow runners.
+MIN_RESTORE_OPS_PER_SEC = 200.0
+
+
+def test_bench_e23_service(benchmark):
+    rows = benchmark.pedantic(
+        experiment_e23_service_throughput,
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="E23 — durable-service ops/sec by arm"))
+
+    by_arm = {row["arm"]: row for row in rows}
+    serial = by_arm["serial"]
+    batched = by_arm["batched"]
+    replay = by_arm["restore-replay"]
+    snapshot = by_arm["restore-snapshot"]
+
+    # Every arm — including both recovery paths — reached the
+    # bit-identical control-plane state (the replay-parity proof).
+    assert all(row["parity"] for row in rows), (
+        f"state digests diverged across arms: "
+        f"{[(row['arm'], row['digest']) for row in rows]}"
+    )
+    assert len({row["digest"] for row in rows}) == 1
+
+    # Gate A: group commit + shared admission context.
+    assert batched["speedup"] >= MIN_BATCHED_SPEEDUP, (
+        f"batched arm is only {batched['speedup']:.2f}x the serial "
+        f"arm's ops/sec (target {MIN_BATCHED_SPEEDUP}x)"
+    )
+
+    # Gate B: a snapshot bounds recovery below full replay.
+    assert snapshot["speedup"] >= MIN_RESTORE_SPEEDUP, (
+        f"snapshot restore is only {snapshot['speedup']:.2f}x faster "
+        f"than full replay (target {MIN_RESTORE_SPEEDUP}x)"
+    )
+    assert snapshot["replayed"] == 0  # head snapshot: empty tail
+
+    # Gate C: replay recovers committed commands at a usable rate.
+    assert replay["ops_per_sec"] >= MIN_RESTORE_OPS_PER_SEC, (
+        f"journal replay recovered only {replay['ops_per_sec']:.0f} "
+        f"ops/sec (floor {MIN_RESTORE_OPS_PER_SEC:.0f})"
+    )
+
+    out_path = os.environ.get("ALVC_BENCH_E23_OUT", "BENCH_e23.json")
+    with open(out_path, "w") as handle:
+        json.dump(
+            {
+                "experiment": "e23_service_throughput",
+                "rows": rows,
+                "ops_per_sec": {
+                    row["arm"]: row["ops_per_sec"] for row in rows
+                },
+                "p99_ms": {
+                    row["arm"]: row["p99_ms"]
+                    for row in (serial, batched)
+                },
+                "batched_speedup": batched["speedup"],
+                "restore_speedup": snapshot["speedup"],
+                "restore_ops_per_sec": replay["ops_per_sec"],
+                "parity": all(row["parity"] for row in rows),
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")

@@ -23,6 +23,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
+from repro.config import EngineConfig
 from repro.chaos import (
     ChaosReport,
     ChaosRunner,
@@ -61,6 +62,18 @@ from repro.observability import (
 from repro.optical import ConversionModel, count_excursions
 from repro.parallel import SweepRunner
 from repro.sdn import SdnController, UpdateCostModel, UpdateEvent, UpdateKind
+from repro.service import (
+    ControlPlaneService,
+    FaultReport,
+    Journal,
+    ProvisionRequest,
+    RepairReport,
+    RequestFrontend,
+    Response,
+    TeardownRequest,
+    restore_stack,
+    state_digest,
+)
 from repro.sim import FlowSimulator, TrafficConfig, TrafficGenerator
 from repro.stack import AlvcStack
 from repro.topology import (
@@ -96,14 +109,18 @@ __all__ = [
     "ChaosRunner",
     "CloudNfvManager",
     "ClusterManager",
+    "ControlPlaneService",
     "ConversionModel",
     "DataCenterNetwork",
     "Domain",
+    "EngineConfig",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
+    "FaultReport",
     "FlowSimulator",
     "FunctionCatalog",
+    "Journal",
     "MachineInventory",
     "NetworkFunctionChain",
     "NetworkFunctionType",
@@ -113,15 +130,20 @@ __all__ = [
     "PlacementAlgorithm",
     "PlacementSolver",
     "PlacementStrategy",
+    "ProvisionRequest",
     "ProvisioningPlan",
     "RecoveryOutcome",
     "RecoveryPolicy",
+    "RepairReport",
+    "RequestFrontend",
     "ResourceVector",
+    "Response",
     "SdnController",
     "ServiceCatalog",
     "ServiceType",
     "SliceAllocator",
     "SweepRunner",
+    "TeardownRequest",
     "Telemetry",
     "TopologyBuilder",
     "TrafficConfig",
@@ -138,7 +160,9 @@ __all__ = [
     "count_excursions",
     "current_telemetry",
     "paper_example_topology",
+    "restore_stack",
     "run_chaos",
+    "state_digest",
     "use_telemetry",
     "validate_topology",
     "__version__",

@@ -1863,3 +1863,262 @@ def experiment_e22_routing_throughput(
             }
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# E23 — durable service: group-commit throughput and restore time
+# ----------------------------------------------------------------------
+#: Chain shapes cycled through the E23 op stream (all standard
+#: functions, so the mix exercises both optical and carrier-VM VNFs).
+_E23_CHAIN_MIX: tuple[tuple[str, ...], ...] = (
+    ("firewall", "nat"),
+    ("dpi",),
+    ("proxy", "ids"),
+    ("nat",),
+)
+
+
+def _e23_percentile(samples: Sequence[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def experiment_e23_service_throughput(
+    *,
+    n_racks: int = 128,
+    servers_per_rack: int = 8,
+    n_ops: int = 32,
+    vms_per_service: int = 4,
+    stream_ops: int = 210,
+    batch_size: int = 35,
+    rounds: int = 3,
+    seed: int = 0,
+    state_dir: str | None = None,
+) -> list[dict]:
+    """Durable-service ops/second on a 1024-server fabric, arm by arm.
+
+    Four arms run (or recover) the *same* seeded op stream —
+    ``stream_ops`` provisions round-robin across the standard services
+    followed by teardown of every second chain — against a journaled
+    stack with ``sync="always"`` durability, and prove equivalence with
+    the canonical :func:`~repro.service.snapshot.state_digest`:
+
+    * ``serial`` — one public entry-point call per op: every command is
+      its own journal commit (one fsync per op), per-op latency sampled
+      directly.  The baseline.
+    * ``batched`` — the same stream through
+      :meth:`~repro.stack.AlvcStack.provision_batch` waves of
+      ``batch_size`` (the admission path the async front-end uses) and
+      group-committed teardown waves: one fsync and one shared
+      per-cluster context cache per wave.  Its ``speedup`` column is
+      the headline batched-vs-serial throughput win (gate: >= 2x).
+      Every op in a wave is assigned the wave's wall clock as its
+      commit latency — under group commit an op is durable only when
+      its wave's fsync lands, so batching trades p99 latency for
+      throughput and the columns say so honestly.
+    * ``restore-replay`` — crash recovery with no snapshot: rebuild
+      from the genesis record and re-execute the full journal.  ``ops``
+      counts the commands recovered; ``replayed`` the records actually
+      re-executed (command stream plus cluster bootstraps).
+    * ``restore-snapshot`` — recovery from a snapshot taken at the
+      journal head: unpickle and replay the (empty) tail.  Its
+      ``speedup`` column is snapshot-restore wall vs full-replay wall.
+
+    Timed arms run ``rounds`` times (fresh state directory per round
+    for the mutating arms) and report the best wall clock; digests are
+    identical across rounds because everything is seeded.  ``parity``
+    is True when the arm's end-state digest matches the serial arm's —
+    batching and recovery are optimizations, never semantics.
+
+    Defaults are CI-sized (~630 committed commands); the committed
+    ``BENCH_e23.json`` and the paper-scale figure raise ``stream_ops``
+    via kwargs, exactly like E21/E22 scale their grids.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.service import ProvisionRequest
+    from repro.service.restore import restore_stack
+    from repro.service.snapshot import state_digest, write_snapshot
+    from repro.stack import AlvcStack
+
+    services = tuple(service.name for service in STANDARD_SERVICES)
+    plans = [
+        (
+            _E23_CHAIN_MIX[index % len(_E23_CHAIN_MIX)],
+            services[index % len(services)],
+        )
+        for index in range(stream_ops)
+    ]
+
+    def build(root: Path, tag: str) -> AlvcStack:
+        stack = AlvcStack.build(
+            n_racks=n_racks,
+            servers_per_rack=servers_per_rack,
+            n_ops=n_ops,
+            vms_per_service=vms_per_service,
+            seed=seed,
+            exclusive_chains=False,
+            journal=root / f"{tag}.alvc",
+            sync="always",
+        )
+        # Cluster bootstraps are setup, not stream ops: warm them before
+        # the clock starts so both arms time pure provision/teardown.
+        for service in services:
+            stack.cluster(service)
+        return stack
+
+    def run_serial(root: Path):
+        stack = build(root, "serial")
+        latencies: list[float] = []
+        chain_ids: list[str] = []
+        started = time.perf_counter()
+        for names, service in plans:
+            began = time.perf_counter()
+            live = stack.provision(names, service=service)
+            latencies.append(time.perf_counter() - began)
+            chain_ids.append(live.chain_id)
+        for chain_id in chain_ids[1::2]:
+            began = time.perf_counter()
+            stack.teardown(chain_id)
+            latencies.append(time.perf_counter() - began)
+        wall = time.perf_counter() - started
+        digest = state_digest(stack)
+        stack.journal.close()
+        return wall, latencies, len(latencies), digest
+
+    def run_batched(root: Path):
+        stack = build(root, "batched")
+        latencies: list[float] = []
+        chain_ids: list[str] = []
+        commits = 0
+        started = time.perf_counter()
+        for base in range(0, len(plans), batch_size):
+            wave = plans[base : base + batch_size]
+            began = time.perf_counter()
+            admitted = stack.provision_batch(
+                [
+                    ProvisionRequest(names, service=service)
+                    for names, service in wave
+                ]
+            )
+            wave_wall = time.perf_counter() - began
+            latencies.extend([wave_wall] * len(wave))
+            chain_ids.extend(live.chain_id for live in admitted)
+            commits += 1
+        victims = chain_ids[1::2]
+        for base in range(0, len(victims), batch_size):
+            wave = victims[base : base + batch_size]
+            began = time.perf_counter()
+            with stack.journal.batch():
+                for chain_id in wave:
+                    stack.teardown(chain_id)
+            wave_wall = time.perf_counter() - began
+            latencies.extend([wave_wall] * len(wave))
+            commits += 1
+        wall = time.perf_counter() - started
+        digest = state_digest(stack)
+        journal_path = stack.journal.path
+        stack.journal.close()
+        return wall, latencies, len(latencies), digest, commits, journal_path
+
+    root = (
+        Path(state_dir)
+        if state_dir is not None
+        else Path(tempfile.mkdtemp(prefix="alvc-e23-"))
+    )
+    try:
+        serial_wall = float("inf")
+        serial_best = None
+        batched_wall = float("inf")
+        batched_best = None
+        for round_index in range(max(1, rounds)):
+            round_dir = root / f"round{round_index}"
+            round_dir.mkdir(parents=True, exist_ok=True)
+            wall, *rest = run_serial(round_dir)
+            if wall < serial_wall:
+                serial_wall, serial_best = wall, rest
+            wall, *rest = run_batched(round_dir)
+            if wall < batched_wall:
+                batched_wall, batched_best = wall, rest
+        serial_latencies, serial_ops, serial_digest = serial_best
+        (
+            batched_latencies,
+            batched_ops,
+            batched_digest,
+            batched_commits,
+            batched_journal,
+        ) = batched_best
+
+        def timed_restore(snapshot_path=None):
+            wall = float("inf")
+            result = None
+            for _ in range(max(1, rounds)):
+                began = time.perf_counter()
+                result = restore_stack(batched_journal, snapshot_path)
+                wall = min(wall, time.perf_counter() - began)
+            return result, wall
+
+        replay_result, replay_wall = timed_restore()
+        replay_digest = state_digest(replay_result.stack)
+        snapshot_path = root / "head.alvcsnap"
+        write_snapshot(
+            replay_result.stack,
+            snapshot_path,
+            journal_seq=replay_result.journal_seq,
+        )
+        snap_result, snap_wall = timed_restore(snapshot_path)
+        snap_digest = state_digest(snap_result.stack)
+    finally:
+        if state_dir is None:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def row(
+        arm, ops, replayed, wall, latencies, commits, digest, parity, speedup
+    ):
+        return {
+            "arm": arm,
+            "ops": ops,
+            "replayed": replayed,
+            "wall_seconds": wall,
+            "ops_per_sec": ops / wall if wall > 0 else 0.0,
+            "p50_ms": _e23_percentile(latencies, 0.50) * 1e3
+            if latencies
+            else 0.0,
+            "p99_ms": _e23_percentile(latencies, 0.99) * 1e3
+            if latencies
+            else 0.0,
+            "commits": commits,
+            "digest": digest[:12],
+            "parity": parity,
+            "speedup": speedup,
+        }
+
+    serial_rate = serial_ops / serial_wall if serial_wall > 0 else 0.0
+    batched_rate = batched_ops / batched_wall if batched_wall > 0 else 0.0
+    return [
+        row(
+            "serial", serial_ops, 0, serial_wall, serial_latencies,
+            serial_ops, serial_digest, True, 1.0,
+        ),
+        row(
+            "batched", batched_ops, 0, batched_wall, batched_latencies,
+            batched_commits, batched_digest,
+            batched_digest == serial_digest,
+            batched_rate / serial_rate if serial_rate else 0.0,
+        ),
+        row(
+            "restore-replay", batched_ops, replay_result.replayed,
+            replay_wall, [], 0, replay_digest,
+            replay_digest == batched_digest, 1.0,
+        ),
+        row(
+            "restore-snapshot", batched_ops, snap_result.replayed,
+            snap_wall, [], 0, snap_digest,
+            snap_digest == batched_digest
+            and snap_result.source == "snapshot",
+            replay_wall / snap_wall if snap_wall > 0 else 0.0,
+        ),
+    ]

@@ -113,6 +113,31 @@ class RecoveryPolicy:
         """Total attempts the policy allows."""
         return self._max_attempts
 
+    @property
+    def base_delay(self) -> float:
+        """Virtual seconds before the first retry."""
+        return self._base_delay
+
+    @property
+    def backoff(self) -> float:
+        """Delay multiplier per retry."""
+        return self._backoff
+
+    @property
+    def jitter(self) -> float:
+        """Jitter fraction in [0, 1]."""
+        return self._jitter
+
+    @property
+    def max_delay(self) -> float:
+        """Cap on any single backoff delay."""
+        return self._max_delay
+
+    @property
+    def seed(self) -> int:
+        """The jitter RNG seed (policies re-seed per run)."""
+        return self._seed
+
     def delays(self) -> list[float]:
         """The virtual backoff delays a fully-failing run would spend.
 

@@ -252,6 +252,15 @@ def _run_e22() -> dict:
     }
 
 
+@_register("e23", "Durable service: group-commit throughput and restore")
+def _run_e23() -> dict:
+    return {
+        "E23 — durable-service ops/sec per arm": (
+            experiments.experiment_e23_service_throughput()
+        )
+    }
+
+
 #: Defaults for the ``--chaos`` option; every key may be overridden in
 #: the ``key=value,key=value`` spec.
 _CHAOS_DEFAULTS: dict[str, float] = {
@@ -316,6 +325,152 @@ def _run_chaos(options: dict) -> dict:
     return tables
 
 
+def _parse_build(spec: str) -> dict:
+    """Parse ``--build key=value,key=value`` into build kwargs.
+
+    Values coerce in order: bool (``true``/``false``), int, float, and
+    finally plain string — enough for every scalar
+    :meth:`AlvcStack.build` argument.
+
+    Raises:
+        ValueError: on an entry with no ``=``.
+    """
+    options: dict = {}
+    for entry in filter(None, spec.split(",")):
+        key, separator, value = entry.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if not separator or not key:
+            raise ValueError(
+                f"bad --build entry {entry!r} (want key=value)"
+            )
+        if value.lower() in ("true", "false"):
+            options[key] = value.lower() == "true"
+            continue
+        try:
+            options[key] = int(value)
+        except ValueError:
+            try:
+                options[key] = float(value)
+            except ValueError:
+                options[key] = value
+    return options
+
+
+def _service_request(payload: dict):
+    """Map one JSON-lines payload to a typed front-end request.
+
+    Raises:
+        ValueError: unknown ``op``.
+        KeyError: a required field is missing.
+    """
+    from repro.service import (
+        FaultReport,
+        ProvisionRequest,
+        RepairReport,
+        TeardownRequest,
+    )
+
+    kind = payload.get("op")
+    if kind == "provision":
+        return ProvisionRequest(
+            tuple(payload["chain"]),
+            service=payload["service"],
+            tenant=payload.get("tenant", "tenant-0"),
+            chain_id=payload.get("chain_id"),
+            flow_size_gb=float(payload.get("flow_size_gb", 1.0)),
+            bandwidth_gbps=float(payload.get("bandwidth_gbps", 1.0)),
+        )
+    if kind == "teardown":
+        return TeardownRequest(payload["chain_id"])
+    if kind == "fault":
+        return FaultReport(payload["ops"])
+    if kind == "repair":
+        return RepairReport(payload["ops"])
+    raise ValueError(
+        f"unknown op {kind!r} (want provision/teardown/fault/repair)"
+    )
+
+
+def _serve(args) -> int:
+    """``serve``: a JSON-lines request loop over a durable state dir.
+
+    One request per stdin line, one JSON response per stdout line, in
+    submission order.  Requests are admitted through the async batched
+    front-end, so bursts share group commits; every committed op is in
+    the journal before its response is printed.
+    """
+    import asyncio
+    import collections
+    import json
+
+    from repro.exceptions import ALVCError
+    from repro.service import ControlPlaneService
+
+    try:
+        build_options = _parse_build(args.build) if args.build else {}
+        service = ControlPlaneService.open(
+            args.state, sync=args.sync, **build_options
+        )
+    except (ValueError, ALVCError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    def emit(response=None, *, error: str | None = None) -> None:
+        if response is not None:
+            record = {
+                "id": response.request_id,
+                "op": response.kind,
+                "ok": response.ok,
+                "detail": response.detail,
+                "error": response.error,
+                "latency_ms": round(response.latency_s * 1e3, 3),
+            }
+        else:
+            record = {"id": None, "ok": False, "error": error}
+        print(json.dumps(record), flush=True)
+
+    async def session() -> None:
+        loop = asyncio.get_running_loop()
+        pending: collections.deque = collections.deque()
+
+        def drain_ready() -> None:
+            while pending and pending[0].done():
+                emit(pending.popleft().result())
+
+        async with service.stack.serve(
+            max_queue=args.max_queue, max_batch=args.max_batch
+        ) as frontend:
+            while True:
+                line = await loop.run_in_executor(None, sys.stdin.readline)
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = _service_request(json.loads(line))
+                except (ValueError, KeyError) as exc:
+                    emit(error=f"bad request: {exc}")
+                    continue
+                waiter = frontend.offer(request)
+                if waiter is None:
+                    emit(error="queue full: request rejected")
+                    continue
+                pending.append(asyncio.ensure_future(waiter))
+                drain_ready()
+            while pending:
+                emit(await pending.popleft())
+
+    try:
+        asyncio.run(session())
+        if args.snapshot_on_exit:
+            service.snapshot()
+    finally:
+        service.close()
+    return 0
+
+
 def _slug(title: str) -> str:
     keep = [c if c.isalnum() else "-" for c in title.lower()]
     collapsed = "".join(keep)
@@ -341,6 +496,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the report here instead of stdout",
+    )
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="durable control-plane service: JSON-lines requests on "
+        "stdin, responses on stdout",
+    )
+    serve_parser.add_argument(
+        "--state",
+        required=True,
+        metavar="DIR",
+        help="state directory (journal + snapshot); restored when it "
+        "already has a journal, initialized otherwise",
+    )
+    serve_parser.add_argument(
+        "--sync",
+        choices=("always", "off"),
+        default="always",
+        help="journal durability mode (default: always — fsync per "
+        "group commit)",
+    )
+    serve_parser.add_argument(
+        "--build",
+        metavar="SPEC",
+        default=None,
+        help="AlvcStack.build arguments for a fresh state directory as "
+        "'key=value,key=value' (e.g. 'n_racks=8,seed=3'); rejected "
+        "when the directory already has a journal",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="largest request batch one group commit admits",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="bounded request queue depth (overflow is rejected)",
+    )
+    serve_parser.add_argument(
+        "--snapshot-on-exit",
+        action="store_true",
+        help="write a snapshot after the request stream ends, bounding "
+        "the next restore's replay work",
     )
     run_parser = subparsers.add_parser("run", help="run experiments by id")
     run_parser.add_argument(
@@ -404,6 +606,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "list":
         for exp_id in sorted(_REGISTRY):
             description, _ = _REGISTRY[exp_id]

@@ -1,0 +1,96 @@
+"""Typed engine selection — one config object for every backend knob.
+
+Three selector knobs grew organically across PRs 4–5:
+
+* ``kernel=`` on the cover functions (``"auto"``/``"set"``/``"bitset"``,
+  :mod:`repro.core.algorithms`);
+* ``engine=``/``routing_engine=`` on routing, the orchestrator and the
+  simulators (``"auto"``/``"csr"``/``"nx"``, :mod:`repro.sdn.routing`);
+* ``workers=`` on the parallel sweeps (:mod:`repro.parallel`).
+
+:class:`EngineConfig` unifies them behind one frozen, validated object
+accepted by :meth:`repro.stack.AlvcStack.build`::
+
+    stack = AlvcStack.build(
+        engines=EngineConfig(cover_kernel="bitset", routing="csr", workers=4)
+    )
+
+The stack threads the config through every collaborator (cluster
+manager, AL constructor, reconfigurators, orchestrator routing,
+sweep defaults) — no process-global state is touched.  The old
+keyword arguments (``routing_engine=`` on ``build``, explicit
+``workers=``/``kernel=`` on ``run_sweep``) keep working through
+``DeprecationWarning`` shims; see the migration table in
+``docs/api_guide.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.exceptions import ValidationError
+
+#: Recognized cover-kernel selectors (see :mod:`repro.core.algorithms`).
+COVER_KERNELS = ("auto", "set", "bitset")
+
+#: Recognized routing-engine selectors (see :mod:`repro.sdn.routing`).
+ROUTING_ENGINES = ("auto", "csr", "nx")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Which backend implementations a stack runs on.
+
+    Every selector is purely an implementation choice: all kernels and
+    engines are bit-identical on outputs, so an :class:`EngineConfig`
+    never changes an experiment's result — only its speed.
+
+    Attributes:
+        cover_kernel: set-cover kernel for AL construction and repair
+            (``"auto"`` picks bitset for universes of 64+ elements).
+        routing: path-computation backend (``"auto"`` picks the CSR
+            engine when the fabric's accessor caching is on).
+        workers: default worker-process count for seeded sweeps
+            (``1`` runs fully in-process).
+    """
+
+    cover_kernel: str = "auto"
+    routing: str = "auto"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cover_kernel not in COVER_KERNELS:
+            raise ValidationError(
+                f"unknown cover kernel {self.cover_kernel!r} "
+                f"(expected one of {', '.join(COVER_KERNELS)})"
+            )
+        if self.routing not in ROUTING_ENGINES:
+            raise ValidationError(
+                f"unknown routing engine {self.routing!r} "
+                f"(expected one of {', '.join(ROUTING_ENGINES)})"
+            )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ValidationError(
+                f"workers must be a positive integer, got {self.workers!r}"
+            )
+
+    @classmethod
+    def coerce(cls, value: "EngineConfig | dict | None") -> "EngineConfig":
+        """Normalize ``engines=`` input: None, a config, or a kwargs dict."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            try:
+                return cls(**value)
+            except TypeError as exc:
+                raise ValidationError(f"bad EngineConfig mapping: {exc}") from None
+        raise ValidationError(
+            f"engines must be an EngineConfig, a dict, or None, "
+            f"got {type(value).__name__}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (journal genesis records store this)."""
+        return dataclasses.asdict(self)

@@ -30,7 +30,7 @@ from repro.core.algorithms import (
     greedy_max_weight_cover,
     random_cover,
 )
-from repro.exceptions import CoverInfeasibleError, TopologyError
+from repro.exceptions import CoverInfeasibleError, TopologyError, ValidationError
 from repro.ids import ClusterId, OpsId, TorId
 from repro.observability.runtime import Telemetry, current_telemetry
 from repro.topology.datacenter import DataCenterNetwork
@@ -83,9 +83,18 @@ class AlConstructor:
         strategy: AlConstructionStrategy = AlConstructionStrategy.VERTEX_COVER_GREEDY,
         seed: int = 0,
         telemetry: Telemetry | None = None,
+        kernel: str = "auto",
     ) -> None:
+        from repro.config import COVER_KERNELS
+
+        if kernel not in COVER_KERNELS:
+            raise ValidationError(
+                f"unknown cover kernel {kernel!r} "
+                f"(expected one of {', '.join(COVER_KERNELS)})"
+            )
         self._dcn = dcn
         self._strategy = strategy
+        self._kernel = kernel
         self._rng = random.Random(seed)
         self._telemetry = (
             telemetry if telemetry is not None else current_telemetry()
@@ -125,6 +134,11 @@ class AlConstructor:
     def strategy(self) -> AlConstructionStrategy:
         """The algorithm this constructor runs."""
         return self._strategy
+
+    @property
+    def kernel(self) -> str:
+        """The cover kernel the stages run on (see :class:`EngineConfig`)."""
+        return self._kernel
 
     # ------------------------------------------------------------------
     def construct(
@@ -267,11 +281,17 @@ class AlConstructor:
             AlConstructionStrategy.VERTEX_COVER_GREEDY,
             AlConstructionStrategy.IN_DEGREE_GREEDY,
         ):
-            return greedy_max_weight_cover(universe, candidates, weights)
+            return greedy_max_weight_cover(
+                universe, candidates, weights, kernel=self._kernel
+            )
         if self._strategy is AlConstructionStrategy.MARGINAL_GREEDY:
-            return greedy_marginal_cover(universe, candidates)
+            return greedy_marginal_cover(
+                universe, candidates, kernel=self._kernel
+            )
         if self._strategy is AlConstructionStrategy.RANDOM:
-            return random_cover(universe, candidates, self._rng)
+            return random_cover(
+                universe, candidates, self._rng, kernel=self._kernel
+            )
         if self._strategy is AlConstructionStrategy.EXACT:
             return exact_min_cover(universe, candidates)
         raise TopologyError(f"unknown strategy {self._strategy!r}")

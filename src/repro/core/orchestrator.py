@@ -20,9 +20,11 @@ allocate each slice to a single NFC."
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import warnings
 
+from repro.config import EngineConfig
 from repro.core.chaining import ChainRequest, NetworkFunctionChain
 from repro.core.cluster import ClusterManager, VirtualCluster
 from repro.core.placement import (
@@ -33,6 +35,7 @@ from repro.core.placement import (
 )
 from repro.core.slicing import OpticalSlice, SliceAllocator
 from repro.exceptions import (
+    ALVCError,
     CoverInfeasibleError,
     DuplicateEntityError,
     PlacementError,
@@ -47,6 +50,8 @@ from repro.optical.conversion import ConversionModel
 from repro.sdn.controller import SdnController
 from repro.sdn.path_engine import engine_for
 from repro.sdn.routing import ROUTING_ENGINES, chain_path
+from repro.service.journal import NULL_RECORDER
+from repro.service.records import chain_to_spec, policy_to_spec
 from repro.topology.elements import Domain
 from repro.virtualization.machines import MachineInventory
 
@@ -70,6 +75,18 @@ class ProvisioningPlan:
     def conversions(self) -> int | None:
         """Predicted O/E/O conversions per flow (None when infeasible)."""
         return self.placement.conversions if self.placement else None
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class _ClusterContext:
+    """Per-cluster admission cache for :meth:`provision_chains`.
+
+    Holds only capacity-*independent* facts (candidate server order,
+    routing endpoints); free capacity is always probed live.
+    """
+
+    candidates: tuple[ServerId, ...]
+    vm_servers: tuple[ServerId, ...]
 
 
 #: Histogram buckets for virtual recovery time after an OPS failure.
@@ -148,6 +165,7 @@ class NetworkOrchestrator:
         host_policy: HostPolicy | None = None,
         telemetry: Telemetry | None = None,
         routing_engine: str = "auto",
+        engines: EngineConfig | dict | None = None,
     ) -> None:
         """Create an orchestrator over a populated inventory.
 
@@ -177,19 +195,37 @@ class NetworkOrchestrator:
                 and rerouting — ``"auto"``/``"csr"``/``"nx"``, see
                 :mod:`repro.sdn.routing` (bit-identical outputs; the
                 knob exists for parity tests and benchmarks).
+            engines: an :class:`~repro.config.EngineConfig` (or kwargs
+                dict) bundling every backend selector — routing engine
+                plus the cover kernel used for AL construction and
+                repair.  Supersedes ``routing_engine``; passing both
+                with conflicting values raises.
         """
         if routing_engine not in ROUTING_ENGINES:
             raise ValidationError(
                 f"unknown routing engine {routing_engine!r} "
                 f"(expected one of {', '.join(ROUTING_ENGINES)})"
             )
+        if engines is not None:
+            engines = EngineConfig.coerce(engines)
+            if routing_engine != "auto" and routing_engine != engines.routing:
+                raise ValidationError(
+                    f"conflicting routing selectors: routing_engine="
+                    f"{routing_engine!r} vs engines.routing="
+                    f"{engines.routing!r}; pass one"
+                )
+        else:
+            engines = EngineConfig(routing=routing_engine)
+        self._engines = engines
         self._telemetry = (
             telemetry if telemetry is not None else current_telemetry()
         )
-        self._routing_engine = routing_engine
+        self._routing_engine = engines.routing
         self._inventory = inventory
         self._clusters = cluster_manager or ClusterManager(
-            inventory, telemetry=self._telemetry
+            inventory,
+            telemetry=self._telemetry,
+            kernel=engines.cover_kernel,
         )
         self._nfv = nfv_manager or CloudNfvManager(
             inventory, telemetry=self._telemetry
@@ -209,6 +245,24 @@ class NetworkOrchestrator:
         self._actions: list[tuple[str, str]] = []
         self._failed_ops: set[OpsId] = set()
         self._degraded_chains: set[ChainId] = set()
+        self._recorder = NULL_RECORDER
+
+    def attach_recorder(self, recorder) -> None:
+        """Install the journal hook on this orchestrator and its NFV
+        manager (see :class:`~repro.service.journal.OpRecorder`).
+
+        The same recorder instance must be shared by every component of
+        one stack — the depth guard that keeps composite operations
+        single-record lives in the recorder.
+        """
+        self._recorder = recorder
+        if hasattr(self._nfv, "attach_recorder"):
+            self._nfv.attach_recorder(recorder)
+
+    @property
+    def engines(self) -> EngineConfig:
+        """The backend selectors this orchestrator runs on."""
+        return self._engines
 
     # ------------------------------------------------------------------
     # Admission control: dry-run planning
@@ -312,6 +366,100 @@ class NetworkOrchestrator:
         ``provision.placement_solve``, ``provision.deploy``,
         ``provision.route``).
         """
+        with self._recorder.operation() as outermost:
+            orchestrated = self._provision_chain(request, algorithm, None)
+            if outermost:
+                self._record_provision(request, algorithm)
+        return orchestrated
+
+    def provision_chains(
+        self,
+        requests: list[ChainRequest],
+        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+        *,
+        on_error: str = "raise",
+    ) -> list:
+        """Batch admission: provision many chains in one pass.
+
+        Semantically identical to calling :meth:`provision_chain` once
+        per request **in order** — same placements, same paths, same
+        journal records — but cheaper in two ways:
+
+        * every journal append of the batch shares one group commit
+          (one fsync per batch instead of one per chain);
+        * per-cluster admission context (the electronic-host candidate
+          order and the routing endpoints, both independent of free
+          *capacity*) is computed once per cluster instead of once per
+          chain.  Nothing inside a provisioning batch moves VMs or
+          changes ALs, so the cache cannot go stale mid-batch.
+
+        Args:
+            requests: chain requests, admitted in list order.
+            algorithm: placement algorithm for every request.
+            on_error: ``"raise"`` propagates the first failure
+                (requests already admitted stay admitted);
+                ``"collect"`` records the exception object in the
+                result slot and continues with the next request.
+
+        Returns:
+            One entry per request, in order: the
+            :class:`OrchestratedChain`, or (``on_error="collect"``)
+            the :class:`~repro.exceptions.ALVCError` that rejected it.
+        """
+        if on_error not in ("raise", "collect"):
+            raise ValidationError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
+            )
+        journal = self._recorder.journal
+        scope = (
+            journal.batch()
+            if self._recorder.active and journal is not None
+            else contextlib.nullcontext()
+        )
+        contexts: dict = {}
+        results: list = []
+        with scope:
+            for request in requests:
+                try:
+                    with self._recorder.operation() as outermost:
+                        orchestrated = self._provision_chain(
+                            request, algorithm, contexts
+                        )
+                        if outermost:
+                            self._record_provision(request, algorithm)
+                    results.append(orchestrated)
+                except ALVCError as exc:
+                    if on_error == "raise":
+                        raise
+                    results.append(exc)
+        if self._telemetry.enabled:
+            self._telemetry.counter(
+                "alvc_provision_batches_total",
+                "provision_chains batches admitted",
+            ).inc()
+        return results
+
+    def _record_provision(
+        self, request: ChainRequest, algorithm: PlacementAlgorithm
+    ) -> None:
+        if not self._recorder.active:
+            return
+        self._recorder.record(
+            "provision",
+            entry="orchestrator",
+            tenant=request.tenant,
+            service=request.service,
+            chain={"spec": chain_to_spec(request.chain)},
+            flow_size_gb=request.flow_size_gb,
+            algorithm=algorithm.value,
+        )
+
+    def _provision_chain(
+        self,
+        request: ChainRequest,
+        algorithm: PlacementAlgorithm,
+        contexts: dict | None,
+    ) -> OrchestratedChain:
         telemetry = self._telemetry
         chain = request.chain
         with telemetry.span(
@@ -326,6 +474,13 @@ class NetworkOrchestrator:
                     raise DuplicateEntityError(
                         "chain on cluster", cluster.cluster_id
                     )
+            ctx = None
+            if contexts is not None:
+                ctx = contexts.get(cluster.cluster_id)
+                if ctx is None:
+                    ctx = contexts[cluster.cluster_id] = (
+                        self._cluster_context(cluster)
+                    )
             with telemetry.span("provision.slice_allocation"):
                 allocated_here = False
                 if users:
@@ -339,7 +494,7 @@ class NetworkOrchestrator:
                     allocated_here = True
             try:
                 placement, vnf_ids, path = self._deploy(
-                    request, cluster, algorithm
+                    request, cluster, algorithm, ctx
                 )
             except Exception:
                 if allocated_here:
@@ -378,6 +533,7 @@ class NetworkOrchestrator:
         request: ChainRequest,
         cluster: VirtualCluster,
         algorithm: PlacementAlgorithm,
+        ctx: "_ClusterContext | None" = None,
     ) -> tuple[ChainPlacement, tuple[VnfId, ...], list[str]]:
         telemetry = self._telemetry
         chain = request.chain
@@ -385,6 +541,8 @@ class NetworkOrchestrator:
             placement = self._solver_for(cluster).solve(chain, algorithm)
         vnf_ids: list[VnfId] = []
         deployed_hosts: list[str] = []
+        vm_id_marks = self._inventory.id_marks()
+        vnf_id_marks = self._nfv.id_marks()
         try:
             with telemetry.span("provision.deploy"):
                 for placed in placement.assignments:
@@ -394,7 +552,7 @@ class NetworkOrchestrator:
                         )
                     else:
                         server = self._electronic_host(
-                            cluster, placed.function
+                            cluster, placed.function, ctx
                         )
                         instance = self._nfv.deploy_electronic(
                             placed.function.name, server=server
@@ -402,19 +560,24 @@ class NetworkOrchestrator:
                     vnf_ids.append(instance.vnf_id)
                     deployed_hosts.append(instance.host)
             with telemetry.span("provision.route"):
-                path = self._route(request, cluster, deployed_hosts)
+                path = self._route(request, cluster, deployed_hosts, ctx)
         except Exception:
             for vnf in vnf_ids:
                 self._nfv.terminate(vnf)
+            # Rewind both allocators too: a failed provision journals
+            # nothing, so the ids it burned must come back — replay
+            # allocates the same ids only if failures are traceless.
+            self._nfv.rewind_ids(vnf_id_marks)
+            self._inventory.rewind_ids(vm_id_marks)
             raise
         return placement, tuple(vnf_ids), path
 
-    def _electronic_host(self, cluster: VirtualCluster, function) -> ServerId:
-        """A server inside the cluster's reach with room for the VNF.
+    def _cluster_context(self, cluster: VirtualCluster) -> "_ClusterContext":
+        """Capacity-independent admission context for one cluster.
 
-        Preference order: servers hosting the cluster's VMs, then any
-        server attached to one of the AL's selected ToRs — either keeps
-        the chain path inside the abstraction layer.
+        Both pieces depend only on VM placements and the cluster's AL —
+        neither changes inside a provisioning batch — so caching them
+        across a batch admits the same chains a serial loop would.
         """
         cluster_servers = sorted(
             {
@@ -431,7 +594,29 @@ class NetworkOrchestrator:
             }
             - set(cluster_servers)
         )
-        for server in (*cluster_servers, *al_servers):
+        return _ClusterContext(
+            candidates=(*cluster_servers, *al_servers),
+            vm_servers=tuple(cluster_servers),
+        )
+
+    def _electronic_host(
+        self,
+        cluster: VirtualCluster,
+        function,
+        ctx: "_ClusterContext | None" = None,
+    ) -> ServerId:
+        """A server inside the cluster's reach with room for the VNF.
+
+        Preference order: servers hosting the cluster's VMs, then any
+        server attached to one of the AL's selected ToRs — either keeps
+        the chain path inside the abstraction layer.
+        """
+        candidates = (
+            ctx.candidates
+            if ctx is not None
+            else self._cluster_context(cluster).candidates
+        )
+        for server in candidates:
             if function.demand.fits_within(
                 self._inventory.remaining_capacity(server)
             ):
@@ -446,14 +631,21 @@ class NetworkOrchestrator:
         request: ChainRequest,
         cluster: VirtualCluster,
         hosts: list[str],
+        ctx: "_ClusterContext | None" = None,
     ) -> list[str]:
         """Route ingress → VNF hosts (in order) → egress inside the AL."""
-        vm_servers = sorted(
-            {
-                self._inventory.host_of(vm)
-                for vm in cluster.vm_ids
-                if self._inventory.is_placed(vm)
-            }
+        vm_servers = (
+            ctx.vm_servers
+            if ctx is not None
+            else tuple(
+                sorted(
+                    {
+                        self._inventory.host_of(vm)
+                        for vm in cluster.vm_ids
+                        if self._inventory.is_placed(vm)
+                    }
+                )
+            )
         )
         ingress = vm_servers[0]
         egress = vm_servers[-1]
@@ -493,8 +685,16 @@ class NetworkOrchestrator:
         """
         from repro.core.reconfiguration import AlReconfigurator
 
-        with self._telemetry.span("vm_migration", vm=str(vm)):
-            return self._handle_vm_migration(vm, new_server, AlReconfigurator)
+        with self._recorder.operation() as outermost:
+            with self._telemetry.span("vm_migration", vm=str(vm)):
+                result = self._handle_vm_migration(
+                    vm, new_server, AlReconfigurator
+                )
+            if outermost:
+                self._recorder.record(
+                    "vm_migrate", vm=vm, server=new_server
+                )
+        return result
 
     def _handle_vm_migration(
         self, vm: str, new_server: ServerId, AlReconfigurator
@@ -502,45 +702,70 @@ class NetworkOrchestrator:
         cluster = self._clusters.cluster_of_service(
             self._inventory.get(vm).service
         )
-        self._inventory.migrate(vm, new_server)
-
-        attachments = {
-            member: self._inventory.tors_of_vm(member)
-            for member in sorted(cluster.vm_ids)
-            if self._inventory.is_placed(member)
-        }
-        reconfigurator = AlReconfigurator(
-            self._inventory.network,
-            cluster.abstraction_layer,
-            {m: t for m, t in attachments.items() if m != vm},
-        )
-        available = self._clusters.free_ops()
-        result = reconfigurator.add_vm(vm, attachments[vm], available)
-        repaired = dataclasses.replace(
-            cluster, abstraction_layer=reconfigurator.layer
-        )
-        self._clusters.replace_cluster(repaired)
-        # Keep the optical slice congruent with the repaired AL.
-        updated_slice = None
-        if self._slice_users.get(cluster.cluster_id):
-            current_slice = self._slices.slice_of_cluster(
-                cluster.cluster_id
+        old_server = self._inventory.migrate(vm, new_server)
+        # Every mutation past this point is tracked so a failure rolls
+        # the whole event back: a failed migration journals nothing, so
+        # it must also change nothing (the replay-parity invariant).
+        slice_id = None
+        slice_additions: frozenset = frozenset()
+        replaced = False
+        rerouted_originals: list = []
+        try:
+            attachments = {
+                member: self._inventory.tors_of_vm(member)
+                for member in sorted(cluster.vm_ids)
+                if self._inventory.is_placed(member)
+            }
+            reconfigurator = AlReconfigurator(
+                self._inventory.network,
+                cluster.abstraction_layer,
+                {m: t for m, t in attachments.items() if m != vm},
+                kernel=self._engines.cover_kernel,
+                recorder=self._recorder,
             )
-            updated_slice = self._slices.extend(
-                current_slice.slice_id, repaired.al_switches
+            available = self._clusters.free_ops()
+            result = reconfigurator.add_vm(vm, attachments[vm], available)
+            repaired = dataclasses.replace(
+                cluster, abstraction_layer=reconfigurator.layer
             )
-
-        rerouted = 0
-        for live in list(self._chains.values()):
-            if live.cluster.cluster_id != cluster.cluster_id:
-                continue
-            updated = self._reroute_chain(live, repaired)
-            if updated_slice is not None:
-                updated = dataclasses.replace(
-                    updated, optical_slice=updated_slice
+            self._clusters.replace_cluster(repaired)
+            replaced = True
+            # Keep the optical slice congruent with the repaired AL.
+            updated_slice = None
+            if self._slice_users.get(cluster.cluster_id):
+                current_slice = self._slices.slice_of_cluster(
+                    cluster.cluster_id
                 )
-            self._chains[updated.chain_id] = updated
-            rerouted += 1
+                updated_slice = self._slices.extend(
+                    current_slice.slice_id, repaired.al_switches
+                )
+                slice_id = current_slice.slice_id
+                slice_additions = (
+                    updated_slice.switches - current_slice.switches
+                )
+
+            rerouted = 0
+            for live in list(self._chains.values()):
+                if live.cluster.cluster_id != cluster.cluster_id:
+                    continue
+                updated = self._reroute_chain(live, repaired)
+                if updated_slice is not None:
+                    updated = dataclasses.replace(
+                        updated, optical_slice=updated_slice
+                    )
+                self._chains[updated.chain_id] = updated
+                rerouted_originals.append(live)
+                rerouted += 1
+        except Exception:
+            for original in reversed(rerouted_originals):
+                self._restore_route(original)
+                self._chains[original.chain_id] = original
+            if slice_id is not None and slice_additions:
+                self._slices.shrink(slice_id, slice_additions)
+            if replaced:
+                self._clusters.replace_cluster(cluster)
+            self._inventory.migrate(vm, old_server)
+            raise
         self._actions.append(("migrate", vm))
         if self._telemetry.enabled:
             self._telemetry.counter(
@@ -554,6 +779,17 @@ class NetworkOrchestrator:
             "switches_touched": result.cost,
             "chains_rerouted": rerouted,
         }
+
+    def _restore_route(self, original: OrchestratedChain) -> None:
+        """Re-point a chain's flow at its previous path (rollback)."""
+        path = list(original.path)
+        if self._sdn.has_flow(original.chain_id):
+            if len(path) >= 2:
+                self._sdn.reroute(original.chain_id, path)
+            else:
+                self._sdn.remove_flow(original.chain_id)
+        elif len(path) >= 2:
+            self._sdn.install_path(original.chain_id, path)
 
     def _reroute_chain(
         self, live: OrchestratedChain, cluster: VirtualCluster
@@ -628,8 +864,21 @@ class NetworkOrchestrator:
             raise UnknownEntityError("optical switch", failed)
         if failed in self._failed_ops:
             raise DuplicateEntityError("failed ops", failed)
-        with self._telemetry.span("ops_failure", ops=str(failed)):
-            recovery = self._handle_ops_failure(failed, policy)
+        with self._recorder.operation() as outermost:
+            # Serialize the policy *before* mutating anything: an
+            # unjournalable (opaque duck-typed) policy must fail the
+            # call, not leave a command the journal cannot replay.
+            policy_spec = (
+                policy_to_spec(policy)
+                if outermost and self._recorder.active
+                else None
+            )
+            with self._telemetry.span("ops_failure", ops=str(failed)):
+                recovery = self._handle_ops_failure(failed, policy)
+            if outermost:
+                self._recorder.record(
+                    "ops_failure", ops=failed, policy=policy_spec
+                )
         if self._telemetry.enabled:
             self._telemetry.counter(
                 "alvc_ops_failures_total",
@@ -687,6 +936,8 @@ class NetworkOrchestrator:
                 cluster.abstraction_layer,
                 attachments,
                 failed_ops=self._failed_ops - {failed},
+                kernel=self._engines.cover_kernel,
+                recorder=self._recorder,
             )
             available = self._clusters.free_ops() - self._failed_ops
 
@@ -792,11 +1043,14 @@ class NetworkOrchestrator:
         """
         if ops not in self._failed_ops:
             raise UnknownEntityError("failed ops", ops)
-        self._failed_ops.discard(ops)
-        # Repair is an availability change too — same invalidation as
-        # the failure itself.
-        engine_for(self._inventory.network).note_fault()
-        self._actions.append(("ops_repair", ops))
+        with self._recorder.operation() as outermost:
+            self._failed_ops.discard(ops)
+            # Repair is an availability change too — same invalidation
+            # as the failure itself.
+            engine_for(self._inventory.network).note_fault()
+            self._actions.append(("ops_repair", ops))
+            if outermost:
+                self._recorder.record("ops_repair", ops=ops)
 
     @property
     def failed_ops(self) -> frozenset:
@@ -817,16 +1071,24 @@ class NetworkOrchestrator:
         algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
     ) -> OrchestratedChain:
         """Replace a chain's function list, re-placing and re-routing."""
-        old = self.chain(chain_id)
-        self.teardown_chain(chain_id)
-        new_request = ChainRequest(
-            tenant=old.request.tenant,
-            chain=new_chain,
-            service=old.request.service,
-            flow_size_gb=old.request.flow_size_gb,
-        )
-        result = self.provision_chain(new_request, algorithm)
-        self._actions.append(("modify", new_chain.chain_id))
+        with self._recorder.operation() as outermost:
+            old = self.chain(chain_id)
+            self.teardown_chain(chain_id)
+            new_request = ChainRequest(
+                tenant=old.request.tenant,
+                chain=new_chain,
+                service=old.request.service,
+                flow_size_gb=old.request.flow_size_gb,
+            )
+            result = self.provision_chain(new_request, algorithm)
+            self._actions.append(("modify", new_chain.chain_id))
+            if outermost and self._recorder.active:
+                self._recorder.record(
+                    "modify",
+                    chain_id=chain_id,
+                    new_chain=chain_to_spec(new_chain),
+                    algorithm=algorithm.value,
+                )
         return result
 
     def upgrade_chain(self, chain_id: ChainId) -> int:
@@ -834,10 +1096,13 @@ class NetworkOrchestrator:
 
         Returns the number of VNFs updated.
         """
-        live = self.chain(chain_id)
-        for vnf in live.vnf_ids:
-            self._nfv.update(vnf, reason=f"upgrade {chain_id}")
-        self._actions.append(("upgrade", chain_id))
+        with self._recorder.operation() as outermost:
+            live = self.chain(chain_id)
+            for vnf in live.vnf_ids:
+                self._nfv.update(vnf, reason=f"upgrade {chain_id}")
+            self._actions.append(("upgrade", chain_id))
+            if outermost:
+                self._recorder.record("upgrade", chain_id=chain_id)
         return len(live.vnf_ids)
 
     def teardown_chain(self, chain_id: ChainId) -> None:
@@ -846,7 +1111,7 @@ class NetworkOrchestrator:
 
         The action log keeps the paper's lifecycle verb (``"delete"``).
         """
-        with self._telemetry.span(
+        with self._recorder.operation() as outermost, self._telemetry.span(
             "teardown_chain", chain=str(chain_id)
         ):
             live = self.chain(chain_id)
@@ -864,6 +1129,8 @@ class NetworkOrchestrator:
             self._telemetry.counter(
                 "alvc_chains_torn_down_total", "NFCs torn down"
             ).inc()
+            if outermost:
+                self._recorder.record("teardown", chain_id=chain_id)
 
     def delete_chain(self, chain_id: ChainId) -> None:
         """Deprecated alias of :meth:`teardown_chain`.
@@ -871,7 +1138,14 @@ class NetworkOrchestrator:
         The orchestrator/facade surface was normalized to consistent
         ``*_chain`` verbs (``plan_chain`` / ``provision_chain`` /
         ``modify_chain`` / ``upgrade_chain`` / ``teardown_chain``); this
-        shim keeps pre-rename callers working.
+        shim keeps pre-rename callers working.  It routes through the
+        journaled teardown path, so durable-service deployments replay
+        it correctly.
+
+        .. deprecated:: PR 6
+            Scheduled for removal two releases after the durable
+            service ships (the v1.0 cut); migrate to
+            :meth:`teardown_chain` before then.
         """
         warnings.warn(
             "NetworkOrchestrator.delete_chain is deprecated; use "

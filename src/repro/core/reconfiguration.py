@@ -61,9 +61,18 @@ class AlReconfigurator:
         machine_attachments: Mapping[str, Iterable[TorId]],
         *,
         failed_ops: Iterable[OpsId] = (),
+        kernel: str = "auto",
+        recorder=None,
     ) -> None:
+        from repro.service.journal import NULL_RECORDER
+
         self._dcn = dcn
         self._layer = layer
+        self._kernel = kernel
+        # Annotation hook: repairs running inside a journaled command
+        # leave nested=True audit rows in the state journal (never
+        # replayed — the parent command reproduces them).
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
         self._attachments = {
             machine: list(tors)
             for machine, tors in machine_attachments.items()
@@ -135,6 +144,7 @@ class AlReconfigurator:
             )
         result = self._extend_to(tor_list, available_ops)
         self._attachments[machine] = tor_list
+        self._annotate("add_vm", result)
         return result
 
     def _extend_to(
@@ -197,9 +207,11 @@ class AlReconfigurator:
         self._layer = dataclasses.replace(
             self._layer, tor_ids=pruned_tors, ops_ids=frozenset(kept_ops)
         )
-        return ReconfigurationResult(
+        result = ReconfigurationResult(
             layer=self._layer, touched_switches=frozenset(touched)
         )
+        self._annotate("remove_vm", result)
+        return result
 
     # ------------------------------------------------------------------
     # Failure handling
@@ -238,11 +250,24 @@ class AlReconfigurator:
         try:
             new_ops = self._resolve_ops_stage(self._layer.tor_ids, pool)
         except CoverInfeasibleError:
-            return self._rebuild_after_failure(failed, pool)
+            result = self._rebuild_after_failure(failed, pool)
+            self._annotate("ops_failure", result)
+            return result
         touched = ({failed} | new_ops | survivors) - (survivors & new_ops)
         self._layer = dataclasses.replace(self._layer, ops_ids=new_ops)
-        return ReconfigurationResult(
+        result = ReconfigurationResult(
             layer=self._layer, touched_switches=frozenset(touched)
+        )
+        self._annotate("ops_failure", result)
+        return result
+
+    def _annotate(self, action: str, result: ReconfigurationResult) -> None:
+        self._recorder.annotate(
+            "al_reconfig",
+            action=action,
+            cost=result.cost,
+            rebuilt=result.rebuilt,
+            cluster=str(result.layer.cluster),
         )
 
     def _resolve_ops_stage(
@@ -255,7 +280,7 @@ class AlReconfigurator:
                 candidates[ops] = covered
         weights = {ops: len(covered) for ops, covered in candidates.items()}
         result: CoverResult = greedy_max_weight_cover(
-            tors, candidates, weights
+            tors, candidates, weights, kernel=self._kernel
         )
         return frozenset(result.selected)
 
@@ -264,7 +289,7 @@ class AlReconfigurator:
     ) -> ReconfigurationResult:
         from repro.core.abstraction_layer import AlConstructor
 
-        constructor = AlConstructor(self._dcn)
+        constructor = AlConstructor(self._dcn, kernel=self._kernel)
         old = self._layer
         new_layer = constructor.construct(
             old.cluster, self._attachments, available_ops=pool

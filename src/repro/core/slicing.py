@@ -169,6 +169,33 @@ class SliceAllocator:
         self._slices[extended] = updated
         return updated
 
+    def shrink(
+        self, shrunk: SliceId, removed_switches
+    ) -> OpticalSlice:
+        """Undo an extension: drop switches from a slice.
+
+        The rollback path for :meth:`extend` — a failed command that
+        grew a slice mid-way must be able to put it back exactly.
+
+        Raises:
+            SlicingError: when the slice is unknown or would shrink to
+                zero switches.
+        """
+        try:
+            old = self._slices[shrunk]
+        except KeyError:
+            raise SlicingError(f"unknown slice {shrunk}") from None
+        removals = frozenset(removed_switches) & old.switches
+        if not removals:
+            return old
+        assignment = self._assigner.shrink(shrunk, removals)
+        if self._ports is not None:
+            for switch in sorted(removals):
+                self._ports.release(switch, shrunk)
+        updated = dataclasses.replace(old, switches=assignment.switches)
+        self._slices[shrunk] = updated
+        return updated
+
     def release(self, released: SliceId) -> OpticalSlice:
         """Release a slice, returning its wavelength to the pool."""
         try:

@@ -217,7 +217,17 @@ class QuotaGuard:
             )
 
     def delete_chain(self, chain_id: ChainId) -> None:
-        """Deprecated alias of :meth:`teardown_chain`."""
+        """Deprecated alias of :meth:`teardown_chain`.
+
+        Delegates to :meth:`teardown_chain`, whose orchestrator call is
+        the journaled teardown path — durable-service deployments
+        replay shimmed deletions correctly.
+
+        .. deprecated:: PR 6
+            Scheduled for removal two releases after the durable
+            service ships (the v1.0 cut); migrate to
+            :meth:`teardown_chain` before then.
+        """
         warnings.warn(
             "QuotaGuard.delete_chain is deprecated; use teardown_chain "
             "(same semantics)",

@@ -96,3 +96,15 @@ class SimulationError(ALVCError):
 
 class RoutingError(ALVCError):
     """No feasible path exists for a routing request."""
+
+
+class JournalError(ALVCError):
+    """A state-journal record could not be written or validated."""
+
+
+class JournalCorruptError(JournalError):
+    """The journal file's framing or checksums are unreadable."""
+
+
+class SnapshotError(ALVCError):
+    """A state snapshot could not be written, read, or verified."""

@@ -126,3 +126,16 @@ class IdAllocator:
     def reserve(self, factory, count: int) -> list[str]:
         """Allocate ``count`` consecutive ids at once."""
         return [self.allocate(factory) for _ in range(count)]
+
+    def mark(self) -> dict[str, int]:
+        """Snapshot the allocation cursors (pair with :meth:`rewind`)."""
+        return dict(self._next)
+
+    def rewind(self, marks: dict[str, int]) -> None:
+        """Rewind to a :meth:`mark` snapshot.
+
+        The rollback half of transactional commands: ids handed out by
+        an operation that failed are returned to the pool, so a replayed
+        history allocates the exact same ids the live run did.
+        """
+        self._next = dict(marks)

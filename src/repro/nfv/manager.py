@@ -58,6 +58,24 @@ class CloudNfvManager:
         self._ids = IdAllocator()
         self._instances: dict[VnfId, VnfInstance] = {}
         self._carrier_vms: dict[VnfId, str] = {}
+        # Journal hook (shared with the orchestrator); a direct scale or
+        # migrate call is a top-level command, the same call made inside
+        # an orchestrator operation is suppressed by the depth guard.
+        from repro.service.journal import NULL_RECORDER
+
+        self._recorder = NULL_RECORDER
+
+    def attach_recorder(self, recorder) -> None:
+        """Install the journal hook (see :class:`OpRecorder`)."""
+        self._recorder = recorder
+
+    def id_marks(self) -> dict[str, int]:
+        """Snapshot the VNF id allocator (pair with :meth:`rewind_ids`)."""
+        return self._ids.mark()
+
+    def rewind_ids(self, marks: dict[str, int]) -> None:
+        """Rewind the VNF id allocator to an :meth:`id_marks` snapshot."""
+        self._ids.rewind(marks)
 
     # ------------------------------------------------------------------
     # Deployment
@@ -151,6 +169,13 @@ class CloudNfvManager:
         The new reservation must fit its current host; scaling never
         migrates.
         """
+        with self._recorder.operation() as outermost:
+            updated = self._scale(vnf, factor)
+            if outermost:
+                self._recorder.record("vnf_scale", vnf=vnf, factor=factor)
+        return updated
+
+    def _scale(self, vnf: VnfId, factor: float) -> VnfInstance:
         if factor <= 0:
             raise ValidationError(f"scale factor must be positive, got {factor}")
         instance = self.instance_of(vnf)
@@ -188,17 +213,19 @@ class CloudNfvManager:
         else:
             carrier_id = self._carrier_vms[instance.vnf_id]
             server = self._inventory.host_of(carrier_id)
+            original = self._inventory.get(carrier_id)
+            id_marks = self._inventory.id_marks()
             self._inventory.remove(carrier_id)
             new_carrier = self._inventory.create_vm(NFV_INFRA_SERVICE, new_demand)
             try:
                 self._inventory.place(new_carrier, server)
             except PlacementError:
+                # Roll back verbatim: the original carrier returns under
+                # its original id and the allocator rewinds — a failed
+                # scale leaves no trace for replay to miss.
                 self._inventory.remove(new_carrier)
-                restored = self._inventory.create_vm(
-                    NFV_INFRA_SERVICE, instance.function.demand
-                )
-                self._inventory.place(restored, server)
-                self._carrier_vms[instance.vnf_id] = restored.vm_id
+                self._inventory.rewind_ids(id_marks)
+                self._inventory.reinstate(original, server)
                 raise
             self._carrier_vms[instance.vnf_id] = new_carrier.vm_id
 
@@ -226,6 +253,13 @@ class CloudNfvManager:
                 stays where it was).
             UnknownEntityError: on an unknown VNF or target host.
         """
+        with self._recorder.operation() as outermost:
+            updated = self._migrate(vnf, new_host)
+            if outermost:
+                self._recorder.record("vnf_migrate", vnf=vnf, host=new_host)
+        return updated
+
+    def _migrate(self, vnf: VnfId, new_host: str) -> VnfInstance:
         instance = self.instance_of(vnf)
         if instance.host == new_host:
             raise ValidationError(

@@ -137,6 +137,29 @@ class WavelengthAssigner:
         self._assignments[slice_id] = extended
         return extended
 
+    def shrink(
+        self, slice_id: SliceId, removed_switches: Iterable[OpsId]
+    ) -> WavelengthAssignment:
+        """Drop switches from a slice's assignment (extension rollback).
+
+        Raises:
+            SlicingError: when the slice is unknown or the shrink would
+                leave it with no switches.
+        """
+        current = self.assignment_of(slice_id)
+        remaining = current.switches - frozenset(removed_switches)
+        if not remaining:
+            raise SlicingError(
+                f"slice {slice_id} cannot shrink to zero switches"
+            )
+        shrunk = WavelengthAssignment(
+            slice_id=slice_id,
+            wavelength=current.wavelength,
+            switches=remaining,
+        )
+        self._assignments[slice_id] = shrunk
+        return shrunk
+
     def release(self, slice_id: SliceId) -> None:
         """Return a slice's wavelength to the pool."""
         if slice_id not in self._assignments:

@@ -1,0 +1,99 @@
+"""Durable control-plane service: journal, snapshot/replay, front-end.
+
+The package behind ``AlvcStack.serve()`` / ``AlvcStack.restore()`` and
+``repro-cli serve``:
+
+* :mod:`~repro.service.records` — versioned, schema-checked op records;
+* :mod:`~repro.service.journal` — CRC-framed append-only journal with
+  group commit, plus the :class:`OpRecorder` hooks the orchestrator and
+  facade call at mutation commit points;
+* :mod:`~repro.service.snapshot` — pickled-stack snapshots and the
+  canonical :func:`state_digest` parity oracle;
+* :mod:`~repro.service.restore` — snapshot + journal-tail replay;
+* :mod:`~repro.service.frontend` — typed requests over a bounded
+  asyncio queue with batch admission;
+* :mod:`~repro.service.service` — :class:`ControlPlaneService`, the
+  state-directory convention tying it all together.
+"""
+
+from repro.service.frontend import (
+    FaultReport,
+    ProvisionRequest,
+    RepairReport,
+    RequestFrontend,
+    Response,
+    TeardownRequest,
+)
+from repro.service.journal import (
+    Journal,
+    NULL_RECORDER,
+    NullRecorder,
+    OpRecorder,
+    ReadResult,
+    read_journal,
+)
+from repro.service.records import (
+    OpRecord,
+    RECORD_VERSION,
+    REPLAYED_OPS,
+    SCHEMAS,
+    chain_from_spec,
+    chain_to_spec,
+    policy_from_spec,
+    policy_to_spec,
+    validate_record,
+)
+from repro.service.restore import (
+    RestoreResult,
+    apply_record,
+    replay,
+    restore_stack,
+)
+from repro.service.service import (
+    ControlPlaneService,
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+)
+from repro.service.snapshot import (
+    SnapshotRecord,
+    load_snapshot,
+    state_digest,
+    state_view,
+    write_snapshot,
+)
+
+__all__ = [
+    "ControlPlaneService",
+    "FaultReport",
+    "JOURNAL_NAME",
+    "Journal",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "OpRecord",
+    "OpRecorder",
+    "ProvisionRequest",
+    "RECORD_VERSION",
+    "REPLAYED_OPS",
+    "ReadResult",
+    "RepairReport",
+    "RequestFrontend",
+    "Response",
+    "RestoreResult",
+    "SCHEMAS",
+    "SNAPSHOT_NAME",
+    "SnapshotRecord",
+    "TeardownRequest",
+    "apply_record",
+    "chain_from_spec",
+    "chain_to_spec",
+    "load_snapshot",
+    "policy_from_spec",
+    "policy_to_spec",
+    "read_journal",
+    "replay",
+    "restore_stack",
+    "state_digest",
+    "state_view",
+    "validate_record",
+    "write_snapshot",
+]

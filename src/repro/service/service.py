@@ -1,0 +1,171 @@
+"""``ControlPlaneService`` — one state directory, one durable stack.
+
+The service owns the layout convention the CLI and tests share::
+
+    <state_dir>/journal.alvc    append-only state journal
+    <state_dir>/snapshot.alvc   latest snapshot (atomic replace)
+
+:meth:`ControlPlaneService.open` is the only entry point: on a fresh
+directory it builds a new :class:`~repro.stack.AlvcStack` with a
+journaled genesis record; on an existing one it restores —
+snapshot-plus-tail when the snapshot is good, full genesis replay when
+it is missing or torn — and reopens the journal for append.  Either
+way the caller gets a stack whose mutations are durably journaled from
+the first call.
+
+Typical lifetime::
+
+    with ControlPlaneService.open("state/", n_racks=8) as service:
+        service.stack.provision(("firewall", "nat"), service="web")
+        service.snapshot()          # bound future restore time
+    # process dies here; later:
+    with ControlPlaneService.open("state/") as service:
+        assert service.stack.chains()          # state survived
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.service.journal import Journal
+from repro.service.restore import RestoreResult, restore_stack
+from repro.service.snapshot import state_digest, write_snapshot
+
+JOURNAL_NAME = "journal.alvc"
+SNAPSHOT_NAME = "snapshot.alvc"
+
+
+class ControlPlaneService:
+    """A journaled stack bound to a state directory (see module docs)."""
+
+    def __init__(
+        self,
+        stack,
+        journal: Journal,
+        state_dir: Path,
+        *,
+        restore_result: RestoreResult | None = None,
+    ) -> None:
+        """Bind pre-built parts; prefer :meth:`open`."""
+        self._stack = stack
+        self._journal = journal
+        self._state_dir = Path(state_dir)
+        self._restore_result = restore_result
+
+    @classmethod
+    def open(
+        cls,
+        state_dir: str | Path,
+        *,
+        sync: str = "always",
+        **build_kwargs,
+    ) -> "ControlPlaneService":
+        """Open (restoring) or initialize (building) a state directory.
+
+        Args:
+            state_dir: directory holding the journal and snapshot.
+            sync: journal durability mode (``"always"`` / ``"off"``).
+            **build_kwargs: :meth:`AlvcStack.build` arguments, used only
+                when the directory has no journal yet.  On restore the
+                genesis record is authoritative and ``build_kwargs``
+                must be empty (a changed topology cannot replay an old
+                journal).
+
+        Raises:
+            ValidationError: build_kwargs passed for an existing
+                journal.
+        """
+        from repro.exceptions import ValidationError
+        from repro.stack import AlvcStack
+
+        state_dir = Path(state_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+        journal_path = state_dir / JOURNAL_NAME
+        snapshot_path = state_dir / SNAPSHOT_NAME
+        if journal_path.exists():
+            if build_kwargs:
+                raise ValidationError(
+                    f"{state_dir} already has a journal; its genesis "
+                    f"record defines the topology — drop the build "
+                    f"arguments ({', '.join(sorted(build_kwargs))}) or "
+                    f"point at a fresh directory"
+                )
+            result = restore_stack(journal_path, snapshot_path)
+            stack = result.stack
+            journal = Journal(
+                journal_path, sync=sync, telemetry=stack.telemetry
+            )
+            stack.attach_journal(journal)
+            return cls(
+                stack, journal, state_dir, restore_result=result
+            )
+        stack = AlvcStack.build(
+            journal=journal_path, sync=sync, **build_kwargs
+        )
+        return cls(stack, stack.journal, state_dir)
+
+    # ------------------------------------------------------------------
+    @property
+    def stack(self):
+        """The journaled stack (full facade API)."""
+        return self._stack
+
+    @property
+    def journal(self) -> Journal:
+        """The open state journal."""
+        return self._journal
+
+    @property
+    def state_dir(self) -> Path:
+        """The service's durable-state directory."""
+        return self._state_dir
+
+    @property
+    def restore_result(self) -> RestoreResult | None:
+        """How this service came back up (None for a fresh directory)."""
+        return self._restore_result
+
+    @property
+    def snapshot_path(self) -> Path:
+        """Where :meth:`snapshot` writes."""
+        return self._state_dir / SNAPSHOT_NAME
+
+    def snapshot(self) -> Path:
+        """Write a snapshot at the journal's current position.
+
+        Bounds future restore work to the records appended after this
+        call; the write is atomic (tmp + rename), so a crash mid-write
+        leaves the previous snapshot usable.
+        """
+        path = write_snapshot(
+            self._stack,
+            self.snapshot_path,
+            journal_seq=self._journal.next_seq,
+        )
+        telemetry = self._stack.telemetry
+        if telemetry.enabled:
+            telemetry.counter(
+                "alvc_snapshot_total", "snapshots written"
+            ).inc()
+        return path
+
+    def digest(self) -> str:
+        """The stack's canonical state digest (parity oracle)."""
+        return state_digest(self._stack)
+
+    def frontend(self, **options):
+        """A :class:`~repro.service.frontend.RequestFrontend` over the
+        stack (``max_queue=`` / ``max_batch=`` pass through)."""
+        from repro.service.frontend import RequestFrontend
+
+        return RequestFrontend(self._stack, **options)
+
+    def close(self) -> None:
+        """Flush and close the journal (idempotent)."""
+        self._journal.close()
+
+    def __enter__(self) -> "ControlPlaneService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

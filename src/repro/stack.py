@@ -27,8 +27,12 @@ ambient (default no-op, zero-cost) sink.
 
 from __future__ import annotations
 
+import contextlib
+import warnings
+from pathlib import Path
 from typing import Sequence
 
+from repro.config import EngineConfig
 from repro.core.chaining import ChainRequest, NetworkFunctionChain
 from repro.core.cluster import VirtualCluster
 from repro.core.orchestrator import (
@@ -37,10 +41,12 @@ from repro.core.orchestrator import (
     ProvisioningPlan,
 )
 from repro.core.placement import HostPolicy, PlacementAlgorithm
-from repro.exceptions import UnknownEntityError
+from repro.exceptions import ALVCError, JournalError, UnknownEntityError, ValidationError
 from repro.ids import ChainId
 from repro.nfv.functions import FunctionCatalog
 from repro.observability.runtime import Telemetry, resolve
+from repro.service.journal import NULL_RECORDER, Journal, OpRecorder
+from repro.service.records import chain_to_spec
 from repro.topology.datacenter import DataCenterNetwork
 from repro.topology.generators import build_alvc_fabric
 from repro.virtualization.machines import MachineInventory, VirtualMachine
@@ -70,6 +76,7 @@ class AlvcStack:
         functions: FunctionCatalog,
         engine: VmPlacementEngine,
         vms_per_service: int = DEFAULT_VMS_PER_SERVICE,
+        engines: EngineConfig | None = None,
     ) -> None:
         """Assemble a stack from pre-built collaborators (keyword-only)."""
         self._inventory = inventory
@@ -79,6 +86,10 @@ class AlvcStack:
         self._engine = engine
         self._vms_per_service = vms_per_service
         self._chain_serial = 0
+        self._engines = (
+            engines if engines is not None else orchestrator.engines
+        )
+        self._recorder = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # Construction
@@ -99,8 +110,11 @@ class AlvcStack:
         vms_per_service: int = DEFAULT_VMS_PER_SERVICE,
         merge_consecutive: bool = False,
         exclusive_chains: bool = True,
-        host_policy: HostPolicy | None = None,
-        routing_engine: str = "auto",
+        host_policy: HostPolicy | str | None = None,
+        routing_engine: str | None = None,
+        engines: EngineConfig | dict | None = None,
+        journal: Journal | str | Path | None = None,
+        sync: str = "always",
         **fabric_options,
     ) -> "AlvcStack":
         """Build fabric, inventory, catalogs, engine and orchestrator.
@@ -123,15 +137,78 @@ class AlvcStack:
                 when omitted).
             vms_per_service: batch size for lazy cluster bootstrap.
             merge_consecutive / exclusive_chains / host_policy: passed
-                through to :class:`NetworkOrchestrator`.
+                through to :class:`NetworkOrchestrator` (``host_policy``
+                also accepts the enum's string value, e.g.
+                ``"first_fit"``).
             routing_engine: path-computation backend
-                (``"auto"``/``"csr"``/``"nx"``, see
-                :mod:`repro.sdn.routing`), passed through to the
-                orchestrator.
+                (``"auto"``/``"csr"``/``"nx"``).
+
+                .. deprecated:: PR 6
+                    Use ``engines=EngineConfig(routing=...)``; this
+                    keyword is scheduled for removal two releases after
+                    the durable service ships (the v1.0 cut).
+            engines: typed :class:`~repro.config.EngineConfig` (or a
+                mapping / routing-engine string coercible to one)
+                selecting the cover kernel, routing engine and default
+                sweep worker count in one place.
+            journal: a :class:`~repro.service.Journal` (or a path to
+                one) that records every state-mutating call on this
+                stack; a fresh journal receives a ``genesis`` record of
+                these build arguments so
+                :func:`~repro.service.restore_stack` can rebuild the
+                stack from the log alone.  Journaled builds must be
+                reproducible from JSON-able arguments — passing
+                ``fabric=``/``services=``/``functions=``/
+                ``placement_strategy=`` or a :class:`Telemetry`
+                *instance* alongside ``journal`` raises
+                :class:`~repro.exceptions.JournalError`.
+            sync: journal durability mode (``"always"`` fsyncs every
+                commit, ``"off"`` leaves flushing to the OS); only used
+                when ``journal`` is given as a path.
             **fabric_options: extra keywords for
                 :func:`~repro.topology.generators.build_alvc_fabric`
                 (e.g. ``tor_uplinks``, ``dual_homing_fraction``).
         """
+        if routing_engine is not None:
+            warnings.warn(
+                "AlvcStack.build(routing_engine=...) is deprecated; use "
+                "engines=EngineConfig(routing=...). Scheduled for "
+                "removal two releases after the durable service ships "
+                "(the v1.0 cut).",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        engine_config = EngineConfig.coerce(engines)
+        if routing_engine is not None and routing_engine != "auto":
+            if engine_config.routing not in ("auto", routing_engine):
+                raise ValidationError(
+                    "conflicting routing engines: routing_engine="
+                    f"{routing_engine!r} vs engines.routing="
+                    f"{engine_config.routing!r}"
+                )
+            engine_config = EngineConfig(
+                cover_kernel=engine_config.cover_kernel,
+                routing=routing_engine,
+                workers=engine_config.workers,
+            )
+        if isinstance(host_policy, str):
+            host_policy = HostPolicy(host_policy)
+        if journal is not None:
+            opaque = {
+                "fabric": fabric,
+                "services": services,
+                "functions": functions,
+                "placement_strategy": placement_strategy,
+            }
+            passed = sorted(k for k, v in opaque.items() if v is not None)
+            if isinstance(telemetry, Telemetry):
+                passed.append("telemetry instance")
+            if passed:
+                raise JournalError(
+                    "journaled builds must be reproducible from the "
+                    "genesis record; cannot journal opaque arguments: "
+                    + ", ".join(passed)
+                )
         sink = resolve(telemetry)
         if fabric is None:
             fabric = build_alvc_fabric(
@@ -158,28 +235,74 @@ class AlvcStack:
             exclusive_chains=exclusive_chains,
             host_policy=host_policy,
             telemetry=sink,
-            routing_engine=routing_engine,
+            engines=engine_config,
         )
-        return cls(
+        stack = cls(
             inventory=inventory,
             orchestrator=orchestrator,
             services=service_catalog,
             functions=function_catalog,
             engine=engine,
             vms_per_service=vms_per_service,
+            engines=engine_config,
         )
+        if journal is not None:
+            if not isinstance(journal, Journal):
+                journal = Journal(journal, sync=sync, telemetry=sink)
+            fresh = journal.next_seq == 0
+            stack.attach_journal(journal)
+            if fresh:
+                build_args = {
+                    "n_racks": n_racks,
+                    "servers_per_rack": servers_per_rack,
+                    "n_ops": n_ops,
+                    "seed": seed,
+                    "telemetry": (
+                        telemetry if not isinstance(telemetry, Telemetry)
+                        else None
+                    ),
+                    "vms_per_service": vms_per_service,
+                    "merge_consecutive": merge_consecutive,
+                    "exclusive_chains": exclusive_chains,
+                    "host_policy": (
+                        host_policy.value if host_policy is not None else None
+                    ),
+                    "engines": engine_config.to_dict(),
+                    **fabric_options,
+                }
+                journal.append("genesis", {"build": build_args})
+        return stack
 
     # ------------------------------------------------------------------
     # Workload population and clusters
     # ------------------------------------------------------------------
     def populate(self, service: str, vms: int) -> list[VirtualMachine]:
-        """Create and place ``vms`` VMs of a service; returns them."""
-        service_type = self._services.get(service)
-        placed: list[VirtualMachine] = []
-        for _ in range(vms):
-            machine = self._inventory.create_vm(service_type)
-            self._engine.place(machine)
-            placed.append(machine)
+        """Create and place ``vms`` VMs of a service; returns them.
+
+        All-or-nothing: when placement fails partway, the VMs created so
+        far are removed and the id allocator is rewound, so a failed
+        populate leaves zero trace — which is what lets the journal
+        record only *committed* commands and still replay bit-identically.
+        """
+        with self._recorder.operation() as outermost:
+            service_type = self._services.get(service)
+            placed: list[VirtualMachine] = []
+            id_marks = self._inventory.id_marks()
+            machine = None
+            try:
+                for _ in range(vms):
+                    machine = self._inventory.create_vm(service_type)
+                    self._engine.place(machine)
+                    placed.append(machine)
+            except Exception:
+                if machine is not None and machine not in placed:
+                    self._inventory.remove(machine)
+                for created in reversed(placed):
+                    self._inventory.remove(created)
+                self._inventory.rewind_ids(id_marks)
+                raise
+            if outermost:
+                self._recorder.record("populate", service=service, vms=vms)
         return placed
 
     def cluster(self, service: str) -> VirtualCluster:
@@ -194,9 +317,24 @@ class AlvcStack:
             return manager.cluster_of_service(service)
         except UnknownEntityError:
             pass
-        if not self._inventory.vms_of_service(service):
-            self.populate(service, self._vms_per_service)
-        return manager.create_cluster(service)
+        with self._recorder.operation() as outermost:
+            populated: list[VirtualMachine] = []
+            id_marks = self._inventory.id_marks()
+            if not self._inventory.vms_of_service(service):
+                populated = self.populate(service, self._vms_per_service)
+            try:
+                created = manager.create_cluster(service)
+            except Exception:
+                # A bootstrap that cannot cover its VMs journals nothing,
+                # so it must also leave nothing: unwind the populate and
+                # rewind the id allocator.
+                for machine in reversed(populated):
+                    self._inventory.remove(machine)
+                self._inventory.rewind_ids(id_marks)
+                raise
+            if outermost:
+                self._recorder.record("cluster", service=service)
+        return created
 
     # ------------------------------------------------------------------
     # Chain lifecycle (the facade's reason to exist)
@@ -225,11 +363,25 @@ class AlvcStack:
             bandwidth_gbps: link requirement for a name-sequence chain.
             algorithm: VNF placement algorithm.
         """
+        if not isinstance(chain, NetworkFunctionChain):
+            chain = tuple(chain)
+        # Bootstrap OUTSIDE the provision frame: when it creates the
+        # cluster, that mutation commits even if the provision below
+        # fails, so it must journal its own "cluster" command.
         self.cluster(service)
-        request = self._request(
-            chain, service, tenant, chain_id, flow_size_gb, bandwidth_gbps
-        )
-        return self._orchestrator.provision_chain(request, algorithm)
+        with self._recorder.operation() as outermost:
+            request = self._request(
+                chain, service, tenant, chain_id, flow_size_gb,
+                bandwidth_gbps,
+            )
+            live = self._orchestrator.provision_chain(request, algorithm)
+            self._commit_serial(chain, chain_id)
+            if outermost:
+                self._record_provision(
+                    chain, service, tenant, chain_id, flow_size_gb,
+                    bandwidth_gbps, algorithm,
+                )
+        return live
 
     def plan(
         self,
@@ -266,6 +418,104 @@ class AlvcStack:
             count += 1
         return count
 
+    def provision_batch(
+        self,
+        requests: Sequence,
+        *,
+        on_error: str = "raise",
+    ) -> list:
+        """Admit many provision requests as one batched operation.
+
+        The batch shares one journal group commit (a single fsync
+        instead of one per chain) and one per-cluster candidate/context
+        cache across all requests — the two levers behind the durable
+        service's batched-throughput win.  Requests are admitted
+        strictly in order, each through the same pipeline as
+        :meth:`provision`, so a batch commits the exact same state (and
+        journal records) as the equivalent serial calls.
+
+        Args:
+            requests: :class:`~repro.service.ProvisionRequest` items, or
+                mappings of :meth:`provision` keyword arguments.
+            on_error: ``"raise"`` aborts on the first failed request
+                (already-admitted chains stay up); ``"collect"`` records
+                the exception in that request's result slot and
+                continues.
+
+        Returns:
+            One entry per request, in order: an
+            :class:`~repro.core.orchestrator.OrchestratedChain`, or the
+            :class:`~repro.exceptions.ALVCError` the request raised
+            (``on_error="collect"`` only).
+        """
+        from repro.service.frontend import ProvisionRequest
+
+        if on_error not in ("raise", "collect"):
+            raise ValidationError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
+            )
+        normalized: list[ProvisionRequest] = []
+        for item in requests:
+            if isinstance(item, ProvisionRequest):
+                normalized.append(item)
+            elif isinstance(item, dict):
+                normalized.append(ProvisionRequest(**item))
+            else:
+                raise ValidationError(
+                    "provision_batch items must be ProvisionRequest "
+                    f"objects or mappings, got {type(item).__name__}"
+                )
+        journal = self._recorder.journal
+        scope = (
+            journal.batch()
+            if self._recorder.active and journal is not None
+            else contextlib.nullcontext()
+        )
+        results: list = []
+        contexts: dict = {}
+        with scope:
+            for item in normalized:
+                chain = item.chain
+                if not isinstance(chain, NetworkFunctionChain):
+                    chain = tuple(chain)
+                try:
+                    # Lazy per-request bootstrap at recorder depth 0
+                    # (not hoisted before the loop, not inside the
+                    # provision frame): it journals its own "cluster"
+                    # command when it creates one, and replay then
+                    # bootstraps in this same order, keeping VM id
+                    # allocation — and thus the state digest —
+                    # bit-identical.
+                    self.cluster(item.service)
+                    with self._recorder.operation() as outermost:
+                        request = self._request(
+                            chain, item.service, item.tenant,
+                            item.chain_id, item.flow_size_gb,
+                            item.bandwidth_gbps,
+                        )
+                        live = self._orchestrator._provision_chain(
+                            request, item.algorithm, contexts
+                        )
+                        self._commit_serial(chain, item.chain_id)
+                        if outermost:
+                            self._record_provision(
+                                chain, item.service, item.tenant,
+                                item.chain_id, item.flow_size_gb,
+                                item.bandwidth_gbps, item.algorithm,
+                            )
+                except ALVCError as exc:
+                    if on_error == "raise":
+                        raise
+                    results.append(exc)
+                    continue
+                results.append(live)
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "alvc_provision_batches_total",
+                "provision_chains batches admitted",
+            ).inc()
+        return results
+
     def _request(
         self,
         chain: NetworkFunctionChain | Sequence[str],
@@ -291,10 +541,52 @@ class AlvcStack:
         if isinstance(chain, NetworkFunctionChain):
             return chain
         if chain_id is None:
+            # Peek, don't consume: the serial is committed only after a
+            # successful provision (see _commit_serial) so failed or
+            # dry-run requests never burn an auto-numbered id — and a
+            # journal replay, which re-runs only committed provisions,
+            # reproduces the exact same numbering.
             chain_id = f"chain-{self._chain_serial}"
-            self._chain_serial += 1
         return NetworkFunctionChain.from_names(
             chain_id, tuple(chain), self._functions, bandwidth_gbps
+        )
+
+    def _commit_serial(
+        self,
+        chain: NetworkFunctionChain | Sequence[str],
+        chain_id: ChainId | None,
+    ) -> None:
+        if not isinstance(chain, NetworkFunctionChain) and chain_id is None:
+            self._chain_serial += 1
+
+    def _record_provision(
+        self,
+        chain: NetworkFunctionChain | tuple[str, ...],
+        service: str,
+        tenant: str,
+        chain_id: ChainId | None,
+        flow_size_gb: float,
+        bandwidth_gbps: float,
+        algorithm: PlacementAlgorithm,
+    ) -> None:
+        if not self._recorder.active:
+            return
+        if isinstance(chain, NetworkFunctionChain):
+            payload = {"spec": chain_to_spec(chain)}
+        else:
+            payload = {
+                "names": list(chain),
+                "chain_id": chain_id,
+                "bandwidth_gbps": bandwidth_gbps,
+            }
+        self._recorder.record(
+            "provision",
+            entry="stack",
+            tenant=tenant,
+            service=service,
+            chain=payload,
+            flow_size_gb=flow_size_gb,
+            algorithm=algorithm.value,
         )
 
     # ------------------------------------------------------------------
@@ -388,9 +680,9 @@ class AlvcStack:
         trial,
         params: Sequence,
         *,
-        workers: int = 1,
+        workers: int | None = None,
         chunk_size: int | None = None,
-        kernel: str = "auto",
+        kernel: str | None = None,
     ) -> list:
         """Shard a seeded experiment sweep across worker processes.
 
@@ -408,24 +700,128 @@ class AlvcStack:
         Args:
             trial: top-level callable run once per parameter.
             params: the seeded parameter grid.
-            workers: worker process count (1 = inline).
+            workers: worker process count (1 = inline); defaults to
+                this stack's :attr:`engines` ``workers``.
+
+                .. deprecated:: PR 6
+                    Configure via ``build(engines=EngineConfig(
+                    workers=...))``; the per-call override is scheduled
+                    for removal two releases after the durable service
+                    ships (the v1.0 cut).
             chunk_size: trials per worker task (defaults to an even
                 split, four chunks per worker).
-            kernel: cover kernel forced inside every trial (``"auto"``,
-                ``"set"``, or ``"bitset"``).
+            kernel: cover kernel forced inside every trial; defaults to
+                this stack's :attr:`engines` ``cover_kernel``.
+
+                .. deprecated:: PR 6
+                    Configure via ``build(engines=EngineConfig(
+                    cover_kernel=...))``; same removal schedule as
+                    ``workers``.
 
         Returns:
             One result per parameter, in ``params`` order.
         """
         from repro.parallel import SweepRunner
 
+        if workers is not None or kernel is not None:
+            warnings.warn(
+                "AlvcStack.run_sweep(workers=/kernel=) overrides are "
+                "deprecated; configure AlvcStack.build(engines="
+                "EngineConfig(workers=..., cover_kernel=...)) instead. "
+                "Scheduled for removal two releases after the durable "
+                "service ships (the v1.0 cut).",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         runner = SweepRunner(
-            workers=workers,
+            workers=workers if workers is not None else self._engines.workers,
             chunk_size=chunk_size,
             telemetry=self.telemetry,
-            kernel=kernel,
+            kernel=kernel if kernel is not None else self._engines.cover_kernel,
         )
         return runner.map(trial, params)
+
+    # ------------------------------------------------------------------
+    # Durable service surface (journal, snapshot, restore, frontend)
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal: Journal | str | Path) -> Journal:
+        """Journal every state-mutating call on this stack from now on.
+
+        Accepts an open :class:`~repro.service.Journal` or a path to
+        one.  The recorder is shared with the orchestrator and NFV
+        manager, so composite operations (``modify_chain``,
+        ``handle_ops_failure``, batch provisioning) journal exactly one
+        command record each.  Returns the attached journal.
+        """
+        if not isinstance(journal, Journal):
+            journal = Journal(journal, telemetry=self.telemetry)
+        recorder = OpRecorder(journal)
+        self._recorder = recorder
+        self._orchestrator.attach_recorder(recorder)
+        return journal
+
+    @property
+    def journal(self) -> Journal | None:
+        """The attached journal (``None`` when not journaling)."""
+        return self._recorder.journal
+
+    @property
+    def engines(self) -> EngineConfig:
+        """The stack's engine selection."""
+        return self._engines
+
+    def snapshot(self, path: str | Path):
+        """Write a CRC-framed snapshot of this stack's state to disk.
+
+        The snapshot records the current journal position, so a restore
+        loads it and replays only the journal tail.  Returns the
+        :class:`~repro.service.SnapshotRecord` written.
+        """
+        from repro.service.snapshot import write_snapshot
+
+        journal = self.journal
+        seq = journal.next_seq if journal is not None else 0
+        return write_snapshot(self, path, journal_seq=seq)
+
+    def serve(self, **options):
+        """An async batched request front-end over this stack.
+
+        Keyword options are passed to
+        :class:`~repro.service.RequestFrontend` (``max_queue``,
+        ``max_batch``).  Use as an async context manager::
+
+            async with stack.serve() as frontend:
+                response = await frontend.submit(ProvisionRequest(...))
+        """
+        from repro.service.frontend import RequestFrontend
+
+        return RequestFrontend(self, **options)
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "AlvcStack":
+        """Reconstruct a stack from a durable-service state directory.
+
+        ``path`` is a directory created by
+        :meth:`repro.service.ControlPlaneService.open` (or a journal
+        file directly).  The genesis record rebuilds the stack, the
+        newest intact snapshot (if any) short-circuits the replay, and
+        the journal tail is replayed through the same public entry
+        points that wrote it — yielding a bit-identical control plane
+        with the journal reattached and open for append.
+        """
+        from repro.service.service import JOURNAL_NAME, SNAPSHOT_NAME
+        from repro.service.restore import restore_stack
+
+        path = Path(path)
+        if path.is_dir():
+            journal_path = path / JOURNAL_NAME
+            snapshot_path = path / SNAPSHOT_NAME
+        else:
+            journal_path = path
+            snapshot_path = path.with_name(SNAPSHOT_NAME)
+        result = restore_stack(journal_path, snapshot_path)
+        result.stack.attach_journal(journal_path)
+        return result.stack
 
     # ------------------------------------------------------------------
     # Queries and collaborator access (the facade is not a ceiling)

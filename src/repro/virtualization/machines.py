@@ -104,6 +104,34 @@ class MachineInventory:
             self._release(machine, server)
         del self._vms[machine.vm_id]
 
+    def reinstate(
+        self, machine: VirtualMachine, server: ServerId | None
+    ) -> VirtualMachine:
+        """Re-register a removed VM verbatim (the rollback path).
+
+        Restores the exact machine object — same id, same demand — and
+        its placement, so an unwound command leaves the inventory
+        bit-identical to before it started.
+
+        Raises:
+            DuplicateEntityError: when the id is live again.
+        """
+        if machine.vm_id in self._vms:
+            raise DuplicateEntityError("vm", machine.vm_id)
+        self._vms[machine.vm_id] = machine
+        if server is not None:
+            self._reserve(machine, server)
+            self._host[machine.vm_id] = server
+        return machine
+
+    def id_marks(self) -> dict[str, int]:
+        """Snapshot the VM id allocator (pair with :meth:`rewind_ids`)."""
+        return self._ids.mark()
+
+    def rewind_ids(self, marks: dict[str, int]) -> None:
+        """Rewind the VM id allocator to an :meth:`id_marks` snapshot."""
+        self._ids.rewind(marks)
+
     def _reserve(self, machine: VirtualMachine, server: ServerId) -> None:
         if server not in self._guests:
             raise UnknownEntityError("server", server)

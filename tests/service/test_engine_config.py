@@ -1,0 +1,163 @@
+"""EngineConfig: validation, coercion, and threading through the stack.
+
+The satellite that unifies the organically-grown ``kernel=`` /
+``engine=`` / ``routing_engine=`` / ``workers=`` knobs behind one typed
+config — and keeps the old spellings working through deprecation shims.
+"""
+
+import warnings
+
+import pytest
+
+from repro.config import COVER_KERNELS, EngineConfig
+from repro.exceptions import ValidationError
+from repro.stack import AlvcStack
+
+BUILD = dict(n_racks=3, servers_per_rack=3, n_ops=4, seed=0)
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.cover_kernel == "auto"
+        assert config.routing == "auto"
+        assert config.workers == 1
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"cover_kernel": "simd"}, "unknown cover kernel"),
+            ({"routing": "dijkstra9000"}, "unknown routing engine"),
+            ({"workers": 0}, "workers"),
+            ({"workers": 2.5}, "workers"),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs, match):
+        with pytest.raises(ValidationError, match=match):
+            EngineConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EngineConfig().workers = 4
+
+    def test_known_kernels_all_construct(self):
+        for kernel in COVER_KERNELS:
+            assert EngineConfig(cover_kernel=kernel).cover_kernel == kernel
+
+
+class TestCoerce:
+    def test_none_gives_defaults(self):
+        assert EngineConfig.coerce(None) == EngineConfig()
+
+    def test_config_passes_through(self):
+        config = EngineConfig(routing="csr")
+        assert EngineConfig.coerce(config) is config
+
+    def test_dict_coerces(self):
+        config = EngineConfig.coerce(
+            {"cover_kernel": "bitset", "workers": 2}
+        )
+        assert config.cover_kernel == "bitset"
+        assert config.workers == 2
+
+    def test_unknown_dict_key_rejected(self):
+        with pytest.raises(ValidationError, match="EngineConfig"):
+            EngineConfig.coerce({"kernel": "bitset"})
+
+    def test_other_types_rejected(self):
+        with pytest.raises(ValidationError, match="engines must be"):
+            EngineConfig.coerce("bitset")
+
+    def test_to_dict_round_trips(self):
+        config = EngineConfig(
+            cover_kernel="set", routing="nx", workers=3
+        )
+        assert EngineConfig.coerce(config.to_dict()) == config
+
+
+class TestStackThreading:
+    def test_engines_thread_through_build(self):
+        config = EngineConfig(cover_kernel="bitset", routing="csr")
+        stack = AlvcStack.build(engines=config, **BUILD)
+        assert stack.engines == config
+        assert stack.orchestrator.engines == config
+        assert (
+            stack.orchestrator.cluster_manager._kernel == "bitset"
+        )
+        assert stack.orchestrator._routing_engine == "csr"
+
+    def test_engines_accepts_mapping(self):
+        stack = AlvcStack.build(
+            engines={"cover_kernel": "set"}, **BUILD
+        )
+        assert stack.engines.cover_kernel == "set"
+
+    def test_engine_choice_is_bit_identical(self):
+        digests = []
+        from repro.service.snapshot import state_digest
+
+        for config in (
+            EngineConfig(cover_kernel="set", routing="nx"),
+            EngineConfig(cover_kernel="bitset", routing="csr"),
+        ):
+            stack = AlvcStack.build(engines=config, **BUILD)
+            stack.provision(("firewall", "nat"), service="web")
+            view = state_digest(stack)
+            digests.append(view)
+        # Engines select implementations, never outcomes.
+        assert digests[0] == digests[1]
+
+
+class TestDeprecatedSpellings:
+    def test_routing_engine_kwarg_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="routing_engine"):
+            stack = AlvcStack.build(routing_engine="csr", **BUILD)
+        assert stack.engines.routing == "csr"
+
+    def test_conflicting_selectors_rejected(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValidationError, match="conflicting"):
+                AlvcStack.build(
+                    routing_engine="csr",
+                    engines=EngineConfig(routing="nx"),
+                    **BUILD,
+                )
+
+    def test_run_sweep_overrides_warn(self):
+        stack = AlvcStack.build(**BUILD)
+        with pytest.warns(DeprecationWarning, match="run_sweep"):
+            results = stack.run_sweep(_square, [1, 2, 3], workers=1)
+        assert results == [1, 4, 9]
+        with pytest.warns(DeprecationWarning, match="run_sweep"):
+            stack.run_sweep(_square, [2], kernel="set")
+
+    def test_run_sweep_defaults_from_engines(self):
+        stack = AlvcStack.build(
+            engines=EngineConfig(workers=1, cover_kernel="set"), **BUILD
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert stack.run_sweep(_square, [4]) == [16]
+
+
+class TestJournalIntegration:
+    def test_genesis_embeds_engines(self, tmp_path):
+        from repro.service import ControlPlaneService
+
+        config = EngineConfig(cover_kernel="bitset", workers=2)
+        with ControlPlaneService.open(
+            tmp_path / "state",
+            sync="off",
+            engines=config,
+            telemetry="json",
+            **BUILD,
+        ) as service:
+            assert service.stack.engines == config
+        with ControlPlaneService.open(tmp_path / "state", sync="off") as r:
+            # Restore rebuilds the stack on the same engines.
+            assert r.stack.engines == config
+
+
+def _square(x):
+    return x * x

@@ -1,0 +1,203 @@
+"""The async batched front-end: typed requests, bounded queue, batching.
+
+Runs the asyncio event loop explicitly (``asyncio.run``) — the suite
+has no async plugin, and the front-end's surface is small enough that
+explicit loops read clearer anyway.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.service import (
+    FaultReport,
+    ProvisionRequest,
+    RepairReport,
+    RequestFrontend,
+    TeardownRequest,
+)
+from repro.service.snapshot import state_digest
+from repro.stack import AlvcStack
+
+BUILD = dict(
+    n_racks=3,
+    servers_per_rack=3,
+    n_ops=4,
+    seed=9,
+    vms_per_service=3,
+    telemetry="json",
+)
+
+
+def _stack(**overrides):
+    return AlvcStack.build(**{**BUILD, **overrides})
+
+
+class TestSubmission:
+    def test_provision_round_trip(self):
+        stack = _stack()
+
+        async def scenario():
+            async with stack.serve() as frontend:
+                return await frontend.submit(
+                    ProvisionRequest(("firewall", "nat"), service="web")
+                )
+
+        response = asyncio.run(scenario())
+        assert response.ok
+        assert response.kind == "provision"
+        assert response.detail["chain_id"] == "chain-0"
+        assert response.detail["path_length"] >= 2
+        assert response.latency_s >= 0.0
+        assert [c.chain_id for c in stack.chains()] == ["chain-0"]
+
+    def test_full_lifecycle_through_typed_requests(self):
+        stack = _stack()
+
+        async def scenario():
+            async with stack.serve() as frontend:
+                provisioned = await frontend.submit(
+                    ProvisionRequest(("firewall", "nat"), service="web")
+                )
+                victim = sorted(
+                    stack.chains()[0].optical_slice.switches
+                )[0]
+                fault = await frontend.submit(FaultReport(victim))
+                repair = await frontend.submit(RepairReport(victim))
+                teardown = await frontend.submit(
+                    TeardownRequest(provisioned.detail["chain_id"])
+                )
+                return provisioned, fault, repair, teardown
+
+        provisioned, fault, repair, teardown = asyncio.run(scenario())
+        assert all(r.ok for r in (provisioned, fault, repair, teardown))
+        assert fault.kind == "fault" and "recovered" in fault.detail
+        assert teardown.detail == {"chain_id": "chain-0"}
+        assert stack.chains() == []
+
+    def test_per_request_failures_are_reported_not_raised(self):
+        stack = _stack()
+
+        async def scenario():
+            async with stack.serve() as frontend:
+                return await frontend.submit_all(
+                    [
+                        ProvisionRequest(("firewall",), service="web"),
+                        # Exclusive cluster: second chain on web fails.
+                        ProvisionRequest(("nat",), service="web"),
+                        TeardownRequest("no-such-chain"),
+                        ProvisionRequest(("dpi",), service="backup"),
+                    ]
+                )
+
+        responses = asyncio.run(scenario())
+        assert [r.ok for r in responses] == [True, False, False, True]
+        assert "DuplicateEntityError" in responses[1].error
+        assert "UnknownEntityError" in responses[2].error
+        # Responses arrive in submission order with stable ids.
+        assert [r.request_id for r in responses] == [0, 1, 2, 3]
+        # The bad requests did not poison the batch: both good chains live.
+        assert [c.chain_id for c in stack.chains()] == [
+            "chain-0",
+            "chain-1",
+        ]
+
+    def test_unknown_request_type_rejected_at_submit(self):
+        stack = _stack()
+
+        async def scenario():
+            async with stack.serve() as frontend:
+                await frontend.submit(object())
+
+        with pytest.raises(ValidationError, match="unknown request type"):
+            asyncio.run(scenario())
+
+
+class TestBoundedQueue:
+    def test_offer_rejects_when_full(self):
+        stack = _stack()
+        frontend = stack.serve(max_queue=2)
+
+        async def scenario():
+            # Not started: offers queue up without draining.
+            first = frontend.offer(ProvisionRequest(("nat",), service="web"))
+            second = frontend.offer(
+                ProvisionRequest(("dpi",), service="backup")
+            )
+            third = frontend.offer(
+                ProvisionRequest(("ids",), service="streaming")
+            )
+            assert first is not None and second is not None
+            assert third is None  # bounded: rejected, not buffered
+            assert frontend.queue_depth == 2
+            frontend.start()
+            responses = await asyncio.gather(first, second)
+            await frontend.stop()
+            return responses
+
+        responses = asyncio.run(scenario())
+        assert [r.ok for r in responses] == [True, True]
+        rejected = stack.telemetry.registry.snapshot()[
+            "alvc_frontend_rejected_total"
+        ]
+        assert rejected["series"][0]["value"] == 1
+
+    def test_queue_bounds_validated(self):
+        stack = _stack()
+        with pytest.raises(ValidationError, match="max_queue"):
+            RequestFrontend(stack, max_queue=0)
+        with pytest.raises(ValidationError, match="max_batch"):
+            RequestFrontend(stack, max_batch=0)
+
+
+class TestBatchedAdmission:
+    def test_batched_equals_serial_state(self):
+        requests = [
+            ProvisionRequest(("firewall", "nat"), service="web"),
+            ProvisionRequest(("dpi",), service="backup"),
+            ProvisionRequest(("proxy", "ids"), service="streaming"),
+        ]
+        serial = _stack()
+        for request in requests:
+            serial.provision(
+                request.chain,
+                service=request.service,
+                tenant=request.tenant,
+                flow_size_gb=request.flow_size_gb,
+                bandwidth_gbps=request.bandwidth_gbps,
+            )
+
+        batched = _stack()
+
+        async def scenario():
+            async with batched.serve(max_batch=16) as frontend:
+                return await frontend.submit_all(requests)
+
+        responses = asyncio.run(scenario())
+        assert all(r.ok for r in responses)
+        # Batch admission is an optimization, not a semantic: the two
+        # stacks are bit-identical.
+        assert state_digest(batched) == state_digest(serial)
+
+    def test_batch_metrics_observed(self):
+        stack = _stack()
+
+        async def scenario():
+            async with stack.serve(max_batch=8) as frontend:
+                await frontend.submit_all(
+                    [
+                        ProvisionRequest(("firewall",), service="web"),
+                        ProvisionRequest(("nat",), service="backup"),
+                        TeardownRequest("chain-0"),
+                    ]
+                )
+
+        asyncio.run(scenario())
+        families = stack.telemetry.registry.snapshot()
+        assert families["alvc_frontend_requests_total"]["series"][0][
+            "value"
+        ] == 3
+        assert families["alvc_frontend_batches_total"]["series"][0][
+            "value"
+        ] >= 1

@@ -1,0 +1,117 @@
+"""Schema validation and spec round-trips for journal records."""
+
+import pytest
+
+from repro.chaos import RecoveryPolicy
+from repro.core.chaining import NetworkFunctionChain
+from repro.exceptions import JournalError
+from repro.nfv.functions import FunctionCatalog
+from repro.service.records import (
+    OpRecord,
+    RECORD_VERSION,
+    REPLAYED_OPS,
+    SCHEMAS,
+    chain_from_spec,
+    chain_to_spec,
+    policy_from_spec,
+    policy_to_spec,
+    validate_record,
+)
+
+
+class TestValidation:
+    def test_known_record_passes(self):
+        validate_record(OpRecord(1, "teardown", {"chain_id": "c"}))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(JournalError, match="unknown op"):
+            validate_record(OpRecord(1, "frobnicate", {}))
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(JournalError, match="missing required"):
+            validate_record(OpRecord(1, "vm_migrate", {"vm": "vm-0"}))
+
+    def test_extra_fields_allowed_for_forward_compat(self):
+        validate_record(
+            OpRecord(1, "teardown", {"chain_id": "c", "future_knob": 1})
+        )
+
+    def test_future_version_rejected(self):
+        record = OpRecord(
+            1, "teardown", {"chain_id": "c"}, version=RECORD_VERSION + 1
+        )
+        with pytest.raises(JournalError, match="version"):
+            validate_record(record)
+
+    def test_genesis_must_be_first(self):
+        with pytest.raises(JournalError, match="seq 0"):
+            validate_record(OpRecord(3, "genesis", {"build": {}}))
+
+    def test_from_dict_round_trip(self):
+        record = OpRecord(2, "ops_repair", {"ops": "ops-1"})
+        assert OpRecord.from_dict(record.to_dict()) == record
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(JournalError, match="malformed"):
+            OpRecord.from_dict({"op": "teardown"})
+
+    def test_every_command_op_is_replayed(self):
+        assert REPLAYED_OPS == frozenset(SCHEMAS) - {
+            "genesis",
+            "al_reconfig",
+        }
+
+
+class TestChainSpec:
+    def test_round_trip_preserves_identity(self):
+        catalog = FunctionCatalog.standard()
+        chain = NetworkFunctionChain.from_names(
+            "c-1", ("firewall", "nat", "dpi"), catalog, 2.5
+        )
+        rebuilt = chain_from_spec(chain_to_spec(chain))
+        assert rebuilt.chain_id == chain.chain_id
+        assert rebuilt.bandwidth_gbps == chain.bandwidth_gbps
+        assert [f.name for f in rebuilt.functions] == [
+            f.name for f in chain.functions
+        ]
+        for ours, theirs in zip(rebuilt.functions, chain.functions):
+            assert ours.demand == theirs.demand
+            assert ours.optical_capable == theirs.optical_capable
+            assert (
+                ours.per_gb_processing_cost == theirs.per_gb_processing_cost
+            )
+
+    def test_spec_is_catalog_free(self):
+        # The spec embeds full function types, so replay works even if
+        # the catalog no longer lists the function.
+        catalog = FunctionCatalog.standard()
+        chain = NetworkFunctionChain.from_names(
+            "c-2", ("cache",), catalog, 1.0
+        )
+        spec = chain_to_spec(chain)
+        assert spec["functions"][0]["demand"]["cpu_cores"] > 0
+
+
+class TestPolicySpec:
+    def test_none_round_trips(self):
+        assert policy_to_spec(None) is None
+        assert policy_from_spec(None) is None
+
+    def test_policy_round_trip(self):
+        policy = RecoveryPolicy(
+            max_attempts=4, base_delay=0.5, backoff=2.0, jitter=0.1, seed=9
+        )
+        rebuilt = policy_from_spec(policy_to_spec(policy))
+        assert rebuilt.max_attempts == 4
+        assert rebuilt.base_delay == 0.5
+        assert rebuilt.backoff == 2.0
+        assert rebuilt.jitter == 0.1
+        assert rebuilt.seed == 9
+
+    def test_opaque_policy_rejected(self):
+        class Opaque:
+            def run(self, thunk):  # duck-typed, not serializable
+                return thunk()
+
+        with pytest.raises(JournalError, match="opaque"):
+            policy_to_spec(Opaque())
