@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare two E24 exact-baseline records and enforce the gates.
+
+Usage::
+
+    python benchmarks/compare_opt.py \
+        benchmarks/BENCH_e24.json BENCH_e24.json \
+        [--gap-slack 0.0] [--node-budget 2000] [--max-node-growth 0.5]
+
+Both files are the JSON written by ``benchmarks/test_bench_e24_opt.py``.
+Three gates, all of which must hold for a zero exit status:
+
+* the candidate's **certification** flag — branch-and-bound closed
+  every instance (a gap against an uncertified incumbent is not a
+  gap);
+* the candidate's **per-problem gap curves** (worst relative greedy
+  gap for the AL cover and the placement MILP) have not widened past
+  the committed baseline by more than ``--gap-slack`` — a widening gap
+  means a greedy regression;
+* the candidate's **branch-and-bound node counts** stay within the
+  per-instance budget and within ``--max-node-growth`` of the
+  committed total — the perf canary for the pure-python solver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_e24.json")
+    parser.add_argument("candidate", help="freshly measured BENCH_e24.json")
+    parser.add_argument(
+        "--gap-slack",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help=(
+            "allowed widening of each problem's worst gap vs the "
+            "committed baseline (default 0.0 — the sweep is seeded, so "
+            "gaps are deterministic)"
+        ),
+    )
+    parser.add_argument(
+        "--node-budget",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="per-instance branch-and-bound node ceiling (default 2000)",
+    )
+    parser.add_argument(
+        "--max-node-growth",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help=(
+            "allowed relative growth of the total node count vs the "
+            "committed baseline (default 0.5)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    candidate = _load(args.candidate)
+
+    for label, record in (("baseline", baseline), ("candidate", candidate)):
+        gaps = ", ".join(
+            f"{problem}={gap:.3f}"
+            for problem, gap in sorted(record["max_gap"].items())
+        )
+        print(
+            f"{label}: worst gaps {gaps}, "
+            f"{record['total_bnb_nodes']} B&B nodes, "
+            f"certified={record['proven_optimal']}"
+        )
+
+    passed = True
+    if not candidate.get("proven_optimal", False):
+        print(
+            "FAIL: candidate has uncertified instances — the gap curve "
+            "is meaningless without a closed bound",
+            file=sys.stderr,
+        )
+        passed = False
+
+    for problem, before in sorted(baseline["max_gap"].items()):
+        after = candidate["max_gap"].get(problem)
+        if after is None:
+            print(f"FAIL: candidate lost problem {problem!r}", file=sys.stderr)
+            passed = False
+            continue
+        ok = after <= before + args.gap_slack
+        status = "ok" if ok else "FAIL"
+        print(
+            f"{status}: {problem} worst gap {before:.3f} -> {after:.3f} "
+            f"(slack {args.gap_slack:.3f})"
+        )
+        passed = passed and ok
+
+    worst = max(row["bnb_nodes"] for row in candidate["rows"])
+    ok = worst <= args.node_budget
+    print(
+        f"{'ok' if ok else 'FAIL'}: worst instance used {worst} B&B "
+        f"nodes (budget {args.node_budget})"
+    )
+    passed = passed and ok
+
+    before_nodes = baseline["total_bnb_nodes"]
+    after_nodes = candidate["total_bnb_nodes"]
+    if before_nodes > 0:
+        growth = (after_nodes - before_nodes) / before_nodes
+        ok = growth <= args.max_node_growth
+        print(
+            f"{'ok' if ok else 'FAIL'}: total nodes {before_nodes} -> "
+            f"{after_nodes} ({growth:+.1%} vs limit "
+            f"+{args.max_node_growth:.1%})"
+        )
+        passed = passed and ok
+
+    if passed:
+        print("all exact-baseline gates passed")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

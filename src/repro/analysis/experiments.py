@@ -2122,3 +2122,136 @@ def experiment_e23_service_throughput(
             replay_wall / snap_wall if snap_wall > 0 else 0.0,
         ),
     ]
+
+
+# ----------------------------------------------------------------------
+# E24 — certified optimality gaps (greedy vs the exact MILP baselines)
+# ----------------------------------------------------------------------
+#: Chain pattern for the E24 placement instances: light optical-capable
+#: functions with heavy ``dpi`` stages interleaved so tight host pools
+#: force electronic excursions (the objective the gap measures).
+_E24_CHAIN_PATTERN = ("firewall", "nat", "dpi", "load-balancer", "proxy")
+
+
+def _e24_instance(task: tuple) -> list[dict]:
+    """One E24 fabric size: certified cover and placement gap rows.
+
+    Top-level (picklable) so :class:`~repro.parallel.SweepRunner` can
+    shard the scale points across worker processes.
+    """
+    from repro.opt.cover import exact_weighted_cover_with_certificate
+    from repro.opt.placement import exact_chain_placement_with_certificate
+
+    n_racks, n_ops, chain_length, n_hosts, seed = task
+    dcn = build_alvc_fabric(
+        n_racks=n_racks,
+        servers_per_rack=3,
+        n_ops=n_ops,
+        dual_homing_fraction=0.5,
+        seed=seed,
+    )
+    servers = dcn.servers()
+
+    # -- AL cover: greedy two-stage construction vs the exact engine.
+    greedy_al = AlConstructor(dcn, seed=seed).construct_for_servers(
+        "cluster-e24", servers
+    )
+    exact_al = AlConstructor(
+        dcn, seed=seed, engine="exact"
+    ).construct_for_servers("cluster-e24", servers)
+    # Certify the minimized quantity (the OPS-stage cover of the exact
+    # construction's ToRs) with the branch-and-bound lower bound.
+    ops_candidates: dict = {}
+    for ops in sorted(dcn.optical_switches()):
+        covered = frozenset(set(dcn.tors_of_ops(ops)) & exact_al.tor_ids)
+        if covered:
+            ops_candidates[ops] = covered
+    ops_weights = {o: len(c) for o, c in ops_candidates.items()}
+    _, cover_cert = exact_weighted_cover_with_certificate(
+        exact_al.tor_ids, ops_candidates, ops_weights
+    )
+
+    # -- Placement: greedy first-fit vs the exact conversion MILP on a
+    # capacity-tight host pool (merge-mode run accounting).
+    functions = FunctionCatalog.standard()
+    names = [
+        _E24_CHAIN_PATTERN[index % len(_E24_CHAIN_PATTERN)]
+        for index in range(chain_length)
+    ]
+    chain = NetworkFunctionChain.from_names(
+        f"chain-e24-{seed}", names, functions
+    )
+    pool = {
+        f"ops-{index}": ResourceVector(
+            cpu_cores=2, memory_gb=4, storage_gb=16
+        )
+        for index in range(n_hosts)
+    }
+    greedy_placement = PlacementSolver(
+        dict(pool), merge_consecutive=True, seed=seed
+    ).solve(chain, PlacementAlgorithm.GREEDY)
+    exact_placement, placement_cert = exact_chain_placement_with_certificate(
+        chain, dict(pool), merge_consecutive=True
+    )
+
+    def row(problem, greedy_objective, exact_objective, cert) -> dict:
+        return {
+            "fabric_servers": len(servers),
+            "problem": problem,
+            "greedy_objective": greedy_objective,
+            "exact_objective": exact_objective,
+            "certified_lower_bound": cert.lower_bound,
+            "proven_optimal": cert.proven_optimal,
+            "bnb_nodes": cert.nodes,
+            "gap": (
+                (greedy_objective - exact_objective)
+                / max(exact_objective, 1)
+            ),
+        }
+
+    return [
+        row("al_cover", greedy_al.size, exact_al.size, cover_cert),
+        row(
+            "placement",
+            greedy_placement.conversions,
+            exact_placement.conversions,
+            placement_cert,
+        ),
+    ]
+
+
+def experiment_e24_exact_gap(
+    scales: Sequence[tuple[int, int, int, int]] = (
+        (4, 4, 5, 2),
+        (6, 6, 7, 2),
+        (8, 8, 10, 3),
+    ),
+    *,
+    seed_base: int = 40,
+    workers: int = 1,
+    runner: SweepRunner | None = None,
+) -> list[dict]:
+    """Greedy objectives against B&B-certified exact optima, by size.
+
+    Two gap curves across the fabric scale points: the AL cover (OPS
+    count of the two-stage construction; lower bound certifies the
+    exact engine's OPS stage) and chain placement (merge-mode O/E/O
+    conversions on a capacity-tight pool).  ``proven_optimal`` says the
+    branch-and-bound closed the instance — every committed baseline row
+    must have it True — and ``bnb_nodes`` is the perf canary the E24
+    compare gate budgets.
+
+    One sweep task per ``(n_racks, n_ops, chain_length, n_hosts)``
+    scale point; rows are identical for any ``workers`` count.
+    """
+    tasks = [
+        (n_racks, n_ops, chain_length, n_hosts, seed_base + index)
+        for index, (n_racks, n_ops, chain_length, n_hosts) in enumerate(
+            scales
+        )
+    ]
+    sweep = runner if runner is not None else SweepRunner(workers=workers)
+    rows: list[dict] = []
+    for pair in sweep.map(_e24_instance, tasks):
+        rows.extend(pair)
+    return rows

@@ -261,6 +261,15 @@ def _run_e23() -> dict:
     }
 
 
+@_register("e24", "Certified optimality gaps: greedy vs exact MILP")
+def _run_e24(workers: int = 1) -> dict:
+    return {
+        "E24 — greedy objective vs certified exact optimum": (
+            experiments.experiment_e24_exact_gap(workers=workers)
+        )
+    }
+
+
 #: Defaults for the ``--chaos`` option; every key may be overridden in
 #: the ``key=value,key=value`` spec.
 _CHAOS_DEFAULTS: dict[str, float] = {
@@ -325,12 +334,21 @@ def _run_chaos(options: dict) -> dict:
     return tables
 
 
+#: ``--build`` keys that are :class:`~repro.config.EngineConfig`
+#: selectors rather than :meth:`AlvcStack.build` arguments; they fold
+#: into the ``engines=`` mapping (e.g. ``--build "solver=exact"``).
+_ENGINE_BUILD_KEYS = ("cover_kernel", "routing", "solver")
+
+
 def _parse_build(spec: str) -> dict:
     """Parse ``--build key=value,key=value`` into build kwargs.
 
     Values coerce in order: bool (``true``/``false``), int, float, and
     finally plain string — enough for every scalar
-    :meth:`AlvcStack.build` argument.
+    :meth:`AlvcStack.build` argument.  Engine selectors
+    (``cover_kernel``, ``routing``, ``solver``) fold into the
+    ``engines=`` mapping, so ``--build "n_racks=8,solver=exact"``
+    serves a stack on the certified exact MILPs.
 
     Raises:
         ValueError: on an entry with no ``=``.
@@ -344,6 +362,9 @@ def _parse_build(spec: str) -> dict:
             raise ValueError(
                 f"bad --build entry {entry!r} (want key=value)"
             )
+        if key in _ENGINE_BUILD_KEYS:
+            options.setdefault("engines", {})[key] = value
+            continue
         if value.lower() in ("true", "false"):
             options[key] = value.lower() == "true"
             continue

@@ -36,6 +36,11 @@ COVER_KERNELS = ("auto", "set", "bitset")
 #: Recognized routing-engine selectors (see :mod:`repro.sdn.routing`).
 ROUTING_ENGINES = ("auto", "csr", "nx")
 
+#: Recognized solver-engine selectors for AL construction and placement
+#: (see :mod:`repro.opt`): greedy heuristics, the certified exact MILP,
+#: or size-dependent auto fallback.
+SOLVER_ENGINES = ("greedy", "exact", "auto")
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class EngineConfig:
@@ -50,12 +55,20 @@ class EngineConfig:
             (``"auto"`` picks bitset for universes of 64+ elements).
         routing: path-computation backend (``"auto"`` picks the CSR
             engine when the fabric's accessor caching is on).
+        solver: optimization engine for AL construction and chain
+            placement — ``"greedy"`` (the paper's heuristics, default),
+            ``"exact"`` (the certified :mod:`repro.opt` MILPs), or
+            ``"auto"`` (exact on small instances, greedy beyond).
+            Unlike the other selectors this one *can* change results —
+            exact solutions may beat the greedy — so the default stays
+            on the heuristic path.
         workers: default worker-process count for seeded sweeps
             (``1`` runs fully in-process).
     """
 
     cover_kernel: str = "auto"
     routing: str = "auto"
+    solver: str = "greedy"
     workers: int = 1
 
     def __post_init__(self) -> None:
@@ -68,6 +81,11 @@ class EngineConfig:
             raise ValidationError(
                 f"unknown routing engine {self.routing!r} "
                 f"(expected one of {', '.join(ROUTING_ENGINES)})"
+            )
+        if self.solver not in SOLVER_ENGINES:
+            raise ValidationError(
+                f"unknown solver engine {self.solver!r} "
+                f"(expected one of {', '.join(SOLVER_ENGINES)})"
             )
         if not isinstance(self.workers, int) or self.workers < 1:
             raise ValidationError(

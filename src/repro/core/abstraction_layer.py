@@ -84,17 +84,24 @@ class AlConstructor:
         seed: int = 0,
         telemetry: Telemetry | None = None,
         kernel: str = "auto",
+        engine: str = "greedy",
     ) -> None:
-        from repro.config import COVER_KERNELS
+        from repro.config import COVER_KERNELS, SOLVER_ENGINES
 
         if kernel not in COVER_KERNELS:
             raise ValidationError(
                 f"unknown cover kernel {kernel!r} "
                 f"(expected one of {', '.join(COVER_KERNELS)})"
             )
+        if engine not in SOLVER_ENGINES:
+            raise ValidationError(
+                f"unknown solver engine {engine!r} "
+                f"(expected one of {', '.join(SOLVER_ENGINES)})"
+            )
         self._dcn = dcn
         self._strategy = strategy
         self._kernel = kernel
+        self._engine = engine
         self._rng = random.Random(seed)
         self._telemetry = (
             telemetry if telemetry is not None else current_telemetry()
@@ -139,6 +146,11 @@ class AlConstructor:
     def kernel(self) -> str:
         """The cover kernel the stages run on (see :class:`EngineConfig`)."""
         return self._kernel
+
+    @property
+    def engine(self) -> str:
+        """The solver engine ("greedy" | "exact" | "auto") stages run on."""
+        return self._engine
 
     # ------------------------------------------------------------------
     def construct(
@@ -277,6 +289,11 @@ class AlConstructor:
         return self._run_cover(selected_tors, candidates, weights)
 
     def _run_cover(self, universe, candidates, weights) -> CoverResult:
+        if self._use_exact(universe, candidates):
+            # Imported lazily: repro.opt builds on this module's siblings.
+            from repro.opt.cover import exact_weighted_cover
+
+            return exact_weighted_cover(universe, candidates, weights)
         if self._strategy in (
             AlConstructionStrategy.VERTEX_COVER_GREEDY,
             AlConstructionStrategy.IN_DEGREE_GREEDY,
@@ -295,3 +312,25 @@ class AlConstructor:
         if self._strategy is AlConstructionStrategy.EXACT:
             return exact_min_cover(universe, candidates)
         raise TopologyError(f"unknown strategy {self._strategy!r}")
+
+    #: ``engine="auto"`` switches a cover stage to the exact MILP only
+    #: below these instance sizes (branch-and-bound stays interactive).
+    _AUTO_EXACT_CANDIDATES = 20
+    _AUTO_EXACT_UNIVERSE = 64
+
+    def _use_exact(self, universe, candidates) -> bool:
+        """Whether this stage runs the certified exact cover.
+
+        ``engine="exact"`` always does (the engine selector trumps the
+        heuristic strategy); ``engine="auto"`` does on instances small
+        enough for branch-and-bound and defers to the configured
+        strategy beyond.
+        """
+        if self._engine == "exact":
+            return True
+        if self._engine == "auto":
+            return (
+                len(candidates) <= self._AUTO_EXACT_CANDIDATES
+                and len(frozenset(universe)) <= self._AUTO_EXACT_UNIVERSE
+            )
+        return False

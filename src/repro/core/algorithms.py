@@ -129,7 +129,15 @@ def natural_sort_key(entity_id: Hashable):
     Ids without a numeric suffix sort after indexed ids with the same
     prefix, by their string form.  Deterministic tie-breaking in every
     algorithm below uses this key.
+
+    The key always has the single shape ``(str, int, int, str)`` so
+    fabrics mixing pure-int entity ids with string ids stay orderable:
+    int ids get an empty prefix (sorting before every prefixed id) and
+    their numeric value as the index, which also orders ``10`` after
+    ``2`` instead of lexically.
     """
+    if isinstance(entity_id, int) and not isinstance(entity_id, bool):
+        return ("", 0, int(entity_id), str(entity_id))
     text = str(entity_id)
     try:
         return (kind_prefix(text), 0, index_of(text), text)
@@ -179,6 +187,25 @@ class CoverResult:
     def considered_order(self) -> list:
         """Every candidate the algorithm looked at, in visit order."""
         return [step.candidate for step in self.steps]
+
+
+def _degenerate_cover(
+    universe, candidates: Mapping[Hashable, frozenset]
+) -> "CoverResult | None":
+    """Shared guard for instances with no candidates at all.
+
+    Both kernels must agree on degenerate input: an empty candidate
+    pool covers an empty universe with the empty selection, and is
+    infeasible for any non-empty universe.  Handling this before kernel
+    dispatch makes the answer kernel-independent by construction.
+    Returns None for non-degenerate instances.
+    """
+    if candidates:
+        return None
+    target = frozenset(universe)
+    if target:
+        raise CoverInfeasibleError(target)
+    return CoverResult(selected=(), steps=(), universe=target)
 
 
 def _check_feasible(
@@ -430,6 +457,9 @@ def greedy_max_weight_cover(
             wrong answer instead of a loud error.
     """
     target = frozenset(universe)
+    degenerate = _degenerate_cover(target, candidates)
+    if degenerate is not None:
+        return degenerate
     if _resolve_kernel(kernel, target) == "bitset":
         return _greedy_max_weight_bitset(target, candidates, weights)
     _check_feasible(target, candidates)
@@ -478,6 +508,9 @@ def greedy_marginal_cover(
     eager reference.
     """
     target = frozenset(universe)
+    degenerate = _degenerate_cover(target, candidates)
+    if degenerate is not None:
+        return degenerate
     if _resolve_kernel(kernel, target, amortized=True) == "bitset":
         return _greedy_marginal_bitset(target, candidates)
     _check_feasible(target, candidates)
@@ -529,6 +562,9 @@ def random_cover(
     cover either way.
     """
     target = frozenset(universe)
+    degenerate = _degenerate_cover(target, candidates)
+    if degenerate is not None:
+        return degenerate
     if _resolve_kernel(kernel, target) == "bitset":
         return _random_cover_bitset(target, candidates, rng)
     _check_feasible(target, candidates)

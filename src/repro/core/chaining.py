@@ -30,11 +30,23 @@ class NetworkFunctionChain:
             type may appear more than once (each occurrence becomes its own
             VNF instance).
         bandwidth_gbps: link requirement of the chain's path.
+        partial_order: declared precedence pairs ``(before, after)``
+            between chain positions (arXiv 1705.10554's partial-order
+            constraints).  The chain's sequence must already satisfy
+            every pair — validation rejects a pair the fixed processing
+            order violates, so both the greedy and exact placement paths
+            honor the same contract (neither reorders a chain).
+        anti_affinity: position pairs that must not share an
+            optoelectronic router when both land in the optical domain
+            (fault-isolation constraint); enforced by every placement
+            algorithm, greedy and exact alike.
     """
 
     chain_id: ChainId
     functions: tuple[NetworkFunctionType, ...]
     bandwidth_gbps: float = 1.0
+    partial_order: tuple[tuple[int, int], ...] = ()
+    anti_affinity: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.functions:
@@ -45,6 +57,36 @@ class NetworkFunctionChain:
             raise ChainValidationError(
                 f"chain {self.chain_id} bandwidth must be positive, "
                 f"got {self.bandwidth_gbps}"
+            )
+        for before, after in self.partial_order:
+            self._check_position(before, "partial_order")
+            self._check_position(after, "partial_order")
+            if before >= after:
+                raise ChainValidationError(
+                    f"chain {self.chain_id} partial-order pair "
+                    f"({before}, {after}) conflicts with the chain's "
+                    f"processing order (position {before} does not "
+                    f"precede {after})"
+                )
+        for first, second in self.anti_affinity:
+            self._check_position(first, "anti_affinity")
+            self._check_position(second, "anti_affinity")
+            if first == second:
+                raise ChainValidationError(
+                    f"chain {self.chain_id} anti-affinity pair "
+                    f"({first}, {second}) names the same position twice"
+                )
+
+    def _check_position(self, position: int, knob: str) -> None:
+        if not isinstance(position, int) or isinstance(position, bool):
+            raise ChainValidationError(
+                f"chain {self.chain_id} {knob} positions must be ints, "
+                f"got {position!r}"
+            )
+        if not 0 <= position < len(self.functions):
+            raise ChainValidationError(
+                f"chain {self.chain_id} {knob} position {position} is out "
+                f"of range for a {len(self.functions)}-function chain"
             )
 
     def __len__(self) -> int:
@@ -86,7 +128,22 @@ class NetworkFunctionChain:
         ] + ["egress"]
         graph.add_nodes_from(nodes)
         graph.add_edges_from(zip(nodes, nodes[1:]))
+        for before, after in self.partial_order:
+            graph.add_edge(
+                nodes[before + 1], nodes[after + 1], constraint="precedence"
+            )
         return graph
+
+    def anti_affinity_conflicts(self) -> dict[int, frozenset]:
+        """Position -> positions it must not share an optical host with."""
+        conflicts: dict[int, set] = {}
+        for first, second in self.anti_affinity:
+            conflicts.setdefault(first, set()).add(second)
+            conflicts.setdefault(second, set()).add(first)
+        return {
+            position: frozenset(others)
+            for position, others in conflicts.items()
+        }
 
     @staticmethod
     def from_names(
@@ -94,12 +151,21 @@ class NetworkFunctionChain:
         names: Sequence[str],
         catalog,
         bandwidth_gbps: float = 1.0,
+        *,
+        partial_order: Sequence[tuple[int, int]] = (),
+        anti_affinity: Sequence[tuple[int, int]] = (),
     ) -> "NetworkFunctionChain":
         """Build a chain from function names using a catalog."""
         return NetworkFunctionChain(
             chain_id=chain_id,
             functions=tuple(catalog.get(name) for name in names),
             bandwidth_gbps=bandwidth_gbps,
+            partial_order=tuple(
+                (int(a), int(b)) for a, b in partial_order
+            ),
+            anti_affinity=tuple(
+                (int(a), int(b)) for a, b in anti_affinity
+            ),
         )
 
 

@@ -63,18 +63,21 @@ class ClusterManager:
         seed: int = 0,
         telemetry: Telemetry | None = None,
         kernel: str = "auto",
+        engine: str = "greedy",
     ) -> None:
         self._telemetry = (
             telemetry if telemetry is not None else current_telemetry()
         )
         self._inventory = inventory
         self._kernel = kernel
+        self._engine = engine
         self._constructor = AlConstructor(
             inventory.network,
             strategy=strategy,
             seed=seed,
             telemetry=self._telemetry,
             kernel=kernel,
+            engine=engine,
         )
         self._clusters: dict[ClusterId, VirtualCluster] = {}
         self._assigned_ops: dict[OpsId, ClusterId] = {}
@@ -267,3 +270,8 @@ class ClusterManager:
     def kernel(self) -> str:
         """The cover kernel AL construction and repair run on."""
         return self._kernel
+
+    @property
+    def engine(self) -> str:
+        """The solver engine AL construction runs on."""
+        return self._engine

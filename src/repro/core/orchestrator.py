@@ -28,6 +28,7 @@ from repro.config import EngineConfig
 from repro.core.chaining import ChainRequest, NetworkFunctionChain
 from repro.core.cluster import ClusterManager, VirtualCluster
 from repro.core.placement import (
+    _AUTO_EXACT_POSITIONS as _AUTO_SOLVER_POSITIONS,
     ChainPlacement,
     HostPolicy,
     PlacementAlgorithm,
@@ -226,6 +227,7 @@ class NetworkOrchestrator:
             inventory,
             telemetry=self._telemetry,
             kernel=engines.cover_kernel,
+            engine=engines.solver,
         )
         self._nfv = nfv_manager or CloudNfvManager(
             inventory, telemetry=self._telemetry
@@ -270,7 +272,7 @@ class NetworkOrchestrator:
     def plan_chain(
         self,
         request: ChainRequest,
-        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+        algorithm: PlacementAlgorithm | None = None,
     ) -> ProvisioningPlan:
         """Answer whether :meth:`provision_chain` would succeed, and how.
 
@@ -328,6 +330,27 @@ class NetworkOrchestrator:
                 electronic_hosts=tuple(electronic_hosts),
             )
 
+    def _resolve_algorithm(
+        self,
+        algorithm: PlacementAlgorithm | None,
+        chain: NetworkFunctionChain,
+    ) -> PlacementAlgorithm:
+        """Concrete algorithm for a request: explicit wins, else the
+        engines' ``solver`` selector decides (resolved *before* the
+        journal record is written, so replay is deterministic)."""
+        if algorithm is not None:
+            return algorithm
+        solver = self._engines.solver
+        if solver == "exact":
+            return PlacementAlgorithm.EXACT
+        if solver == "auto":
+            movable = sum(
+                1 for function in chain if function.optical_capable
+            )
+            if movable <= _AUTO_SOLVER_POSITIONS:
+                return PlacementAlgorithm.EXACT
+        return PlacementAlgorithm.GREEDY
+
     def _solver_for(self, cluster: VirtualCluster) -> PlacementSolver:
         """A placement solver over the cluster AL's current free capacity."""
         pool = self._nfv.pool
@@ -342,6 +365,7 @@ class NetworkOrchestrator:
             host_policy=self._host_policy,
             seed=self._seed,
             telemetry=self._telemetry,
+            engine=self._engines.solver,
         )
 
     # ------------------------------------------------------------------
@@ -350,7 +374,7 @@ class NetworkOrchestrator:
     def provision_chain(
         self,
         request: ChainRequest,
-        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+        algorithm: PlacementAlgorithm | None = None,
     ) -> OrchestratedChain:
         """Provision one NFC over its service's cluster.
 
@@ -366,6 +390,7 @@ class NetworkOrchestrator:
         ``provision.placement_solve``, ``provision.deploy``,
         ``provision.route``).
         """
+        algorithm = self._resolve_algorithm(algorithm, request.chain)
         with self._recorder.operation() as outermost:
             orchestrated = self._provision_chain(request, algorithm, None)
             if outermost:
@@ -375,7 +400,7 @@ class NetworkOrchestrator:
     def provision_chains(
         self,
         requests: list[ChainRequest],
-        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+        algorithm: PlacementAlgorithm | None = None,
         *,
         on_error: str = "raise",
     ) -> list:
@@ -420,13 +445,14 @@ class NetworkOrchestrator:
         results: list = []
         with scope:
             for request in requests:
+                resolved = self._resolve_algorithm(algorithm, request.chain)
                 try:
                     with self._recorder.operation() as outermost:
                         orchestrated = self._provision_chain(
-                            request, algorithm, contexts
+                            request, resolved, contexts
                         )
                         if outermost:
-                            self._record_provision(request, algorithm)
+                            self._record_provision(request, resolved)
                     results.append(orchestrated)
                 except ALVCError as exc:
                     if on_error == "raise":
@@ -1068,9 +1094,10 @@ class NetworkOrchestrator:
         self,
         chain_id: ChainId,
         new_chain: NetworkFunctionChain,
-        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+        algorithm: PlacementAlgorithm | None = None,
     ) -> OrchestratedChain:
         """Replace a chain's function list, re-placing and re-routing."""
+        algorithm = self._resolve_algorithm(algorithm, new_chain)
         with self._recorder.operation() as outermost:
             old = self.chain(chain_id)
             self.teardown_chain(chain_id)

@@ -15,7 +15,15 @@ cluster's AL) or stays electronic.  Four algorithms:
 * ``GREEDY`` — repeatedly move the VNF whose move saves the most
   conversions (ties: smallest demand), until nothing helps or fits;
 * ``OPTIMAL`` — exhaustive subset search with exact bin-packing
-  feasibility, for the optimality-gap experiments (small chains only).
+  feasibility, for the optimality-gap experiments (small chains only);
+* ``EXACT`` — the :mod:`repro.opt` MILP (branch-and-bound over the
+  joint placement + O/E/O allocation formulation), which certifies its
+  optimum and honors the chain's partial-order / anti-affinity knobs.
+
+The ``engine=`` selector ("greedy" | "exact" | "auto") picks the
+*default* algorithm when ``solve`` is called without one: ``auto``
+solves exactly on instances small enough for branch-and-bound and
+falls back to the greedy otherwise.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ import random
 from typing import Mapping, Sequence
 
 from repro.core.chaining import NetworkFunctionChain
-from repro.exceptions import PlacementError
+from repro.exceptions import PlacementError, ValidationError
 from repro.ids import OpsId
 from repro.observability.runtime import Telemetry, current_telemetry
 from repro.nfv.functions import NetworkFunctionType
@@ -36,6 +44,15 @@ from repro.optical.optoelectronic import OptoelectronicPool
 from repro.topology.elements import Domain, ResourceVector
 
 _OPTIMAL_POSITION_LIMIT = 14
+
+#: Recognized ``engine=`` selectors on :class:`PlacementSolver`.
+PLACEMENT_ENGINES = ("greedy", "exact", "auto")
+
+#: ``engine="auto"`` solves exactly only below these instance sizes
+#: (branch-and-bound stays sub-second there); larger chains fall back
+#: to the greedy.
+_AUTO_EXACT_POSITIONS = 12
+_AUTO_EXACT_HOSTS = 6
 
 
 class HostPolicy(enum.Enum):
@@ -58,6 +75,7 @@ class PlacementAlgorithm(enum.Enum):
     RANDOM = "random"
     GREEDY = "greedy"
     OPTIMAL = "optimal"
+    EXACT = "exact"
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -174,6 +192,7 @@ class PlacementSolver:
         host_policy: HostPolicy = None,
         seed: int = 0,
         telemetry: Telemetry | None = None,
+        engine: str = "greedy",
     ) -> None:
         """Create a solver over a capacity snapshot.
 
@@ -190,23 +209,61 @@ class PlacementSolver:
             telemetry: metrics sink (ambient default when omitted);
                 records per-solve conversions, conversions saved, and
                 improve-pass iterations.
+            engine: which algorithm ``solve`` defaults to —
+                ``"greedy"``, ``"exact"`` (certified MILP), or
+                ``"auto"`` (exact on small instances, greedy beyond).
         """
+        if engine not in PLACEMENT_ENGINES:
+            raise ValidationError(
+                f"unknown placement engine {engine!r} "
+                f"(expected one of {', '.join(PLACEMENT_ENGINES)})"
+            )
         self._free = dict(free_capacity)
         self._merge = merge_consecutive
         self._host_policy = host_policy or HostPolicy.FIRST_FIT
         self._rng = random.Random(seed)
+        self._engine = engine
         self._telemetry = (
             telemetry if telemetry is not None else current_telemetry()
         )
+
+    @property
+    def engine(self) -> str:
+        """The solver's configured default-algorithm engine."""
+        return self._engine
+
+    def default_algorithm(
+        self, chain: NetworkFunctionChain
+    ) -> PlacementAlgorithm:
+        """The algorithm ``solve`` runs when none is requested."""
+        if self._engine == "exact":
+            return PlacementAlgorithm.EXACT
+        if self._engine == "auto":
+            movable = sum(
+                1 for function in chain if function.optical_capable
+            )
+            if (
+                movable <= _AUTO_EXACT_POSITIONS
+                and len(self._free) <= _AUTO_EXACT_HOSTS
+            ):
+                return PlacementAlgorithm.EXACT
+        return PlacementAlgorithm.GREEDY
 
     def _pick_host(
         self,
         free: Mapping[OpsId, ResourceVector],
         demand: ResourceVector,
-        used_hosts,
+        forbidden,
     ) -> OpsId | None:
+        """Pick the policy's host among routers fitting the demand.
+
+        ``forbidden`` holds router ids this position must avoid (the
+        hosts of anti-affinity partners already placed optically).
+        """
         fitting = [
-            ops for ops in sorted(free) if demand.fits_within(free[ops])
+            ops
+            for ops in sorted(free)
+            if ops not in forbidden and demand.fits_within(free[ops])
         ]
         if not fitting:
             return None
@@ -236,9 +293,15 @@ class PlacementSolver:
     def solve(
         self,
         chain: NetworkFunctionChain,
-        algorithm: PlacementAlgorithm = PlacementAlgorithm.GREEDY,
+        algorithm: PlacementAlgorithm | None = None,
     ) -> ChainPlacement:
-        """Place a chain with the requested algorithm."""
+        """Place a chain with the requested algorithm.
+
+        When ``algorithm`` is omitted (or None) the solver's ``engine``
+        selector decides: greedy, exact, or size-dependent auto.
+        """
+        if algorithm is None:
+            algorithm = self.default_algorithm(chain)
         if algorithm is PlacementAlgorithm.ALL_ELECTRONIC:
             optical: dict[int, OpsId] = {}
         elif algorithm is PlacementAlgorithm.RANDOM:
@@ -247,6 +310,8 @@ class PlacementSolver:
             optical = self._solve_greedy(chain)
         elif algorithm is PlacementAlgorithm.OPTIMAL:
             optical = self._solve_optimal(chain)
+        elif algorithm is PlacementAlgorithm.EXACT:
+            optical = self._solve_exact(chain)
         else:
             raise PlacementError(f"unknown algorithm {algorithm!r}")
         placement = self._materialize(chain, optical)
@@ -283,10 +348,21 @@ class PlacementSolver:
         Existing optical assignments are kept; the solver's capacity
         snapshot must describe the *remaining* free capacity (i.e. it must
         already exclude whatever the current placement consumes).
+
+        Two convergence guarantees hold so repeated ``improve()`` calls
+        on one solver reach a fixed point instead of cycling or
+        overcommitting:
+
+        * every committed move must *strictly* reduce the placement's
+          conversion count (tie-objective swaps are rejected);
+        * capacity consumed by committed moves is deducted from the
+          solver's own snapshot, so a second call sees the remaining
+          free capacity rather than re-spending it.
         """
         chain = placement.chain
         free = dict(self._free)
         optical = dict(placement.optical_hosts())
+        conflicts = chain.anti_affinity_conflicts()
         movable = [
             position
             for position, function in enumerate(chain)
@@ -297,6 +373,10 @@ class PlacementSolver:
             while True:
                 runs = self._movable_runs(chain, optical, set(movable))
                 committed = False
+                incumbent = count_excursions(
+                    _domains_of(len(chain), optical),
+                    merge_consecutive=True,
+                )
                 for run in sorted(
                     runs,
                     key=lambda positions: (
@@ -304,9 +384,19 @@ class PlacementSolver:
                         positions,
                     ),
                 ):
+                    candidate = dict(optical)
+                    candidate.update((pos, None) for pos in run)
+                    moved = count_excursions(
+                        _domains_of(len(chain), candidate),
+                        merge_consecutive=True,
+                    )
+                    if moved >= incumbent:
+                        continue  # strict improvement only — no tie swaps
                     packing = _exact_pack(
                         [(pos, chain.functions[pos].demand) for pos in run],
                         dict(free),
+                        conflicts=conflicts,
+                        placed=optical,
                     )
                     if packing is None:
                         continue
@@ -318,15 +408,22 @@ class PlacementSolver:
                 if not committed:
                     break
         else:
+            # Per-visit semantics: each move strictly removes one
+            # conversion, so strict improvement holds per position.
             for position in sorted(
                 movable,
                 key=lambda pos: (chain.functions[pos].demand.cpu_cores, pos),
             ):
                 demand = chain.functions[position].demand
-                host = self._pick_host(free, demand, set(optical.values()))
+                host = self._pick_host(
+                    free, demand, _forbidden_hosts(conflicts, optical, position)
+                )
                 if host is not None:
                     free[host] = free[host] - demand
                     optical[position] = host
+        # Commit consumed capacity so a repeated improve() on this
+        # solver converges instead of double-spending the snapshot.
+        self._free = free
         if self._telemetry.enabled:
             moved = len(optical) - len(placement.optical_hosts())
             self._telemetry.counter(
@@ -372,9 +469,12 @@ class PlacementSolver:
         self._rng.shuffle(positions)
         free = dict(self._free)
         optical: dict[int, OpsId] = {}
+        conflicts = chain.anti_affinity_conflicts()
         for position in positions:
             demand = chain.functions[position].demand
-            host = self._pick_host(free, demand, set(optical.values()))
+            host = self._pick_host(
+                free, demand, _forbidden_hosts(conflicts, optical, position)
+            )
             if host is not None:
                 free[host] = free[host] - demand
                 optical[position] = host
@@ -390,13 +490,16 @@ class PlacementSolver:
         pack as many VNFs as possible, cheapest (CPU) first."""
         free = dict(self._free)
         optical: dict[int, OpsId] = {}
+        conflicts = chain.anti_affinity_conflicts()
         order = sorted(
             self._movable_positions(chain),
             key=lambda pos: (chain.functions[pos].demand.cpu_cores, pos),
         )
         for position in order:
             demand = chain.functions[position].demand
-            host = self._pick_host(free, demand, set(optical.values()))
+            host = self._pick_host(
+                free, demand, _forbidden_hosts(conflicts, optical, position)
+            )
             if host is not None:
                 free[host] = free[host] - demand
                 optical[position] = host
@@ -414,6 +517,7 @@ class PlacementSolver:
         """
         free = dict(self._free)
         optical: dict[int, OpsId] = {}
+        conflicts = chain.anti_affinity_conflicts()
         movable = set(self._movable_positions(chain))
         while True:
             runs = self._movable_runs(chain, optical, movable)
@@ -428,6 +532,8 @@ class PlacementSolver:
                 packing = _exact_pack(
                     [(pos, chain.functions[pos].demand) for pos in run],
                     dict(free),
+                    conflicts=conflicts,
+                    placed=optical,
                 )
                 if packing is None:
                     continue
@@ -469,6 +575,7 @@ class PlacementSolver:
                 f"OPTIMAL placement is limited to {_OPTIMAL_POSITION_LIMIT} "
                 f"movable positions, got {len(positions)}"
             )
+        conflicts = chain.anti_affinity_conflicts()
         best_subset: tuple[int, ...] | None = None
         best_key: tuple[int, int] | None = None
         best_packing: dict[int, OpsId] = {}
@@ -487,6 +594,7 @@ class PlacementSolver:
                 packing = _exact_pack(
                     [(pos, chain.functions[pos].demand) for pos in subset],
                     dict(self._free),
+                    conflicts=conflicts,
                 )
                 if packing is None:
                     continue
@@ -496,6 +604,18 @@ class PlacementSolver:
         if best_subset is None:
             return {}
         return best_packing
+
+    def _solve_exact(self, chain: NetworkFunctionChain) -> dict[int, OpsId]:
+        """Certified optimum via the :mod:`repro.opt` MILP."""
+        # Imported lazily: repro.opt builds on this module's result types.
+        from repro.opt.placement import exact_optical_assignment
+
+        optical, _ = exact_optical_assignment(
+            chain,
+            self._free,
+            merge_consecutive=self._merge,
+        )
+        return optical
 
 
 def _first_fit(
@@ -508,34 +628,77 @@ def _first_fit(
     return None
 
 
+def _forbidden_hosts(
+    conflicts: Mapping[int, frozenset],
+    optical: Mapping[int, OpsId],
+    position: int,
+) -> frozenset:
+    """Hosts ``position`` must avoid: those of placed anti-affinity partners."""
+    partners = conflicts.get(position)
+    if not partners:
+        return frozenset()
+    return frozenset(
+        optical[other] for other in partners if other in optical
+    )
+
+
+def _domains_of(length: int, optical: Mapping[int, object]) -> list[Domain]:
+    """Domain per position given the optically-placed position set."""
+    return [
+        Domain.OPTICAL if position in optical else Domain.ELECTRONIC
+        for position in range(length)
+    ]
+
+
 def _exact_pack(
     items: Sequence[tuple[int, ResourceVector]],
     free: dict[OpsId, ResourceVector],
+    *,
+    conflicts: Mapping[int, frozenset] | None = None,
+    placed: Mapping[int, OpsId] | None = None,
 ) -> dict[int, OpsId] | None:
     """Exact bin-packing by backtracking; None when infeasible.
 
     Items are packed largest-CPU-first to prune early; bins are the
-    routers' free capacities.
+    routers' free capacities.  ``conflicts`` (position -> positions it
+    must not share a router with) and ``placed`` (positions already
+    committed elsewhere) enforce the chain's anti-affinity pairs.
     """
     ordered = sorted(items, key=lambda item: -item[1].cpu_cores)
     hosts = sorted(free)
     assignment: dict[int, OpsId] = {}
+    conflicts = conflicts or {}
+    placed = placed or {}
+    # The symmetric-bin skip assumes equal-capacity bins are
+    # interchangeable, which anti-affinity breaks (identity matters once
+    # a partner occupies one of them) — disable it in that case.
+    prune_symmetric = not conflicts
 
     def backtrack(index: int) -> bool:
         if index == len(ordered):
             return True
         position, demand = ordered[index]
+        banned: set[OpsId] = set()
+        for partner in conflicts.get(position, ()):
+            host = assignment.get(partner)
+            if host is None:
+                host = placed.get(partner)
+            if host is not None:
+                banned.add(host)
         tried: set[tuple[float, float, float]] = set()
         for ops in hosts:
+            if ops in banned:
+                continue
             capacity = free[ops]
             signature = (
                 capacity.cpu_cores,
                 capacity.memory_gb,
                 capacity.storage_gb,
             )
-            if signature in tried:
-                continue  # symmetric bin states: skip duplicates
-            tried.add(signature)
+            if prune_symmetric:
+                if signature in tried:
+                    continue  # symmetric bin states: skip duplicates
+                tried.add(signature)
             if demand.fits_within(capacity):
                 free[ops] = capacity - demand
                 assignment[position] = ops

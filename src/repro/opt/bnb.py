@@ -1,0 +1,301 @@
+"""Best-first branch-and-bound with LP bounding.
+
+The pure-python engine explores a best-first tree over the integer
+variables of a :class:`~repro.opt.model.MilpModel`: each node is a set
+of bound overrides, bounded by its simplex LP relaxation, branched on
+the most fractional integer variable.  Deterministic by construction —
+heap ties break on node insertion order, so identical models always
+return identical solutions.
+
+When PuLP (and its bundled CBC) happens to be importable the
+``backend="pulp"`` path hands the model to it instead; ``"auto"``
+prefers the pure engine so CI never depends on a solver binary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+from typing import Hashable
+
+from repro.exceptions import ValidationError
+from repro.opt import lp as _lp
+from repro.opt.model import MilpModel
+
+#: Result statuses reported by :func:`solve_milp`.
+OPTIMAL = "optimal"
+FEASIBLE = "feasible"  # node budget hit with an incumbent in hand
+INFEASIBLE = "infeasible"
+UNBOUNDED = "unbounded"
+NO_SOLUTION = "no_solution"  # node budget hit before any incumbent
+
+#: Recognized backends.
+BACKENDS = ("auto", "pure", "pulp")
+
+_INT_TOL = 1e-6
+
+
+def have_pulp() -> bool:
+    """True when the optional PuLP/CBC backend is importable."""
+    try:
+        import pulp  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MilpResult:
+    """Outcome of a MILP solve.
+
+    ``values`` maps variable *names* to values; ``bound`` is the proven
+    lower bound (equals ``objective`` when ``proven_optimal``); ``gap``
+    is ``objective - bound``.
+    """
+
+    status: str
+    objective: float
+    values: dict[Hashable, float]
+    bound: float
+    nodes: int
+    gap: float
+
+    @property
+    def proven_optimal(self) -> bool:
+        return self.status == OPTIMAL
+
+
+def solve_milp(
+    model: MilpModel,
+    *,
+    max_nodes: int = 20000,
+    backend: str = "auto",
+    int_tol: float = _INT_TOL,
+) -> MilpResult:
+    """Solve a MILP to proven optimality (or a certified bound).
+
+    Args:
+        model: the program (minimize form).
+        max_nodes: branch-and-bound node budget; when exhausted the best
+            incumbent is returned with ``status="feasible"`` and the
+            tightest outstanding bound.
+        backend: ``"pure"`` (stdlib engine), ``"pulp"`` (requires the
+            optional dependency), or ``"auto"`` (pure; exists so callers
+            can opt into PuLP without a hard import).
+        int_tol: integrality tolerance on the LP relaxations.
+    """
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown MILP backend {backend!r} "
+            f"(expected one of {', '.join(BACKENDS)})"
+        )
+    if backend == "pulp":
+        if not have_pulp():
+            raise ValidationError(
+                "backend='pulp' requested but PuLP is not installed"
+            )
+        return _solve_pulp(model)
+    return _solve_pure(model, max_nodes=max_nodes, int_tol=int_tol)
+
+
+# ---------------------------------------------------------------------------
+def _solve_pure(
+    model: MilpModel, *, max_nodes: int, int_tol: float
+) -> MilpResult:
+    integer_indices = model.integer_indices
+    root = _lp.solve_lp(model)
+    if root.status == _lp.INFEASIBLE:
+        return MilpResult(
+            status=INFEASIBLE,
+            objective=math.inf,
+            values={},
+            bound=math.inf,
+            nodes=1,
+            gap=0.0,
+        )
+    if root.status == _lp.UNBOUNDED:
+        return MilpResult(
+            status=UNBOUNDED,
+            objective=-math.inf,
+            values={},
+            bound=-math.inf,
+            nodes=1,
+            gap=0.0,
+        )
+
+    incumbent: dict[int, float] | None = None
+    incumbent_objective = math.inf
+    # Heap of (bound, tiebreak, bound-overrides, relaxation).
+    counter = 0
+    heap: list = [(root.objective, counter, {}, root)]
+    nodes = 1
+
+    while heap and nodes < max_nodes:
+        bound, _, overrides, relaxation = heapq.heappop(heap)
+        if bound >= incumbent_objective - int_tol:
+            continue  # pruned by the incumbent
+        branch_var = _most_fractional(relaxation, integer_indices, int_tol)
+        if branch_var is None:
+            # Integral relaxation: a new incumbent.
+            if relaxation.objective < incumbent_objective - int_tol:
+                incumbent = dict(relaxation.values)
+                incumbent_objective = relaxation.objective
+            continue
+        value = relaxation.values[branch_var]
+        low, high = _effective_bounds(model, overrides, branch_var)
+        for child_low, child_high in (
+            (low, math.floor(value)),
+            (math.ceil(value), high),
+        ):
+            if child_low > child_high:
+                continue
+            child_overrides = dict(overrides)
+            child_overrides[branch_var] = (
+                float(child_low),
+                float(child_high),
+            )
+            child = _lp.solve_lp(model, child_overrides)
+            nodes += 1
+            if not child.is_optimal:
+                continue
+            if child.objective >= incumbent_objective - int_tol:
+                continue
+            counter += 1
+            heapq.heappush(
+                heap, (child.objective, counter, child_overrides, child)
+            )
+
+    # Nodes whose bound cannot beat the incumbent are as good as closed.
+    open_bounds = [
+        entry[0]
+        for entry in heap
+        if entry[0] < incumbent_objective - int_tol
+    ]
+    outstanding = min(open_bounds, default=math.inf)
+    if incumbent is None:
+        if not heap:
+            # Exhausted the tree without an integral point.
+            return MilpResult(
+                status=INFEASIBLE,
+                objective=math.inf,
+                values={},
+                bound=math.inf,
+                nodes=nodes,
+                gap=0.0,
+            )
+        return MilpResult(
+            status=NO_SOLUTION,
+            objective=math.inf,
+            values={},
+            bound=outstanding,
+            nodes=nodes,
+            gap=math.inf,
+        )
+
+    rounded = _snap_integers(incumbent, integer_indices)
+    if not open_bounds:
+        bound = incumbent_objective
+        status = OPTIMAL
+    else:
+        bound = min(outstanding, incumbent_objective)
+        status = FEASIBLE
+    return MilpResult(
+        status=status,
+        objective=incumbent_objective,
+        values=model.named_values(rounded),
+        bound=bound,
+        nodes=nodes,
+        gap=max(0.0, incumbent_objective - bound),
+    )
+
+
+def _most_fractional(
+    relaxation: _lp.LpSolution,
+    integer_indices: tuple[int, ...],
+    int_tol: float,
+) -> int | None:
+    best_index: int | None = None
+    best_score = int_tol
+    for index in integer_indices:
+        value = relaxation.values.get(index, 0.0)
+        fraction = abs(value - round(value))
+        if fraction > best_score:
+            best_score = fraction
+            best_index = index
+    return best_index
+
+
+def _effective_bounds(
+    model: MilpModel, overrides: dict, index: int
+) -> tuple[float, float]:
+    if index in overrides:
+        return overrides[index]
+    var = model.variables[index]
+    return var.low, var.high
+
+
+def _snap_integers(
+    values: dict[int, float], integer_indices: tuple[int, ...]
+) -> dict[int, float]:
+    snapped = dict(values)
+    for index in integer_indices:
+        snapped[index] = float(round(snapped.get(index, 0.0)))
+    return snapped
+
+
+# ---------------------------------------------------------------------------
+def _solve_pulp(model: MilpModel) -> MilpResult:  # pragma: no cover - optional
+    """Hand the model to PuLP/CBC (only reachable when installed)."""
+    import pulp
+
+    problem = pulp.LpProblem("repro_opt", pulp.LpMinimize)
+    columns = []
+    for var in model.variables:
+        columns.append(
+            pulp.LpVariable(
+                f"x{var.index}",
+                lowBound=var.low,
+                upBound=None if math.isinf(var.high) else var.high,
+                cat="Integer" if var.integer else "Continuous",
+            )
+        )
+    problem += pulp.lpSum(
+        var.cost * columns[var.index]
+        for var in model.variables
+        if var.cost
+    )
+    for constraint in model.constraints:
+        expr = pulp.lpSum(
+            coeff * columns[index] for index, coeff in constraint.coeffs
+        )
+        if constraint.sense == "<=":
+            problem += expr <= constraint.rhs
+        elif constraint.sense == ">=":
+            problem += expr >= constraint.rhs
+        else:
+            problem += expr == constraint.rhs
+    problem.solve(pulp.PULP_CBC_CMD(msg=False))
+    if pulp.LpStatus[problem.status] != "Optimal":
+        return MilpResult(
+            status=INFEASIBLE,
+            objective=math.inf,
+            values={},
+            bound=math.inf,
+            nodes=0,
+            gap=0.0,
+        )
+    raw = {
+        var.index: float(pulp.value(columns[var.index]) or 0.0)
+        for var in model.variables
+    }
+    snapped = _snap_integers(raw, model.integer_indices)
+    objective = model.objective_value(snapped)
+    return MilpResult(
+        status=OPTIMAL,
+        objective=objective,
+        values=model.named_values(snapped),
+        bound=objective,
+        nodes=0,
+        gap=0.0,
+    )

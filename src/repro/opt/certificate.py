@@ -1,0 +1,37 @@
+"""Optimality certificates attached to exact solves."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class OptCertificate:
+    """What branch-and-bound proved about a solution.
+
+    Attributes:
+        objective: objective value of the returned (incumbent) solution.
+        lower_bound: best proven lower bound on any solution.  Equal to
+            ``objective`` (within tolerance) iff ``proven_optimal``.
+        nodes: branch-and-bound nodes expanded.
+        proven_optimal: True when the search closed the gap before
+            hitting its node budget.
+        gap: ``objective - lower_bound`` (absolute; >= 0).
+    """
+
+    objective: float
+    lower_bound: float
+    nodes: int
+    proven_optimal: bool
+    gap: float
+
+    @staticmethod
+    def closed(objective: float, nodes: int) -> "OptCertificate":
+        """Certificate for a solve that proved its incumbent optimal."""
+        return OptCertificate(
+            objective=objective,
+            lower_bound=objective,
+            nodes=nodes,
+            proven_optimal=True,
+            gap=0.0,
+        )

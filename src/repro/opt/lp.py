@@ -1,0 +1,314 @@
+"""Two-phase primal simplex over dense tableaux, pure stdlib.
+
+Sized for this repo's exact formulations (tens of variables, tens of
+rows): no sparse algebra, no revised simplex — just a carefully
+normalized tableau with Bland's anti-cycling rule, which is plenty for
+branch-and-bound nodes on control-plane-scale instances.
+
+Variable bounds are handled by substitution (``x = low + y``) plus an
+upper-bound row per finitely-bounded variable, so branch-and-bound can
+fix binaries purely through per-node bound overrides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Mapping
+
+from repro.exceptions import ValidationError
+from repro.opt.model import MilpModel
+
+#: Solver statuses reported by :func:`solve_lp`.
+OPTIMAL = "optimal"
+INFEASIBLE = "infeasible"
+UNBOUNDED = "unbounded"
+
+_TOL = 1e-9
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LpSolution:
+    """Outcome of one LP solve.
+
+    ``values`` maps variable column index to its value (original,
+    unshifted space); ``objective`` is the minimize objective.  Both are
+    only meaningful when ``status == "optimal"``.
+    """
+
+    status: str
+    objective: float
+    values: dict[int, float]
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == OPTIMAL
+
+
+def solve_lp(
+    model: MilpModel,
+    bounds: Mapping[int, tuple[float, float]] | None = None,
+    *,
+    tol: float = _TOL,
+) -> LpSolution:
+    """Solve the LP relaxation of ``model`` (integrality ignored).
+
+    Args:
+        model: the program; always minimized.
+        bounds: per-variable ``(low, high)`` overrides — how
+            branch-and-bound fixes or splits integer variables without
+            rebuilding the model.
+        tol: feasibility/pivot tolerance.
+    """
+    bounds = dict(bounds or {})
+    variables = model.variables
+    lows: list[float] = []
+    spans: list[float] = []  # high - low; math.inf when unbounded above
+    for var in variables:
+        low, high = bounds.get(var.index, (var.low, var.high))
+        if low > high + tol:
+            return LpSolution(status=INFEASIBLE, objective=math.inf, values={})
+        lows.append(low)
+        spans.append(high - low)
+
+    n = len(variables)
+    rows: list[list[float]] = []
+    senses: list[str] = []
+    rhs: list[float] = []
+    for constraint in model.constraints:
+        row = [0.0] * n
+        shift = 0.0
+        for index, coeff in constraint.coeffs:
+            row[index] += coeff
+            shift += coeff * lows[index]
+        rows.append(row)
+        senses.append(constraint.sense)
+        rhs.append(constraint.rhs - shift)
+    for index, span in enumerate(spans):
+        if math.isfinite(span):
+            row = [0.0] * n
+            row[index] = 1.0
+            rows.append(row)
+            senses.append("<=")
+            rhs.append(span)
+
+    if not rows:
+        # No constraints at all: each variable sits at its cheap bound.
+        for var in variables:
+            if var.cost < -tol and not math.isfinite(spans[var.index]):
+                return LpSolution(
+                    status=UNBOUNDED, objective=-math.inf, values={}
+                )
+        values = {index: lows[index] for index in range(n)}
+        return LpSolution(
+            status=OPTIMAL,
+            objective=sum(var.cost * values[var.index] for var in variables),
+            values=values,
+        )
+
+    tableau, basis, art_start = _build_tableau(rows, senses, rhs, tol)
+    if not _phase_one(tableau, basis, art_start, tol):
+        return LpSolution(status=INFEASIBLE, objective=math.inf, values={})
+    _drop_artificials(tableau, basis, art_start, tol)
+
+    costs = [0.0] * art_start
+    for var in variables:
+        costs[var.index] = var.cost
+    status = _phase_two(tableau, basis, costs, tol)
+    if status == UNBOUNDED:
+        return LpSolution(status=UNBOUNDED, objective=-math.inf, values={})
+
+    shifted = [0.0] * n
+    for row_index, column in enumerate(basis):
+        if column < n:
+            shifted[column] = tableau[row_index][-1]
+    values = {
+        index: lows[index] + shifted[index] for index in range(n)
+    }
+    objective = sum(
+        var.cost * values[var.index] for var in variables
+    )
+    return LpSolution(status=OPTIMAL, objective=objective, values=values)
+
+
+# ---------------------------------------------------------------------------
+def _build_tableau(
+    rows: list[list[float]],
+    senses: list[str],
+    rhs: list[float],
+    tol: float,
+):
+    """Standard form: every row gets a slack/surplus and, when needed, an
+    artificial basic variable; all right-hand sides normalized >= 0."""
+    n = len(rows[0]) if rows else 0
+    normalized: list[tuple[list[float], str, float]] = []
+    for row, sense, value in zip(rows, senses, rhs):
+        if value < 0:
+            row = [-coeff for coeff in row]
+            value = -value
+            sense = {"<=": ">=", ">=": "<=", "==": "=="}[sense]
+        normalized.append((row, sense, value))
+
+    slack_count = sum(1 for _, sense, _ in normalized if sense != "==")
+    art_start = n + slack_count
+    art_count = sum(1 for _, sense, _ in normalized if sense != "<=")
+    width = art_start + art_count + 1  # + rhs column
+
+    tableau: list[list[float]] = []
+    basis: list[int] = []
+    slack_at = n
+    art_at = art_start
+    for row, sense, value in normalized:
+        full = [0.0] * width
+        full[:n] = row
+        full[-1] = value
+        if sense == "<=":
+            full[slack_at] = 1.0
+            basis.append(slack_at)
+            slack_at += 1
+        elif sense == ">=":
+            full[slack_at] = -1.0
+            slack_at += 1
+            full[art_at] = 1.0
+            basis.append(art_at)
+            art_at += 1
+        else:  # "=="
+            full[art_at] = 1.0
+            basis.append(art_at)
+            art_at += 1
+        tableau.append(full)
+    return tableau, basis, art_start
+
+
+def _pivot(tableau: list[list[float]], basis: list[int], row: int, col: int):
+    pivot_row = tableau[row]
+    inverse = 1.0 / pivot_row[col]
+    for j, value in enumerate(pivot_row):
+        pivot_row[j] = value * inverse
+    for i, other in enumerate(tableau):
+        if i == row:
+            continue
+        factor = other[col]
+        if factor:
+            for j, value in enumerate(pivot_row):
+                if value:
+                    other[j] -= factor * value
+            other[col] = 0.0
+    basis[row] = col
+
+
+def _reduced_costs(
+    tableau: list[list[float]], basis: list[int], costs: list[float]
+) -> list[float]:
+    width = len(tableau[0]) if tableau else 1
+    reduced = [0.0] * width
+    reduced[: len(costs)] = costs
+    for row_index, column in enumerate(basis):
+        basic_cost = costs[column] if column < len(costs) else 0.0
+        if basic_cost:
+            row = tableau[row_index]
+            for j in range(width):
+                if row[j]:
+                    reduced[j] -= basic_cost * row[j]
+    return reduced
+
+
+def _iterate(
+    tableau: list[list[float]],
+    basis: list[int],
+    reduced: list[float],
+    allowed: int,
+    tol: float,
+) -> str:
+    """Bland-rule simplex iterations until optimal or unbounded.
+
+    ``allowed`` bounds the entering columns (artificials are excluded by
+    passing the artificial start index)."""
+    iterations = 0
+    limit = 1000 + 200 * (len(tableau) + allowed)
+    while True:
+        entering = -1
+        for j in range(allowed):
+            if reduced[j] < -tol:
+                entering = j  # Bland: smallest eligible index
+                break
+        if entering < 0:
+            return OPTIMAL
+        leaving = -1
+        best_ratio = math.inf
+        for i, row in enumerate(tableau):
+            coeff = row[entering]
+            if coeff > tol:
+                ratio = row[-1] / coeff
+                if ratio < best_ratio - tol or (
+                    ratio < best_ratio + tol
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return UNBOUNDED
+        _pivot(tableau, basis, leaving, entering)
+        factor = reduced[entering]
+        if factor:
+            pivot_row = tableau[leaving]
+            for j, value in enumerate(pivot_row):
+                if value:
+                    reduced[j] -= factor * value
+            reduced[entering] = 0.0
+        iterations += 1
+        if iterations > limit:  # pragma: no cover - Bland prevents cycling
+            raise ValidationError("simplex iteration limit exceeded")
+
+
+def _phase_one(
+    tableau: list[list[float]], basis: list[int], art_start: int, tol: float
+) -> bool:
+    """Minimize the artificial sum; True when a feasible basis exists."""
+    if not tableau:
+        return True
+    width = len(tableau[0])
+    if width - 1 == art_start:  # no artificials: slack basis is feasible
+        return True
+    costs = [0.0] * (width - 1)
+    for j in range(art_start, width - 1):
+        costs[j] = 1.0
+    reduced = _reduced_costs(tableau, basis, costs)
+    _iterate(tableau, basis, reduced, art_start, tol)
+    infeasibility = sum(
+        tableau[i][-1] for i, column in enumerate(basis) if column >= art_start
+    )
+    return infeasibility <= math.sqrt(tol)
+
+
+def _drop_artificials(
+    tableau: list[list[float]], basis: list[int], art_start: int, tol: float
+) -> None:
+    """Pivot zero-valued artificials out of the basis; delete redundant
+    rows and every artificial column."""
+    for i in reversed(range(len(tableau))):
+        if basis[i] < art_start:
+            continue
+        row = tableau[i]
+        pivot_col = next(
+            (j for j in range(art_start) if abs(row[j]) > tol), None
+        )
+        if pivot_col is None:
+            del tableau[i]  # redundant row
+            del basis[i]
+        else:
+            _pivot(tableau, basis, i, pivot_col)
+    for row in tableau:
+        del row[art_start:-1]
+
+
+def _phase_two(
+    tableau: list[list[float]],
+    basis: list[int],
+    costs: list[float],
+    tol: float,
+) -> str:
+    if not tableau:
+        return OPTIMAL
+    reduced = _reduced_costs(tableau, basis, costs)
+    return _iterate(tableau, basis, reduced, len(costs), tol)

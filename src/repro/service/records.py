@@ -148,6 +148,8 @@ def chain_to_spec(chain) -> dict:
     return {
         "chain_id": chain.chain_id,
         "bandwidth_gbps": chain.bandwidth_gbps,
+        "partial_order": [list(pair) for pair in chain.partial_order],
+        "anti_affinity": [list(pair) for pair in chain.anti_affinity],
         "functions": [
             {
                 "name": function.name,
@@ -183,6 +185,13 @@ def chain_from_spec(spec: Mapping):
         chain_id=spec["chain_id"],
         functions=functions,
         bandwidth_gbps=spec["bandwidth_gbps"],
+        # Journals written before the constraint knobs lack these keys.
+        partial_order=tuple(
+            (int(a), int(b)) for a, b in spec.get("partial_order", ())
+        ),
+        anti_affinity=tuple(
+            (int(a), int(b)) for a, b in spec.get("anti_affinity", ())
+        ),
     )
 
 

@@ -189,6 +189,7 @@ class AlvcStack:
             engine_config = EngineConfig(
                 cover_kernel=engine_config.cover_kernel,
                 routing=routing_engine,
+                solver=engine_config.solver,
                 workers=engine_config.workers,
             )
         if isinstance(host_policy, str):

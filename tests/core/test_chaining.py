@@ -105,3 +105,108 @@ class TestChainRequest:
                 tenant="tenant-0", chain=chain, service="web",
                 flow_size_gb=0,
             )
+
+
+class TestConstraintKnobs:
+    def test_partial_order_adds_precedence_edges(self, function_catalog):
+        chain = NetworkFunctionChain.from_names(
+            "chain-0",
+            ("firewall", "dpi", "load-balancer"),
+            function_catalog,
+            partial_order=((0, 2),),
+        )
+        graph = chain.forwarding_graph()
+        edge = graph.edges[(0, "firewall"), (2, "load-balancer")]
+        assert edge["constraint"] == "precedence"
+
+    def test_partial_order_must_follow_processing_order(
+        self, function_catalog
+    ):
+        with pytest.raises(ChainValidationError):
+            NetworkFunctionChain.from_names(
+                "chain-0",
+                ("firewall", "dpi"),
+                function_catalog,
+                partial_order=((1, 0),),
+            )
+        with pytest.raises(ChainValidationError):
+            NetworkFunctionChain.from_names(
+                "chain-0",
+                ("firewall", "dpi"),
+                function_catalog,
+                partial_order=((0, 0),),
+            )
+
+    def test_knob_positions_are_range_checked(self, function_catalog):
+        with pytest.raises(ChainValidationError):
+            NetworkFunctionChain.from_names(
+                "chain-0", ("firewall",), function_catalog,
+                partial_order=((0, 5),),
+            )
+        with pytest.raises(ChainValidationError):
+            NetworkFunctionChain.from_names(
+                "chain-0", ("firewall", "dpi"), function_catalog,
+                anti_affinity=((0, 9),),
+            )
+
+    def test_anti_affinity_rejects_self_pair(self, function_catalog):
+        with pytest.raises(ChainValidationError):
+            NetworkFunctionChain.from_names(
+                "chain-0", ("firewall", "dpi"), function_catalog,
+                anti_affinity=((1, 1),),
+            )
+
+    def test_anti_affinity_conflicts_are_symmetric(self, function_catalog):
+        chain = NetworkFunctionChain.from_names(
+            "chain-0",
+            ("firewall", "dpi", "load-balancer"),
+            function_catalog,
+            anti_affinity=((0, 2), (1, 2)),
+        )
+        assert chain.anti_affinity_conflicts() == {
+            0: frozenset({2}),
+            1: frozenset({2}),
+            2: frozenset({0, 1}),
+        }
+
+    def test_from_names_coerces_pairs_to_int_tuples(self, function_catalog):
+        chain = NetworkFunctionChain.from_names(
+            "chain-0",
+            ("firewall", "dpi"),
+            function_catalog,
+            partial_order=[[0, 1]],
+            anti_affinity=[("0", "1")],
+        )
+        assert chain.partial_order == ((0, 1),)
+        assert chain.anti_affinity == ((0, 1),)
+
+
+class TestSpecRoundTrip:
+    def test_knobs_survive_spec_round_trip(self, function_catalog):
+        from repro.service.records import chain_from_spec, chain_to_spec
+
+        chain = NetworkFunctionChain.from_names(
+            "chain-0",
+            ("firewall", "dpi", "load-balancer"),
+            function_catalog,
+            bandwidth_gbps=5.0,
+            partial_order=((0, 2),),
+            anti_affinity=((1, 2),),
+        )
+        rebuilt = chain_from_spec(chain_to_spec(chain))
+        assert rebuilt == chain
+        assert rebuilt.partial_order == ((0, 2),)
+        assert rebuilt.anti_affinity == ((1, 2),)
+
+    def test_legacy_specs_without_knobs_still_load(self, function_catalog):
+        from repro.service.records import chain_from_spec, chain_to_spec
+
+        chain = NetworkFunctionChain.from_names(
+            "chain-0", ("firewall",), function_catalog
+        )
+        spec = chain_to_spec(chain)
+        del spec["partial_order"]
+        del spec["anti_affinity"]
+        rebuilt = chain_from_spec(spec)
+        assert rebuilt.partial_order == ()
+        assert rebuilt.anti_affinity == ()

@@ -128,6 +128,58 @@ class TestKernelParity:
             {"m-0", "m-1", "m-2"}
         )
 
+    @pytest.mark.parametrize(
+        "cover",
+        [
+            lambda u, c, kernel: greedy_max_weight_cover(u, c, {}, kernel=kernel),
+            lambda u, c, kernel: greedy_marginal_cover(u, c, kernel=kernel),
+            lambda u, c, kernel: random_cover(
+                u, c, random.Random(0), kernel=kernel
+            ),
+        ],
+        ids=["max_weight", "marginal", "random"],
+    )
+    def test_empty_candidates_empty_universe_parity(self, cover):
+        # Degenerate regression: with no candidates at all, the set
+        # kernel used to return an empty cover while the bitset kernel
+        # diverged.  Both must now return the identical empty,
+        # feasibility-checked result.
+        results = {
+            kernel: cover(frozenset(), {}, kernel) for kernel in ("set", "bitset")
+        }
+        assert results["set"] == results["bitset"]
+        assert results["set"].selected == ()
+        assert results["set"].steps == ()
+        assert results["set"].universe == frozenset()
+
+    @pytest.mark.parametrize(
+        "cover",
+        [
+            lambda u, c, kernel: greedy_max_weight_cover(u, c, {}, kernel=kernel),
+            lambda u, c, kernel: greedy_marginal_cover(u, c, kernel=kernel),
+            lambda u, c, kernel: random_cover(
+                u, c, random.Random(0), kernel=kernel
+            ),
+        ],
+        ids=["max_weight", "marginal", "random"],
+    )
+    def test_empty_candidates_nonempty_universe_parity(self, cover):
+        universe = frozenset({"m-0", "m-1"})
+        uncovered = {}
+        for kernel in ("set", "bitset"):
+            with pytest.raises(CoverInfeasibleError) as info:
+                cover(universe, {}, kernel)
+            uncovered[kernel] = info.value.uncovered
+        assert uncovered["set"] == uncovered["bitset"] == universe
+
+    def test_empty_candidates_rng_stream_untouched(self):
+        # The degenerate guard must short-circuit *before* the random
+        # shuffle so it never consumes randomness (rng-stream parity
+        # with callers that share one Random across covers).
+        rng = random.Random(42)
+        random_cover(frozenset(), {}, rng)
+        assert rng.random() == random.Random(42).random()
+
 
 class TestInfeasibilityReporting:
     """The interning pass doubles as the feasibility check: the error
@@ -264,10 +316,30 @@ class TestNaturalSortKeyEdges:
         ]
 
     def test_non_string_ids(self):
-        # Hashable non-strings are keyed by their string form.
-        assert sorted([10, 2], key=natural_sort_key) == sorted(
-            [10, 2], key=lambda item: natural_sort_key(str(item))
-        )
+        # Plain integer ids order numerically, not by their string form
+        # (which would put 10 before 2).
+        assert sorted([10, 2], key=natural_sort_key) == [2, 10]
+
+    def test_mixed_int_and_string_ids(self):
+        # The regression this pins: mixed id populations used to raise
+        # TypeError (comparing ("10", ...) against ("tor", 10, ...)
+        # shapes).  Every key now has the same (str, int, int, str)
+        # shape, ints sort before prefixed ids, and numeric order wins
+        # within each group.
+        mixed = ["tor-10", 2, "tor-2", 10, "ops-1", 3]
+        assert sorted(mixed, key=natural_sort_key) == [
+            2,
+            3,
+            10,
+            "ops-1",
+            "tor-2",
+            "tor-10",
+        ]
+
+    def test_bool_ids_keep_string_keying(self):
+        # bools are ints in python; keep them on the generic string
+        # path so True/False don't interleave with numeric ids.
+        assert natural_sort_key(True) == natural_sort_key("True")
 
     def test_numeric_suffix_with_leading_zeros(self):
         assert sorted(["tor-010", "tor-2"], key=natural_sort_key) == [

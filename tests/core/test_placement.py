@@ -339,6 +339,50 @@ class TestImprove:
         # nothing moves under excursion semantics.
         assert after.optical_count == 0
 
+    def test_improve_merged_rejects_tie_objective_moves(self):
+        # Regression: moving either flanking VNF around the unpackable
+        # DPI leaves the excursion count at 1 — a tie, not an
+        # improvement.  Tie swaps used to be committed, burning
+        # capacity and letting repeated improve() calls cycle.
+        chain = make_chain(("nat", "dpi", "firewall"))
+        base = PlacementSolver({}, merge_consecutive=True).solve(
+            chain, PlacementAlgorithm.ALL_ELECTRONIC
+        )
+        solver = PlacementSolver(pool(), merge_consecutive=True)
+        after = solver.improve(base)
+        assert after.conversions == base.conversions
+        assert after.optical_count == 0
+
+    def test_improve_converges_on_repeated_calls(self):
+        # Repeated improve() on one solver reaches a fixed point: the
+        # second call sees the same placement and identical domains.
+        chain = make_chain(("nat", "dpi", "firewall"))
+        base = PlacementSolver({}, merge_consecutive=True).solve(
+            chain, PlacementAlgorithm.ALL_ELECTRONIC
+        )
+        solver = PlacementSolver(pool(), merge_consecutive=True)
+        once = solver.improve(base)
+        twice = solver.improve(once)
+        assert twice.domains() == once.domains()
+        assert twice.optical_hosts() == once.optical_hosts()
+
+    def test_improve_commits_consumed_capacity(self):
+        # Regression: committed moves must be deducted from the
+        # solver's own snapshot — a second improve() from the same
+        # starting placement must not re-spend the capacity the first
+        # call consumed.
+        capacity = {"ops-0": ResourceVector(2, 4, 8)}  # one run's worth
+        chain = make_chain(("nat", "firewall"))
+        base = PlacementSolver({}, merge_consecutive=True).solve(
+            chain, PlacementAlgorithm.ALL_ELECTRONIC
+        )
+        solver = PlacementSolver(capacity, merge_consecutive=True)
+        first = solver.improve(base)
+        assert first.optical_count == 2
+        assert first.conversions == 0
+        second = solver.improve(base)
+        assert second.optical_count == 0  # snapshot already spent
+
 
 class TestHostPolicy:
     def _pool4(self):

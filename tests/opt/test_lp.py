@@ -1,0 +1,128 @@
+"""Unit tests for the pure-python two-phase simplex LP solver."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.opt.lp import solve_lp
+from repro.opt.model import MilpModel
+
+
+def test_simple_optimum():
+    # minimize -(x + y) over x, y in [0, 3] with x + 2y <= 4
+    model = MilpModel()
+    x = model.add_var("x", low=0.0, high=3.0, cost=-1.0)
+    y = model.add_var("y", low=0.0, high=3.0, cost=-1.0)
+    model.add_le({x: 1.0, y: 2.0}, 4.0)
+    solution = solve_lp(model)
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(-3.5)
+    assert solution.values[x] == pytest.approx(3.0)
+    assert solution.values[y] == pytest.approx(0.5)
+
+
+def test_nonzero_lower_bounds_shift():
+    model = MilpModel()
+    x = model.add_var("x", low=2.0, high=5.0, cost=1.0)
+    y = model.add_var("y", low=1.0, high=4.0, cost=1.0)
+    model.add_ge({x: 1.0, y: 1.0}, 4.0)
+    solution = solve_lp(model)
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(4.0)
+    assert solution.values[x] + solution.values[y] == pytest.approx(4.0)
+    assert solution.values[x] >= 2.0 - 1e-9
+    assert solution.values[y] >= 1.0 - 1e-9
+
+
+def test_equality_rows():
+    model = MilpModel()
+    x = model.add_var("x", cost=1.0)
+    y = model.add_var("y", cost=0.0)
+    model.add_eq({x: 1.0, y: 1.0}, 2.0)
+    solution = solve_lp(model)
+    assert solution.is_optimal
+    assert solution.values[x] == pytest.approx(0.0)
+    assert solution.values[y] == pytest.approx(2.0)
+
+
+def test_redundant_equality_rows_are_tolerated():
+    # Duplicated rows leave a zero-valued artificial in the basis;
+    # _drop_artificials must delete the redundant row, not fail.
+    model = MilpModel()
+    x = model.add_var("x", cost=1.0)
+    y = model.add_var("y", cost=2.0)
+    model.add_eq({x: 1.0, y: 1.0}, 3.0)
+    model.add_eq({x: 1.0, y: 1.0}, 3.0)
+    solution = solve_lp(model)
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(3.0)
+
+
+def test_infeasible():
+    model = MilpModel()
+    x = model.add_var("x", low=0.0, high=1.0)
+    model.add_ge({x: 1.0}, 2.0)
+    solution = solve_lp(model)
+    assert solution.status == "infeasible"
+    assert not solution.is_optimal
+
+
+def test_infeasible_via_bound_overrides():
+    model = MilpModel()
+    x = model.add_var("x", low=0.0, high=1.0)
+    assert solve_lp(model, {x: (2.0, 1.0)}).status == "infeasible"
+
+
+def test_unbounded():
+    model = MilpModel()
+    x = model.add_var("x", cost=-1.0)  # no upper bound
+    y = model.add_var("y", cost=0.0)
+    model.add_ge({x: 1.0, y: -1.0}, 0.0)
+    solution = solve_lp(model)
+    assert solution.status == "unbounded"
+
+
+def test_no_constraints_sits_at_lower_bounds():
+    model = MilpModel()
+    x = model.add_var("x", low=1.5, cost=1.0)
+    solution = solve_lp(model)
+    assert solution.is_optimal
+    assert solution.values[x] == pytest.approx(1.5)
+
+
+def test_no_constraints_unbounded():
+    model = MilpModel()
+    model.add_var("x", cost=-1.0)
+    assert solve_lp(model).status == "unbounded"
+
+
+def test_bound_overrides_fix_variables():
+    # The branch-and-bound contract: overrides alone pin binaries.
+    model = MilpModel()
+    x = model.add_var("x", low=0.0, high=1.0, cost=-1.0)
+    y = model.add_var("y", low=0.0, high=1.0, cost=-1.0)
+    model.add_le({x: 1.0, y: 1.0}, 1.5)
+    free = solve_lp(model)
+    assert free.objective == pytest.approx(-1.5)
+    pinned = solve_lp(model, {x: (1.0, 1.0)})
+    assert pinned.is_optimal
+    assert pinned.values[x] == pytest.approx(1.0)
+    assert pinned.values[y] == pytest.approx(0.5)
+
+
+def test_model_validation():
+    model = MilpModel()
+    model.add_var("x")
+    with pytest.raises(ValidationError):
+        model.add_var("x")  # duplicate name
+    with pytest.raises(ValidationError):
+        model.add_var("bad", low=2.0, high=1.0)  # empty domain
+    with pytest.raises(ValidationError):
+        model.add_constraint({0: 1.0}, "<", 1.0)  # unknown sense
+    with pytest.raises(ValidationError):
+        model.add_le({7: 1.0}, 1.0)  # unknown column
+    with pytest.raises(ValidationError):
+        model.index_of("nope")
+    assert model.index_of("x") == 0
+    assert math.isinf(model.variables[0].high)
