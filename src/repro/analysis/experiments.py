@@ -2255,3 +2255,192 @@ def experiment_e24_exact_gap(
     for pair in sweep.map(_e24_instance, tasks):
         rows.extend(pair)
     return rows
+
+
+# ----------------------------------------------------------------------
+# E25 — a week in the life: multi-tenant churn soak with elastic scaling
+# ----------------------------------------------------------------------
+def _e25_soak(task: dict) -> dict:
+    """One journaled churn soak; top-level so SweepRunner can shard arms.
+
+    Builds a fresh journaled stack, plays the seeded scenario through
+    :meth:`~repro.stack.AlvcStack.run_workload`, then restores the stack
+    from its own journal and records whether the replayed control plane
+    is digest-identical to the live one (the ``replay_identical``
+    column) — every arm re-proves bit-replayability from scratch.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.snapshot import state_digest
+    from repro.stack import AlvcStack
+    from repro.workload import (
+        AdmissionPolicy,
+        ScenarioConfig,
+        generate_scenario,
+    )
+
+    config = ScenarioConfig(
+        days=task["days"],
+        epochs_per_day=task["epochs_per_day"],
+        arrival_rate=task["arrival_rate"],
+        mean_lifetime_epochs=task["mean_lifetime_epochs"],
+        slots=task["slots"],
+        slot_cpu=task["slot_cpu"],
+        slot_memory_gb=task["slot_memory_gb"],
+        slot_storage_gb=task["slot_storage_gb"],
+        demand_base=task["demand_base"],
+        demand_amplitude=task["demand_amplitude"],
+    )
+    scenario = generate_scenario(config, seed=task["seed"])
+    policy = AdmissionPolicy(
+        defrag_threshold=task["defrag_threshold"],
+        defrag_period=task["defrag_period"],
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = Path(tmp) / "journal.alvc"
+        stack = AlvcStack.build(
+            n_racks=task["n_racks"],
+            servers_per_rack=task["servers_per_rack"],
+            n_ops=task["n_ops"],
+            seed=task["seed"],
+            vms_per_service=task["vms_per_service"],
+            exclusive_chains=False,
+            journal=journal_path,
+            sync="off",
+        )
+        report = stack.run_workload(
+            scenario,
+            admission=policy,
+            chaos_rate=task["chaos_rate"],
+            storm_period=task["storm_period"],
+            storm_size=task["storm_size"],
+        )
+        stack.journal.close()
+        restored = AlvcStack.restore(journal_path)
+        replay_identical = state_digest(restored) == report.state_digest
+        restored.journal.close()
+    return {
+        "arm": task["arm"],
+        "tenants": report.tenants_arrived,
+        "admitted": report.tenants_admitted,
+        "rejected": report.tenants_rejected,
+        "acceptance_ratio": report.acceptance_ratio,
+        "departed": report.tenants_departed,
+        "sla_violations": report.sla_violations,
+        "sla_chain_epochs": report.sla_chain_epochs,
+        "scale_ups": report.scale_ups,
+        "scale_downs": report.scale_downs,
+        "scale_blocked": report.scale_blocked,
+        "reembeddings": report.reembeddings,
+        "reembed_losses": report.reembed_losses,
+        "fragmentation_peak": report.fragmentation_peak,
+        "al_churn_cost": report.al_churn_cost,
+        "faults": report.faults_injected,
+        "recovered": report.faults_recovered,
+        "vms_migrated": report.vms_migrated,
+        "journal_records": report.journal_records,
+        "decisions_checksum": report.decisions_checksum,
+        "digest": report.state_digest[:12],
+        "replay_identical": replay_identical,
+    }
+
+
+def experiment_e25_week_in_the_life(
+    *,
+    days: float = 7.0,
+    n_racks: int = 128,
+    servers_per_rack: int = 8,
+    n_ops: int = 48,
+    slots: int = 12,
+    arrival_rate: float = 1.0,
+    mean_lifetime_epochs: float = 18.0,
+    dense_days: float = 2.0,
+    seed: int = 0,
+    workers: int = 1,
+    runner: SweepRunner | None = None,
+) -> list[dict]:
+    """A week of multi-tenant churn, elastic scaling and chaos (E25).
+
+    Three independent soak arms, shardable across workers with
+    bit-identical rows for any worker count:
+
+    * ``fleet-a`` — the full soak on the 1024-server fabric (default
+      sizing): Poisson/diurnal tenant churn over ``slots`` service
+      slots, elastic VNF scaling against per-tenant demand curves,
+      seeded OPS fault/repair chaos and periodic migration storms.
+    * ``fleet-b`` — the identical task again; its row (digest included)
+      must equal ``fleet-a``'s, re-proving run-to-run determinism
+      (the ``twin_identical`` column).
+    * ``dense`` — a deliberately over-subscribed small fabric where
+      admission rejects on AL exhaustion *and* capacity, fragmentation
+      crosses the defrag threshold, and the re-embedding pass actually
+      fires.
+
+    Every arm journals its whole run and restores from that journal,
+    so ``replay_identical`` certifies a week of churn replays into the
+    bit-identical control plane.
+    """
+    fleet = {
+        "n_racks": n_racks,
+        "servers_per_rack": servers_per_rack,
+        "n_ops": n_ops,
+        "vms_per_service": 4,
+        "days": days,
+        "epochs_per_day": 24,
+        "arrival_rate": arrival_rate,
+        "mean_lifetime_epochs": mean_lifetime_epochs,
+        "slots": slots,
+        "slot_cpu": 1.0,
+        "slot_memory_gb": 2.0,
+        "slot_storage_gb": 10.0,
+        "demand_base": 0.2,
+        "demand_amplitude": 1.2,
+        "defrag_threshold": 0.5,
+        "defrag_period": 12,
+        "chaos_rate": 0.03,
+        "storm_period": 12,
+        "storm_size": 4,
+        "seed": seed,
+    }
+    dense = {
+        **fleet,
+        "n_racks": 2,
+        "servers_per_rack": 4,
+        "n_ops": 8,
+        "vms_per_service": 2,
+        "days": dense_days,
+        "arrival_rate": 0.7,
+        "mean_lifetime_epochs": 20.0,
+        "slots": 6,
+        "slot_cpu": 12.0,
+        "slot_memory_gb": 24.0,
+        "slot_storage_gb": 120.0,
+        "defrag_threshold": 0.25,
+        "defrag_period": 6,
+        "chaos_rate": 0.04,
+        "storm_period": 8,
+        "storm_size": 2,
+    }
+    tasks = [
+        {**fleet, "arm": "fleet-a"},
+        {**fleet, "arm": "fleet-b"},
+        {**dense, "arm": "dense"},
+    ]
+    sweep = runner if runner is not None else SweepRunner(workers=workers)
+    rows = sweep.map(_e25_soak, tasks)
+    twins = {row["arm"]: row for row in rows}
+    twin_identical = {
+        key: value
+        for key, value in twins["fleet-a"].items()
+        if key != "arm"
+    } == {
+        key: value
+        for key, value in twins["fleet-b"].items()
+        if key != "arm"
+    }
+    for row in rows:
+        row["twin_identical"] = (
+            twin_identical if row["arm"].startswith("fleet") else True
+        )
+    return rows

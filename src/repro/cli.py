@@ -270,6 +270,15 @@ def _run_e24(workers: int = 1) -> dict:
     }
 
 
+@_register("e25", "Week-in-the-life churn soak: scaling, chaos, defrag")
+def _run_e25(workers: int = 1) -> dict:
+    return {
+        "E25 — week-in-the-life churn soak": (
+            experiments.experiment_e25_week_in_the_life(workers=workers)
+        )
+    }
+
+
 #: Defaults for the ``--chaos`` option; every key may be overridden in
 #: the ``key=value,key=value`` spec.
 _CHAOS_DEFAULTS: dict[str, float] = {
@@ -492,6 +501,109 @@ def _serve(args) -> int:
     return 0
 
 
+def _workload(args) -> int:
+    """``workload``: one seeded long-horizon churn soak on a fresh stack.
+
+    Draws a scenario from the seed, plays it through
+    :meth:`AlvcStack.run_workload` (admission control, elastic scaling,
+    optional chaos and migration storms) and prints the
+    :class:`~repro.workload.WorkloadReport` as tables.  With ``--state``
+    the run is journaled into a durable directory; ``--verify-replay``
+    restores the stack from that journal afterwards and asserts the
+    replayed control plane is digest-identical to the live one.
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.exceptions import ALVCError
+    from repro.stack import AlvcStack
+    from repro.workload import AdmissionPolicy, ScenarioConfig
+
+    try:
+        build_options = _parse_build(args.build) if args.build else {}
+        config = ScenarioConfig(
+            days=args.days,
+            epochs_per_day=args.epochs_per_day,
+            arrival_rate=args.arrival_rate,
+            mean_lifetime_epochs=args.mean_lifetime,
+            slots=args.slots,
+        )
+        policy = AdmissionPolicy(
+            defrag_threshold=args.defrag_threshold,
+            defrag_period=args.defrag_period,
+        )
+    except (ValueError, ALVCError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    # Slots share clusters across a tenant's chains, so the stack must
+    # allow multiple chains per cluster unless the caller overrides it.
+    build_options.setdefault("exclusive_chains", False)
+    scratch = None
+    state_dir = args.state
+    if state_dir is None and args.verify_replay:
+        scratch = tempfile.TemporaryDirectory(prefix="alvc-workload-")
+        state_dir = scratch.name
+    try:
+        if state_dir is not None:
+            directory = _Path(state_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            build_options["journal"] = directory / "journal.alvc"
+            build_options["sync"] = args.sync
+        # The workload seed doubles as the fabric seed unless --build
+        # names its own.
+        build_options.setdefault("seed", args.seed)
+        try:
+            stack = AlvcStack.build(**build_options)
+            report = stack.run_workload(
+                seed=args.seed,
+                config=config,
+                admission=policy,
+                chaos_rate=args.chaos_rate,
+                chaos_repair_after=args.repair_after,
+                storm_period=args.storm_period,
+                storm_size=args.storm_size,
+            )
+        except (TypeError, ALVCError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        summary = report.to_dict()
+        rejections = summary.pop("rejections", {})
+        tables = {
+            "Workload — run summary": [
+                {"metric": name, "value": value}
+                for name, value in sorted(summary.items())
+            ]
+        }
+        if rejections:
+            tables["Workload — rejection reasons"] = [
+                {"reason": reason, "tenants": count}
+                for reason, count in sorted(rejections.items())
+            ]
+        replay_ok = True
+        if args.verify_replay:
+            from repro.service.snapshot import state_digest
+
+            stack.journal.close()
+            restored = AlvcStack.restore(build_options["journal"])
+            replay_ok = state_digest(restored) == report.state_digest
+            restored.journal.close()
+            tables["Workload — journal replay"] = [
+                {
+                    "journal_records": report.journal_records,
+                    "digest": report.state_digest[:12],
+                    "replay_identical": replay_ok,
+                }
+            ]
+        elif state_dir is not None:
+            stack.journal.close()
+        for title, rows in tables.items():
+            print(render_table(rows, title=title))
+        return 0 if replay_ok else 1
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+
+
 def _slug(title: str) -> str:
     keep = [c if c.isalnum() else "-" for c in title.lower()]
     collapsed = "".join(keep)
@@ -565,6 +677,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a snapshot after the request stream ends, bounding "
         "the next restore's replay work",
     )
+    workload_parser = subparsers.add_parser(
+        "workload",
+        help="seeded long-horizon churn soak (tenant arrivals, elastic "
+        "scaling, chaos) with optional journal-replay verification",
+    )
+    workload_parser.add_argument(
+        "--days", type=float, default=1.0, help="simulated days (default: 1)"
+    )
+    workload_parser.add_argument(
+        "--epochs-per-day",
+        type=int,
+        default=24,
+        metavar="N",
+        help="scheduling rounds per simulated day",
+    )
+    workload_parser.add_argument(
+        "--seed", type=int, default=0, help="scenario and stack seed"
+    )
+    workload_parser.add_argument(
+        "--slots",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent tenant service slots (one AL each)",
+    )
+    workload_parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="mean tenant arrivals per epoch before diurnal modulation",
+    )
+    workload_parser.add_argument(
+        "--mean-lifetime",
+        type=float,
+        default=12.0,
+        metavar="EPOCHS",
+        help="mean tenant lifetime in epochs (exponential)",
+    )
+    workload_parser.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="OPS fault-injection rate per epoch (0 disables chaos)",
+    )
+    workload_parser.add_argument(
+        "--repair-after",
+        type=float,
+        default=2.0,
+        metavar="EPOCHS",
+        help="epochs between an injected fault and its repair",
+    )
+    workload_parser.add_argument(
+        "--storm-period",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fire a VM migration storm every N epochs (0 disables)",
+    )
+    workload_parser.add_argument(
+        "--storm-size",
+        type=int,
+        default=2,
+        metavar="N",
+        help="VMs migrated per storm",
+    )
+    workload_parser.add_argument(
+        "--defrag-threshold",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="fragmentation level that triggers re-embedding",
+    )
+    workload_parser.add_argument(
+        "--defrag-period",
+        type=int,
+        default=12,
+        metavar="N",
+        help="epochs between defragmentation checks",
+    )
+    workload_parser.add_argument(
+        "--state",
+        metavar="DIR",
+        default=None,
+        help="journal the run into this directory (restorable later "
+        "with ControlPlaneService.open / AlvcStack.restore)",
+    )
+    workload_parser.add_argument(
+        "--sync",
+        choices=("always", "off"),
+        default="off",
+        help="journal durability mode when --state is given "
+        "(default: off — soaks favour speed over fsync)",
+    )
+    workload_parser.add_argument(
+        "--verify-replay",
+        action="store_true",
+        help="after the soak, restore the stack from its journal and "
+        "verify the replayed state digest matches the live one "
+        "(uses a temporary directory when --state is omitted); "
+        "exit code 1 on mismatch",
+    )
+    workload_parser.add_argument(
+        "--build",
+        metavar="SPEC",
+        default=None,
+        help="AlvcStack.build arguments as 'key=value,key=value' "
+        "(e.g. 'n_racks=16,n_ops=16'); exclusive_chains defaults "
+        "to false so tenant chains can share cluster slices",
+    )
     run_parser = subparsers.add_parser("run", help="run experiments by id")
     run_parser.add_argument(
         "experiments",
@@ -629,6 +852,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "workload":
+        return _workload(args)
     if args.command == "list":
         for exp_id in sorted(_REGISTRY):
             description, _ = _REGISTRY[exp_id]

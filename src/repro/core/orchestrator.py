@@ -41,6 +41,7 @@ from repro.exceptions import (
     DuplicateEntityError,
     PlacementError,
     RoutingError,
+    SlicingError,
     UnknownEntityError,
     ValidationError,
 )
@@ -509,6 +510,7 @@ class NetworkOrchestrator:
                     )
             with telemetry.span("provision.slice_allocation"):
                 allocated_here = False
+                slice_id_marks = self._slices.id_marks()
                 if users:
                     optical_slice = self._slices.slice_of_cluster(
                         cluster.cluster_id
@@ -525,6 +527,7 @@ class NetworkOrchestrator:
             except Exception:
                 if allocated_here:
                     self._slices.release(optical_slice.slice_id)
+                    self._slices.rewind_ids(slice_id_marks)
                 telemetry.counter(
                     "alvc_chains_provision_failures_total",
                     "provision_chain calls that raised",
@@ -992,13 +995,33 @@ class NetworkOrchestrator:
                 repaired_cluster = dataclasses.replace(
                     cluster, abstraction_layer=reconfigurator.layer
                 )
-                self._clusters.replace_cluster(repaired_cluster)
+                # Extend the cluster's optical slice onto the repaired
+                # AL *before* committing it: a replacement OPS can carry
+                # another slice's wavelengths (cluster bookkeeping frees
+                # an OPS when its AL drops it, but a live slice keeps
+                # its lambdas), in which case the repair must fail —
+                # degrading the cluster's chains — not corrupt slice
+                # isolation or crash mid-recovery.
+                committed = True
                 if self._slice_users.get(owner):
                     current_slice = self._slices.slice_of_cluster(owner)
-                    self._slices.extend(
-                        current_slice.slice_id,
-                        repaired_cluster.al_switches,
-                    )
+                    try:
+                        self._slices.extend(
+                            current_slice.slice_id,
+                            repaired_cluster.al_switches,
+                        )
+                    except SlicingError:
+                        committed = False
+                if committed:
+                    self._clusters.replace_cluster(repaired_cluster)
+                else:
+                    recovered = False
+                    switches_touched = 0
+                    rebuilt = False
+                    repaired_cluster = None
+                    for live in self.chains():
+                        if live.cluster.cluster_id == owner:
+                            degrade(live.chain_id)
 
         # Evacuate optical VNFs off the dead router — preferring the
         # repaired AL's routers so chain paths stay inside the layer.

@@ -214,6 +214,24 @@ class SliceAllocator:
             self._record_census()
         return old
 
+    def id_marks(self) -> dict[str, int]:
+        """Snapshot of the slice-id allocator (pair with :meth:`rewind_ids`)."""
+        return self._ids.mark()
+
+    def rewind_ids(self, marks: dict[str, int]) -> None:
+        """Return slice ids allocated since ``marks`` to the allocator.
+
+        The rollback half of a failed command: :meth:`release` frees a
+        slice's wavelength and ports but deliberately keeps the id
+        counter monotonic, so a failed provision that allocated a fresh
+        slice would burn an id that journal replay (which never sees
+        failed commands) does not — and slice ids are digest-visible.
+        Only call this after releasing every slice allocated since the
+        mark; live slices above the mark would collide with re-issued
+        ids.
+        """
+        self._ids.rewind(marks)
+
     def slice_of_cluster(self, cluster: ClusterId) -> OpticalSlice:
         """The active slice of a cluster."""
         try:

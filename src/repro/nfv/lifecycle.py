@@ -106,6 +106,17 @@ class VnfLifecycleManager:
         """Any live state → TERMINATED."""
         return self.transition(vnf, VnfState.TERMINATED, reason)
 
+    def discard(self, vnf: VnfId) -> None:
+        """Forget a VNF entirely (the rollback half of a failed command).
+
+        Unlike :meth:`terminate`, which keeps the id on record in the
+        TERMINATED state, this erases it — a transaction that failed and
+        returned its ids to the allocator must leave no trace, or the
+        re-allocated ids would trip :meth:`create`'s duplicate check.
+        Unknown ids are ignored.
+        """
+        self._states.pop(vnf, None)
+
     # Queries -------------------------------------------------------------
     def state_of(self, vnf: VnfId) -> VnfState:
         """Current state of a VNF."""

@@ -74,8 +74,32 @@ class CloudNfvManager:
         return self._ids.mark()
 
     def rewind_ids(self, marks: dict[str, int]) -> None:
-        """Rewind the VNF id allocator to an :meth:`id_marks` snapshot."""
+        """Rewind the VNF id allocator to an :meth:`id_marks` snapshot.
+
+        Every instance the rolled-back ids referred to is forgotten
+        outright — lifecycle entry, instance record, carrier VM, pool
+        reservation.  A failed command must be *traceless*: it journals
+        nothing, so any remnant (even a TERMINATED lifecycle ghost)
+        would make the live run diverge from its replay — the ghost's
+        id gets re-allocated later and trips the duplicate check on the
+        live side only.
+        """
+        start = marks.get(vnf_id.__name__, 0)
+        stop = self._ids.mark().get(vnf_id.__name__, start)
         self._ids.rewind(marks)
+        for index in range(start, stop):
+            ghost = vnf_id(index)
+            instance = self._instances.pop(ghost, None)
+            carrier = self._carrier_vms.pop(ghost, None)
+            if carrier is not None and carrier in self._inventory:
+                self._inventory.remove(carrier)
+            if (
+                instance is not None
+                and instance.domain is Domain.OPTICAL
+                and ghost in self._pool.get(instance.host)
+            ):
+                self._pool.get(instance.host).evict(ghost)
+            self._lifecycle.discard(ghost)
 
     # ------------------------------------------------------------------
     # Deployment

@@ -11,9 +11,10 @@ Record taxonomy
 ---------------
 
 * **genesis** — the ``AlvcStack.build`` arguments; always ``seq == 0``.
-* **command records** (replayed): ``populate``, ``cluster``,
-  ``provision``, ``teardown``, ``modify``, ``upgrade``, ``vm_migrate``,
-  ``ops_failure``, ``ops_repair``, ``vnf_migrate``, ``vnf_scale``.
+* **command records** (replayed): ``register_service``, ``populate``,
+  ``cluster``, ``provision``, ``teardown``, ``modify``, ``upgrade``,
+  ``vm_migrate``, ``ops_failure``, ``ops_repair``, ``vnf_migrate``,
+  ``vnf_scale``.
   ``provision`` records carry an ``entry`` field (``"stack"`` or
   ``"orchestrator"``) so replay re-enters through the same public
   surface the caller used — the stack entry lazily bootstraps clusters,
@@ -42,6 +43,13 @@ RECORD_VERSION = 1
 #: compatibility); missing ones fail validation at append *and* read.
 SCHEMAS: dict[str, tuple[str, ...]] = {
     "genesis": ("build",),
+    "register_service": (
+        "name",
+        "cpu_cores",
+        "memory_gb",
+        "storage_gb",
+        "traffic_intensity",
+    ),
     "populate": ("service", "vms"),
     "cluster": ("service",),
     "provision": (

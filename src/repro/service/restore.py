@@ -89,7 +89,15 @@ def apply_record(stack, record: OpRecord) -> bool:
     orchestrator = stack.orchestrator
     if record.op in ("genesis", "al_reconfig"):
         return False
-    if record.op == "populate":
+    if record.op == "register_service":
+        stack.register_service(
+            data["name"],
+            cpu_cores=data["cpu_cores"],
+            memory_gb=data["memory_gb"],
+            storage_gb=data["storage_gb"],
+            traffic_intensity=data["traffic_intensity"],
+        )
+    elif record.op == "populate":
         stack.populate(data["service"], data["vms"])
     elif record.op == "cluster":
         stack.cluster(data["service"])

@@ -82,7 +82,9 @@ class ControlPlaneService:
         state_dir.mkdir(parents=True, exist_ok=True)
         journal_path = state_dir / JOURNAL_NAME
         snapshot_path = state_dir / SNAPSHOT_NAME
-        if journal_path.exists():
+        if journal_path.exists() and not cls._journal_is_blank(
+            journal_path, snapshot_path
+        ):
             if build_kwargs:
                 raise ValidationError(
                     f"{state_dir} already has a journal; its genesis "
@@ -103,6 +105,28 @@ class ControlPlaneService:
             journal=journal_path, sync=sync, **build_kwargs
         )
         return cls(stack, stack.journal, state_dir)
+
+    @staticmethod
+    def _journal_is_blank(journal_path: Path, snapshot_path: Path) -> bool:
+        """True when the journal holds no committed records at all.
+
+        A crash between journal creation and the genesis append leaves a
+        header-only (or torn-first-frame) journal behind; such a
+        directory has no state to restore, so :meth:`open` treats it as
+        fresh and rebuilds onto the same file — appending exactly one
+        genesis record at seq 0 — instead of refusing both the build
+        and the restore path forever.  A snapshot beside the journal
+        means there *is* state; that combination is left to
+        :func:`~repro.service.restore.restore_stack` to diagnose.
+        """
+        from repro.service.journal import read_journal
+
+        if snapshot_path.exists():
+            return False
+        try:
+            return not read_journal(journal_path).records
+        except Exception:
+            return False
 
     # ------------------------------------------------------------------
     @property

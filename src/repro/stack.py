@@ -48,9 +48,10 @@ from repro.observability.runtime import Telemetry, resolve
 from repro.service.journal import NULL_RECORDER, Journal, OpRecorder
 from repro.service.records import chain_to_spec
 from repro.topology.datacenter import DataCenterNetwork
+from repro.topology.elements import ResourceVector
 from repro.topology.generators import build_alvc_fabric
 from repro.virtualization.machines import MachineInventory, VirtualMachine
-from repro.virtualization.services import ServiceCatalog
+from repro.virtualization.services import ServiceCatalog, ServiceType
 from repro.virtualization.vm_placement import PlacementStrategy, VmPlacementEngine
 
 #: VMs created per service when ``provision`` has to bootstrap a cluster
@@ -153,10 +154,15 @@ class AlvcStack:
                 sweep worker count in one place.
             journal: a :class:`~repro.service.Journal` (or a path to
                 one) that records every state-mutating call on this
-                stack; a fresh journal receives a ``genesis`` record of
+                stack; the journal receives a ``genesis`` record of
                 these build arguments so
                 :func:`~repro.service.restore_stack` can rebuild the
-                stack from the log alone.  Journaled builds must be
+                stack from the log alone.  The journal must be empty —
+                attaching a fresh build to a journal that already holds
+                records raises :class:`~repro.exceptions.JournalError`
+                (resume one with :meth:`restore` /
+                :meth:`~repro.service.ControlPlaneService.open`
+                instead).  Journaled builds must be
                 reproducible from JSON-able arguments — passing
                 ``fabric=``/``services=``/``functions=``/
                 ``placement_strategy=`` or a :class:`Telemetry`
@@ -250,28 +256,34 @@ class AlvcStack:
         if journal is not None:
             if not isinstance(journal, Journal):
                 journal = Journal(journal, sync=sync, telemetry=sink)
-            fresh = journal.next_seq == 0
+            if journal.next_seq != 0:
+                journal.close()
+                raise JournalError(
+                    f"journal already holds {journal.next_seq} records; a "
+                    f"fresh build would diverge from its history without "
+                    f"re-journaling a genesis record — use AlvcStack.restore"
+                    f" / ControlPlaneService.open to resume it"
+                )
             stack.attach_journal(journal)
-            if fresh:
-                build_args = {
-                    "n_racks": n_racks,
-                    "servers_per_rack": servers_per_rack,
-                    "n_ops": n_ops,
-                    "seed": seed,
-                    "telemetry": (
-                        telemetry if not isinstance(telemetry, Telemetry)
-                        else None
-                    ),
-                    "vms_per_service": vms_per_service,
-                    "merge_consecutive": merge_consecutive,
-                    "exclusive_chains": exclusive_chains,
-                    "host_policy": (
-                        host_policy.value if host_policy is not None else None
-                    ),
-                    "engines": engine_config.to_dict(),
-                    **fabric_options,
-                }
-                journal.append("genesis", {"build": build_args})
+            build_args = {
+                "n_racks": n_racks,
+                "servers_per_rack": servers_per_rack,
+                "n_ops": n_ops,
+                "seed": seed,
+                "telemetry": (
+                    telemetry if not isinstance(telemetry, Telemetry)
+                    else None
+                ),
+                "vms_per_service": vms_per_service,
+                "merge_consecutive": merge_consecutive,
+                "exclusive_chains": exclusive_chains,
+                "host_policy": (
+                    host_policy.value if host_policy is not None else None
+                ),
+                "engines": engine_config.to_dict(),
+                **fabric_options,
+            }
+            journal.append("genesis", {"build": build_args})
         return stack
 
     # ------------------------------------------------------------------
@@ -336,6 +348,49 @@ class AlvcStack:
             if outermost:
                 self._recorder.record("cluster", service=service)
         return created
+
+    def register_service(
+        self,
+        name: str,
+        *,
+        cpu_cores: float = 2,
+        memory_gb: float = 4,
+        storage_gb: float = 50,
+        traffic_intensity: float = 1.0,
+    ) -> ServiceType:
+        """Register a new service type in the stack's catalog.
+
+        The journaled way to grow the catalog at runtime — long-horizon
+        workloads register one service slot per concurrent tenant, and
+        replay re-registers them in order.  ``build(services=...)``
+        remains the non-journaled alternative for a bespoke catalog.
+
+        Raises:
+            DuplicateEntityError: the name is already registered.
+            ValidationError: on a malformed service definition.
+        """
+        with self._recorder.operation() as outermost:
+            registered = self._services.register(
+                ServiceType(
+                    name,
+                    vm_demand=ResourceVector(
+                        cpu_cores=cpu_cores,
+                        memory_gb=memory_gb,
+                        storage_gb=storage_gb,
+                    ),
+                    traffic_intensity=traffic_intensity,
+                )
+            )
+            if outermost:
+                self._recorder.record(
+                    "register_service",
+                    name=name,
+                    cpu_cores=cpu_cores,
+                    memory_gb=memory_gb,
+                    storage_gb=storage_gb,
+                    traffic_intensity=traffic_intensity,
+                )
+        return registered
 
     # ------------------------------------------------------------------
     # Chain lifecycle (the facade's reason to exist)
@@ -742,6 +797,58 @@ class AlvcStack:
         )
         return runner.map(trial, params)
 
+    def run_workload(
+        self,
+        scenario=None,
+        *,
+        seed: int = 0,
+        config=None,
+        admission=None,
+        scaling=None,
+        chaos_rate: float = 0.0,
+        chaos_repair_after: float | None = 2.0,
+        storm_period: int = 0,
+        storm_size: int = 2,
+        epoch_hook=None,
+    ):
+        """Play a long-horizon multi-tenant churn workload on this stack.
+
+        Pass a pre-drawn :class:`~repro.workload.Scenario`, or let
+        ``config``/``seed`` draw one via
+        :func:`~repro.workload.generate_scenario`.  Every epoch the
+        runner injects the scenario's chaos slice, tears down departing
+        tenants, admits (or rejects) arrivals, feeds demand to the
+        elastic VNF scaler, runs migration storms and — when stranded
+        capacity crosses the policy threshold — a defragmenting
+        re-embedding pass.  All mutations go through journaled entry
+        points, so a whole run replays bit-identically from the
+        stack's journal.
+
+        Build the stack with ``exclusive_chains=False`` when tenants
+        may bring more than one chain.  Returns the run's
+        :class:`~repro.workload.WorkloadReport`.
+        """
+        from repro.workload import WorkloadRunner, generate_scenario
+
+        if scenario is None:
+            scenario = generate_scenario(config, seed=seed)
+        elif config is not None:
+            raise ValidationError(
+                "pass a scenario or a config to draw one from, not both"
+            )
+        runner = WorkloadRunner(
+            self,
+            scenario,
+            admission=admission,
+            scaling=scaling,
+            chaos_rate=chaos_rate,
+            chaos_repair_after=chaos_repair_after,
+            storm_period=storm_period,
+            storm_size=storm_size,
+            epoch_hook=epoch_hook,
+        )
+        return runner.run()
+
     # ------------------------------------------------------------------
     # Durable service surface (journal, snapshot, restore, frontend)
     # ------------------------------------------------------------------
@@ -770,6 +877,14 @@ class AlvcStack:
     def engines(self) -> EngineConfig:
         """The stack's engine selection."""
         return self._engines
+
+    @property
+    def journal_seq(self) -> int:
+        """Sequence the next journaled record will get (0 when
+        not journaling).  After a restore this resumes exactly where the
+        journal left off — the genesis record is never re-journaled."""
+        journal = self.journal
+        return journal.next_seq if journal is not None else 0
 
     def snapshot(self, path: str | Path):
         """Write a CRC-framed snapshot of this stack's state to disk.

@@ -1,0 +1,40 @@
+"""Long-horizon multi-tenant churn workloads.
+
+The package turns the stack into a living system: seeded scenarios of
+tenant arrivals/departures with diurnal demand (:mod:`.scenario`),
+admission control and defragmenting re-embedding (:mod:`.admission`),
+elastic VNF scaling (:mod:`.scaling`), and the epoch loop that drives
+them all through journaled entry points (:mod:`.runner`) — so a "week
+in the life" soak is bit-replayable from its journal.
+"""
+
+from repro.workload.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.workload.runner import WorkloadReport, WorkloadRunner
+from repro.workload.scaling import ElasticScaler
+from repro.workload.scenario import (
+    DEFAULT_TEMPLATES,
+    ChainTemplate,
+    Scenario,
+    ScenarioConfig,
+    TenantPlan,
+    generate_scenario,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "ChainTemplate",
+    "DEFAULT_TEMPLATES",
+    "ElasticScaler",
+    "Scenario",
+    "ScenarioConfig",
+    "TenantPlan",
+    "WorkloadReport",
+    "WorkloadRunner",
+    "generate_scenario",
+]

@@ -1,0 +1,138 @@
+"""Elastic VNF scaling against observed tenant demand.
+
+The scaler is the glue between a scenario's demand curves and the
+NFV manager's journaled ``scale`` entry point: each epoch it converts
+per-chain demand into per-VNF utilization (demand over current size
+factor), feeds the observations to the hysteresis
+:class:`~repro.nfv.autoscaler.VnfAutoscaler`, and accounts SLA
+violations — epochs where a chain's demand exceeded what its
+slowest (least-scaled) VNF could serve.
+
+Every scaling action lands in the journal as a ``vnf_scale`` record via
+:meth:`repro.nfv.manager.CloudNfvManager.scale`, so a churn run's
+scaling history replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import UnknownEntityError
+from repro.ids import ChainId
+from repro.nfv.autoscaler import (
+    AutoscalerPolicy,
+    ScalingAction,
+    VnfAutoscaler,
+)
+
+__all__ = ["ElasticScaler"]
+
+
+class ElasticScaler:
+    """Drives journaled VNF scaling from per-chain demand observations."""
+
+    def __init__(
+        self,
+        stack,
+        policy: AutoscalerPolicy | None = None,
+    ) -> None:
+        """Bind to a stack (its NFV manager does the actual scaling)."""
+        self._stack = stack
+        self._autoscaler = VnfAutoscaler(
+            stack.orchestrator.nfv_manager, policy
+        )
+        self._ups = 0
+        self._downs = 0
+        self._blocked = 0
+        self._sla_violations = 0
+        self._observed_chain_epochs = 0
+
+    @property
+    def policy(self) -> AutoscalerPolicy:
+        """The hysteresis thresholds in force."""
+        return self._autoscaler.policy
+
+    # ------------------------------------------------------------------
+    def observe_epoch(
+        self, demands: Mapping[ChainId, float]
+    ) -> list[ScalingAction]:
+        """Feed one epoch of demand; returns the scaling actions taken.
+
+        Chains are visited in id order and each chain's VNFs in
+        placement order, so the action sequence (and hence the journal)
+        is identical for any iteration order of ``demands``.  Demand on
+        a chain that no longer exists (torn down by churn between
+        observation and scaling) is skipped.
+        """
+        actions: list[ScalingAction] = []
+        for chain_id in sorted(demands):
+            try:
+                live = self._stack.chain(chain_id)
+            except UnknownEntityError:
+                continue
+            demand = demands[chain_id]
+            self._observed_chain_epochs += 1
+            for vnf in live.vnf_ids:
+                size = self._autoscaler.size_factor_of(vnf)
+                utilization = demand / size if size > 0 else demand
+                action = self._autoscaler.observe(vnf, utilization)
+                if action is None:
+                    continue
+                actions.append(action)
+                if action.direction == "up":
+                    self._ups += 1
+                elif action.direction == "down":
+                    self._downs += 1
+                else:
+                    self._blocked += 1
+            if demand > self.served_capacity(chain_id):
+                self._sla_violations += 1
+        return actions
+
+    def served_capacity(self, chain_id: ChainId) -> float:
+        """What the chain can serve: its least-scaled VNF's size factor.
+
+        A chain processes traffic through every function in sequence,
+        so the bottleneck VNF bounds the whole chain.
+        """
+        try:
+            live = self._stack.chain(chain_id)
+        except UnknownEntityError:
+            return 0.0
+        return min(
+            (
+                self._autoscaler.size_factor_of(vnf)
+                for vnf in live.vnf_ids
+            ),
+            default=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def scale_ups(self) -> int:
+        """Grow actions committed."""
+        return self._ups
+
+    @property
+    def scale_downs(self) -> int:
+        """Shrink actions committed."""
+        return self._downs
+
+    @property
+    def scale_blocked(self) -> int:
+        """Actions the manager refused (host full / already at floor)."""
+        return self._blocked
+
+    @property
+    def sla_violations(self) -> int:
+        """Chain-epochs where demand exceeded served capacity."""
+        return self._sla_violations
+
+    @property
+    def observed_chain_epochs(self) -> int:
+        """Chain-epochs observed (the SLA denominator)."""
+        return self._observed_chain_epochs
+
+    def actions(self) -> list[ScalingAction]:
+        """Every action the underlying autoscaler took, in order."""
+        return self._autoscaler.actions()

@@ -1,0 +1,273 @@
+"""Seeded long-horizon tenant-churn scenarios.
+
+A scenario is the *input* of a workload run: which tenants arrive when,
+how long they stay, which chain templates they bring, and how their
+demand moves over the day.  Everything is drawn once, up front, from a
+single seeded RNG — the scenario is a plain value, so two runs over the
+same scenario make identical decisions and the replay/parity oracles of
+:mod:`repro.service` apply to a whole week of churn.
+
+Time is virtual and discrete: a run advances in *epochs* (one epoch is
+one scheduling round, ``epochs_per_day`` of them per simulated day).
+Tenant arrivals follow a Poisson process whose rate is modulated by a
+diurnal curve (quiet nights, busy afternoons); lifetimes are
+exponential; per-tenant demand is a phase-shifted diurnal sinusoid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "ChainTemplate",
+    "DEFAULT_TEMPLATES",
+    "ScenarioConfig",
+    "TenantPlan",
+    "Scenario",
+    "generate_scenario",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ChainTemplate:
+    """One NFC shape a tenant can request.
+
+    Attributes:
+        name: template label (appears in chain ids).
+        functions: ordered catalog function names.
+        bandwidth_gbps: link requirement of chains from this template.
+        flow_size_gb: request metadata passed through to provisioning.
+    """
+
+    name: str
+    functions: tuple[str, ...]
+    bandwidth_gbps: float = 1.0
+    flow_size_gb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("template name must be non-empty")
+        if not self.functions:
+            raise ValidationError(
+                f"template {self.name!r} must name at least one function"
+            )
+        if self.bandwidth_gbps <= 0 or self.flow_size_gb <= 0:
+            raise ValidationError(
+                f"template {self.name!r}: bandwidth_gbps and flow_size_gb "
+                f"must be positive"
+            )
+
+
+#: Chain shapes drawn from the standard function catalog — a spread of
+#: lengths and optical-capable functions so a long soak exercises both
+#: domains of the placement solver.
+DEFAULT_TEMPLATES: tuple[ChainTemplate, ...] = (
+    ChainTemplate("edge", ("firewall", "nat")),
+    ChainTemplate("secure-web", ("firewall", "ids", "load-balancer")),
+    ChainTemplate("inspect", ("dpi",)),
+    ChainTemplate("wan", ("wan-optimizer", "proxy"), bandwidth_gbps=2.0),
+    ChainTemplate("gateway", ("security-gateway", "nat"), flow_size_gb=2.0),
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """Knobs of the churn process (all virtual-time, all seeded).
+
+    Attributes:
+        days: simulated horizon in days.
+        epochs_per_day: scheduling rounds per simulated day.
+        arrival_rate: mean tenant arrivals per epoch before diurnal
+            modulation.
+        diurnal_amplitude: arrival-rate swing in [0, 1): the effective
+            rate is ``arrival_rate * (1 + a*sin(...))`` with a trough at
+            the start of each day.
+        mean_lifetime_epochs: mean tenant lifetime (exponential).
+        max_chains_per_tenant: chains drawn uniformly in [1, max].
+        slots: concurrent tenant service slots; each slot is one
+            service type, hence one cluster, hence one abstraction
+            layer — a full house means admission rejects on AL
+            exhaustion.
+        slot_cpu / slot_memory_gb / slot_storage_gb: VM demand of the
+            per-slot service registered on first use.
+        templates: chain shapes tenants draw from.
+        demand_base: demand-curve floor (fraction of one catalog-sized
+            VNF instance).
+        demand_amplitude: peak diurnal swing on top of the base.
+    """
+
+    days: float = 7.0
+    epochs_per_day: int = 24
+    arrival_rate: float = 1.0
+    diurnal_amplitude: float = 0.5
+    mean_lifetime_epochs: float = 12.0
+    max_chains_per_tenant: int = 2
+    slots: int = 8
+    slot_cpu: float = 1.0
+    slot_memory_gb: float = 2.0
+    slot_storage_gb: float = 10.0
+    templates: tuple[ChainTemplate, ...] = DEFAULT_TEMPLATES
+    demand_base: float = 0.4
+    demand_amplitude: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValidationError(f"days must be positive, got {self.days}")
+        if self.epochs_per_day < 1:
+            raise ValidationError(
+                f"epochs_per_day must be >= 1, got {self.epochs_per_day}"
+            )
+        if self.arrival_rate <= 0:
+            raise ValidationError(
+                f"arrival_rate must be positive, got {self.arrival_rate}"
+            )
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValidationError(
+                f"diurnal_amplitude must be in [0, 1), got "
+                f"{self.diurnal_amplitude}"
+            )
+        if self.mean_lifetime_epochs <= 0:
+            raise ValidationError(
+                f"mean_lifetime_epochs must be positive, got "
+                f"{self.mean_lifetime_epochs}"
+            )
+        if self.max_chains_per_tenant < 1:
+            raise ValidationError(
+                f"max_chains_per_tenant must be >= 1, got "
+                f"{self.max_chains_per_tenant}"
+            )
+        if self.slots < 1:
+            raise ValidationError(f"slots must be >= 1, got {self.slots}")
+        if min(self.slot_cpu, self.slot_memory_gb, self.slot_storage_gb) <= 0:
+            raise ValidationError("slot VM demand must be positive")
+        if not self.templates:
+            raise ValidationError("templates must not be empty")
+        if self.demand_base < 0 or self.demand_amplitude < 0:
+            raise ValidationError(
+                "demand_base and demand_amplitude must be non-negative"
+            )
+
+    @property
+    def n_epochs(self) -> int:
+        """Total epochs on the horizon (at least 1)."""
+        return max(1, round(self.days * self.epochs_per_day))
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TenantPlan:
+    """One tenant's whole scripted lifecycle.
+
+    Attributes:
+        tenant_id: stable id (also the chain-id prefix).
+        arrival_epoch: epoch the tenant asks to be admitted.
+        departure_epoch: epoch the tenant leaves (exclusive of service;
+            may lie beyond the horizon — the tenant then stays to the
+            end).
+        templates: the chains the tenant provisions on admission.
+        demand_phase: phase shift of the tenant's diurnal demand curve.
+        demand_amplitude: tenant-specific demand swing.
+    """
+
+    tenant_id: str
+    arrival_epoch: int
+    departure_epoch: int
+    templates: tuple[ChainTemplate, ...]
+    demand_phase: float
+    demand_amplitude: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Scenario:
+    """A fully-drawn churn schedule (a plain, picklable value)."""
+
+    config: ScenarioConfig
+    seed: int
+    tenants: tuple[TenantPlan, ...]
+
+    @property
+    def n_epochs(self) -> int:
+        """Total epochs on the horizon."""
+        return self.config.n_epochs
+
+    def arrivals_at(self, epoch: int) -> list[TenantPlan]:
+        """Tenants arriving at ``epoch``, in id order."""
+        return [t for t in self.tenants if t.arrival_epoch == epoch]
+
+    def departures_at(self, epoch: int) -> list[TenantPlan]:
+        """Tenants departing at ``epoch``, in id order."""
+        return [t for t in self.tenants if t.departure_epoch == epoch]
+
+    def demand(self, plan: TenantPlan, epoch: int) -> float:
+        """The tenant's demand at ``epoch``.
+
+        Measured in catalog-sized VNF instances: 1.0 saturates an
+        unscaled VNF, values above 1.0 need the elastic scaler to grow
+        the instance to avoid an SLA violation.
+        """
+        period = self.config.epochs_per_day
+        wave = math.sin(2 * math.pi * (epoch % period) / period
+                        + plan.demand_phase)
+        return max(
+            0.05,
+            self.config.demand_base + plan.demand_amplitude * (wave + 1) / 2,
+        )
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's multiplication method — deterministic for a seeded RNG."""
+    threshold = math.exp(-lam)
+    count, product = 0, rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def generate_scenario(
+    config: ScenarioConfig | None = None, seed: int = 0
+) -> Scenario:
+    """Draw a full churn schedule from one seeded RNG.
+
+    The same ``(config, seed)`` always produces the identical scenario —
+    arrivals, lifetimes, templates and demand curves included — which is
+    what lets a week-long soak be compared bit-for-bit across engines,
+    worker counts and journal replays.
+    """
+    config = config or ScenarioConfig()
+    rng = random.Random(f"alvc-workload:{seed}")
+    tenants: list[TenantPlan] = []
+    serial = 0
+    for epoch in range(config.n_epochs):
+        day_angle = (
+            2 * math.pi * (epoch % config.epochs_per_day)
+            / config.epochs_per_day
+        )
+        # Trough at the start of each day, peak mid-day.
+        rate = config.arrival_rate * (
+            1 - config.diurnal_amplitude * math.cos(day_angle)
+        )
+        for _ in range(_poisson(rng, rate)):
+            lifetime = max(
+                1, round(rng.expovariate(1.0 / config.mean_lifetime_epochs))
+            )
+            n_chains = rng.randint(1, config.max_chains_per_tenant)
+            templates = tuple(
+                rng.choice(config.templates) for _ in range(n_chains)
+            )
+            tenants.append(
+                TenantPlan(
+                    tenant_id=f"tenant-{serial:04d}",
+                    arrival_epoch=epoch,
+                    departure_epoch=epoch + lifetime,
+                    templates=templates,
+                    demand_phase=rng.uniform(0.0, 2 * math.pi),
+                    demand_amplitude=config.demand_amplitude
+                    * rng.uniform(0.5, 1.0),
+                )
+            )
+            serial += 1
+    return Scenario(config=config, seed=seed, tenants=tuple(tenants))

@@ -1,0 +1,154 @@
+"""Reopen semantics: resume the journal, never re-journal genesis.
+
+The regression suite for the restore-then-serve gap: a restored stack
+that immediately opens the async front-end must resume ``journal_seq``
+where the journal left off, with the original genesis record still the
+only one — and the two ways a directory could previously get stuck
+(header-only journal after a crash, fresh build pointed at a journal
+with history) now have defined behavior.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import JournalError, ValidationError
+from repro.service import ProvisionRequest, TeardownRequest
+from repro.service.journal import Journal, read_journal
+from repro.service.service import ControlPlaneService
+from repro.service.snapshot import state_digest
+from repro.stack import AlvcStack
+
+BUILD = dict(
+    n_racks=2, servers_per_rack=3, n_ops=4, seed=11, vms_per_service=3
+)
+
+
+def _open(state_dir, **kwargs):
+    return ControlPlaneService.open(state_dir, sync="off", **kwargs)
+
+
+class TestRestoreThenServe:
+    def test_serve_after_restore_resumes_seq_without_genesis(self, tmp_path):
+        with _open(tmp_path, **BUILD) as service:
+            service.stack.provision(("firewall", "nat"), service="web")
+        sealed = read_journal(tmp_path / "journal.alvc").records
+        resume_at = sealed[-1].seq + 1
+
+        restored = _open(tmp_path)
+        assert restored.journal.next_seq == resume_at
+        assert restored.stack.journal_seq == resume_at
+
+        async def scenario():
+            async with restored.frontend() as frontend:
+                return await frontend.submit_all(
+                    [
+                        ProvisionRequest(("dpi",), service="backup"),
+                        TeardownRequest("chain-0"),
+                    ]
+                )
+
+        responses = asyncio.run(scenario())
+        restored.close()
+        assert [r.ok for r in responses] == [True, True]
+
+        records = read_journal(tmp_path / "journal.alvc").records
+        # Exactly one genesis, still at seq 0; the served requests were
+        # appended after the pre-restart history, with no gap.
+        assert [r.op for r in records].count("genesis") == 1
+        assert records[0].op == "genesis" and records[0].seq == 0
+        assert [r.seq for r in records] == list(range(len(records)))
+        assert [r.op for r in records[resume_at:]] == [
+            "cluster",
+            "provision",
+            "teardown",
+        ]
+
+    def test_snapshot_restore_then_serve_still_single_genesis(self, tmp_path):
+        with _open(tmp_path, **BUILD) as service:
+            service.stack.provision(("firewall",), service="web")
+            service.snapshot()
+
+        restored = _open(tmp_path)
+        assert restored.restore_result.source == "snapshot"
+
+        async def scenario():
+            async with restored.frontend() as frontend:
+                return await frontend.submit(
+                    ProvisionRequest(("nat",), service="sns")
+                )
+
+        assert asyncio.run(scenario()).ok
+        live_digest = restored.digest()
+        restored.close()
+
+        records = read_journal(tmp_path / "journal.alvc").records
+        assert [r.op for r in records].count("genesis") == 1
+        # The whole history — pre-snapshot, post-snapshot, post-restart —
+        # replays to the state the served stack ended in.
+        replayed = _open(tmp_path)
+        assert replayed.digest() == live_digest
+        replayed.close()
+
+
+class TestHeaderOnlyJournal:
+    """A crash between journal creation and the genesis append."""
+
+    def _crash_before_genesis(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        Journal(tmp_path / "journal.alvc", sync="off").close()
+
+    def test_reopen_with_build_kwargs_rebuilds_single_genesis(self, tmp_path):
+        self._crash_before_genesis(tmp_path)
+        with _open(tmp_path, **BUILD) as service:
+            service.stack.provision(("firewall",), service="web")
+        records = read_journal(tmp_path / "journal.alvc").records
+        assert records[0].op == "genesis" and records[0].seq == 0
+        assert [r.op for r in records].count("genesis") == 1
+
+    def test_reopen_then_restore_round_trips(self, tmp_path):
+        self._crash_before_genesis(tmp_path)
+        with _open(tmp_path, **BUILD) as service:
+            service.stack.provision(("firewall",), service="web")
+            live = service.digest()
+        with _open(tmp_path) as restored:
+            assert restored.digest() == live
+
+    def test_blank_journal_beside_snapshot_is_not_fresh(self, tmp_path):
+        # A snapshot next to a record-less journal means state existed;
+        # rebuilding would silently discard it, so open() must refuse.
+        with _open(tmp_path, **BUILD) as service:
+            service.stack.provision(("firewall",), service="web")
+            service.snapshot()
+        journal_path = tmp_path / "journal.alvc"
+        journal_path.unlink()
+        Journal(journal_path, sync="off").close()
+        with pytest.raises(ValidationError, match="already has a journal"):
+            _open(tmp_path, **BUILD)
+
+
+class TestFreshBuildOnUsedJournal:
+    def test_build_refuses_journal_with_history(self, tmp_path):
+        journal_path = tmp_path / "journal.alvc"
+        stack = AlvcStack.build(journal=journal_path, sync="off", **BUILD)
+        stack.provision(("firewall",), service="web")
+        stack.journal.close()
+        # A fresh build would diverge from the recorded history (and
+        # could never re-journal a genesis record at seq > 0).
+        with pytest.raises(JournalError, match="already holds"):
+            AlvcStack.build(journal=journal_path, sync="off", **BUILD)
+        # The journal is untouched and still restorable.
+        restored = AlvcStack.restore(journal_path)
+        assert [c.chain_id for c in restored.chains()] == ["chain-0"]
+        restored.journal.close()
+
+    def test_restore_still_resumes(self, tmp_path):
+        journal_path = tmp_path / "journal.alvc"
+        stack = AlvcStack.build(journal=journal_path, sync="off", **BUILD)
+        stack.provision(("firewall",), service="web")
+        digest = state_digest(stack)
+        stack.journal.close()
+        restored = AlvcStack.restore(journal_path)
+        assert state_digest(restored) == digest
+        assert restored.journal_seq == 3  # genesis, cluster, provision
+        restored.journal.close()

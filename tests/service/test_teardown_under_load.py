@@ -1,0 +1,203 @@
+"""Teardown under load: bounded-queue overflow, duplicates, races.
+
+The workload layer retires tenants while provision batches for new
+tenants are still in flight, so the front-end must keep three promises
+under that pressure:
+
+* a full bounded queue rejects further teardowns via :meth:`offer`
+  (None, not an exception, not unbounded growth);
+* tearing down a chain that already departed — twice in one batch, or
+  for a tenant long gone — resolves to a *typed error response*
+  (``ok=False`` naming the ALVC error), never a raised ``KeyError``
+  across the queue;
+* teardowns racing provision batches commit in submission order, so
+  the journal replays the interleaving bit-identically.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    ProvisionRequest,
+    RequestFrontend,
+    TeardownRequest,
+)
+from repro.service.snapshot import state_digest
+from repro.stack import AlvcStack
+
+BUILD = dict(
+    n_racks=3,
+    servers_per_rack=3,
+    n_ops=4,
+    seed=9,
+    vms_per_service=3,
+)
+
+
+def _stack(**overrides):
+    return AlvcStack.build(**{**BUILD, **overrides})
+
+
+class TestBoundedQueueUnderTeardownLoad:
+    def test_offer_rejects_teardowns_when_queue_is_full(self):
+        stack = _stack()
+
+        async def scenario():
+            frontend = RequestFrontend(stack, max_queue=2)
+            # Drain task NOT started: the queue can only fill.
+            async def _noop():
+                return None
+
+            accepted = []
+            rejected = 0
+            for index in range(6):
+                waiter = frontend.offer(TeardownRequest(f"chain-{index}"))
+                if waiter is None:
+                    rejected += 1
+                else:
+                    accepted.append(waiter)
+            assert len(accepted) == 2
+            assert rejected == 4
+            assert frontend.queue_depth == 2
+            # Now drain: the two accepted teardowns resolve (to typed
+            # errors — the chains never existed), the rejected four
+            # left no trace at all.
+            frontend.start()
+            responses = await asyncio.gather(*accepted)
+            await frontend.stop()
+            return responses
+
+        responses = asyncio.run(scenario())
+        assert all(not response.ok for response in responses)
+        assert all(
+            "UnknownEntityError" in response.error for response in responses
+        )
+
+
+class TestDuplicateAndDepartedTeardowns:
+    def test_duplicate_teardown_in_one_batch_is_a_typed_error(self):
+        stack = _stack()
+
+        async def scenario():
+            async with stack.serve() as frontend:
+                provisioned = await frontend.submit(
+                    ProvisionRequest(("firewall", "nat"), service="web")
+                )
+                chain_id = provisioned.detail["chain_id"]
+                # Both teardowns ride the same drain batch.
+                return await frontend.submit_all(
+                    [TeardownRequest(chain_id), TeardownRequest(chain_id)]
+                )
+
+        first, second = asyncio.run(scenario())
+        assert first.ok
+        assert not second.ok
+        assert second.error.startswith("UnknownEntityError")
+        assert stack.chains() == []
+
+    def test_teardown_of_long_departed_tenant_is_reported_not_raised(self):
+        stack = _stack()
+
+        async def scenario():
+            async with stack.serve() as frontend:
+                provisioned = await frontend.submit(
+                    ProvisionRequest(("dpi",), service="web", tenant="t0")
+                )
+                chain_id = provisioned.detail["chain_id"]
+                departed = await frontend.submit(TeardownRequest(chain_id))
+                assert departed.ok
+                # The tenant is long gone; a stale retry must not
+                # poison the front-end or its batch.
+                stale = await frontend.submit(TeardownRequest(chain_id))
+                follow_up = await frontend.submit(
+                    ProvisionRequest(("firewall",), service="database")
+                )
+                return stale, follow_up
+
+        stale, follow_up = asyncio.run(scenario())
+        assert not stale.ok
+        assert "UnknownEntityError" in stale.error
+        assert follow_up.ok  # the queue kept serving after the error
+
+
+class TestTeardownRacingProvisions:
+    def test_interleaved_batch_commits_in_submission_order(self):
+        stack = _stack()
+
+        async def scenario():
+            async with stack.serve(max_batch=16) as frontend:
+                # One wave: provision a, provision b, tear a down,
+                # provision c, tear down a chain that never existed.
+                return await frontend.submit_all(
+                    [
+                        ProvisionRequest(
+                            ("firewall", "nat"),
+                            service="web",
+                            chain_id="racy-a",
+                        ),
+                        ProvisionRequest(
+                            ("dpi",), service="database", chain_id="racy-b"
+                        ),
+                        TeardownRequest("racy-a"),
+                        ProvisionRequest(
+                            ("proxy",), service="backup", chain_id="racy-c"
+                        ),
+                        TeardownRequest("never-existed"),
+                    ]
+                )
+
+        responses = asyncio.run(scenario())
+        assert [r.ok for r in responses] == [True, True, True, True, False]
+        assert "UnknownEntityError" in responses[4].error
+        assert [c.chain_id for c in stack.chains()] == ["racy-b", "racy-c"]
+
+    def test_racing_waves_stay_journal_replayable(self, tmp_path):
+        journal_path = tmp_path / "journal.alvc"
+        stack = _stack(journal=journal_path, sync="off")
+
+        async def scenario():
+            async with stack.serve(max_batch=8) as frontend:
+                for wave in range(3):
+                    requests = []
+                    if wave:
+                        # Retire the previous tenant first — the new
+                        # wave reuses its cluster, so ordering within
+                        # the batch is load-bearing.
+                        requests.append(
+                            TeardownRequest(f"wave{wave - 1}-b")
+                        )
+                    requests.extend(
+                        [
+                            ProvisionRequest(
+                                ("firewall", "nat"),
+                                service="web",
+                                chain_id=f"wave{wave}-a",
+                            ),
+                            ProvisionRequest(
+                                ("dpi",),
+                                service="database",
+                                chain_id=f"wave{wave}-b",
+                            ),
+                            TeardownRequest(f"wave{wave}-a"),
+                            # Duplicate teardown inside the racing
+                            # wave: resolved as a typed error,
+                            # journals nothing.
+                            TeardownRequest(f"wave{wave}-a"),
+                        ]
+                    )
+                    responses = await frontend.submit_all(requests)
+                    assert [r.ok for r in responses[:-1]] == [True] * (
+                        len(requests) - 1
+                    )
+                    assert not responses[-1].ok
+                    assert "UnknownEntityError" in responses[-1].error
+
+        asyncio.run(scenario())
+        live_digest = state_digest(stack)
+        stack.journal.close()
+        restored = AlvcStack.restore(journal_path)
+        try:
+            assert state_digest(restored) == live_digest
+        finally:
+            restored.journal.close()

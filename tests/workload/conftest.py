@@ -1,0 +1,58 @@
+"""Shared machinery for the workload suites: small seeded soaks.
+
+Every test here drives a *real* stack through the workload loop — no
+mocks — on a fabric small enough that hundreds of seeded runs stay
+fast.  The helpers return the stack alongside the report so invariant
+probes and parity oracles can inspect live state.
+"""
+
+from __future__ import annotations
+
+from repro.stack import AlvcStack
+from repro.workload import ScenarioConfig, generate_scenario
+
+#: A deliberately tight testbed: 4 servers, 4 OPSs, 3 tenant slots —
+#: small enough that churn produces rejections, scaling and contention.
+SMALL_CONFIG = dict(
+    days=0.5,
+    epochs_per_day=16,
+    arrival_rate=0.9,
+    mean_lifetime_epochs=5.0,
+    slots=3,
+    demand_base=0.2,
+    demand_amplitude=1.2,
+)
+
+SMALL_BUILD = dict(
+    n_racks=2,
+    servers_per_rack=2,
+    n_ops=4,
+    vms_per_service=2,
+    exclusive_chains=False,
+)
+
+
+def small_soak(
+    seed: int,
+    *,
+    journal=None,
+    epoch_hook=None,
+    chaos_rate: float = 0.0,
+    storm_period: int = 0,
+    build_overrides: dict | None = None,
+    config_overrides: dict | None = None,
+):
+    """One small seeded churn run; returns ``(stack, report)``."""
+    config = ScenarioConfig(**{**SMALL_CONFIG, **(config_overrides or {})})
+    scenario = generate_scenario(config, seed=seed)
+    build = dict(SMALL_BUILD, **(build_overrides or {}))
+    if journal is not None:
+        build.update(journal=journal, sync="off")
+    stack = AlvcStack.build(seed=seed, **build)
+    report = stack.run_workload(
+        scenario,
+        epoch_hook=epoch_hook,
+        chaos_rate=chaos_rate,
+        storm_period=storm_period,
+    )
+    return stack, report

@@ -1,0 +1,192 @@
+"""Unit tests for admission control, defrag, and elastic scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlacementError, ValidationError
+from repro.nfv.autoscaler import AutoscalerPolicy
+from repro.stack import AlvcStack
+from repro.workload import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    ElasticScaler,
+)
+
+
+@pytest.fixture
+def loaded_stack():
+    """A small stack with two live chains on separate slots."""
+    stack = AlvcStack.build(
+        n_racks=2,
+        servers_per_rack=2,
+        n_ops=4,
+        vms_per_service=2,
+        exclusive_chains=False,
+    )
+    stack.register_service("slot-00", cpu_cores=1, memory_gb=2, storage_gb=10)
+    stack.register_service("slot-01", cpu_cores=1, memory_gb=2, storage_gb=10)
+    stack.provision(
+        ("firewall", "nat"), service="slot-00", tenant="t0", chain_id="t0-a"
+    )
+    stack.provision(
+        ("dpi",), service="slot-01", tenant="t1", chain_id="t1-a"
+    )
+    return stack
+
+
+class TestAdmissionPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"headroom_fraction": 1.0},
+            {"headroom_fraction": -0.1},
+            {"defrag_threshold": 0.0},
+            {"defrag_threshold": 1.5},
+            {"defrag_period": 0},
+            {"defrag_batch": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValidationError):
+            AdmissionPolicy(**kwargs)
+
+
+class TestAdmission:
+    def test_preflight_rejects_without_slots(self, loaded_stack):
+        controller = AdmissionController(loaded_stack)
+        assert controller.preflight(0) == "no-slot"
+
+    def test_preflight_rejects_below_headroom_floor(self, loaded_stack):
+        controller = AdmissionController(loaded_stack)
+        observed = controller.headroom()
+        assert 0 < observed < 1  # slot VMs + VNF carriers hold capacity
+        tight = AdmissionController(
+            loaded_stack, AdmissionPolicy(headroom_fraction=observed)
+        )
+        assert tight.preflight(1) == "headroom"
+
+    def test_preflight_passes_with_slots_and_headroom(self, loaded_stack):
+        controller = AdmissionController(loaded_stack)
+        assert controller.preflight(1) is None
+
+    def test_decision_log_and_acceptance_ratio(self, loaded_stack):
+        controller = AdmissionController(loaded_stack)
+        assert controller.acceptance_ratio() == 1.0  # vacuous
+        controller.record(
+            AdmissionDecision(0, "t0", admitted=True, reason="admitted")
+        )
+        controller.record(
+            AdmissionDecision(1, "t1", admitted=False, reason="no-slot")
+        )
+        assert controller.acceptance_ratio() == 0.5
+        labels = [d.label() for d in controller.decisions()]
+        assert labels == ["0:t0:admitted", "1:t1:no-slot"]
+
+    def test_fragmentation_counts_unusable_slivers(self, loaded_stack):
+        from repro.topology.elements import ResourceVector
+
+        none_stranded = AdmissionController(loaded_stack)
+        assert none_stranded.fragmentation() == 0.0
+        # Against an impossible reference VM every free core is a
+        # sliver: fragmentation saturates at 1.0.
+        all_stranded = AdmissionController(
+            loaded_stack,
+            reference_demand=ResourceVector(
+                cpu_cores=10**6, memory_gb=1, storage_gb=1
+            ),
+        )
+        assert all_stranded.fragmentation() == 1.0
+
+
+class TestDefrag:
+    def test_cooldown_blocks_back_to_back_passes(self, loaded_stack):
+        from repro.topology.elements import ResourceVector
+
+        controller = AdmissionController(
+            loaded_stack,
+            AdmissionPolicy(defrag_threshold=0.5, defrag_period=4),
+            # Everything is stranded vs this reference, so the
+            # threshold test is always true and only the cool-down
+            # can say no.
+            reference_demand=ResourceVector(cpu_cores=10**6),
+        )
+        assert controller.should_defrag(0)
+        controller.defrag(0)
+        assert not controller.should_defrag(2)  # inside the cool-down
+        assert controller.should_defrag(4)
+
+    def test_defrag_reembeds_widest_chain_first(self, loaded_stack):
+        controller = AdmissionController(
+            loaded_stack, AdmissionPolicy(defrag_batch=1)
+        )
+        chains_before = {c.chain_id for c in loaded_stack.chains()}
+        moved = controller.defrag(0)
+        assert moved == 1
+        assert controller.reembedded == 1
+        assert {c.chain_id for c in loaded_stack.chains()} == chains_before
+
+    def test_defrag_counts_losses_when_reprovision_fails(
+        self, loaded_stack, monkeypatch
+    ):
+        controller = AdmissionController(
+            loaded_stack, AdmissionPolicy(defrag_batch=1)
+        )
+
+        def refuse(request):
+            raise PlacementError("no room")
+
+        monkeypatch.setattr(
+            loaded_stack.orchestrator, "provision_chain", refuse
+        )
+        assert controller.defrag(0) == 0
+        assert controller.reembed_losses == 1
+        assert controller.reembedded == 0
+
+
+class TestElasticScaler:
+    def test_sustained_demand_scales_up_then_down(self, loaded_stack):
+        scaler = ElasticScaler(
+            loaded_stack,
+            AutoscalerPolicy(observations_required=2),
+        )
+        for _ in range(2):
+            scaler.observe_epoch({"t0-a": 1.6, "t1-a": 1.6})
+        assert scaler.scale_ups > 0
+        served = scaler.served_capacity("t0-a")
+        assert served > 1.0
+        for _ in range(2):
+            scaler.observe_epoch({"t0-a": 0.05, "t1-a": 0.05})
+        assert scaler.scale_downs > 0
+
+    def test_scale_down_at_floor_is_blocked(self, loaded_stack):
+        scaler = ElasticScaler(
+            loaded_stack,
+            AutoscalerPolicy(observations_required=2),
+        )
+        for _ in range(4):
+            scaler.observe_epoch({"t0-a": 0.05})
+        assert scaler.scale_blocked > 0
+        assert scaler.served_capacity("t0-a") == 1.0
+
+    def test_sla_violation_when_demand_outruns_bottleneck(self, loaded_stack):
+        scaler = ElasticScaler(loaded_stack)
+        scaler.observe_epoch({"t0-a": 2.5})
+        assert scaler.sla_violations == 1
+        assert scaler.observed_chain_epochs == 1
+
+    def test_unknown_chain_is_skipped(self, loaded_stack):
+        scaler = ElasticScaler(loaded_stack)
+        actions = scaler.observe_epoch({"ghost": 1.0})
+        assert actions == []
+        assert scaler.observed_chain_epochs == 0
+        assert scaler.served_capacity("ghost") == 0.0
+
+    def test_actions_mirror_the_autoscaler_journal(self, loaded_stack):
+        scaler = ElasticScaler(
+            loaded_stack, AutoscalerPolicy(observations_required=1)
+        )
+        scaler.observe_epoch({"t0-a": 1.9})
+        directions = [a.direction for a in scaler.actions()]
+        assert directions.count("up") == scaler.scale_ups

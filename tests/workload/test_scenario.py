@@ -1,0 +1,133 @@
+"""Unit tests for the seeded scenario generator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workload import (
+    DEFAULT_TEMPLATES,
+    ChainTemplate,
+    ScenarioConfig,
+    generate_scenario,
+)
+
+
+class TestChainTemplate:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            ChainTemplate("", ("firewall",))
+
+    def test_rejects_empty_functions(self):
+        with pytest.raises(ValidationError):
+            ChainTemplate("empty", ())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"bandwidth_gbps": 0.0}, {"flow_size_gb": -1.0}],
+    )
+    def test_rejects_nonpositive_numbers(self, kwargs):
+        with pytest.raises(ValidationError):
+            ChainTemplate("bad", ("firewall",), **kwargs)
+
+    def test_default_templates_use_catalog_functions(self):
+        from repro.nfv.functions import FunctionCatalog
+
+        catalog = FunctionCatalog.standard()
+        for template in DEFAULT_TEMPLATES:
+            for name in template.functions:
+                assert catalog.get(name) is not None
+
+
+class TestScenarioConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"days": 0},
+            {"epochs_per_day": 0},
+            {"arrival_rate": 0.0},
+            {"diurnal_amplitude": 1.0},
+            {"mean_lifetime_epochs": 0.0},
+            {"max_chains_per_tenant": 0},
+            {"slots": 0},
+            {"slot_cpu": 0.0},
+            {"templates": ()},
+            {"demand_base": -0.1},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValidationError):
+            ScenarioConfig(**kwargs)
+
+    def test_n_epochs_rounds_and_floors_at_one(self):
+        assert ScenarioConfig(days=7.0, epochs_per_day=24).n_epochs == 168
+        assert ScenarioConfig(days=0.001, epochs_per_day=2).n_epochs == 1
+
+
+class TestGenerateScenario:
+    def test_same_seed_same_schedule(self):
+        first = generate_scenario(seed=5)
+        second = generate_scenario(seed=5)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert generate_scenario(seed=0) != generate_scenario(seed=1)
+
+    def test_plans_are_well_formed(self):
+        config = ScenarioConfig(days=2.0)
+        scenario = generate_scenario(config, seed=3)
+        assert scenario.n_epochs == config.n_epochs
+        seen = set()
+        for plan in scenario.tenants:
+            assert plan.tenant_id not in seen
+            seen.add(plan.tenant_id)
+            assert 0 <= plan.arrival_epoch < scenario.n_epochs
+            assert plan.departure_epoch > plan.arrival_epoch
+            assert 1 <= len(plan.templates) <= config.max_chains_per_tenant
+
+    def test_arrivals_and_departures_index_the_plans(self):
+        scenario = generate_scenario(seed=4)
+        arrived = [
+            plan
+            for epoch in range(scenario.n_epochs)
+            for plan in scenario.arrivals_at(epoch)
+        ]
+        assert arrived == list(scenario.tenants)
+        for epoch in range(scenario.n_epochs):
+            for plan in scenario.departures_at(epoch):
+                assert plan.departure_epoch == epoch
+
+    def test_demand_respects_floor_and_ceiling(self):
+        scenario = generate_scenario(seed=9)
+        config = scenario.config
+        for plan in scenario.tenants[:10]:
+            for epoch in range(scenario.n_epochs):
+                level = scenario.demand(plan, epoch)
+                assert level >= 0.05
+                assert level <= config.demand_base + plan.demand_amplitude
+
+    def test_demand_is_diurnal(self):
+        """A tenant's demand moves over the day (not a flat line)."""
+        scenario = generate_scenario(seed=2)
+        plan = scenario.tenants[0]
+        levels = {
+            round(scenario.demand(plan, epoch), 9)
+            for epoch in range(scenario.config.epochs_per_day)
+        }
+        assert len(levels) > 1
+
+    def test_scenario_rejects_config_and_scenario_on_stack(self):
+        from repro.exceptions import ValidationError as VE
+        from repro.stack import AlvcStack
+
+        stack = AlvcStack.build(n_racks=2, servers_per_rack=2, n_ops=4)
+        scenario = generate_scenario(seed=0)
+        with pytest.raises(VE):
+            stack.run_workload(scenario, config=ScenarioConfig())
+
+    def test_plans_are_frozen_values(self):
+        scenario = generate_scenario(seed=0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            scenario.tenants[0].arrival_epoch = 99  # type: ignore[misc]
