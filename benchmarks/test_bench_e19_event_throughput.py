@@ -23,6 +23,12 @@ from repro.analysis.reporting import render_table
 #: The tentpole promise: incremental engine at least this much faster.
 MIN_SPEEDUP = 3.0
 
+#: The vector engine pays numpy dispatch overhead per recompute, so at
+#: e19's low concurrency (400 flows) it only has to beat the legacy
+#: loop soundly — its high-concurrency claim (>= 2.5x incremental at
+#: 8000 flows) is E26's gate (``test_bench_e26_dataplane.py``).
+MIN_VECTOR_SPEEDUP = 2.0
+
 
 def test_bench_e19_event_throughput(benchmark):
     rows = benchmark.pedantic(
@@ -41,19 +47,28 @@ def test_bench_e19_event_throughput(benchmark):
     by_engine = {row["engine"]: row for row in rows}
     legacy = by_engine["legacy"]
     incremental = by_engine["incremental"]
+    vector = by_engine["vector"]
 
     # Identical workload, identical outcome (to float tolerance; the
     # bit-for-bit check lives in tests/sim/test_event_simulator.py).
-    assert incremental["flows"] == legacy["flows"]
-    assert incremental["events"] == legacy["events"]
-    assert incremental["mean_fct"] == pytest.approx(
-        legacy["mean_fct"], rel=1e-6
-    )
+    for contender in (incremental, vector):
+        assert contender["flows"] == legacy["flows"]
+        assert contender["events"] == legacy["events"]
+        assert contender["mean_fct"] == pytest.approx(
+            legacy["mean_fct"], rel=1e-6
+        )
 
     # The tentpole acceptance bar: >= 3x events/second.
     assert incremental["speedup"] >= MIN_SPEEDUP, (
         f"incremental engine is only {incremental['speedup']:.2f}x the "
         f"legacy loop (target {MIN_SPEEDUP}x)"
+    )
+
+    # The vector data plane must still beat the legacy loop here even
+    # though e19's sizing is incremental's best case.
+    assert vector["speedup"] >= MIN_VECTOR_SPEEDUP, (
+        f"vector engine is only {vector['speedup']:.2f}x the legacy "
+        f"loop (target {MIN_VECTOR_SPEEDUP}x)"
     )
 
     out_path = os.environ.get("ALVC_BENCH_E19_OUT", "BENCH_e19.json")

@@ -1220,7 +1220,7 @@ def experiment_e19_event_throughput(
     n_ops: int = 16,
     n_flows: int = 400,
     arrival_rate: float = 200.0,
-    engines: Sequence[str] = ("legacy", "incremental"),
+    engines: Sequence[str] = ("legacy", "incremental", "vector"),
     seed: int = 0,
 ) -> list[dict]:
     """Events/second of the event-driven simulator, engine by engine.
@@ -1229,8 +1229,9 @@ def experiment_e19_event_throughput(
     each selected engine.  ``legacy`` (the pre-optimization loop, run
     with the route cache disabled) sets the baseline; ``incremental``
     is the production hot path (lazy completion heap + incremental
-    water-filling + route cache).  Rows report wall time, processed
-    events, events/second, and the speedup over the first engine.
+    water-filling + route cache); ``vector`` is the struct-of-arrays
+    data plane (PR 9).  Rows report wall time, processed events,
+    events/second, and the speedup over the first engine.
 
     The workloads are identical across engines, so reported FCT means
     double as a cross-engine sanity check (equal to float tolerance).
@@ -1260,7 +1261,7 @@ def experiment_e19_event_throughput(
         simulator = EventDrivenFlowSimulator(
             inventory,
             clusters,
-            engine=engine,
+            engines={"sim_engine": engine},
             route_cache_size=0 if engine == "legacy" else 1024,
         )
         started = time.perf_counter()
@@ -2442,5 +2443,287 @@ def experiment_e25_week_in_the_life(
     for row in rows:
         row["twin_identical"] = (
             twin_identical if row["arm"].startswith("fleet") else True
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E26 — vectorized data plane throughput + million-flow soak
+# ----------------------------------------------------------------------
+def _e26_report_checksum(report) -> int:
+    """CRC32 rate-trace fingerprint of one event-simulation report.
+
+    Folds every completed flow (id, arrival, completion, hops — the
+    FCTs encode the whole fair-share rate trace) and every busy link
+    (float bits via ``float.hex``, never repr rounding) into one CRC32.
+    Bit-identical engines produce equal checksums; a single ulp of rate
+    drift anywhere in the water-filling changes some completion time
+    and breaks the match.
+    """
+    crc = 0
+    for record in report.completed:
+        blob = (
+            f"{record.flow_id}|{record.arrival_time.hex()}|"
+            f"{record.completion_time.hex()}|{record.hops}"
+        )
+        crc = zlib.crc32(blob.encode("utf-8"), crc)
+    busy = report.link_busy_byte_seconds
+    for link in sorted(busy, key=lambda pair: tuple(sorted(pair))):
+        blob = ",".join(sorted(link)) + "|" + float(busy[link]).hex()
+        crc = zlib.crc32(blob.encode("utf-8"), crc)
+    return crc
+
+
+def _e26_testbed(
+    n_racks: int,
+    servers_per_rack: int,
+    n_ops: int,
+    vms_per_service: int,
+    n_services: int,
+    seed: int,
+    racks_per_service: int = 2,
+):
+    """1024-server fabric with one AL cluster per standard service.
+
+    Each service is confined to its own ``racks_per_service`` racks,
+    one VM per server: every flow crosses real ToR links (about half
+    also cross the service's AL switches), no two endpoints are
+    co-located, and the per-cluster rack/AL footprints stay pairwise
+    disjoint — which both keeps the exclusive per-service AL
+    construction feasible and qualifies the workload for the sharded
+    arm (:func:`repro.sim.sharding.plan_shards`).
+    """
+    dcn = build_alvc_fabric(
+        n_racks=n_racks,
+        servers_per_rack=servers_per_rack,
+        n_ops=n_ops,
+        seed=seed,
+    )
+    inventory = MachineInventory(dcn)
+    catalog = ServiceCatalog.standard()
+    services = [service.name for service in STANDARD_SERVICES[:n_services]]
+    # Numeric rack order, restricted to racks with an OPS uplink (the
+    # exclusive AL construction must be able to cover every rack).
+    tors = sorted(
+        (tor for tor in dcn.tors() if dcn.ops_of_tor(tor)),
+        key=lambda tor: (len(tor), tor),
+    )
+    claimed: set = set()
+    for index, service in enumerate(services):
+        racks = tors[
+            index * racks_per_service : (index + 1) * racks_per_service
+        ]
+        # Dual-homed servers hang under two ToRs; claim each server for
+        # one service only so the shard footprints stay disjoint.
+        servers = [
+            server
+            for tor in racks
+            for server in sorted(dcn.servers_under(tor))
+            if server not in claimed
+        ]
+        claimed.update(servers)
+        for slot in range(vms_per_service):
+            vm = inventory.create_vm(catalog.get(service))
+            inventory.place(vm, servers[slot % len(servers)])
+    clusters = ClusterManager(inventory)
+    for service in services:
+        clusters.create_cluster(service)
+    return inventory, clusters, services
+
+
+def _e26_soak_workload(
+    inventory, services: Sequence[str], n_flows: int, epochs: int, seed: int
+) -> list:
+    """Epoch-quantized intra-service flows for the concurrency soak.
+
+    All arrivals land on ``epochs`` integer timestamps, so the vector
+    loop admits each wave in one batch (one recompute per epoch instead
+    of one per flow).  Sizes are large enough that nothing completes
+    inside the measurement window — by the last epoch every flow is
+    concurrent.
+    """
+    from repro.sim.flows import Flow
+
+    rng = random.Random(seed)
+    vms_by_service = {
+        service: [vm.vm_id for vm in inventory.vms_of_service(service)]
+        for service in services
+    }
+    flows = []
+    for index in range(n_flows):
+        service = services[index % len(services)]
+        vms = vms_by_service[service]
+        a, b = rng.sample(range(len(vms)), 2)
+        flows.append(
+            Flow(
+                flow_id=f"soak-{index:07d}",
+                source=vms[a],
+                destination=vms[b],
+                size_bytes=1e12 * (1.0 + rng.random()),
+                arrival_time=float(index % epochs),
+            )
+        )
+    flows.sort(key=lambda flow: (flow.arrival_time, flow.flow_id))
+    return flows
+
+
+def experiment_e26_dataplane_throughput(
+    *,
+    n_racks: int = 128,
+    servers_per_rack: int = 8,
+    n_ops: int = 48,
+    n_services: int = 7,
+    vms_per_service: int = 16,
+    n_flows: int = 8000,
+    arrival_rate: float = 8000.0,
+    soak_flows: int = 0,
+    soak_epochs: int = 12,
+    seed: int = 0,
+    workers: int = 4,
+    arms: Sequence[str] = ("legacy", "incremental", "vector"),
+    runner: SweepRunner | None = None,
+) -> list[dict]:
+    """Data-plane throughput: legacy vs incremental vs vector vs sharded.
+
+    Plays one service-correlated Poisson workload (continuous arrival
+    times, so every engine sees the identical event sequence) on the
+    1024-server fabric through four arms:
+
+    * ``legacy`` — the pre-optimization loop, route cache off (the
+      events/sec baseline; not bit-exact, so it is sanity-checked on
+      mean FCT only);
+    * ``incremental`` — the PR 5 hot path;
+    * ``vector`` — the struct-of-arrays data plane (PR 9);
+    * ``vector-sharded`` — the vector engine fanned out across AL
+      shards via :func:`repro.sim.sharding.simulate_sharded`, run at
+      both ``workers`` and ``workers=1`` to pin merge determinism.
+
+    ``incremental``/``vector``/``vector-sharded`` must agree on the
+    CRC32 rate-trace checksum (`checksum` column) — the committed
+    ``BENCH_e26.json`` and the CI gate both assert it.
+
+    ``arms`` selects which single-process engines run (CI drops the
+    ``legacy`` arm, whose full-scale wall time is measured once into
+    the committed ``BENCH_e26.json``); the sharded arm always runs.
+    With ``soak_flows > 0`` a final ``soak`` row runs the epoch-
+    quantized concurrency soak (default 1M flows in the bench harness)
+    through the sharded vector plane inside a virtual-time window, and
+    reports peak concurrency, resident-set high-water marks and
+    events/second.
+    """
+    import resource
+
+    from repro.sim.event_simulator import EventDrivenFlowSimulator
+    from repro.sim.sharding import simulate_sharded
+
+    inventory, clusters, services = _e26_testbed(
+        n_racks, servers_per_rack, n_ops, vms_per_service, n_services, seed
+    )
+    generator = TrafficGenerator(
+        inventory,
+        TrafficConfig(
+            arrival_rate=arrival_rate,
+            sigma=0.8,
+            intra_service_probability=1.0,
+        ),
+        seed=seed,
+    )
+    flows = generator.flows(n_flows)
+
+    rows = []
+    rates = {}
+    checksums = {}
+    fcts = {}
+    for engine in arms:
+        simulator = EventDrivenFlowSimulator(
+            inventory,
+            clusters,
+            engines={"sim_engine": engine},
+            route_cache_size=0 if engine == "legacy" else 4096,
+        )
+        started = time.perf_counter()
+        report = simulator.run(flows)
+        elapsed = time.perf_counter() - started
+        rates[engine] = report.events / elapsed if elapsed > 0 else 0.0
+        checksums[engine] = (
+            None if engine == "legacy" else _e26_report_checksum(report)
+        )
+        fcts[engine] = report.fct_statistics()["mean"]
+        rows.append(
+            {
+                "arm": engine,
+                "flows": report.flows,
+                "events": report.events,
+                "wall_seconds": elapsed,
+                "events_per_sec": rates[engine],
+                "mean_fct": fcts[engine],
+                "checksum": checksums[engine],
+                "speedup_vs_legacy": (
+                    rates[engine] / rates["legacy"]
+                    if rates.get("legacy")
+                    else None
+                ),
+            }
+        )
+
+    started = time.perf_counter()
+    sharded = simulate_sharded(
+        inventory, clusters, flows, workers=workers, runner=runner
+    )
+    elapsed = time.perf_counter() - started
+    inline = simulate_sharded(inventory, clusters, flows, workers=1)
+    sharded_rate = sharded.events / elapsed if elapsed > 0 else 0.0
+    rows.append(
+        {
+            "arm": "vector-sharded",
+            "flows": sharded.flows,
+            "events": sharded.events,
+            "wall_seconds": elapsed,
+            "events_per_sec": sharded_rate,
+            "mean_fct": sharded.fct_statistics()["mean"],
+            "checksum": _e26_report_checksum(sharded),
+            "speedup_vs_legacy": (
+                sharded_rate / rates["legacy"]
+                if rates.get("legacy")
+                else None
+            ),
+            "workers": workers,
+            "deterministic": sharded == inline,
+        }
+    )
+
+    if soak_flows > 0:
+        soak = _e26_soak_workload(
+            inventory, services, soak_flows, soak_epochs, seed
+        )
+        rss_before_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        started = time.perf_counter()
+        soak_report = simulate_sharded(
+            inventory,
+            clusters,
+            soak,
+            until=float(soak_epochs),
+            workers=workers,
+            runner=runner,
+        )
+        elapsed = time.perf_counter() - started
+        rss_self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        rss_children_kb = resource.getrusage(
+            resource.RUSAGE_CHILDREN
+        ).ru_maxrss
+        rows.append(
+            {
+                "arm": "soak",
+                "flows": len(soak),
+                "events": soak_report.events,
+                "wall_seconds": elapsed,
+                "events_per_sec": (
+                    soak_report.events / elapsed if elapsed > 0 else 0.0
+                ),
+                "in_flight": soak_report.in_flight,
+                "workers": workers,
+                "rss_self_mb": max(rss_self_kb - rss_before_kb, 0) / 1024.0,
+                "rss_worker_mb": rss_children_kb / 1024.0,
+            }
         )
     return rows

@@ -12,6 +12,8 @@ from typing import Mapping, Sequence
 
 def format_value(value) -> str:
     """Human-friendly cell formatting (floats get 4 significant digits)."""
+    if value is None:
+        return ""
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):

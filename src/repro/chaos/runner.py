@@ -55,8 +55,9 @@ class ChaosRunner:
             orchestrator: the control plane under test.
             simulator: data-plane simulator; when omitted, one is built
                 over the orchestrator's inventory and cluster manager
-                with default settings (pass your own to pick the
-                engine, load-awareness, …).
+                on the orchestrator's :class:`~repro.config.EngineConfig`
+                (pass your own to pick a different engine,
+                load-awareness, …).
             policy: :class:`~repro.chaos.recovery.RecoveryPolicy` for
                 AL repair retries (single attempt when omitted).
         """
@@ -68,6 +69,7 @@ class ChaosRunner:
             else EventDrivenFlowSimulator(
                 clusters.inventory,
                 clusters,
+                engines=orchestrator.engines,
                 telemetry=orchestrator.telemetry,
             )
         )

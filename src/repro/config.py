@@ -41,6 +41,12 @@ ROUTING_ENGINES = ("auto", "csr", "nx")
 #: or size-dependent auto fallback.
 SOLVER_ENGINES = ("greedy", "exact", "auto")
 
+#: Recognized event-simulator engines (see
+#: :mod:`repro.sim.event_simulator`): the incremental hot path, the
+#: from-scratch reference, the pre-optimization legacy loop, and the
+#: struct-of-arrays vectorized data plane.
+SIM_ENGINES = ("incremental", "from_scratch", "legacy", "vector")
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class EngineConfig:
@@ -62,6 +68,12 @@ class EngineConfig:
             Unlike the other selectors this one *can* change results —
             exact solutions may beat the greedy — so the default stays
             on the heuristic path.
+        sim_engine: event-simulator loop/fair-share engine —
+            ``"incremental"`` (default hot path), ``"from_scratch"``
+            (reference fair share, same loop), ``"legacy"`` (the
+            pre-optimization loop) or ``"vector"`` (the struct-of-arrays
+            data plane; bit-identical reports to the incremental
+            engine).
         workers: default worker-process count for seeded sweeps
             (``1`` runs fully in-process).
     """
@@ -69,6 +81,7 @@ class EngineConfig:
     cover_kernel: str = "auto"
     routing: str = "auto"
     solver: str = "greedy"
+    sim_engine: str = "incremental"
     workers: int = 1
 
     def __post_init__(self) -> None:
@@ -86,6 +99,11 @@ class EngineConfig:
             raise ValidationError(
                 f"unknown solver engine {self.solver!r} "
                 f"(expected one of {', '.join(SOLVER_ENGINES)})"
+            )
+        if self.sim_engine not in SIM_ENGINES:
+            raise ValidationError(
+                f"unknown simulation engine {self.sim_engine!r} "
+                f"(expected one of {', '.join(SIM_ENGINES)})"
             )
         if not isinstance(self.workers, int) or self.workers < 1:
             raise ValidationError(

@@ -22,8 +22,10 @@ from repro.sim.events import EventQueue, Simulator
 from repro.sim.fairshare import FairShareEngine, max_min_fair_rates
 from repro.sim.flows import Flow
 from repro.sim.metrics import MetricsCollector
+from repro.sim.sharding import ShardPlan, simulate_sharded
 from repro.sim.simulator import FlowSimulator, SimulationReport
 from repro.sim.traffic import TrafficConfig, TrafficGenerator
+from repro.sim.vector import FlowTable, LinkBusyView, VectorFairShareEngine
 
 __all__ = [
     "ChainFlowRecord",
@@ -36,10 +38,15 @@ __all__ = [
     "FairShareEngine",
     "Flow",
     "FlowSimulator",
+    "FlowTable",
+    "LinkBusyView",
     "MetricsCollector",
+    "ShardPlan",
     "SimulationReport",
     "Simulator",
     "TrafficConfig",
     "TrafficGenerator",
+    "VectorFairShareEngine",
     "max_min_fair_rates",
+    "simulate_sharded",
 ]

@@ -27,12 +27,25 @@ per event rather than the number of active flows:
 * routes are served from an LRU :class:`~repro.sdn.route_cache.RouteCache`
   keyed by ``(src_host, dst_host, al_signature, load_aware)``.
 
-Three engines are selectable for parity testing and benchmarking:
+Four engines are selectable for parity testing and benchmarking:
 ``"incremental"`` (the default), ``"from_scratch"`` (same event loop,
-reference fair-share algorithm — bit-for-bit identical reports), and
-``"legacy"`` (the pre-optimization loop: per-event from-scratch
-water-filling with per-round load rebuilds, linear scan for the next
-completion, eager per-event progress accounting).
+reference fair-share algorithm — bit-for-bit identical reports),
+``"vector"`` (the struct-of-arrays data plane of
+:mod:`repro.sim.vector`: whole-array water-filling rounds, an
+eta-argmin completion picker and same-timestamp arrival batching —
+bit-for-bit identical reports on workloads with distinct arrival
+times), and ``"legacy"`` (the pre-optimization loop: per-event
+from-scratch water-filling with per-round load rebuilds, linear scan
+for the next completion, eager per-event progress accounting).
+
+The engine is selected through :class:`~repro.config.EngineConfig`
+(``engines=EngineConfig(sim_engine=...)`` or an equivalent dict); the
+bare ``engine=`` kwarg keeps working through a ``DeprecationWarning``
+shim.  Runs may be windowed with ``run(..., until=...)``: the
+simulation stops at that virtual time, charges progress for in-flight
+flows up to the window edge and reports their count in
+``EventSimulationReport.in_flight`` — how the million-flow soak bounds
+its completion events.
 """
 
 from __future__ import annotations
@@ -40,8 +53,12 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import math
-from typing import Sequence
+import warnings
+from typing import Mapping, Sequence
 
+import numpy as np
+
+from repro.config import SIM_ENGINES, EngineConfig
 from repro.core.cluster import ClusterManager
 from repro.exceptions import (
     RoutingError,
@@ -83,10 +100,12 @@ from repro.sim.faults import (
     normalize_failures,
 )
 from repro.sim.flows import Flow
+from repro.sim.vector import LinkBusyView, VectorFairShareEngine
 from repro.virtualization.machines import MachineInventory
 
-#: Selectable fair-share/event-loop engines.
-ENGINES = ("incremental", "from_scratch", "legacy")
+#: Selectable fair-share/event-loop engines (re-exported from
+#: :mod:`repro.config`, where ``EngineConfig.sim_engine`` validates).
+ENGINES = SIM_ENGINES
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -107,15 +126,24 @@ class CompletedFlow:
 
 @dataclasses.dataclass(frozen=True)
 class EventSimulationReport:
-    """Outcome of one event-driven run."""
+    """Outcome of one event-driven run.
+
+    ``link_busy_byte_seconds`` is a mapping — a plain dict for the dict
+    engines, a lazy :class:`~repro.sim.vector.LinkBusyView` over the
+    busy array for the vector engine (the two compare equal when the
+    contents match).  ``in_flight`` counts flows still active when a
+    windowed run (``run(..., until=...)``) hit its window edge; it is
+    ``0`` for runs that drained naturally.
+    """
 
     completed: tuple[CompletedFlow, ...]
     makespan: float
-    link_busy_byte_seconds: dict[LinkId, float]
+    link_busy_byte_seconds: Mapping[LinkId, float]
     dropped: tuple[FlowId, ...] = ()
     reroutes: int = 0
     failed_nodes: tuple[str, ...] = ()
     events: int = 0
+    in_flight: int = 0
 
     @property
     def flows(self) -> int:
@@ -159,6 +187,12 @@ class EventSimulationReport:
         """
         if not self.link_busy_byte_seconds or self.makespan <= 0:
             return 0.0
+        busy = self.link_busy_byte_seconds
+        if isinstance(busy, LinkBusyView):
+            # Array path (memory guard for million-flow runs): one
+            # vectorized pass over the per-link busy array instead of a
+            # python loop over a materialized dict.
+            return busy.mean_utilization(capacities, self.makespan)
         utilizations = []
         for link, byte_seconds in self.link_busy_byte_seconds.items():
             if link not in capacities:
@@ -208,8 +242,9 @@ class EventDrivenFlowSimulator:
         load_aware: bool = False,
         k_paths: int = 3,
         telemetry: Telemetry | None = None,
-        engine: str = "incremental",
-        routing_engine: str = "auto",
+        engine: str | None = None,
+        engines: "EngineConfig | dict | None" = None,
+        routing_engine: str | None = None,
         route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
     ) -> None:
         """Create a simulator over a populated inventory.
@@ -229,26 +264,59 @@ class EventDrivenFlowSimulator:
             telemetry: metrics/tracing sink (ambient default when
                 omitted); records event throughput, queue depths,
                 fair-share rounds and route-cache traffic.
-            engine: ``"incremental"`` (default hot path),
-                ``"from_scratch"`` (reference fair-share, same loop) or
-                ``"legacy"`` (the pre-optimization loop).
+            engine: deprecated spelling of
+                ``engines=EngineConfig(sim_engine=...)``.
+
+                .. deprecated:: PR 9
+                    Use ``engines=``; the bare kwarg warns and is
+                    scheduled for removal at the v1.0 cut.
+            engines: typed :class:`~repro.config.EngineConfig` (or an
+                equivalent dict / ``None``); ``sim_engine`` selects the
+                event loop — ``"incremental"`` (default hot path),
+                ``"from_scratch"`` (reference fair-share, same loop),
+                ``"vector"`` (struct-of-arrays data plane) or
+                ``"legacy"`` (the pre-optimization loop) — and
+                ``routing`` the path backend unless ``routing_engine``
+                overrides it.
             routing_engine: path-computation backend —
                 ``"auto"``/``"csr"``/``"nx"``, see
                 :mod:`repro.sdn.routing` (both produce bit-identical
                 paths; this knob exists for parity tests and
-                benchmarks).
+                benchmarks).  Defaults to ``engines.routing``.
             route_cache_size: LRU entries for route caching; ``0``
                 disables the cache entirely.
 
         Raises:
-            ValidationError: on an unknown engine, a negative cache
-                size, or a non-positive bandwidth override.
+            ValidationError: on an unknown engine, conflicting engine
+                spellings, a negative cache size, or a non-positive
+                bandwidth override.
         """
-        if engine not in ENGINES:
-            raise ValidationError(
-                f"unknown simulation engine {engine!r} "
-                f"(expected one of {', '.join(ENGINES)})"
+        engine_config = EngineConfig.coerce(engines)
+        if engine is not None:
+            if engine not in ENGINES:
+                raise ValidationError(
+                    f"unknown simulation engine {engine!r} "
+                    f"(expected one of {', '.join(ENGINES)})"
+                )
+            warnings.warn(
+                "EventDrivenFlowSimulator(engine=...) is deprecated; use "
+                "engines=EngineConfig(sim_engine=...). Scheduled for "
+                "removal at the v1.0 cut.",
+                DeprecationWarning,
+                stacklevel=2,
             )
+            if engine != "incremental":
+                if engine_config.sim_engine not in ("incremental", engine):
+                    raise ValidationError(
+                        "conflicting simulation engines: engine="
+                        f"{engine!r} vs engines.sim_engine="
+                        f"{engine_config.sim_engine!r}"
+                    )
+                engine_config = dataclasses.replace(
+                    engine_config, sim_engine=engine
+                )
+        if routing_engine is None:
+            routing_engine = engine_config.routing
         if routing_engine not in ROUTING_ENGINES:
             raise ValidationError(
                 f"unknown routing engine {routing_engine!r} "
@@ -270,7 +338,7 @@ class EventDrivenFlowSimulator:
         self._clusters = clusters
         self._load_aware = load_aware
         self._k_paths = k_paths
-        self._engine_mode = engine
+        self._engine_mode = engine_config.sim_engine
         self._routing_engine = routing_engine
         self._capacities: dict[LinkId, float] = {}
         for a, b, link, parallel in inventory.network.trunks():
@@ -488,14 +556,22 @@ class EventDrivenFlowSimulator:
         self,
         flows: Sequence[Flow],
         failures: Sequence["FaultEvent | tuple[float, str]"] = (),
+        *,
+        until: float | None = None,
     ) -> EventSimulationReport:
-        """Simulate the workload to completion.
+        """Simulate the workload to completion (or a virtual-time window).
 
         Flows must carry distinct ids; arrival times may be in any order
         (they are sorted internally).
 
         Args:
             flows: the workload.
+            until: optional virtual-time window edge.  Events strictly
+                beyond it are not processed: in-flight flows are charged
+                up to ``until`` and counted in the report's
+                ``in_flight`` (arrivals beyond the window are simply
+                not admitted), and ``makespan`` is capped at ``until``.
+                Unsupported by the legacy engine.
             failures: optional fault schedule.  Entries are either
                 legacy ``(time, node_id)`` crash tuples or
                 :class:`~repro.sim.faults.FaultEvent` records (node
@@ -510,14 +586,24 @@ class EventDrivenFlowSimulator:
                 adapt at the event).  ``failed_nodes`` in the report
                 lists nodes still down when the run ends.
         """
+        if until is not None:
+            if until < 0:
+                raise ValidationError(f"until must be >= 0, got {until}")
+            if self._engine_mode == "legacy":
+                raise ValidationError(
+                    "the legacy engine does not support windowed runs "
+                    "(until=)"
+                )
         telemetry = self._telemetry
         with telemetry.span(
             "event_simulation", flows=len(flows)
         ) as span:
             if self._engine_mode == "legacy":
                 report = self._run_legacy(flows, failures)
+            elif self._engine_mode == "vector":
+                report = self._run_vector(flows, failures, until)
             else:
-                report = self._run(flows, failures)
+                report = self._run(flows, failures, until)
         if telemetry.enabled:
             span.set(makespan=report.makespan, events=report.events)
             telemetry.counter(
@@ -537,6 +623,7 @@ class EventDrivenFlowSimulator:
         self,
         flows: Sequence[Flow],
         failures: Sequence[tuple[float, str]] = (),
+        until: float | None = None,
     ) -> EventSimulationReport:
         # Instruments are bound once; when telemetry is disabled these
         # are shared no-op singletons (one cheap call per event).
@@ -549,6 +636,10 @@ class EventDrivenFlowSimulator:
         )
         peak_gauge = self._telemetry.gauge(
             "alvc_sim_active_flows_peak", "peak concurrent in-flight flows"
+        )
+        peak_flows_gauge = self._telemetry.gauge(
+            "alvc_sim_peak_flows",
+            "peak concurrent in-flight flows in the last run",
         )
         heap_gauge = self._telemetry.gauge(
             "alvc_sim_event_queue_depth",
@@ -577,6 +668,7 @@ class EventDrivenFlowSimulator:
         dropped: list[FlowId] = []
         reroutes = 0
         events = 0
+        in_flight = 0
         failed_nodes: set[str] = set()
         cut_links: set[LinkId] = set()
         # Capacity each down link had when it left the map, so repairs
@@ -669,6 +761,11 @@ class EventDrivenFlowSimulator:
                     links=links_on_path(new_path),
                     remaining_bytes=state.remaining_bytes,
                     last_update=now,
+                    # Epochs must keep counting across the reroute: a
+                    # fresh counter could collide with a stale heap
+                    # entry from the pre-displacement state and fire a
+                    # completion at the old eta with bytes still left.
+                    epoch=state.epoch + 1,
                 )
                 active[flow_id] = rerouted
                 for link in rerouted.links:
@@ -708,6 +805,13 @@ class EventDrivenFlowSimulator:
                 next_completion = infinity
                 next_finisher = None
             event_time = min(next_arrival, next_completion, next_failure)
+            if until is not None and event_time > until:
+                # Window edge: charge everyone up to it and stop.
+                now = until
+                for state in active.values():
+                    materialize(state)
+                in_flight = len(active)
+                break
             if math.isinf(event_time):
                 raise SimulationError(
                     "simulation stalled: active flows with zero rate"
@@ -883,6 +987,7 @@ class EventDrivenFlowSimulator:
                 peak_depth = depth
 
         peak_gauge.set(peak_depth)
+        peak_flows_gauge.set(peak_depth)
         return EventSimulationReport(
             completed=tuple(
                 sorted(completed, key=lambda record: record.flow_id)
@@ -897,6 +1002,379 @@ class EventDrivenFlowSimulator:
             reroutes=reroutes,
             failed_nodes=tuple(sorted(failed_nodes)),
             events=events,
+            in_flight=in_flight,
+        )
+
+    # ------------------------------------------------------------------
+    # Vector path: struct-of-arrays flow table + whole-array fair share
+    # ------------------------------------------------------------------
+    def _run_vector(
+        self,
+        flows: Sequence[Flow],
+        failures: Sequence[tuple[float, str]] = (),
+        until: float | None = None,
+    ) -> EventSimulationReport:
+        """The vectorized event loop.
+
+        Mirrors :meth:`_run` decision-for-decision (event tie-breaking,
+        lazy progress materialization, fault handling) with three
+        structural swaps:
+
+        * flow state lives in a :class:`~repro.sim.vector.FlowTable`
+          and rates come from
+          :class:`~repro.sim.vector.VectorFairShareEngine` — ascending
+          slot order is activation order, so every vectorized pass
+          (materialization, busy charging) performs the dict loop's
+          arithmetic in the dict loop's order;
+        * the next completion is an argmin over the eta array (ties
+          broken by flow id, like the heap's ``(eta, flow_id)`` order)
+          instead of a lazy-deletion heap;
+        * arrivals sharing one timestamp are admitted as a *batch* with
+          a single trailing recompute.  Intermediate recomputes at the
+          same instant materialize no progress and their rates are
+          never observable, so batched reports match the unbatched
+          engines bit-for-bit on workloads with distinct arrival times
+          (the common case; the parity suite draws arrivals from
+          continuous distributions) and remain deterministic — the
+          property the shard-merge tests pin — on same-timestamp
+          workloads like the million-flow soak.
+        """
+        events_counter = self._telemetry.counter(
+            "alvc_sim_events_total",
+            "discrete events processed (arrivals, completions, failures)",
+        )
+        depth_gauge = self._telemetry.gauge(
+            "alvc_sim_active_flows", "concurrent in-flight flows (queue depth)"
+        )
+        peak_gauge = self._telemetry.gauge(
+            "alvc_sim_active_flows_peak", "peak concurrent in-flight flows"
+        )
+        peak_flows_gauge = self._telemetry.gauge(
+            "alvc_sim_peak_flows",
+            "peak concurrent in-flight flows in the last run",
+        )
+        peak_depth = 0
+        pending = sorted(flows, key=lambda flow: (flow.arrival_time, flow.flow_id))
+        ids = [flow.flow_id for flow in pending]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("duplicate flow ids in workload")
+        failure_queue = self._validated_failures(failures)
+
+        # Per-run capacity view (the fault-bookkeeping mirror of the
+        # engine's arrays): failures remove links here without
+        # poisoning the simulator for subsequent runs.
+        capacities = dict(self._capacities)
+        engine = VectorFairShareEngine(capacities, telemetry=self._telemetry)
+        table = engine.table
+        busy = np.zeros(engine.n_links)
+
+        completed: list[CompletedFlow] = []
+        dropped: list[FlowId] = []
+        reroutes = 0
+        events = 0
+        in_flight = 0
+        failed_nodes: set[str] = set()
+        cut_links: set[LinkId] = set()
+        down_links: dict[LinkId, float] = {}
+        link_flows: dict[LinkId, int] = {}
+        now = 0.0
+        arrival_index = 0
+        failure_index = 0
+        infinity = math.inf
+
+        def materialize_slots(slots: np.ndarray) -> None:
+            """Charge progress (and link busy time) for ``slots`` since
+            their last rate change — the array twin of :meth:`_run`'s
+            ``materialize``, applied in ascending slot (= activation)
+            order so per-link busy sums accumulate in the dict loop's
+            order."""
+            elapsed = now - table.last_update[slots]
+            rate = table.rate[slots]
+            moving = (elapsed > 0.0) & (rate > 0.0) & (rate < infinity)
+            movers = slots[moving]
+            if movers.shape[0]:
+                moved = table.rate[movers] * (now - table.last_update[movers])
+                remaining = table.remaining[movers]
+                moved = np.minimum(moved, remaining)
+                table.remaining[movers] = remaining - moved
+                carrying = moved > 0.0
+                carriers = movers[carrying]
+                if carriers.shape[0]:
+                    flat, lens = table.gather_links(carriers)
+                    np.add.at(busy, flat, np.repeat(moved[carrying], lens))
+            table.last_update[slots] = now
+
+        def apply_rates(rates: np.ndarray) -> None:
+            """Adopt a fresh allocation; only flows whose rate changed
+            get materialized and a fresh eta."""
+            size = table.size
+            changed = table.alive[:size] & (rates != table.rate[:size])
+            selected = np.flatnonzero(changed)
+            if selected.shape[0] == 0:
+                return
+            materialize_slots(selected)
+            new_rates = rates[selected]
+            table.rate[selected] = new_rates
+            remaining = table.remaining[selected]
+            eta = np.full(selected.shape[0], infinity)
+            positive = (new_rates > 0.0) & np.isfinite(new_rates)
+            eta[positive] = now + remaining[positive] / new_rates[positive]
+            # Mirrors remaining / inf == 0.0: completes "now".
+            eta[np.isinf(new_rates)] = now
+            table.eta[selected] = eta
+
+        def recompute_rates() -> None:
+            apply_rates(engine.recompute())
+
+        def displace(victims: list[FlowId]) -> None:
+            """Reroute (or drop) flows whose path just became unusable."""
+            nonlocal reroutes
+            for flow_id in victims:
+                slot = table.slot_of[flow_id]
+                materialize_slots(np.array([slot], dtype=np.int64))
+                flow, _, links = table.meta[slot]
+                remaining_bytes = float(table.remaining[slot])
+                for link in links:
+                    link_flows[link] -= 1
+                    if link_flows[link] == 0:
+                        del link_flows[link]
+                engine.remove_flow(flow_id)
+                new_path = self._route_avoiding(
+                    flow, failed_nodes, cut_links, link_flows
+                )
+                if new_path is None:
+                    dropped.append(flow_id)
+                    continue
+                reroutes += 1
+                new_links = links_on_path(new_path)
+                slot = engine.add_flow(flow_id, new_links)
+                table.meta[slot] = (flow, new_path, new_links)
+                table.remaining[slot] = remaining_bytes
+                table.last_update[slot] = now
+                for link in new_links:
+                    link_flows[link] = link_flows.get(link, 0) + 1
+
+        while (
+            arrival_index < len(pending)
+            or table.active_count
+            or failure_index < len(failure_queue)
+        ):
+            next_arrival = (
+                pending[arrival_index].arrival_time
+                if arrival_index < len(pending)
+                else infinity
+            )
+            next_failure = (
+                failure_queue[failure_index].time
+                if failure_index < len(failure_queue)
+                else infinity
+            )
+            if table.active_count:
+                # Dead slots hold eta == inf, so the argmin only ever
+                # lands on a live flow.
+                next_completion = float(table.eta[: table.size].min())
+            else:
+                next_completion = infinity
+            event_time = min(next_arrival, next_completion, next_failure)
+            if until is not None and event_time > until:
+                # Window edge: charge everyone up to it and stop.
+                now = until
+                materialize_slots(table.active_slots())
+                in_flight = table.active_count
+                break
+            if math.isinf(event_time):
+                raise SimulationError(
+                    "simulation stalled: active flows with zero rate"
+                )
+            now = event_time
+
+            if next_failure <= next_arrival and next_failure <= next_completion:
+                events += 1
+                events_counter.inc()
+                record = failure_queue[failure_index]
+                failure_index += 1
+                # Availability changed without a topology mutation:
+                # bump the path engine's mask generation so cached
+                # post-fault avoidance masks cannot go stale.
+                engine_for(self._inventory.network).note_fault()
+                action = record.action
+                if action == NODE_DOWN:
+                    failed = record.payload
+                    if failed in failed_nodes:
+                        continue
+                    failed_nodes.add(failed)
+                    # Active flows over the node reroute or drop.
+                    displace(
+                        [
+                            flow_id
+                            for flow_id, slot in sorted(table.slot_of.items())
+                            if failed in table.meta[slot][1]
+                        ]
+                    )
+                    # Links touching the node leave the capacity map
+                    # (after the reroutes, so the engine never drops a
+                    # loaded link).
+                    for link in list(capacities):
+                        if failed in link:
+                            down_links[link] = capacities.pop(link)
+                            engine.remove_link(link)
+                    recompute_rates()
+                elif action == NODE_UP:
+                    repaired = record.payload
+                    if repaired not in failed_nodes:
+                        continue
+                    failed_nodes.discard(repaired)
+                    # Links regain their stored capacity once both
+                    # endpoints are alive, unless individually cut.
+                    for link in list(down_links):
+                        if (
+                            repaired in link
+                            and not (link & failed_nodes)
+                            and link not in cut_links
+                        ):
+                            capacity = down_links.pop(link)
+                            capacities[link] = capacity
+                            engine.set_capacity(link, capacity)
+                    recompute_rates()
+                elif action == LINK_DOWN:
+                    link = record.payload
+                    if link in cut_links:
+                        continue
+                    cut_links.add(link)
+                    if link not in capacities:
+                        # Already gone (an endpoint is down); the cut is
+                        # remembered so a node repair cannot revive it.
+                        continue
+                    displace(
+                        [
+                            flow_id
+                            for flow_id, slot in sorted(table.slot_of.items())
+                            if link in table.meta[slot][2]
+                        ]
+                    )
+                    down_links[link] = capacities.pop(link)
+                    engine.remove_link(link)
+                    recompute_rates()
+                elif action == LINK_UP:
+                    link = record.payload
+                    if link not in cut_links:
+                        continue
+                    cut_links.discard(link)
+                    if link in down_links and not (link & failed_nodes):
+                        capacity = down_links.pop(link)
+                        capacities[link] = capacity
+                        engine.set_capacity(link, capacity)
+                        recompute_rates()
+                else:  # LINK_DEGRADE
+                    link = record.payload
+                    if link in capacities:
+                        new_capacity = capacities[link] * (
+                            1.0 - record.severity
+                        )
+                        capacities[link] = new_capacity
+                        engine.set_capacity(link, new_capacity)
+                        if self._route_cache is not None:
+                            self._route_cache.invalidate_crossing((link,))
+                        recompute_rates()
+                    elif link in down_links:
+                        # Degrading a link that is currently down only
+                        # shrinks the capacity a later repair restores.
+                        down_links[link] *= 1.0 - record.severity
+            elif next_arrival <= next_completion and arrival_index < len(pending):
+                # Admit every arrival sharing this timestamp, then
+                # recompute once (the batch optimization — see the
+                # method docstring).
+                admitted = False
+                while (
+                    arrival_index < len(pending)
+                    and pending[arrival_index].arrival_time == now
+                ):
+                    flow = pending[arrival_index]
+                    arrival_index += 1
+                    events += 1
+                    events_counter.inc()
+                    if failed_nodes or cut_links:
+                        path = self._route_avoiding(
+                            flow, failed_nodes, cut_links, link_flows
+                        )
+                        if path is None:
+                            dropped.append(flow.flow_id)
+                            continue
+                    else:
+                        path = self._route(flow, link_flows)
+                    links = links_on_path(path)
+                    if not links:
+                        # Co-located endpoints: completes immediately and
+                        # leaves every other allocation untouched.
+                        completed.append(
+                            CompletedFlow(
+                                flow_id=flow.flow_id,
+                                size_bytes=flow.size_bytes,
+                                arrival_time=flow.arrival_time,
+                                completion_time=now,
+                                hops=0,
+                            )
+                        )
+                        continue
+                    slot = engine.add_flow(flow.flow_id, links)
+                    table.meta[slot] = (flow, path, links)
+                    table.remaining[slot] = flow.size_bytes
+                    table.last_update[slot] = now
+                    for link in links:
+                        link_flows[link] = link_flows.get(link, 0) + 1
+                    admitted = True
+                if admitted:
+                    recompute_rates()
+            else:
+                events += 1
+                events_counter.inc()
+                eta = table.eta[: table.size]
+                finishers = np.flatnonzero(eta == next_completion)
+                if finishers.shape[0] == 1:
+                    slot = int(finishers[0])
+                else:
+                    # Heap order is (eta, flow_id): break eta ties on
+                    # the smallest flow id, not the earliest slot.
+                    slot = min(
+                        (int(candidate) for candidate in finishers),
+                        key=lambda candidate: table.flow_ids[candidate],
+                    )
+                finisher = table.flow_ids[slot]
+                materialize_slots(np.array([slot], dtype=np.int64))
+                flow, path, links = table.meta[slot]
+                for link in links:
+                    link_flows[link] -= 1
+                    if link_flows[link] == 0:
+                        del link_flows[link]
+                engine.remove_flow(finisher)
+                completed.append(
+                    CompletedFlow(
+                        flow_id=flow.flow_id,
+                        size_bytes=flow.size_bytes,
+                        arrival_time=flow.arrival_time,
+                        completion_time=now,
+                        hops=len(path) - 1,
+                    )
+                )
+                recompute_rates()
+            depth = table.active_count
+            depth_gauge.set(depth)
+            if depth > peak_depth:
+                peak_depth = depth
+
+        peak_gauge.set(peak_depth)
+        peak_flows_gauge.set(peak_depth)
+        return EventSimulationReport(
+            completed=tuple(
+                sorted(completed, key=lambda record: record.flow_id)
+            ),
+            makespan=now,
+            link_busy_byte_seconds=LinkBusyView(engine.link_ids(), busy),
+            dropped=tuple(sorted(dropped)),
+            reroutes=reroutes,
+            failed_nodes=tuple(sorted(failed_nodes)),
+            events=events,
+            in_flight=in_flight,
         )
 
     # ------------------------------------------------------------------
@@ -917,6 +1395,10 @@ class EventDrivenFlowSimulator:
         )
         peak_gauge = self._telemetry.gauge(
             "alvc_sim_active_flows_peak", "peak concurrent in-flight flows"
+        )
+        peak_flows_gauge = self._telemetry.gauge(
+            "alvc_sim_peak_flows",
+            "peak concurrent in-flight flows in the last run",
         )
         peak_depth = 0
         events = 0
@@ -1144,6 +1626,7 @@ class EventDrivenFlowSimulator:
                 peak_depth = depth
 
         peak_gauge.set(peak_depth)
+        peak_flows_gauge.set(peak_depth)
         return EventSimulationReport(
             completed=tuple(
                 sorted(completed, key=lambda record: record.flow_id)

@@ -1,0 +1,697 @@
+"""Struct-of-arrays data plane: vectorized max-min fair sharing.
+
+The dict-based :class:`~repro.sim.fairshare.FairShareEngine` touches one
+python object per flow-link incidence on every recompute, which caps the
+event simulator at a few thousand concurrent flows.  This module moves
+all per-flow state into numpy arrays so a water-filling recompute is a
+handful of whole-array operations:
+
+* :class:`FlowTable` — the struct-of-arrays flow ledger.  Rates,
+  remaining demand, projected completion times and last-materialization
+  stamps are ``float64`` arrays indexed by *slot*; each flow's link
+  incidence lives in a shared ``int32`` pool addressed CSR-style by
+  ``link_start``/``link_len`` (the same layout PR 5's
+  :class:`~repro.sdn.path_engine.PathEngine` uses for adjacency).
+  Slots are append-only, so ascending slot order *is* activation order
+  — the invariant every bit-parity argument below leans on — and the
+  table compacts itself when completed flows dominate.
+* :class:`VectorFairShareEngine` — water-filling over the table.  One
+  round is: a masked ``remaining / load`` ratio over the loaded links, a
+  single ``min``/``argmin`` for the bottleneck (ties broken by a
+  precomputed lexicographic link rank, replicating the dict engine's
+  ``sorted(link)`` tie-break), a batch freeze of the bottleneck's
+  unfrozen members from a per-recompute link→flows transpose, and an
+  unbuffered ``np.subtract.at`` over the frozen members' incidences.
+  ``np.subtract.at`` performs the duplicate-index subtractions
+  *sequentially*, so a link crossed by ``k`` freezing flows sees exactly
+  the ``k`` IEEE subtractions the dict engine performs — and because
+  every subtraction in a round removes the *same* share, deferring the
+  zero-clamp to one ``np.maximum`` per round is bit-identical to the
+  dict engine's per-subtraction clamp (once a value goes negative,
+  further subtractions keep it negative and both paths clamp to
+  ``+0.0``).  The result is **bit-for-bit** the rates of
+  :class:`~repro.sim.fairshare.FairShareEngine` /
+  :func:`~repro.sim.fairshare.max_min_fair_rates`, which the seeded
+  parity suite asserts on randomized instances.
+* :class:`LinkBusyView` — a lazy mapping over the simulator's per-link
+  busy accumulator array, so a million-flow report never materializes a
+  per-link python dict just to compute utilization.
+
+Telemetry: each recompute observes its round count in the
+``alvc_fairshare_vector_rounds`` histogram (the vectorized sibling of
+``alvc_fairshare_rounds``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sim.fairshare import ROUNDS_BUCKETS, LinkId
+
+__all__ = ["FlowTable", "LinkBusyView", "VectorFairShareEngine"]
+
+_EMPTY_I32 = np.empty(0, dtype=np.int32)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+class FlowTable:
+    """Struct-of-arrays ledger of active (and recently dead) flows.
+
+    Every per-flow scalar the event loop touches is a ``float64`` array
+    indexed by slot; link incidences live in one shared ``int32`` pool
+    addressed by ``link_start[slot] : link_start[slot] + link_len[slot]``.
+    Slots are handed out append-only — ascending slot order is exactly
+    flow-activation order, matching the insertion order of the dict
+    engine's ``active`` mapping — and reclaimed in bulk by
+    :meth:`compact` (which preserves relative order) once dead slots
+    outnumber live ones.
+    """
+
+    __slots__ = (
+        "remaining",
+        "rate",
+        "eta",
+        "last_update",
+        "alive",
+        "link_start",
+        "link_len",
+        "has_dup",
+        "pool",
+        "pool_len",
+        "size",
+        "active_count",
+        "slot_of",
+        "flow_ids",
+        "meta",
+        "_compact_slack",
+    )
+
+    def __init__(self, capacity: int = 64, *, compact_slack: int = 256) -> None:
+        n = max(16, int(capacity))
+        self.remaining = np.zeros(n)
+        self.rate = np.zeros(n)
+        self.eta = np.full(n, np.inf)
+        self.last_update = np.zeros(n)
+        self.alive = np.zeros(n, dtype=bool)
+        self.link_start = np.zeros(n, dtype=np.int64)
+        self.link_len = np.zeros(n, dtype=np.int64)
+        #: Slots whose path crosses some link more than once (rare;
+        #: lets recompute skip member dedup when no carrier cycles).
+        self.has_dup = np.zeros(n, dtype=bool)
+        self.pool = np.zeros(4 * n, dtype=np.int32)
+        self.pool_len = 0
+        #: High-water slot count: slots ``[0, size)`` are allocated.
+        self.size = 0
+        self.active_count = 0
+        #: flow id -> live slot.
+        self.slot_of: dict[Hashable, int] = {}
+        #: Per-slot flow id (stale for dead slots until compaction).
+        self.flow_ids: list = []
+        #: Per-slot caller payload (the simulator stores flow metadata).
+        self.meta: list = []
+        self._compact_slack = max(1, int(compact_slack))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.active_count
+
+    def __contains__(self, flow: Hashable) -> bool:
+        return flow in self.slot_of
+
+    def active_slots(self) -> np.ndarray:
+        """Live slots in ascending (= activation) order."""
+        return np.flatnonzero(self.alive[: self.size])
+
+    # ------------------------------------------------------------------
+    def add(
+        self, flow: Hashable, links: np.ndarray, has_dup: bool | None = None
+    ) -> int:
+        """Allocate a slot for ``flow`` over link indices ``links``.
+
+        The new slot starts with zero rate, infinite eta and zero
+        remaining demand; the caller seeds ``remaining``/``last_update``.
+        ``has_dup`` lets a caller that already knows whether ``links``
+        repeats an index skip the membership probe.
+
+        Raises:
+            SimulationError: when the flow already holds a slot.
+        """
+        if flow in self.slot_of:
+            raise SimulationError(f"flow {flow!r} is already active")
+        if self.size - self.active_count > max(
+            self._compact_slack, self.active_count
+        ):
+            self.compact()
+        slot = self.size
+        if slot == self.remaining.shape[0]:
+            self._grow_slots()
+        count = len(links)
+        if self.pool_len + count > self.pool.shape[0]:
+            self._grow_pool(self.pool_len + count)
+        self.pool[self.pool_len : self.pool_len + count] = links
+        self.link_start[slot] = self.pool_len
+        self.link_len[slot] = count
+        if has_dup is None:
+            has_dup = count > len({int(link) for link in links})
+        self.has_dup[slot] = has_dup
+        self.pool_len += count
+        self.remaining[slot] = 0.0
+        self.rate[slot] = 0.0
+        self.eta[slot] = np.inf
+        self.last_update[slot] = 0.0
+        self.alive[slot] = True
+        self.size = slot + 1
+        self.active_count += 1
+        self.slot_of[flow] = slot
+        self.flow_ids.append(flow)
+        self.meta.append(None)
+        return slot
+
+    def remove(self, flow: Hashable) -> int:
+        """Release a flow's slot (kept inert until compaction).
+
+        Raises:
+            SimulationError: when the flow holds no slot.
+        """
+        try:
+            slot = self.slot_of.pop(flow)
+        except KeyError:
+            raise SimulationError(f"flow {flow!r} is not active") from None
+        self.alive[slot] = False
+        self.eta[slot] = np.inf
+        self.rate[slot] = 0.0
+        self.meta[slot] = None
+        self.active_count -= 1
+        return slot
+
+    def gather_links(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated link indices of ``slots`` plus per-slot lengths.
+
+        The concatenation preserves ``slots`` order and, within a slot,
+        path order — the iteration order the dict engine charges links
+        in.
+        """
+        if len(slots) == 0:
+            return _EMPTY_I32, _EMPTY_I64
+        starts = self.link_start[slots]
+        lens = self.link_len[slots]
+        total = int(lens.sum())
+        if total == 0:
+            return _EMPTY_I32, lens
+        ends = np.cumsum(lens)
+        flat = np.repeat(starts - (ends - lens), lens) + np.arange(total)
+        return self.pool[flat], lens
+
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Drop dead slots, renumbering live ones in relative order."""
+        live = self.active_slots()
+        n = live.shape[0]
+        lens = self.link_len[live]
+        flat, _ = self.gather_links(live)
+        self.remaining[:n] = self.remaining[live]
+        self.rate[:n] = self.rate[live]
+        self.eta[:n] = self.eta[live]
+        self.eta[n : self.size] = np.inf
+        self.last_update[:n] = self.last_update[live]
+        self.alive[: self.size] = False
+        self.alive[:n] = True
+        ends = np.cumsum(lens)
+        self.link_start[:n] = ends - lens
+        self.link_len[:n] = lens
+        self.has_dup[:n] = self.has_dup[live]
+        self.has_dup[n : self.size] = False
+        self.pool[: flat.shape[0]] = flat
+        self.pool_len = int(flat.shape[0])
+        self.flow_ids = [self.flow_ids[slot] for slot in live.tolist()]
+        self.meta = [self.meta[slot] for slot in live.tolist()]
+        self.slot_of = {
+            flow: slot for slot, flow in enumerate(self.flow_ids)
+        }
+        self.size = n
+
+    def _grow_slots(self) -> None:
+        n = self.remaining.shape[0] * 2
+        for name in ("remaining", "rate", "last_update"):
+            grown = np.zeros(n)
+            grown[: self.size] = getattr(self, name)[: self.size]
+            setattr(self, name, grown)
+        eta = np.full(n, np.inf)
+        eta[: self.size] = self.eta[: self.size]
+        self.eta = eta
+        alive = np.zeros(n, dtype=bool)
+        alive[: self.size] = self.alive[: self.size]
+        self.alive = alive
+        dup = np.zeros(n, dtype=bool)
+        dup[: self.size] = self.has_dup[: self.size]
+        self.has_dup = dup
+        start = np.zeros(n, dtype=np.int64)
+        start[: self.size] = self.link_start[: self.size]
+        self.link_start = start
+        length = np.zeros(n, dtype=np.int64)
+        length[: self.size] = self.link_len[: self.size]
+        self.link_len = length
+
+    def _grow_pool(self, needed: int) -> None:
+        n = self.pool.shape[0]
+        while n < needed:
+            n *= 2
+        pool = np.zeros(n, dtype=np.int32)
+        pool[: self.pool_len] = self.pool[: self.pool_len]
+        self.pool = pool
+
+
+class LinkBusyView(Mapping):
+    """Read-only ``link -> busy byte-seconds`` view over a numpy array.
+
+    Exposes the simulator's per-link busy accumulator without building a
+    python dict per run (the memory guard for million-flow soaks: the
+    array is one ``float64`` per *link*, never per flow).  Only links
+    that carried traffic are visible, matching the dict the report
+    historically exposed.  Compares equal to an equivalent plain dict
+    and pickles as one (cross-process shard merges see plain dicts).
+    """
+
+    __slots__ = ("_link_ids", "_busy", "_nonzero")
+
+    def __init__(self, link_ids: tuple, busy: np.ndarray) -> None:
+        self._link_ids = link_ids
+        self._busy = busy
+        self._nonzero = None
+
+    def _carried(self) -> np.ndarray:
+        if self._nonzero is None:
+            self._nonzero = np.flatnonzero(self._busy > 0.0)
+        return self._nonzero
+
+    def __getitem__(self, link: LinkId) -> float:
+        try:
+            index = self._link_ids.index(link)
+        except ValueError:
+            raise KeyError(link) from None
+        value = self._busy[index]
+        if not value > 0.0:
+            raise KeyError(link)
+        return float(value)
+
+    def __iter__(self) -> Iterator[LinkId]:
+        for index in self._carried().tolist():
+            yield self._link_ids[index]
+
+    def __len__(self) -> int:
+        return int(self._carried().shape[0])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (LinkBusyView, Mapping, dict)):
+            if len(self) != len(other):
+                return False
+            try:
+                return all(other[link] == value for link, value in self.items())
+            except KeyError:
+                return False
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable mapping semantics
+
+    def __repr__(self) -> str:
+        return f"LinkBusyView({dict(self)!r})"
+
+    def __reduce__(self):
+        return (dict, (dict(self.items()),))
+
+    def to_dict(self) -> dict[LinkId, float]:
+        """Materialize as a plain dict (small: one entry per busy link)."""
+        return dict(self.items())
+
+    def mean_utilization(
+        self, capacities: Mapping[LinkId, float], makespan: float
+    ) -> float:
+        """Array-path twin of ``EventSimulationReport.mean_link_utilization``.
+
+        Validation (missing entries, negative capacities, zero-capacity
+        links that carried traffic) matches the dict path exactly.
+        """
+        carried = self._carried()
+        if carried.shape[0] == 0 or makespan <= 0:
+            return 0.0
+        caps = np.empty(carried.shape[0])
+        for position, index in enumerate(carried.tolist()):
+            link = self._link_ids[index]
+            try:
+                capacity = capacities[link]
+            except KeyError:
+                raise SimulationError(
+                    f"busy link {sorted(link)} has no capacity entry"
+                ) from None
+            if capacity < 0:
+                raise SimulationError(
+                    f"link {sorted(link)} has negative capacity {capacity}"
+                )
+            if capacity == 0:
+                raise SimulationError(
+                    f"zero-capacity link {sorted(link)} carried "
+                    f"{self._busy[index]} byte-seconds"
+                )
+            caps[position] = capacity
+        utilization = self._busy[carried] / (caps * makespan)
+        return float(utilization.sum() / utilization.shape[0])
+
+
+class VectorFairShareEngine:
+    """Vectorized max-min water-filling over a :class:`FlowTable`.
+
+    Drop-in sibling of :class:`~repro.sim.fairshare.FairShareEngine`
+    with the same incremental API (``add_flow`` / ``remove_flow`` /
+    ``remove_link`` / ``set_capacity``) and **bit-identical** rates —
+    see the module docstring for why the whole-array round replicates
+    the dict engine's arithmetic exactly.  :meth:`recompute` returns a
+    dense ``float64`` array indexed by table slot (``0.0`` for dead
+    slots, ``inf`` for live flows with no links); :meth:`rates_by_flow`
+    offers the dict-shaped spelling for parity tests.
+
+    Links are registered up front from the capacity map (insertion
+    order fixes their array indices); links removed by faults stay
+    indexed but inactive so repairs restore them in place.
+    """
+
+    __slots__ = (
+        "_table",
+        "_index",
+        "_link_ids",
+        "_cap",
+        "_link_alive",
+        "_count",
+        "_sort_keys",
+        "_rank",
+        "_rounds_histogram",
+    )
+
+    def __init__(
+        self,
+        capacities: Mapping[LinkId, float],
+        *,
+        table: FlowTable | None = None,
+        telemetry=None,
+    ) -> None:
+        """Create an engine over a capacity map (validated up front).
+
+        Raises:
+            SimulationError: on a non-positive capacity.
+        """
+        for link, capacity in capacities.items():
+            if capacity <= 0:
+                raise SimulationError(
+                    f"link {sorted(link)} has non-positive capacity {capacity}"
+                )
+        from repro.observability.runtime import current_telemetry
+
+        sink = telemetry if telemetry is not None else current_telemetry()
+        self._table = table if table is not None else FlowTable()
+        self._link_ids: list[LinkId] = list(capacities)
+        self._index: dict[LinkId, int] = {
+            link: position for position, link in enumerate(self._link_ids)
+        }
+        self._cap = np.array(
+            [capacities[link] for link in self._link_ids], dtype=np.float64
+        )
+        self._link_alive = np.ones(len(self._link_ids), dtype=bool)
+        # Active-flow counts per link, kept as float64 so recompute can
+        # divide without a conversion pass (integers stay exact).
+        self._count = np.zeros(len(self._link_ids))
+        self._sort_keys: list[tuple] = [
+            tuple(sorted(link)) for link in self._link_ids
+        ]
+        self._rank: np.ndarray | None = None
+        self._rounds_histogram = sink.histogram(
+            "alvc_fairshare_vector_rounds",
+            "water-filling rounds per vectorized fair-share recompute",
+            ROUNDS_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> FlowTable:
+        """The struct-of-arrays flow ledger this engine allocates over."""
+        return self._table
+
+    @property
+    def n_links(self) -> int:
+        """Number of registered link indices (including inactive ones)."""
+        return len(self._link_ids)
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently tracked."""
+        return self._table.active_count
+
+    @property
+    def loaded_links(self) -> int:
+        """Number of links with at least one active flow."""
+        return int(np.count_nonzero(self._count))
+
+    def link_ids(self) -> tuple:
+        """Registered links in index order."""
+        return tuple(self._link_ids)
+
+    def link_counts(self) -> dict[LinkId, int]:
+        """Per-link active-flow counts (loaded links only, a copy)."""
+        return {
+            self._link_ids[index]: int(self._count[index])
+            for index in np.flatnonzero(self._count > 0.0).tolist()
+        }
+
+    def capacities(self) -> dict[LinkId, float]:
+        """The engine's live capacity map (a copy)."""
+        return {
+            self._link_ids[index]: float(self._cap[index])
+            for index in np.flatnonzero(self._link_alive).tolist()
+        }
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: Hashable, links: Iterable[LinkId]) -> int:
+        """Track a new flow; returns its table slot.
+
+        Raises:
+            SimulationError: when the flow is already tracked or uses a
+                link without a capacity entry.
+        """
+        if flow in self._table.slot_of:
+            raise SimulationError(f"flow {flow!r} is already active")
+        index = self._index
+        alive = self._link_alive
+        indices = []
+        for link in links:
+            position = index.get(link)
+            if position is None or not alive[position]:
+                raise SimulationError(
+                    f"flow {flow!r} uses unknown link {sorted(link)}"
+                )
+            indices.append(position)
+        array = np.asarray(indices, dtype=np.int32)
+        slot = self._table.add(
+            flow, array, has_dup=len(indices) > len(set(indices))
+        )
+        if array.shape[0]:
+            np.add.at(self._count, array, 1.0)
+        return slot
+
+    def remove_flow(self, flow: Hashable) -> int:
+        """Stop tracking a flow; returns the slot it held.
+
+        Raises:
+            SimulationError: when the flow is not tracked.
+        """
+        table = self._table
+        slot = table.slot_of.get(flow)
+        if slot is None:
+            raise SimulationError(f"flow {flow!r} is not active")
+        start = int(table.link_start[slot])
+        count = int(table.link_len[slot])
+        if count:
+            np.subtract.at(
+                self._count, table.pool[start : start + count], 1.0
+            )
+        return table.remove(flow)
+
+    def remove_link(self, link: LinkId) -> None:
+        """Deactivate a link (e.g. after a node failure).
+
+        The index is retained so a later repair restores it in place.
+
+        Raises:
+            SimulationError: when active flows still cross the link.
+        """
+        position = self._index.get(link)
+        if position is None:
+            return
+        crossing = int(self._count[position])
+        if crossing:
+            raise SimulationError(
+                f"cannot remove link {sorted(link)}: "
+                f"{crossing} active flows still cross it"
+            )
+        self._link_alive[position] = False
+
+    def set_capacity(self, link: LinkId, capacity: float) -> None:
+        """Set (or restore) a link's capacity — the revocation hook.
+
+        Unknown links are appended to the registry (the caller is
+        responsible for sizing any parallel per-link arrays).
+
+        Raises:
+            SimulationError: on a non-positive capacity.
+        """
+        if capacity <= 0:
+            raise SimulationError(
+                f"link {sorted(link)} capacity must be positive, "
+                f"got {capacity}"
+            )
+        position = self._index.get(link)
+        if position is None:
+            position = len(self._link_ids)
+            self._link_ids.append(link)
+            self._index[link] = position
+            self._cap = np.append(self._cap, capacity)
+            self._link_alive = np.append(self._link_alive, True)
+            self._count = np.append(self._count, 0.0)
+            self._sort_keys.append(tuple(sorted(link)))
+            self._rank = None
+        else:
+            self._cap[position] = capacity
+            self._link_alive[position] = True
+
+    # ------------------------------------------------------------------
+    # Water-filling
+    # ------------------------------------------------------------------
+    def _rank_order(self) -> np.ndarray:
+        """Link indices in lexicographic ``sorted(link)`` order — the
+        dict engine's tie-break order, cached until a link is added."""
+        if self._rank is None or self._rank.shape[0] != len(self._link_ids):
+            self._rank = np.array(
+                sorted(
+                    range(len(self._link_ids)),
+                    key=self._sort_keys.__getitem__,
+                ),
+                dtype=np.int64,
+            )
+        return self._rank
+
+    def recompute(self) -> np.ndarray:
+        """Max-min fair rate per table slot.
+
+        Bit-for-bit identical to
+        :meth:`repro.sim.fairshare.FairShareEngine.recompute` on the
+        same flows and capacities.
+        """
+        table = self._table
+        size = table.size
+        rates = np.zeros(size)
+        observe = self._rounds_histogram.observe
+        active = table.active_slots()
+        if active.shape[0] == 0:
+            observe(0.0)
+            return rates
+        lens = table.link_len[active]
+        zero_hop = active[lens == 0]
+        if zero_hop.shape[0]:
+            rates[zero_hop] = np.inf
+        carriers = active[lens > 0]
+        if carriers.shape[0] == 0:
+            observe(0.0)
+            return rates
+        flat_links, carrier_lens = table.gather_links(carriers)
+        # Compress to the loaded links so a round costs O(loaded), not
+        # O(all links), and order them by lexicographic rank: with the
+        # compressed arrays in rank order, ``np.argmin``'s
+        # first-occurrence rule IS the dict engine's exact-tie
+        # tie-break (lowest sort key among equal ratios) — one call
+        # replaces the min/candidates/rank-argmin cascade.
+        perm = self._rank_order()
+        loaded = perm[self._count[perm] > 0.0]
+        n_loaded = loaded.shape[0]
+        position = np.full(len(self._link_ids), -1, dtype=np.int64)
+        position[loaded] = np.arange(n_loaded)
+        remaining = self._cap[loaded].copy()
+        load = self._count[loaded].copy()
+        # Entries in flow (CSR) order, in compressed link space; the
+        # per-carrier segment table makes the per-round incidence
+        # gather pure arithmetic on small arrays.
+        compressed = position[flat_links]
+        entry_ends = np.cumsum(carrier_lens)
+        entry_starts = entry_ends - carrier_lens
+        carrier_pos = np.full(size, -1, dtype=np.int64)
+        carrier_pos[carriers] = np.arange(carriers.shape[0])
+        # link -> member flows transpose with precomputed segment
+        # bounds (replaces two binary searches per round).
+        order = np.argsort(compressed, kind="stable")
+        transpose_flows = np.repeat(carriers, carrier_lens)[order]
+        bounds = np.zeros(n_loaded + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(compressed, minlength=n_loaded), out=bounds[1:]
+        )
+        frozen = np.zeros(size, dtype=bool)
+        unfrozen = carriers.shape[0]
+        ratio = np.empty(n_loaded)
+        # A flow that crosses some link twice (a cycle in its path)
+        # appears twice in that link's transpose segment but must
+        # freeze exactly once, like the dict engine's member *dict*.
+        # Dedup inside the round is safe — every member gets the same
+        # share and per-link subtraction counts don't depend on member
+        # order — but it costs an ``np.unique`` per round, so it is
+        # gated on the table's per-slot flag (cyclic paths are rare).
+        dedup = bool(table.has_dup[carriers].any())
+        rounds = 0
+        while unfrozen:
+            rounds += 1
+            ratio.fill(np.inf)
+            np.divide(remaining, load, out=ratio, where=load > 0.0)
+            bottleneck = int(np.argmin(ratio))
+            share = ratio[bottleneck]
+            members = transpose_flows[
+                bounds[bottleneck] : bounds[bottleneck + 1]
+            ]
+            members = members[~frozen[members]]
+            if dedup and members.shape[0] > 1:
+                members = np.unique(members)
+            if members.shape[0] == 0:
+                raise SimulationError(
+                    "water-filling invariant violated: loaded bottleneck "
+                    "without unfrozen members"
+                )
+            rates[members] = share
+            frozen[members] = True
+            unfrozen -= members.shape[0]
+            pos = carrier_pos[members]
+            starts = entry_starts[pos]
+            counts = carrier_lens[pos]
+            total = int(counts.sum())
+            ends = np.cumsum(counts)
+            flat = (
+                np.repeat(starts - (ends - counts), counts)
+                + np.arange(total)
+            )
+            incidences = compressed[flat]
+            # Sequential duplicate-index subtraction == the dict
+            # engine's per-flow, per-link subtraction of the same share;
+            # one deferred clamp per round is bit-identical to clamping
+            # after every subtraction (see module docstring).
+            np.subtract.at(remaining, incidences, share)
+            np.maximum(remaining, 0.0, out=remaining)
+            np.subtract.at(load, incidences, 1.0)
+        observe(float(rounds))
+        return rates
+
+    def rates_by_flow(self) -> dict[Hashable, float]:
+        """Recompute and return ``flow id -> rate`` (parity spelling)."""
+        rates = self.recompute()
+        return {
+            flow: float(rates[slot])
+            for flow, slot in self._table.slot_of.items()
+        }

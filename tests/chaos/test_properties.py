@@ -144,16 +144,17 @@ def test_engines_bit_identical_under_failure_churn(
     flows = TrafficGenerator(inventory, seed=chaos_seed).flows(8)
 
     reports = {}
-    for engine in ("incremental", "from_scratch", "legacy"):
+    for engine in ("incremental", "from_scratch", "legacy", "vector"):
         simulator = EventDrivenFlowSimulator(
-            inventory, clusters, engine=engine
+            inventory, clusters, engines={"sim_engine": engine}
         )
         reports[engine] = simulator.run(flows, failures=schedule)
     baseline = reports["incremental"]
-    # incremental vs from-scratch: bit-for-bit
-    assert reports["from_scratch"].completed == baseline.completed
-    assert reports["from_scratch"].dropped == baseline.dropped
-    assert reports["from_scratch"].reroutes == baseline.reroutes
+    # incremental vs from-scratch vs vector: bit-for-bit
+    for engine in ("from_scratch", "vector"):
+        assert reports[engine].completed == baseline.completed
+        assert reports[engine].dropped == baseline.dropped
+        assert reports[engine].reroutes == baseline.reroutes
     # legacy reference loop: identical discrete outcomes, float-tolerant
     # completion times (it accumulates progress eagerly at every event)
     legacy = reports["legacy"]

@@ -9,7 +9,7 @@ import warnings
 
 import pytest
 
-from repro.config import COVER_KERNELS, EngineConfig
+from repro.config import COVER_KERNELS, SIM_ENGINES, EngineConfig
 from repro.exceptions import ValidationError
 from repro.stack import AlvcStack
 
@@ -21,6 +21,7 @@ class TestValidation:
         config = EngineConfig()
         assert config.cover_kernel == "auto"
         assert config.routing == "auto"
+        assert config.sim_engine == "incremental"
         assert config.workers == 1
 
     @pytest.mark.parametrize(
@@ -28,6 +29,7 @@ class TestValidation:
         [
             ({"cover_kernel": "simd"}, "unknown cover kernel"),
             ({"routing": "dijkstra9000"}, "unknown routing engine"),
+            ({"sim_engine": "warp"}, "unknown simulation engine"),
             ({"workers": 0}, "workers"),
             ({"workers": 2.5}, "workers"),
         ],
@@ -35,6 +37,16 @@ class TestValidation:
     def test_bad_values_rejected(self, kwargs, match):
         with pytest.raises(ValidationError, match=match):
             EngineConfig(**kwargs)
+
+    def test_known_sim_engines_all_construct(self):
+        assert SIM_ENGINES == (
+            "incremental",
+            "from_scratch",
+            "legacy",
+            "vector",
+        )
+        for engine in SIM_ENGINES:
+            assert EngineConfig(sim_engine=engine).sim_engine == engine
 
     def test_frozen(self):
         with pytest.raises(Exception):

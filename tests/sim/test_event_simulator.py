@@ -386,7 +386,7 @@ class TestFailureInjection:
 # ----------------------------------------------------------------------
 class TestEngineSelection:
     def test_engines_tuple(self):
-        assert ENGINES == ("incremental", "from_scratch", "legacy")
+        assert ENGINES == ("incremental", "from_scratch", "legacy", "vector")
 
     def test_default_engine_is_incremental(self, clustered):
         inventory, clusters = clustered
@@ -397,7 +397,33 @@ class TestEngineSelection:
     def test_unknown_engine_rejected(self, clustered):
         inventory, clusters = clustered
         with pytest.raises(ValidationError):
+            EventDrivenFlowSimulator(
+                inventory, clusters, engines={"sim_engine": "warp"}
+            )
+
+    def test_deprecated_engine_kwarg_warns_and_selects(self, clustered):
+        inventory, clusters = clustered
+        with pytest.warns(DeprecationWarning, match="engines="):
+            simulator = EventDrivenFlowSimulator(
+                inventory, clusters, engine="vector"
+            )
+        assert simulator.engine == "vector"
+
+    def test_deprecated_engine_kwarg_still_validates(self, clustered):
+        inventory, clusters = clustered
+        with pytest.raises(ValidationError):
             EventDrivenFlowSimulator(inventory, clusters, engine="warp")
+
+    def test_conflicting_engine_spellings_rejected(self, clustered):
+        inventory, clusters = clustered
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValidationError, match="conflicting"):
+                EventDrivenFlowSimulator(
+                    inventory,
+                    clusters,
+                    engine="legacy",
+                    engines={"sim_engine": "vector"},
+                )
 
     def test_negative_cache_size_rejected(self, clustered):
         inventory, clusters = clustered
@@ -424,8 +450,9 @@ class TestEngineSelection:
 
 
 class TestEngineParity:
-    """The incremental hot path must reproduce the reference engine's
-    `CompletedFlow` stream bit for bit (ids, times, hops)."""
+    """The incremental hot path and the vectorized data plane must both
+    reproduce the reference engine's `CompletedFlow` stream bit for bit
+    (ids, times, hops)."""
 
     @pytest.mark.parametrize("seed", [101, 102, 103, 104, 105, 106])
     def test_randomized_workload_bit_parity(self, clustered, seed):
@@ -436,22 +463,20 @@ class TestEngineParity:
         flows = generator.flows(150)
         reports = {
             engine: EventDrivenFlowSimulator(
-                inventory, clusters, engine=engine
+                inventory, clusters, engines={"sim_engine": engine}
             ).run(flows)
-            for engine in ("from_scratch", "incremental")
+            for engine in ("from_scratch", "incremental", "vector")
         }
-        assert (
-            reports["incremental"].completed
-            == reports["from_scratch"].completed
-        )
-        assert (
-            reports["incremental"].makespan
-            == reports["from_scratch"].makespan
-        )
-        assert (
-            reports["incremental"].link_busy_byte_seconds
-            == reports["from_scratch"].link_busy_byte_seconds
-        )
+        for engine in ("incremental", "vector"):
+            assert (
+                reports[engine].completed
+                == reports["from_scratch"].completed
+            )
+            assert reports[engine].makespan == reports["from_scratch"].makespan
+            assert (
+                reports[engine].link_busy_byte_seconds
+                == reports["from_scratch"].link_busy_byte_seconds
+            )
 
     @pytest.mark.parametrize("seed", [31, 32])
     def test_parity_under_load_aware_routing(self, clustered, seed):
@@ -462,11 +487,15 @@ class TestEngineParity:
         flows = generator.flows(100)
         reports = [
             EventDrivenFlowSimulator(
-                inventory, clusters, engine=engine, load_aware=True
+                inventory,
+                clusters,
+                engines={"sim_engine": engine},
+                load_aware=True,
             ).run(flows)
-            for engine in ("from_scratch", "incremental")
+            for engine in ("from_scratch", "incremental", "vector")
         ]
         assert reports[0].completed == reports[1].completed
+        assert reports[0].completed == reports[2].completed
 
     def test_parity_under_failures(self, clustered):
         inventory, clusters = clustered
@@ -478,13 +507,14 @@ class TestEngineParity:
         failures = [(0.05, victims[0]), (0.4, victims[1])]
         reports = [
             EventDrivenFlowSimulator(
-                inventory, clusters, engine=engine
+                inventory, clusters, engines={"sim_engine": engine}
             ).run(flows, failures=failures)
-            for engine in ("from_scratch", "incremental")
+            for engine in ("from_scratch", "incremental", "vector")
         ]
-        assert reports[0].completed == reports[1].completed
-        assert reports[0].dropped == reports[1].dropped
-        assert reports[0].reroutes == reports[1].reroutes
+        for report in reports[1:]:
+            assert report.completed == reports[0].completed
+            assert report.dropped == reports[0].dropped
+            assert report.reroutes == reports[0].reroutes
 
     def test_route_cache_does_not_change_results(self, clustered):
         inventory, clusters = clustered
@@ -509,10 +539,10 @@ class TestEngineParity:
         )
         flows = generator.flows(80)
         fast = EventDrivenFlowSimulator(
-            inventory, clusters, engine="incremental"
+            inventory, clusters, engines={"sim_engine": "incremental"}
         ).run(flows)
         slow = EventDrivenFlowSimulator(
-            inventory, clusters, engine="legacy"
+            inventory, clusters, engines={"sim_engine": "legacy"}
         ).run(flows)
         assert [record.flow_id for record in fast.completed] == [
             record.flow_id for record in slow.completed

@@ -478,16 +478,19 @@ class TestEngineParityOnLinkFaults:
             inventory = _dual_path_inventory()
             flows = self._flows(inventory, service_catalog)
             simulator = EventDrivenFlowSimulator(
-                inventory, default_bandwidth_gbps=10.0, engine=engine
+                inventory,
+                default_bandwidth_gbps=10.0,
+                engines={"sim_engine": engine},
             )
             reports[engine] = simulator.run(
                 flows, failures=self._schedule()
             )
         baseline = reports["incremental"]
         assert baseline.completed or baseline.dropped  # non-degenerate
-        assert reports["from_scratch"].completed == baseline.completed
-        assert reports["from_scratch"].dropped == baseline.dropped
-        assert reports["from_scratch"].reroutes == baseline.reroutes
+        for engine in ("from_scratch", "vector"):
+            assert reports[engine].completed == baseline.completed
+            assert reports[engine].dropped == baseline.dropped
+            assert reports[engine].reroutes == baseline.reroutes
         legacy = reports["legacy"]
         assert legacy.dropped == baseline.dropped
         assert legacy.reroutes == baseline.reroutes

@@ -1,0 +1,258 @@
+"""Units for the struct-of-arrays data plane (``repro.sim.vector``).
+
+``FlowTable`` slot lifecycle and compaction, ``LinkBusyView`` mapping
+semantics, and ``VectorFairShareEngine`` incremental bookkeeping — the
+bit-parity arguments live in ``tests/sim/test_vector_parity.py``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.fairshare import max_min_fair_rates
+from repro.sim.vector import FlowTable, LinkBusyView, VectorFairShareEngine
+
+A = frozenset({"a", "b"})
+B = frozenset({"b", "c"})
+C = frozenset({"c", "d"})
+
+CAPS = {A: 10.0, B: 4.0, C: 8.0}
+
+
+def _engine(caps=None, **kwargs):
+    return VectorFairShareEngine(dict(caps or CAPS), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# FlowTable
+# ----------------------------------------------------------------------
+class TestFlowTable:
+    def test_add_remove_roundtrip(self):
+        table = FlowTable()
+        slot = table.add("f0", np.array([0, 1], dtype=np.int32))
+        assert slot == 0
+        assert "f0" in table
+        assert len(table) == 1
+        assert table.remove("f0") == slot
+        assert "f0" not in table
+        assert len(table) == 0
+
+    def test_duplicate_add_rejected(self):
+        table = FlowTable()
+        table.add("f0", np.array([0], dtype=np.int32))
+        with pytest.raises(SimulationError, match="already active"):
+            table.add("f0", np.array([1], dtype=np.int32))
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(SimulationError, match="not active"):
+            FlowTable().remove("ghost")
+
+    def test_slots_are_activation_ordered(self):
+        table = FlowTable()
+        for index in range(5):
+            table.add(f"f{index}", np.array([index], dtype=np.int32))
+        table.remove("f2")
+        assert table.active_slots().tolist() == [0, 1, 3, 4]
+
+    def test_gather_links_preserves_path_order(self):
+        table = FlowTable()
+        table.add("f0", np.array([3, 1], dtype=np.int32))
+        table.add("f1", np.array([2], dtype=np.int32))
+        flat, lens = table.gather_links(np.array([0, 1]))
+        assert flat.tolist() == [3, 1, 2]
+        assert lens.tolist() == [2, 1]
+
+    def test_gather_links_empty(self):
+        flat, lens = FlowTable().gather_links(np.empty(0, dtype=np.int64))
+        assert flat.shape[0] == 0
+        assert lens.shape[0] == 0
+
+    def test_has_dup_flag_inferred_and_explicit(self):
+        table = FlowTable()
+        loop = table.add("loop", np.array([0, 1, 0], dtype=np.int32))
+        straight = table.add("straight", np.array([0, 1], dtype=np.int32))
+        forced = table.add(
+            "forced", np.array([2], dtype=np.int32), has_dup=True
+        )
+        assert bool(table.has_dup[loop])
+        assert not bool(table.has_dup[straight])
+        assert bool(table.has_dup[forced])
+
+    def test_growth_preserves_state(self):
+        table = FlowTable(capacity=16)
+        for index in range(200):
+            table.add(f"f{index}", np.array([index % 7], dtype=np.int32))
+        assert len(table) == 200
+        flat, lens = table.gather_links(table.active_slots())
+        assert flat.tolist() == [index % 7 for index in range(200)]
+        assert lens.tolist() == [1] * 200
+
+    def test_compaction_renumbers_in_relative_order(self):
+        table = FlowTable(compact_slack=1)
+        for index in range(8):
+            table.add(f"f{index}", np.array([index], dtype=np.int32))
+        table.has_dup[3] = True  # f3 survives with its flag
+        for index in (0, 2, 4, 6, 1):
+            table.remove(f"f{index}")
+        # Dead slots now outnumber live ones; the next add compacts.
+        table.add("fresh", np.array([9], dtype=np.int32))
+        assert table.size == len(table) == 4
+        survivors = [table.flow_ids[slot] for slot in table.active_slots()]
+        assert survivors == ["f3", "f5", "f7", "fresh"]
+        flat, _ = table.gather_links(table.active_slots())
+        assert flat.tolist() == [3, 5, 7, 9]
+        flagged = [
+            flow
+            for flow, slot in table.slot_of.items()
+            if table.has_dup[slot]
+        ]
+        assert flagged == ["f3"]
+
+
+# ----------------------------------------------------------------------
+# LinkBusyView
+# ----------------------------------------------------------------------
+class TestLinkBusyView:
+    def _view(self):
+        return LinkBusyView((A, B, C), np.array([5.0, 0.0, 2.5]))
+
+    def test_only_busy_links_visible(self):
+        view = self._view()
+        assert set(view) == {A, C}
+        assert len(view) == 2
+        assert view[A] == 5.0
+        with pytest.raises(KeyError):
+            view[B]
+        with pytest.raises(KeyError):
+            view[frozenset({"x", "y"})]
+
+    def test_equals_plain_dict(self):
+        view = self._view()
+        assert view == {A: 5.0, C: 2.5}
+        assert not view == {A: 5.0}
+        assert not view == {A: 5.0, C: 99.0}
+        assert view.to_dict() == {A: 5.0, C: 2.5}
+
+    def test_pickles_as_plain_dict(self):
+        revived = pickle.loads(pickle.dumps(self._view()))
+        assert isinstance(revived, dict)
+        assert revived == {A: 5.0, C: 2.5}
+
+    def test_mean_utilization_matches_manual(self):
+        view = self._view()
+        got = view.mean_utilization({A: 10.0, B: 4.0, C: 8.0}, 2.0)
+        manual = (5.0 / (10.0 * 2.0) + 2.5 / (8.0 * 2.0)) / 2.0
+        assert got == pytest.approx(manual)
+        assert view.mean_utilization({A: 10.0, C: 8.0}, 0.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "caps, match",
+        [
+            ({C: 8.0}, "no capacity entry"),
+            ({A: -1.0, C: 8.0}, "negative capacity"),
+            ({A: 0.0, C: 8.0}, "zero-capacity"),
+        ],
+    )
+    def test_mean_utilization_validation(self, caps, match):
+        with pytest.raises(SimulationError, match=match):
+            self._view().mean_utilization(caps, 1.0)
+
+
+# ----------------------------------------------------------------------
+# VectorFairShareEngine
+# ----------------------------------------------------------------------
+class TestVectorFairShareEngine:
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(SimulationError, match="non-positive"):
+            _engine({A: 0.0})
+
+    def test_unknown_link_rejected(self):
+        engine = _engine()
+        with pytest.raises(SimulationError, match="unknown link"):
+            engine.add_flow("f0", [frozenset({"x", "y"})])
+
+    def test_duplicate_flow_rejected(self):
+        engine = _engine()
+        engine.add_flow("f0", [A])
+        with pytest.raises(SimulationError, match="already active"):
+            engine.add_flow("f0", [B])
+
+    def test_remove_unknown_flow_rejected(self):
+        with pytest.raises(SimulationError, match="not active"):
+            _engine().remove_flow("ghost")
+
+    def test_counts_track_add_remove(self):
+        engine = _engine()
+        engine.add_flow("f0", [A, B])
+        engine.add_flow("f1", [B])
+        assert engine.link_counts() == {A: 1, B: 2}
+        assert engine.active_flows == 2
+        assert engine.loaded_links == 2
+        engine.remove_flow("f0")
+        assert engine.link_counts() == {B: 1}
+
+    def test_remove_link_refuses_crossing_flows(self):
+        engine = _engine()
+        engine.add_flow("f0", [A])
+        with pytest.raises(SimulationError, match="active flows"):
+            engine.remove_link(A)
+        engine.remove_flow("f0")
+        engine.remove_link(A)
+        assert A not in engine.capacities()
+        engine.remove_link(frozenset({"x", "y"}))  # unknown: no-op
+
+    def test_set_capacity_validates_and_restores(self):
+        engine = _engine()
+        with pytest.raises(SimulationError, match="positive"):
+            engine.set_capacity(A, 0.0)
+        engine.remove_link(A)
+        engine.set_capacity(A, 6.0)
+        assert engine.capacities()[A] == 6.0
+
+    def test_set_capacity_appends_unknown_link(self):
+        engine = _engine()
+        fresh = frozenset({"x", "y"})
+        before = engine.n_links
+        engine.set_capacity(fresh, 3.0)
+        assert engine.n_links == before + 1
+        assert engine.capacities()[fresh] == 3.0
+        engine.add_flow("f0", [fresh])
+        assert engine.rates_by_flow() == {"f0": 3.0}
+
+    def test_linkless_flow_gets_infinite_rate(self):
+        engine = _engine()
+        engine.add_flow("f0", [])
+        assert engine.rates_by_flow() == {"f0": np.inf}
+
+    def test_empty_recompute(self):
+        assert _engine().recompute().shape[0] == 0
+
+    def test_rates_match_reference_kernel(self):
+        engine = _engine()
+        paths = {"f0": [A, B], "f1": [B, C], "f2": [C]}
+        for flow, path in paths.items():
+            engine.add_flow(flow, path)
+        assert engine.rates_by_flow() == max_min_fair_rates(paths, CAPS)
+
+    def test_cyclic_path_freezes_once(self):
+        engine = _engine()
+        paths = {"f0": [A, B, A], "f1": [B], "f2": [A]}
+        for flow, path in paths.items():
+            engine.add_flow(flow, path)
+        assert engine.rates_by_flow() == max_min_fair_rates(paths, CAPS)
+
+    def test_rounds_telemetry_observed(self):
+        from repro.observability.runtime import Telemetry
+        from repro.sim.fairshare import ROUNDS_BUCKETS
+
+        telemetry = Telemetry.enabled_instance()
+        engine = _engine(telemetry=telemetry)
+        engine.add_flow("f0", [A, B])
+        engine.add_flow("f1", [B])
+        engine.recompute()
+        histogram = telemetry.histogram(
+            "alvc_fairshare_vector_rounds", "", ROUNDS_BUCKETS
+        )
+        assert histogram.count >= 1

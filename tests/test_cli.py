@@ -13,7 +13,7 @@ class TestList:
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         for exp_id in (
-            "fig1", "fig4", "fig8", "e9", "e10", "e11", "e12", "e23",
+            "fig1", "fig4", "fig8", "e9", "e10", "e11", "e12", "e23", "e26",
         ):
             assert exp_id in output
 
