@@ -17,7 +17,9 @@ full-scale generator behind the committed record.  Three gates:
    (``worker_parity``).  A perf win that changes results is a bug.
 2. **The committed baseline keeps the tentpole floors** whenever it
    carries a ``legacy`` arm: vector ≥ 10x the legacy loop and ≥ 2.5x
-   the incremental engine at full scale.
+   the incremental engine at full scale; and whenever it carries a
+   ``vector-batched`` arm, batched admission ≥ 2x the per-event vector
+   arm (ISSUE 10 acceptance).
 3. **The candidate clears a speedup bar**: when its config matches the
    baseline's, its vector-over-incremental speedup may regress at most
    ``--max-regression`` (relative); otherwise (CI-sized run vs the
@@ -34,6 +36,11 @@ import sys
 #: Full-scale tentpole floors (ISSUE 9 acceptance).
 MIN_VECTOR_OVER_LEGACY = 10.0
 MIN_VECTOR_OVER_INCREMENTAL = 2.5
+
+#: Batched-admission tentpole floor (ISSUE 10 acceptance): the batched
+#: pipeline must hold ≥2x over the per-event vector arm wherever the
+#: committed record carries both arms.
+MIN_BATCHED_OVER_VECTOR = 2.0
 
 
 def _load(path: str) -> dict:
@@ -106,6 +113,13 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"baseline: vector is only {over_incremental:.2f}x the "
             f"incremental engine (floor {MIN_VECTOR_OVER_INCREMENTAL}x)"
+        )
+
+    over_vector = base_speedups.get("batched_over_vector")
+    if over_vector is not None and over_vector < MIN_BATCHED_OVER_VECTOR:
+        failures.append(
+            f"baseline: batched admission is only {over_vector:.2f}x the "
+            f"per-event vector arm (floor {MIN_BATCHED_OVER_VECTOR}x)"
         )
 
     # Gate 3: candidate speedup bar.

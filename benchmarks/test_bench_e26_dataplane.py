@@ -36,11 +36,15 @@ CI_CONFIG = dict(
     soak_epochs=12,
     seed=0,
     workers=4,
-    arms=("incremental", "vector"),
+    arms=("incremental", "vector", "vector-batched"),
 )
 
 #: Vector-over-incremental floor at CI concurrency (full scale: 2.5x).
 MIN_CI_VECTOR_SPEEDUP = 1.2
+
+#: Batched-admission-over-per-event floor at CI concurrency (full
+#: scale: 2.0x — see ``benchmarks/compare_dataplane.py``).
+MIN_CI_BATCHED_SPEEDUP = 1.3
 
 #: Soak memory envelope (resident set per worker process, MB).
 MAX_SOAK_WORKER_RSS_MB = 4096.0
@@ -74,6 +78,7 @@ def build_record(rows: list[dict], config: dict) -> dict:
             "vector_over_legacy": _ratio("vector", "legacy"),
             "vector_over_incremental": _ratio("vector", "incremental"),
             "sharded_over_legacy": _ratio("vector-sharded", "legacy"),
+            "batched_over_vector": _ratio("vector-batched", "vector"),
         },
         "checksum_parity": len(set(checksums.values())) == 1,
         "worker_parity": bool(
@@ -113,6 +118,14 @@ def test_bench_e26_dataplane(benchmark):
     assert speedup is not None and speedup >= MIN_CI_VECTOR_SPEEDUP, (
         f"vector engine is only {speedup:.2f}x the incremental engine "
         f"(CI floor {MIN_CI_VECTOR_SPEEDUP}x)"
+    )
+
+    # Gate C2: the batched admission pipeline over the per-event vector
+    # arm (same engine, different admission mode; full scale holds 2x).
+    batched = record["speedups"]["batched_over_vector"]
+    assert batched is not None and batched >= MIN_CI_BATCHED_SPEEDUP, (
+        f"batched admission is only {batched:.2f}x the per-event vector "
+        f"arm (CI floor {MIN_CI_BATCHED_SPEEDUP}x)"
     )
 
     # Gate D: the concurrency soak completed inside the memory

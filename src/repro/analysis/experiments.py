@@ -2580,7 +2580,12 @@ def experiment_e26_dataplane_throughput(
     soak_epochs: int = 12,
     seed: int = 0,
     workers: int = 4,
-    arms: Sequence[str] = ("legacy", "incremental", "vector"),
+    arms: Sequence[str] = (
+        "legacy",
+        "incremental",
+        "vector",
+        "vector-batched",
+    ),
     runner: SweepRunner | None = None,
 ) -> list[dict]:
     """Data-plane throughput: legacy vs incremental vs vector vs sharded.
@@ -2593,14 +2598,19 @@ def experiment_e26_dataplane_throughput(
       events/sec baseline; not bit-exact, so it is sanity-checked on
       mean FCT only);
     * ``incremental`` — the PR 5 hot path;
-    * ``vector`` — the struct-of-arrays data plane (PR 9);
+    * ``vector`` — the struct-of-arrays data plane (PR 9), pinned to
+      ``admission="per_event"`` so the batched arm's floor is honest;
+    * ``vector-batched`` — the vector engine behind the batched
+      admission pipeline (pre-resolved interned routes + the
+      class-aggregated water-filling loop);
     * ``vector-sharded`` — the vector engine fanned out across AL
-      shards via :func:`repro.sim.sharding.simulate_sharded`, run at
-      both ``workers`` and ``workers=1`` to pin merge determinism.
+      shards via :func:`repro.sim.sharding.simulate_sharded` (batched
+      admission inside every shard), run at both ``workers`` and
+      ``workers=1`` to pin merge determinism.
 
-    ``incremental``/``vector``/``vector-sharded`` must agree on the
-    CRC32 rate-trace checksum (`checksum` column) — the committed
-    ``BENCH_e26.json`` and the CI gate both assert it.
+    ``incremental``/``vector``/``vector-batched``/``vector-sharded``
+    must agree on the CRC32 rate-trace checksum (`checksum` column) —
+    the committed ``BENCH_e26.json`` and the CI gate both assert it.
 
     ``arms`` selects which single-process engines run (CI drops the
     ``legacy`` arm, whose full-scale wall time is measured once into
@@ -2634,32 +2644,40 @@ def experiment_e26_dataplane_throughput(
     rates = {}
     checksums = {}
     fcts = {}
-    for engine in arms:
+    for arm in arms:
+        if arm == "vector-batched":
+            engines = {"sim_engine": "vector", "admission": "batched"}
+        elif arm == "vector":
+            # Pin per-event admission so the batched arm's speedup
+            # floor measures the pipeline, not the engine twice.
+            engines = {"sim_engine": "vector", "admission": "per_event"}
+        else:
+            engines = {"sim_engine": arm}
         simulator = EventDrivenFlowSimulator(
             inventory,
             clusters,
-            engines={"sim_engine": engine},
-            route_cache_size=0 if engine == "legacy" else 4096,
+            engines=engines,
+            route_cache_size=0 if arm == "legacy" else 4096,
         )
         started = time.perf_counter()
         report = simulator.run(flows)
         elapsed = time.perf_counter() - started
-        rates[engine] = report.events / elapsed if elapsed > 0 else 0.0
-        checksums[engine] = (
-            None if engine == "legacy" else _e26_report_checksum(report)
+        rates[arm] = report.events / elapsed if elapsed > 0 else 0.0
+        checksums[arm] = (
+            None if arm == "legacy" else _e26_report_checksum(report)
         )
-        fcts[engine] = report.fct_statistics()["mean"]
+        fcts[arm] = report.fct_statistics()["mean"]
         rows.append(
             {
-                "arm": engine,
+                "arm": arm,
                 "flows": report.flows,
                 "events": report.events,
                 "wall_seconds": elapsed,
-                "events_per_sec": rates[engine],
-                "mean_fct": fcts[engine],
-                "checksum": checksums[engine],
+                "events_per_sec": rates[arm],
+                "mean_fct": fcts[arm],
+                "checksum": checksums[arm],
                 "speedup_vs_legacy": (
-                    rates[engine] / rates["legacy"]
+                    rates[arm] / rates["legacy"]
                     if rates.get("legacy")
                     else None
                 ),

@@ -290,7 +290,7 @@ def _run_e26(workers: int = 1) -> dict:
                 n_flows=1200,
                 arrival_rate=1200.0,
                 soak_flows=20_000,
-                arms=("incremental", "vector"),
+                arms=("incremental", "vector", "vector-batched"),
                 workers=workers,
             )
         )
@@ -364,7 +364,15 @@ def _run_chaos(options: dict) -> dict:
 #: ``--build`` keys that are :class:`~repro.config.EngineConfig`
 #: selectors rather than :meth:`AlvcStack.build` arguments; they fold
 #: into the ``engines=`` mapping (e.g. ``--build "solver=exact"``).
-_ENGINE_BUILD_KEYS = ("cover_kernel", "routing", "solver")
+#: ``workers`` is the one non-string selector and coerces to int.
+_ENGINE_BUILD_KEYS = (
+    "cover_kernel",
+    "routing",
+    "solver",
+    "sim_engine",
+    "admission",
+    "workers",
+)
 
 
 def _parse_build(spec: str) -> dict:
@@ -373,9 +381,10 @@ def _parse_build(spec: str) -> dict:
     Values coerce in order: bool (``true``/``false``), int, float, and
     finally plain string — enough for every scalar
     :meth:`AlvcStack.build` argument.  Engine selectors
-    (``cover_kernel``, ``routing``, ``solver``) fold into the
-    ``engines=`` mapping, so ``--build "n_racks=8,solver=exact"``
-    serves a stack on the certified exact MILPs.
+    (``cover_kernel``, ``routing``, ``solver``, ``sim_engine``,
+    ``admission``, ``workers``) fold into the ``engines=`` mapping, so
+    ``--build "n_racks=8,sim_engine=vector,admission=batched"`` serves
+    a stack on the batched vector data plane.
 
     Raises:
         ValueError: on an entry with no ``=``.
@@ -390,7 +399,9 @@ def _parse_build(spec: str) -> dict:
                 f"bad --build entry {entry!r} (want key=value)"
             )
         if key in _ENGINE_BUILD_KEYS:
-            options.setdefault("engines", {})[key] = value
+            options.setdefault("engines", {})[key] = (
+                int(value) if key == "workers" else value
+            )
             continue
         if value.lower() in ("true", "false"):
             options[key] = value.lower() == "true"

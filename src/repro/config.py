@@ -47,6 +47,13 @@ SOLVER_ENGINES = ("greedy", "exact", "auto")
 #: struct-of-arrays vectorized data plane.
 SIM_ENGINES = ("incremental", "from_scratch", "legacy", "vector")
 
+#: Recognized admission-pipeline selectors for the event simulator
+#: (see :mod:`repro.sim.admission`): ``"auto"`` picks the batched
+#: pipeline whenever the vector data plane is selected, ``"per_event"``
+#: forces per-arrival routing/admission, ``"batched"`` requires the
+#: vector engine and fails validation otherwise.
+ADMISSION_MODES = ("auto", "per_event", "batched")
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class EngineConfig:
@@ -74,6 +81,12 @@ class EngineConfig:
             pre-optimization loop) or ``"vector"`` (the struct-of-arrays
             data plane; bit-identical reports to the incremental
             engine).
+        admission: event-simulator admission pipeline — ``"auto"``
+            (default: batched whenever ``sim_engine`` is ``"vector"``),
+            ``"per_event"`` (route and admit each arrival inside the
+            event loop) or ``"batched"`` (pre-resolve routes in bulk,
+            admit via indexed appends; bit-identical reports, requires
+            the vector engine).
         workers: default worker-process count for seeded sweeps
             (``1`` runs fully in-process).
     """
@@ -82,6 +95,7 @@ class EngineConfig:
     routing: str = "auto"
     solver: str = "greedy"
     sim_engine: str = "incremental"
+    admission: str = "auto"
     workers: int = 1
 
     def __post_init__(self) -> None:
@@ -104,6 +118,16 @@ class EngineConfig:
             raise ValidationError(
                 f"unknown simulation engine {self.sim_engine!r} "
                 f"(expected one of {', '.join(SIM_ENGINES)})"
+            )
+        if self.admission not in ADMISSION_MODES:
+            raise ValidationError(
+                f"unknown admission mode {self.admission!r} "
+                f"(expected one of {', '.join(ADMISSION_MODES)})"
+            )
+        if self.admission == "batched" and self.sim_engine != "vector":
+            raise ValidationError(
+                "admission='batched' requires sim_engine='vector', "
+                f"got sim_engine={self.sim_engine!r}"
             )
         if not isinstance(self.workers, int) or self.workers < 1:
             raise ValidationError(

@@ -1,0 +1,316 @@
+"""Batched admission pipeline for the event-driven simulator.
+
+The flow schedule is fully known at ``run()`` time (the workload
+generator pre-draws whole scenarios), so per-arrival routing work can
+be hoisted out of the event loop: group pending flows by unique
+``(src_host, dst_host, AL)`` endpoint pairs, resolve each group with
+one :func:`repro.sdn.routing.routes_from` single-BFS fan-out per
+source, and intern the resolved paths plus their link-index arrays so
+admitting a flow becomes an indexed bulk append into the
+:class:`~repro.sim.vector.FlowTable`.
+
+**The parity contract.**  Batched admission must produce bit-identical
+reports to per-event admission.  A single-source shortest-path tree is
+independent of which targets are queried, so ``routes_from(s, [t])[t]
+== routes_from(s, T)[t]`` for any target set ``T`` containing ``t`` —
+but the *pairwise* bidirectional search may legitimately break
+equal-length ties differently than the tree (documented since the CSR
+engine landed).  Both admission modes therefore resolve through the
+same tree-canonical helper, :func:`resolve_tree_path`: per-event
+admission calls it once per cache miss, the batched planner calls the
+underlying fan-out once per unique source.  Parity between the modes
+is structural, not coincidental.
+
+Interned routes can never go stale while they are used: arrivals
+during an active failure (non-empty failed-node / cut-link sets)
+bypass the plan entirely via the uncached surviving-path fallback —
+exactly as the per-event loop does — and whenever the failure sets are
+empty the topology equals the full fabric the plan resolved against.
+:meth:`RoutePlan.invalidate_crossing` (mirroring
+:meth:`repro.sdn.route_cache.RouteCache.invalidate_crossing`) still
+drops interned pairs whose paths cross a faulted link, so lazily
+re-resolved entries are provably fresh rather than accidentally so.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import RoutingError
+from repro.observability.runtime import current_telemetry
+from repro.sdn.routing import (
+    RouteCandidates,
+    k_shortest_paths,
+    routes_from,
+)
+from repro.sim.fairshare import LinkId, links_on_path
+
+__all__ = [
+    "AdmissionPlan",
+    "InternedRoute",
+    "NO_PLAN_ROUTE",
+    "plan_admission",
+    "resolve_tree_path",
+]
+
+#: Sentinel interned for pairs the fabric cannot connect (mirrors the
+#: route cache's negative entries: the miss is remembered, not retried).
+NO_PLAN_ROUTE = object()
+
+
+def resolve_tree_path(
+    dcn,
+    source: str,
+    destination: str,
+    al: Iterable[str] | None,
+    *,
+    engine: str | None = None,
+) -> list[str]:
+    """Tree-canonical shortest path — the simulator's route primitive.
+
+    Resolves over the single-source BFS tree rooted at ``source``
+    (restricted to the abstraction layer when ``al`` is given), so a
+    per-event cache miss and the batched planner's fan-out pick the
+    *same* path among equal-length alternatives.
+
+    Raises:
+        RoutingError: when the endpoints are unknown, an endpoint
+            violates the AL, or no connecting path exists.
+    """
+    resolved = routes_from(dcn, source, [destination], al, engine=engine)
+    path = resolved.get(destination)
+    if path is None:
+        if al is not None:
+            raise RoutingError(
+                f"abstraction layer {sorted(al)} does not connect "
+                f"{source} to {destination}"
+            )
+        raise RoutingError(f"no path from {source} to {destination}")
+    return path
+
+
+class InternedRoute:
+    """One resolved ``(src_host, dst_host, AL)`` pair, admission-ready.
+
+    Carries every per-arrival artifact the event loop would otherwise
+    rebuild: the node path, the ``LinkId`` tuple, the engine-space
+    link-index array and the duplicate-link flag the
+    :class:`~repro.sim.vector.FlowTable` wants.
+    """
+
+    __slots__ = ("path", "links", "indices", "has_dup", "cid")
+
+    def __init__(
+        self,
+        path: Sequence[str],
+        links: tuple,
+        indices: np.ndarray,
+        has_dup: bool,
+    ) -> None:
+        self.path = list(path)
+        self.links = links
+        self.indices = indices
+        self.has_dup = has_dup
+        #: Route-class id cache, assigned by the run's batched engine
+        #: on first admission (one engine per plan per run).
+        self.cid: int | None = None
+
+    def crosses(self, targets: frozenset) -> bool:
+        """Whether this route traverses any link in ``targets``
+        (``RouteCache.invalidate_crossing`` semantics)."""
+        return any(
+            frozenset((a, b)) in targets
+            for a, b in zip(self.path, self.path[1:])
+        )
+
+
+class AdmissionPlan:
+    """Interned route table for one simulation run.
+
+    Maps ``(src_host, dst_host, al_signature)`` to an
+    :class:`InternedRoute` (or :data:`NO_PLAN_ROUTE`), resolving lazily
+    by source fan-out on first miss and in bulk at construction via
+    :func:`plan_admission`.
+    """
+
+    __slots__ = (
+        "_dcn",
+        "_engine",
+        "_link_index",
+        "_routes",
+        "_pairs_counter",
+        "_invalidated_counter",
+    )
+
+    def __init__(
+        self,
+        dcn,
+        link_index: dict,
+        *,
+        engine: str | None = None,
+        telemetry=None,
+    ) -> None:
+        self._dcn = dcn
+        self._engine = engine
+        #: LinkId -> engine array position (the fair-share engine's).
+        self._link_index = link_index
+        self._routes: dict[tuple, object] = {}
+        sink = telemetry if telemetry is not None else current_telemetry()
+        self._pairs_counter = sink.counter(
+            "alvc_admission_pairs_resolved_total",
+            "unique endpoint pairs resolved by the admission planner",
+        )
+        self._invalidated_counter = sink.counter(
+            "alvc_admission_invalidated_pairs_total",
+            "interned routes invalidated by fault events",
+        )
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._routes
+
+    # ------------------------------------------------------------------
+    def resolve_source(
+        self,
+        source: str,
+        destinations: Iterable[str],
+        al: frozenset | None,
+    ) -> None:
+        """Intern routes for every ``(source, dst, al)`` pair at once.
+
+        One single-BFS fan-out per call; unreachable destinations are
+        interned as :data:`NO_PLAN_ROUTE`.  AL-restricted resolution
+        falls back to the flat fabric per destination when the layer
+        does not connect the pair — mirroring the per-event loop's
+        AL-then-flat retry.
+        """
+        targets = [
+            dst
+            for dst in dict.fromkeys(destinations)
+            if (source, dst, al) not in self._routes
+        ]
+        if not targets:
+            return
+        if al is None:
+            resolved = routes_from(
+                self._dcn, source, targets, None, engine=self._engine
+            )
+        else:
+            try:
+                resolved = routes_from(
+                    self._dcn, source, targets, al, engine=self._engine
+                )
+            except RoutingError:
+                # An endpoint violates the layer: the group fan-out
+                # aborts wholesale, but the per-event loop retries each
+                # pair individually (AL first, then flat).  Mirror that
+                # per target so only the violating pairs fall through.
+                resolved = {}
+                for dst in targets:
+                    try:
+                        single = routes_from(
+                            self._dcn, source, [dst], al,
+                            engine=self._engine,
+                        )
+                    except RoutingError:
+                        continue
+                    if dst in single:
+                        resolved[dst] = single[dst]
+        flat_retry = []
+        for dst in targets:
+            path = resolved.get(dst)
+            if path is None:
+                if al is not None:
+                    flat_retry.append(dst)
+                else:
+                    self._routes[(source, dst, al)] = NO_PLAN_ROUTE
+                continue
+            self._routes[(source, dst, al)] = self._intern(path)
+        if flat_retry:
+            fallback = routes_from(
+                self._dcn, source, flat_retry, None, engine=self._engine
+            )
+            for dst in flat_retry:
+                path = fallback.get(dst)
+                self._routes[(source, dst, al)] = (
+                    NO_PLAN_ROUTE if path is None else self._intern(path)
+                )
+        self._pairs_counter.inc(len(targets))
+
+    def lookup(
+        self, source: str, destination: str, al: frozenset | None
+    ):
+        """The interned route for one pair (lazily re-resolving).
+
+        Returns:
+            An :class:`InternedRoute`, or :data:`NO_PLAN_ROUTE` when the
+            fabric cannot connect the pair.
+        """
+        key = (source, destination, al)
+        route = self._routes.get(key)
+        if route is None:
+            self.resolve_source(source, (destination,), al)
+            route = self._routes[key]
+        return route
+
+    def _intern(self, path: Sequence[str]) -> InternedRoute:
+        links = links_on_path(path)
+        index = self._link_index
+        indices = np.array(
+            [index[link] for link in links], dtype=np.int32
+        )
+        return InternedRoute(
+            path, links, indices, len(links) > len(set(links))
+        )
+
+    # ------------------------------------------------------------------
+    def invalidate_crossing(self, links: Iterable[frozenset]) -> int:
+        """Drop interned routes crossing any of ``links``.
+
+        Same semantics as
+        :meth:`repro.sdn.route_cache.RouteCache.invalidate_crossing`:
+        negative entries survive (a faulted link cannot create a path),
+        and dropped pairs lazily re-resolve on next use.
+
+        Returns:
+            The number of interned routes dropped.
+        """
+        targets = {frozenset(link) for link in links}
+        stale = [
+            key
+            for key, route in self._routes.items()
+            if route is not NO_PLAN_ROUTE and route.crosses(targets)
+        ]
+        for key in stale:
+            del self._routes[key]
+        if stale:
+            self._invalidated_counter.inc(len(stale))
+        return len(stale)
+
+
+def plan_admission(
+    dcn,
+    pairs: Iterable[tuple],
+    link_index: dict,
+    *,
+    engine: str | None = None,
+    telemetry=None,
+) -> AdmissionPlan:
+    """Bulk-resolve unique ``(src, dst, al)`` pairs into a plan.
+
+    Groups ``pairs`` by ``(source, al)`` so each group costs one
+    single-BFS fan-out (two for AL groups with flat fallbacks).
+    """
+    plan = AdmissionPlan(
+        dcn, link_index, engine=engine, telemetry=telemetry
+    )
+    grouped: dict[tuple, list] = {}
+    for source, destination, al in pairs:
+        grouped.setdefault((source, al), []).append(destination)
+    for (source, al), destinations in grouped.items():
+        plan.resolve_source(source, destinations, al)
+    return plan

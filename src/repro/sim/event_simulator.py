@@ -80,10 +80,9 @@ from repro.sdn.routing import (
     k_shortest_paths,
     least_loaded_path,
     pick_least_loaded,
-    shortest_path_in_al,
     shortest_surviving_path,
-    simple_path,
 )
+from repro.sim.admission import plan_admission, resolve_tree_path, NO_PLAN_ROUTE
 from repro.sim.fairshare import (
     FairShareEngine,
     LinkId,
@@ -100,7 +99,11 @@ from repro.sim.faults import (
     normalize_failures,
 )
 from repro.sim.flows import Flow
-from repro.sim.vector import LinkBusyView, VectorFairShareEngine
+from repro.sim.vector import (
+    BatchedFairShareEngine,
+    LinkBusyView,
+    VectorFairShareEngine,
+)
 from repro.virtualization.machines import MachineInventory
 
 #: Selectable fair-share/event-loop engines (re-exported from
@@ -245,6 +248,7 @@ class EventDrivenFlowSimulator:
         engine: str | None = None,
         engines: "EngineConfig | dict | None" = None,
         routing_engine: str | None = None,
+        admission: str | None = None,
         route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
     ) -> None:
         """Create a simulator over a populated inventory.
@@ -283,6 +287,10 @@ class EventDrivenFlowSimulator:
                 :mod:`repro.sdn.routing` (both produce bit-identical
                 paths; this knob exists for parity tests and
                 benchmarks).  Defaults to ``engines.routing``.
+            admission: admission-pipeline override — ``"auto"``
+                (batched whenever the vector engine runs),
+                ``"per_event"`` or ``"batched"``; overrides
+                ``engines.admission``.  See :mod:`repro.sim.admission`.
             route_cache_size: LRU entries for route caching; ``0``
                 disables the cache entirely.
 
@@ -315,6 +323,12 @@ class EventDrivenFlowSimulator:
                 engine_config = dataclasses.replace(
                     engine_config, sim_engine=engine
                 )
+        if admission is not None:
+            # replace() re-runs __post_init__, so unknown modes and
+            # batched-on-non-vector combinations fail here too.
+            engine_config = dataclasses.replace(
+                engine_config, admission=admission
+            )
         if routing_engine is None:
             routing_engine = engine_config.routing
         if routing_engine not in ROUTING_ENGINES:
@@ -339,6 +353,15 @@ class EventDrivenFlowSimulator:
         self._load_aware = load_aware
         self._k_paths = k_paths
         self._engine_mode = engine_config.sim_engine
+        self._admission_mode = (
+            "batched"
+            if engine_config.admission == "batched"
+            or (
+                engine_config.admission == "auto"
+                and engine_config.sim_engine == "vector"
+            )
+            else "per_event"
+        )
         self._routing_engine = routing_engine
         self._capacities: dict[LinkId, float] = {}
         for a, b, link, parallel in inventory.network.trunks():
@@ -370,6 +393,12 @@ class EventDrivenFlowSimulator:
     def engine(self) -> str:
         """The fair-share/event-loop engine in use."""
         return self._engine_mode
+
+    @property
+    def admission(self) -> str:
+        """The resolved admission pipeline (``"auto"`` folded away):
+        ``"batched"`` or ``"per_event"``."""
+        return self._admission_mode
 
     @property
     def route_cache(self) -> RouteCache | None:
@@ -411,6 +440,30 @@ class EventDrivenFlowSimulator:
             except RoutingError:
                 pass
         return self._pick_path(source, destination, None, link_flows)
+
+    def _admission_key(self, flow: Flow) -> tuple | None:
+        """The flow's ``(src_host, dst_host, al_signature)`` plan key.
+
+        Derived exactly as :meth:`_route` derives its routing inputs
+        (host resolution, intra-service AL confinement, missing-cluster
+        fallback); ``None`` for co-located endpoints, which never route.
+        """
+        source = self._inventory.host_of(flow.source)
+        destination = self._inventory.host_of(flow.destination)
+        if source == destination:
+            return None
+        al = None
+        if self._clusters is not None and flow.intra_service:
+            service = self._inventory.get(flow.source).service
+            try:
+                al = self._clusters.cluster_of_service(service).al_switches
+            except UnknownEntityError:
+                al = None
+        return (
+            source,
+            destination,
+            None if al is None else frozenset(al),
+        )
 
     def _pick_path(
         self,
@@ -472,18 +525,11 @@ class EventDrivenFlowSimulator:
                 al_switches=al,
                 engine=self._routing_engine,
             )
-        if al is not None:
-            return shortest_path_in_al(
-                self._inventory.network,
-                source,
-                destination,
-                al,
-                engine=self._routing_engine,
-            )
-        return simple_path(
+        return resolve_tree_path(
             self._inventory.network,
             source,
             destination,
+            al,
             engine=self._routing_engine,
         )
 
@@ -601,7 +647,12 @@ class EventDrivenFlowSimulator:
             if self._engine_mode == "legacy":
                 report = self._run_legacy(flows, failures)
             elif self._engine_mode == "vector":
-                report = self._run_vector(flows, failures, until)
+                report = self._run_vector(
+                    flows,
+                    failures,
+                    until,
+                    batched=self._admission_mode == "batched",
+                )
             else:
                 report = self._run(flows, failures, until)
         if telemetry.enabled:
@@ -1013,6 +1064,8 @@ class EventDrivenFlowSimulator:
         flows: Sequence[Flow],
         failures: Sequence[tuple[float, str]] = (),
         until: float | None = None,
+        *,
+        batched: bool = False,
     ) -> EventSimulationReport:
         """The vectorized event loop.
 
@@ -1038,6 +1091,23 @@ class EventDrivenFlowSimulator:
           continuous distributions) and remain deterministic — the
           property the shard-merge tests pin — on same-timestamp
           workloads like the million-flow soak.
+
+        With ``batched=True`` (``admission="batched"``, the vector
+        default via ``"auto"``) admission itself leaves the event loop:
+        unique ``(src_host, dst_host, AL)`` pairs are bulk-resolved
+        into an :class:`~repro.sim.admission.AdmissionPlan` before the
+        first event, fair sharing runs on the class-aggregated
+        :class:`~repro.sim.vector.BatchedFairShareEngine`, and each
+        arrival group becomes one indexed
+        :meth:`~repro.sim.vector.FlowTable.add_many` append.  Arrivals
+        inside an active failure window bypass the plan through the
+        same uncached surviving-path fallback the per-event loop uses,
+        and fault events invalidate exactly the interned pairs whose
+        paths cross the casualty — reports stay bit-identical to
+        per-event admission (the parity suite asserts it across both
+        fair-share backends).  Load-aware runs keep per-event path
+        picking (the pick depends on instantaneous link loads) over a
+        pre-warmed candidate cache.
         """
         events_counter = self._telemetry.counter(
             "alvc_sim_events_total",
@@ -1064,9 +1134,33 @@ class EventDrivenFlowSimulator:
         # engine's arrays): failures remove links here without
         # poisoning the simulator for subsequent runs.
         capacities = dict(self._capacities)
-        engine = VectorFairShareEngine(capacities, telemetry=self._telemetry)
+        engine_cls = BatchedFairShareEngine if batched else VectorFairShareEngine
+        engine = engine_cls(capacities, telemetry=self._telemetry)
         table = engine.table
         busy = np.zeros(engine.n_links)
+
+        # Concurrent-flow-per-link bookkeeping only matters to the
+        # load-aware path picker; the batched pipeline routes through
+        # the plan (or the load-blind surviving-path fallback) and
+        # skips the dict maintenance entirely.
+        track_loads = self._load_aware or not batched
+
+        # Batched admission: resolve every unique endpoint pair before
+        # the first event (one BFS fan-out per source), so admitting an
+        # arrival is a plan lookup plus an indexed append.
+        plan = None
+        plan_keys: list = []
+        bulk_counter = fallback_counter = None
+        if batched:
+            bulk_counter = self._telemetry.counter(
+                "alvc_admission_bulk_flows_total",
+                "flows admitted through pre-resolved interned routes",
+            )
+            fallback_counter = self._telemetry.counter(
+                "alvc_admission_fallback_flows_total",
+                "batched-mode arrivals routed per event "
+                "(failure windows and load-aware picking)",
+            )
 
         completed: list[CompletedFlow] = []
         dropped: list[FlowId] = []
@@ -1081,6 +1175,39 @@ class EventDrivenFlowSimulator:
         arrival_index = 0
         failure_index = 0
         infinity = math.inf
+
+        if batched:
+            if not self._load_aware:
+                plan_keys = [self._admission_key(flow) for flow in pending]
+                plan = plan_admission(
+                    self._inventory.network,
+                    (key for key in plan_keys if key is not None),
+                    engine.link_index,
+                    engine=self._routing_engine,
+                    telemetry=self._telemetry,
+                )
+            elif self._route_cache is not None:
+                # Load-aware picks depend on instantaneous link loads,
+                # so routes cannot be pinned up front — but the
+                # candidate sets can: warm the cache once per unique
+                # pair so the event loop only ever pays the pick.
+                seen: set = set()
+                for flow in pending:
+                    key = self._admission_key(flow)
+                    if key is None or key in seen:
+                        continue
+                    seen.add(key)
+                    try:
+                        self._route(flow, link_flows)
+                    except RoutingError:
+                        pass
+
+        # Same-timestamp batch edges come from one searchsorted over
+        # the pre-extracted arrival-time array instead of a per-flow
+        # attribute walk.
+        arrival_times = np.array(
+            [flow.arrival_time for flow in pending], dtype=np.float64
+        )
 
         def materialize_slots(slots: np.ndarray) -> None:
             """Charge progress (and link busy time) for ``slots`` since
@@ -1134,10 +1261,11 @@ class EventDrivenFlowSimulator:
                 materialize_slots(np.array([slot], dtype=np.int64))
                 flow, _, links = table.meta[slot]
                 remaining_bytes = float(table.remaining[slot])
-                for link in links:
-                    link_flows[link] -= 1
-                    if link_flows[link] == 0:
-                        del link_flows[link]
+                if track_loads:
+                    for link in links:
+                        link_flows[link] -= 1
+                        if link_flows[link] == 0:
+                            del link_flows[link]
                 engine.remove_flow(flow_id)
                 new_path = self._route_avoiding(
                     flow, failed_nodes, cut_links, link_flows
@@ -1151,8 +1279,9 @@ class EventDrivenFlowSimulator:
                 table.meta[slot] = (flow, new_path, new_links)
                 table.remaining[slot] = remaining_bytes
                 table.last_update[slot] = now
-                for link in new_links:
-                    link_flows[link] = link_flows.get(link, 0) + 1
+                if track_loads:
+                    for link in new_links:
+                        link_flows[link] = link_flows.get(link, 0) + 1
 
         while (
             arrival_index < len(pending)
@@ -1214,10 +1343,14 @@ class EventDrivenFlowSimulator:
                     # Links touching the node leave the capacity map
                     # (after the reroutes, so the engine never drops a
                     # loaded link).
+                    removed = []
                     for link in list(capacities):
                         if failed in link:
                             down_links[link] = capacities.pop(link)
                             engine.remove_link(link)
+                            removed.append(link)
+                    if plan is not None and removed:
+                        plan.invalidate_crossing(removed)
                     recompute_rates()
                 elif action == NODE_UP:
                     repaired = record.payload
@@ -1254,6 +1387,8 @@ class EventDrivenFlowSimulator:
                     )
                     down_links[link] = capacities.pop(link)
                     engine.remove_link(link)
+                    if plan is not None:
+                        plan.invalidate_crossing((link,))
                     recompute_rates()
                 elif action == LINK_UP:
                     link = record.payload
@@ -1275,6 +1410,8 @@ class EventDrivenFlowSimulator:
                         engine.set_capacity(link, new_capacity)
                         if self._route_cache is not None:
                             self._route_cache.invalidate_crossing((link,))
+                        if plan is not None:
+                            plan.invalidate_crossing((link,))
                         recompute_rates()
                     elif link in down_links:
                         # Degrading a link that is currently down only
@@ -1285,11 +1422,13 @@ class EventDrivenFlowSimulator:
                 # recompute once (the batch optimization — see the
                 # method docstring).
                 admitted = False
-                while (
-                    arrival_index < len(pending)
-                    and pending[arrival_index].arrival_time == now
-                ):
+                batch: list = []
+                batch_end = int(
+                    np.searchsorted(arrival_times, now, side="right")
+                )
+                while arrival_index < batch_end:
                     flow = pending[arrival_index]
+                    index = arrival_index
                     arrival_index += 1
                     events += 1
                     events_counter.inc()
@@ -1300,7 +1439,36 @@ class EventDrivenFlowSimulator:
                         if path is None:
                             dropped.append(flow.flow_id)
                             continue
+                        if fallback_counter is not None:
+                            fallback_counter.inc()
+                    elif plan is not None:
+                        # Batched admission: the pair was resolved (or
+                        # negatively interned) before the first event.
+                        key = plan_keys[index]
+                        if key is None:
+                            # Co-located endpoints: completes
+                            # immediately, like the zero-hop path below.
+                            completed.append(
+                                CompletedFlow(
+                                    flow_id=flow.flow_id,
+                                    size_bytes=flow.size_bytes,
+                                    arrival_time=flow.arrival_time,
+                                    completion_time=now,
+                                    hops=0,
+                                )
+                            )
+                            continue
+                        route = plan.lookup(*key)
+                        if route is NO_PLAN_ROUTE:
+                            raise RoutingError(
+                                f"no path from {key[0]} to {key[1]}"
+                            )
+                        batch.append((flow, route))
+                        admitted = True
+                        continue
                     else:
+                        if fallback_counter is not None:
+                            fallback_counter.inc()
                         path = self._route(flow, link_flows)
                     links = links_on_path(path)
                     if not links:
@@ -1320,9 +1488,26 @@ class EventDrivenFlowSimulator:
                     table.meta[slot] = (flow, path, links)
                     table.remaining[slot] = flow.size_bytes
                     table.last_update[slot] = now
-                    for link in links:
-                        link_flows[link] = link_flows.get(link, 0) + 1
+                    if track_loads:
+                        for link in links:
+                            link_flows[link] = link_flows.get(link, 0) + 1
                     admitted = True
+                if batch:
+                    # One indexed append for the whole timestamp group;
+                    # consecutive slots keep activation order equal to
+                    # admission order, the property every parity
+                    # argument leans on.
+                    slots = engine.add_interned(
+                        [flow.flow_id for flow, _ in batch],
+                        [route for _, route in batch],
+                    )
+                    table.remaining[slots] = np.array(
+                        [flow.size_bytes for flow, _ in batch]
+                    )
+                    table.last_update[slots] = now
+                    for slot, (flow, route) in zip(slots.tolist(), batch):
+                        table.meta[slot] = (flow, route.path, route.links)
+                    bulk_counter.inc(len(batch))
                 if admitted:
                     recompute_rates()
             else:
@@ -1342,10 +1527,11 @@ class EventDrivenFlowSimulator:
                 finisher = table.flow_ids[slot]
                 materialize_slots(np.array([slot], dtype=np.int64))
                 flow, path, links = table.meta[slot]
-                for link in links:
-                    link_flows[link] -= 1
-                    if link_flows[link] == 0:
-                        del link_flows[link]
+                if track_loads:
+                    for link in links:
+                        link_flows[link] -= 1
+                        if link_flows[link] == 0:
+                            del link_flows[link]
                 engine.remove_flow(finisher)
                 completed.append(
                     CompletedFlow(

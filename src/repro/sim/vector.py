@@ -44,14 +44,19 @@ Telemetry: each recompute observes its round count in the
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Mapping
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.sim.fairshare import ROUNDS_BUCKETS, LinkId
 
-__all__ = ["FlowTable", "LinkBusyView", "VectorFairShareEngine"]
+__all__ = [
+    "BatchedFairShareEngine",
+    "FlowTable",
+    "LinkBusyView",
+    "VectorFairShareEngine",
+]
 
 _EMPTY_I32 = np.empty(0, dtype=np.int32)
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
@@ -86,7 +91,9 @@ class FlowTable:
         "slot_of",
         "flow_ids",
         "meta",
+        "on_compact",
         "_compact_slack",
+        "_compact_pending",
     )
 
     def __init__(self, capacity: int = 64, *, compact_slack: int = 256) -> None:
@@ -112,7 +119,16 @@ class FlowTable:
         self.flow_ids: list = []
         #: Per-slot caller payload (the simulator stores flow metadata).
         self.meta: list = []
+        #: Called with the old live-slot array after every compaction,
+        #: so owners of parallel per-slot arrays (the batched engine's
+        #: class map) can renumber alongside the table.
+        self.on_compact = None
         self._compact_slack = max(1, int(compact_slack))
+        # Tombstones only appear in remove(), so the compaction
+        # predicate is evaluated there (once per death) and the add hot
+        # path checks a single pre-computed flag instead of re-deriving
+        # ``size - active_count > max(slack, active_count)`` per call.
+        self._compact_pending = False
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -141,9 +157,7 @@ class FlowTable:
         """
         if flow in self.slot_of:
             raise SimulationError(f"flow {flow!r} is already active")
-        if self.size - self.active_count > max(
-            self._compact_slack, self.active_count
-        ):
+        if self._compact_pending:
             self.compact()
         slot = self.size
         if slot == self.remaining.shape[0]:
@@ -185,7 +199,72 @@ class FlowTable:
         self.rate[slot] = 0.0
         self.meta[slot] = None
         self.active_count -= 1
+        # Deaths are the only way the tombstone count grows, so this is
+        # the only place the compaction predicate can flip to true (an
+        # add leaves ``size - active_count`` unchanged and only weakens
+        # the ``max(slack, live)`` bound) — the next add() compacts.
+        if self.size - self.active_count > max(
+            self._compact_slack, self.active_count
+        ):
+            self._compact_pending = True
         return slot
+
+    def add_many(
+        self,
+        flows: Sequence[Hashable],
+        pools: Sequence[np.ndarray],
+        has_dup: Sequence[bool],
+    ) -> np.ndarray:
+        """Bulk twin of :meth:`add`: one grow, one pool write, one fill.
+
+        ``pools[i]`` is flow ``i``'s link-index array (``int32``,
+        path order preserved); ``has_dup[i]`` its duplicate-link flag.
+        New slots start like :meth:`add`'s (zero rate/remaining,
+        infinite eta); the caller seeds ``remaining``/``last_update``.
+        Returns the allocated slots in ``flows`` order — consecutive,
+        so activation order still matches admission order.
+
+        Raises:
+            SimulationError: when any flow already holds a slot (no
+                slots are allocated then).
+        """
+        count = len(flows)
+        if count == 0:
+            return _EMPTY_I64
+        for flow in flows:
+            if flow in self.slot_of:
+                raise SimulationError(f"flow {flow!r} is already active")
+        if self._compact_pending:
+            self.compact()
+        while self.size + count > self.remaining.shape[0]:
+            self._grow_slots()
+        lens = np.array([pool.shape[0] for pool in pools], dtype=np.int64)
+        total = int(lens.sum())
+        if self.pool_len + total > self.pool.shape[0]:
+            self._grow_pool(self.pool_len + total)
+        if total:
+            self.pool[self.pool_len : self.pool_len + total] = (
+                np.concatenate(pools)
+            )
+        first = self.size
+        slots = np.arange(first, first + count, dtype=np.int64)
+        ends = np.cumsum(lens)
+        self.link_start[slots] = self.pool_len + ends - lens
+        self.link_len[slots] = lens
+        self.has_dup[slots] = np.asarray(has_dup, dtype=bool)
+        self.pool_len += total
+        self.remaining[slots] = 0.0
+        self.rate[slots] = 0.0
+        self.eta[slots] = np.inf
+        self.last_update[slots] = 0.0
+        self.alive[slots] = True
+        self.size = first + count
+        self.active_count += count
+        for offset, flow in enumerate(flows):
+            self.slot_of[flow] = first + offset
+            self.flow_ids.append(flow)
+            self.meta.append(None)
+        return slots
 
     def gather_links(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Concatenated link indices of ``slots`` plus per-slot lengths.
@@ -232,6 +311,9 @@ class FlowTable:
             flow: slot for slot, flow in enumerate(self.flow_ids)
         }
         self.size = n
+        self._compact_pending = False
+        if self.on_compact is not None:
+            self.on_compact(live)
 
     def _grow_slots(self) -> None:
         n = self.remaining.shape[0] * 2
@@ -457,6 +539,12 @@ class VectorFairShareEngine:
     def link_ids(self) -> tuple:
         """Registered links in index order."""
         return tuple(self._link_ids)
+
+    @property
+    def link_index(self) -> dict:
+        """``LinkId`` -> array position (the live mapping, not a copy;
+        the admission planner interns routes against it)."""
+        return self._index
 
     def link_counts(self) -> dict[LinkId, int]:
         """Per-link active-flow counts (loaded links only, a copy)."""
@@ -695,3 +783,325 @@ class VectorFairShareEngine:
             flow: float(rates[slot])
             for flow, slot in self._table.slot_of.items()
         }
+
+
+class BatchedFairShareEngine(VectorFairShareEngine):
+    """Route-class-aggregated water-filling — the batched data plane.
+
+    Flows admitted from interned routes repeat a small set of paths, so
+    instead of transposing ``active flows x links`` on every recompute
+    (the vector engine's dominant cost at full scale), this engine
+    interns each distinct link-index pool as a *route class* and keeps
+    a persistent link -> class transpose in full link space, rebuilt
+    only when a new class appears or a link is registered.  A recompute
+    then reduces every per-flow structure to per-class ones: the
+    multiplicity vector is one ``bincount`` over the active slots'
+    class ids, and a round freezes classes (each standing for ``m``
+    identical flows) instead of flows.
+
+    **Bit parity.**  The round sequence is unchanged — same loaded
+    links, same ``remaining / load`` ratios, same first-occurrence
+    rank-ordered argmin — and all subtractions in a round remove the
+    *same* share, so regrouping a bottleneck's member flows by class
+    only permutes same-valued subtractions across positions; each link
+    position still sees exactly the dict engine's subtraction sequence.
+    The per-class rate gathered back through the class map is the same
+    assignment the per-flow freeze performs.  Slots carrying duplicate
+    links (cyclic paths) or missing a class (flows added behind the
+    engine's back) fall back to the vector recompute, which is itself
+    bit-identical.
+
+    The round loop runs in a compiled kernel when a C compiler is
+    available (:mod:`repro.sim.ckernel` — same IEEE operations in the
+    same order) and in a fused numpy loop otherwise; both are asserted
+    bitwise-equal in the suite.
+    """
+
+    __slots__ = (
+        "_class_index",
+        "_class_pools",
+        "_n_classes",
+        "_class_flat",
+        "_class_starts",
+        "_class_lens",
+        "_dup_class_ids",
+        "_class_of",
+        "_t_classes",
+        "_t_bounds",
+        "_t_stale",
+        "_kernel",
+    )
+
+    def __init__(
+        self,
+        capacities: Mapping[LinkId, float],
+        *,
+        table: FlowTable | None = None,
+        telemetry=None,
+    ) -> None:
+        super().__init__(capacities, table=table, telemetry=telemetry)
+        from repro.sim.ckernel import waterfill_kernel
+
+        #: pool bytes -> class id (the interning table).
+        self._class_index: dict[bytes, int] = {}
+        self._class_pools: list[np.ndarray] = []
+        self._n_classes = 0
+        self._class_flat = _EMPTY_I32
+        self._class_starts = _EMPTY_I64
+        self._class_lens = _EMPTY_I64
+        #: Classes whose pool repeats a link (cyclic paths) — their
+        #: presence among active flows forces the vector fallback.
+        self._dup_class_ids: list[int] = []
+        #: Per-slot class id (-1 = unclassified), renumbered alongside
+        #: the table by the compaction hook.
+        self._class_of = np.full(
+            self._table.remaining.shape[0], -1, dtype=np.int32
+        )
+        self._t_classes: np.ndarray | None = None
+        self._t_bounds: np.ndarray | None = None
+        self._t_stale = True
+        self._kernel = waterfill_kernel()
+        self._table.on_compact = self._renumber_classes
+
+    # ------------------------------------------------------------------
+    @property
+    def kernel_active(self) -> bool:
+        """Whether recomputes run the compiled round loop."""
+        return self._kernel is not None
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct route classes interned so far."""
+        return self._n_classes
+
+    def class_for(self, pool: np.ndarray) -> int:
+        """Intern a link-index pool, returning its class id."""
+        key = pool.tobytes()
+        cid = self._class_index.get(key)
+        if cid is None:
+            cid = self._n_classes
+            self._class_index[key] = cid
+            self._class_pools.append(pool.copy())
+            if len(set(pool.tolist())) < pool.shape[0]:
+                self._dup_class_ids.append(cid)
+            self._n_classes += 1
+            self._t_stale = True
+        return cid
+
+    def _set_class(self, slot: int, cid: int) -> None:
+        if slot >= self._class_of.shape[0]:
+            grown = np.full(
+                max(self._class_of.shape[0] * 2, slot + 1),
+                -1,
+                dtype=np.int32,
+            )
+            grown[: self._class_of.shape[0]] = self._class_of
+            self._class_of = grown
+        self._class_of[slot] = cid
+
+    def _renumber_classes(self, live: np.ndarray) -> None:
+        n = live.shape[0]
+        self._class_of[:n] = self._class_of[live]
+        self._class_of[n:] = -1
+
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: Hashable, links: Iterable[LinkId]) -> int:
+        slot = super().add_flow(flow, links)
+        table = self._table
+        start = int(table.link_start[slot])
+        count = int(table.link_len[slot])
+        self._set_class(
+            slot, self.class_for(table.pool[start : start + count])
+        )
+        return slot
+
+    def add_interned(self, flows: Sequence, routes: Sequence) -> np.ndarray:
+        """Bulk-admit flows over pre-interned routes.
+
+        ``routes[i]`` is flow ``i``'s
+        :class:`~repro.sim.admission.InternedRoute`; its ``indices``
+        array goes straight into the table (no per-link python loop)
+        and its class id is interned once and cached on the route.
+        Returns the allocated slots in ``flows`` order.
+        """
+        table = self._table
+        pools = [route.indices for route in routes]
+        slots = table.add_many(
+            flows, pools, [route.has_dup for route in routes]
+        )
+        if pools:
+            np.add.at(self._count, np.concatenate(pools), 1.0)
+        for slot, route in zip(slots.tolist(), routes):
+            cid = route.cid
+            if cid is None:
+                cid = self.class_for(route.indices)
+                route.cid = cid
+            self._set_class(slot, cid)
+        return slots
+
+    # ------------------------------------------------------------------
+    def _rebuild_transpose(self) -> None:
+        C = self._n_classes
+        lens = np.array(
+            [pool.shape[0] for pool in self._class_pools], dtype=np.int64
+        )
+        flat = (
+            np.concatenate(self._class_pools).astype(np.int64)
+            if C
+            else _EMPTY_I64
+        )
+        ends = np.cumsum(lens)
+        self._class_flat = flat
+        self._class_lens = lens
+        self._class_starts = ends - lens
+        n_links = len(self._link_ids)
+        order = np.argsort(flat, kind="stable")
+        self._t_classes = np.repeat(np.arange(C, dtype=np.int64), lens)[
+            order
+        ]
+        bounds = np.zeros(n_links + 1, dtype=np.int64)
+        np.cumsum(np.bincount(flat, minlength=n_links), out=bounds[1:])
+        self._t_bounds = bounds
+        self._t_stale = False
+
+    def recompute(self) -> np.ndarray:
+        """Max-min fair rate per slot — bit-identical to the vector
+        (and therefore dict) engines; see the class docstring."""
+        table = self._table
+        size = table.size
+        rates = np.zeros(size)
+        observe = self._rounds_histogram.observe
+        active = table.active_slots()
+        if active.shape[0] == 0:
+            observe(0.0)
+            return rates
+        lens = table.link_len[active]
+        zero_hop = active[lens == 0]
+        if zero_hop.shape[0]:
+            rates[zero_hop] = np.inf
+        carriers = active[lens > 0]
+        if carriers.shape[0] == 0:
+            observe(0.0)
+            return rates
+        cls = self._class_of[carriers].astype(np.int64)
+        if cls.min(initial=0) < 0:
+            return super().recompute()
+        C = self._n_classes
+        m = np.bincount(cls, minlength=C)
+        if self._dup_class_ids and m[self._dup_class_ids].any():
+            return super().recompute()
+        if (
+            self._t_stale
+            or self._t_bounds.shape[0] != len(self._link_ids) + 1
+        ):
+            self._rebuild_transpose()
+        perm = self._rank_order()
+        loaded = perm[self._count[perm] > 0.0]
+        n_loaded = loaded.shape[0]
+        position = np.full(len(self._link_ids), -1, dtype=np.int64)
+        position[loaded] = np.arange(n_loaded)
+        remaining = self._cap[loaded].copy()
+        load = self._count[loaded].copy()
+        cpools = position[self._class_flat]
+        class_rate = np.zeros(C)
+        if self._kernel is not None:
+            loaded = np.ascontiguousarray(loaded)
+            rounds = self._kernel(
+                n_loaded,
+                remaining.ctypes.data,
+                load.ctypes.data,
+                loaded.ctypes.data,
+                int(carriers.shape[0]),
+                m.ctypes.data,
+                class_rate.ctypes.data,
+                self._class_starts.ctypes.data,
+                self._class_lens.ctypes.data,
+                cpools.ctypes.data,
+                self._t_classes.ctypes.data,
+                self._t_bounds.ctypes.data,
+            )
+            if rounds < 0:
+                raise SimulationError(
+                    "water-filling invariant violated: loaded bottleneck "
+                    "without unfrozen members"
+                )
+        else:
+            rounds = self._waterfill_numpy(
+                n_loaded,
+                remaining,
+                load,
+                loaded,
+                int(carriers.shape[0]),
+                m,
+                class_rate,
+                cpools,
+            )
+        rates[carriers] = class_rate[cls]
+        observe(float(rounds))
+        return rates
+
+    def _waterfill_numpy(
+        self,
+        n_loaded: int,
+        remaining: np.ndarray,
+        load: np.ndarray,
+        loaded: np.ndarray,
+        unfrozen: int,
+        m: np.ndarray,
+        class_rate: np.ndarray,
+        cpools: np.ndarray,
+    ) -> int:
+        """Fused-array round loop, bitwise-equal to the compiled kernel.
+
+        Works over *multiplicity-expanded* pools built once per
+        recompute — class ``c``'s compressed links each repeated
+        ``m[c]`` times — so one round is a single flat gather plus two
+        scalar-operand ``np.subtract.at`` calls (sequential equal-share
+        subtraction, exactly the expansion the kernel's inner loops
+        perform).
+        """
+        reps = np.repeat(m, self._class_lens)
+        epool = np.repeat(cpools, reps)
+        elens = self._class_lens * m
+        eends = np.cumsum(elens)
+        estarts = eends - elens
+        ratio = np.empty(n_loaded)
+        loaded_list = loaded.tolist()
+        t_bounds = self._t_bounds
+        t_classes = self._t_classes
+        rounds = 0
+        while unfrozen:
+            rounds += 1
+            ratio.fill(np.inf)
+            np.divide(remaining, load, out=ratio, where=load > 0.0)
+            bottleneck = int(np.argmin(ratio))
+            share = ratio[bottleneck]
+            original = loaded_list[bottleneck]
+            segment = t_classes[
+                t_bounds[original] : t_bounds[original + 1]
+            ]
+            members = segment[m[segment] > 0]
+            if members.shape[0] == 0:
+                raise SimulationError(
+                    "water-filling invariant violated: loaded bottleneck "
+                    "without unfrozen members"
+                )
+            class_rate[members] = share
+            unfrozen -= int(m[members].sum())
+            m[members] = 0
+            if members.shape[0] == 1:
+                cid = members[0]
+                incidences = epool[estarts[cid] : eends[cid]]
+            else:
+                counts = elens[members]
+                total = int(counts.sum())
+                ends = np.cumsum(counts)
+                flat = (
+                    np.repeat(estarts[members] - (ends - counts), counts)
+                    + np.arange(total)
+                )
+                incidences = epool[flat]
+            np.subtract.at(remaining, incidences, share)
+            np.maximum(remaining, 0.0, out=remaining)
+            np.subtract.at(load, incidences, 1.0)
+        return rounds

@@ -28,11 +28,12 @@ ambient (default no-op, zero-cost) sink.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import warnings
 from pathlib import Path
 from typing import Sequence
 
-from repro.config import EngineConfig
+from repro.config import SIM_ENGINES, EngineConfig
 from repro.core.chaining import ChainRequest, NetworkFunctionChain
 from repro.core.cluster import VirtualCluster
 from repro.core.orchestrator import (
@@ -113,6 +114,8 @@ class AlvcStack:
         exclusive_chains: bool = True,
         host_policy: HostPolicy | str | None = None,
         routing_engine: str | None = None,
+        engine: str | None = None,
+        admission: str | None = None,
         engines: EngineConfig | dict | None = None,
         journal: Journal | str | Path | None = None,
         sync: str = "always",
@@ -148,6 +151,16 @@ class AlvcStack:
                     Use ``engines=EngineConfig(routing=...)``; this
                     keyword is scheduled for removal two releases after
                     the durable service ships (the v1.0 cut).
+            engine: simulation-engine selector.
+
+                .. deprecated:: PR 10
+                    Use ``engines=EngineConfig(sim_engine=...)``; the
+                    bare kwarg warns and is scheduled for removal at
+                    the v1.0 cut.
+            admission: event-simulator admission pipeline
+                (``"auto"``/``"per_event"``/``"batched"``, see
+                :mod:`repro.sim.admission`); shorthand for
+                ``engines=EngineConfig(admission=...)``.
             engines: typed :class:`~repro.config.EngineConfig` (or a
                 mapping / routing-engine string coercible to one)
                 selecting the cover kernel, routing engine and default
@@ -192,11 +205,37 @@ class AlvcStack:
                     f"{routing_engine!r} vs engines.routing="
                     f"{engine_config.routing!r}"
                 )
-            engine_config = EngineConfig(
-                cover_kernel=engine_config.cover_kernel,
-                routing=routing_engine,
-                solver=engine_config.solver,
-                workers=engine_config.workers,
+            engine_config = dataclasses.replace(
+                engine_config, routing=routing_engine
+            )
+        if engine is not None:
+            warnings.warn(
+                "AlvcStack.build(engine=...) is deprecated; use "
+                "engines=EngineConfig(sim_engine=...). Scheduled for "
+                "removal at the v1.0 cut.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if engine not in SIM_ENGINES:
+                raise ValidationError(
+                    f"unknown simulation engine {engine!r} "
+                    f"(expected one of {', '.join(SIM_ENGINES)})"
+                )
+            if engine != "incremental":
+                if engine_config.sim_engine not in ("incremental", engine):
+                    raise ValidationError(
+                        "conflicting simulation engines: engine="
+                        f"{engine!r} vs engines.sim_engine="
+                        f"{engine_config.sim_engine!r}"
+                    )
+                engine_config = dataclasses.replace(
+                    engine_config, sim_engine=engine
+                )
+        if admission is not None:
+            # replace() re-validates, so unknown modes and
+            # batched-on-non-vector combinations fail loudly here.
+            engine_config = dataclasses.replace(
+                engine_config, admission=admission
             )
         if isinstance(host_policy, str):
             host_policy = HostPolicy(host_policy)
@@ -805,6 +844,7 @@ class AlvcStack:
         config=None,
         admission=None,
         scaling=None,
+        engine: str | None = None,
         chaos_rate: float = 0.0,
         chaos_repair_after: float | None = 2.0,
         storm_period: int = 0,
@@ -827,9 +867,43 @@ class AlvcStack:
         Build the stack with ``exclusive_chains=False`` when tenants
         may bring more than one chain.  Returns the run's
         :class:`~repro.workload.WorkloadReport`.
+
+        ``admission=`` here is the workload *admission policy*
+        (tenant accept/reject), not the simulator's admission
+        pipeline — configure that on
+        :meth:`build` (``admission=``/``engines=``).
+
+        .. deprecated:: PR 10
+            ``engine=`` is a deprecated selector spelling: configure
+            engines on :meth:`build` (``engines=EngineConfig(...)``).
+            The kwarg warns, validates, and must agree with the
+            stack's configured simulation engine.
         """
         from repro.workload import WorkloadRunner, generate_scenario
 
+        if engine is not None:
+            warnings.warn(
+                "AlvcStack.run_workload(engine=...) is deprecated; "
+                "configure AlvcStack.build(engines="
+                "EngineConfig(sim_engine=...)). Scheduled for removal "
+                "at the v1.0 cut.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if engine not in SIM_ENGINES:
+                raise ValidationError(
+                    f"unknown simulation engine {engine!r} "
+                    f"(expected one of {', '.join(SIM_ENGINES)})"
+                )
+            configured = self.engines.sim_engine
+            if engine != "incremental" and configured not in (
+                "incremental",
+                engine,
+            ):
+                raise ValidationError(
+                    "conflicting simulation engines: engine="
+                    f"{engine!r} vs engines.sim_engine={configured!r}"
+                )
         if scenario is None:
             scenario = generate_scenario(config, seed=seed)
         elif config is not None:

@@ -9,7 +9,12 @@ import warnings
 
 import pytest
 
-from repro.config import COVER_KERNELS, SIM_ENGINES, EngineConfig
+from repro.config import (
+    ADMISSION_MODES,
+    COVER_KERNELS,
+    SIM_ENGINES,
+    EngineConfig,
+)
 from repro.exceptions import ValidationError
 from repro.stack import AlvcStack
 
@@ -30,6 +35,11 @@ class TestValidation:
             ({"cover_kernel": "simd"}, "unknown cover kernel"),
             ({"routing": "dijkstra9000"}, "unknown routing engine"),
             ({"sim_engine": "warp"}, "unknown simulation engine"),
+            ({"admission": "psychic"}, "unknown admission mode"),
+            (
+                {"admission": "batched"},
+                "requires sim_engine='vector'",
+            ),
             ({"workers": 0}, "workers"),
             ({"workers": 2.5}, "workers"),
         ],
@@ -37,6 +47,14 @@ class TestValidation:
     def test_bad_values_rejected(self, kwargs, match):
         with pytest.raises(ValidationError, match=match):
             EngineConfig(**kwargs)
+
+    def test_admission_modes(self):
+        assert ADMISSION_MODES == ("auto", "per_event", "batched")
+        assert EngineConfig().admission == "auto"
+        config = EngineConfig(sim_engine="vector", admission="batched")
+        assert config.admission == "batched"
+        for mode in ("auto", "per_event"):
+            assert EngineConfig(admission=mode).admission == mode
 
     def test_known_sim_engines_all_construct(self):
         assert SIM_ENGINES == (
@@ -151,6 +169,69 @@ class TestDeprecatedSpellings:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             assert stack.run_sweep(_square, [4]) == [16]
+
+    def test_build_engine_kwarg_warns_and_maps(self):
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"AlvcStack\.build\(engine=\.\.\.\) is deprecated",
+        ):
+            stack = AlvcStack.build(engine="vector", **BUILD)
+        assert stack.engines.sim_engine == "vector"
+
+    def test_build_engine_kwarg_rejects_unknown_and_conflicts(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValidationError, match="unknown simulation"):
+                AlvcStack.build(engine="warp", **BUILD)
+            with pytest.raises(ValidationError, match="conflicting"):
+                AlvcStack.build(
+                    engine="vector",
+                    engines=EngineConfig(sim_engine="legacy"),
+                    **BUILD,
+                )
+
+    def test_run_workload_engine_kwarg_warns_and_validates(self):
+        from repro.workload import ScenarioConfig
+
+        stack = AlvcStack.build(exclusive_chains=False, **BUILD)
+        config = ScenarioConfig(
+            days=1, epochs_per_day=2, arrival_rate=1.0
+        )
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"run_workload\(engine=\.\.\.\) is deprecated",
+        ) as caught:
+            stack.run_workload(seed=0, config=config, engine="incremental")
+        assert any(
+            issubclass(record.category, DeprecationWarning)
+            and "EngineConfig(sim_engine=...)" in str(record.message)
+            for record in caught
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValidationError, match="unknown simulation"):
+                stack.run_workload(seed=0, config=config, engine="warp")
+        vector_stack = AlvcStack.build(
+            exclusive_chains=False,
+            engines={"sim_engine": "vector"},
+            **BUILD,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValidationError, match="conflicting"):
+                vector_stack.run_workload(
+                    seed=0, config=config, engine="legacy"
+                )
+
+    def test_build_admission_kwarg_folds_into_engines(self):
+        stack = AlvcStack.build(
+            admission="batched",
+            engines={"sim_engine": "vector"},
+            **BUILD,
+        )
+        assert stack.engines.admission == "batched"
+        with pytest.raises(ValidationError, match="requires sim_engine"):
+            AlvcStack.build(admission="batched", **BUILD)
 
 
 class TestJournalIntegration:

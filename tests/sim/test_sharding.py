@@ -291,3 +291,24 @@ class TestShardedParity:
             simulate_sharded(
                 inventory, clusters, flows, runner=_StubRunner()
             )
+
+    def test_batched_admission_worker_invariant(self, clustered):
+        inventory, clusters = clustered
+        flows = _workload(inventory, count=30, seed=21)
+        failures = _degrade_schedule(inventory, clusters, flows)
+        engines = {"sim_engine": "vector", "admission": "batched"}
+        per_event = EventDrivenFlowSimulator(
+            inventory,
+            clusters,
+            engines={"sim_engine": "vector", "admission": "per_event"},
+        ).run(flows, failures)
+        sequential = simulate_sharded(
+            inventory, clusters, flows, failures,
+            workers=1, engines=engines,
+        )
+        fanned_out = simulate_sharded(
+            inventory, clusters, flows, failures,
+            workers=4, engines=engines,
+        )
+        assert sequential == per_event
+        assert fanned_out == sequential

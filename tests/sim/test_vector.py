@@ -256,3 +256,261 @@ class TestVectorFairShareEngine:
             "alvc_fairshare_vector_rounds", "", ROUNDS_BUCKETS
         )
         assert histogram.count >= 1
+
+
+# ----------------------------------------------------------------------
+# FlowTable bulk admission (add_many)
+# ----------------------------------------------------------------------
+class TestFlowTableBulk:
+    def _pools(self, spec):
+        return [np.array(pool, dtype=np.int32) for pool in spec]
+
+    def test_add_many_matches_serial_adds(self):
+        serial = FlowTable(capacity=4)
+        bulk = FlowTable(capacity=4)
+        pools = self._pools([[0, 1], [2], [], [1, 1, 3]])
+        flows = [f"f{index}" for index in range(len(pools))]
+        dups = [False, False, False, True]
+        for flow, pool, dup in zip(flows, pools, dups):
+            serial.add(flow, pool, dup)
+        slots = bulk.add_many(flows, pools, dups)
+        assert slots.tolist() == [0, 1, 2, 3]
+        assert bulk.slot_of == serial.slot_of
+        assert bulk.flow_ids == serial.flow_ids
+        assert bulk.size == serial.size
+        assert bulk.active_count == serial.active_count
+        assert bulk.pool_len == serial.pool_len
+        for name in ("link_start", "link_len", "has_dup", "alive"):
+            got = getattr(bulk, name)[: bulk.size]
+            want = getattr(serial, name)[: serial.size]
+            assert got.tolist() == want.tolist(), name
+        flat_bulk, lens_bulk = bulk.gather_links(bulk.active_slots())
+        flat_serial, lens_serial = serial.gather_links(
+            serial.active_slots()
+        )
+        assert flat_bulk.tolist() == flat_serial.tolist()
+        assert lens_bulk.tolist() == lens_serial.tolist()
+        assert np.all(np.isinf(bulk.eta[: bulk.size]))
+        assert not bulk.rate[: bulk.size].any()
+        assert not bulk.remaining[: bulk.size].any()
+
+    def test_add_many_empty(self):
+        table = FlowTable()
+        assert table.add_many([], [], []).shape[0] == 0
+        assert len(table) == 0
+
+    def test_add_many_duplicate_rejected_atomically(self):
+        table = FlowTable()
+        table.add("f0", np.array([0], dtype=np.int32))
+        size = table.size
+        pool_len = table.pool_len
+        with pytest.raises(SimulationError, match="already active"):
+            table.add_many(
+                ["f1", "f0"],
+                self._pools([[1], [2]]),
+                [False, False],
+            )
+        # No partial allocation: the duplicate was detected up front.
+        assert table.size == size
+        assert table.pool_len == pool_len
+        assert "f1" not in table
+
+    def test_add_many_grows_slots_and_pool(self):
+        table = FlowTable(capacity=2)
+        pools = self._pools([[index % 5] * 3 for index in range(64)])
+        flows = [f"f{index}" for index in range(64)]
+        slots = table.add_many(flows, pools, [True] * 64)
+        assert slots.tolist() == list(range(64))
+        flat, lens = table.gather_links(table.active_slots())
+        assert lens.tolist() == [3] * 64
+        assert flat.tolist() == sum(([i % 5] * 3 for i in range(64)), [])
+
+
+# ----------------------------------------------------------------------
+# Compaction amortization (S1): the predicate is evaluated once per
+# remove() — the only operation that can flip it — and add paths only
+# check the cached flag.
+# ----------------------------------------------------------------------
+class TestCompactionAmortization:
+    def _filled(self, n, slack):
+        table = FlowTable(compact_slack=slack)
+        for index in range(n):
+            table.add(f"f{index}", np.array([index], dtype=np.int32))
+        return table
+
+    def test_flag_flips_in_remove_not_add(self):
+        table = self._filled(8, 1)
+        for index in range(4):
+            table.remove(f"f{index}")
+        # dead (4) == live (4): bound not exceeded, no compaction due.
+        assert not table._compact_pending
+        table.remove("f4")
+        # dead (5) > max(1, live=3): pending now, but nothing compacts
+        # until the next admission.
+        assert table._compact_pending
+        assert table.size == 8
+        table.add("fresh", np.array([9], dtype=np.int32))
+        assert not table._compact_pending
+        assert table.size == len(table) == 4
+
+    def test_dead_equals_live_boundary_does_not_compact(self):
+        table = self._filled(6, 0)
+        for index in range(3):
+            table.remove(f"f{index}")
+        assert not table._compact_pending
+        table.add("fresh", np.array([7], dtype=np.int32))
+        assert table.size == 7  # no compaction happened
+
+    def test_compact_slack_exactly_met_does_not_compact(self):
+        # slack=4 dominates live: dead == slack is not > slack.
+        table = self._filled(5, 4)
+        for index in range(4):
+            table.remove(f"f{index}")
+        assert not table._compact_pending
+        table.remove("f4")
+        # dead (5) > max(slack=4, live=0): now pending.
+        assert table._compact_pending
+
+    def test_add_many_honors_pending_compaction(self):
+        table = self._filled(8, 1)
+        for index in range(5):
+            table.remove(f"f{index}")
+        assert table._compact_pending
+        slots = table.add_many(
+            ["a", "b"],
+            [np.array([0], dtype=np.int32)] * 2,
+            [False, False],
+        )
+        # Compaction ran first: three survivors then the new pair.
+        assert slots.tolist() == [3, 4]
+        assert table.size == 5
+
+    def test_on_compact_hook_sees_live_slots(self):
+        table = self._filled(6, 1)
+        seen = []
+        table.on_compact = lambda live: seen.append(live.tolist())
+        for index in range(4):
+            table.remove(f"f{index}")
+        table.add("fresh", np.array([8], dtype=np.int32))
+        assert seen == [[4, 5]]
+
+
+# ----------------------------------------------------------------------
+# BatchedFairShareEngine: class aggregation + compiled kernel
+# ----------------------------------------------------------------------
+class TestBatchedEngine:
+    def _batched(self, caps=None, **kwargs):
+        from repro.sim.vector import BatchedFairShareEngine
+
+        return BatchedFairShareEngine(dict(caps or CAPS), **kwargs)
+
+    def test_interning_dedupes_classes(self):
+        engine = self._batched()
+        engine.add_flow("f0", [A, B])
+        engine.add_flow("f1", [A, B])
+        engine.add_flow("f2", [B, C])
+        assert engine.n_classes == 2
+
+    def test_rates_match_vector_engine(self):
+        batched = self._batched()
+        vector = _engine()
+        paths = {"f0": [A, B], "f1": [B, C], "f2": [C], "f3": [A, B]}
+        for flow, path in paths.items():
+            batched.add_flow(flow, path)
+            vector.add_flow(flow, path)
+        assert (
+            batched.recompute().tobytes() == vector.recompute().tobytes()
+        )
+        assert batched.rates_by_flow() == max_min_fair_rates(paths, CAPS)
+
+    def test_dup_class_falls_back_to_vector_path(self):
+        engine = self._batched()
+        engine.add_flow("f0", [A, B, A])
+        engine.add_flow("f1", [B])
+        assert engine.rates_by_flow() == max_min_fair_rates(
+            {"f0": [A, B, A], "f1": [B]}, CAPS
+        )
+
+    def test_set_capacity_appends_link_and_rebuilds(self):
+        extra = frozenset({"d", "e"})
+        engine = self._batched()
+        engine.add_flow("f0", [A])
+        engine.recompute()
+        engine.set_capacity(extra, 2.0)
+        engine.add_flow("f1", [extra, A])
+        paths = {"f0": [A], "f1": [extra, A]}
+        assert engine.rates_by_flow() == max_min_fair_rates(
+            paths, {**CAPS, extra: 2.0}
+        )
+
+    def test_compaction_renumbers_classes(self):
+        table = FlowTable(compact_slack=1)
+        engine = self._batched(table=table)
+        for index in range(8):
+            engine.add_flow(f"f{index}", [A, B] if index % 2 else [C])
+        for index in range(5):
+            engine.remove_flow(f"f{index}")
+        engine.add_flow("fresh", [C])  # triggers compaction
+        paths = {"f5": [A, B], "f6": [C], "f7": [A, B], "fresh": [C]}
+        assert engine.rates_by_flow() == max_min_fair_rates(paths, CAPS)
+
+    def test_kernel_matches_numpy_bitwise(self, monkeypatch):
+        import random as _random
+
+        from repro.sim import ckernel
+
+        if ckernel.waterfill_kernel() is None:
+            pytest.skip("no C compiler in this environment")
+
+        for seed in range(20):
+            rng = _random.Random(seed)
+            nodes = [f"n{index}" for index in range(rng.randint(4, 10))]
+            caps = {}
+            while len(caps) < rng.randint(3, 12):
+                a, b = rng.sample(nodes, 2)
+                caps[frozenset({a, b})] = rng.choice(
+                    [1.0, 2.5, 4.0, 10.0]
+                )
+            links = list(caps)
+            paths = {
+                f"f{index}": rng.sample(
+                    links, rng.randint(1, min(4, len(links)))
+                )
+                for index in range(rng.randint(1, 30))
+            }
+
+            with monkeypatch.context() as patch:
+                patch.setattr(ckernel, "_kernel", None)
+                numpy_engine = self._batched(caps)
+                assert not numpy_engine.kernel_active
+                for flow, path in paths.items():
+                    numpy_engine.add_flow(flow, path)
+                numpy_rates = numpy_engine.recompute()
+
+            kernel_engine = self._batched(caps)
+            assert kernel_engine.kernel_active
+            for flow, path in paths.items():
+                kernel_engine.add_flow(flow, path)
+            kernel_rates = kernel_engine.recompute()
+
+            assert kernel_rates.tobytes() == numpy_rates.tobytes(), seed
+            # And both agree with the plain vector engine, bitwise.
+            vector = _engine(caps)
+            for flow, path in paths.items():
+                vector.add_flow(flow, path)
+            assert vector.recompute().tobytes() == kernel_rates.tobytes()
+
+    def test_disable_env_pins_numpy_loop(self, monkeypatch):
+        from repro.sim import ckernel
+
+        monkeypatch.setenv(ckernel.DISABLE_ENV, "1")
+        monkeypatch.setattr(ckernel, "_kernel", ckernel._UNSET)
+        assert ckernel.waterfill_kernel() is None
+        assert not ckernel.kernel_available()
+        engine = self._batched()
+        assert not engine.kernel_active
+        engine.add_flow("f0", [A, B])
+        engine.add_flow("f1", [B])
+        assert engine.rates_by_flow() == max_min_fair_rates(
+            {"f0": [A, B], "f1": [B]}, CAPS
+        )

@@ -203,3 +203,32 @@ class TestSimulatorParity:
                     report.link_busy_byte_seconds
                     == baseline.link_busy_byte_seconds
                 ), seed
+
+
+class TestAdmissionParity:
+    """Explicit per_event vs batched admission — same vector engine."""
+
+    @pytest.mark.parametrize("seeds", [range(2000, 2010)])
+    def test_fault_schedules_bit_identical(self, clustered, seeds):
+        inventory, clusters = clustered
+        for seed in seeds:
+            rng = random.Random(seed)
+            generator = TrafficGenerator(
+                inventory,
+                TrafficConfig(arrival_rate=40.0, sigma=0.8),
+                seed=seed,
+            )
+            flows = generator.flows(30)
+            failures = _fault_schedule(rng, inventory.network)
+            reports = {
+                mode: EventDrivenFlowSimulator(
+                    inventory,
+                    clusters,
+                    engines={
+                        "sim_engine": "vector",
+                        "admission": mode,
+                    },
+                ).run(flows, failures=failures)
+                for mode in ("per_event", "batched")
+            }
+            assert reports["batched"] == reports["per_event"], seed
